@@ -1,0 +1,77 @@
+// Experiment E18 (extension): incremental maintenance. The paper notes
+// E[|W|] is maintainable in O(1) under updates (Section 6.2);
+// DynamicTupleRanker extends that to point expected-rank queries. This
+// bench measures update and query throughput against the naive strategy
+// of re-running the batch T-ERank after every update.
+//
+// Expected shape: updates and point queries are microseconds and roughly
+// flat in N (amortized log), while a batch recompute per update costs
+// milliseconds and grows with N — a ~1000× gap at N = 100k.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dynamic_ranker.h"
+#include "core/expected_rank_tuple.h"
+#include "gen/tuple_gen.h"
+#include "util/rng.h"
+
+namespace urank {
+namespace {
+
+DynamicTupleRanker BuildRanker(int n, uint64_t seed) {
+  Rng rng(seed);
+  DynamicTupleRanker ranker;
+  for (int id = 0; id < n; ++id) {
+    ranker.Insert(id, rng.Uniform(0.0, 1000.0), rng.Uniform(0.05, 1.0));
+  }
+  return ranker;
+}
+
+void BM_Dynamic_InsertErase(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DynamicTupleRanker ranker = BuildRanker(n, 71);
+  Rng rng(72);
+  int next_id = n;
+  for (auto _ : state) {
+    const int id = next_id++;
+    ranker.Insert(id, rng.Uniform(0.0, 1000.0), rng.Uniform(0.05, 1.0));
+    ranker.Erase(id);
+  }
+}
+BENCHMARK(BM_Dynamic_InsertErase)
+    ->RangeMultiplier(10)
+    ->Range(1000, 100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Dynamic_PointQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DynamicTupleRanker ranker = BuildRanker(n, 73);
+  Rng rng(74);
+  for (auto _ : state) {
+    const int id = static_cast<int>(rng.UniformInt(0, n - 1));
+    benchmark::DoNotOptimize(ranker.ExpectedRank(id));
+  }
+}
+BENCHMARK(BM_Dynamic_PointQuery)
+    ->RangeMultiplier(10)
+    ->Range(1000, 100000)
+    ->Unit(benchmark::kMicrosecond);
+
+// The naive alternative: full batch recompute after an update.
+void BM_Dynamic_BatchRecomputePerUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TupleGenConfig config;
+  config.num_tuples = n;
+  config.seed = 75;
+  TupleRelation rel = GenerateTupleRelation(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TupleExpectedRanks(rel));
+  }
+}
+BENCHMARK(BM_Dynamic_BatchRecomputePerUpdate)
+    ->RangeMultiplier(10)
+    ->Range(1000, 100000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace urank

@@ -1,0 +1,47 @@
+#include "core/access.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace urank {
+
+SortedAttrStream::SortedAttrStream(const AttrRelation& rel) : rel_(&rel) {
+  order_.resize(static_cast<size_t>(rel.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  std::vector<double> expected(order_.size());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    expected[i] = rel.tuple(static_cast<int>(i)).ExpectedScore();
+  }
+  std::sort(order_.begin(), order_.end(), [&](int a, int b) {
+    const double ea = expected[static_cast<size_t>(a)];
+    const double eb = expected[static_cast<size_t>(b)];
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+}
+
+const AttrTuple& SortedAttrStream::Next() {
+  URANK_CHECK_MSG(HasNext(), "Next() past the end of the stream");
+  return rel_->tuple(order_[next_++]);
+}
+
+SortedTupleStream::SortedTupleStream(const TupleRelation& rel) {
+  order_.resize(static_cast<size_t>(rel.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  std::sort(order_.begin(), order_.end(), [&](int a, int b) {
+    const double sa = rel.tuple(a).score;
+    const double sb = rel.tuple(b).score;
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  expected_world_size_ = rel.ExpectedWorldSize();
+}
+
+int SortedTupleStream::Next() {
+  URANK_CHECK_MSG(HasNext(), "Next() past the end of the stream");
+  return order_[next_++];
+}
+
+}  // namespace urank

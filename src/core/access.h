@@ -1,0 +1,72 @@
+// Sorted-access interfaces with access counting (paper Sections 5.2, 6.2).
+//
+// The pruning algorithms assume the relation is exposed through an
+// interface that "generates each tuple in turn" in sorted order — by
+// decreasing expected score for the attribute-level model and by decreasing
+// score for the tuple-level model — and that each retrieval is expensive
+// (e.g. an IO). These streams model that interface and count retrievals so
+// the pruning experiments can report the number of tuples accessed.
+//
+// Building a stream sorts once up front; the sort is part of the data
+// provider, not of the accesses being counted.
+
+#ifndef URANK_CORE_ACCESS_H_
+#define URANK_CORE_ACCESS_H_
+
+#include <vector>
+
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+
+namespace urank {
+
+// Streams an attribute-level relation in non-increasing E[X_i] order.
+// Holds a pointer to `rel`, which must outlive the stream.
+class SortedAttrStream {
+ public:
+  explicit SortedAttrStream(const AttrRelation& rel);
+
+  bool HasNext() const { return next_ < order_.size(); }
+
+  // Retrieves the next tuple and counts the access. Requires HasNext().
+  const AttrTuple& Next();
+
+  // Number of tuples retrieved so far.
+  int accessed() const { return static_cast<int>(next_); }
+
+  // Total number of tuples behind the stream (the paper's N, assumed known
+  // to the pruning algorithm).
+  int total() const { return static_cast<int>(order_.size()); }
+
+ private:
+  const AttrRelation* rel_;
+  std::vector<int> order_;  // tuple indexes, sorted by expected score desc
+  size_t next_ = 0;
+};
+
+// Streams a tuple-level relation in non-increasing score order. Exposes
+// E[|W|], which the paper assumes is maintained alongside the relation.
+class SortedTupleStream {
+ public:
+  explicit SortedTupleStream(const TupleRelation& rel);
+
+  bool HasNext() const { return next_ < order_.size(); }
+
+  // Retrieves the index (into the relation) of the next tuple and counts
+  // the access. Requires HasNext(). Rule metadata of retrieved tuples may
+  // be inspected through the relation, as the paper's algorithm does.
+  int Next();
+
+  int accessed() const { return static_cast<int>(next_); }
+  int total() const { return static_cast<int>(order_.size()); }
+  double expected_world_size() const { return expected_world_size_; }
+
+ private:
+  std::vector<int> order_;  // tuple indexes, sorted by score desc
+  size_t next_ = 0;
+  double expected_world_size_ = 0.0;
+};
+
+}  // namespace urank
+
+#endif  // URANK_CORE_ACCESS_H_

@@ -1,0 +1,189 @@
+#include "core/dynamic_ranker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace urank {
+namespace internal {
+namespace {
+
+// Overflow keys tolerated before folding them into the Fenwick universe.
+// Queries scan the overflow linearly, so this bounds the per-query cost.
+constexpr size_t kMaxOverflow = 128;
+
+}  // namespace
+
+void MassByScoreIndex::Add(double score, double delta) {
+  total_ += delta;
+  const auto it =
+      std::lower_bound(universe_.begin(), universe_.end(), score);
+  if (it != universe_.end() && *it == score) {
+    FenwickAdd(static_cast<size_t>(it - universe_.begin()), delta);
+    return;
+  }
+  overflow_[score] += delta;
+  if (overflow_[score] == 0.0) overflow_.erase(score);
+  if (overflow_.size() > kMaxOverflow) Rebuild();
+}
+
+double MassByScoreIndex::MassAbove(double score) const {
+  const auto it =
+      std::upper_bound(universe_.begin(), universe_.end(), score);
+  double mass = FenwickSuffix(static_cast<size_t>(it - universe_.begin()));
+  for (const auto& [key, value] : overflow_) {
+    if (key > score) mass += value;
+  }
+  return mass;
+}
+
+void MassByScoreIndex::Rebuild() {
+  // Collect the current per-key masses, merge overflow keys into the
+  // universe, and rebuild the Fenwick from scratch.
+  std::vector<std::pair<double, double>> entries;
+  entries.reserve(universe_.size() + overflow_.size());
+  for (size_t i = 0; i < universe_.size(); ++i) {
+    // Point mass at position i = prefix(i) - prefix(i-1); recover it from
+    // suffix sums to avoid a second accumulator array.
+    const double point = FenwickSuffix(i) - FenwickSuffix(i + 1);
+    if (point != 0.0) entries.emplace_back(universe_[i], point);
+  }
+  for (const auto& [key, value] : overflow_) {
+    if (value != 0.0) entries.emplace_back(key, value);
+  }
+  overflow_.clear();
+  std::sort(entries.begin(), entries.end());
+  universe_.clear();
+  universe_.reserve(entries.size());
+  for (const auto& [key, value] : entries) universe_.push_back(key);
+  tree_.assign(universe_.size() + 1, 0.0);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    FenwickAdd(i, entries[i].second);
+  }
+}
+
+void MassByScoreIndex::FenwickAdd(size_t index, double delta) {
+  for (size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+    tree_[i] += delta;
+  }
+}
+
+double MassByScoreIndex::FenwickSuffix(size_t from) const {
+  // prefix(i) = sum of positions [0, i); suffix = prefix(end) - prefix.
+  auto prefix = [&](size_t count) {
+    double sum = 0.0;
+    for (size_t i = count; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  };
+  const size_t n = universe_.size();
+  if (from >= n) return 0.0;
+  return prefix(n) - prefix(from);
+}
+
+}  // namespace internal
+
+void DynamicTupleRanker::Insert(int id, double score, double prob,
+                                int rule_label) {
+  URANK_CHECK_MSG(by_id_.count(id) == 0, "Insert: id is already live");
+  URANK_CHECK_MSG(prob > 0.0 && prob <= 1.0,
+                  "Insert: prob must be in (0,1]");
+  URANK_CHECK_MSG(std::isfinite(score), "Insert: score must be finite");
+  if (rule_label >= 0) {
+    RuleState& rule = rules_[rule_label];
+    URANK_CHECK_MSG(rule.mass + prob <= 1.0 + 1e-9,
+                    "Insert: rule probability mass would exceed 1");
+    rule.ids.push_back(id);
+    rule.mass += prob;
+  }
+  by_id_[id] = {score, prob, rule_label};
+  mass_index_.Add(score, prob);
+  expected_world_size_ += prob;
+}
+
+void DynamicTupleRanker::Erase(int id) {
+  const auto it = by_id_.find(id);
+  URANK_CHECK_MSG(it != by_id_.end(), "Erase: id is not live");
+  const Entry e = it->second;
+  by_id_.erase(it);
+  if (e.rule_label >= 0) {
+    RuleState& rule = rules_[e.rule_label];
+    rule.ids.erase(std::find(rule.ids.begin(), rule.ids.end(), id));
+    rule.mass -= e.prob;
+    if (rule.ids.empty()) rules_.erase(e.rule_label);
+  }
+  mass_index_.Add(e.score, -e.prob);
+  expected_world_size_ -= e.prob;
+}
+
+double DynamicTupleRanker::ExpectedRankOf(const Entry& e, int id) const {
+  // Eq. (8): r = p (q - sameAbove) + S + (1-p)(E|W| - p - S).
+  const double above = mass_index_.MassAbove(e.score);
+  double same_above = 0.0;
+  double same_other = 0.0;
+  if (e.rule_label >= 0) {
+    const RuleState& rule = rules_.at(e.rule_label);
+    for (int other : rule.ids) {
+      if (other == id) continue;
+      const Entry& oe = by_id_.at(other);
+      same_other += oe.prob;
+      if (oe.score > e.score) same_above += oe.prob;
+    }
+  }
+  return e.prob * (above - same_above) + same_other +
+         (1.0 - e.prob) * (expected_world_size_ - e.prob - same_other);
+}
+
+double DynamicTupleRanker::ExpectedRank(int id) const {
+  const auto it = by_id_.find(id);
+  URANK_CHECK_MSG(it != by_id_.end(), "ExpectedRank: id is not live");
+  return ExpectedRankOf(it->second, id);
+}
+
+std::vector<RankedTuple> DynamicTupleRanker::TopK(int k) const {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  std::vector<int> ids;
+  std::vector<double> ranks;
+  ids.reserve(by_id_.size());
+  ranks.reserve(by_id_.size());
+  for (const auto& [id, entry] : by_id_) {
+    ids.push_back(id);
+    ranks.push_back(ExpectedRankOf(entry, id));
+  }
+  return TopKByStatistic(ids, ranks, k);
+}
+
+TupleRelation DynamicTupleRanker::Snapshot() const {
+  // Deterministic tuple order (by id) so snapshots are reproducible.
+  std::vector<int> ids;
+  ids.reserve(by_id_.size());
+  for (const auto& [id, entry] : by_id_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  std::vector<TLTuple> tuples;
+  tuples.reserve(ids.size());
+  std::unordered_map<int, int> index_of;
+  for (int id : ids) {
+    const Entry& e = by_id_.at(id);
+    index_of[id] = static_cast<int>(tuples.size());
+    tuples.push_back({id, e.score, e.prob});
+  }
+  std::vector<std::vector<int>> rule_groups;
+  std::vector<int> labels;
+  labels.reserve(rules_.size());
+  for (const auto& [label, rule] : rules_) labels.push_back(label);
+  std::sort(labels.begin(), labels.end());
+  for (int label : labels) {
+    const RuleState& rule = rules_.at(label);
+    if (rule.ids.size() < 2) continue;  // singletons become implicit rules
+    std::vector<int> group;
+    group.reserve(rule.ids.size());
+    for (int id : rule.ids) group.push_back(index_of.at(id));
+    std::sort(group.begin(), group.end());
+    rule_groups.push_back(std::move(group));
+  }
+  return TupleRelation(std::move(tuples), std::move(rule_groups));
+}
+
+}  // namespace urank

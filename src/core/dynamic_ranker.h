@@ -1,0 +1,123 @@
+// Incremental maintenance of a tuple-level uncertain relation under
+// insertions and deletions.
+//
+// Paper Section 6.2 notes that E[|W|] "can be efficiently maintained in
+// O(1) time when D is updated with deletion or insertion of tuples"; this
+// module carries that observation through to the whole expected-rank
+// computation. A DynamicTupleRanker keeps:
+//   * E[|W|] — O(1) per update;
+//   * per-exclusion-rule aggregates — O(|rule|) per update;
+//   * a probability-mass-by-score index (Fenwick tree over the score
+//     universe with a bounded overflow buffer, merged by periodic
+//     rebuilds) — O(log N) amortized per update;
+// so the expected rank of any single tuple (eq. 8) is answerable in
+// O(log N + |rule|) amortized at any time, a full top-k on demand in
+// O(N (log N + |rule|)), and the live state can be snapshotted into a
+// TupleRelation for the batch algorithms.
+//
+// Rank semantics follow the paper's Definition 6 (TiePolicy::
+// kStrictGreater): ties share a rank. All methods abort on contract
+// violations (duplicate ids, unknown ids, over-full rules).
+
+#ifndef URANK_CORE_DYNAMIC_RANKER_H_
+#define URANK_CORE_DYNAMIC_RANKER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/ranking.h"
+#include "model/tuple_model.h"
+
+namespace urank {
+namespace internal {
+
+// Probability mass indexed by score with O(log U) prefix queries under
+// dynamic insertion of new score keys: a Fenwick tree over the known
+// universe plus a small overflow map for unseen keys, merged into the
+// universe once the overflow exceeds a fixed bound.
+class MassByScoreIndex {
+ public:
+  MassByScoreIndex() = default;
+
+  // Adds `delta` (possibly negative) mass at `score`.
+  void Add(double score, double delta);
+
+  // Total mass at scores strictly greater than `score`.
+  double MassAbove(double score) const;
+
+  // Total mass over all scores.
+  double TotalMass() const { return total_; }
+
+ private:
+  void Rebuild();
+  void FenwickAdd(size_t index, double delta);
+  double FenwickSuffix(size_t from) const;  // sum of tree_[from..]
+
+  std::vector<double> universe_;  // sorted distinct score keys
+  std::vector<double> tree_;      // Fenwick over universe_ positions
+  std::unordered_map<double, double> overflow_;  // keys outside universe_
+  double total_ = 0.0;
+};
+
+}  // namespace internal
+
+// The dynamic ranker. Not thread-safe; guard externally if shared.
+class DynamicTupleRanker {
+ public:
+  DynamicTupleRanker() = default;
+
+  // Inserts a tuple. `rule_label` groups mutually exclusive tuples
+  // (labels are arbitrary non-negative ints); pass a negative label for an
+  // independent tuple. Aborts if `id` is already live, prob is outside
+  // (0, 1], the score is non-finite, or the rule's mass would exceed 1.
+  // O(log N) amortized.
+  void Insert(int id, double score, double prob, int rule_label = -1);
+
+  // Removes a live tuple. Aborts if `id` is not live. O(log N) amortized.
+  void Erase(int id);
+
+  // Number of live tuples.
+  int size() const { return static_cast<int>(by_id_.size()); }
+
+  // Whether `id` is live.
+  bool Contains(int id) const { return by_id_.count(id) > 0; }
+
+  // E[|W|]; O(1).
+  double ExpectedWorldSize() const { return expected_world_size_; }
+
+  // Expected rank of the live tuple `id` (eq. 8, strict tie policy).
+  // Aborts if `id` is not live. O(log N + |rule|) amortized.
+  double ExpectedRank(int id) const;
+
+  // Current top-k by expected rank (ties by id). Requires k >= 1.
+  // O(N (log N + |rule|)).
+  std::vector<RankedTuple> TopK(int k) const;
+
+  // Materializes the live state as a TupleRelation (batch algorithms,
+  // persistence). O(N log N).
+  TupleRelation Snapshot() const;
+
+ private:
+  struct Entry {
+    double score = 0.0;
+    double prob = 0.0;
+    int rule_label = -1;  // negative = independent
+  };
+
+  // Members of each labelled rule (live ids) and their total mass.
+  struct RuleState {
+    std::vector<int> ids;
+    double mass = 0.0;
+  };
+
+  double ExpectedRankOf(const Entry& e, int id) const;
+
+  std::unordered_map<int, Entry> by_id_;
+  std::unordered_map<int, RuleState> rules_;
+  internal::MassByScoreIndex mass_index_;
+  double expected_world_size_ = 0.0;
+};
+
+}  // namespace urank
+
+#endif  // URANK_CORE_DYNAMIC_RANKER_H_

@@ -1,0 +1,187 @@
+#include "core/expected_rank_attr.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/access.h"
+#include "core/internal/sorted_pdf.h"
+#include "util/check.h"
+
+namespace urank {
+
+using internal::PrEqualPair;
+using internal::PrGreaterPair;
+using internal::SortedPdf;
+
+std::vector<double> AttrExpectedRanksBruteForce(const AttrRelation& rel,
+                                                TiePolicy ties) {
+  const int n = rel.size();
+  std::vector<SortedPdf> pdfs;
+  pdfs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) pdfs.emplace_back(rel.tuple(i));
+  std::vector<double> ranks(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    double r = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      r += PrGreaterPair(pdfs[static_cast<size_t>(j)],
+                         pdfs[static_cast<size_t>(i)]);
+      if (ties == TiePolicy::kBreakByIndex && j < i) {
+        r += PrEqualPair(pdfs[static_cast<size_t>(j)],
+                         pdfs[static_cast<size_t>(i)]);
+      }
+    }
+    ranks[static_cast<size_t>(i)] = r;
+  }
+  return ranks;
+}
+
+std::vector<double> AttrExpectedRanks(const AttrRelation& rel,
+                                      TiePolicy ties) {
+  const int n = rel.size();
+  // Sorted universe of all values with the aggregate probability mass at
+  // each distinct value; suffix sums give q(v) = Σ_j Pr[X_j > v].
+  std::vector<std::pair<double, double>> universe;  // (value, mass)
+  universe.reserve(static_cast<size_t>(n) * 2);
+  for (int i = 0; i < n; ++i) {
+    for (const ScoreValue& sv : rel.tuple(i).pdf) {
+      universe.emplace_back(sv.value, sv.prob);
+    }
+  }
+  std::sort(universe.begin(), universe.end());
+  // Collapse duplicates.
+  std::vector<double> uvalues;
+  std::vector<double> umass;
+  for (const auto& [v, p] : universe) {
+    if (!uvalues.empty() && uvalues.back() == v) {
+      umass.back() += p;
+    } else {
+      uvalues.push_back(v);
+      umass.push_back(p);
+    }
+  }
+  std::vector<double> usuffix(uvalues.size() + 1, 0.0);
+  for (size_t l = uvalues.size(); l > 0; --l) {
+    usuffix[l - 1] = usuffix[l] + umass[l - 1];
+  }
+  auto q_greater = [&](double v) {
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(uvalues.begin(), uvalues.end(), v) -
+        uvalues.begin());
+    return usuffix[idx];
+  };
+
+  // For kBreakByIndex, a tie with an earlier tuple also counts as being
+  // outranked: add Σ_l p_{i,l} · Σ_{j<i} Pr[X_j = v_{i,l}], maintained
+  // with a running per-value equal-mass map over tuples seen so far.
+  std::unordered_map<double, double> equal_mass_before;
+
+  std::vector<double> ranks(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const AttrTuple& t = rel.tuple(i);
+    double r = 0.0;
+    for (const ScoreValue& sv : t.pdf) {
+      // q(v) counts X_i's own mass above v too; subtract it (eq. 4).
+      r += sv.prob * (q_greater(sv.value) - t.PrGreater(sv.value));
+      if (ties == TiePolicy::kBreakByIndex) {
+        auto it = equal_mass_before.find(sv.value);
+        if (it != equal_mass_before.end()) r += sv.prob * it->second;
+      }
+    }
+    ranks[static_cast<size_t>(i)] = r;
+    if (ties == TiePolicy::kBreakByIndex) {
+      for (const ScoreValue& sv : t.pdf) {
+        equal_mass_before[sv.value] += sv.prob;
+      }
+    }
+  }
+  return ranks;
+}
+
+std::vector<RankedTuple> AttrExpectedRankTopK(const AttrRelation& rel, int k,
+                                              TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  std::vector<double> ranks = AttrExpectedRanks(rel, ties);
+  std::vector<int> ids(static_cast<size_t>(rel.size()));
+  for (int i = 0; i < rel.size(); ++i) {
+    ids[static_cast<size_t>(i)] = rel.tuple(i).id;
+  }
+  return TopKByStatistic(ids, ranks, k);
+}
+
+AttrPruneResult AttrExpectedRankTopKPrune(const AttrRelation& rel, int k,
+                                          bool clamp_tail_bounds) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  for (const AttrTuple& t : rel.tuples()) {
+    for (const ScoreValue& sv : t.pdf) {
+      URANK_CHECK_MSG(sv.value > 0.0,
+                      "A-ERank-Prune requires strictly positive scores");
+    }
+  }
+  const int total = rel.size();
+  SortedAttrStream stream(rel);
+
+  // Markov tail mass of one tuple against threshold expectation e:
+  // Σ_l p_l · (e / v_l), each term optionally clamped to its trivial
+  // probability bound of 1.
+  auto tail_bound = [clamp_tail_bounds](const SortedPdf& pdf, double e) {
+    double sum = 0.0;
+    for (size_t l = 0; l < pdf.values.size(); ++l) {
+      const double term = e / pdf.values[l];
+      sum += pdf.probs[l] * (clamp_tail_bounds ? std::min(term, 1.0) : term);
+    }
+    return sum;
+  };
+
+  // State for seen tuples, in stream order.
+  std::vector<const AttrTuple*> seen;
+  std::vector<SortedPdf> pdfs;
+  std::vector<double> pair_sum;  // A_i = Σ_{seen j≠i} Pr[X_j > X_i]
+
+  while (stream.HasNext()) {
+    const AttrTuple& t = stream.Next();
+    SortedPdf pdf(t);
+    double own_pairs = 0.0;
+    for (size_t j = 0; j < pdfs.size(); ++j) {
+      pair_sum[j] += PrGreaterPair(pdf, pdfs[j]);
+      own_pairs += PrGreaterPair(pdfs[j], pdf);
+    }
+    seen.push_back(&t);
+    pdfs.push_back(std::move(pdf));
+    pair_sum.push_back(own_pairs);
+
+    const int n = stream.accessed();
+    if (n < k) continue;  // cannot have k candidates yet
+    if (n == total) break;
+
+    // The stream is sorted by expected score, so E[X_n] bounds every unseen
+    // tuple's expectation; Markov gives Pr[X_u > v] <= E[X_n] / v.
+    const double expected_n = seen.back()->ExpectedScore();
+    double tail_sum = 0.0;  // Σ_{seen j} bound on Pr[X_j <= X_u]
+    for (const SortedPdf& p : pdfs) tail_sum += tail_bound(p, expected_n);
+    const double r_minus = static_cast<double>(n) - tail_sum;  // eq. (6)
+    int below = 0;
+    for (size_t i = 0; i < pair_sum.size(); ++i) {
+      const double r_plus =
+          pair_sum[i] + static_cast<double>(total - n) *
+                            tail_bound(pdfs[i], expected_n);  // eq. (5)
+      if (r_plus < r_minus) ++below;
+    }
+    if (below >= k) break;
+  }
+
+  // Exact expected ranks within the curtailed prefix D' (the paper's
+  // surrogate for the unknown full ranks).
+  std::vector<AttrTuple> prefix;
+  prefix.reserve(seen.size());
+  for (const AttrTuple* t : seen) prefix.push_back(*t);
+  AttrRelation curtailed(std::move(prefix));
+  std::vector<double> ranks = AttrExpectedRanks(curtailed);
+  std::vector<int> ids(static_cast<size_t>(curtailed.size()));
+  for (int i = 0; i < curtailed.size(); ++i) {
+    ids[static_cast<size_t>(i)] = curtailed.tuple(i).id;
+  }
+  return {TopKByStatistic(ids, ranks, k), stream.accessed()};
+}
+
+}  // namespace urank

@@ -1,0 +1,64 @@
+// Expected ranks in the tuple-level uncertainty model (paper Section 6).
+//
+// In a world where t_i appears, its rank is the number of appearing tuples
+// ranked above it; in a world where it is absent, its rank is |W|
+// (Definition 6). With tuples sorted by score the expected rank has the
+// closed form of eq. (8):
+//
+//   r(t_i) = p_i (q_i − sameAbove_i) + S_i + (1 − p_i)(E|W| − p_i − S_i)
+//
+// where q_i is the probability mass of tuples ranked above t_i,
+// sameAbove_i the above-mass within t_i's own exclusion rule, and S_i the
+// rule's mass excluding t_i. Provided here:
+//   * TupleExpectedRanksBruteForce — O(N²) direct evaluation (baseline);
+//   * TupleExpectedRanks — T-ERank, O(N log N) (sort + prefix sums);
+//   * TupleExpectedRankTopKPrune — T-ERank-Prune (Section 6.2): consumes a
+//     score-sorted stream, computes each seen tuple's rank exactly, and
+//     stops when the k-th best seen rank is at most the eq. (9) lower
+//     bound for unseen tuples. Unlike the attribute-level pruning, the
+//     returned top-k is guaranteed to be the true top-k.
+
+#ifndef URANK_CORE_EXPECTED_RANK_TUPLE_H_
+#define URANK_CORE_EXPECTED_RANK_TUPLE_H_
+
+#include <vector>
+
+#include "core/ranking.h"
+#include "model/tuple_model.h"
+#include "model/types.h"
+
+namespace urank {
+
+// O(N²) reference evaluation of the closed form, computing the mass sums
+// pair by pair.
+std::vector<double> TupleExpectedRanksBruteForce(
+    const TupleRelation& rel, TiePolicy ties = TiePolicy::kStrictGreater);
+
+// T-ERank: exact expected ranks for all tuples in O(N log N). Results are
+// indexed by tuple position, like the relation.
+std::vector<double> TupleExpectedRanks(
+    const TupleRelation& rel, TiePolicy ties = TiePolicy::kStrictGreater);
+
+// Exact top-k by expected rank. Ties broken by tuple id.
+std::vector<RankedTuple> TupleExpectedRankTopK(
+    const TupleRelation& rel, int k,
+    TiePolicy ties = TiePolicy::kStrictGreater);
+
+// Result of the pruned computation. `topk` is the exact top-k (the eq. (9)
+// bound is sound, so pruning never changes the answer); `accessed` is the
+// number of tuples retrieved from the sorted stream.
+struct TuplePruneResult {
+  std::vector<RankedTuple> topk;
+  int accessed = 0;
+};
+
+// T-ERank-Prune. Requires k >= 1. The lower bound used for unseen tuples
+// is the tie-safe refinement of eq. (9): mass of seen tuples scoring
+// strictly above the last retrieved tuple, minus 1.
+TuplePruneResult TupleExpectedRankTopKPrune(
+    const TupleRelation& rel, int k,
+    TiePolicy ties = TiePolicy::kStrictGreater);
+
+}  // namespace urank
+
+#endif  // URANK_CORE_EXPECTED_RANK_TUPLE_H_

@@ -1,0 +1,97 @@
+// Internal helper: a discrete score pdf sorted by value with suffix sums,
+// supporting O(log s) tail queries and O(s) pairwise comparisons. Not part
+// of the public API.
+
+#ifndef URANK_CORE_INTERNAL_SORTED_PDF_H_
+#define URANK_CORE_INTERNAL_SORTED_PDF_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "model/attr_model.h"
+
+namespace urank {
+namespace internal {
+
+// A tuple's pdf sorted by value ascending, with suffix probability sums:
+// suffix[l] = Σ_{m >= l} p_m, so Pr[X > v] and Pr[X >= v] are binary
+// searches.
+struct SortedPdf {
+  std::vector<double> values;  // ascending
+  std::vector<double> probs;
+  std::vector<double> suffix;  // suffix[l] = sum of probs[l..]
+
+  explicit SortedPdf(const AttrTuple& t) {
+    std::vector<ScoreValue> pdf = t.pdf;
+    std::sort(pdf.begin(), pdf.end(),
+              [](const ScoreValue& a, const ScoreValue& b) {
+                return a.value < b.value;
+              });
+    values.reserve(pdf.size());
+    probs.reserve(pdf.size());
+    for (const ScoreValue& sv : pdf) {
+      values.push_back(sv.value);
+      probs.push_back(sv.prob);
+    }
+    suffix.assign(values.size() + 1, 0.0);
+    for (size_t l = values.size(); l > 0; --l) {
+      suffix[l - 1] = suffix[l] + probs[l - 1];
+    }
+  }
+
+  // Pr[X > v].
+  double PrGreater(double v) const {
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(values.begin(), values.end(), v) - values.begin());
+    return suffix[idx];
+  }
+
+  // Pr[X >= v].
+  double PrGreaterEqual(double v) const {
+    const size_t idx = static_cast<size_t>(
+        std::lower_bound(values.begin(), values.end(), v) - values.begin());
+    return suffix[idx];
+  }
+
+  // Pr[X = v].
+  double PrEqual(double v) const { return PrGreaterEqual(v) - PrGreater(v); }
+};
+
+// Pr[X_a > X_b] for two sorted pdfs, by a linear merge: for each value of
+// `a`, accumulate the probability mass of `b` strictly below it.
+inline double PrGreaterPair(const SortedPdf& a, const SortedPdf& b) {
+  double result = 0.0;
+  double below = 0.0;  // Pr[X_b < a.values[la]] maintained by the merge
+  size_t lb = 0;
+  for (size_t la = 0; la < a.values.size(); ++la) {
+    while (lb < b.values.size() && b.values[lb] < a.values[la]) {
+      below += b.probs[lb];
+      ++lb;
+    }
+    result += a.probs[la] * below;
+  }
+  return result;
+}
+
+// Pr[X_a = X_b].
+inline double PrEqualPair(const SortedPdf& a, const SortedPdf& b) {
+  double result = 0.0;
+  size_t la = 0, lb = 0;
+  while (la < a.values.size() && lb < b.values.size()) {
+    if (a.values[la] < b.values[lb]) {
+      ++la;
+    } else if (a.values[la] > b.values[lb]) {
+      ++lb;
+    } else {
+      result += a.probs[la] * b.probs[lb];
+      ++la;
+      ++lb;
+    }
+  }
+  return result;
+}
+
+}  // namespace internal
+}  // namespace urank
+
+#endif  // URANK_CORE_INTERNAL_SORTED_PDF_H_

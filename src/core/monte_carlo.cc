@@ -1,0 +1,274 @@
+#include "core/monte_carlo.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace urank {
+namespace {
+
+// Per-tuple sampling tables: cumulative pdf weights for inversion.
+struct AttrSampler {
+  std::vector<std::vector<double>> cdf;     // per tuple, cumulative probs
+  std::vector<std::vector<double>> values;  // per tuple, matching values
+
+  explicit AttrSampler(const AttrRelation& rel) {
+    cdf.reserve(static_cast<size_t>(rel.size()));
+    values.reserve(static_cast<size_t>(rel.size()));
+    for (const AttrTuple& t : rel.tuples()) {
+      std::vector<double> c, v;
+      double run = 0.0;
+      for (const ScoreValue& sv : t.pdf) {
+        run += sv.prob;
+        c.push_back(run);
+        v.push_back(sv.value);
+      }
+      c.back() = 1.0;  // guard round-off
+      cdf.push_back(std::move(c));
+      values.push_back(std::move(v));
+    }
+  }
+};
+
+// Ranks of all tuples within one attribute-level world, written to
+// `ranks`. O(N log N).
+void RanksInAttrWorld(const std::vector<double>& scores, TiePolicy ties,
+                      std::vector<int>* order, std::vector<int>* ranks) {
+  const int n = static_cast<int>(scores.size());
+  std::iota(order->begin(), order->end(), 0);
+  std::sort(order->begin(), order->end(), [&](int a, int b) {
+    const double sa = scores[static_cast<size_t>(a)];
+    const double sb = scores[static_cast<size_t>(b)];
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  int pos = 0;
+  while (pos < n) {
+    int end = pos + 1;
+    if (ties == TiePolicy::kStrictGreater) {
+      while (end < n && scores[static_cast<size_t>((*order)[static_cast<size_t>(end)])] ==
+                            scores[static_cast<size_t>((*order)[static_cast<size_t>(pos)])]) {
+        ++end;
+      }
+    }
+    for (int idx = pos; idx < end; ++idx) {
+      (*ranks)[static_cast<size_t>((*order)[static_cast<size_t>(idx)])] =
+          ties == TiePolicy::kStrictGreater ? pos : idx;
+    }
+    pos = end;
+  }
+}
+
+// Ranks of all tuples within one tuple-level world (absent tuples get
+// |W|), written to `ranks`. O(N log N).
+void RanksInTupleWorld(const TupleRelation& rel,
+                       const std::vector<bool>& present, TiePolicy ties,
+                       std::vector<int>* appearing, std::vector<int>* ranks) {
+  appearing->clear();
+  for (int i = 0; i < rel.size(); ++i) {
+    if (present[static_cast<size_t>(i)]) appearing->push_back(i);
+  }
+  std::sort(appearing->begin(), appearing->end(), [&](int a, int b) {
+    const double sa = rel.tuple(a).score;
+    const double sb = rel.tuple(b).score;
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  const int world_size = static_cast<int>(appearing->size());
+  std::fill(ranks->begin(), ranks->end(), world_size);
+  int pos = 0;
+  while (pos < world_size) {
+    int end = pos + 1;
+    if (ties == TiePolicy::kStrictGreater) {
+      while (end < world_size &&
+             rel.tuple((*appearing)[static_cast<size_t>(end)]).score ==
+                 rel.tuple((*appearing)[static_cast<size_t>(pos)]).score) {
+        ++end;
+      }
+    }
+    for (int idx = pos; idx < end; ++idx) {
+      (*ranks)[static_cast<size_t>((*appearing)[static_cast<size_t>(idx)])] =
+          ties == TiePolicy::kStrictGreater ? pos : idx;
+    }
+    pos = end;
+  }
+}
+
+}  // namespace
+
+void SampleAttrWorld(const AttrRelation& rel, Rng& rng,
+                     std::vector<double>* out) {
+  URANK_CHECK_MSG(out != nullptr &&
+                      static_cast<int>(out->size()) == rel.size(),
+                  "out must have size rel.size()");
+  for (int i = 0; i < rel.size(); ++i) {
+    const AttrTuple& t = rel.tuple(i);
+    const double u = rng.Uniform01();
+    double run = 0.0;
+    size_t l = 0;
+    for (; l + 1 < t.pdf.size(); ++l) {
+      run += t.pdf[l].prob;
+      if (u < run) break;
+    }
+    (*out)[static_cast<size_t>(i)] = t.pdf[l].value;
+  }
+}
+
+void SampleTupleWorld(const TupleRelation& rel, Rng& rng,
+                      std::vector<bool>* out) {
+  URANK_CHECK_MSG(out != nullptr &&
+                      static_cast<int>(out->size()) == rel.size(),
+                  "out must have size rel.size()");
+  std::fill(out->begin(), out->end(), false);
+  for (int r = 0; r < rel.num_rules(); ++r) {
+    const double u = rng.Uniform01();
+    double run = 0.0;
+    for (int idx : rel.rule(r)) {
+      run += rel.tuple(idx).prob;
+      if (u < run) {
+        (*out)[static_cast<size_t>(idx)] = true;
+        break;
+      }
+    }
+    // u >= total rule mass: the rule contributes no tuple.
+  }
+}
+
+std::vector<double> AttrExpectedRanksMonteCarlo(const AttrRelation& rel,
+                                                int samples, Rng& rng,
+                                                TiePolicy ties) {
+  URANK_CHECK_MSG(samples >= 1, "samples must be >= 1");
+  const int n = rel.size();
+  std::vector<double> scores(static_cast<size_t>(n));
+  std::vector<int> order(static_cast<size_t>(n));
+  std::vector<int> ranks(static_cast<size_t>(n));
+  std::vector<double> sums(static_cast<size_t>(n), 0.0);
+  for (int s = 0; s < samples; ++s) {
+    SampleAttrWorld(rel, rng, &scores);
+    RanksInAttrWorld(scores, ties, &order, &ranks);
+    for (int i = 0; i < n; ++i) {
+      sums[static_cast<size_t>(i)] += ranks[static_cast<size_t>(i)];
+    }
+  }
+  for (double& v : sums) v /= samples;
+  return sums;
+}
+
+std::vector<double> TupleExpectedRanksMonteCarlo(const TupleRelation& rel,
+                                                 int samples, Rng& rng,
+                                                 TiePolicy ties) {
+  URANK_CHECK_MSG(samples >= 1, "samples must be >= 1");
+  const int n = rel.size();
+  std::vector<bool> present(static_cast<size_t>(n));
+  std::vector<int> appearing;
+  appearing.reserve(static_cast<size_t>(n));
+  std::vector<int> ranks(static_cast<size_t>(n));
+  std::vector<double> sums(static_cast<size_t>(n), 0.0);
+  for (int s = 0; s < samples; ++s) {
+    SampleTupleWorld(rel, rng, &present);
+    RanksInTupleWorld(rel, present, ties, &appearing, &ranks);
+    for (int i = 0; i < n; ++i) {
+      sums[static_cast<size_t>(i)] += ranks[static_cast<size_t>(i)];
+    }
+  }
+  for (double& v : sums) v /= samples;
+  return sums;
+}
+
+std::vector<std::vector<double>> AttrRankDistributionsMonteCarlo(
+    const AttrRelation& rel, int samples, Rng& rng, TiePolicy ties) {
+  URANK_CHECK_MSG(samples >= 1, "samples must be >= 1");
+  const int n = rel.size();
+  std::vector<double> scores(static_cast<size_t>(n));
+  std::vector<int> order(static_cast<size_t>(n));
+  std::vector<int> ranks(static_cast<size_t>(n));
+  std::vector<std::vector<double>> dist(
+      static_cast<size_t>(n),
+      std::vector<double>(static_cast<size_t>(std::max(n, 1)), 0.0));
+  for (int s = 0; s < samples; ++s) {
+    SampleAttrWorld(rel, rng, &scores);
+    RanksInAttrWorld(scores, ties, &order, &ranks);
+    for (int i = 0; i < n; ++i) {
+      dist[static_cast<size_t>(i)][static_cast<size_t>(ranks[static_cast<size_t>(i)])] +=
+          1.0;
+    }
+  }
+  for (auto& row : dist) {
+    for (double& v : row) v /= samples;
+  }
+  return dist;
+}
+
+std::vector<std::vector<double>> TupleRankDistributionsMonteCarlo(
+    const TupleRelation& rel, int samples, Rng& rng, TiePolicy ties) {
+  URANK_CHECK_MSG(samples >= 1, "samples must be >= 1");
+  const int n = rel.size();
+  std::vector<bool> present(static_cast<size_t>(n));
+  std::vector<int> appearing;
+  std::vector<int> ranks(static_cast<size_t>(n));
+  std::vector<std::vector<double>> dist(
+      static_cast<size_t>(n),
+      std::vector<double>(static_cast<size_t>(n) + 1, 0.0));
+  for (int s = 0; s < samples; ++s) {
+    SampleTupleWorld(rel, rng, &present);
+    RanksInTupleWorld(rel, present, ties, &appearing, &ranks);
+    for (int i = 0; i < n; ++i) {
+      dist[static_cast<size_t>(i)][static_cast<size_t>(ranks[static_cast<size_t>(i)])] +=
+          1.0;
+    }
+  }
+  for (auto& row : dist) {
+    for (double& v : row) v /= samples;
+  }
+  return dist;
+}
+
+std::vector<double> AttrTopKProbabilitiesMonteCarlo(const AttrRelation& rel,
+                                                    int k, int samples,
+                                                    Rng& rng,
+                                                    TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  URANK_CHECK_MSG(samples >= 1, "samples must be >= 1");
+  const int n = rel.size();
+  std::vector<double> scores(static_cast<size_t>(n));
+  std::vector<int> order(static_cast<size_t>(n));
+  std::vector<int> ranks(static_cast<size_t>(n));
+  std::vector<double> hits(static_cast<size_t>(n), 0.0);
+  for (int s = 0; s < samples; ++s) {
+    SampleAttrWorld(rel, rng, &scores);
+    RanksInAttrWorld(scores, ties, &order, &ranks);
+    for (int i = 0; i < n; ++i) {
+      if (ranks[static_cast<size_t>(i)] < k) hits[static_cast<size_t>(i)] += 1.0;
+    }
+  }
+  for (double& v : hits) v /= samples;
+  return hits;
+}
+
+std::vector<double> TupleTopKProbabilitiesMonteCarlo(
+    const TupleRelation& rel, int k, int samples, Rng& rng, TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  URANK_CHECK_MSG(samples >= 1, "samples must be >= 1");
+  const int n = rel.size();
+  std::vector<bool> present(static_cast<size_t>(n));
+  std::vector<int> appearing;
+  std::vector<int> ranks(static_cast<size_t>(n));
+  std::vector<double> hits(static_cast<size_t>(n), 0.0);
+  for (int s = 0; s < samples; ++s) {
+    SampleTupleWorld(rel, rng, &present);
+    RanksInTupleWorld(rel, present, ties, &appearing, &ranks);
+    for (int i = 0; i < n; ++i) {
+      // Membership requires presence; an absent tuple's rank is |W| >= the
+      // world's size, but small worlds could make it < k, so test presence
+      // explicitly.
+      if (present[static_cast<size_t>(i)] && ranks[static_cast<size_t>(i)] < k) {
+        hits[static_cast<size_t>(i)] += 1.0;
+      }
+    }
+  }
+  for (double& v : hits) v /= samples;
+  return hits;
+}
+
+}  // namespace urank

@@ -1,0 +1,66 @@
+// Monte Carlo estimation over possible worlds (the generic approach the
+// paper contrasts against, Section 2: "initial approaches are based on
+// Monte-Carlo simulations [26], [34]").
+//
+// Worlds are sampled i.i.d. from the model's world distribution — one
+// independent pdf draw per tuple in the attribute-level model, one
+// independent choice per exclusion rule in the tuple-level model — and
+// per-tuple rank statistics are averaged. Estimates converge to the exact
+// values at the usual O(1/sqrt(samples)) rate; the estimators are used as
+// (a) a scalable cross-check of the exact algorithms and (b) the baseline
+// in the accuracy-vs-cost ablation (experiment E13).
+
+#ifndef URANK_CORE_MONTE_CARLO_H_
+#define URANK_CORE_MONTE_CARLO_H_
+
+#include <vector>
+
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+#include "model/types.h"
+#include "util/rng.h"
+
+namespace urank {
+
+// Samples one world of an attribute-level relation: out[i] receives the
+// value drawn for tuple index i. `out` must have size rel.size().
+void SampleAttrWorld(const AttrRelation& rel, Rng& rng,
+                     std::vector<double>* out);
+
+// Samples one world of a tuple-level relation: out[i] tells whether tuple
+// index i appears. `out` must have size rel.size().
+void SampleTupleWorld(const TupleRelation& rel, Rng& rng,
+                      std::vector<bool>* out);
+
+// Estimated expected ranks from `samples` sampled worlds (Definition 8,
+// including rank |W| for absent tuples in the tuple-level model).
+// Requires samples >= 1. Cost O(samples · N log N).
+std::vector<double> AttrExpectedRanksMonteCarlo(
+    const AttrRelation& rel, int samples, Rng& rng,
+    TiePolicy ties = TiePolicy::kStrictGreater);
+std::vector<double> TupleExpectedRanksMonteCarlo(
+    const TupleRelation& rel, int samples, Rng& rng,
+    TiePolicy ties = TiePolicy::kStrictGreater);
+
+// Estimated full rank distributions (Definition 7): result[i][r] is the
+// fraction of sampled worlds in which t_i had rank r. Row sizes follow the
+// exact counterparts (N for attribute-level, N+1 for tuple-level).
+std::vector<std::vector<double>> AttrRankDistributionsMonteCarlo(
+    const AttrRelation& rel, int samples, Rng& rng,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<std::vector<double>> TupleRankDistributionsMonteCarlo(
+    const TupleRelation& rel, int samples, Rng& rng,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Estimated top-k membership probabilities (presence required in the
+// tuple-level model, as in PT-k / Global-Topk).
+std::vector<double> AttrTopKProbabilitiesMonteCarlo(
+    const AttrRelation& rel, int k, int samples, Rng& rng,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<double> TupleTopKProbabilitiesMonteCarlo(
+    const TupleRelation& rel, int k, int samples, Rng& rng,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+
+}  // namespace urank
+
+#endif  // URANK_CORE_MONTE_CARLO_H_

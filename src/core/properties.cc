@@ -1,0 +1,303 @@
+#include "core/properties.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace urank {
+namespace {
+
+// Semantics that cannot fill a rank (U-kRanks) report -1 there; strip the
+// placeholders so the size/containment checks see the actual answer set.
+std::vector<int> RealIds(std::vector<int> ids) {
+  ids.erase(std::remove(ids.begin(), ids.end(), -1), ids.end());
+  return ids;
+}
+
+bool HasDuplicates(const std::vector<int>& ids) {
+  std::unordered_set<int> seen;
+  for (int id : ids) {
+    if (!seen.insert(id).second) return true;
+  }
+  return false;
+}
+
+bool IsSubset(const std::vector<int>& small, const std::vector<int>& big) {
+  std::unordered_set<int> sb(big.begin(), big.end());
+  for (int id : small) {
+    if (sb.count(id) == 0) return false;
+  }
+  return true;
+}
+
+// Multiset inclusion: every entry of `small` is matched by a distinct entry
+// of `big`. Containment is checked on multisets because a definition like
+// U-kRanks can legitimately report the same tuple at several ranks (it
+// fails unique-ranking, not containment — paper Fig. 5).
+bool IsMultisetSubset(const std::vector<int>& small,
+                      const std::vector<int>& big) {
+  std::unordered_map<int, int> counts;
+  for (int id : big) ++counts[id];
+  for (int id : small) {
+    if (--counts[id] < 0) return false;
+  }
+  return true;
+}
+
+void Record(PropertyReport& report, const PropertyCheckOptions& options,
+            const std::string& message) {
+  if (report.violations.size() < options.max_violations) {
+    report.violations.push_back(message);
+  }
+}
+
+// The generic probe, instantiated for both models. `transforms` are the
+// order-preserving score maps; `boost` strengthens the tuple with the given
+// id (probabilistically larger, Definition 4) and `weaken` does the
+// opposite; both return the perturbed relation.
+template <typename Relation>
+PropertyReport CheckProperties(
+    const std::function<std::vector<int>(const Relation&, int)>& semantics,
+    const Relation& rel, const std::vector<int>& all_ids,
+    const PropertyCheckOptions& options,
+    const std::vector<std::function<Relation(const Relation&)>>& transforms,
+    const std::function<Relation(const Relation&, int, Rng&)>& boost,
+    const std::function<Relation(const Relation&, int, Rng&)>& weaken) {
+  PropertyReport report;
+  const int n = static_cast<int>(all_ids.size());
+  const int max_k = options.max_k > 0 ? options.max_k : std::min(n, 8);
+
+  std::vector<std::vector<int>> answers;  // answers[k-1] = R_k (with -1s)
+  for (int k = 1; k <= max_k; ++k) {
+    answers.push_back(semantics(rel, k));
+  }
+
+  for (int k = 1; k <= max_k; ++k) {
+    const std::vector<int> real = RealIds(answers[static_cast<size_t>(k - 1)]);
+    if (n >= k && static_cast<int>(real.size()) != k) {
+      report.exact_k = false;
+      Record(report, options,
+             "exact-k: |R_" + std::to_string(k) + "| = " +
+                 std::to_string(real.size()));
+    }
+    if (HasDuplicates(real)) {
+      report.unique_rank = false;
+      Record(report, options,
+             "unique-rank: duplicate id in R_" + std::to_string(k));
+    }
+  }
+
+  for (int k = 1; k < max_k; ++k) {
+    const std::vector<int> cur = RealIds(answers[static_cast<size_t>(k - 1)]);
+    const std::vector<int> next = RealIds(answers[static_cast<size_t>(k)]);
+    if (!IsMultisetSubset(cur, next)) {
+      report.containment = false;
+      report.weak_containment = false;
+      Record(report, options,
+             "containment: R_" + std::to_string(k) + " is not inside R_" +
+                 std::to_string(k + 1));
+    } else if (n > k && next.size() <= cur.size()) {
+      // Subset but no growth: only the weak form holds.
+      report.containment = false;
+      Record(report, options,
+             "containment: R_" + std::to_string(k + 1) +
+                 " did not grow past R_" + std::to_string(k));
+    }
+  }
+
+  for (size_t t = 0; t < transforms.size(); ++t) {
+    const Relation transformed = transforms[t](rel);
+    for (int k = 1; k <= max_k; ++k) {
+      const std::vector<int> after = semantics(transformed, k);
+      if (after != answers[static_cast<size_t>(k - 1)]) {
+        report.value_invariance = false;
+        Record(report, options,
+               "value-invariance: transform " + std::to_string(t) +
+                   " changed R_" + std::to_string(k));
+      }
+    }
+  }
+
+  Rng rng(options.seed);
+  for (int trial = 0; max_k >= 1 && trial < options.stability_trials;
+       ++trial) {
+    const int k = static_cast<int>(rng.UniformInt(1, max_k));
+    const std::vector<int> real = RealIds(answers[static_cast<size_t>(k - 1)]);
+    if (!real.empty()) {
+      const int id = real[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(real.size()) - 1))];
+      const Relation boosted = boost(rel, id, rng);
+      const std::vector<int> after = RealIds(semantics(boosted, k));
+      if (!IsSubset({id}, after)) {
+        report.stability = false;
+        Record(report, options,
+               "stability: boosting tuple " + std::to_string(id) +
+                   " evicted it from R_" + std::to_string(k));
+      }
+    }
+    // The converse direction: weakening a non-member must not promote it.
+    std::unordered_set<int> members(real.begin(), real.end());
+    std::vector<int> outsiders;
+    for (int id : all_ids) {
+      if (members.count(id) == 0) outsiders.push_back(id);
+    }
+    if (!outsiders.empty()) {
+      const int id = outsiders[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(outsiders.size()) - 1))];
+      const Relation weakened = weaken(rel, id, rng);
+      const std::vector<int> after = RealIds(semantics(weakened, k));
+      if (IsSubset({id}, after)) {
+        report.stability = false;
+        Record(report, options,
+               "stability: weakening tuple " + std::to_string(id) +
+                   " promoted it into R_" + std::to_string(k));
+      }
+    }
+  }
+
+  return report;
+}
+
+double MaxAbsScore(const AttrRelation& rel) {
+  double m = 1.0;
+  for (const AttrTuple& t : rel.tuples()) {
+    for (const ScoreValue& sv : t.pdf) m = std::max(m, std::fabs(sv.value));
+  }
+  return m;
+}
+
+double MaxAbsScore(const TupleRelation& rel) {
+  double m = 1.0;
+  for (const TLTuple& t : rel.tuples()) m = std::max(m, std::fabs(t.score));
+  return m;
+}
+
+template <typename Fn>
+AttrRelation TransformAttr(const AttrRelation& rel, Fn&& fn) {
+  std::vector<AttrTuple> tuples = rel.tuples();
+  for (AttrTuple& t : tuples) {
+    for (ScoreValue& sv : t.pdf) {
+      URANK_CHECK_MSG(sv.value > 0.0,
+                      "value-invariance transforms require positive scores");
+      sv.value = fn(sv.value);
+    }
+  }
+  return AttrRelation(std::move(tuples));
+}
+
+template <typename Fn>
+TupleRelation TransformTuple(const TupleRelation& rel, Fn&& fn) {
+  std::vector<TLTuple> tuples = rel.tuples();
+  for (TLTuple& t : tuples) {
+    URANK_CHECK_MSG(t.score > 0.0,
+                    "value-invariance transforms require positive scores");
+    t.score = fn(t.score);
+  }
+  return TupleRelation(std::move(tuples), rel.rules());
+}
+
+}  // namespace
+
+AttrRelation TransformAttrScoresCubic(const AttrRelation& rel) {
+  return TransformAttr(rel, [](double v) { return v * v * v; });
+}
+
+AttrRelation TransformAttrScoresLog(const AttrRelation& rel) {
+  return TransformAttr(rel, [](double v) { return std::log1p(v); });
+}
+
+TupleRelation TransformTupleScoresCubic(const TupleRelation& rel) {
+  return TransformTuple(rel, [](double v) { return v * v * v; });
+}
+
+TupleRelation TransformTupleScoresLog(const TupleRelation& rel) {
+  return TransformTuple(rel, [](double v) { return std::log1p(v); });
+}
+
+PropertyReport CheckAttrProperties(const AttrSemanticsFn& semantics,
+                                   const AttrRelation& rel,
+                                   const PropertyCheckOptions& options) {
+  const double shift_scale = MaxAbsScore(rel) * 0.1 + 1.0;
+  // A uniform shift of very close support values can make them collide in
+  // floating point; re-separate so the perturbed tuple stays a valid pdf.
+  auto renudge = [](AttrTuple& t) {
+    std::unordered_set<double> used;
+    for (ScoreValue& sv : t.pdf) {
+      while (!used.insert(sv.value).second) {
+        sv.value += std::max(1e-9, std::fabs(sv.value) * 1e-9);
+      }
+    }
+  };
+  auto boost = [shift_scale, renudge](const AttrRelation& r, int id,
+                                      Rng& rng) {
+    // Shifting every support value upward gives X' stochastically >= X.
+    const double delta = rng.Uniform(0.5, 1.0) * shift_scale;
+    std::vector<AttrTuple> tuples = r.tuples();
+    for (AttrTuple& t : tuples) {
+      if (t.id != id) continue;
+      for (ScoreValue& sv : t.pdf) sv.value += delta;
+      renudge(t);
+    }
+    return AttrRelation(std::move(tuples));
+  };
+  auto weaken = [shift_scale, renudge](const AttrRelation& r, int id,
+                                       Rng& rng) {
+    const double delta = rng.Uniform(0.5, 1.0) * shift_scale;
+    std::vector<AttrTuple> tuples = r.tuples();
+    for (AttrTuple& t : tuples) {
+      if (t.id != id) continue;
+      for (ScoreValue& sv : t.pdf) sv.value -= delta;
+      renudge(t);
+    }
+    return AttrRelation(std::move(tuples));
+  };
+  std::vector<int> all_ids;
+  for (const AttrTuple& t : rel.tuples()) all_ids.push_back(t.id);
+  return CheckProperties<AttrRelation>(
+      semantics, rel, all_ids, options,
+      {TransformAttrScoresCubic, TransformAttrScoresLog}, boost, weaken);
+}
+
+PropertyReport CheckTupleProperties(const TupleSemanticsFn& semantics,
+                                    const TupleRelation& rel,
+                                    const PropertyCheckOptions& options) {
+  const double shift_scale = MaxAbsScore(rel) * 0.1 + 1.0;
+  auto boost = [shift_scale](const TupleRelation& r, int id, Rng& rng) {
+    // Raise the score and spend part of the rule's probability headroom:
+    // (v', p') with v' >= v and p' >= p (Definition 4).
+    const double delta = rng.Uniform(0.5, 1.0) * shift_scale;
+    std::vector<TLTuple> tuples = r.tuples();
+    for (int i = 0; i < r.size(); ++i) {
+      TLTuple& t = tuples[static_cast<size_t>(i)];
+      if (t.id != id) continue;
+      t.score += delta;
+      const double headroom =
+          1.0 - r.rule_prob_sum(r.rule_of(i));
+      if (headroom > 1e-9) {
+        t.prob = std::min(1.0, t.prob + rng.Uniform01() * headroom);
+      }
+    }
+    return TupleRelation(std::move(tuples), r.rules());
+  };
+  auto weaken = [shift_scale](const TupleRelation& r, int id, Rng& rng) {
+    const double delta = rng.Uniform(0.5, 1.0) * shift_scale;
+    std::vector<TLTuple> tuples = r.tuples();
+    for (TLTuple& t : tuples) {
+      if (t.id != id) continue;
+      t.score -= delta;
+      t.prob *= rng.Uniform(0.1, 1.0);
+    }
+    return TupleRelation(std::move(tuples), r.rules());
+  };
+  std::vector<int> all_ids;
+  for (const TLTuple& t : rel.tuples()) all_ids.push_back(t.id);
+  return CheckProperties<TupleRelation>(
+      semantics, rel, all_ids, options,
+      {TransformTupleScoresCubic, TransformTupleScoresLog}, boost, weaken);
+}
+
+}  // namespace urank

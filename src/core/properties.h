@@ -1,0 +1,81 @@
+// Machine checkers for the five ranking-query properties of paper
+// Section 4.1: exact-k, containment, unique ranking, value invariance and
+// stability.
+//
+// A ranking definition under test is abstracted as a callback producing the
+// top-k id list (or set) for a relation and a k. The checkers probe the
+// definition on a given relation across a range of k values, on
+// order-preserving score transformations, and on randomized stability
+// perturbations, and report which properties held. They are used by the
+// test suite (expected/median/quantile ranks must pass everything;
+// baselines must fail exactly the paper's Fig. 5 entries) and by the
+// bench_properties harness that regenerates the Fig. 5 matrix empirically.
+
+#ifndef URANK_CORE_PROPERTIES_H_
+#define URANK_CORE_PROPERTIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+
+namespace urank {
+
+// A ranking semantics under test: returns the top-k answer as tuple ids.
+using AttrSemanticsFn =
+    std::function<std::vector<int>(const AttrRelation&, int)>;
+using TupleSemanticsFn =
+    std::function<std::vector<int>(const TupleRelation&, int)>;
+
+// Outcome of a property probe. A property is reported as holding when no
+// violation was observed on any probe; `violations` carries a description
+// of the first few violations for diagnostics.
+struct PropertyReport {
+  bool exact_k = true;
+  bool containment = true;       // strong: R_k ⊊ R_{k+1}
+  bool weak_containment = true;  // R_k ⊆ R_{k+1}
+  bool unique_rank = true;
+  bool value_invariance = true;
+  bool stability = true;
+
+  std::vector<std::string> violations;
+
+  // True when all five headline properties (strong containment) held.
+  bool AllHold() const {
+    return exact_k && containment && unique_rank && value_invariance &&
+           stability;
+  }
+};
+
+// Probe configuration.
+struct PropertyCheckOptions {
+  int max_k = 0;             // probe k = 1..max_k; 0 means min(N, 8)
+  int stability_trials = 8;  // randomized stability perturbations
+  uint64_t seed = 42;        // seed for the stability perturbations
+  size_t max_violations = 8;  // cap on recorded diagnostics
+};
+
+// Probes `semantics` on `rel`. The relation's scores must be strictly
+// positive (the value-invariance transform uses a non-affine monotone map
+// on positive values).
+PropertyReport CheckAttrProperties(const AttrSemanticsFn& semantics,
+                                   const AttrRelation& rel,
+                                   const PropertyCheckOptions& options = {});
+PropertyReport CheckTupleProperties(const TupleSemanticsFn& semantics,
+                                    const TupleRelation& rel,
+                                    const PropertyCheckOptions& options = {});
+
+// The order-preserving, non-affine score transforms used by the
+// value-invariance probe (exposed for tests): v -> v^3 and
+// v -> log(1 + v). Both require v > 0.
+AttrRelation TransformAttrScoresCubic(const AttrRelation& rel);
+AttrRelation TransformAttrScoresLog(const AttrRelation& rel);
+TupleRelation TransformTupleScoresCubic(const TupleRelation& rel);
+TupleRelation TransformTupleScoresLog(const TupleRelation& rel);
+
+}  // namespace urank
+
+#endif  // URANK_CORE_PROPERTIES_H_

@@ -1,0 +1,121 @@
+#include "core/quantile_rank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "core/rank_distribution_attr.h"
+#include "core/rank_distribution_tuple.h"
+#include "util/check.h"
+
+namespace urank {
+namespace {
+
+std::vector<int> IdsInOrder(int n, const std::function<int(int)>& id_of) {
+  std::vector<int> ids(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) ids[static_cast<size_t>(i)] = id_of(i);
+  return ids;
+}
+
+std::vector<double> ToDouble(const std::vector<int>& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+}  // namespace
+
+int QuantileFromPmf(const std::vector<double>& pmf, double phi) {
+  URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
+  URANK_CHECK_MSG(!pmf.empty(), "pmf must be non-empty");
+  double cdf = 0.0;
+  for (size_t r = 0; r < pmf.size(); ++r) {
+    cdf += pmf[r];
+    if (cdf >= phi) return static_cast<int>(r);
+  }
+  return static_cast<int>(pmf.size()) - 1;  // round-off guard
+}
+
+RankDistributionSummary SummarizeRankDistribution(
+    const std::vector<double>& pmf) {
+  URANK_CHECK_MSG(!pmf.empty(), "pmf must be non-empty");
+  RankDistributionSummary s;
+  double mass = 0.0;
+  double best = -1.0;
+  int min_rank = -1, max_rank = 0;
+  for (size_t r = 0; r < pmf.size(); ++r) {
+    const double p = pmf[r];
+    URANK_CHECK_MSG(p >= -1e-12, "pmf entries must be non-negative");
+    mass += p;
+    s.mean += static_cast<double>(r) * p;
+    if (p > best) {
+      best = p;
+      s.mode = static_cast<int>(r);
+    }
+    if (p > 0.0) {
+      if (min_rank < 0) min_rank = static_cast<int>(r);
+      max_rank = static_cast<int>(r);
+    }
+  }
+  URANK_CHECK_MSG(mass > 0.999999 && mass < 1.000001,
+                  "pmf must sum to ~1");
+  for (size_t r = 0; r < pmf.size(); ++r) {
+    const double d = static_cast<double>(r) - s.mean;
+    s.variance += d * d * pmf[r];
+  }
+  s.stddev = std::sqrt(std::max(s.variance, 0.0));
+  s.median = QuantileFromPmf(pmf, 0.5);
+  s.q25 = QuantileFromPmf(pmf, 0.25);
+  s.q75 = QuantileFromPmf(pmf, 0.75);
+  s.min_rank = std::max(min_rank, 0);
+  s.max_rank = max_rank;
+  return s;
+}
+
+std::vector<int> AttrQuantileRanks(const AttrRelation& rel, double phi,
+                                   TiePolicy ties) {
+  std::vector<int> ranks(static_cast<size_t>(rel.size()), 0);
+  // One DP per tuple; memory stays O(N) rather than materializing the
+  // full N×N distribution matrix.
+  for (int i = 0; i < rel.size(); ++i) {
+    ranks[static_cast<size_t>(i)] =
+        QuantileFromPmf(AttrRankDistribution(rel, i, ties), phi);
+  }
+  return ranks;
+}
+
+std::vector<int> TupleQuantileRanks(const TupleRelation& rel, double phi,
+                                    TiePolicy ties) {
+  std::vector<int> ranks(static_cast<size_t>(rel.size()), 0);
+  ForEachTupleRankDistribution(
+      rel, ties, [&](int i, const std::vector<double>& dist) {
+        ranks[static_cast<size_t>(i)] = QuantileFromPmf(dist, phi);
+      });
+  return ranks;
+}
+
+std::vector<int> AttrMedianRanks(const AttrRelation& rel, TiePolicy ties) {
+  return AttrQuantileRanks(rel, 0.5, ties);
+}
+
+std::vector<int> TupleMedianRanks(const TupleRelation& rel, TiePolicy ties) {
+  return TupleQuantileRanks(rel, 0.5, ties);
+}
+
+std::vector<RankedTuple> AttrQuantileRankTopK(const AttrRelation& rel, int k,
+                                              double phi, TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  std::vector<int> ids =
+      IdsInOrder(rel.size(), [&](int i) { return rel.tuple(i).id; });
+  return TopKByStatistic(ids, ToDouble(AttrQuantileRanks(rel, phi, ties)), k);
+}
+
+std::vector<RankedTuple> TupleQuantileRankTopK(const TupleRelation& rel,
+                                               int k, double phi,
+                                               TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  std::vector<int> ids =
+      IdsInOrder(rel.size(), [&](int i) { return rel.tuple(i).id; });
+  return TopKByStatistic(ids, ToDouble(TupleQuantileRanks(rel, phi, ties)),
+                         k);
+}
+
+}  // namespace urank

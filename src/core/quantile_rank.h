@@ -1,0 +1,74 @@
+// Median and quantile ranks (paper Section 7).
+//
+// The φ-quantile rank of a tuple is the smallest rank value whose
+// cumulative probability in the tuple's rank distribution reaches φ
+// (Definition 9); the median rank is the φ = 0.5 case. Ranking ascends by
+// the quantile rank, with the library-wide id tie-break.
+//
+// Complexities follow the underlying rank-distribution DPs: O(s N³) for
+// the attribute-level model and O(N M²) worst case (O(N M) typical, via
+// incremental Poisson-binomial updates) for the tuple-level model.
+
+#ifndef URANK_CORE_QUANTILE_RANK_H_
+#define URANK_CORE_QUANTILE_RANK_H_
+
+#include <vector>
+
+#include "core/ranking.h"
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+#include "model/types.h"
+
+namespace urank {
+
+// Smallest index r with Σ_{c<=r} pmf[c] >= phi. Requires phi in (0, 1] and
+// a non-empty pmf summing to ~1; returns the last index if round-off keeps
+// the cdf below phi.
+int QuantileFromPmf(const std::vector<double>& pmf, double phi);
+
+// Descriptive statistics of one tuple's rank distribution — the objects
+// Section 7 argues are "important statistics to characterize the rank
+// distribution ... of independent interest".
+struct RankDistributionSummary {
+  double mean = 0.0;      // the expected rank
+  double variance = 0.0;  // spread of the rank across worlds
+  double stddev = 0.0;
+  int median = 0;         // 0.5-quantile
+  int q25 = 0;            // 0.25-quantile
+  int q75 = 0;            // 0.75-quantile
+  int mode = 0;           // most likely rank (smallest on ties)
+  int min_rank = 0;       // smallest rank with positive probability
+  int max_rank = 0;       // largest rank with positive probability
+};
+
+// Summarizes a rank pmf (as produced by AttrRankDistribution /
+// TupleRankDistributions / the Monte Carlo estimators). Requires a
+// non-empty pmf with non-negative entries summing to ~1.
+RankDistributionSummary SummarizeRankDistribution(
+    const std::vector<double>& pmf);
+
+// φ-quantile ranks of every tuple, indexed by tuple position.
+// Requires phi in (0, 1].
+std::vector<int> AttrQuantileRanks(const AttrRelation& rel, double phi,
+                                   TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<int> TupleQuantileRanks(const TupleRelation& rel, double phi,
+                                    TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Median ranks (φ = 0.5).
+std::vector<int> AttrMedianRanks(const AttrRelation& rel,
+                                 TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<int> TupleMedianRanks(const TupleRelation& rel,
+                                  TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Top-k by φ-quantile rank. Requires k >= 1 and phi in (0, 1]. The
+// reported statistic is the quantile rank.
+std::vector<RankedTuple> AttrQuantileRankTopK(
+    const AttrRelation& rel, int k, double phi,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<RankedTuple> TupleQuantileRankTopK(
+    const TupleRelation& rel, int k, double phi,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+
+}  // namespace urank
+
+#endif  // URANK_CORE_QUANTILE_RANK_H_

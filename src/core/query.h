@@ -1,0 +1,71 @@
+// Unified query facade: run any of the library's ranking semantics on
+// either uncertainty model through one entry point.
+//
+// This is the surface a downstream application typically uses; the
+// per-semantics headers remain available for callers that need the richer
+// result types (probabilities, prune statistics, rank distributions).
+
+#ifndef URANK_CORE_QUERY_H_
+#define URANK_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+#include "model/types.h"
+
+namespace urank {
+
+// The ranking definitions of paper Sections 4–7.
+enum class RankingSemantics {
+  kExpectedRank,   // Definition 8 (the paper's proposal)
+  kMedianRank,     // Definition 9, phi = 0.5
+  kQuantileRank,   // Definition 9, phi from the options
+  kUTopk,          // most likely top-k answer [42]
+  kUKRanks,        // most likely tuple per rank [42], [30]
+  kPTk,            // probabilistic threshold top-k [23]
+  kGlobalTopk,     // top-k by top-k probability [48]
+  kExpectedScore,  // rank by E[score]
+};
+
+// Human-readable semantics name ("expected-rank", ...).
+const char* ToString(RankingSemantics semantics);
+
+// Query parameters. `k` is required for every semantics; `phi` only
+// applies to kQuantileRank and `threshold` only to kPTk.
+struct RankingQueryOptions {
+  RankingSemantics semantics = RankingSemantics::kExpectedRank;
+  int k = 10;
+  double phi = 0.5;
+  double threshold = 0.5;
+  // The facade defaults every semantics to the deterministic by-index tie
+  // policy so answers across semantics are directly comparable.
+  TiePolicy ties = TiePolicy::kBreakByIndex;
+};
+
+// A ranked answer. `ids` lists the reported tuples in rank order (PT-k may
+// report more or fewer than k; U-kRanks reports -1 for an unfillable
+// rank). `statistics[i]` is the value the i-th entry was ranked by —
+// expected/median/quantile rank (lower is better) or, for the
+// probability-based semantics, the (top-k / positional / answer-set)
+// probability (higher is better); empty when the semantics carries no
+// per-tuple statistic for a slot.
+struct RankingAnswer {
+  std::vector<int> ids;
+  std::vector<double> statistics;
+};
+
+// Runs the query described by `options`. Aborts on invalid options (k < 1,
+// phi/threshold out of range — see the per-semantics headers). U-Topk on
+// an attribute-level relation (and on a tuple-level relation with
+// multi-tuple rules) uses possible-worlds enumeration and therefore
+// requires an enumerable world count.
+RankingAnswer RunRankingQuery(const AttrRelation& rel,
+                              const RankingQueryOptions& options);
+RankingAnswer RunRankingQuery(const TupleRelation& rel,
+                              const RankingQueryOptions& options);
+
+}  // namespace urank
+
+#endif  // URANK_CORE_QUERY_H_

@@ -1,0 +1,97 @@
+#include "core/rank_distribution_attr.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/internal/sorted_pdf.h"
+#include "util/check.h"
+#include "util/poisson_binomial.h"
+
+namespace urank {
+namespace {
+
+using internal::SortedPdf;
+
+// Rank distribution of tuple `index` given precomputed sorted pdfs.
+std::vector<double> DistributionForTuple(const AttrRelation& rel,
+                                         const std::vector<SortedPdf>& pdfs,
+                                         int index, TiePolicy ties) {
+  const int n = rel.size();
+  std::vector<double> dist(static_cast<size_t>(std::max(n, 1)), 0.0);
+  const AttrTuple& t = rel.tuple(index);
+  for (const ScoreValue& sv : t.pdf) {
+    PoissonBinomial pb;
+    for (int j = 0; j < n; ++j) {
+      if (j == index) continue;
+      const SortedPdf& pj = pdfs[static_cast<size_t>(j)];
+      double beat = pj.PrGreater(sv.value);
+      if (ties == TiePolicy::kBreakByIndex && j < index) {
+        beat += pj.PrEqual(sv.value);
+      }
+      pb.AddTrial(std::min(beat, 1.0));
+    }
+    const std::vector<double>& pmf = pb.pmf();
+    for (size_t c = 0; c < pmf.size(); ++c) {
+      dist[c] += sv.prob * pmf[c];
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<double> AttrRankDistribution(const AttrRelation& rel, int index,
+                                         TiePolicy ties) {
+  URANK_CHECK_MSG(index >= 0 && index < rel.size(), "tuple index out of range");
+  std::vector<SortedPdf> pdfs;
+  pdfs.reserve(static_cast<size_t>(rel.size()));
+  for (int j = 0; j < rel.size(); ++j) pdfs.emplace_back(rel.tuple(j));
+  return DistributionForTuple(rel, pdfs, index, ties);
+}
+
+std::vector<std::vector<double>> AttrRankDistributions(const AttrRelation& rel,
+                                                       TiePolicy ties) {
+  std::vector<SortedPdf> pdfs;
+  pdfs.reserve(static_cast<size_t>(rel.size()));
+  for (int j = 0; j < rel.size(); ++j) pdfs.emplace_back(rel.tuple(j));
+  std::vector<std::vector<double>> dists;
+  dists.reserve(static_cast<size_t>(rel.size()));
+  for (int i = 0; i < rel.size(); ++i) {
+    dists.push_back(DistributionForTuple(rel, pdfs, i, ties));
+  }
+  return dists;
+}
+
+std::vector<std::vector<double>> AttrRankDistributionsParallel(
+    const AttrRelation& rel, TiePolicy ties, int threads) {
+  const int n = rel.size();
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::max(1, std::min(threads, n));
+  if (threads <= 1 || n <= 1) return AttrRankDistributions(rel, ties);
+
+  std::vector<SortedPdf> pdfs;
+  pdfs.reserve(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) pdfs.emplace_back(rel.tuple(j));
+
+  std::vector<std::vector<double>> dists(static_cast<size_t>(n));
+  std::atomic<int> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      dists[static_cast<size_t>(i)] =
+          DistributionForTuple(rel, pdfs, i, ties);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return dists;
+}
+
+}  // namespace urank

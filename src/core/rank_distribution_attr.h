@@ -1,0 +1,42 @@
+// Exact per-tuple rank distributions in the attribute-level model
+// (Definition 7; computed as in paper Section 7.2).
+//
+// For tuple t_i and each support value v of X_i, conditioning on X_i = v
+// makes the events "t_j outranks t_i" independent Bernoulli trials across
+// j ≠ i; the conditional rank is therefore Poisson-binomial. Mixing the
+// conditional distributions by Pr[X_i = v] yields rank(t_i). The total cost
+// is O(s N²) per tuple and O(s N³) for all tuples, matching the paper's
+// O(N³) bound for constant pdf size s.
+
+#ifndef URANK_CORE_RANK_DISTRIBUTION_ATTR_H_
+#define URANK_CORE_RANK_DISTRIBUTION_ATTR_H_
+
+#include <vector>
+
+#include "model/attr_model.h"
+#include "model/types.h"
+
+namespace urank {
+
+// Rank distribution of the tuple at `index`: result[r] = Pr[R(t_i) = r] for
+// r in [0, N-1]. The default tie policy is the paper's Section 7 choice
+// (ties broken by tuple index).
+std::vector<double> AttrRankDistribution(
+    const AttrRelation& rel, int index,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Rank distributions of every tuple; result[i] is as above. O(s N³).
+std::vector<std::vector<double>> AttrRankDistributions(
+    const AttrRelation& rel, TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Multi-threaded variant: the per-tuple DPs are independent, so they are
+// distributed over `threads` worker threads. threads <= 0 selects
+// std::thread::hardware_concurrency(). Bit-identical to the serial
+// version.
+std::vector<std::vector<double>> AttrRankDistributionsParallel(
+    const AttrRelation& rel, TiePolicy ties = TiePolicy::kBreakByIndex,
+    int threads = 0);
+
+}  // namespace urank
+
+#endif  // URANK_CORE_RANK_DISTRIBUTION_ATTR_H_

@@ -1,0 +1,143 @@
+#include "core/rank_distribution_tuple.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/poisson_binomial.h"
+
+namespace urank {
+namespace {
+
+constexpr double kProbEps = 1e-12;
+
+// Index order sorted by (score desc, index asc): the sweep order in which
+// "already processed" means "ranked above" (exactly, under kBreakByIndex;
+// up to the current equal-score run, under kStrictGreater).
+std::vector<int> RankOrder(const TupleRelation& rel) {
+  std::vector<int> order(static_cast<size_t>(rel.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double sa = rel.tuple(a).score;
+    const double sb = rel.tuple(b).score;
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  return order;
+}
+
+// Sweeps tuples in rank order maintaining a Poisson-binomial over rules
+// where rule r's trial probability is the mass of already-swept (i.e.
+// higher-ranked) members of r. For each tuple, the appear-branch rank
+// distribution is the sweep state with the tuple's own rule conditioned
+// out (its members cannot appear together with the tuple).
+//
+// Invokes `fn(index, appear_pmf)`; the pmf buffer is reused between calls.
+void ForEachAppearBranch(
+    const TupleRelation& rel, TiePolicy ties,
+    const std::function<void(int, const std::vector<double>&)>& fn) {
+  const int m = rel.num_rules();
+  std::vector<double> cur(static_cast<size_t>(m), 0.0);
+  PoissonBinomial pb =
+      PoissonBinomial::FromProbs(std::vector<double>(static_cast<size_t>(m), 0.0));
+  const std::vector<int> order = RankOrder(rel);
+
+  size_t pos = 0;
+  while (pos < order.size()) {
+    size_t end = pos + 1;
+    if (ties == TiePolicy::kStrictGreater) {
+      while (end < order.size() &&
+             rel.tuple(order[end]).score == rel.tuple(order[pos]).score) {
+        ++end;
+      }
+    }
+    for (size_t idx = pos; idx < end; ++idx) {
+      const int i = order[idx];
+      const size_t r = static_cast<size_t>(rel.rule_of(i));
+      pb.RemoveTrial(cur[r]);
+      fn(i, pb.pmf());
+      pb.AddTrial(cur[r]);
+    }
+    for (size_t idx = pos; idx < end; ++idx) {
+      const int i = order[idx];
+      const size_t r = static_cast<size_t>(rel.rule_of(i));
+      pb.RemoveTrial(cur[r]);
+      cur[r] = std::min(cur[r] + rel.tuple(i).prob, 1.0);
+      pb.AddTrial(cur[r]);
+    }
+    pos = end;
+  }
+}
+
+}  // namespace
+
+void ForEachTupleRankDistribution(
+    const TupleRelation& rel, TiePolicy ties,
+    const std::function<void(int, const std::vector<double>&)>& fn) {
+  const int n = rel.size();
+  const int m = rel.num_rules();
+  // Absent branch: |W| given t_i absent is Poisson-binomial over rules,
+  // with t_i's own rule contributing its remaining mass renormalized by
+  // Pr[t_i absent].
+  std::vector<double> rule_sums(static_cast<size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    rule_sums[static_cast<size_t>(r)] = std::min(rel.rule_prob_sum(r), 1.0);
+  }
+  PoissonBinomial pb_all = PoissonBinomial::FromProbs(rule_sums);
+
+  std::vector<double> dist(static_cast<size_t>(n) + 1, 0.0);
+  ForEachAppearBranch(
+      rel, ties, [&](int i, const std::vector<double>& appear) {
+        const TLTuple& t = rel.tuple(i);
+        std::fill(dist.begin(), dist.end(), 0.0);
+        for (size_t c = 0; c < appear.size(); ++c) {
+          dist[c] += t.prob * appear[c];
+        }
+        if (t.prob < 1.0 - kProbEps) {
+          const size_t r = static_cast<size_t>(rel.rule_of(i));
+          const double cond = std::clamp(
+              (rel.rule_prob_sum(static_cast<int>(r)) - t.prob) /
+                  (1.0 - t.prob),
+              0.0, 1.0);
+          pb_all.RemoveTrial(rule_sums[r]);
+          pb_all.AddTrial(cond);
+          const std::vector<double>& absent = pb_all.pmf();
+          for (size_t c = 0; c < absent.size(); ++c) {
+            dist[c] += (1.0 - t.prob) * absent[c];
+          }
+          pb_all.RemoveTrial(cond);
+          pb_all.AddTrial(rule_sums[r]);
+        }
+        fn(i, dist);
+      });
+}
+
+std::vector<std::vector<double>> TupleRankDistributions(
+    const TupleRelation& rel, TiePolicy ties) {
+  std::vector<std::vector<double>> dists(
+      static_cast<size_t>(rel.size()),
+      std::vector<double>(static_cast<size_t>(rel.size()) + 1, 0.0));
+  ForEachTupleRankDistribution(
+      rel, ties, [&](int i, const std::vector<double>& dist) {
+        dists[static_cast<size_t>(i)] = dist;
+      });
+  return dists;
+}
+
+std::vector<std::vector<double>> TuplePositionalProbabilities(
+    const TupleRelation& rel, TiePolicy ties) {
+  std::vector<std::vector<double>> pos(
+      static_cast<size_t>(rel.size()),
+      std::vector<double>(static_cast<size_t>(rel.size()) + 1, 0.0));
+  ForEachAppearBranch(rel, ties,
+                      [&](int i, const std::vector<double>& appear) {
+                        const double p = rel.tuple(i).prob;
+                        auto& row = pos[static_cast<size_t>(i)];
+                        for (size_t c = 0; c < appear.size(); ++c) {
+                          row[c] = p * appear[c];
+                        }
+                      });
+  return pos;
+}
+
+}  // namespace urank

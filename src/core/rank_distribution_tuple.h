@@ -1,0 +1,53 @@
+// Exact per-tuple rank distributions in the tuple-level model
+// (Definition 7; computed as in paper Section 7, tuple-level DP).
+//
+// Conditioned on t_i appearing, each other exclusion rule independently
+// contributes at most one appearing tuple ranked above t_i, so the rank is
+// Poisson-binomial over rules; conditioned on t_i being absent, the rank is
+// |W|, again Poisson-binomial over rules (with t_i's own rule renormalized
+// by the absence of t_i). Mixing the two branches by p(t_i) gives
+// rank(t_i). With incremental add/remove updates of the shared
+// Poisson-binomial state the typical cost is O(M) per tuple after an O(M²)
+// initialization; the worst case matches the paper's O(N M²).
+//
+// Two flavours are exposed:
+//   * TupleRankDistributions — Definition 7 exactly, including the
+//     absent-branch rank |W|; rows have size N+1 and sum to 1. This is the
+//     distribution underlying expected/median/quantile ranks.
+//   * TuplePositionalProbabilities — Pr[t_i appears AND exactly r appearing
+//     tuples rank above it]; rows sum to p(t_i). This is the object the
+//     prior-work semantics (U-kRanks, PT-k, Global-Topk) are defined on,
+//     where an absent tuple occupies no rank.
+
+#ifndef URANK_CORE_RANK_DISTRIBUTION_TUPLE_H_
+#define URANK_CORE_RANK_DISTRIBUTION_TUPLE_H_
+
+#include <functional>
+#include <vector>
+
+#include "model/tuple_model.h"
+#include "model/types.h"
+
+namespace urank {
+
+// Streaming form: invokes `fn(index, dist)` once per tuple with that
+// tuple's Definition-7 rank distribution (size N+1). The buffer passed to
+// `fn` is reused between calls; copy it if it must outlive the callback.
+// Tuples are visited in score order, not index order. Memory stays O(N + M)
+// instead of the O(N²) of the matrix form.
+void ForEachTupleRankDistribution(
+    const TupleRelation& rel, TiePolicy ties,
+    const std::function<void(int, const std::vector<double>&)>& fn);
+
+// result[i][r] = Pr[R(t_i) = r] for r in [0, N]; rows sum to 1.
+std::vector<std::vector<double>> TupleRankDistributions(
+    const TupleRelation& rel, TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// result[i][r] = Pr[t_i present and ranked r-th among appearing tuples],
+// r in [0, N]; rows sum to p(t_i).
+std::vector<std::vector<double>> TuplePositionalProbabilities(
+    const TupleRelation& rel, TiePolicy ties = TiePolicy::kBreakByIndex);
+
+}  // namespace urank
+
+#endif  // URANK_CORE_RANK_DISTRIBUTION_TUPLE_H_

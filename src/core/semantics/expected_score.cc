@@ -1,0 +1,49 @@
+#include "core/semantics/expected_score.h"
+
+#include "util/check.h"
+
+namespace urank {
+namespace {
+
+std::vector<RankedTuple> NegatedTopK(const std::vector<double>& scores,
+                                     const std::vector<int>& ids, int k) {
+  std::vector<double> neg(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) neg[i] = -scores[i];
+  return TopKByStatistic(ids, neg, k);
+}
+
+}  // namespace
+
+std::vector<double> AttrExpectedScores(const AttrRelation& rel) {
+  std::vector<double> scores(static_cast<size_t>(rel.size()), 0.0);
+  for (int i = 0; i < rel.size(); ++i) {
+    scores[static_cast<size_t>(i)] = rel.tuple(i).ExpectedScore();
+  }
+  return scores;
+}
+
+std::vector<double> TupleExpectedScores(const TupleRelation& rel) {
+  std::vector<double> scores(static_cast<size_t>(rel.size()), 0.0);
+  for (int i = 0; i < rel.size(); ++i) {
+    scores[static_cast<size_t>(i)] = rel.tuple(i).prob * rel.tuple(i).score;
+  }
+  return scores;
+}
+
+std::vector<RankedTuple> AttrExpectedScoreTopK(const AttrRelation& rel,
+                                               int k) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  std::vector<int> ids(static_cast<size_t>(rel.size()));
+  for (int i = 0; i < rel.size(); ++i) ids[static_cast<size_t>(i)] = rel.tuple(i).id;
+  return NegatedTopK(AttrExpectedScores(rel), ids, k);
+}
+
+std::vector<RankedTuple> TupleExpectedScoreTopK(const TupleRelation& rel,
+                                                int k) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  std::vector<int> ids(static_cast<size_t>(rel.size()));
+  for (int i = 0; i < rel.size(); ++i) ids[static_cast<size_t>(i)] = rel.tuple(i).id;
+  return NegatedTopK(TupleExpectedScores(rel), ids, k);
+}
+
+}  // namespace urank

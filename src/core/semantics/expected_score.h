@@ -1,0 +1,33 @@
+// Expected-score semantics (paper Section 4.2, "Expected score").
+//
+// Ranks tuples by the expectation of their score contribution: E[X_i] in
+// the attribute-level model, p(t_i)·v_i in the tuple-level model (an absent
+// tuple contributes score 0). Satisfies exact-k, containment, unique
+// ranking and stability, but is sensitive to the score magnitudes and so
+// fails value invariance.
+
+#ifndef URANK_CORE_SEMANTICS_EXPECTED_SCORE_H_
+#define URANK_CORE_SEMANTICS_EXPECTED_SCORE_H_
+
+#include <vector>
+
+#include "core/ranking.h"
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+
+namespace urank {
+
+// Per-tuple expected scores, indexed by tuple position.
+std::vector<double> AttrExpectedScores(const AttrRelation& rel);
+std::vector<double> TupleExpectedScores(const TupleRelation& rel);
+
+// Top-k by descending expected score (ties by smaller id). The reported
+// statistic is the negated expected score, so lower is better as
+// everywhere in the library. Requires k >= 1.
+std::vector<RankedTuple> AttrExpectedScoreTopK(const AttrRelation& rel, int k);
+std::vector<RankedTuple> TupleExpectedScoreTopK(const TupleRelation& rel,
+                                                int k);
+
+}  // namespace urank
+
+#endif  // URANK_CORE_SEMANTICS_EXPECTED_SCORE_H_

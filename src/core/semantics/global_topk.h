@@ -1,0 +1,45 @@
+// Global-Topk semantics (Zhang & Chomicki [48]).
+//
+// Ranks tuples by their top-k probability and returns the k best. Always
+// returns exactly k tuples (when N >= k) but fails containment: the
+// probability being ranked against depends on k itself (paper Section 4.2).
+
+#ifndef URANK_CORE_SEMANTICS_GLOBAL_TOPK_H_
+#define URANK_CORE_SEMANTICS_GLOBAL_TOPK_H_
+
+#include <vector>
+
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+#include "model/types.h"
+
+namespace urank {
+
+// Ids of the k tuples with the highest top-k probability, in descending
+// probability order (ties by smaller id). Requires k >= 1.
+std::vector<int> AttrGlobalTopK(const AttrRelation& rel, int k,
+                                TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<int> TupleGlobalTopK(const TupleRelation& rel, int k,
+                                 TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Result of the early-terminating evaluation: the same answer as
+// TupleGlobalTopK plus the number of tuples the score-ordered scan
+// retrieved.
+struct GlobalTopKPruneResult {
+  std::vector<int> ids;
+  int accessed = 0;
+};
+
+// Early-terminating Global-Topk on the tuple-level model (the
+// Zhang-Chomicki style scan): consume tuples in decreasing score order
+// computing exact top-k probabilities, and stop once no unseen tuple can
+// beat the k-th best seen probability — an unseen tuple's top-k
+// probability is at most Pr[#appearing seen tuples <= k]. Requires k >= 1;
+// the answer always equals TupleGlobalTopK's.
+GlobalTopKPruneResult TupleGlobalTopKPruned(
+    const TupleRelation& rel, int k,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+
+}  // namespace urank
+
+#endif  // URANK_CORE_SEMANTICS_GLOBAL_TOPK_H_

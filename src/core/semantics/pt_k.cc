@@ -1,0 +1,61 @@
+#include "core/semantics/pt_k.h"
+
+#include "core/ranking.h"
+#include "core/semantics/score_sweep.h"
+#include "core/semantics/semantics.h"
+#include "util/check.h"
+
+namespace urank {
+namespace {
+
+std::vector<int> Threshold(const std::vector<double>& probs,
+                           const std::vector<int>& ids, double threshold) {
+  // Order by descending probability via the ascending-statistic helper.
+  std::vector<double> neg(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) neg[i] = -probs[i];
+  std::vector<int> out;
+  for (const RankedTuple& rt : TopKByStatistic(ids, neg, -1)) {
+    if (-rt.statistic >= threshold) out.push_back(rt.id);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> AttrPTk(const AttrRelation& rel, int k, double threshold,
+                         TiePolicy ties) {
+  URANK_CHECK_MSG(threshold > 0.0 && threshold <= 1.0,
+                  "threshold must be in (0,1]");
+  std::vector<int> ids(static_cast<size_t>(rel.size()));
+  for (int i = 0; i < rel.size(); ++i) ids[static_cast<size_t>(i)] = rel.tuple(i).id;
+  return Threshold(AttrTopKProbabilities(rel, k, ties), ids, threshold);
+}
+
+std::vector<int> TuplePTk(const TupleRelation& rel, int k, double threshold,
+                          TiePolicy ties) {
+  URANK_CHECK_MSG(threshold > 0.0 && threshold <= 1.0,
+                  "threshold must be in (0,1]");
+  std::vector<int> ids(static_cast<size_t>(rel.size()));
+  for (int i = 0; i < rel.size(); ++i) ids[static_cast<size_t>(i)] = rel.tuple(i).id;
+  return Threshold(TupleTopKProbabilities(rel, k, ties), ids, threshold);
+}
+
+PTkPruneResult TuplePTkPruned(const TupleRelation& rel, int k,
+                              double threshold, TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  URANK_CHECK_MSG(threshold > 0.0 && threshold <= 1.0,
+                  "threshold must be in (0,1]");
+  ScoreOrderSweep sweep(rel, ties);
+  std::vector<int> seen_ids;
+  std::vector<double> seen_probs;
+  while (sweep.HasNext()) {
+    const int i = sweep.Next();
+    seen_ids.push_back(rel.tuple(i).id);
+    seen_probs.push_back(sweep.TopKProbability(k));
+    // No unseen tuple can reach the threshold once the bound drops below.
+    if (sweep.UnseenTopKBound(k) < threshold) break;
+  }
+  return {Threshold(seen_probs, seen_ids, threshold), sweep.accessed()};
+}
+
+}  // namespace urank

@@ -1,0 +1,47 @@
+// Probabilistic threshold top-k (PT-k) semantics (Hua et al. [23]).
+//
+// Returns every tuple whose top-k probability meets a user threshold p.
+// The answer is a set whose size is usually not k (it violates exact-k and
+// only weakly satisfies containment — paper Section 4.2).
+
+#ifndef URANK_CORE_SEMANTICS_PT_K_H_
+#define URANK_CORE_SEMANTICS_PT_K_H_
+
+#include <vector>
+
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+#include "model/types.h"
+
+namespace urank {
+
+// Ids of all tuples with Pr[in top-k] >= threshold, ordered by descending
+// top-k probability (ties by smaller id). Requires k >= 1 and threshold in
+// (0, 1].
+std::vector<int> AttrPTk(const AttrRelation& rel, int k, double threshold,
+                         TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<int> TuplePTk(const TupleRelation& rel, int k, double threshold,
+                          TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Result of the early-terminating evaluation: the same answer as
+// TuplePTk, plus how many tuples the score-ordered scan retrieved.
+struct PTkPruneResult {
+  std::vector<int> ids;
+  int accessed = 0;
+};
+
+// Early-terminating PT-k on the tuple-level model — the access pattern of
+// Hua et al. [23]: consume tuples in decreasing score order, maintain each
+// seen tuple's exact top-k probability through the shared Poisson-binomial
+// sweep, and stop as soon as no unseen tuple can reach the threshold. The
+// stop test is sound: an unseen tuple is outranked by every appearing
+// tuple scanned so far except at most one own-rule sibling, so its top-k
+// probability is at most Pr[#appearing seen tuples <= k]. Requires k >= 1
+// and threshold in (0, 1]; the answer always equals TuplePTk's.
+PTkPruneResult TuplePTkPruned(const TupleRelation& rel, int k,
+                              double threshold,
+                              TiePolicy ties = TiePolicy::kBreakByIndex);
+
+}  // namespace urank
+
+#endif  // URANK_CORE_SEMANTICS_PT_K_H_

@@ -1,0 +1,68 @@
+#include "core/semantics/score_sweep.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace urank {
+
+ScoreOrderSweep::ScoreOrderSweep(const TupleRelation& rel, TiePolicy ties)
+    : rel_(rel),
+      ties_(ties),
+      stream_(rel),
+      cur_(static_cast<size_t>(rel.num_rules()), 0.0),
+      pb_(PoissonBinomial::FromProbs(
+          std::vector<double>(static_cast<size_t>(rel.num_rules()), 0.0))) {}
+
+void ScoreOrderSweep::FlushPending() {
+  for (int i : pending_) {
+    const size_t r = static_cast<size_t>(rel_.rule_of(i));
+    pb_.RemoveTrial(cur_[r]);
+    cur_[r] = std::min(cur_[r] + rel_.tuple(i).prob, 1.0);
+    pb_.AddTrial(cur_[r]);
+  }
+  pending_.clear();
+}
+
+int ScoreOrderSweep::Next() {
+  URANK_CHECK_MSG(HasNext(), "Next() past the end of the sweep");
+  const int i = stream_.Next();
+  const double score = rel_.tuple(i).score;
+  if (ties_ == TiePolicy::kBreakByIndex) {
+    // Every earlier tuple outranks the new one: flush immediately.
+    FlushPending();
+  } else if (!pending_.empty() && score < pending_score_) {
+    // Strict policy: a run flushes only once the score strictly drops.
+    FlushPending();
+  }
+  pending_.push_back(i);
+  pending_score_ = score;
+  current_ = i;
+  return i;
+}
+
+double ScoreOrderSweep::TopKProbability(int k) {
+  URANK_CHECK_MSG(current_ >= 0, "TopKProbability before Next()");
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  const size_t r = static_cast<size_t>(rel_.rule_of(current_));
+  pb_.RemoveTrial(cur_[r]);
+  const double prob = rel_.tuple(current_).prob * pb_.Cdf(k - 1);
+  pb_.AddTrial(cur_[r]);
+  return prob;
+}
+
+void ScoreOrderSweep::PositionalProbabilities(int max_ranks,
+                                              std::vector<double>* out) {
+  URANK_CHECK_MSG(current_ >= 0, "PositionalProbabilities before Next()");
+  URANK_CHECK_MSG(max_ranks >= 1, "max_ranks must be >= 1");
+  out->assign(static_cast<size_t>(max_ranks), 0.0);
+  const size_t r = static_cast<size_t>(rel_.rule_of(current_));
+  const double p = rel_.tuple(current_).prob;
+  pb_.RemoveTrial(cur_[r]);
+  for (int rank = 0; rank < max_ranks; ++rank) {
+    (*out)[static_cast<size_t>(rank)] = p * pb_.Pmf(rank);
+  }
+  pb_.AddTrial(cur_[r]);
+}
+
+}  // namespace urank

@@ -1,0 +1,75 @@
+// Shared machinery for the early-terminating ("threshold-style")
+// algorithms over the tuple-level model: a score-ordered scan that
+// maintains, incrementally, the Poisson-binomial distribution of the
+// number of appearing tuples ranked above the scan position.
+//
+// Invariants exposed to clients:
+//   * For the tuple just returned by Next(), the sweep state excludes its
+//     own exclusion rule on request, so TopKProbability / positional
+//     probabilities are exact.
+//   * For every not-yet-returned tuple, each flushed (already swept)
+//     appearing tuple outranks it except at most one own-rule sibling, so
+//     Pr[unseen tuple in top-k] <= Pr[#appearing flushed <= k]
+//     (UnseenTopKBound) and Pr[unseen tuple at rank r] <=
+//     Pr[#appearing flushed <= r + 1] (UnseenRankBound). Both bounds are
+//     sound under either tie policy.
+//
+// Used by TuplePTkPruned, TupleGlobalTopKPruned and TupleUKRanksPruned.
+
+#ifndef URANK_CORE_SEMANTICS_SCORE_SWEEP_H_
+#define URANK_CORE_SEMANTICS_SCORE_SWEEP_H_
+
+#include <vector>
+
+#include "core/access.h"
+#include "model/tuple_model.h"
+#include "model/types.h"
+#include "util/poisson_binomial.h"
+
+namespace urank {
+
+// Single-pass sweep; construct once per query.
+class ScoreOrderSweep {
+ public:
+  ScoreOrderSweep(const TupleRelation& rel, TiePolicy ties);
+
+  bool HasNext() const { return stream_.HasNext(); }
+
+  // Advances to the next tuple in rank order and returns its index into
+  // the relation. Requires HasNext().
+  int Next();
+
+  // Exact Pr[current tuple appears among the k highest-ranked appearing
+  // tuples]. Requires a preceding Next() and k >= 1.
+  double TopKProbability(int k);
+
+  // Exact Pr[current tuple appears at exactly rank r], for r in
+  // [0, max_ranks); written into `out` (resized to max_ranks). Requires a
+  // preceding Next() and max_ranks >= 1.
+  void PositionalProbabilities(int max_ranks, std::vector<double>* out);
+
+  // Upper bound on Pr[t in top-k] for every tuple not yet returned.
+  double UnseenTopKBound(int k) const { return pb_.Cdf(k); }
+
+  // Upper bound on Pr[t at rank r] for every tuple not yet returned.
+  double UnseenRankBound(int r) const { return pb_.Cdf(r + 1); }
+
+  // Tuples retrieved so far.
+  int accessed() const { return stream_.accessed(); }
+
+ private:
+  void FlushPending();
+
+  const TupleRelation& rel_;
+  TiePolicy ties_;
+  SortedTupleStream stream_;
+  std::vector<double> cur_;  // per rule: flushed (above-current) mass
+  PoissonBinomial pb_;       // one trial per rule, probability cur_[r]
+  std::vector<int> pending_;  // current equal-score run, not yet flushed
+  double pending_score_ = 0.0;
+  int current_ = -1;
+};
+
+}  // namespace urank
+
+#endif  // URANK_CORE_SEMANTICS_SCORE_SWEEP_H_

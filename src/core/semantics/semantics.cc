@@ -1,0 +1,41 @@
+#include "core/semantics/semantics.h"
+
+#include <algorithm>
+
+#include "core/rank_distribution_attr.h"
+#include "core/rank_distribution_tuple.h"
+#include "util/check.h"
+
+namespace urank {
+
+std::vector<double> AttrTopKProbabilities(const AttrRelation& rel, int k,
+                                          TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  std::vector<double> probs(static_cast<size_t>(rel.size()), 0.0);
+  for (int i = 0; i < rel.size(); ++i) {
+    const std::vector<double> dist = AttrRankDistribution(rel, i, ties);
+    double cdf = 0.0;
+    const int hi = std::min(k, static_cast<int>(dist.size()));
+    for (int r = 0; r < hi; ++r) cdf += dist[static_cast<size_t>(r)];
+    probs[static_cast<size_t>(i)] = std::min(cdf, 1.0);
+  }
+  return probs;
+}
+
+std::vector<double> TupleTopKProbabilities(const TupleRelation& rel, int k,
+                                           TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  const std::vector<std::vector<double>> pos =
+      TuplePositionalProbabilities(rel, ties);
+  std::vector<double> probs(static_cast<size_t>(rel.size()), 0.0);
+  for (int i = 0; i < rel.size(); ++i) {
+    const auto& row = pos[static_cast<size_t>(i)];
+    double cdf = 0.0;
+    const int hi = std::min(k, static_cast<int>(row.size()));
+    for (int r = 0; r < hi; ++r) cdf += row[static_cast<size_t>(r)];
+    probs[static_cast<size_t>(i)] = std::min(cdf, 1.0);
+  }
+  return probs;
+}
+
+}  // namespace urank

@@ -1,0 +1,34 @@
+// Shared building blocks for the prior-work ranking semantics
+// (paper Section 4.2): per-tuple top-k membership probabilities.
+//
+// The top-k probability of a tuple is the probability, across all possible
+// worlds, that the tuple appears among the k highest-scored appearing
+// tuples. In the attribute-level model every tuple appears in every world,
+// so this is the cdf of its rank distribution at k-1; in the tuple-level
+// model it is the sum of the first k positional probabilities (presence
+// required). PT-k and Global-Topk are thin layers over these values.
+
+#ifndef URANK_CORE_SEMANTICS_SEMANTICS_H_
+#define URANK_CORE_SEMANTICS_SEMANTICS_H_
+
+#include <vector>
+
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+#include "model/types.h"
+
+namespace urank {
+
+// result[i] = Pr[t_i is in the top-k], indexed by tuple position.
+// Requires k >= 1. O(s N³) attribute-level, O(N M²) worst-case tuple-level
+// (the exact rank-distribution DPs).
+std::vector<double> AttrTopKProbabilities(
+    const AttrRelation& rel, int k,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<double> TupleTopKProbabilities(
+    const TupleRelation& rel, int k,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+
+}  // namespace urank
+
+#endif  // URANK_CORE_SEMANTICS_SEMANTICS_H_

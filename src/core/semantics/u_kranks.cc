@@ -1,0 +1,87 @@
+#include "core/semantics/u_kranks.h"
+
+#include "core/rank_distribution_attr.h"
+#include "core/rank_distribution_tuple.h"
+#include "core/semantics/score_sweep.h"
+#include "util/check.h"
+
+namespace urank {
+namespace {
+
+// Winner per rank from positional probability rows: rows[i][r] =
+// Pr[t_i occupies rank r]. Zero-probability ranks report -1.
+std::vector<int> WinnersPerRank(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<int>& ids, int k) {
+  std::vector<int> winners(static_cast<size_t>(k), -1);
+  std::vector<double> best(static_cast<size_t>(k), 0.0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const size_t hi = std::min(static_cast<size_t>(k), row.size());
+    for (size_t r = 0; r < hi; ++r) {
+      if (row[r] > best[r] ||
+          (row[r] == best[r] && row[r] > 0.0 && winners[r] >= 0 &&
+           ids[i] < winners[r])) {
+        best[r] = row[r];
+        winners[r] = ids[i];
+      }
+    }
+  }
+  return winners;
+}
+
+}  // namespace
+
+std::vector<int> AttrUKRanks(const AttrRelation& rel, int k, TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  std::vector<std::vector<double>> rows = AttrRankDistributions(rel, ties);
+  std::vector<int> ids(static_cast<size_t>(rel.size()));
+  for (int i = 0; i < rel.size(); ++i) ids[static_cast<size_t>(i)] = rel.tuple(i).id;
+  return WinnersPerRank(rows, ids, k);
+}
+
+std::vector<int> TupleUKRanks(const TupleRelation& rel, int k,
+                              TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  std::vector<std::vector<double>> rows =
+      TuplePositionalProbabilities(rel, ties);
+  std::vector<int> ids(static_cast<size_t>(rel.size()));
+  for (int i = 0; i < rel.size(); ++i) ids[static_cast<size_t>(i)] = rel.tuple(i).id;
+  return WinnersPerRank(rows, ids, k);
+}
+
+UKRanksPruneResult TupleUKRanksPruned(const TupleRelation& rel, int k,
+                                      TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  ScoreOrderSweep sweep(rel, ties);
+  std::vector<int> winners(static_cast<size_t>(k), -1);
+  std::vector<double> best(static_cast<size_t>(k), 0.0);
+  std::vector<double> positional;
+  while (sweep.HasNext()) {
+    const int i = sweep.Next();
+    const int id = rel.tuple(i).id;
+    sweep.PositionalProbabilities(k, &positional);
+    for (int r = 0; r < k; ++r) {
+      const double p = positional[static_cast<size_t>(r)];
+      if (p > best[static_cast<size_t>(r)] ||
+          (p == best[static_cast<size_t>(r)] && p > 0.0 &&
+           winners[static_cast<size_t>(r)] >= 0 &&
+           id < winners[static_cast<size_t>(r)])) {
+        best[static_cast<size_t>(r)] = p;
+        winners[static_cast<size_t>(r)] = id;
+      }
+    }
+    // Stop once every rank's current winner strictly dominates the bound
+    // achievable by any unseen tuple.
+    bool done = true;
+    for (int r = 0; r < k && done; ++r) {
+      if (sweep.UnseenRankBound(r) >= best[static_cast<size_t>(r)]) {
+        done = false;
+      }
+    }
+    if (done) break;
+  }
+  return {winners, sweep.accessed()};
+}
+
+}  // namespace urank

@@ -1,0 +1,50 @@
+// U-kRanks semantics (Soliman et al. [42]; also PRank of Lian & Chen [30]).
+//
+// The answer's i-th entry is the tuple most likely to be ranked i-th over
+// all possible worlds. The same tuple may win several positions, and a
+// position may be unreachable (e.g. a tuple-level world that never holds i
+// appearing tuples); both behaviours are exactly why this definition fails
+// the unique-ranking and exact-k properties (paper Section 4.2).
+
+#ifndef URANK_CORE_SEMANTICS_U_KRANKS_H_
+#define URANK_CORE_SEMANTICS_U_KRANKS_H_
+
+#include <vector>
+
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+#include "model/types.h"
+
+namespace urank {
+
+// answer[r] (0-based rank r < k) is the id of argmax_i Pr[t_i at rank r],
+// with ties broken by smaller id, or -1 when no tuple can occupy rank r.
+// Requires k >= 1. In the tuple-level model "at rank r" requires the tuple
+// to appear in the world (the original definition).
+std::vector<int> AttrUKRanks(const AttrRelation& rel, int k,
+                             TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<int> TupleUKRanks(const TupleRelation& rel, int k,
+                              TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Result of the early-terminating evaluation: the same answer as
+// TupleUKRanks plus the number of tuples the score-ordered scan retrieved.
+struct UKRanksPruneResult {
+  std::vector<int> ids;
+  int accessed = 0;
+};
+
+// Early-terminating U-kRanks on the tuple-level model (in the spirit of
+// Soliman et al.'s optimized scan): consume tuples in decreasing score
+// order, compute each tuple's exact positional probabilities, and stop
+// when no unseen tuple can win any of the k positions — an unseen tuple's
+// probability at rank r is at most Pr[#appearing seen tuples <= r + 1].
+// Positions whose best seen probability is 0 keep the scan alive to the
+// end (an unseen tuple might still claim them). Requires k >= 1; the
+// answer always equals TupleUKRanks'.
+UKRanksPruneResult TupleUKRanksPruned(
+    const TupleRelation& rel, int k,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+
+}  // namespace urank
+
+#endif  // URANK_CORE_SEMANTICS_U_KRANKS_H_

@@ -1,0 +1,50 @@
+#include "gen/attr_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace urank {
+
+AttrRelation GenerateAttrRelation(const AttrGenConfig& config) {
+  URANK_CHECK_MSG(config.num_tuples >= 0, "num_tuples must be >= 0");
+  URANK_CHECK_MSG(config.pdf_size >= 1, "pdf_size must be >= 1");
+  URANK_CHECK_MSG(config.value_spread >= 0.0, "value_spread must be >= 0");
+  Rng rng(config.seed);
+  std::vector<double> centres =
+      GenerateScores(config.num_tuples, config.score_dist, config.score_scale,
+                     config.zipf_theta, rng);
+  std::vector<AttrTuple> tuples;
+  tuples.reserve(static_cast<size_t>(config.num_tuples));
+  for (int i = 0; i < config.num_tuples; ++i) {
+    AttrTuple t;
+    t.id = i;
+    const double centre = centres[static_cast<size_t>(i)];
+    std::unordered_set<double> used;
+    std::vector<double> probs =
+        rng.RandomSimplex(config.pdf_size, 1.0);
+    t.pdf.reserve(static_cast<size_t>(config.pdf_size));
+    for (int l = 0; l < config.pdf_size; ++l) {
+      // Support values must be distinct within a tuple and strictly
+      // positive (the pruning algorithms' Markov bounds require positive
+      // scores); nudge duplicates, floor at a small epsilon.
+      double v = config.value_spread > 0.0
+                     ? centre + rng.Uniform(-config.value_spread,
+                                            config.value_spread)
+                     : centre;
+      v = std::max(v, 1e-3);
+      // Separate duplicates by a relative epsilon (not a single ulp, so
+      // downstream order-preserving shifts keep them distinct).
+      while (!used.insert(v).second) {
+        v += std::max(1e-9, v * 1e-9);
+      }
+      t.pdf.push_back({v, probs[static_cast<size_t>(l)]});
+    }
+    tuples.push_back(std::move(t));
+  }
+  return AttrRelation(std::move(tuples));
+}
+
+}  // namespace urank

@@ -1,0 +1,36 @@
+// Synthetic attribute-level relations (paper Section 8 workloads).
+//
+// Each tuple gets a discrete score pdf: a centre drawn from the configured
+// score distribution, `pdf_size` distinct support values spread around the
+// centre, and probabilities drawn from the probability simplex. This mirrors
+// the paper's synthetic uncertain relations with bounded pdf size s.
+
+#ifndef URANK_GEN_ATTR_GEN_H_
+#define URANK_GEN_ATTR_GEN_H_
+
+#include <cstdint>
+
+#include "gen/score_gen.h"
+#include "model/attr_model.h"
+
+namespace urank {
+
+// Knobs for GenerateAttrRelation. Defaults produce the paper's baseline
+// workload: N=10k uniform scores, s=5.
+struct AttrGenConfig {
+  int num_tuples = 10000;   // N; >= 0
+  int pdf_size = 5;         // s, support points per tuple; >= 1
+  ScoreDistribution score_dist = ScoreDistribution::kUniform;
+  double zipf_theta = 1.0;  // skew when score_dist == kZipf
+  double score_scale = 1000.0;  // score universe is ~[0, score_scale]
+  double value_spread = 50.0;   // half-width of a tuple's support around its
+                                // centre; >= 0
+  uint64_t seed = 1;
+};
+
+// Generates a valid attribute-level relation with tuple ids 0..N-1.
+AttrRelation GenerateAttrRelation(const AttrGenConfig& config);
+
+}  // namespace urank
+
+#endif  // URANK_GEN_ATTR_GEN_H_

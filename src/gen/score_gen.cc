@@ -1,0 +1,92 @@
+#include "gen/score_gen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/zipf.h"
+
+namespace urank {
+
+std::vector<double> GenerateScores(int n, ScoreDistribution dist, double scale,
+                                   double zipf_theta, Rng& rng) {
+  URANK_CHECK_MSG(n >= 0, "n must be >= 0");
+  URANK_CHECK_MSG(scale > 0.0, "scale must be > 0");
+  std::vector<double> scores(static_cast<size_t>(n));
+  switch (dist) {
+    case ScoreDistribution::kUniform:
+      for (double& s : scores) s = rng.Uniform(0.0, scale);
+      break;
+    case ScoreDistribution::kNormal:
+      for (double& s : scores) {
+        s = std::clamp(rng.Normal(scale / 2.0, scale / 8.0), 0.0, scale);
+      }
+      break;
+    case ScoreDistribution::kZipf: {
+      if (n == 0) break;
+      ZipfDistribution zipf(n, zipf_theta);
+      for (double& s : scores) {
+        s = scale / static_cast<double>(zipf.Sample(rng));
+      }
+      break;
+    }
+  }
+  return scores;
+}
+
+std::vector<double> GenerateProbabilities(const std::vector<double>& scores,
+                                          Correlation correlation,
+                                          double prob_lo, double prob_hi,
+                                          Rng& rng) {
+  URANK_CHECK_MSG(prob_lo > 0.0 && prob_lo <= prob_hi && prob_hi <= 1.0,
+                  "require 0 < prob_lo <= prob_hi <= 1");
+  const size_t n = scores.size();
+  std::vector<double> probs(n);
+  if (correlation == Correlation::kIndependent) {
+    for (double& p : probs) p = rng.Uniform(prob_lo, prob_hi + 1e-12);
+    for (double& p : probs) p = std::min(p, prob_hi);
+    return probs;
+  }
+  // Percentile of each score among all scores (average-free: rank / (n-1)).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] < scores[b];
+    return a < b;
+  });
+  for (size_t pos = 0; pos < n; ++pos) {
+    double pct = n > 1 ? static_cast<double>(pos) / static_cast<double>(n - 1)
+                       : 0.5;
+    if (correlation == Correlation::kNegative) pct = 1.0 - pct;
+    // 80% signal, 20% noise keeps the correlation strong but not exact.
+    const double blended = 0.8 * pct + 0.2 * rng.Uniform01();
+    probs[order[pos]] = prob_lo + (prob_hi - prob_lo) * blended;
+  }
+  return probs;
+}
+
+const char* ToString(ScoreDistribution dist) {
+  switch (dist) {
+    case ScoreDistribution::kUniform:
+      return "uniform";
+    case ScoreDistribution::kNormal:
+      return "normal";
+    case ScoreDistribution::kZipf:
+      return "zipf";
+  }
+  return "?";
+}
+
+const char* ToString(Correlation correlation) {
+  switch (correlation) {
+    case Correlation::kIndependent:
+      return "independent";
+    case Correlation::kPositive:
+      return "positive";
+    case Correlation::kNegative:
+      return "negative";
+  }
+  return "?";
+}
+
+}  // namespace urank

@@ -1,0 +1,54 @@
+// Score-value synthesis shared by the attribute-level and tuple-level
+// workload generators.
+//
+// Mirrors the paper's synthetic workloads: score universes drawn from a
+// uniform, normal ("norm"), or Zipfian ("zipf") distribution, and existence
+// probabilities that are independent of, positively correlated with, or
+// anti-correlated with the score.
+
+#ifndef URANK_GEN_SCORE_GEN_H_
+#define URANK_GEN_SCORE_GEN_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace urank {
+
+// Marginal distribution of generated score values.
+enum class ScoreDistribution {
+  kUniform,  // uniform on [0, scale)
+  kNormal,   // normal centred at scale/2, stddev scale/8, clamped to [0, scale]
+  kZipf,     // scale / zipf_rank with rank ~ Zipf(theta) over {1..n}
+};
+
+// Relationship between a tuple's score and its existence probability.
+enum class Correlation {
+  kIndependent,  // probability drawn independently of score
+  kPositive,     // higher scores get higher probabilities
+  kNegative,     // higher scores get lower probabilities
+};
+
+// Draws `n` scores from `dist`. `scale` stretches the universe;
+// `zipf_theta` is the skew for kZipf (ignored otherwise). Requires n >= 0,
+// scale > 0, zipf_theta >= 0.
+std::vector<double> GenerateScores(int n, ScoreDistribution dist, double scale,
+                                   double zipf_theta, Rng& rng);
+
+// Maps scores to existence probabilities in [prob_lo, prob_hi] under the
+// given correlation mode. Independent mode ignores the scores. Correlated
+// modes rank the scores and blend the (anti-)rank percentile with uniform
+// noise, so the correlation is strong but not degenerate. Requires
+// 0 < prob_lo <= prob_hi <= 1.
+std::vector<double> GenerateProbabilities(const std::vector<double>& scores,
+                                          Correlation correlation,
+                                          double prob_lo, double prob_hi,
+                                          Rng& rng);
+
+// Human-readable names for bench/table output.
+const char* ToString(ScoreDistribution dist);
+const char* ToString(Correlation correlation);
+
+}  // namespace urank
+
+#endif  // URANK_GEN_SCORE_GEN_H_

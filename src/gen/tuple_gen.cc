@@ -1,0 +1,62 @@
+#include "gen/tuple_gen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace urank {
+
+TupleRelation GenerateTupleRelation(const TupleGenConfig& config) {
+  URANK_CHECK_MSG(config.num_tuples >= 0, "num_tuples must be >= 0");
+  URANK_CHECK_MSG(
+      config.multi_rule_fraction >= 0.0 && config.multi_rule_fraction <= 1.0,
+      "multi_rule_fraction must be in [0,1]");
+  URANK_CHECK_MSG(config.multi_rule_fraction == 0.0 || config.max_rule_size >= 2,
+                  "max_rule_size must be >= 2 for multi-tuple rules");
+  Rng rng(config.seed);
+  std::vector<double> scores =
+      GenerateScores(config.num_tuples, config.score_dist, config.score_scale,
+                     config.zipf_theta, rng);
+  std::vector<double> probs = GenerateProbabilities(
+      scores, config.correlation, config.prob_lo, config.prob_hi, rng);
+
+  std::vector<TLTuple> tuples;
+  tuples.reserve(static_cast<size_t>(config.num_tuples));
+  for (int i = 0; i < config.num_tuples; ++i) {
+    tuples.push_back({i, scores[static_cast<size_t>(i)],
+                      probs[static_cast<size_t>(i)]});
+  }
+
+  // Pick which tuples join multi-tuple rules, then cut that pool into
+  // random-size groups.
+  std::vector<int> pool(static_cast<size_t>(config.num_tuples));
+  std::iota(pool.begin(), pool.end(), 0);
+  rng.Shuffle(pool);
+  const int in_rules = static_cast<int>(config.multi_rule_fraction *
+                                        static_cast<double>(config.num_tuples));
+  std::vector<std::vector<int>> rules;
+  int consumed = 0;
+  while (consumed + 2 <= in_rules) {
+    const int want =
+        static_cast<int>(rng.UniformInt(2, config.max_rule_size));
+    const int size = std::min(want, in_rules - consumed);
+    if (size < 2) break;
+    std::vector<int> members(pool.begin() + consumed,
+                             pool.begin() + consumed + size);
+    consumed += size;
+    // Rescale member probabilities when the rule would be over-full.
+    double sum = 0.0;
+    for (int idx : members) sum += tuples[static_cast<size_t>(idx)].prob;
+    if (sum > 1.0) {
+      const double scale = (1.0 - 1e-6) / sum;
+      for (int idx : members) tuples[static_cast<size_t>(idx)].prob *= scale;
+    }
+    rules.push_back(std::move(members));
+  }
+  // Remaining tuples get implicit singleton rules inside TupleRelation.
+  return TupleRelation(std::move(tuples), std::move(rules));
+}
+
+}  // namespace urank

@@ -1,0 +1,44 @@
+// Synthetic tuple-level relations with exclusion rules (paper Section 8
+// workloads).
+//
+// Scores come from the configured distribution; existence probabilities come
+// from GenerateProbabilities under the chosen score/probability correlation;
+// tuples are then partitioned into exclusion rules. Rule membership is
+// random, rule sizes are uniform in [2, max_rule_size], and a configurable
+// fraction of tuples participates in multi-tuple rules (the rest get
+// singleton rules). Probabilities within a rule are rescaled when they sum
+// above 1 so the rule remains a valid distribution.
+
+#ifndef URANK_GEN_TUPLE_GEN_H_
+#define URANK_GEN_TUPLE_GEN_H_
+
+#include <cstdint>
+
+#include "gen/score_gen.h"
+#include "model/tuple_model.h"
+
+namespace urank {
+
+// Knobs for GenerateTupleRelation. Defaults produce the paper's baseline
+// tuple-level workload: N=10k, uniform scores, independent probabilities in
+// [0.2, 1], 30% of tuples in rules of size up to 3.
+struct TupleGenConfig {
+  int num_tuples = 10000;  // N; >= 0
+  ScoreDistribution score_dist = ScoreDistribution::kUniform;
+  double zipf_theta = 1.0;
+  double score_scale = 1000.0;
+  Correlation correlation = Correlation::kIndependent;
+  double prob_lo = 0.2;  // existence probabilities drawn from [prob_lo,
+  double prob_hi = 1.0;  // prob_hi]; 0 < prob_lo <= prob_hi <= 1
+  double multi_rule_fraction = 0.3;  // fraction of tuples in multi-tuple
+                                     // rules; in [0, 1]
+  int max_rule_size = 3;             // >= 2 when multi_rule_fraction > 0
+  uint64_t seed = 1;
+};
+
+// Generates a valid tuple-level relation with tuple ids 0..N-1.
+TupleRelation GenerateTupleRelation(const TupleGenConfig& config);
+
+}  // namespace urank
+
+#endif  // URANK_GEN_TUPLE_GEN_H_

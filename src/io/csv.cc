@@ -1,0 +1,204 @@
+#include "io/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace urank {
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool FailAtLine(std::string* error, int line, const std::string& message) {
+  return Fail(error, "line " + std::to_string(line) + ": " + message);
+}
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  std::istringstream in(s);
+  while (std::getline(in, cur, sep)) parts.push_back(cur);
+  if (!s.empty() && s.back() == sep) parts.push_back("");
+  return parts;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  const std::string t = Trim(s);
+  if (t.empty()) return false;
+  size_t consumed = 0;
+  try {
+    *out = std::stod(t, &consumed);
+  } catch (...) {
+    return false;
+  }
+  return consumed == t.size();
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  const std::string t = Trim(s);
+  if (t.empty()) return false;
+  size_t consumed = 0;
+  try {
+    *out = std::stoi(t, &consumed);
+  } catch (...) {
+    return false;
+  }
+  return consumed == t.size();
+}
+
+// Maximum precision round-trippable formatting for doubles.
+std::string FormatExact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool ReadAttrRelation(std::istream& in, AttrRelation* out,
+                      std::string* error) {
+  std::vector<AttrTuple> tuples;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::vector<std::string> fields = Split(trimmed, ',');
+    if (fields.size() != 2) {
+      return FailAtLine(error, line_no, "expected 'id,pdf'");
+    }
+    AttrTuple t;
+    if (!ParseInt(fields[0], &t.id)) {
+      return FailAtLine(error, line_no, "bad tuple id '" + fields[0] + "'");
+    }
+    for (const std::string& entry : Split(fields[1], ';')) {
+      const std::vector<std::string> vp = Split(entry, ':');
+      ScoreValue sv;
+      if (vp.size() != 2 || !ParseDouble(vp[0], &sv.value) ||
+          !ParseDouble(vp[1], &sv.prob)) {
+        return FailAtLine(error, line_no,
+                          "bad pdf entry '" + entry + "' (want value:prob)");
+      }
+      t.pdf.push_back(sv);
+    }
+    tuples.push_back(std::move(t));
+  }
+  std::string validation;
+  if (!AttrRelation::Validate(tuples, &validation)) {
+    return Fail(error, "invalid relation: " + validation);
+  }
+  *out = AttrRelation(std::move(tuples));
+  return true;
+}
+
+void WriteAttrRelation(const AttrRelation& rel, std::ostream& out) {
+  out << "# urank attribute-level relation: id,v1:p1;v2:p2;...\n";
+  for (const AttrTuple& t : rel.tuples()) {
+    out << t.id << ',';
+    for (size_t l = 0; l < t.pdf.size(); ++l) {
+      if (l > 0) out << ';';
+      out << FormatExact(t.pdf[l].value) << ':' << FormatExact(t.pdf[l].prob);
+    }
+    out << '\n';
+  }
+}
+
+bool ReadTupleRelation(std::istream& in, TupleRelation* out,
+                       std::string* error) {
+  std::vector<TLTuple> tuples;
+  std::map<int, std::vector<int>> rule_groups;  // label -> tuple indexes
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::vector<std::string> fields = Split(trimmed, ',');
+    if (fields.size() != 4) {
+      return FailAtLine(error, line_no, "expected 'id,score,prob,rule'");
+    }
+    TLTuple t;
+    int rule_label = -1;
+    if (!ParseInt(fields[0], &t.id) || !ParseDouble(fields[1], &t.score) ||
+        !ParseDouble(fields[2], &t.prob) ||
+        !ParseInt(fields[3], &rule_label)) {
+      return FailAtLine(error, line_no, "unparsable field");
+    }
+    const int index = static_cast<int>(tuples.size());
+    tuples.push_back(t);
+    if (rule_label >= 0) rule_groups[rule_label].push_back(index);
+  }
+  std::vector<std::vector<int>> rules;
+  rules.reserve(rule_groups.size());
+  for (auto& [label, members] : rule_groups) {
+    rules.push_back(std::move(members));
+  }
+  std::string validation;
+  if (!TupleRelation::Validate(tuples, rules, &validation)) {
+    return Fail(error, "invalid relation: " + validation);
+  }
+  *out = TupleRelation(std::move(tuples), std::move(rules));
+  return true;
+}
+
+void WriteTupleRelation(const TupleRelation& rel, std::ostream& out) {
+  out << "# urank tuple-level relation: id,score,prob,rule (-1 = "
+         "independent)\n";
+  for (int i = 0; i < rel.size(); ++i) {
+    const TLTuple& t = rel.tuple(i);
+    const int rule = rel.rule_of(i);
+    const bool singleton = rel.rule(rule).size() == 1;
+    out << t.id << ',' << FormatExact(t.score) << ',' << FormatExact(t.prob)
+        << ',' << (singleton ? -1 : rule) << '\n';
+  }
+}
+
+bool LoadAttrRelation(const std::string& path, AttrRelation* out,
+                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) return Fail(error, "cannot open '" + path + "' for reading");
+  return ReadAttrRelation(in, out, error);
+}
+
+bool SaveAttrRelation(const AttrRelation& rel, const std::string& path,
+                      std::string* error) {
+  std::ofstream out(path);
+  if (!out) return Fail(error, "cannot open '" + path + "' for writing");
+  WriteAttrRelation(rel, out);
+  out.flush();
+  if (!out) return Fail(error, "write to '" + path + "' failed");
+  return true;
+}
+
+bool LoadTupleRelation(const std::string& path, TupleRelation* out,
+                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) return Fail(error, "cannot open '" + path + "' for reading");
+  return ReadTupleRelation(in, out, error);
+}
+
+bool SaveTupleRelation(const TupleRelation& rel, const std::string& path,
+                       std::string* error) {
+  std::ofstream out(path);
+  if (!out) return Fail(error, "cannot open '" + path + "' for writing");
+  WriteTupleRelation(rel, out);
+  out.flush();
+  if (!out) return Fail(error, "write to '" + path + "' failed");
+  return true;
+}
+
+}  // namespace urank

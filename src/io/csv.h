@@ -1,0 +1,51 @@
+// Plain-text (CSV-style) persistence for uncertain relations.
+//
+// Attribute-level format — one line per tuple:
+//
+//   id,v1:p1;v2:p2;...;vs:ps
+//
+// Tuple-level format — one line per tuple:
+//
+//   id,score,prob,rule
+//
+// where `rule` is an arbitrary non-negative label grouping mutually
+// exclusive tuples, or -1 for an independent (singleton-rule) tuple.
+// Lines starting with '#' and blank lines are ignored. All loaders
+// validate through the model constructors' rules and report the first
+// problem (with its line number) instead of aborting.
+
+#ifndef URANK_IO_CSV_H_
+#define URANK_IO_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+
+namespace urank {
+
+// Stream-based parsing/serialization (the file helpers wrap these; they
+// are exposed for testing and for embedding in other transports).
+bool ReadAttrRelation(std::istream& in, AttrRelation* out,
+                      std::string* error);
+void WriteAttrRelation(const AttrRelation& rel, std::ostream& out);
+bool ReadTupleRelation(std::istream& in, TupleRelation* out,
+                       std::string* error);
+void WriteTupleRelation(const TupleRelation& rel, std::ostream& out);
+
+// File helpers. Return true on success; otherwise false with a
+// description (IO failure or parse/validation error) in `error` when
+// non-null.
+bool LoadAttrRelation(const std::string& path, AttrRelation* out,
+                      std::string* error);
+bool SaveAttrRelation(const AttrRelation& rel, const std::string& path,
+                      std::string* error);
+bool LoadTupleRelation(const std::string& path, TupleRelation* out,
+                       std::string* error);
+bool SaveTupleRelation(const TupleRelation& rel, const std::string& path,
+                       std::string* error);
+
+}  // namespace urank
+
+#endif  // URANK_IO_CSV_H_

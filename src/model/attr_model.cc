@@ -1,0 +1,116 @@
+#include "model/attr_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace urank {
+namespace {
+
+// Tolerance for "probabilities sum to 1" checks; generators produce sums
+// accurate to round-off, and hand-written relations are exact.
+constexpr double kProbSumTolerance = 1e-9;
+
+}  // namespace
+
+double AttrTuple::ExpectedScore() const {
+  double e = 0.0;
+  for (const ScoreValue& sv : pdf) e += sv.value * sv.prob;
+  return e;
+}
+
+double AttrTuple::PrGreater(double v) const {
+  double p = 0.0;
+  for (const ScoreValue& sv : pdf) {
+    if (sv.value > v) p += sv.prob;
+  }
+  return p;
+}
+
+double AttrTuple::PrGreaterEqual(double v) const {
+  double p = 0.0;
+  for (const ScoreValue& sv : pdf) {
+    if (sv.value >= v) p += sv.prob;
+  }
+  return p;
+}
+
+double AttrTuple::PrEqual(double v) const {
+  double p = 0.0;
+  for (const ScoreValue& sv : pdf) {
+    if (sv.value == v) p += sv.prob;
+  }
+  return p;
+}
+
+AttrRelation::AttrRelation(std::vector<AttrTuple> tuples)
+    : tuples_(std::move(tuples)) {
+  std::string error;
+  URANK_CHECK_MSG(Validate(tuples_, &error), error.c_str());
+}
+
+bool AttrRelation::Validate(const std::vector<AttrTuple>& tuples,
+                            std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::unordered_set<int> ids;
+  for (const AttrTuple& t : tuples) {
+    if (!ids.insert(t.id).second) {
+      return fail("duplicate tuple id " + std::to_string(t.id));
+    }
+    if (t.pdf.empty()) {
+      return fail("tuple " + std::to_string(t.id) + " has an empty pdf");
+    }
+    double sum = 0.0;
+    std::unordered_set<double> values;
+    for (const ScoreValue& sv : t.pdf) {
+      if (!(sv.prob > 0.0) || sv.prob > 1.0 + kProbSumTolerance) {
+        return fail("tuple " + std::to_string(t.id) +
+                    " has a probability outside (0,1]");
+      }
+      if (!std::isfinite(sv.value)) {
+        return fail("tuple " + std::to_string(t.id) +
+                    " has a non-finite score value");
+      }
+      if (!values.insert(sv.value).second) {
+        return fail("tuple " + std::to_string(t.id) +
+                    " repeats a score value in its pdf");
+      }
+      sum += sv.prob;
+    }
+    if (std::fabs(sum - 1.0) > kProbSumTolerance) {
+      return fail("tuple " + std::to_string(t.id) +
+                  " pdf probabilities sum to " + std::to_string(sum) +
+                  ", expected 1");
+    }
+  }
+  return true;
+}
+
+int AttrRelation::max_pdf_size() const {
+  int s = 0;
+  for (const AttrTuple& t : tuples_) {
+    s = std::max(s, static_cast<int>(t.pdf.size()));
+  }
+  return s;
+}
+
+long long AttrRelation::NumWorlds() const {
+  long long worlds = 1;
+  for (const AttrTuple& t : tuples_) {
+    const long long s = static_cast<long long>(t.pdf.size());
+    if (worlds > std::numeric_limits<long long>::max() / s) {
+      return std::numeric_limits<long long>::max();
+    }
+    worlds *= s;
+  }
+  return worlds;
+}
+
+}  // namespace urank

@@ -1,0 +1,75 @@
+// Attribute-level uncertainty model (paper Section 3, Fig. 1).
+//
+// A relation of N tuples. Every tuple always exists; its score is a random
+// variable X_i with a finite discrete pdf {(v_{i,1}, p_{i,1}), ...}. Tuples'
+// scores are mutually independent. A possible world draws one value per
+// tuple, so |W| = N in every world and there are prod_i s_i worlds.
+
+#ifndef URANK_MODEL_ATTR_MODEL_H_
+#define URANK_MODEL_ATTR_MODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace urank {
+
+// One support point of an uncertain score: score `value` with probability
+// `prob`.
+struct ScoreValue {
+  double value = 0.0;
+  double prob = 0.0;
+
+  friend bool operator==(const ScoreValue&, const ScoreValue&) = default;
+};
+
+// A tuple with an uncertain score attribute. `id` is the tuple's external
+// identity (what ranking queries report); `pdf` is its score distribution.
+// A valid pdf is non-empty, has probabilities in (0, 1] summing to 1 (up to
+// round-off), and distinct values.
+struct AttrTuple {
+  int id = 0;
+  std::vector<ScoreValue> pdf;
+
+  // E[X_i].
+  double ExpectedScore() const;
+
+  // Pr[X_i > v] / Pr[X_i >= v] / Pr[X_i = v].
+  double PrGreater(double v) const;
+  double PrGreaterEqual(double v) const;
+  double PrEqual(double v) const;
+};
+
+// An attribute-level uncertain relation: an ordered list of AttrTuples.
+// Tuple order defines the tuple index used for tie-breaking.
+class AttrRelation {
+ public:
+  AttrRelation() = default;
+
+  // Constructs from tuples; aborts if any tuple is invalid or ids repeat.
+  // Use Validate() first when the input is untrusted.
+  explicit AttrRelation(std::vector<AttrTuple> tuples);
+
+  // Checks model well-formedness without aborting. Returns true when valid;
+  // otherwise returns false and, if `error` is non-null, stores a
+  // description of the first problem found.
+  static bool Validate(const std::vector<AttrTuple>& tuples,
+                       std::string* error);
+
+  int size() const { return static_cast<int>(tuples_.size()); }
+  const AttrTuple& tuple(int index) const { return tuples_[static_cast<size_t>(index)]; }
+  const std::vector<AttrTuple>& tuples() const { return tuples_; }
+
+  // Largest pdf size over all tuples (the paper's s); 0 for an empty
+  // relation.
+  int max_pdf_size() const;
+
+  // Number of possible worlds, prod_i s_i, saturated at INT64_MAX.
+  long long NumWorlds() const;
+
+ private:
+  std::vector<AttrTuple> tuples_;
+};
+
+}  // namespace urank
+
+#endif  // URANK_MODEL_ATTR_MODEL_H_

@@ -1,0 +1,106 @@
+#include "model/continuous.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace urank {
+
+UniformScorePdf::UniformScorePdf(double lo, double hi) : lo_(lo), hi_(hi) {
+  URANK_CHECK_MSG(lo < hi, "UniformScorePdf requires lo < hi");
+}
+
+double UniformScorePdf::Cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double UniformScorePdf::Quantile(double p) const {
+  URANK_CHECK_MSG(p > 0.0 && p < 1.0, "Quantile requires p in (0,1)");
+  return lo_ + p * (hi_ - lo_);
+}
+
+double UniformScorePdf::Mean() const { return (lo_ + hi_) / 2.0; }
+
+GaussianScorePdf::GaussianScorePdf(double mean, double stddev)
+    : mean_(mean), stddev_(stddev) {
+  URANK_CHECK_MSG(stddev > 0.0, "GaussianScorePdf requires stddev > 0");
+}
+
+double GaussianScorePdf::Cdf(double x) const {
+  return 0.5 * std::erfc(-(x - mean_) / (stddev_ * std::sqrt(2.0)));
+}
+
+double GaussianScorePdf::Quantile(double p) const {
+  URANK_CHECK_MSG(p > 0.0 && p < 1.0, "Quantile requires p in (0,1)");
+  // Bisection on the cdf; 10 sigma covers p down to ~1e-23.
+  double lo = mean_ - 10.0 * stddev_;
+  double hi = mean_ + 10.0 * stddev_;
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12 * stddev_; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (Cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+double GaussianScorePdf::Mean() const { return mean_; }
+
+TriangularScorePdf::TriangularScorePdf(double lo, double mode, double hi)
+    : lo_(lo), mode_(mode), hi_(hi) {
+  URANK_CHECK_MSG(lo < hi, "TriangularScorePdf requires lo < hi");
+  URANK_CHECK_MSG(lo <= mode && mode <= hi,
+                  "TriangularScorePdf requires lo <= mode <= hi");
+}
+
+double TriangularScorePdf::Cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  const double span = hi_ - lo_;
+  if (x < mode_) {
+    return (x - lo_) * (x - lo_) / (span * (mode_ - lo_));
+  }
+  if (x == mode_) return (mode_ - lo_) / span;
+  return 1.0 - (hi_ - x) * (hi_ - x) / (span * (hi_ - mode_));
+}
+
+double TriangularScorePdf::Quantile(double p) const {
+  URANK_CHECK_MSG(p > 0.0 && p < 1.0, "Quantile requires p in (0,1)");
+  const double span = hi_ - lo_;
+  const double p_mode = (mode_ - lo_) / span;
+  if (p <= p_mode) {
+    return lo_ + std::sqrt(p * span * (mode_ - lo_));
+  }
+  return hi_ - std::sqrt((1.0 - p) * span * (hi_ - mode_));
+}
+
+double TriangularScorePdf::Mean() const { return (lo_ + mode_ + hi_) / 3.0; }
+
+AttrTuple DiscretizeToTuple(int id, const ContinuousPdf& pdf, int buckets) {
+  URANK_CHECK_MSG(buckets >= 1, "buckets must be >= 1");
+  AttrTuple t;
+  t.id = id;
+  t.pdf.reserve(static_cast<size_t>(buckets));
+  std::unordered_set<double> used;
+  const double prob = 1.0 / buckets;
+  for (int j = 0; j < buckets; ++j) {
+    double v = pdf.Quantile((j + 0.5) / buckets);
+    while (!used.insert(v).second) {
+      v += std::max(1e-9, std::fabs(v) * 1e-9);
+    }
+    t.pdf.push_back({v, prob});
+  }
+  // Exact unit mass despite 1/buckets round-off.
+  double sum = 0.0;
+  for (size_t j = 0; j + 1 < t.pdf.size(); ++j) sum += t.pdf[j].prob;
+  t.pdf.back().prob = 1.0 - sum;
+  return t;
+}
+
+}  // namespace urank

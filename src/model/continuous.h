@@ -1,0 +1,81 @@
+// Continuous score distributions and their discretization into the
+// attribute-level model (paper Appendix A discusses the continuous-pdf
+// case; the practical route is discretizing each score distribution into a
+// bounded pdf and running the discrete algorithms).
+//
+// A ContinuousPdf exposes its cdf and quantile function; DiscretizeToTuple
+// produces an s-point equal-probability discretization (value j is the
+// quantile of the bucket midpoint (j + 0.5)/s, probability 1/s), which
+// converges to the continuous distribution as s grows and preserves the
+// stochastic order of the inputs.
+
+#ifndef URANK_MODEL_CONTINUOUS_H_
+#define URANK_MODEL_CONTINUOUS_H_
+
+#include <memory>
+
+#include "model/attr_model.h"
+
+namespace urank {
+
+// A one-dimensional continuous score distribution.
+class ContinuousPdf {
+ public:
+  virtual ~ContinuousPdf() = default;
+
+  // Pr[X <= x]; non-decreasing, 0 at -inf, 1 at +inf.
+  virtual double Cdf(double x) const = 0;
+
+  // Smallest x with Cdf(x) >= p. Requires p in (0, 1).
+  virtual double Quantile(double p) const = 0;
+
+  // E[X].
+  virtual double Mean() const = 0;
+};
+
+// Uniform on [lo, hi). Requires lo < hi.
+class UniformScorePdf : public ContinuousPdf {
+ public:
+  UniformScorePdf(double lo, double hi);
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double Mean() const override;
+
+ private:
+  double lo_, hi_;
+};
+
+// Normal with the given mean and stddev > 0.
+class GaussianScorePdf : public ContinuousPdf {
+ public:
+  GaussianScorePdf(double mean, double stddev);
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double Mean() const override;
+
+ private:
+  double mean_, stddev_;
+};
+
+// Triangular on [lo, hi] with the given mode. Requires lo <= mode <= hi
+// and lo < hi. The usual model for "measurement near m, bounded error".
+class TriangularScorePdf : public ContinuousPdf {
+ public:
+  TriangularScorePdf(double lo, double mode, double hi);
+  double Cdf(double x) const override;
+  double Quantile(double p) const override;
+  double Mean() const override;
+
+ private:
+  double lo_, mode_, hi_;
+};
+
+// Equal-probability s-point discretization of `pdf` as an attribute-level
+// tuple with the given id. Requires buckets >= 1. Support values are made
+// strictly distinct (degenerate distributions are nudged apart by a
+// relative epsilon).
+AttrTuple DiscretizeToTuple(int id, const ContinuousPdf& pdf, int buckets);
+
+}  // namespace urank
+
+#endif  // URANK_MODEL_CONTINUOUS_H_

@@ -1,0 +1,35 @@
+#include "model/model_bridge.h"
+
+namespace urank {
+
+AttrToTupleBridge BridgeAttrToTuple(const AttrRelation& rel) {
+  AttrToTupleBridge bridge;
+  std::vector<TLTuple> tuples;
+  std::vector<std::vector<int>> rules;
+  for (int i = 0; i < rel.size(); ++i) {
+    const AttrTuple& t = rel.tuple(i);
+    std::vector<int> rule;
+    rule.reserve(t.pdf.size());
+    double mass_before_last = 0.0;
+    for (size_t l = 0; l < t.pdf.size(); ++l) {
+      const ScoreValue& sv = t.pdf[l];
+      const int index = static_cast<int>(tuples.size());
+      // Pin the rule's total mass to exactly 1 (pdf sums carry round-off;
+      // a 1-ε rule would admit a spurious near-zero "no alternative"
+      // world and break the world bijection).
+      const double prob = (l + 1 == t.pdf.size())
+                              ? 1.0 - mass_before_last
+                              : sv.prob;
+      mass_before_last += sv.prob;
+      tuples.push_back({index, sv.value, prob});
+      bridge.source_id.push_back(t.id);
+      bridge.source_value.push_back(sv.value);
+      rule.push_back(index);
+    }
+    rules.push_back(std::move(rule));
+  }
+  bridge.relation = TupleRelation(std::move(tuples), std::move(rules));
+  return bridge;
+}
+
+}  // namespace urank

@@ -1,0 +1,44 @@
+// The attribute-level → tuple-level mapping the paper alludes to when
+// arguing the two models need different algorithms (Section 3,
+// "Difference of the two models under ranking queries").
+//
+// Each attribute-level tuple t_i with pdf {(v_l, p_l)} becomes one
+// exclusion rule of alternatives {(v_l as score, p_l as existence
+// probability)}: exactly one alternative appears per world (the rule's
+// mass is 1), so the possible worlds of the image are in probability-
+// preserving bijection with the attribute-level worlds.
+//
+// The mapping is useful for cross-checking world semantics, but — exactly
+// as the paper warns — NOT for reducing ranking queries: the image ranks
+// the s·N alternatives, not the N logical tuples, so expected ranks,
+// top-k probabilities etc. of an alternative are not the statistics of
+// its source tuple. The bridge exposes the source mapping so tests can
+// demonstrate both the world bijection and the ranking mismatch.
+
+#ifndef URANK_MODEL_MODEL_BRIDGE_H_
+#define URANK_MODEL_MODEL_BRIDGE_H_
+
+#include <vector>
+
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+
+namespace urank {
+
+// Result of the mapping. `relation` holds one tuple per (source tuple,
+// support value) pair with fresh dense ids 0..sN-1, in source order;
+// `source_id[j]` / `source_value[j]` identify alternative j's origin.
+struct AttrToTupleBridge {
+  TupleRelation relation;
+  std::vector<int> source_id;
+  std::vector<double> source_value;
+};
+
+// Builds the bridge. Every rule's probability mass is exactly 1 (one
+// alternative always appears), so E[|W|] = N and every world has N
+// appearing alternatives.
+AttrToTupleBridge BridgeAttrToTuple(const AttrRelation& rel);
+
+}  // namespace urank
+
+#endif  // URANK_MODEL_MODEL_BRIDGE_H_

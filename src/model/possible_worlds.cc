@@ -1,0 +1,225 @@
+#include "model/possible_worlds.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace urank {
+namespace {
+
+// Rank-ordered ids of the top-k tuples of a world given (score, index)
+// pairs of the appearing tuples; ties broken by smaller index first. The
+// result is an ordered list — U-Topk distinguishes (t2,t3) from (t3,t2).
+std::vector<int> TopKIds(std::vector<std::pair<double, int>>& appearing,
+                         const std::vector<int>& ids, int k) {
+  std::sort(appearing.begin(), appearing.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  const int take = std::min<int>(k, static_cast<int>(appearing.size()));
+  std::vector<int> list;
+  list.reserve(static_cast<size_t>(take));
+  for (int i = 0; i < take; ++i) {
+    list.push_back(ids[static_cast<size_t>(appearing[static_cast<size_t>(i)].second)]);
+  }
+  return list;
+}
+
+}  // namespace
+
+void ForEachAttrWorld(
+    const AttrRelation& rel,
+    const std::function<void(const std::vector<double>&, double)>& fn) {
+  URANK_CHECK_MSG(rel.NumWorlds() <= kMaxEnumerableWorlds,
+                  "attribute-level relation has too many worlds to enumerate");
+  const int n = rel.size();
+  std::vector<size_t> choice(static_cast<size_t>(n), 0);
+  std::vector<double> scores(static_cast<size_t>(n), 0.0);
+  if (n == 0) {
+    fn(scores, 1.0);
+    return;
+  }
+  while (true) {
+    double prob = 1.0;
+    for (int i = 0; i < n; ++i) {
+      const ScoreValue& sv = rel.tuple(i).pdf[choice[static_cast<size_t>(i)]];
+      scores[static_cast<size_t>(i)] = sv.value;
+      prob *= sv.prob;
+    }
+    fn(scores, prob);
+    // Odometer increment over per-tuple pdf indexes.
+    int pos = 0;
+    while (pos < n) {
+      size_t& c = choice[static_cast<size_t>(pos)];
+      if (++c < rel.tuple(pos).pdf.size()) break;
+      c = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+}
+
+void ForEachTupleWorld(
+    const TupleRelation& rel,
+    const std::function<void(const std::vector<bool>&, double)>& fn) {
+  URANK_CHECK_MSG(rel.NumWorlds() <= kMaxEnumerableWorlds,
+                  "tuple-level relation has too many worlds to enumerate");
+  const int m = rel.num_rules();
+  const int n = rel.size();
+  // Choice c for rule r: c in [0, |rule_r|) picks member c; c == |rule_r|
+  // picks "no member", with probability 1 - sum of the rule's members.
+  std::vector<size_t> choice(static_cast<size_t>(m), 0);
+  std::vector<bool> present(static_cast<size_t>(n), false);
+  if (m == 0) {
+    fn(present, 1.0);
+    return;
+  }
+  while (true) {
+    double prob = 1.0;
+    std::fill(present.begin(), present.end(), false);
+    for (int r = 0; r < m; ++r) {
+      const std::vector<int>& members = rel.rule(r);
+      const size_t c = choice[static_cast<size_t>(r)];
+      if (c < members.size()) {
+        present[static_cast<size_t>(members[c])] = true;
+        prob *= rel.tuple(members[c]).prob;
+      } else {
+        prob *= 1.0 - rel.rule_prob_sum(r);
+      }
+    }
+    if (prob > 0.0) fn(present, prob);
+    int pos = 0;
+    while (pos < m) {
+      size_t& c = choice[static_cast<size_t>(pos)];
+      const size_t members = rel.rule(pos).size();
+      // Exact comparison: even a sub-round-off "none" probability must be
+      // enumerated or world probabilities stop summing to 1.
+      const bool can_be_empty = rel.rule_prob_sum(pos) < 1.0;
+      const size_t limit = members + (can_be_empty ? 1 : 0);
+      if (++c < limit) break;
+      c = 0;
+      ++pos;
+    }
+    if (pos == m) break;
+  }
+}
+
+int RankInAttrWorld(const std::vector<double>& scores, int i, TiePolicy ties) {
+  const double v = scores[static_cast<size_t>(i)];
+  int rank = 0;
+  for (int j = 0; j < static_cast<int>(scores.size()); ++j) {
+    if (j == i) continue;
+    const double w = scores[static_cast<size_t>(j)];
+    if (w > v || (ties == TiePolicy::kBreakByIndex && w == v && j < i)) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+int RankInTupleWorld(const TupleRelation& rel,
+                     const std::vector<bool>& present, int i, TiePolicy ties) {
+  int appearing = 0;
+  int above = 0;
+  const double v = rel.tuple(i).score;
+  for (int j = 0; j < rel.size(); ++j) {
+    if (!present[static_cast<size_t>(j)]) continue;
+    ++appearing;
+    if (j == i) continue;
+    const double w = rel.tuple(j).score;
+    if (w > v || (ties == TiePolicy::kBreakByIndex && w == v && j < i)) {
+      ++above;
+    }
+  }
+  return present[static_cast<size_t>(i)] ? above : appearing;
+}
+
+std::vector<std::vector<double>> AttrRankDistributionsByEnumeration(
+    const AttrRelation& rel, TiePolicy ties) {
+  const int n = rel.size();
+  std::vector<std::vector<double>> dist(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(std::max(n, 1)), 0.0));
+  ForEachAttrWorld(rel, [&](const std::vector<double>& scores, double prob) {
+    for (int i = 0; i < n; ++i) {
+      dist[static_cast<size_t>(i)]
+          [static_cast<size_t>(RankInAttrWorld(scores, i, ties))] += prob;
+    }
+  });
+  return dist;
+}
+
+std::vector<std::vector<double>> TupleRankDistributionsByEnumeration(
+    const TupleRelation& rel, TiePolicy ties) {
+  const int n = rel.size();
+  std::vector<std::vector<double>> dist(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n) + 1, 0.0));
+  ForEachTupleWorld(rel, [&](const std::vector<bool>& present, double prob) {
+    for (int i = 0; i < n; ++i) {
+      dist[static_cast<size_t>(i)]
+          [static_cast<size_t>(RankInTupleWorld(rel, present, i, ties))] += prob;
+    }
+  });
+  return dist;
+}
+
+std::vector<double> AttrExpectedRanksByEnumeration(const AttrRelation& rel,
+                                                   TiePolicy ties) {
+  std::vector<double> ranks(static_cast<size_t>(rel.size()), 0.0);
+  ForEachAttrWorld(rel, [&](const std::vector<double>& scores, double prob) {
+    for (int i = 0; i < rel.size(); ++i) {
+      ranks[static_cast<size_t>(i)] +=
+          prob * RankInAttrWorld(scores, i, ties);
+    }
+  });
+  return ranks;
+}
+
+std::vector<double> TupleExpectedRanksByEnumeration(const TupleRelation& rel,
+                                                    TiePolicy ties) {
+  std::vector<double> ranks(static_cast<size_t>(rel.size()), 0.0);
+  ForEachTupleWorld(rel, [&](const std::vector<bool>& present, double prob) {
+    for (int i = 0; i < rel.size(); ++i) {
+      ranks[static_cast<size_t>(i)] +=
+          prob * RankInTupleWorld(rel, present, i, ties);
+    }
+  });
+  return ranks;
+}
+
+std::map<std::vector<int>, double> AttrTopKSetProbabilities(
+    const AttrRelation& rel, int k) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  std::map<std::vector<int>, double> sets;
+  std::vector<int> ids(static_cast<size_t>(rel.size()));
+  for (int i = 0; i < rel.size(); ++i) ids[static_cast<size_t>(i)] = rel.tuple(i).id;
+  ForEachAttrWorld(rel, [&](const std::vector<double>& scores, double prob) {
+    std::vector<std::pair<double, int>> appearing;
+    appearing.reserve(scores.size());
+    for (int i = 0; i < static_cast<int>(scores.size()); ++i) {
+      appearing.emplace_back(scores[static_cast<size_t>(i)], i);
+    }
+    sets[TopKIds(appearing, ids, k)] += prob;
+  });
+  return sets;
+}
+
+std::map<std::vector<int>, double> TupleTopKSetProbabilities(
+    const TupleRelation& rel, int k) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  std::map<std::vector<int>, double> sets;
+  std::vector<int> ids(static_cast<size_t>(rel.size()));
+  for (int i = 0; i < rel.size(); ++i) ids[static_cast<size_t>(i)] = rel.tuple(i).id;
+  ForEachTupleWorld(rel, [&](const std::vector<bool>& present, double prob) {
+    std::vector<std::pair<double, int>> appearing;
+    for (int i = 0; i < rel.size(); ++i) {
+      if (present[static_cast<size_t>(i)]) {
+        appearing.emplace_back(rel.tuple(i).score, i);
+      }
+    }
+    sets[TopKIds(appearing, ids, k)] += prob;
+  });
+  return sets;
+}
+
+}  // namespace urank

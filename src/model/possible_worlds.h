@@ -1,0 +1,82 @@
+// Exact possible-worlds enumeration (paper Section 3, Figs. 2 and 4).
+//
+// These are the semantic ground truth for every ranking definition in the
+// library: a possible world is a certain relation, so any query can be
+// evaluated per world and aggregated by world probability. Enumeration is
+// exponential and intended for (a) randomized cross-checking of the
+// polynomial algorithms in tests and (b) the reference U-Topk semantics in
+// the presence of exclusion rules, where the joint top-k-set probability
+// does not factorize per tuple.
+//
+// All enumeration entry points abort if the world count exceeds
+// kMaxEnumerableWorlds; callers can consult AttrRelation::NumWorlds() /
+// TupleRelation::NumWorlds() beforehand.
+
+#ifndef URANK_MODEL_POSSIBLE_WORLDS_H_
+#define URANK_MODEL_POSSIBLE_WORLDS_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+#include "model/types.h"
+
+namespace urank {
+
+// Upper bound on the number of worlds any enumeration here will visit.
+inline constexpr long long kMaxEnumerableWorlds = 1LL << 24;
+
+// Invokes `fn(scores, prob)` once per possible world of an attribute-level
+// relation. `scores[i]` is the value drawn for tuple index i; `prob` is the
+// world probability. World probabilities sum to 1.
+void ForEachAttrWorld(
+    const AttrRelation& rel,
+    const std::function<void(const std::vector<double>&, double)>& fn);
+
+// Invokes `fn(present, prob)` once per possible world of a tuple-level
+// relation. `present[i]` tells whether tuple index i appears. Worlds with
+// zero probability (an impossible "none" choice of a saturated rule) are
+// not visited.
+void ForEachTupleWorld(
+    const TupleRelation& rel,
+    const std::function<void(const std::vector<bool>&, double)>& fn);
+
+// Rank of tuple index i within an attribute-level world (Definition 6):
+// the number of tuples ranked above it under `ties`. Top tuple has rank 0.
+int RankInAttrWorld(const std::vector<double>& scores, int i, TiePolicy ties);
+
+// Rank of tuple index i within a tuple-level world. If t_i is absent, its
+// rank is |W|, i.e. it follows every appearing tuple (Definition 6).
+int RankInTupleWorld(const TupleRelation& rel,
+                     const std::vector<bool>& present, int i, TiePolicy ties);
+
+// Exact per-tuple rank distributions by enumeration (Definition 7).
+// result[i][r] = Pr[R(t_i) = r]. Rows have size N (attribute-level: every
+// rank is in [0, N-1]) or N+1 (tuple-level: an absent tuple in the full
+// world has rank N).
+std::vector<std::vector<double>> AttrRankDistributionsByEnumeration(
+    const AttrRelation& rel, TiePolicy ties);
+std::vector<std::vector<double>> TupleRankDistributionsByEnumeration(
+    const TupleRelation& rel, TiePolicy ties);
+
+// Exact expected ranks by enumeration (Definition 8).
+std::vector<double> AttrExpectedRanksByEnumeration(const AttrRelation& rel,
+                                                   TiePolicy ties);
+std::vector<double> TupleExpectedRanksByEnumeration(const TupleRelation& rel,
+                                                    TiePolicy ties);
+
+// Probability of each distinct top-k *answer* across all worlds, keyed by
+// the rank-ordered tuple-id list (U-Topk distinguishes (t2,t3) from
+// (t3,t2)). Within a world, tuples are ordered by score descending with
+// ties broken by tuple index; if the world has fewer than k tuples the
+// whole world forms the answer. Used as the reference for U-Topk.
+std::map<std::vector<int>, double> AttrTopKSetProbabilities(
+    const AttrRelation& rel, int k);
+std::map<std::vector<int>, double> TupleTopKSetProbabilities(
+    const TupleRelation& rel, int k);
+
+}  // namespace urank
+
+#endif  // URANK_MODEL_POSSIBLE_WORLDS_H_

@@ -1,0 +1,113 @@
+#include "model/tuple_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace urank {
+namespace {
+
+constexpr double kProbSumTolerance = 1e-9;
+
+}  // namespace
+
+TupleRelation::TupleRelation(std::vector<TLTuple> tuples,
+                             std::vector<std::vector<int>> rules)
+    : tuples_(std::move(tuples)), rules_(std::move(rules)) {
+  std::string error;
+  URANK_CHECK_MSG(Validate(tuples_, rules_, &error), error.c_str());
+  // Give implicit singleton rules to tuples not mentioned in any rule.
+  std::vector<bool> covered(tuples_.size(), false);
+  for (const auto& r : rules_) {
+    for (int idx : r) covered[static_cast<size_t>(idx)] = true;
+  }
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (!covered[i]) rules_.push_back({static_cast<int>(i)});
+  }
+  BuildDerivedState();
+}
+
+TupleRelation TupleRelation::Independent(std::vector<TLTuple> tuples) {
+  return TupleRelation(std::move(tuples), {});
+}
+
+bool TupleRelation::Validate(const std::vector<TLTuple>& tuples,
+                             const std::vector<std::vector<int>>& rules,
+                             std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::unordered_set<int> ids;
+  for (const TLTuple& t : tuples) {
+    if (!ids.insert(t.id).second) {
+      return fail("duplicate tuple id " + std::to_string(t.id));
+    }
+    if (!(t.prob > 0.0) || t.prob > 1.0 + kProbSumTolerance) {
+      return fail("tuple " + std::to_string(t.id) +
+                  " has existence probability outside (0,1]");
+    }
+    if (!std::isfinite(t.score)) {
+      return fail("tuple " + std::to_string(t.id) +
+                  " has a non-finite score");
+    }
+  }
+  std::vector<bool> covered(tuples.size(), false);
+  for (size_t r = 0; r < rules.size(); ++r) {
+    if (rules[r].empty()) {
+      return fail("rule " + std::to_string(r) + " is empty");
+    }
+    double sum = 0.0;
+    for (int idx : rules[r]) {
+      if (idx < 0 || idx >= static_cast<int>(tuples.size())) {
+        return fail("rule " + std::to_string(r) +
+                    " references tuple index out of range");
+      }
+      if (covered[static_cast<size_t>(idx)]) {
+        return fail("tuple index " + std::to_string(idx) +
+                    " appears in more than one rule");
+      }
+      covered[static_cast<size_t>(idx)] = true;
+      sum += tuples[static_cast<size_t>(idx)].prob;
+    }
+    if (sum > 1.0 + kProbSumTolerance) {
+      return fail("rule " + std::to_string(r) +
+                  " probabilities sum to " + std::to_string(sum) + " > 1");
+    }
+  }
+  return true;
+}
+
+void TupleRelation::BuildDerivedState() {
+  rule_of_.assign(tuples_.size(), -1);
+  rule_prob_sum_.assign(rules_.size(), 0.0);
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    for (int idx : rules_[r]) {
+      rule_of_[static_cast<size_t>(idx)] = static_cast<int>(r);
+      rule_prob_sum_[r] += tuples_[static_cast<size_t>(idx)].prob;
+    }
+  }
+  expected_world_size_ = 0.0;
+  for (const TLTuple& t : tuples_) expected_world_size_ += t.prob;
+}
+
+long long TupleRelation::NumWorlds() const {
+  long long worlds = 1;
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    // The empty choice exists only if the rule's mass is strictly below 1
+    // (exact comparison, mirroring ForEachTupleWorld's enumeration).
+    const bool can_be_empty = rule_prob_sum_[r] < 1.0;
+    const long long choices =
+        static_cast<long long>(rules_[r].size()) + (can_be_empty ? 1 : 0);
+    if (worlds > std::numeric_limits<long long>::max() / choices) {
+      return std::numeric_limits<long long>::max();
+    }
+    worlds *= choices;
+  }
+  return worlds;
+}
+
+}  // namespace urank

@@ -1,0 +1,93 @@
+// Tuple-level uncertainty model / x-relations (paper Section 3, Fig. 3).
+//
+// A relation of N tuples, each with a fixed score and an existence
+// probability. Tuples are partitioned into M exclusion rules; at most one
+// tuple of a rule appears in any possible world, and the rule's total
+// probability is <= 1. Rules with a single member model independent tuples.
+// A possible world is a subset of tuples (one independent choice per rule:
+// one member, or none), so 0 <= |W| <= N.
+
+#ifndef URANK_MODEL_TUPLE_MODEL_H_
+#define URANK_MODEL_TUPLE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace urank {
+
+// A tuple in the tuple-level model: external identity, certain score, and
+// existence probability in (0, 1].
+struct TLTuple {
+  int id = 0;
+  double score = 0.0;
+  double prob = 0.0;
+
+  friend bool operator==(const TLTuple&, const TLTuple&) = default;
+};
+
+// A tuple-level uncertain relation with exclusion rules.
+//
+// Construction: pass the tuples and the rules, where each rule is a list of
+// tuple indexes (positions in `tuples`). Every tuple must appear in exactly
+// one rule; tuples not mentioned in any rule are given implicit singleton
+// rules, matching the paper's convention that every tuple is in exactly one
+// rule.
+class TupleRelation {
+ public:
+  TupleRelation() = default;
+
+  // Aborts if the model is malformed (see Validate). Use Validate() first
+  // when the input is untrusted.
+  TupleRelation(std::vector<TLTuple> tuples,
+                std::vector<std::vector<int>> rules);
+
+  // Convenience: all tuples independent (singleton rules).
+  static TupleRelation Independent(std::vector<TLTuple> tuples);
+
+  // Checks well-formedness without aborting: probabilities in (0, 1],
+  // finite scores, unique ids, rule indexes in range, each tuple in at most
+  // one rule, per-rule probability sums <= 1. Returns true when valid;
+  // otherwise returns false and stores a description in `error` if
+  // non-null.
+  static bool Validate(const std::vector<TLTuple>& tuples,
+                       const std::vector<std::vector<int>>& rules,
+                       std::string* error);
+
+  int size() const { return static_cast<int>(tuples_.size()); }
+  int num_rules() const { return static_cast<int>(rules_.size()); }
+
+  const TLTuple& tuple(int index) const { return tuples_[static_cast<size_t>(index)]; }
+  const std::vector<TLTuple>& tuples() const { return tuples_; }
+
+  // Members (tuple indexes) of rule r.
+  const std::vector<int>& rule(int r) const { return rules_[static_cast<size_t>(r)]; }
+  const std::vector<std::vector<int>>& rules() const { return rules_; }
+
+  // Index of the rule containing tuple `index`.
+  int rule_of(int index) const { return rule_of_[static_cast<size_t>(index)]; }
+
+  // Sum of existence probabilities of all members of rule r.
+  double rule_prob_sum(int r) const { return rule_prob_sum_[static_cast<size_t>(r)]; }
+
+  // E[|W|] = sum_i p(t_i); maintained at construction (paper Section 6.2
+  // assumes it is always available).
+  double ExpectedWorldSize() const { return expected_world_size_; }
+
+  // Number of possible worlds, prod_r (|rule_r| + 1 if sum < 1 else
+  // |rule_r|), saturated at INT64_MAX. ("+1" counts the empty choice, only
+  // possible when the rule's probabilities sum to strictly less than 1.)
+  long long NumWorlds() const;
+
+ private:
+  void BuildDerivedState();
+
+  std::vector<TLTuple> tuples_;
+  std::vector<std::vector<int>> rules_;
+  std::vector<int> rule_of_;
+  std::vector<double> rule_prob_sum_;
+  double expected_world_size_ = 0.0;
+};
+
+}  // namespace urank
+
+#endif  // URANK_MODEL_TUPLE_MODEL_H_

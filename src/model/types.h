@@ -1,0 +1,23 @@
+// Common vocabulary types shared across the urank library.
+
+#ifndef URANK_MODEL_TYPES_H_
+#define URANK_MODEL_TYPES_H_
+
+namespace urank {
+
+// How tuples with equal scores are ordered within a possible world.
+//
+// The paper defines rank via strictly-higher scores (Definition 6): tied
+// tuples share a rank. Its median/quantile section (7.1) instead breaks
+// ties by tuple index: on a tie, the tuple with the smaller index ranks
+// first. Both are supported; each algorithm's default matches the paper.
+enum class TiePolicy {
+  // rank_W(t_i) = |{ t_j in W : v_j > v_i }|  (Definition 6).
+  kStrictGreater,
+  // rank_W(t_i) = |{ t_j in W : v_j > v_i, or v_j = v_i and j < i }|.
+  kBreakByIndex,
+};
+
+}  // namespace urank
+
+#endif  // URANK_MODEL_TYPES_H_

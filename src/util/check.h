@@ -1,0 +1,44 @@
+// Precondition-checking macros for the urank library.
+//
+// The library does not use exceptions (per the project style). Violated
+// preconditions are programming errors: they print a diagnostic to stderr
+// and abort. All public functions document their preconditions and enforce
+// them with these macros, in both debug and release builds.
+
+#ifndef URANK_UTIL_CHECK_H_
+#define URANK_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace urank {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "URANK_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace urank
+
+// Aborts with a diagnostic if `cond` is false.
+#define URANK_CHECK(cond)                                               \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::urank::internal::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+    }                                                                   \
+  } while (0)
+
+// Aborts with a diagnostic and an explanatory message if `cond` is false.
+#define URANK_CHECK_MSG(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::urank::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                   \
+  } while (0)
+
+#endif  // URANK_UTIL_CHECK_H_

@@ -1,0 +1,136 @@
+#include "util/poisson_binomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace urank {
+namespace {
+
+// Relative error beyond which a deconvolution result is considered to have
+// lost too much precision and a full recompute is triggered instead.
+constexpr double kDeconvTolerance = 1e-9;
+
+}  // namespace
+
+PoissonBinomial::PoissonBinomial() : pmf_{1.0} {}
+
+PoissonBinomial PoissonBinomial::FromProbs(const std::vector<double>& probs) {
+  PoissonBinomial pb;
+  pb.trials_ = probs;
+  pb.Recompute();
+  return pb;
+}
+
+void PoissonBinomial::AddTrial(double p) {
+  URANK_CHECK_MSG(p >= 0.0 && p <= 1.0, "trial probability must be in [0,1]");
+  trials_.push_back(p);
+  const size_t n = pmf_.size();
+  pmf_.push_back(0.0);
+  if (p == 0.0) return;  // convolving with {1, 0} only extends the support
+  // Convolve with the two-point distribution {1-p, p}, in place, high to low.
+  for (size_t c = n; c > 0; --c) {
+    pmf_[c] = pmf_[c] * (1.0 - p) + pmf_[c - 1] * p;
+  }
+  pmf_[0] *= (1.0 - p);
+}
+
+void PoissonBinomial::RemoveTrial(double p) {
+  URANK_CHECK_MSG(p >= 0.0 && p <= 1.0, "trial probability must be in [0,1]");
+  URANK_CHECK_MSG(!trials_.empty(), "RemoveTrial with no live trials");
+  auto it = std::find(trials_.begin(), trials_.end(), p);
+  URANK_CHECK_MSG(it != trials_.end(), "RemoveTrial: no matching trial");
+  trials_.erase(it);
+
+  if (p == 0.0) {
+    // A zero trial never succeeds, so the top count is unreachable and its
+    // pmf entry is exactly 0; dropping it undoes AddTrial(0).
+    pmf_.pop_back();
+    return;
+  }
+
+  const size_t n = pmf_.size() - 1;  // trial count before removal
+  std::vector<double> out(n);        // pmf over n-1 trials
+  bool ok = true;
+  if (p <= 0.5) {
+    // pmf[c] = out[c]*(1-p) + out[c-1]*p  =>  solve forward by (1-p).
+    const double q = 1.0 - p;
+    double carry = 0.0;  // out[c-1]
+    for (size_t c = 0; c < n; ++c) {
+      double v = (pmf_[c] - carry * p) / q;
+      if (!std::isfinite(v)) {
+        ok = false;
+        break;
+      }
+      out[c] = v;
+      carry = v;
+    }
+    // Consistency check against the top coefficient.
+    if (ok && std::fabs(out[n - 1] * p - pmf_[n]) >
+                  kDeconvTolerance + kDeconvTolerance * std::fabs(pmf_[n])) {
+      ok = false;
+    }
+  } else {
+    // Solve backward by p: pmf[c] = out[c]*(1-p) + out[c-1]*p.
+    const double q = 1.0 - p;
+    double carry = 0.0;  // out[c]
+    for (size_t c = n; c > 0; --c) {
+      double v = (pmf_[c] - carry * q) / p;
+      if (!std::isfinite(v)) {
+        ok = false;
+        break;
+      }
+      out[c - 1] = v;
+      carry = v;
+    }
+    if (ok && std::fabs(out[0] * q - pmf_[0]) >
+                  kDeconvTolerance + kDeconvTolerance * std::fabs(pmf_[0])) {
+      ok = false;
+    }
+  }
+  // Negative dips beyond round-off also signal cancellation.
+  if (ok) {
+    for (double v : out) {
+      if (v < -1e-9) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (ok) {
+    for (double& v : out) v = std::max(v, 0.0);
+    pmf_ = std::move(out);
+  } else {
+    Recompute();
+  }
+}
+
+double PoissonBinomial::Pmf(int c) const {
+  if (c < 0 || c >= static_cast<int>(pmf_.size())) return 0.0;
+  return pmf_[static_cast<size_t>(c)];
+}
+
+double PoissonBinomial::Cdf(int c) const {
+  if (c < 0) return 0.0;
+  double sum = 0.0;
+  const int hi = std::min(c, static_cast<int>(pmf_.size()) - 1);
+  for (int i = 0; i <= hi; ++i) sum += pmf_[static_cast<size_t>(i)];
+  return std::min(sum, 1.0);
+}
+
+double PoissonBinomial::Mean() const {
+  double m = 0.0;
+  for (double p : trials_) m += p;
+  return m;
+}
+
+void PoissonBinomial::Recompute() {
+  pmf_.assign(1, 1.0);
+  std::vector<double> saved = std::move(trials_);
+  trials_.clear();
+  trials_.reserve(saved.size());
+  for (double p : saved) AddTrial(p);
+}
+
+}  // namespace urank

@@ -1,0 +1,68 @@
+// Poisson-binomial distribution: the number of successes among independent
+// Bernoulli trials with heterogeneous success probabilities.
+//
+// This is the shared numeric kernel behind every exact rank-distribution
+// computation in the library:
+//   * attribute-level rank distributions — trials are "tuple j outranks
+//     tuple i given X_i = v" events (Section 7.2 of the paper);
+//   * tuple-level rank distributions — trials are "rule τ contributes an
+//     appearing tuple ranked above t_i" events (Section 7, tuple-level DP);
+//   * U-kRanks / PT-k / Global-Topk positional probabilities.
+//
+// The incremental Add/Remove interface lets callers that sweep a tuple out
+// of a shared pool avoid recomputing the full O(n^2) DP from scratch.
+// Removal is polynomial deconvolution; it chooses the numerically stable
+// division direction based on the trial probability and falls back to a
+// full recomputation when cancellation is detected.
+
+#ifndef URANK_UTIL_POISSON_BINOMIAL_H_
+#define URANK_UTIL_POISSON_BINOMIAL_H_
+
+#include <vector>
+
+namespace urank {
+
+// Running Poisson-binomial DP. Starts with zero trials (Pr[count = 0] = 1).
+class PoissonBinomial {
+ public:
+  PoissonBinomial();
+
+  // Convenience: a distribution over all trials in `probs` at once.
+  // Each probability must lie in [0, 1].
+  static PoissonBinomial FromProbs(const std::vector<double>& probs);
+
+  // Incorporates one trial with success probability p in [0, 1]. O(n).
+  void AddTrial(double p);
+
+  // Removes one previously added trial with success probability p. The
+  // caller must guarantee that a trial with exactly this probability was
+  // added and not yet removed; otherwise the result is meaningless. O(n).
+  void RemoveTrial(double p);
+
+  // Pr[count = c]; zero outside [0, num_trials].
+  double Pmf(int c) const;
+
+  // Pr[count <= c]; clamps c below 0 / above num_trials.
+  double Cdf(int c) const;
+
+  // Expected number of successes.
+  double Mean() const;
+
+  // Number of trials currently incorporated.
+  int num_trials() const { return static_cast<int>(trials_.size()); }
+
+  // Full pmf vector, indexed by success count (size num_trials() + 1).
+  const std::vector<double>& pmf() const { return pmf_; }
+
+ private:
+  // Recomputes pmf_ from trials_ from scratch; used as the numerically safe
+  // fallback for RemoveTrial.
+  void Recompute();
+
+  std::vector<double> trials_;  // success probabilities of live trials
+  std::vector<double> pmf_;     // pmf_[c] = Pr[count = c]
+};
+
+}  // namespace urank
+
+#endif  // URANK_UTIL_POISSON_BINOMIAL_H_

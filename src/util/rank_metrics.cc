@@ -1,0 +1,126 @@
+#include "util/rank_metrics.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace urank {
+namespace {
+
+int IntersectionSize(const std::vector<int>& a, const std::vector<int>& b) {
+  std::unordered_set<int> sa(a.begin(), a.end());
+  int count = 0;
+  for (int x : b) {
+    if (sa.count(x) > 0) ++count;
+  }
+  return count;
+}
+
+// Counts inversions in `perm` by merge sort. O(n log n).
+int64_t CountInversions(std::vector<int>& perm) {
+  const size_t n = perm.size();
+  if (n < 2) return 0;
+  std::vector<int> buf(n);
+  int64_t inversions = 0;
+  for (size_t width = 1; width < n; width *= 2) {
+    for (size_t lo = 0; lo + width < n; lo += 2 * width) {
+      const size_t mid = lo + width;
+      const size_t hi = std::min(lo + 2 * width, n);
+      size_t i = lo, j = mid, k = lo;
+      while (i < mid && j < hi) {
+        if (perm[i] <= perm[j]) {
+          buf[k++] = perm[i++];
+        } else {
+          inversions += static_cast<int64_t>(mid - i);
+          buf[k++] = perm[j++];
+        }
+      }
+      while (i < mid) buf[k++] = perm[i++];
+      while (j < hi) buf[k++] = perm[j++];
+      std::copy(buf.begin() + static_cast<ptrdiff_t>(lo),
+                buf.begin() + static_cast<ptrdiff_t>(hi),
+                perm.begin() + static_cast<ptrdiff_t>(lo));
+    }
+  }
+  return inversions;
+}
+
+}  // namespace
+
+double RecallAgainst(const std::vector<int>& answer,
+                     const std::vector<int>& reference) {
+  if (reference.empty()) return 1.0;
+  return static_cast<double>(IntersectionSize(answer, reference)) /
+         static_cast<double>(reference.size());
+}
+
+double PrecisionAgainst(const std::vector<int>& answer,
+                        const std::vector<int>& reference) {
+  if (answer.empty()) return 1.0;
+  return static_cast<double>(IntersectionSize(reference, answer)) /
+         static_cast<double>(answer.size());
+}
+
+double TopKOverlap(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t denom = std::max(a.size(), b.size());
+  return static_cast<double>(IntersectionSize(a, b)) /
+         static_cast<double>(denom);
+}
+
+double KendallTauDistance(const std::vector<int>& a,
+                          const std::vector<int>& b) {
+  URANK_CHECK_MSG(a.size() == b.size(),
+                  "KendallTauDistance requires equal-size orderings");
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  std::unordered_map<int, size_t> pos_in_a;
+  pos_in_a.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto inserted = pos_in_a.emplace(a[i], i);
+    URANK_CHECK_MSG(inserted.second, "duplicate item in ordering");
+  }
+  std::vector<int> perm;
+  perm.reserve(n);
+  for (int x : b) {
+    auto it = pos_in_a.find(x);
+    URANK_CHECK_MSG(it != pos_in_a.end(),
+                    "orderings must contain the same items");
+    perm.push_back(static_cast<int>(it->second));
+  }
+  const int64_t inv = CountInversions(perm);
+  const double pairs = static_cast<double>(n) * (static_cast<double>(n) - 1) / 2.0;
+  return static_cast<double>(inv) / pairs;
+}
+
+double SpearmanFootruleDistance(const std::vector<int>& a,
+                                const std::vector<int>& b) {
+  URANK_CHECK_MSG(a.size() == b.size(),
+                  "SpearmanFootruleDistance requires equal-size orderings");
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  std::unordered_map<int, size_t> pos_in_a;
+  pos_in_a.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto inserted = pos_in_a.emplace(a[i], i);
+    URANK_CHECK_MSG(inserted.second, "duplicate item in ordering");
+  }
+  int64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    auto it = pos_in_a.find(b[i]);
+    URANK_CHECK_MSG(it != pos_in_a.end(),
+                    "orderings must contain the same items");
+    const int64_t diff = static_cast<int64_t>(it->second) -
+                         static_cast<int64_t>(i);
+    total += diff < 0 ? -diff : diff;
+  }
+  // Maximum of the footrule sum over permutations is floor(n^2 / 2).
+  const double max_total =
+      static_cast<double>((static_cast<int64_t>(n) * static_cast<int64_t>(n)) / 2);
+  return static_cast<double>(total) / max_total;
+}
+
+}  // namespace urank

@@ -1,0 +1,46 @@
+// Metrics for comparing rankings and top-k answers.
+//
+// Used by the cross-semantics comparison experiment (E10) and by the
+// pruning-quality experiment (E4): set overlap, precision/recall against a
+// reference answer, and Kendall tau distance between two orderings.
+
+#ifndef URANK_UTIL_RANK_METRICS_H_
+#define URANK_UTIL_RANK_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace urank {
+
+// Fraction of `reference` items that also appear in `answer`
+// (|answer ∩ reference| / |reference|). Returns 1.0 when reference is empty.
+// Items are tuple identifiers; duplicates are not expected.
+double RecallAgainst(const std::vector<int>& answer,
+                     const std::vector<int>& reference);
+
+// Fraction of `answer` items that appear in `reference`
+// (|answer ∩ reference| / |answer|). Returns 1.0 when answer is empty.
+double PrecisionAgainst(const std::vector<int>& answer,
+                        const std::vector<int>& reference);
+
+// Top-k set overlap |a ∩ b| / max(|a|, |b|). Returns 1.0 when both empty.
+double TopKOverlap(const std::vector<int>& a, const std::vector<int>& b);
+
+// Normalized Kendall tau distance between two orderings of the SAME item
+// set: the fraction of item pairs ordered differently, in [0, 1]. 0 means
+// identical orderings, 1 means exactly reversed. Both inputs must be
+// permutations of one another (checked). O(n log n).
+double KendallTauDistance(const std::vector<int>& a,
+                          const std::vector<int>& b);
+
+// Normalized Spearman footrule distance between two orderings of the SAME
+// item set: Σ |pos_a(x) - pos_b(x)| divided by its maximum (⌊n²/2⌋), in
+// [0, 1]. The classic companion metric to Kendall tau for comparing
+// rankings (Fagin et al.). Both inputs must be permutations of one another
+// (checked). O(n).
+double SpearmanFootruleDistance(const std::vector<int>& a,
+                                const std::vector<int>& b);
+
+}  // namespace urank
+
+#endif  // URANK_UTIL_RANK_METRICS_H_

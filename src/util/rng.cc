@@ -1,0 +1,50 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace urank {
+
+double Rng::Uniform(double lo, double hi) {
+  URANK_CHECK_MSG(lo < hi, "Uniform requires lo < hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  URANK_CHECK_MSG(lo <= hi, "UniformInt requires lo <= hi");
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  URANK_CHECK_MSG(stddev >= 0.0, "Normal requires stddev >= 0");
+  if (stddev == 0.0) return mean;
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform01() < p;
+}
+
+std::vector<double> Rng::RandomSimplex(int n, double total) {
+  URANK_CHECK_MSG(n >= 1, "RandomSimplex requires n >= 1");
+  URANK_CHECK_MSG(total > 0.0, "RandomSimplex requires total > 0");
+  // Draw n positive weights and normalize; offset away from zero so each
+  // component is strictly positive after normalization.
+  std::vector<double> w(static_cast<size_t>(n));
+  double sum = 0.0;
+  for (double& x : w) {
+    x = Uniform01() + 1e-3;
+    sum += x;
+  }
+  for (double& x : w) x = x / sum * total;
+  return w;
+}
+
+}  // namespace urank

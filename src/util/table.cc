@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace urank {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  URANK_CHECK_MSG(!columns_.empty(), "Table requires at least one column");
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  URANK_CHECK_MSG(cells.size() == columns_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> width(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << "  ";
+      // Right-align each cell within its column width.
+      out << std::string(width[c] - cells[c].size(), ' ') << cells[c];
+    }
+    out << '\n';
+  };
+  emit_row(columns_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c > 0 ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatInt(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+}  // namespace urank

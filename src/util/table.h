@@ -1,0 +1,45 @@
+// Aligned plain-text table printing for the benchmark harnesses.
+//
+// Every bench binary prints its reproduced figure/table as one of these:
+// a header row followed by data rows, columns right-aligned, so the output
+// reads like the series reported in the paper.
+
+#ifndef URANK_UTIL_TABLE_H_
+#define URANK_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace urank {
+
+// Accumulates rows of stringified cells and prints them aligned.
+class Table {
+ public:
+  // `title` is printed above the table; `columns` is the header row.
+  Table(std::string title, std::vector<std::string> columns);
+
+  // Appends one data row. The row must have exactly as many cells as the
+  // header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table (title, header, separator, rows) to a string.
+  std::string ToString() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+// Formats an integer count.
+std::string FormatInt(int64_t value);
+
+}  // namespace urank
+
+#endif  // URANK_UTIL_TABLE_H_

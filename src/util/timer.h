@@ -1,0 +1,48 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+
+#ifndef URANK_UTIL_TIMER_H_
+#define URANK_UTIL_TIMER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+namespace urank {
+
+// Simple wall-clock stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Reset, in milliseconds.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Runs `fn` `repeats` times and returns the median elapsed time in
+// milliseconds. `repeats` must be >= 1; odd values give a true median.
+template <typename Fn>
+double MedianTimeMs(int repeats, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    Timer t;
+    fn();
+    samples.push_back(t.ElapsedMs());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace urank
+
+#endif  // URANK_UTIL_TIMER_H_

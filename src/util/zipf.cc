@@ -1,0 +1,37 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace urank {
+
+ZipfDistribution::ZipfDistribution(int64_t n, double theta)
+    : n_(n), theta_(theta) {
+  URANK_CHECK_MSG(n >= 1, "ZipfDistribution requires n >= 1");
+  URANK_CHECK_MSG(theta >= 0.0, "ZipfDistribution requires theta >= 0");
+  cdf_.resize(static_cast<size_t>(n));
+  double sum = 0.0;
+  for (int64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    cdf_[static_cast<size_t>(i - 1)] = sum;
+  }
+  for (double& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;  // guard against accumulated round-off
+}
+
+int64_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.Uniform01();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::Pmf(int64_t i) const {
+  URANK_CHECK_MSG(i >= 1 && i <= n_, "Pmf index out of range");
+  size_t idx = static_cast<size_t>(i - 1);
+  double lo = idx == 0 ? 0.0 : cdf_[idx - 1];
+  return cdf_[idx] - lo;
+}
+
+}  // namespace urank

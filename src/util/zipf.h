@@ -1,0 +1,42 @@
+// Zipf-distributed sampling over a finite universe {1, ..., n}.
+//
+// Used by the workload generators to produce skewed score universes, as in
+// the paper's synthetic data (uniform vs. Zipfian score distributions).
+// Sampling is O(log n) per draw via inversion on the precomputed CDF.
+
+#ifndef URANK_UTIL_ZIPF_H_
+#define URANK_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace urank {
+
+// Samples ranks from a Zipf(theta) distribution over {1, ..., n}:
+// Pr[X = i] ∝ 1 / i^theta. theta = 0 is the uniform distribution; larger
+// theta concentrates mass on small ranks.
+class ZipfDistribution {
+ public:
+  // Requires n >= 1 and theta >= 0.
+  ZipfDistribution(int64_t n, double theta);
+
+  // Draws one sample in [1, n].
+  int64_t Sample(Rng& rng) const;
+
+  // Probability of drawing rank i (1-based). Requires 1 <= i <= n.
+  double Pmf(int64_t i) const;
+
+  int64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  int64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = Pr[X <= i+1]
+};
+
+}  // namespace urank
+
+#endif  // URANK_UTIL_ZIPF_H_

@@ -1,0 +1,88 @@
+#include "core/access.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace urank {
+namespace {
+
+using testing_util::PaperFig2;
+using testing_util::PaperFig4;
+
+TEST(SortedAttrStreamTest, YieldsDecreasingExpectedScore) {
+  const AttrRelation rel = PaperFig2();
+  SortedAttrStream stream(rel);
+  EXPECT_EQ(stream.total(), 3);
+  double prev = 1e18;
+  int count = 0;
+  while (stream.HasNext()) {
+    const AttrTuple& t = stream.Next();
+    EXPECT_LE(t.ExpectedScore(), prev);
+    prev = t.ExpectedScore();
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(stream.accessed(), 3);
+}
+
+TEST(SortedAttrStreamTest, Fig2Order) {
+  // E[X1] = 82, E[X2] = 87.2, E[X3] = 85: order t2, t3, t1.
+  const AttrRelation rel = PaperFig2();
+  SortedAttrStream stream(rel);
+  EXPECT_EQ(stream.Next().id, 2);
+  EXPECT_EQ(stream.Next().id, 3);
+  EXPECT_EQ(stream.Next().id, 1);
+}
+
+TEST(SortedAttrStreamTest, CountsAccessesIncrementally) {
+  const AttrRelation rel = PaperFig2();
+  SortedAttrStream stream(rel);
+  EXPECT_EQ(stream.accessed(), 0);
+  stream.Next();
+  EXPECT_EQ(stream.accessed(), 1);
+  stream.Next();
+  EXPECT_EQ(stream.accessed(), 2);
+}
+
+TEST(SortedAttrStreamTest, TieOnExpectedScoreBreaksByIndex) {
+  AttrRelation rel({
+      {5, {{10.0, 1.0}}},
+      {3, {{10.0, 1.0}}},
+  });
+  SortedAttrStream stream(rel);
+  EXPECT_EQ(stream.Next().id, 5);  // index 0 first
+  EXPECT_EQ(stream.Next().id, 3);
+}
+
+TEST(SortedAttrStreamDeathTest, NextPastEnd) {
+  AttrRelation rel({{0, {{1.0, 1.0}}}});
+  SortedAttrStream stream(rel);
+  stream.Next();
+  EXPECT_DEATH(stream.Next(), "past the end");
+}
+
+TEST(SortedTupleStreamTest, YieldsDecreasingScore) {
+  TupleRelation rel = PaperFig4();
+  SortedTupleStream stream(rel);
+  EXPECT_EQ(stream.total(), 4);
+  EXPECT_DOUBLE_EQ(stream.expected_world_size(), 2.4);
+  double prev = 1e18;
+  while (stream.HasNext()) {
+    const int idx = stream.Next();
+    EXPECT_LE(rel.tuple(idx).score, prev);
+    prev = rel.tuple(idx).score;
+  }
+  EXPECT_EQ(stream.accessed(), 4);
+}
+
+TEST(SortedTupleStreamTest, EmptyRelation) {
+  TupleRelation rel = TupleRelation::Independent({});
+  SortedTupleStream stream(rel);
+  EXPECT_FALSE(stream.HasNext());
+  EXPECT_EQ(stream.total(), 0);
+}
+
+}  // namespace
+}  // namespace urank

@@ -1,0 +1,176 @@
+#include "core/dynamic_ranker.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/expected_rank_tuple.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace urank {
+namespace {
+
+// Cross-check: a ranker's answers must equal the batch T-ERank run on its
+// snapshot, for every live tuple.
+void ExpectMatchesBatch(const DynamicTupleRanker& ranker) {
+  const TupleRelation snapshot = ranker.Snapshot();
+  const std::vector<double> batch =
+      TupleExpectedRanks(snapshot, TiePolicy::kStrictGreater);
+  for (int i = 0; i < snapshot.size(); ++i) {
+    EXPECT_NEAR(ranker.ExpectedRank(snapshot.tuple(i).id),
+                batch[static_cast<size_t>(i)], 1e-9)
+        << "tuple " << snapshot.tuple(i).id;
+  }
+  EXPECT_NEAR(ranker.ExpectedWorldSize(), snapshot.ExpectedWorldSize(),
+              1e-9);
+}
+
+TEST(DynamicTupleRankerTest, PaperFig4IncrementalBuild) {
+  DynamicTupleRanker ranker;
+  ranker.Insert(1, 100.0, 0.4);
+  ranker.Insert(2, 90.0, 0.5, /*rule_label=*/7);
+  ranker.Insert(3, 80.0, 1.0);
+  ranker.Insert(4, 70.0, 0.5, /*rule_label=*/7);
+  EXPECT_EQ(ranker.size(), 4);
+  EXPECT_NEAR(ranker.ExpectedWorldSize(), 2.4, 1e-12);
+  EXPECT_NEAR(ranker.ExpectedRank(1), 1.2, 1e-12);
+  EXPECT_NEAR(ranker.ExpectedRank(2), 1.4, 1e-12);
+  EXPECT_NEAR(ranker.ExpectedRank(3), 0.9, 1e-12);
+  EXPECT_NEAR(ranker.ExpectedRank(4), 1.9, 1e-12);
+  const auto topk = ranker.TopK(4);
+  EXPECT_EQ(IdsOf(topk), (std::vector<int>{3, 1, 2, 4}));
+}
+
+TEST(DynamicTupleRankerTest, EraseUpdatesRanks) {
+  DynamicTupleRanker ranker;
+  ranker.Insert(1, 100.0, 0.4);
+  ranker.Insert(2, 90.0, 0.5, 7);
+  ranker.Insert(3, 80.0, 1.0);
+  ranker.Insert(4, 70.0, 0.5, 7);
+  ranker.Erase(2);
+  EXPECT_EQ(ranker.size(), 3);
+  EXPECT_FALSE(ranker.Contains(2));
+  ExpectMatchesBatch(ranker);
+  // t4's rank no longer sees t2's mass anywhere.
+  ranker.Erase(4);
+  ranker.Erase(1);
+  EXPECT_NEAR(ranker.ExpectedRank(3), 0.0, 1e-12);
+}
+
+TEST(DynamicTupleRankerTest, ReinsertionAfterErase) {
+  DynamicTupleRanker ranker;
+  ranker.Insert(1, 10.0, 0.5);
+  ranker.Erase(1);
+  ranker.Insert(1, 20.0, 0.9);
+  EXPECT_NEAR(ranker.ExpectedRank(1), 0.0, 1e-12);
+  EXPECT_NEAR(ranker.ExpectedWorldSize(), 0.9, 1e-12);
+}
+
+TEST(DynamicTupleRankerTest, RandomizedInterleavedUpdatesMatchBatch) {
+  Rng rng(1);
+  DynamicTupleRanker ranker;
+  std::vector<int> live;
+  std::unordered_map<int, double> rule_mass;  // grows monotonically:
+  // erased members are not refunded, which keeps the bookkeeping simple
+  // and only makes the test more conservative about rule capacity.
+  int next_id = 0;
+  for (int step = 0; step < 400; ++step) {
+    const bool insert = live.empty() || rng.Bernoulli(0.65);
+    if (insert) {
+      const int id = next_id++;
+      int label =
+          rng.Bernoulli(0.4) ? static_cast<int>(rng.UniformInt(0, 9)) : -1;
+      double prob = rng.Uniform(0.05, 1.0);
+      if (label >= 0) {
+        prob = rng.Uniform(0.01, 0.09);
+        // Respect the per-rule mass budget; fall back to independence.
+        if (rule_mass[label] + prob > 0.95) {
+          label = -1;
+          prob = rng.Uniform(0.05, 1.0);
+        } else {
+          rule_mass[label] += prob;
+        }
+      }
+      ranker.Insert(id, rng.Uniform(0.0, 100.0), prob, label);
+      live.push_back(id);
+    } else {
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ranker.Erase(live[pick]);
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+    if (step % 50 == 49) ExpectMatchesBatch(ranker);
+  }
+  ExpectMatchesBatch(ranker);
+}
+
+TEST(DynamicTupleRankerTest, OverflowRebuildKeepsAnswersExact) {
+  // More distinct scores than the index's overflow bound forces at least
+  // one Fenwick rebuild mid-stream.
+  Rng rng(2);
+  DynamicTupleRanker ranker;
+  for (int id = 0; id < 1000; ++id) {
+    ranker.Insert(id, rng.Uniform(0.0, 1000.0), rng.Uniform(0.1, 1.0));
+  }
+  ExpectMatchesBatch(ranker);
+  for (int id = 0; id < 1000; id += 3) ranker.Erase(id);
+  ExpectMatchesBatch(ranker);
+}
+
+TEST(DynamicTupleRankerTest, TiedScoresShareRanks) {
+  DynamicTupleRanker ranker;
+  ranker.Insert(1, 5.0, 1.0);
+  ranker.Insert(2, 5.0, 1.0);
+  // Strict policy: neither outranks the other.
+  EXPECT_NEAR(ranker.ExpectedRank(1), 0.0, 1e-12);
+  EXPECT_NEAR(ranker.ExpectedRank(2), 0.0, 1e-12);
+}
+
+TEST(DynamicTupleRankerTest, TopKMatchesBatchTopK) {
+  Rng rng(3);
+  DynamicTupleRanker ranker;
+  for (int id = 0; id < 300; ++id) {
+    ranker.Insert(id, rng.Uniform(0.0, 100.0), rng.Uniform(0.2, 1.0));
+  }
+  const auto dynamic_topk = ranker.TopK(10);
+  const auto batch_topk = TupleExpectedRankTopK(ranker.Snapshot(), 10,
+                                                TiePolicy::kStrictGreater);
+  ASSERT_EQ(dynamic_topk.size(), batch_topk.size());
+  for (size_t i = 0; i < batch_topk.size(); ++i) {
+    EXPECT_EQ(dynamic_topk[i].id, batch_topk[i].id);
+    EXPECT_NEAR(dynamic_topk[i].statistic, batch_topk[i].statistic, 1e-9);
+  }
+}
+
+TEST(DynamicTupleRankerTest, SnapshotPreservesRules) {
+  DynamicTupleRanker ranker;
+  ranker.Insert(10, 5.0, 0.4, 3);
+  ranker.Insert(11, 4.0, 0.5, 3);
+  ranker.Insert(12, 3.0, 0.8);
+  const TupleRelation snapshot = ranker.Snapshot();
+  EXPECT_EQ(snapshot.size(), 3);
+  EXPECT_EQ(snapshot.rule_of(0), snapshot.rule_of(1));
+  EXPECT_NE(snapshot.rule_of(0), snapshot.rule_of(2));
+}
+
+TEST(DynamicTupleRankerDeathTest, ContractViolations) {
+  DynamicTupleRanker ranker;
+  ranker.Insert(1, 10.0, 0.6, 5);
+  EXPECT_DEATH(ranker.Insert(1, 20.0, 0.5), "already live");
+  EXPECT_DEATH(ranker.Insert(2, 20.0, 0.0), "prob");
+  EXPECT_DEATH(ranker.Insert(2, 20.0, 0.5, 5), "exceed 1");
+  EXPECT_DEATH(ranker.Erase(99), "not live");
+  EXPECT_DEATH(ranker.ExpectedRank(99), "not live");
+  EXPECT_DEATH(ranker.TopK(0), "k must be >= 1");
+}
+
+TEST(DynamicTupleRankerTest, EmptyRanker) {
+  DynamicTupleRanker ranker;
+  EXPECT_EQ(ranker.size(), 0);
+  EXPECT_DOUBLE_EQ(ranker.ExpectedWorldSize(), 0.0);
+  EXPECT_TRUE(ranker.TopK(5).empty());
+  EXPECT_EQ(ranker.Snapshot().size(), 0);
+}
+
+}  // namespace
+}  // namespace urank

@@ -1,0 +1,147 @@
+#include "core/query.h"
+
+#include <vector>
+
+#include "core/expected_rank_attr.h"
+#include "core/expected_rank_tuple.h"
+#include "core/quantile_rank.h"
+#include "core/semantics/global_topk.h"
+#include "core/semantics/pt_k.h"
+#include "core/semantics/u_kranks.h"
+#include "core/semantics/u_topk.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace urank {
+namespace {
+
+using testing_util::PaperFig2;
+using testing_util::PaperFig4;
+
+RankingQueryOptions Options(RankingSemantics semantics, int k) {
+  RankingQueryOptions options;
+  options.semantics = semantics;
+  options.k = k;
+  return options;
+}
+
+TEST(RunRankingQueryTest, ExpectedRankMatchesDirectCall) {
+  const TupleRelation rel = PaperFig4();
+  const RankingAnswer answer =
+      RunRankingQuery(rel, Options(RankingSemantics::kExpectedRank, 4));
+  const auto direct =
+      TupleExpectedRankTopK(rel, 4, TiePolicy::kBreakByIndex);
+  ASSERT_EQ(answer.ids.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(answer.ids[i], direct[i].id);
+    EXPECT_DOUBLE_EQ(answer.statistics[i], direct[i].statistic);
+  }
+}
+
+TEST(RunRankingQueryTest, MedianAndQuantile) {
+  const TupleRelation rel = PaperFig4();
+  const RankingAnswer median =
+      RunRankingQuery(rel, Options(RankingSemantics::kMedianRank, 4));
+  EXPECT_EQ(median.ids, (std::vector<int>{2, 3, 1, 4}));
+  RankingQueryOptions options = Options(RankingSemantics::kQuantileRank, 4);
+  options.phi = 0.5;
+  EXPECT_EQ(RunRankingQuery(rel, options).ids, median.ids);
+}
+
+TEST(RunRankingQueryTest, UTopkCarriesAnswerProbability) {
+  const AttrRelation rel = PaperFig2();
+  const RankingAnswer answer =
+      RunRankingQuery(rel, Options(RankingSemantics::kUTopk, 2));
+  EXPECT_EQ(answer.ids, (std::vector<int>{2, 3}));
+  ASSERT_EQ(answer.statistics.size(), 2u);
+  EXPECT_NEAR(answer.statistics[0], 0.36, 1e-12);
+}
+
+TEST(RunRankingQueryTest, UKRanksKeepsPlaceholders) {
+  const TupleRelation rel = PaperFig4();
+  const RankingAnswer answer =
+      RunRankingQuery(rel, Options(RankingSemantics::kUKRanks, 4));
+  ASSERT_EQ(answer.ids.size(), 4u);
+  EXPECT_EQ(answer.ids[3], -1);
+  EXPECT_TRUE(answer.statistics.empty());
+}
+
+TEST(RunRankingQueryTest, PTkStatisticsAreTopKProbabilities) {
+  const AttrRelation rel = PaperFig2();
+  RankingQueryOptions options = Options(RankingSemantics::kPTk, 2);
+  options.threshold = 0.4;
+  const RankingAnswer answer = RunRankingQuery(rel, options);
+  ASSERT_EQ(answer.ids.size(), 3u);  // t2, t3, t1 by top-2 probability
+  EXPECT_EQ(answer.ids[0], 2);
+  EXPECT_NEAR(answer.statistics[0], 0.84, 1e-12);
+  EXPECT_NEAR(answer.statistics[2], 0.4, 1e-12);
+  // Every reported probability clears the threshold.
+  for (double p : answer.statistics) EXPECT_GE(p, 0.4);
+}
+
+TEST(RunRankingQueryTest, GlobalTopkMatchesDirectCall) {
+  const TupleRelation rel = PaperFig4();
+  const RankingAnswer answer =
+      RunRankingQuery(rel, Options(RankingSemantics::kGlobalTopk, 2));
+  EXPECT_EQ(answer.ids, TupleGlobalTopK(rel, 2));
+  ASSERT_EQ(answer.statistics.size(), 2u);
+  EXPECT_NEAR(answer.statistics[0], 0.8, 1e-12);  // t3's top-2 probability
+  EXPECT_NEAR(answer.statistics[1], 0.5, 1e-12);  // t2's
+}
+
+TEST(RunRankingQueryTest, ExpectedScoreNegatedStatistic) {
+  const AttrRelation rel = PaperFig2();
+  const RankingAnswer answer =
+      RunRankingQuery(rel, Options(RankingSemantics::kExpectedScore, 1));
+  EXPECT_EQ(answer.ids, (std::vector<int>{2}));
+  EXPECT_NEAR(answer.statistics[0], -87.2, 1e-12);
+}
+
+TEST(RunRankingQueryTest, AllSemanticsRunOnBothModels) {
+  const AttrRelation arel = PaperFig2();
+  const TupleRelation trel = PaperFig4();
+  for (RankingSemantics semantics :
+       {RankingSemantics::kExpectedRank, RankingSemantics::kMedianRank,
+        RankingSemantics::kQuantileRank, RankingSemantics::kUTopk,
+        RankingSemantics::kUKRanks, RankingSemantics::kPTk,
+        RankingSemantics::kGlobalTopk, RankingSemantics::kExpectedScore}) {
+    const RankingAnswer a = RunRankingQuery(arel, Options(semantics, 2));
+    const RankingAnswer t = RunRankingQuery(trel, Options(semantics, 2));
+    EXPECT_FALSE(a.ids.empty()) << ToString(semantics);
+    EXPECT_FALSE(t.ids.empty()) << ToString(semantics);
+  }
+}
+
+TEST(RunRankingQueryTest, SparseIdsAreHandled) {
+  // Non-dense, large ids exercise the id->position lookup.
+  TupleRelation rel = TupleRelation::Independent(
+      {{1000, 30.0, 0.9}, {5, 20.0, 0.8}, {70, 10.0, 0.7}});
+  const RankingAnswer answer =
+      RunRankingQuery(rel, Options(RankingSemantics::kGlobalTopk, 2));
+  ASSERT_EQ(answer.ids.size(), 2u);
+  EXPECT_EQ(answer.ids[0], 1000);
+  EXPECT_GT(answer.statistics[0], 0.0);
+}
+
+TEST(ToStringTest, AllNames) {
+  EXPECT_STREQ(ToString(RankingSemantics::kExpectedRank), "expected-rank");
+  EXPECT_STREQ(ToString(RankingSemantics::kMedianRank), "median-rank");
+  EXPECT_STREQ(ToString(RankingSemantics::kQuantileRank), "quantile-rank");
+  EXPECT_STREQ(ToString(RankingSemantics::kUTopk), "u-topk");
+  EXPECT_STREQ(ToString(RankingSemantics::kUKRanks), "u-kranks");
+  EXPECT_STREQ(ToString(RankingSemantics::kPTk), "pt-k");
+  EXPECT_STREQ(ToString(RankingSemantics::kGlobalTopk), "global-topk");
+  EXPECT_STREQ(ToString(RankingSemantics::kExpectedScore), "expected-score");
+}
+
+TEST(RunRankingQueryDeathTest, PropagatesArgumentChecks) {
+  const AttrRelation rel = PaperFig2();
+  EXPECT_DEATH(RunRankingQuery(rel, Options(RankingSemantics::kExpectedRank, 0)),
+               "k must be >= 1");
+  RankingQueryOptions options = Options(RankingSemantics::kQuantileRank, 2);
+  options.phi = 0.0;
+  EXPECT_DEATH(RunRankingQuery(rel, options), "phi");
+}
+
+}  // namespace
+}  // namespace urank

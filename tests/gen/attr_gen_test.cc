@@ -1,0 +1,117 @@
+#include "gen/attr_gen.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace urank {
+namespace {
+
+TEST(AttrGenTest, ProducesValidRelation) {
+  AttrGenConfig config;
+  config.num_tuples = 500;
+  config.pdf_size = 4;
+  AttrRelation rel = GenerateAttrRelation(config);
+  EXPECT_EQ(rel.size(), 500);
+  std::string error;
+  EXPECT_TRUE(AttrRelation::Validate(rel.tuples(), &error)) << error;
+}
+
+TEST(AttrGenTest, RespectsPdfSize) {
+  for (int s : {1, 2, 7}) {
+    AttrGenConfig config;
+    config.num_tuples = 50;
+    config.pdf_size = s;
+    AttrRelation rel = GenerateAttrRelation(config);
+    for (const AttrTuple& t : rel.tuples()) {
+      EXPECT_EQ(static_cast<int>(t.pdf.size()), s);
+    }
+  }
+}
+
+TEST(AttrGenTest, IdsAreSequential) {
+  AttrGenConfig config;
+  config.num_tuples = 20;
+  AttrRelation rel = GenerateAttrRelation(config);
+  for (int i = 0; i < rel.size(); ++i) {
+    EXPECT_EQ(rel.tuple(i).id, i);
+  }
+}
+
+TEST(AttrGenTest, DeterministicForSameSeed) {
+  AttrGenConfig config;
+  config.num_tuples = 100;
+  config.seed = 77;
+  AttrRelation a = GenerateAttrRelation(config);
+  AttrRelation b = GenerateAttrRelation(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.tuple(i).pdf, b.tuple(i).pdf);
+  }
+}
+
+TEST(AttrGenTest, DifferentSeedsDiffer) {
+  AttrGenConfig config;
+  config.num_tuples = 100;
+  config.seed = 1;
+  AttrRelation a = GenerateAttrRelation(config);
+  config.seed = 2;
+  AttrRelation b = GenerateAttrRelation(config);
+  int differing = 0;
+  for (int i = 0; i < a.size(); ++i) {
+    if (!(a.tuple(i).pdf == b.tuple(i).pdf)) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(AttrGenTest, ValueSpreadBoundsSupport) {
+  AttrGenConfig config;
+  config.num_tuples = 200;
+  config.pdf_size = 3;
+  config.value_spread = 5.0;
+  AttrRelation rel = GenerateAttrRelation(config);
+  for (const AttrTuple& t : rel.tuples()) {
+    double lo = t.pdf[0].value, hi = t.pdf[0].value;
+    for (const ScoreValue& sv : t.pdf) {
+      lo = std::min(lo, sv.value);
+      hi = std::max(hi, sv.value);
+    }
+    EXPECT_LE(hi - lo, 10.0 + 1e-9);
+  }
+}
+
+TEST(AttrGenTest, ZeroSpreadStillDistinctValues) {
+  AttrGenConfig config;
+  config.num_tuples = 30;
+  config.pdf_size = 3;
+  config.value_spread = 0.0;
+  AttrRelation rel = GenerateAttrRelation(config);
+  for (const AttrTuple& t : rel.tuples()) {
+    std::unordered_set<double> values;
+    for (const ScoreValue& sv : t.pdf) {
+      EXPECT_TRUE(values.insert(sv.value).second);
+    }
+  }
+}
+
+TEST(AttrGenTest, EmptyRelation) {
+  AttrGenConfig config;
+  config.num_tuples = 0;
+  EXPECT_EQ(GenerateAttrRelation(config).size(), 0);
+}
+
+TEST(AttrGenDeathTest, RejectsBadConfig) {
+  AttrGenConfig config;
+  config.num_tuples = -1;
+  EXPECT_DEATH(GenerateAttrRelation(config), "num_tuples");
+  config.num_tuples = 10;
+  config.pdf_size = 0;
+  EXPECT_DEATH(GenerateAttrRelation(config), "pdf_size");
+  config.pdf_size = 2;
+  config.value_spread = -1.0;
+  EXPECT_DEATH(GenerateAttrRelation(config), "value_spread");
+}
+
+}  // namespace
+}  // namespace urank

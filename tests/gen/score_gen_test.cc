@@ -1,0 +1,135 @@
+#include "gen/score_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace urank {
+namespace {
+
+// Pearson correlation between two equal-length series.
+double Pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const double n = static_cast<double>(x.size());
+  const double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+TEST(GenerateScoresTest, UniformWithinRange) {
+  Rng rng(1);
+  const auto scores =
+      GenerateScores(1000, ScoreDistribution::kUniform, 500.0, 1.0, rng);
+  ASSERT_EQ(scores.size(), 1000u);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 500.0);
+  }
+}
+
+TEST(GenerateScoresTest, NormalClampedAndCentred) {
+  Rng rng(2);
+  const auto scores =
+      GenerateScores(5000, ScoreDistribution::kNormal, 100.0, 1.0, rng);
+  double mean = std::accumulate(scores.begin(), scores.end(), 0.0) / 5000.0;
+  EXPECT_NEAR(mean, 50.0, 2.0);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 100.0);
+  }
+}
+
+TEST(GenerateScoresTest, ZipfProducesSkew) {
+  Rng rng(3);
+  const auto scores =
+      GenerateScores(5000, ScoreDistribution::kZipf, 1000.0, 1.2, rng);
+  // Rank-1 draws map to the max score; they must be the most frequent.
+  int at_max = 0;
+  for (double s : scores) {
+    if (s == 1000.0) ++at_max;
+  }
+  EXPECT_GT(at_max, 500);
+}
+
+TEST(GenerateScoresTest, ZeroCount) {
+  Rng rng(4);
+  for (auto dist : {ScoreDistribution::kUniform, ScoreDistribution::kNormal,
+                    ScoreDistribution::kZipf}) {
+    EXPECT_TRUE(GenerateScores(0, dist, 10.0, 1.0, rng).empty());
+  }
+}
+
+TEST(GenerateProbabilitiesTest, IndependentWithinRange) {
+  Rng rng(5);
+  std::vector<double> scores(1000);
+  for (double& s : scores) s = rng.Uniform01();
+  const auto probs = GenerateProbabilities(scores, Correlation::kIndependent,
+                                           0.2, 0.9, rng);
+  for (double p : probs) {
+    EXPECT_GE(p, 0.2);
+    EXPECT_LE(p, 0.9);
+  }
+  // Independent: |correlation| should be small.
+  EXPECT_LT(std::fabs(Pearson(scores, probs)), 0.1);
+}
+
+TEST(GenerateProbabilitiesTest, PositiveCorrelation) {
+  Rng rng(6);
+  std::vector<double> scores(1000);
+  for (double& s : scores) s = rng.Uniform(0.0, 100.0);
+  const auto probs =
+      GenerateProbabilities(scores, Correlation::kPositive, 0.1, 1.0, rng);
+  EXPECT_GT(Pearson(scores, probs), 0.6);
+}
+
+TEST(GenerateProbabilitiesTest, NegativeCorrelation) {
+  Rng rng(7);
+  std::vector<double> scores(1000);
+  for (double& s : scores) s = rng.Uniform(0.0, 100.0);
+  const auto probs =
+      GenerateProbabilities(scores, Correlation::kNegative, 0.1, 1.0, rng);
+  EXPECT_LT(Pearson(scores, probs), -0.6);
+}
+
+TEST(GenerateProbabilitiesTest, SingleElement) {
+  Rng rng(8);
+  const auto probs = GenerateProbabilities({5.0}, Correlation::kPositive,
+                                           0.3, 0.8, rng);
+  ASSERT_EQ(probs.size(), 1u);
+  EXPECT_GE(probs[0], 0.3);
+  EXPECT_LE(probs[0], 0.8);
+}
+
+TEST(GenerateProbabilitiesDeathTest, RejectsBadRange) {
+  Rng rng(9);
+  EXPECT_DEATH(
+      GenerateProbabilities({1.0}, Correlation::kIndependent, 0.0, 0.5, rng),
+      "prob_lo");
+  EXPECT_DEATH(
+      GenerateProbabilities({1.0}, Correlation::kIndependent, 0.6, 0.5, rng),
+      "prob_lo");
+  EXPECT_DEATH(
+      GenerateProbabilities({1.0}, Correlation::kIndependent, 0.5, 1.5, rng),
+      "prob_lo");
+}
+
+TEST(ToStringTest, Names) {
+  EXPECT_STREQ(ToString(ScoreDistribution::kUniform), "uniform");
+  EXPECT_STREQ(ToString(ScoreDistribution::kNormal), "normal");
+  EXPECT_STREQ(ToString(ScoreDistribution::kZipf), "zipf");
+  EXPECT_STREQ(ToString(Correlation::kIndependent), "independent");
+  EXPECT_STREQ(ToString(Correlation::kPositive), "positive");
+  EXPECT_STREQ(ToString(Correlation::kNegative), "negative");
+}
+
+}  // namespace
+}  // namespace urank

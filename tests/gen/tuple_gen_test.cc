@@ -1,0 +1,133 @@
+#include "gen/tuple_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace urank {
+namespace {
+
+TEST(TupleGenTest, ProducesValidRelation) {
+  TupleGenConfig config;
+  config.num_tuples = 500;
+  TupleRelation rel = GenerateTupleRelation(config);
+  EXPECT_EQ(rel.size(), 500);
+  std::string error;
+  EXPECT_TRUE(TupleRelation::Validate(rel.tuples(), rel.rules(), &error))
+      << error;
+}
+
+TEST(TupleGenTest, RuleSizesWithinBound) {
+  TupleGenConfig config;
+  config.num_tuples = 300;
+  config.multi_rule_fraction = 0.5;
+  config.max_rule_size = 4;
+  TupleRelation rel = GenerateTupleRelation(config);
+  int multi = 0;
+  for (int r = 0; r < rel.num_rules(); ++r) {
+    EXPECT_LE(static_cast<int>(rel.rule(r).size()), 4);
+    if (rel.rule(r).size() > 1) multi += static_cast<int>(rel.rule(r).size());
+  }
+  // About half the tuples should sit in multi-tuple rules.
+  EXPECT_NEAR(multi, 150, 10);
+}
+
+TEST(TupleGenTest, ZeroMultiRuleFractionGivesIndependentTuples) {
+  TupleGenConfig config;
+  config.num_tuples = 100;
+  config.multi_rule_fraction = 0.0;
+  config.max_rule_size = 1;  // irrelevant when fraction is 0
+  TupleRelation rel = GenerateTupleRelation(config);
+  EXPECT_EQ(rel.num_rules(), 100);
+}
+
+TEST(TupleGenTest, RuleProbabilitySumsAtMostOne) {
+  TupleGenConfig config;
+  config.num_tuples = 400;
+  config.multi_rule_fraction = 0.8;
+  config.max_rule_size = 5;
+  config.prob_lo = 0.5;  // high probabilities force rescaling
+  config.prob_hi = 1.0;
+  TupleRelation rel = GenerateTupleRelation(config);
+  for (int r = 0; r < rel.num_rules(); ++r) {
+    EXPECT_LE(rel.rule_prob_sum(r), 1.0 + 1e-9);
+  }
+}
+
+TEST(TupleGenTest, ProbabilityRangeRespectedForSingletons) {
+  TupleGenConfig config;
+  config.num_tuples = 200;
+  config.multi_rule_fraction = 0.0;
+  config.prob_lo = 0.3;
+  config.prob_hi = 0.6;
+  TupleRelation rel = GenerateTupleRelation(config);
+  for (const TLTuple& t : rel.tuples()) {
+    EXPECT_GE(t.prob, 0.3 - 1e-9);
+    EXPECT_LE(t.prob, 0.6 + 1e-9);
+  }
+}
+
+TEST(TupleGenTest, DeterministicForSameSeed) {
+  TupleGenConfig config;
+  config.num_tuples = 150;
+  config.seed = 9;
+  TupleRelation a = GenerateTupleRelation(config);
+  TupleRelation b = GenerateTupleRelation(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.tuple(i), b.tuple(i));
+  }
+  EXPECT_EQ(a.rules(), b.rules());
+}
+
+TEST(TupleGenTest, CorrelationModesProduceExpectedSign) {
+  for (auto [corr, positive] :
+       {std::pair{Correlation::kPositive, true},
+        std::pair{Correlation::kNegative, false}}) {
+    TupleGenConfig config;
+    config.num_tuples = 1000;
+    config.multi_rule_fraction = 0.0;
+    config.correlation = corr;
+    config.prob_lo = 0.05;
+    TupleRelation rel = GenerateTupleRelation(config);
+    // Compare mean probability of the top and bottom score halves.
+    std::vector<TLTuple> tuples = rel.tuples();
+    std::sort(tuples.begin(), tuples.end(),
+              [](const TLTuple& a, const TLTuple& b) {
+                return a.score > b.score;
+              });
+    double top = 0.0, bottom = 0.0;
+    const size_t half = tuples.size() / 2;
+    for (size_t i = 0; i < half; ++i) top += tuples[i].prob;
+    for (size_t i = half; i < tuples.size(); ++i) bottom += tuples[i].prob;
+    if (positive) {
+      EXPECT_GT(top, bottom * 1.5);
+    } else {
+      EXPECT_GT(bottom, top * 1.5);
+    }
+  }
+}
+
+TEST(TupleGenTest, EmptyRelation) {
+  TupleGenConfig config;
+  config.num_tuples = 0;
+  EXPECT_EQ(GenerateTupleRelation(config).size(), 0);
+}
+
+TEST(TupleGenDeathTest, RejectsBadConfig) {
+  TupleGenConfig config;
+  config.num_tuples = -2;
+  EXPECT_DEATH(GenerateTupleRelation(config), "num_tuples");
+  config.num_tuples = 10;
+  config.multi_rule_fraction = 1.5;
+  EXPECT_DEATH(GenerateTupleRelation(config), "multi_rule_fraction");
+  config.multi_rule_fraction = 0.5;
+  config.max_rule_size = 1;
+  EXPECT_DEATH(GenerateTupleRelation(config), "max_rule_size");
+}
+
+}  // namespace
+}  // namespace urank

@@ -1,0 +1,114 @@
+#include "model/attr_model.h"
+
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace urank {
+namespace {
+
+AttrTuple SimpleTuple(int id) {
+  return {id, {{10.0, 0.5}, {20.0, 0.5}}};
+}
+
+TEST(AttrTupleTest, ExpectedScore) {
+  AttrTuple t{1, {{10.0, 0.25}, {20.0, 0.75}}};
+  EXPECT_DOUBLE_EQ(t.ExpectedScore(), 17.5);
+}
+
+TEST(AttrTupleTest, TailProbabilities) {
+  AttrTuple t{1, {{10.0, 0.2}, {20.0, 0.3}, {30.0, 0.5}}};
+  EXPECT_DOUBLE_EQ(t.PrGreater(10.0), 0.8);
+  EXPECT_DOUBLE_EQ(t.PrGreater(30.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.PrGreater(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.PrGreaterEqual(20.0), 0.8);
+  EXPECT_DOUBLE_EQ(t.PrEqual(20.0), 0.3);
+  EXPECT_DOUBLE_EQ(t.PrEqual(15.0), 0.0);
+}
+
+TEST(AttrRelationTest, BasicAccessors) {
+  AttrRelation rel({SimpleTuple(1), SimpleTuple(2)});
+  EXPECT_EQ(rel.size(), 2);
+  EXPECT_EQ(rel.tuple(0).id, 1);
+  EXPECT_EQ(rel.tuple(1).id, 2);
+  EXPECT_EQ(rel.max_pdf_size(), 2);
+  EXPECT_EQ(rel.NumWorlds(), 4);
+}
+
+TEST(AttrRelationTest, EmptyRelation) {
+  AttrRelation rel;
+  EXPECT_EQ(rel.size(), 0);
+  EXPECT_EQ(rel.max_pdf_size(), 0);
+  EXPECT_EQ(rel.NumWorlds(), 1);
+}
+
+TEST(AttrRelationTest, NumWorldsSaturates) {
+  // 64 tuples with 2-point pdfs: 2^64 worlds overflows long long.
+  std::vector<AttrTuple> tuples;
+  for (int i = 0; i < 64; ++i) tuples.push_back(SimpleTuple(i));
+  AttrRelation rel(std::move(tuples));
+  EXPECT_EQ(rel.NumWorlds(), std::numeric_limits<long long>::max());
+}
+
+TEST(AttrRelationValidateTest, AcceptsValid) {
+  std::string error;
+  EXPECT_TRUE(AttrRelation::Validate({SimpleTuple(1)}, &error)) << error;
+}
+
+TEST(AttrRelationValidateTest, RejectsDuplicateIds) {
+  std::string error;
+  EXPECT_FALSE(
+      AttrRelation::Validate({SimpleTuple(1), SimpleTuple(1)}, &error));
+  EXPECT_NE(error.find("duplicate tuple id"), std::string::npos);
+}
+
+TEST(AttrRelationValidateTest, RejectsEmptyPdf) {
+  std::string error;
+  EXPECT_FALSE(AttrRelation::Validate({{1, {}}}, &error));
+  EXPECT_NE(error.find("empty pdf"), std::string::npos);
+}
+
+TEST(AttrRelationValidateTest, RejectsBadProbability) {
+  std::string error;
+  EXPECT_FALSE(AttrRelation::Validate({{1, {{10.0, 0.0}, {20.0, 1.0}}}},
+                                      &error));
+  EXPECT_FALSE(
+      AttrRelation::Validate({{1, {{10.0, -0.5}, {20.0, 1.5}}}}, &error));
+}
+
+TEST(AttrRelationValidateTest, RejectsProbabilitiesNotSummingToOne) {
+  std::string error;
+  EXPECT_FALSE(
+      AttrRelation::Validate({{1, {{10.0, 0.5}, {20.0, 0.4}}}}, &error));
+  EXPECT_NE(error.find("sum"), std::string::npos);
+}
+
+TEST(AttrRelationValidateTest, RejectsRepeatedValues) {
+  std::string error;
+  EXPECT_FALSE(
+      AttrRelation::Validate({{1, {{10.0, 0.5}, {10.0, 0.5}}}}, &error));
+  EXPECT_NE(error.find("repeats"), std::string::npos);
+}
+
+TEST(AttrRelationValidateTest, RejectsNonFiniteValue) {
+  std::string error;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(
+      AttrRelation::Validate({{1, {{inf, 0.5}, {20.0, 0.5}}}}, &error));
+  EXPECT_NE(error.find("non-finite"), std::string::npos);
+}
+
+TEST(AttrRelationValidateTest, ToleratesTinyRoundOff) {
+  std::string error;
+  EXPECT_TRUE(AttrRelation::Validate(
+      {{1, {{10.0, 0.5 + 1e-13}, {20.0, 0.5}}}}, &error))
+      << error;
+}
+
+TEST(AttrRelationDeathTest, ConstructorAbortsOnInvalid) {
+  EXPECT_DEATH(AttrRelation({{1, {{10.0, 0.5}, {20.0, 0.4}}}}), "sum");
+}
+
+}  // namespace
+}  // namespace urank

@@ -1,0 +1,182 @@
+#include "model/possible_worlds.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace urank {
+namespace {
+
+using testing_util::PaperFig2;
+using testing_util::PaperFig4;
+using testing_util::RandomSmallAttr;
+using testing_util::RandomSmallTuple;
+
+TEST(AttrWorldsTest, Fig2WorldsMatchPaper) {
+  // Paper Fig. 2 lists four worlds with probabilities .24/.16/.36/.24.
+  std::map<std::vector<double>, double> worlds;
+  ForEachAttrWorld(PaperFig2(),
+                   [&](const std::vector<double>& scores, double prob) {
+                     worlds[scores] += prob;
+                   });
+  ASSERT_EQ(worlds.size(), 4u);
+  EXPECT_NEAR((worlds[{100, 92, 85}]), 0.24, 1e-12);
+  EXPECT_NEAR((worlds[{100, 80, 85}]), 0.16, 1e-12);
+  EXPECT_NEAR((worlds[{70, 92, 85}]), 0.36, 1e-12);
+  EXPECT_NEAR((worlds[{70, 80, 85}]), 0.24, 1e-12);
+}
+
+TEST(AttrWorldsTest, ProbabilitiesSumToOne) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    AttrRelation rel = RandomSmallAttr(rng, 5, 3);
+    double total = 0.0;
+    ForEachAttrWorld(rel, [&](const std::vector<double>&, double prob) {
+      total += prob;
+    });
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(AttrWorldsTest, EmptyRelationHasOneWorld) {
+  int calls = 0;
+  ForEachAttrWorld(AttrRelation(),
+                   [&](const std::vector<double>& scores, double prob) {
+                     ++calls;
+                     EXPECT_TRUE(scores.empty());
+                     EXPECT_DOUBLE_EQ(prob, 1.0);
+                   });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TupleWorldsTest, Fig4WorldsMatchPaper) {
+  // Paper Fig. 4 lists four worlds: {t1,t2,t3} .2, {t1,t3,t4} .2,
+  // {t2,t3} .3, {t3,t4} .3.
+  std::map<std::vector<bool>, double> worlds;
+  ForEachTupleWorld(PaperFig4(),
+                    [&](const std::vector<bool>& present, double prob) {
+                      worlds[present] += prob;
+                    });
+  ASSERT_EQ(worlds.size(), 4u);
+  EXPECT_NEAR((worlds[{true, true, true, false}]), 0.2, 1e-12);
+  EXPECT_NEAR((worlds[{true, false, true, true}]), 0.2, 1e-12);
+  EXPECT_NEAR((worlds[{false, true, true, false}]), 0.3, 1e-12);
+  EXPECT_NEAR((worlds[{false, false, true, true}]), 0.3, 1e-12);
+}
+
+TEST(TupleWorldsTest, ProbabilitiesSumToOne) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    TupleRelation rel = RandomSmallTuple(rng, 7);
+    double total = 0.0;
+    ForEachTupleWorld(rel, [&](const std::vector<bool>&, double prob) {
+      total += prob;
+    });
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(TupleWorldsTest, ExclusionRulesAreRespected) {
+  TupleRelation rel = PaperFig4();
+  ForEachTupleWorld(rel, [&](const std::vector<bool>& present, double) {
+    EXPECT_FALSE(present[1] && present[3]);  // t2 and t4 are exclusive
+    EXPECT_TRUE(present[2]);                 // p(t3) = 1
+  });
+}
+
+TEST(RankInWorldTest, AttrStrictAndIndexPolicies) {
+  const std::vector<double> scores = {5.0, 7.0, 5.0, 3.0};
+  EXPECT_EQ(RankInAttrWorld(scores, 1, TiePolicy::kStrictGreater), 0);
+  EXPECT_EQ(RankInAttrWorld(scores, 0, TiePolicy::kStrictGreater), 1);
+  EXPECT_EQ(RankInAttrWorld(scores, 2, TiePolicy::kStrictGreater), 1);
+  EXPECT_EQ(RankInAttrWorld(scores, 3, TiePolicy::kStrictGreater), 3);
+  // By-index tie-break: index 0 outranks the tied index 2.
+  EXPECT_EQ(RankInAttrWorld(scores, 0, TiePolicy::kBreakByIndex), 1);
+  EXPECT_EQ(RankInAttrWorld(scores, 2, TiePolicy::kBreakByIndex), 2);
+}
+
+TEST(RankInWorldTest, TupleAbsentTupleRanksLast) {
+  TupleRelation rel = PaperFig4();
+  const std::vector<bool> present = {false, true, true, false};
+  EXPECT_EQ(RankInTupleWorld(rel, present, 0, TiePolicy::kStrictGreater), 2);
+  EXPECT_EQ(RankInTupleWorld(rel, present, 1, TiePolicy::kStrictGreater), 0);
+  EXPECT_EQ(RankInTupleWorld(rel, present, 2, TiePolicy::kStrictGreater), 1);
+  EXPECT_EQ(RankInTupleWorld(rel, present, 3, TiePolicy::kStrictGreater), 2);
+}
+
+TEST(RankDistByEnumerationTest, RowsSumToOne) {
+  Rng rng(3);
+  AttrRelation arel = RandomSmallAttr(rng, 5, 3);
+  for (const auto& row :
+       AttrRankDistributionsByEnumeration(arel, TiePolicy::kBreakByIndex)) {
+    double sum = 0.0;
+    for (double p : row) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  TupleRelation trel = RandomSmallTuple(rng, 6);
+  for (const auto& row :
+       TupleRankDistributionsByEnumeration(trel, TiePolicy::kBreakByIndex)) {
+    double sum = 0.0;
+    for (double p : row) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(RankDistByEnumerationTest, Fig2RankDistributionOfT1) {
+  // Paper Section 7.1: rank(t1) = {(0, 0.4), (1, 0), (2, 0.6)}.
+  const auto dists =
+      AttrRankDistributionsByEnumeration(PaperFig2(), TiePolicy::kBreakByIndex);
+  EXPECT_NEAR(dists[0][0], 0.4, 1e-12);
+  EXPECT_NEAR(dists[0][1], 0.0, 1e-12);
+  EXPECT_NEAR(dists[0][2], 0.6, 1e-12);
+}
+
+TEST(RankDistByEnumerationTest, Fig4RankDistributionOfT4) {
+  // Paper Section 7.1: rank(t4) = {(0,0), (1,0.3), (2,0.5), (3,0.2)}.
+  const auto dists = TupleRankDistributionsByEnumeration(
+      PaperFig4(), TiePolicy::kBreakByIndex);
+  EXPECT_NEAR(dists[3][0], 0.0, 1e-12);
+  EXPECT_NEAR(dists[3][1], 0.3, 1e-12);
+  EXPECT_NEAR(dists[3][2], 0.5, 1e-12);
+  EXPECT_NEAR(dists[3][3], 0.2, 1e-12);
+}
+
+TEST(TopKSetProbabilitiesTest, AttrFig2MatchesPaper) {
+  // U-Topk discussion: top-1 {t1} has probability 0.4; top-2 {t2,t3} 0.36.
+  auto top1 = AttrTopKSetProbabilities(PaperFig2(), 1);
+  EXPECT_NEAR((top1[{1}]), 0.4, 1e-12);
+  EXPECT_NEAR((top1[{2}]), 0.36, 1e-12);
+  EXPECT_NEAR((top1[{3}]), 0.24, 1e-12);
+  auto top2 = AttrTopKSetProbabilities(PaperFig2(), 2);
+  EXPECT_NEAR((top2[{2, 3}]), 0.36, 1e-12);
+}
+
+TEST(TopKSetProbabilitiesTest, SetProbabilitiesSumToOne) {
+  Rng rng(4);
+  TupleRelation rel = RandomSmallTuple(rng, 6);
+  for (int k = 1; k <= 3; ++k) {
+    double total = 0.0;
+    for (const auto& [ids, prob] : TupleTopKSetProbabilities(rel, k)) {
+      total += prob;
+      EXPECT_LE(static_cast<int>(ids.size()), k);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(TopKSetProbabilitiesTest, SmallWorldsYieldSmallSets) {
+  // Two mutually exclusive tuples: every world has at most one tuple, so
+  // the top-2 "set" always has size <= 1.
+  TupleRelation rel({{1, 10.0, 0.5}, {2, 20.0, 0.4}}, {{0, 1}});
+  auto sets = TupleTopKSetProbabilities(rel, 2);
+  EXPECT_NEAR((sets[{1}]), 0.5, 1e-12);
+  EXPECT_NEAR((sets[{2}]), 0.4, 1e-12);
+  EXPECT_NEAR((sets[{}]), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace urank

@@ -1,0 +1,121 @@
+#include "model/tuple_model.h"
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace urank {
+namespace {
+
+std::vector<TLTuple> FourTuples() {
+  return {{1, 100.0, 0.4}, {2, 90.0, 0.5}, {3, 80.0, 1.0}, {4, 70.0, 0.5}};
+}
+
+TEST(TupleRelationTest, BasicAccessors) {
+  TupleRelation rel(FourTuples(), {{0}, {1, 3}, {2}});
+  EXPECT_EQ(rel.size(), 4);
+  EXPECT_EQ(rel.num_rules(), 3);
+  EXPECT_EQ(rel.rule_of(0), 0);
+  EXPECT_EQ(rel.rule_of(1), 1);
+  EXPECT_EQ(rel.rule_of(3), 1);
+  EXPECT_EQ(rel.rule_of(2), 2);
+  EXPECT_DOUBLE_EQ(rel.rule_prob_sum(1), 1.0);
+  EXPECT_DOUBLE_EQ(rel.ExpectedWorldSize(), 2.4);
+}
+
+TEST(TupleRelationTest, ImplicitSingletonRules) {
+  // Tuples not covered by explicit rules get their own singleton rule.
+  TupleRelation rel(FourTuples(), {{1, 3}});
+  EXPECT_EQ(rel.num_rules(), 3);
+  EXPECT_EQ(rel.rule(0), (std::vector<int>{1, 3}));
+  EXPECT_NE(rel.rule_of(0), rel.rule_of(2));
+  EXPECT_EQ(static_cast<int>(rel.rule(rel.rule_of(0)).size()), 1);
+}
+
+TEST(TupleRelationTest, IndependentFactory) {
+  TupleRelation rel = TupleRelation::Independent(FourTuples());
+  EXPECT_EQ(rel.num_rules(), 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(static_cast<int>(rel.rule(r).size()), 1);
+  }
+}
+
+TEST(TupleRelationTest, NumWorldsCountsEmptyChoiceOnlyWhenPossible) {
+  // Rule {t2,t4} has total probability 1, so "neither appears" is
+  // impossible: choices are 2, not 3. Rule {t1} has p=0.4 < 1: 2 choices.
+  // Rule {t3} has p=1: 1 choice.
+  TupleRelation rel(FourTuples(), {{0}, {1, 3}, {2}});
+  EXPECT_EQ(rel.NumWorlds(), 2 * 2 * 1);
+}
+
+TEST(TupleRelationTest, EmptyRelation) {
+  TupleRelation rel = TupleRelation::Independent({});
+  EXPECT_EQ(rel.size(), 0);
+  EXPECT_EQ(rel.num_rules(), 0);
+  EXPECT_EQ(rel.NumWorlds(), 1);
+  EXPECT_DOUBLE_EQ(rel.ExpectedWorldSize(), 0.0);
+}
+
+TEST(TupleRelationValidateTest, AcceptsValid) {
+  std::string error;
+  EXPECT_TRUE(TupleRelation::Validate(FourTuples(), {{0}, {1, 3}, {2}},
+                                      &error))
+      << error;
+}
+
+TEST(TupleRelationValidateTest, RejectsDuplicateIds) {
+  std::string error;
+  EXPECT_FALSE(TupleRelation::Validate(
+      {{1, 10.0, 0.5}, {1, 20.0, 0.5}}, {}, &error));
+  EXPECT_NE(error.find("duplicate tuple id"), std::string::npos);
+}
+
+TEST(TupleRelationValidateTest, RejectsBadProbability) {
+  std::string error;
+  EXPECT_FALSE(TupleRelation::Validate({{1, 10.0, 0.0}}, {}, &error));
+  EXPECT_FALSE(TupleRelation::Validate({{1, 10.0, 1.5}}, {}, &error));
+  EXPECT_FALSE(TupleRelation::Validate({{1, 10.0, -0.2}}, {}, &error));
+}
+
+TEST(TupleRelationValidateTest, RejectsOverfullRule) {
+  std::string error;
+  EXPECT_FALSE(TupleRelation::Validate(
+      {{1, 10.0, 0.7}, {2, 20.0, 0.7}}, {{0, 1}}, &error));
+  EXPECT_NE(error.find("> 1"), std::string::npos);
+}
+
+TEST(TupleRelationValidateTest, RejectsEmptyRule) {
+  std::string error;
+  EXPECT_FALSE(TupleRelation::Validate({{1, 10.0, 0.5}}, {{}}, &error));
+  EXPECT_NE(error.find("empty"), std::string::npos);
+}
+
+TEST(TupleRelationValidateTest, RejectsOutOfRangeRuleIndex) {
+  std::string error;
+  EXPECT_FALSE(TupleRelation::Validate({{1, 10.0, 0.5}}, {{1}}, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(TupleRelationValidateTest, RejectsTupleInTwoRules) {
+  std::string error;
+  EXPECT_FALSE(TupleRelation::Validate(
+      {{1, 10.0, 0.3}, {2, 20.0, 0.3}}, {{0, 1}, {0}}, &error));
+  EXPECT_NE(error.find("more than one rule"), std::string::npos);
+}
+
+TEST(TupleRelationValidateTest, RejectsNonFiniteScore) {
+  std::string error;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(TupleRelation::Validate({{1, nan, 0.5}}, {}, &error));
+  EXPECT_NE(error.find("non-finite"), std::string::npos);
+}
+
+TEST(TupleRelationDeathTest, ConstructorAbortsOnInvalid) {
+  EXPECT_DEATH(TupleRelation({{1, 10.0, 0.7}, {2, 20.0, 0.7}}, {{0, 1}}),
+               "> 1");
+}
+
+}  // namespace
+}  // namespace urank

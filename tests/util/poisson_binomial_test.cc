@@ -1,0 +1,211 @@
+#include "util/poisson_binomial.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace urank {
+namespace {
+
+double BinomialPmf(int n, int c, double p) {
+  double binom = 1.0;
+  for (int i = 0; i < c; ++i) {
+    binom *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return binom * std::pow(p, c) * std::pow(1.0 - p, n - c);
+}
+
+TEST(PoissonBinomialTest, EmptyDistribution) {
+  PoissonBinomial pb;
+  EXPECT_EQ(pb.num_trials(), 0);
+  EXPECT_DOUBLE_EQ(pb.Pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(pb.Pmf(1), 0.0);
+  EXPECT_DOUBLE_EQ(pb.Cdf(0), 1.0);
+  EXPECT_DOUBLE_EQ(pb.Mean(), 0.0);
+}
+
+TEST(PoissonBinomialTest, SingleTrial) {
+  PoissonBinomial pb;
+  pb.AddTrial(0.3);
+  EXPECT_DOUBLE_EQ(pb.Pmf(0), 0.7);
+  EXPECT_DOUBLE_EQ(pb.Pmf(1), 0.3);
+  EXPECT_DOUBLE_EQ(pb.Mean(), 0.3);
+}
+
+TEST(PoissonBinomialTest, MatchesBinomialForEqualProbs) {
+  PoissonBinomial pb;
+  const int n = 12;
+  const double p = 0.37;
+  for (int i = 0; i < n; ++i) pb.AddTrial(p);
+  for (int c = 0; c <= n; ++c) {
+    EXPECT_NEAR(pb.Pmf(c), BinomialPmf(n, c, p), 1e-12) << "c=" << c;
+  }
+}
+
+TEST(PoissonBinomialTest, DeterministicTrials) {
+  PoissonBinomial pb;
+  pb.AddTrial(1.0);
+  pb.AddTrial(1.0);
+  pb.AddTrial(0.0);
+  EXPECT_DOUBLE_EQ(pb.Pmf(2), 1.0);
+  EXPECT_DOUBLE_EQ(pb.Pmf(0), 0.0);
+  EXPECT_DOUBLE_EQ(pb.Pmf(3), 0.0);
+}
+
+TEST(PoissonBinomialTest, PmfSumsToOne) {
+  Rng rng(1);
+  PoissonBinomial pb;
+  for (int i = 0; i < 40; ++i) pb.AddTrial(rng.Uniform01());
+  const double sum =
+      std::accumulate(pb.pmf().begin(), pb.pmf().end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PoissonBinomialTest, MeanIsSumOfProbs) {
+  Rng rng(2);
+  PoissonBinomial pb;
+  double expected = 0.0;
+  for (int i = 0; i < 25; ++i) {
+    const double p = rng.Uniform01();
+    pb.AddTrial(p);
+    expected += p;
+  }
+  EXPECT_NEAR(pb.Mean(), expected, 1e-12);
+  // The distribution's mean must agree with the analytic mean.
+  double mean = 0.0;
+  for (int c = 0; c <= pb.num_trials(); ++c) mean += c * pb.Pmf(c);
+  EXPECT_NEAR(mean, expected, 1e-9);
+}
+
+TEST(PoissonBinomialTest, CdfMonotoneAndClamped) {
+  PoissonBinomial pb;
+  pb.AddTrial(0.5);
+  pb.AddTrial(0.25);
+  EXPECT_DOUBLE_EQ(pb.Cdf(-1), 0.0);
+  double prev = 0.0;
+  for (int c = 0; c <= 2; ++c) {
+    EXPECT_GE(pb.Cdf(c), prev);
+    prev = pb.Cdf(c);
+  }
+  EXPECT_DOUBLE_EQ(pb.Cdf(2), 1.0);
+  EXPECT_DOUBLE_EQ(pb.Cdf(99), 1.0);
+}
+
+TEST(PoissonBinomialTest, RemoveInvertsAdd) {
+  Rng rng(3);
+  std::vector<double> probs;
+  PoissonBinomial pb;
+  for (int i = 0; i < 15; ++i) {
+    const double p = rng.Uniform01();
+    probs.push_back(p);
+    pb.AddTrial(p);
+  }
+  const std::vector<double> with_all = pb.pmf();
+  // Remove and re-add each trial; distribution must be unchanged.
+  for (double p : probs) {
+    pb.RemoveTrial(p);
+    EXPECT_EQ(pb.num_trials(), 14);
+    pb.AddTrial(p);
+    for (size_t c = 0; c < with_all.size(); ++c) {
+      EXPECT_NEAR(pb.pmf()[c], with_all[c], 1e-9);
+    }
+  }
+}
+
+TEST(PoissonBinomialTest, RemoveMatchesRebuiltDistribution) {
+  Rng rng(4);
+  std::vector<double> probs;
+  for (int i = 0; i < 12; ++i) probs.push_back(rng.Uniform01());
+  PoissonBinomial pb = PoissonBinomial::FromProbs(probs);
+  pb.RemoveTrial(probs[5]);
+  std::vector<double> rest = probs;
+  rest.erase(rest.begin() + 5);
+  PoissonBinomial expected = PoissonBinomial::FromProbs(rest);
+  for (int c = 0; c <= pb.num_trials(); ++c) {
+    EXPECT_NEAR(pb.Pmf(c), expected.Pmf(c), 1e-9);
+  }
+}
+
+TEST(PoissonBinomialTest, RemoveExtremeProbabilitiesIsStable) {
+  // p = 1 forces the backward division path; p = 0 the forward path.
+  PoissonBinomial pb;
+  pb.AddTrial(1.0);
+  pb.AddTrial(0.0);
+  pb.AddTrial(0.5);
+  pb.RemoveTrial(1.0);
+  EXPECT_NEAR(pb.Pmf(0), 0.5, 1e-12);
+  EXPECT_NEAR(pb.Pmf(1), 0.5, 1e-12);
+  pb.RemoveTrial(0.0);
+  EXPECT_NEAR(pb.Pmf(0), 0.5, 1e-12);
+  EXPECT_NEAR(pb.Pmf(1), 0.5, 1e-12);
+  pb.RemoveTrial(0.5);
+  EXPECT_NEAR(pb.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(PoissonBinomialTest, ManyRemovalCyclesStayAccurate) {
+  // Repeated remove/add cycles (the rank-distribution sweep pattern) must
+  // not accumulate drift.
+  Rng rng(5);
+  std::vector<double> probs;
+  for (int i = 0; i < 30; ++i) probs.push_back(rng.Uniform01());
+  PoissonBinomial pb = PoissonBinomial::FromProbs(probs);
+  const std::vector<double> reference = pb.pmf();
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    const double p = probs[static_cast<size_t>(cycle % probs.size())];
+    pb.RemoveTrial(p);
+    pb.AddTrial(p);
+  }
+  for (size_t c = 0; c < reference.size(); ++c) {
+    EXPECT_NEAR(pb.pmf()[c], reference[c], 1e-8);
+  }
+}
+
+TEST(PoissonBinomialDeathTest, RejectsBadProbabilities) {
+  PoissonBinomial pb;
+  EXPECT_DEATH(pb.AddTrial(-0.1), "in \\[0,1\\]");
+  EXPECT_DEATH(pb.AddTrial(1.1), "in \\[0,1\\]");
+}
+
+TEST(PoissonBinomialDeathTest, RejectsUnknownRemoval) {
+  PoissonBinomial pb;
+  EXPECT_DEATH(pb.RemoveTrial(0.5), "no live trials");
+  pb.AddTrial(0.25);
+  EXPECT_DEATH(pb.RemoveTrial(0.5), "no matching trial");
+}
+
+class PoissonBinomialSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoissonBinomialSweepTest, MatchesExhaustiveEnumeration) {
+  // Enumerate all 2^n outcomes and compare against the DP.
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(100 + n));
+  std::vector<double> probs;
+  for (int i = 0; i < n; ++i) probs.push_back(rng.Uniform01());
+  PoissonBinomial pb = PoissonBinomial::FromProbs(probs);
+  std::vector<double> expected(static_cast<size_t>(n) + 1, 0.0);
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double prob = 1.0;
+    int count = 0;
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) {
+        prob *= probs[static_cast<size_t>(i)];
+        ++count;
+      } else {
+        prob *= 1.0 - probs[static_cast<size_t>(i)];
+      }
+    }
+    expected[static_cast<size_t>(count)] += prob;
+  }
+  for (int c = 0; c <= n; ++c) {
+    EXPECT_NEAR(pb.Pmf(c), expected[static_cast<size_t>(c)], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PoissonBinomialSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace urank

@@ -1,0 +1,146 @@
+#include "util/rank_metrics.h"
+
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace urank {
+namespace {
+
+TEST(RankMetricsTest, RecallBasics) {
+  EXPECT_DOUBLE_EQ(RecallAgainst({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAgainst({1, 2}, {1, 2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAgainst({}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAgainst({5, 6}, {}), 1.0);  // empty reference
+}
+
+TEST(RankMetricsTest, PrecisionBasics) {
+  EXPECT_DOUBLE_EQ(PrecisionAgainst({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAgainst({1, 9}, {1, 2, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAgainst({}, {1, 2}), 1.0);  // empty answer
+  EXPECT_DOUBLE_EQ(PrecisionAgainst({9, 8}, {1, 2}), 0.0);
+}
+
+TEST(RankMetricsTest, PrecisionEqualsRecallForEqualSizes) {
+  const std::vector<int> a = {1, 2, 3, 4};
+  const std::vector<int> b = {3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(PrecisionAgainst(a, b), RecallAgainst(a, b));
+}
+
+TEST(RankMetricsTest, TopKOverlap) {
+  EXPECT_DOUBLE_EQ(TopKOverlap({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap({1}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap({1, 2, 3}, {2, 3, 4}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap({1, 2}, {1, 2, 3, 4}), 0.5);
+}
+
+TEST(KendallTauTest, IdenticalOrderingsAreZero) {
+  EXPECT_DOUBLE_EQ(KendallTauDistance({1, 2, 3, 4}, {1, 2, 3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTauDistance({7}, {7}), 0.0);
+  EXPECT_DOUBLE_EQ(KendallTauDistance({}, {}), 0.0);
+}
+
+TEST(KendallTauTest, ReversedOrderingIsOne) {
+  EXPECT_DOUBLE_EQ(KendallTauDistance({1, 2, 3, 4, 5}, {5, 4, 3, 2, 1}),
+                   1.0);
+}
+
+TEST(KendallTauTest, SingleSwap) {
+  // One adjacent transposition out of C(4,2)=6 pairs.
+  EXPECT_DOUBLE_EQ(KendallTauDistance({1, 2, 3, 4}, {2, 1, 3, 4}),
+                   1.0 / 6.0);
+}
+
+TEST(KendallTauTest, SymmetricInArguments) {
+  const std::vector<int> a = {3, 1, 4, 1 + 4, 9, 2, 6};
+  const std::vector<int> b = {9, 2, 6, 3, 1, 4, 5};
+  EXPECT_DOUBLE_EQ(KendallTauDistance(a, b), KendallTauDistance(b, a));
+}
+
+TEST(KendallTauTest, MatchesQuadraticCountOnRandomPermutations) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(2, 30));
+    std::vector<int> a(static_cast<size_t>(n));
+    std::iota(a.begin(), a.end(), 100);
+    std::vector<int> b = a;
+    rng.Shuffle(b);
+    // O(n^2) reference count of discordant pairs.
+    std::vector<int> pos_a(static_cast<size_t>(n) + 200);
+    std::vector<int> pos_b(static_cast<size_t>(n) + 200);
+    for (int i = 0; i < n; ++i) {
+      pos_a[static_cast<size_t>(a[static_cast<size_t>(i)])] = i;
+      pos_b[static_cast<size_t>(b[static_cast<size_t>(i)])] = i;
+    }
+    int discordant = 0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const int x = a[static_cast<size_t>(i)];
+        const int y = a[static_cast<size_t>(j)];
+        const bool same_order =
+            (pos_a[static_cast<size_t>(x)] < pos_a[static_cast<size_t>(y)]) ==
+            (pos_b[static_cast<size_t>(x)] < pos_b[static_cast<size_t>(y)]);
+        if (!same_order) ++discordant;
+      }
+    }
+    const double expected =
+        2.0 * discordant / (static_cast<double>(n) * (n - 1));
+    EXPECT_NEAR(KendallTauDistance(a, b), expected, 1e-12);
+  }
+}
+
+TEST(SpearmanFootruleTest, IdenticalOrderingsAreZero) {
+  EXPECT_DOUBLE_EQ(SpearmanFootruleDistance({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanFootruleDistance({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanFootruleDistance({9}, {9}), 0.0);
+}
+
+TEST(SpearmanFootruleTest, ReversedOrderingIsOne) {
+  // Max footrule sum is floor(n^2/2); a full reversal achieves it.
+  EXPECT_DOUBLE_EQ(SpearmanFootruleDistance({1, 2, 3, 4}, {4, 3, 2, 1}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      SpearmanFootruleDistance({1, 2, 3, 4, 5}, {5, 4, 3, 2, 1}), 1.0);
+}
+
+TEST(SpearmanFootruleTest, AdjacentSwap) {
+  // One adjacent transposition: footrule sum 2 over max floor(16/2)=8.
+  EXPECT_DOUBLE_EQ(SpearmanFootruleDistance({1, 2, 3, 4}, {2, 1, 3, 4}),
+                   0.25);
+}
+
+TEST(SpearmanFootruleTest, DiaconisGrahamInequality) {
+  // Kendall tau count K and footrule sum F satisfy K <= F <= 2K (Diaconis
+  // & Graham); verify the normalized versions stay consistent on random
+  // permutations via the raw counts.
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(2, 25));
+    std::vector<int> a(static_cast<size_t>(n));
+    std::iota(a.begin(), a.end(), 0);
+    std::vector<int> b = a;
+    rng.Shuffle(b);
+    const double pairs = n * (n - 1) / 2.0;
+    const double max_f = static_cast<double>((n * n) / 2);
+    const double K = KendallTauDistance(a, b) * pairs;
+    const double F = SpearmanFootruleDistance(a, b) * max_f;
+    EXPECT_LE(K, F + 1e-9);
+    EXPECT_LE(F, 2.0 * K + 1e-9);
+  }
+}
+
+TEST(SpearmanFootruleDeathTest, RejectsMismatchedInputs) {
+  EXPECT_DEATH(SpearmanFootruleDistance({1, 2}, {1}), "equal-size");
+  EXPECT_DEATH(SpearmanFootruleDistance({1, 2}, {1, 3}), "same items");
+}
+
+TEST(KendallTauDeathTest, RejectsMismatchedInputs) {
+  EXPECT_DEATH(KendallTauDistance({1, 2}, {1}), "equal-size");
+  EXPECT_DEATH(KendallTauDistance({1, 2}, {1, 3}), "same items");
+  EXPECT_DEATH(KendallTauDistance({1, 1}, {1, 1}), "duplicate");
+}
+
+}  // namespace
+}  // namespace urank

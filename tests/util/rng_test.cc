@@ -1,0 +1,121 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace urank {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform01() != b.Uniform01()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, NormalZeroStddevIsMean) {
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(rng.Normal(3.5, 0.0), 3.5);
+}
+
+TEST(RngTest, NormalRoughlyCentred) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / trials, 10.0, 0.1);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));  // clamped
+    EXPECT_TRUE(rng.Bernoulli(1.5));    // clamped
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(7);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, RandomSimplexSumsToTotal) {
+  Rng rng(8);
+  for (int n : {1, 2, 5, 17}) {
+    const std::vector<double> w = rng.RandomSimplex(n, 0.8);
+    EXPECT_EQ(static_cast<int>(w.size()), n);
+    const double sum = std::accumulate(w.begin(), w.end(), 0.0);
+    EXPECT_NEAR(sum, 0.8, 1e-12);
+    for (double x : w) EXPECT_GT(x, 0.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngDeathTest, UniformRejectsEmptyRange) {
+  Rng rng(10);
+  EXPECT_DEATH(rng.Uniform(1.0, 1.0), "lo < hi");
+}
+
+TEST(RngDeathTest, UniformIntRejectsInvertedRange) {
+  Rng rng(11);
+  EXPECT_DEATH(rng.UniformInt(2, 1), "lo <= hi");
+}
+
+TEST(RngDeathTest, SimplexRejectsZeroCount) {
+  Rng rng(12);
+  EXPECT_DEATH(rng.RandomSimplex(0, 1.0), "n >= 1");
+}
+
+}  // namespace
+}  // namespace urank

@@ -1,0 +1,66 @@
+#include "util/table.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace urank {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t("demo", {"N", "time"});
+  t.AddRow({"10", "1.5"});
+  t.AddRow({"1000", "12.25"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("N"), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+  EXPECT_NE(out.find("12.25"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  Table t("align", {"a", "bbbb"});
+  t.AddRow({"xxxxx", "1"});
+  const std::string out = t.ToString();
+  // Every data/header line must have the same length (right-aligned grid).
+  size_t line_start = out.find('\n') + 1;  // skip title
+  std::vector<size_t> lengths;
+  while (line_start < out.size()) {
+    const size_t line_end = out.find('\n', line_start);
+    lengths.push_back(line_end - line_start);
+    line_start = line_end + 1;
+  }
+  ASSERT_GE(lengths.size(), 3u);  // header, separator, row
+  for (size_t len : lengths) EXPECT_EQ(len, lengths[0]);
+}
+
+TEST(TableTest, EmptyTableStillRenders) {
+  Table t("empty", {"only"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TableDeathTest, RejectsWrongRowWidth) {
+  Table t("bad", {"a", "b"});
+  EXPECT_DEATH(t.AddRow({"1"}), "row width");
+}
+
+TEST(TableDeathTest, RejectsEmptyHeader) {
+  EXPECT_DEATH(Table("x", {}), "at least one column");
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+TEST(FormatTest, FormatInt) {
+  EXPECT_EQ(FormatInt(0), "0");
+  EXPECT_EQ(FormatInt(-42), "-42");
+  EXPECT_EQ(FormatInt(1234567890123LL), "1234567890123");
+}
+
+}  // namespace
+}  // namespace urank

@@ -1,0 +1,54 @@
+#include "util/timer.h"
+
+#include <chrono>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace urank {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.ElapsedMs();
+  EXPECT_GE(elapsed, 15.0);
+  EXPECT_LT(elapsed, 2000.0);  // generous ceiling for loaded machines
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedMs(), 15.0);
+}
+
+TEST(TimerTest, MonotoneNonDecreasing) {
+  Timer timer;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = timer.ElapsedMs();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(MedianTimeMsTest, RunsTheCallableExactlyRepeatsTimes) {
+  int calls = 0;
+  MedianTimeMs(7, [&] { ++calls; });
+  EXPECT_EQ(calls, 7);
+}
+
+TEST(MedianTimeMsTest, MedianTracksTheTypicalCost) {
+  // One slow outlier among fast runs must not dominate the median.
+  int call = 0;
+  const double median = MedianTimeMs(5, [&] {
+    if (call++ == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+  EXPECT_LT(median, 25.0);
+}
+
+}  // namespace
+}  // namespace urank

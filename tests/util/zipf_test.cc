@@ -1,0 +1,94 @@
+#include "util/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace urank {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (double theta : {0.0, 0.5, 1.0, 2.0}) {
+    ZipfDistribution zipf(100, theta);
+    double sum = 0.0;
+    for (int64_t i = 1; i <= 100; ++i) sum += zipf.Pmf(i);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (int64_t i = 1; i <= 10; ++i) {
+    EXPECT_NEAR(zipf.Pmf(i), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PmfDecreasesWithRank) {
+  ZipfDistribution zipf(50, 1.0);
+  for (int64_t i = 1; i < 50; ++i) {
+    EXPECT_GT(zipf.Pmf(i), zipf.Pmf(i + 1));
+  }
+}
+
+TEST(ZipfTest, HigherThetaMoreSkewed) {
+  ZipfDistribution mild(100, 0.5);
+  ZipfDistribution steep(100, 2.0);
+  EXPECT_GT(steep.Pmf(1), mild.Pmf(1));
+  EXPECT_LT(steep.Pmf(100), mild.Pmf(100));
+}
+
+TEST(ZipfTest, PmfRatioMatchesPowerLaw) {
+  const double theta = 1.3;
+  ZipfDistribution zipf(20, theta);
+  // Pmf(i)/Pmf(j) should equal (j/i)^theta exactly.
+  const double ratio = zipf.Pmf(2) / zipf.Pmf(4);
+  EXPECT_NEAR(ratio, std::pow(2.0, theta), 1e-9);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfDistribution zipf(7, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = zipf.Sample(rng);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 7);
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfDistribution zipf(5, 1.0);
+  Rng rng(2);
+  std::vector<int> counts(6, 0);
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[static_cast<size_t>(zipf.Sample(rng))];
+  }
+  for (int64_t i = 1; i <= 5; ++i) {
+    const double freq = static_cast<double>(counts[static_cast<size_t>(i)]) /
+                        static_cast<double>(trials);
+    EXPECT_NEAR(freq, zipf.Pmf(i), 0.01) << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, SingleElementUniverse) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(zipf.Pmf(1), 1.0);
+  EXPECT_EQ(zipf.Sample(rng), 1);
+}
+
+TEST(ZipfDeathTest, RejectsInvalidParameters) {
+  EXPECT_DEATH(ZipfDistribution(0, 1.0), "n >= 1");
+  EXPECT_DEATH(ZipfDistribution(10, -0.1), "theta >= 0");
+}
+
+TEST(ZipfDeathTest, PmfRejectsOutOfRange) {
+  ZipfDistribution zipf(5, 1.0);
+  EXPECT_DEATH(zipf.Pmf(0), "out of range");
+  EXPECT_DEATH(zipf.Pmf(6), "out of range");
+}
+
+}  // namespace
+}  // namespace urank
