@@ -16,7 +16,12 @@ constexpr size_t kMaxOverflow = 128;
 }  // namespace
 
 void MassByScoreIndex::Add(double score, double delta) {
+  URANK_DCHECK_MSG(std::isfinite(score) && std::isfinite(delta),
+                   "MassByScoreIndex::Add with non-finite input");
   total_ += delta;
+  // Deletions can only remove mass that was previously inserted, so the
+  // running total never goes meaningfully negative.
+  URANK_DCHECK_MSG(total_ >= -1e-9, "mass index total went negative");
   const auto it =
       std::lower_bound(universe_.begin(), universe_.end(), score);
   if (it != universe_.end() && *it == score) {
@@ -112,6 +117,7 @@ void DynamicTupleRanker::Erase(int id) {
     RuleState& rule = rules_[e.rule_label];
     rule.ids.erase(std::find(rule.ids.begin(), rule.ids.end(), id));
     rule.mass -= e.prob;
+    URANK_DCHECK_MSG(rule.mass >= -1e-9, "rule mass went negative");
     if (rule.ids.empty()) rules_.erase(e.rule_label);
   }
   mass_index_.Add(e.score, -e.prob);
@@ -132,8 +138,19 @@ double DynamicTupleRanker::ExpectedRankOf(const Entry& e, int id) const {
       if (oe.score > e.score) same_above += oe.prob;
     }
   }
-  return e.prob * (above - same_above) + same_other +
-         (1.0 - e.prob) * (expected_world_size_ - e.prob - same_other);
+  URANK_DCHECK_PROB(e.prob);
+  URANK_DCHECK_MSG(same_above <= same_other + 1e-9,
+                   "rule mass above exceeds total rule mass");
+  const double rank = e.prob * (above - same_above) + same_other +
+                      (1.0 - e.prob) * (expected_world_size_ - e.prob -
+                                        same_other);
+  // Same bound as the batch kernel: eq. (8) stays within [0, N].
+  URANK_DCHECK_MSG(
+      rank >= -1e-9 * static_cast<double>(size() + 1) &&
+          rank <= static_cast<double>(size()) +
+                      1e-9 * static_cast<double>(size() + 1),
+      "dynamic expected rank outside [0, N]");
+  return rank;
 }
 
 double DynamicTupleRanker::ExpectedRank(int id) const {

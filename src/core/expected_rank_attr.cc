@@ -95,6 +95,11 @@ std::vector<double> AttrExpectedRanks(const AttrRelation& rel,
       }
     }
   }
+  // An attribute-level tuple is always present, so its expected rank is a
+  // mean over [0, N-1].
+  URANK_DCHECK_MSG(internal::AllFiniteInRange(ranks, 0.0,
+                                              static_cast<double>(n - 1)),
+                   "expected rank outside [0, N-1]");
   return ranks;
 }
 

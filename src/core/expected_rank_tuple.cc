@@ -99,6 +99,12 @@ std::vector<double> TupleExpectedRanks(const TupleRelation& rel,
     }
     pos = end;
   }
+  // Eq. (8) mixes the in-world rank (< |W| <= N) with the absent branch's
+  // E[|W|] penalty, so every expected rank lies in [0, N].
+  URANK_DCHECK_MSG(
+      internal::AllFiniteInRange(ranks, 0.0, static_cast<double>(n),
+                                 1e-9 * static_cast<double>(n > 0 ? n : 1)),
+      "expected rank outside [0, N]");
   return ranks;
 }
 

@@ -26,6 +26,7 @@ std::vector<double> ToDouble(const std::vector<int>& v) {
 int QuantileFromPmf(const std::vector<double>& pmf, double phi) {
   URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
   URANK_CHECK_MSG(!pmf.empty(), "pmf must be non-empty");
+  URANK_DCHECK_NORMALIZED(pmf);
   double cdf = 0.0;
   for (size_t r = 0; r < pmf.size(); ++r) {
     cdf += pmf[r];
@@ -72,6 +73,7 @@ RankDistributionSummary SummarizeRankDistribution(
 
 std::vector<int> AttrQuantileRanks(const AttrRelation& rel, double phi,
                                    TiePolicy ties) {
+  URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
   std::vector<int> ranks(static_cast<size_t>(rel.size()), 0);
   // One DP per tuple; memory stays O(N) rather than materializing the
   // full N×N distribution matrix.
@@ -84,6 +86,7 @@ std::vector<int> AttrQuantileRanks(const AttrRelation& rel, double phi,
 
 std::vector<int> TupleQuantileRanks(const TupleRelation& rel, double phi,
                                     TiePolicy ties) {
+  URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
   std::vector<int> ranks(static_cast<size_t>(rel.size()), 0);
   ForEachTupleRankDistribution(
       rel, ties, [&](int i, const std::vector<double>& dist) {
@@ -103,6 +106,7 @@ std::vector<int> TupleMedianRanks(const TupleRelation& rel, TiePolicy ties) {
 std::vector<RankedTuple> AttrQuantileRankTopK(const AttrRelation& rel, int k,
                                               double phi, TiePolicy ties) {
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
   std::vector<int> ids =
       IdsInOrder(rel.size(), [&](int i) { return rel.tuple(i).id; });
   return TopKByStatistic(ids, ToDouble(AttrQuantileRanks(rel, phi, ties)), k);
@@ -112,6 +116,7 @@ std::vector<RankedTuple> TupleQuantileRankTopK(const TupleRelation& rel,
                                                int k, double phi,
                                                TiePolicy ties) {
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
   std::vector<int> ids =
       IdsInOrder(rel.size(), [&](int i) { return rel.tuple(i).id; });
   return TopKByStatistic(ids, ToDouble(TupleQuantileRanks(rel, phi, ties)),

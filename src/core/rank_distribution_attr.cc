@@ -29,6 +29,9 @@ std::vector<double> DistributionForTuple(const AttrRelation& rel,
       if (ties == TiePolicy::kBreakByIndex && j < index) {
         beat += pj.PrEqual(sv.value);
       }
+      // `beat` may exceed 1 only by accumulated round-off; anything larger
+      // means a denormalized source pdf.
+      URANK_DCHECK_PROB(beat);
       pb.AddTrial(std::min(beat, 1.0));
     }
     const std::vector<double>& pmf = pb.pmf();
@@ -36,6 +39,7 @@ std::vector<double> DistributionForTuple(const AttrRelation& rel,
       dist[c] += sv.prob * pmf[c];
     }
   }
+  URANK_DCHECK_NORMALIZED(dist);
   return dist;
 }
 

@@ -62,6 +62,9 @@ void ForEachAppearBranch(
       const int i = order[idx];
       const size_t r = static_cast<size_t>(rel.rule_of(i));
       pb.RemoveTrial(cur[r]);
+      // Rule mass stays a probability: Validate() bounds each rule's sum
+      // by 1 + tolerance, and the sweep only ever adds member masses.
+      URANK_DCHECK_PROB(cur[r] + rel.tuple(i).prob);
       cur[r] = std::min(cur[r] + rel.tuple(i).prob, 1.0);
       pb.AddTrial(cur[r]);
     }
@@ -108,6 +111,7 @@ void ForEachTupleRankDistribution(
           pb_all.RemoveTrial(cond);
           pb_all.AddTrial(rule_sums[r]);
         }
+        URANK_DCHECK_NORMALIZED(dist);
         fn(i, dist);
       });
 }

@@ -1,5 +1,7 @@
 #include "core/semantics/expected_score.h"
 
+#include <limits>
+
 #include "util/check.h"
 
 namespace urank {
@@ -19,6 +21,12 @@ std::vector<double> AttrExpectedScores(const AttrRelation& rel) {
   for (int i = 0; i < rel.size(); ++i) {
     scores[static_cast<size_t>(i)] = rel.tuple(i).ExpectedScore();
   }
+  // Score values are validated finite, so their expectations must be too.
+  URANK_DCHECK_MSG(
+      internal::AllFiniteInRange(scores,
+                                 -std::numeric_limits<double>::infinity(),
+                                 std::numeric_limits<double>::infinity()),
+      "expected score is not finite");
   return scores;
 }
 

@@ -12,6 +12,8 @@ namespace {
 
 std::vector<int> BestK(const std::vector<double>& probs,
                        const std::vector<int>& ids, int k) {
+  URANK_DCHECK_MSG(internal::AllFiniteInRange(probs, 0.0, 1.0),
+                   "top-k membership probability outside [0,1]");
   std::vector<double> neg(probs.size());
   for (size_t i = 0; i < probs.size(); ++i) neg[i] = -probs[i];
   return IdsOf(TopKByStatistic(ids, neg, k));

@@ -10,6 +10,8 @@ namespace {
 
 std::vector<int> Threshold(const std::vector<double>& probs,
                            const std::vector<int>& ids, double threshold) {
+  URANK_DCHECK_MSG(internal::AllFiniteInRange(probs, 0.0, 1.0),
+                   "top-k membership probability outside [0,1]");
   // Order by descending probability via the ascending-statistic helper.
   std::vector<double> neg(probs.size());
   for (size_t i = 0; i < probs.size(); ++i) neg[i] = -probs[i];

@@ -48,6 +48,7 @@ double ScoreOrderSweep::TopKProbability(int k) {
   pb_.RemoveTrial(cur_[r]);
   const double prob = rel_.tuple(current_).prob * pb_.Cdf(k - 1);
   pb_.AddTrial(cur_[r]);
+  URANK_DCHECK_PROB(prob);
   return prob;
 }
 
@@ -58,6 +59,7 @@ void ScoreOrderSweep::PositionalProbabilities(int max_ranks,
   out->assign(static_cast<size_t>(max_ranks), 0.0);
   const size_t r = static_cast<size_t>(rel_.rule_of(current_));
   const double p = rel_.tuple(current_).prob;
+  URANK_DCHECK_PROB(p);
   pb_.RemoveTrial(cur_[r]);
   for (int rank = 0; rank < max_ranks; ++rank) {
     (*out)[static_cast<size_t>(rank)] = p * pb_.Pmf(rank);

@@ -17,6 +17,7 @@ std::vector<double> AttrTopKProbabilities(const AttrRelation& rel, int k,
     double cdf = 0.0;
     const int hi = std::min(k, static_cast<int>(dist.size()));
     for (int r = 0; r < hi; ++r) cdf += dist[static_cast<size_t>(r)];
+    URANK_DCHECK_PROB(cdf);
     probs[static_cast<size_t>(i)] = std::min(cdf, 1.0);
   }
   return probs;
@@ -33,6 +34,7 @@ std::vector<double> TupleTopKProbabilities(const TupleRelation& rel, int k,
     double cdf = 0.0;
     const int hi = std::min(k, static_cast<int>(row.size()));
     for (int r = 0; r < hi; ++r) cdf += row[static_cast<size_t>(r)];
+    URANK_DCHECK_PROB(cdf);
     probs[static_cast<size_t>(i)] = std::min(cdf, 1.0);
   }
   return probs;

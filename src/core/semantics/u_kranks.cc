@@ -17,6 +17,8 @@ std::vector<int> WinnersPerRank(
   std::vector<double> best(static_cast<size_t>(k), 0.0);
   for (size_t i = 0; i < rows.size(); ++i) {
     const auto& row = rows[i];
+    URANK_DCHECK_MSG(internal::AllFiniteInRange(row, 0.0, 1.0),
+                     "positional probability outside [0,1]");
     const size_t hi = std::min(static_cast<size_t>(k), row.size());
     for (size_t r = 0; r < hi; ++r) {
       if (row[r] > best[r] ||
@@ -61,6 +63,8 @@ UKRanksPruneResult TupleUKRanksPruned(const TupleRelation& rel, int k,
     const int i = sweep.Next();
     const int id = rel.tuple(i).id;
     sweep.PositionalProbabilities(k, &positional);
+    URANK_DCHECK_MSG(internal::AllFiniteInRange(positional, 0.0, 1.0),
+                     "positional probability outside [0,1]");
     for (int r = 0; r < k; ++r) {
       const double p = positional[static_cast<size_t>(r)];
       if (p > best[static_cast<size_t>(r)] ||

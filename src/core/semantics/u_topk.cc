@@ -114,6 +114,7 @@ UTopKAnswer TupleUTopKIndependent(const TupleRelation& rel, int k) {
   }
   // The backward walk produced ascending score order; report rank order.
   std::reverse(answer.ids.begin(), answer.ids.end());
+  URANK_DCHECK_PROB(answer.probability);
   return answer;
 }
 
@@ -329,6 +330,7 @@ UTopKAnswer TupleUTopKWithRules(const TupleRelation& rel, int k) {
     }
   }
   answer.probability = probability;
+  URANK_DCHECK_PROB(answer.probability);
   return answer;
 }
 

@@ -4,12 +4,35 @@
 // preconditions are programming errors: they print a diagnostic to stderr
 // and abort. All public functions document their preconditions and enforce
 // them with these macros, in both debug and release builds.
+//
+// Two macro tiers:
+//   * URANK_CHECK / URANK_CHECK_MSG — always on. Used for public API
+//     preconditions; the cost must be O(1)-ish relative to the call.
+//   * URANK_DCHECK / URANK_DCHECK_MSG / URANK_DCHECK_PROB /
+//     URANK_DCHECK_NORMALIZED — debug contracts. They guard internal
+//     numeric invariants of the DP kernels (probabilities in [0,1], pmfs
+//     normalized) whose verification is too expensive for release hot
+//     paths. Compiled out (condition not evaluated) when
+//     URANK_ENABLE_DCHECKS is 0, which is the default under NDEBUG.
 
 #ifndef URANK_UTIL_CHECK_H_
 #define URANK_UTIL_CHECK_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
+
+// Debug contracts default to "on in Debug builds, off in Release" but can
+// be forced either way from the build system (-DURANK_ENABLE_DCHECKS=1 lets
+// a sanitizer-instrumented Release build keep the contract layer).
+#if !defined(URANK_ENABLE_DCHECKS)
+#if defined(NDEBUG)
+#define URANK_ENABLE_DCHECKS 0
+#else
+#define URANK_ENABLE_DCHECKS 1
+#endif
+#endif
 
 namespace urank {
 namespace internal {
@@ -20,6 +43,43 @@ namespace internal {
                expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
                msg != nullptr ? msg : "");
   std::abort();
+}
+
+// Default tolerance for the numeric-contract validators. Matches the
+// kProbSumTolerance the model validators use: generators are accurate to
+// round-off and the DP kernels accumulate at most O(N) of it.
+inline constexpr double kContractTolerance = 1e-9;
+
+// True when `p` is a probability up to `tol` of round-off on either side.
+inline bool IsProbability(double p, double tol = kContractTolerance) {
+  return std::isfinite(p) && p >= -tol && p <= 1.0 + tol;
+}
+
+// True when every entry of `values` is finite and inside [lo - tol,
+// hi + tol]. Used to validate whole rank vectors in one debug contract so
+// the scan itself compiles out in Release.
+inline bool AllFiniteInRange(const std::vector<double>& values, double lo,
+                             double hi, double tol = kContractTolerance) {
+  for (double v : values) {
+    if (!std::isfinite(v) || v < lo - tol || v > hi + tol) return false;
+  }
+  return true;
+}
+
+// True when `pmf` is a (sub-)distribution normalized to `target`: every
+// entry a probability and the total within `tol * max(1, size)` of target.
+// The size-scaled tolerance absorbs one rounding error per accumulation.
+inline bool IsNormalized(const std::vector<double>& pmf,
+                         double target = 1.0,
+                         double tol = kContractTolerance) {
+  if (pmf.empty()) return false;
+  double sum = 0.0;
+  for (double p : pmf) {
+    if (!IsProbability(p, tol)) return false;
+    sum += p;
+  }
+  const double slack = tol * static_cast<double>(pmf.size() > 1 ? pmf.size() : 1);
+  return std::fabs(sum - target) <= slack;
 }
 
 }  // namespace internal
@@ -40,5 +100,49 @@ namespace internal {
       ::urank::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
     }                                                                   \
   } while (0)
+
+#if URANK_ENABLE_DCHECKS
+
+// Debug-only contract; same semantics as URANK_CHECK when enabled.
+#define URANK_DCHECK(cond) URANK_CHECK(cond)
+
+// Debug-only contract with an explanatory message.
+#define URANK_DCHECK_MSG(cond, msg) URANK_CHECK_MSG(cond, msg)
+
+// Debug contract: `p` must be a probability within the shared numeric
+// tolerance (finite, in [-tol, 1+tol]).
+#define URANK_DCHECK_PROB(p)                                        \
+  URANK_CHECK_MSG(::urank::internal::IsProbability((p)),            \
+                  "probability out of [0,1] beyond tolerance: " #p)
+
+// Debug contract: `pmf` (a std::vector<double>) must be normalized to 1
+// within the size-scaled tolerance, with every entry a probability.
+#define URANK_DCHECK_NORMALIZED(pmf)                             \
+  URANK_CHECK_MSG(::urank::internal::IsNormalized((pmf)),        \
+                  "pmf is not normalized within tolerance: " #pmf)
+
+#else  // !URANK_ENABLE_DCHECKS
+
+// Compiled out: the condition is type-checked but never evaluated, so
+// contract expressions with side effects or O(n) cost vanish in Release.
+#define URANK_DCHECK(cond) \
+  do {                     \
+    (void)sizeof((cond));  \
+  } while (0)
+#define URANK_DCHECK_MSG(cond, msg) \
+  do {                              \
+    (void)sizeof((cond));           \
+    (void)sizeof((msg));            \
+  } while (0)
+#define URANK_DCHECK_PROB(p) \
+  do {                       \
+    (void)sizeof((p));       \
+  } while (0)
+#define URANK_DCHECK_NORMALIZED(pmf) \
+  do {                               \
+    (void)sizeof((pmf));             \
+  } while (0)
+
+#endif  // URANK_ENABLE_DCHECKS
 
 #endif  // URANK_UTIL_CHECK_H_

@@ -34,6 +34,7 @@ void PoissonBinomial::AddTrial(double p) {
     pmf_[c] = pmf_[c] * (1.0 - p) + pmf_[c - 1] * p;
   }
   pmf_[0] *= (1.0 - p);
+  URANK_DCHECK_NORMALIZED(pmf_);
 }
 
 void PoissonBinomial::RemoveTrial(double p) {
@@ -104,6 +105,7 @@ void PoissonBinomial::RemoveTrial(double p) {
   } else {
     Recompute();
   }
+  URANK_DCHECK_NORMALIZED(pmf_);
 }
 
 double PoissonBinomial::Pmf(int c) const {

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <numeric>
 #include <vector>
 
@@ -197,9 +199,23 @@ TEST_P(ConsistencyFuzz, ExpectedRanksSumMatchesClosedForm) {
   EXPECT_NEAR(total, expected_total, 1e-6);
 }
 
+// One seed = one full pass over every invariant above. URANK_FUZZ_ITERS
+// overrides the seed count: the default keeps a local ctest run fast, and
+// the sanitizer CI job cranks it up for deeper coverage (see
+// docs/TOOLING.md).
+std::vector<uint64_t> FuzzSeeds() {
+  int iters = 8;
+  if (const char* env = std::getenv("URANK_FUZZ_ITERS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) iters = parsed;
+  }
+  std::vector<uint64_t> seeds(static_cast<size_t>(iters));
+  std::iota(seeds.begin(), seeds.end(), uint64_t{1001});
+  return seeds;
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyFuzz,
-                         ::testing::Values(1001, 1002, 1003, 1004, 1005,
-                                           1006, 1007, 1008));
+                         ::testing::ValuesIn(FuzzSeeds()));
 
 }  // namespace
 }  // namespace urank

@@ -1,0 +1,133 @@
+// Death tests for the contract layer in util/check.h: the always-on
+// URANK_CHECK tier aborts with a diagnostic in every build type, while the
+// URANK_DCHECK tier aborts only when URANK_ENABLE_DCHECKS is on and
+// vanishes (condition unevaluated) otherwise.
+
+#include "util/check.h"
+
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace urank {
+namespace {
+
+using internal::AllFiniteInRange;
+using internal::IsNormalized;
+using internal::IsProbability;
+
+TEST(CheckTest, PassingCheckDoesNotAbort) {
+  URANK_CHECK(1 + 1 == 2);
+  URANK_CHECK_MSG(true, "never printed");
+}
+
+TEST(CheckTest, ConditionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  URANK_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(URANK_CHECK(2 + 2 == 5), "URANK_CHECK failed");
+}
+
+TEST(CheckDeathTest, FailingCheckReportsTheExpression) {
+  EXPECT_DEATH(URANK_CHECK(1 > 2), "1 > 2");
+}
+
+TEST(CheckDeathTest, FailingCheckMsgReportsTheMessage) {
+  EXPECT_DEATH(URANK_CHECK_MSG(false, "k must be >= 1"), "k must be >= 1");
+}
+
+#if URANK_ENABLE_DCHECKS
+
+TEST(DcheckDeathTest, FailingDcheckAbortsWhenEnabled) {
+  EXPECT_DEATH(URANK_DCHECK(false), "URANK_CHECK failed");
+  EXPECT_DEATH(URANK_DCHECK_MSG(false, "contract broken"), "contract broken");
+}
+
+TEST(DcheckDeathTest, DcheckProbRejectsOutOfRange) {
+  EXPECT_DEATH(URANK_DCHECK_PROB(1.5), "probability");
+  EXPECT_DEATH(URANK_DCHECK_PROB(-0.5), "probability");
+}
+
+TEST(DcheckDeathTest, DcheckNormalizedRejectsDenormalizedPmf) {
+  const std::vector<double> pmf = {0.5, 0.4};  // sums to 0.9
+  EXPECT_DEATH(URANK_DCHECK_NORMALIZED(pmf), "not normalized");
+}
+
+TEST(DcheckTest, DcheckEvaluatesWhenEnabled) {
+  int evaluations = 0;
+  URANK_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+#else  // !URANK_ENABLE_DCHECKS
+
+TEST(DcheckTest, DcheckIsANoOpInRelease) {
+  URANK_DCHECK(false);
+  URANK_DCHECK_MSG(false, "never evaluated");
+  URANK_DCHECK_PROB(2.0);
+  const std::vector<double> pmf = {0.5, 0.4};
+  URANK_DCHECK_NORMALIZED(pmf);
+}
+
+TEST(DcheckTest, DcheckDoesNotEvaluateItsConditionInRelease) {
+  int evaluations = 0;
+  URANK_DCHECK(++evaluations > 0);
+  URANK_DCHECK_PROB(static_cast<double>(++evaluations));
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // URANK_ENABLE_DCHECKS
+
+TEST(DcheckTest, PassingContractsNeverAbort) {
+  URANK_DCHECK(true);
+  URANK_DCHECK_MSG(true, "fine");
+  URANK_DCHECK_PROB(0.0);
+  URANK_DCHECK_PROB(1.0);
+  URANK_DCHECK_PROB(0.5);
+  const std::vector<double> pmf = {0.25, 0.25, 0.5};
+  URANK_DCHECK_NORMALIZED(pmf);
+}
+
+TEST(ValidatorTest, IsProbabilityHonorsTolerance) {
+  EXPECT_TRUE(IsProbability(0.0));
+  EXPECT_TRUE(IsProbability(1.0));
+  // Round-off just past the boundaries is tolerated…
+  EXPECT_TRUE(IsProbability(-1e-12));
+  EXPECT_TRUE(IsProbability(1.0 + 1e-12));
+  // …but real violations and non-finite values are not.
+  EXPECT_FALSE(IsProbability(-1e-6));
+  EXPECT_FALSE(IsProbability(1.0 + 1e-6));
+  EXPECT_FALSE(IsProbability(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(IsProbability(std::numeric_limits<double>::infinity()));
+}
+
+TEST(ValidatorTest, IsNormalizedHonorsSizeScaledTolerance) {
+  EXPECT_TRUE(IsNormalized({1.0}));
+  EXPECT_TRUE(IsNormalized({0.5, 0.5}));
+  // Per-entry rounding is absorbed proportionally to the pmf length.
+  EXPECT_TRUE(IsNormalized({0.5 + 1e-12, 0.5 - 2e-12, 2e-12}));
+  EXPECT_FALSE(IsNormalized({0.5, 0.4}));
+  EXPECT_FALSE(IsNormalized({0.7, 0.4}));
+  EXPECT_FALSE(IsNormalized({1.5, -0.5}));  // entries must be probabilities
+  EXPECT_FALSE(IsNormalized({}));
+  // Sub-distributions validate against an explicit target.
+  EXPECT_TRUE(IsNormalized({0.2, 0.2}, 0.4));
+  EXPECT_FALSE(IsNormalized({0.2, 0.2}, 0.5));
+}
+
+TEST(ValidatorTest, AllFiniteInRangeChecksEveryEntry) {
+  EXPECT_TRUE(AllFiniteInRange({0.0, 1.0, 2.0}, 0.0, 2.0));
+  EXPECT_TRUE(AllFiniteInRange({}, 0.0, 1.0));
+  EXPECT_TRUE(AllFiniteInRange({-1e-12}, 0.0, 1.0));  // tolerance below lo
+  EXPECT_FALSE(AllFiniteInRange({-1e-6}, 0.0, 1.0));
+  EXPECT_FALSE(AllFiniteInRange({0.0, 3.0}, 0.0, 2.0));
+  EXPECT_FALSE(
+      AllFiniteInRange({std::numeric_limits<double>::quiet_NaN()}, 0.0, 1.0));
+}
+
+}  // namespace
+}  // namespace urank

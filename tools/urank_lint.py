@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""urank-specific invariant linter.
+
+Enforces repo contracts that generic tools (clang-tidy, compiler warnings)
+cannot see:
+
+  include-guard    headers under src/ use the guard URANK_<PATH>_H_ derived
+                   from their path relative to src/.
+  precondition     every function whose header comment documents a
+                   precondition ("Requires ..." / "Aborts if ...") contains a
+                   URANK_CHECK/URANK_DCHECK in each of its definitions.
+  probability-type probabilities are accumulated in double; the `float` type
+                   is banned in src/.
+  rng-discipline   no rand()/srand()/time()-seeded randomness; all entropy
+                   flows through util/rng.h so runs are reproducible.
+  no-cout          src/ is a library: no std::cout (diagnostics go through
+                   util/check.h, I/O through io/).
+  build-registration  every .cc under src/ is compiled into the library
+                   (listed in src/CMakeLists.txt).
+
+A finding can be suppressed for one line with a trailing or preceding
+comment `// urank-lint: allow(<rule>)`; use sparingly and justify inline.
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+PRECONDITION_RE = re.compile(r"\bRequires\b|\bAborts if\b")
+CHECK_RE = re.compile(r"\bURANK_D?CHECK(_MSG|_PROB|_NORMALIZED)?\b")
+ALLOW_RE = re.compile(r"//\s*urank-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# Function-like names that are never precondition carriers.
+NAME_BLOCKLIST = {"if", "for", "while", "switch", "return", "sizeof",
+                  "static_cast", "operator"}
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving offsets."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def allowed_rules(lines, lineno):
+    """Suppressions on the given 1-based line or the one above it."""
+    rules = set()
+    for ln in (lineno - 1, lineno - 2):
+        if 0 <= ln < len(lines):
+            m = ALLOW_RE.search(lines[ln])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def iter_files(root, subdir, exts):
+    base = os.path.join(root, subdir)
+    for dirpath, _, names in os.walk(base):
+        for name in sorted(names):
+            if os.path.splitext(name)[1] in exts:
+                yield os.path.join(dirpath, name)
+
+
+def relpath(root, path):
+    return os.path.relpath(path, root)
+
+
+# --- include-guard ---------------------------------------------------------
+
+def expected_guard(root, path):
+    rel = os.path.relpath(path, os.path.join(root, "src"))
+    stem = re.sub(r"\.h$", "", rel)
+    return "URANK_" + re.sub(r"[/.]", "_", stem).upper() + "_H_"
+
+
+def check_include_guards(root, findings):
+    for path in iter_files(root, "src", {".h"}):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        guard = expected_guard(root, path)
+        m = re.search(r"^#ifndef\s+(\S+)\s*$", text, re.MULTILINE)
+        if not m or m.group(1) != guard:
+            got = m.group(1) if m else "none"
+            findings.append(Finding(
+                relpath(root, path),
+                text[: m.start()].count("\n") + 1 if m else 1,
+                "include-guard",
+                f"expected include guard {guard}, found {got}"))
+            continue
+        if not re.search(r"^#define\s+" + re.escape(guard) + r"\s*$",
+                         text, re.MULTILINE):
+            findings.append(Finding(relpath(root, path), 1, "include-guard",
+                                    f"missing #define {guard}"))
+
+
+# --- token bans ------------------------------------------------------------
+
+BAN_RULES = (
+    # (rule, regex, message)
+    ("probability-type", re.compile(r"\bfloat\b"),
+     "probabilities and scores must use double, not float"),
+    ("rng-discipline", re.compile(r"\b(s?rand|time)\s*\("),
+     "use util/rng.h (deterministic, seeded) instead of rand()/time()"),
+    ("rng-discipline", re.compile(r"\bstd::random_device\b"),
+     "non-deterministic entropy is banned; seed an urank::Rng explicitly"),
+    ("no-cout", re.compile(r"\bstd::cout\b"),
+     "src/ is a library: no stdout printing"),
+)
+
+
+def check_token_bans(root, findings):
+    for path in iter_files(root, "src", {".h", ".cc"}):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        lines = text.split("\n")
+        code = strip_comments_and_strings(text).split("\n")
+        is_rng = relpath(root, path).replace(os.sep, "/") in (
+            "src/util/rng.h", "src/util/rng.cc")
+        for lineno, line in enumerate(code, start=1):
+            for rule, rx, message in BAN_RULES:
+                if rule == "rng-discipline" and is_rng:
+                    continue
+                if rx.search(line) and rule not in allowed_rules(lines, lineno):
+                    findings.append(Finding(relpath(root, path), lineno,
+                                            rule, message))
+
+
+# --- precondition ----------------------------------------------------------
+
+def declaration_name(decl):
+    """Name of the function a declaration introduces, or None."""
+    decl = decl.strip()
+    if not decl or decl.startswith("#") or "operator" in decl:
+        return None
+    paren = decl.find("(")
+    if paren <= 0:
+        return None
+    m = re.search(r"([A-Za-z_]\w*)\s*$", decl[:paren])
+    if not m or m.group(1) in NAME_BLOCKLIST:
+        return None
+    return m.group(1)
+
+
+def find_definitions(code, name):
+    """Bodies of all definitions of `name` in comment-stripped code.
+
+    A definition is the token `name(`, its matched parentheses, optional
+    qualifiers (const/noexcept/initializer list/trailing return), then a
+    brace-matched body.
+    """
+    bodies = []
+    for m in re.finditer(r"\b" + re.escape(name) + r"\s*\(", code):
+        i = m.end() - 1  # at '('
+        depth = 0
+        while i < len(code):
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if i >= len(code):
+            continue
+        j = i + 1
+        # Skip qualifiers and constructor initializer lists up to '{' / ';'.
+        while j < len(code) and code[j] not in "{;":
+            if code[j] == "=":  # `= 0;`, `= default;`, assignment from call
+                break
+            j += 1
+        if j >= len(code) or code[j] != "{":
+            continue
+        depth = 0
+        k = j
+        while k < len(code):
+            if code[k] == "{":
+                depth += 1
+            elif code[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        bodies.append((code[: m.start()].count("\n") + 1, code[j:k + 1]))
+    return bodies
+
+
+def check_preconditions(root, findings):
+    for path in iter_files(root, "src", {".h"}):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        lines = text.split("\n")
+        sibling = re.sub(r"\.h$", ".cc", path)
+        sources = [(path, strip_comments_and_strings(text))]
+        if os.path.exists(sibling):
+            with open(sibling, encoding="utf-8") as f:
+                sources.append((sibling,
+                                strip_comments_and_strings(f.read())))
+
+        comment = []
+        comment_documents_precondition = False
+        for lineno, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if stripped.startswith("//"):
+                comment.append(stripped)
+                if PRECONDITION_RE.search(stripped):
+                    comment_documents_precondition = True
+                continue
+            if comment_documents_precondition and stripped:
+                name = declaration_name(stripped)
+                if name and "precondition" not in allowed_rules(lines, lineno):
+                    defs = []
+                    for _, code in sources:
+                        defs.extend(find_definitions(code, name))
+                    if not defs:
+                        findings.append(Finding(
+                            relpath(root, path), lineno, "precondition",
+                            f"{name}: documented precondition but no "
+                            f"definition found to verify"))
+                    else:
+                        for def_line, body in defs:
+                            if not CHECK_RE.search(body):
+                                findings.append(Finding(
+                                    relpath(root, path), lineno,
+                                    "precondition",
+                                    f"{name}: header documents a "
+                                    f"precondition but the definition at "
+                                    f"line {def_line} has no URANK_CHECK"))
+            comment = []
+            comment_documents_precondition = False
+
+
+# --- build-registration ----------------------------------------------------
+
+def check_build_registration(root, findings):
+    cmake = os.path.join(root, "src", "CMakeLists.txt")
+    with open(cmake, encoding="utf-8") as f:
+        listed = f.read()
+    for path in iter_files(root, "src", {".cc"}):
+        rel = os.path.relpath(path, os.path.join(root, "src"))
+        if rel.replace(os.sep, "/") not in listed:
+            findings.append(Finding(
+                relpath(root, path), 1, "build-registration",
+                f"{rel} is not listed in src/CMakeLists.txt"))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tools/)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"urank_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    check_include_guards(root, findings)
+    check_token_bans(root, findings)
+    check_preconditions(root, findings)
+    check_build_registration(root, findings)
+
+    for finding in sorted(findings, key=lambda f: (f.path, f.line)):
+        print(finding)
+    if findings:
+        print(f"urank_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("urank_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
