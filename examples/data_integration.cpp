@@ -12,10 +12,10 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/expected_rank_tuple.h"
-#include "core/quantile_rank.h"
-#include "core/semantics/global_topk.h"
-#include "core/semantics/u_topk.h"
+#include "core/expected_rank_tuple.h"  // urank-lint: allow(engine-api)
+#include "core/quantile_rank.h"  // urank-lint: allow(engine-api)
+#include "core/semantics/global_topk.h"  // urank-lint: allow(engine-api)
+#include "core/semantics/u_topk.h"  // urank-lint: allow(engine-api)
 #include "gen/tuple_gen.h"
 #include "model/tuple_model.h"
 #include "util/rng.h"

@@ -1,6 +1,8 @@
 // Command-line ranking-query tool over relations stored in the library's
 // CSV formats — the "downstream user" workflow: persist an uncertain
-// relation, query it under any semantics.
+// relation, prepare it once with the QueryEngine, query it under any
+// semantics. Invalid query parameters are reported as recoverable statuses
+// (exit code 2) instead of aborting the process.
 //
 //   $ ./query_tool <attr|tuple> <file.csv> <semantics> <k> [phi|threshold]
 //
@@ -8,14 +10,17 @@
 //            u-kranks | pt-k | global-topk | expected-score
 //
 // Run with no arguments for a self-contained demo: it writes the paper's
-// Fig. 4 relation to a temporary file, then queries it.
+// Fig. 4 relation to a temporary file, then runs a batch of queries
+// against one prepared engine.
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <utility>
+#include <vector>
 
-#include "core/query.h"
+#include "core/engine/query_engine.h"
 #include "io/csv.h"
 
 namespace {
@@ -59,6 +64,22 @@ void PrintAnswer(const urank::RankingAnswer& answer) {
   if (answer.ids.empty()) std::printf("  (empty answer)\n");
 }
 
+// Prints the result, or the recoverable status for invalid parameters.
+// Returns the process exit code.
+int Report(const urank::QueryResult& result, const urank::RankingQuery& q) {
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "query rejected (%s): %s\n",
+                 urank::ToString(result.status.code),
+                 result.status.message.c_str());
+    return 2;
+  }
+  std::printf("top-%d under %s (%.3f ms%s):\n", q.k, ToString(q.semantics),
+              result.stats.wall_ms,
+              result.stats.reused_cache ? ", served from cache" : "");
+  PrintAnswer(result.answer);
+  return 0;
+}
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <attr|tuple> <file.csv> <semantics> <k> "
@@ -90,15 +111,24 @@ int Demo() {
     std::fprintf(stderr, "demo load failed: %s\n", error.c_str());
     return 1;
   }
+
+  // Prepare once, query many: the engine owns the shared sort orders and
+  // statistic cache, and RunBatch fans the queries out over a worker pool.
+  const urank::QueryEngine engine(loaded);
+  std::vector<urank::RankingQuery> batch;
   for (urank::RankingSemantics semantics :
        {urank::RankingSemantics::kExpectedRank,
         urank::RankingSemantics::kMedianRank,
         urank::RankingSemantics::kGlobalTopk}) {
-    urank::RankingQueryOptions options;
-    options.semantics = semantics;
-    options.k = 3;
-    std::printf("\ntop-3 under %s:\n", urank::ToString(semantics));
-    PrintAnswer(urank::RunRankingQuery(loaded, options));
+    urank::RankingQuery query;
+    query.semantics = semantics;
+    query.k = 3;
+    batch.push_back(query);
+  }
+  const std::vector<urank::QueryResult> results = engine.RunBatch(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::printf("\ntop-3 under %s:\n", ToString(batch[i].semantics));
+    PrintAnswer(results[i].answer);
   }
   std::remove(path.c_str());
   return 0;
@@ -111,42 +141,36 @@ int main(int argc, char** argv) {
   if (argc < 5) return Usage(argv[0]);
   const std::string model = argv[1];
   const std::string path = argv[2];
-  urank::RankingQueryOptions options;
-  if (!ParseSemantics(argv[3], &options.semantics)) {
+  urank::RankingQuery query;
+  if (!ParseSemantics(argv[3], &query.semantics)) {
     std::fprintf(stderr, "unknown semantics '%s'\n", argv[3]);
     return 2;
   }
-  options.k = std::atoi(argv[4]);
-  if (options.k < 1) {
-    std::fprintf(stderr, "k must be >= 1\n");
-    return 2;
-  }
+  query.k = std::atoi(argv[4]);
   if (argc >= 6) {
     const double extra = std::atof(argv[5]);
-    options.phi = extra;
-    options.threshold = extra;
+    query.phi = extra;
+    query.threshold = extra;
   }
 
   std::string error;
-  urank::RankingAnswer answer;
   if (model == "attr") {
     urank::AttrRelation rel;
     if (!urank::LoadAttrRelation(path, &rel, &error)) {
       std::fprintf(stderr, "%s\n", error.c_str());
       return 1;
     }
-    answer = urank::RunRankingQuery(rel, options);
-  } else if (model == "tuple") {
+    const urank::QueryEngine engine(std::move(rel));
+    return Report(engine.Run(query), query);
+  }
+  if (model == "tuple") {
     urank::TupleRelation rel;
     if (!urank::LoadTupleRelation(path, &rel, &error)) {
       std::fprintf(stderr, "%s\n", error.c_str());
       return 1;
     }
-    answer = urank::RunRankingQuery(rel, options);
-  } else {
-    return Usage(argv[0]);
+    const urank::QueryEngine engine(std::move(rel));
+    return Report(engine.Run(query), query);
   }
-  std::printf("top-%d under %s:\n", options.k, urank::ToString(options.semantics));
-  PrintAnswer(answer);
-  return 0;
+  return Usage(argv[0]);
 }

@@ -5,9 +5,9 @@
 
 #include <cstdio>
 
-#include "core/expected_rank_attr.h"
-#include "core/expected_rank_tuple.h"
-#include "core/quantile_rank.h"
+#include "core/expected_rank_attr.h"  // urank-lint: allow(engine-api)
+#include "core/expected_rank_tuple.h"  // urank-lint: allow(engine-api)
+#include "core/quantile_rank.h"  // urank-lint: allow(engine-api)
 #include "model/attr_model.h"
 #include "model/tuple_model.h"
 

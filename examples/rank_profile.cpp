@@ -13,7 +13,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/quantile_rank.h"
+#include "core/quantile_rank.h"  // urank-lint: allow(engine-api)
 #include "core/rank_distribution_tuple.h"
 #include "gen/tuple_gen.h"
 #include "model/tuple_model.h"

@@ -2,21 +2,19 @@
 // paper's worked example (Fig. 4), plus a live demonstration of which of
 // the five properties each definition violates (paper Fig. 5).
 //
+// All queries go through the QueryEngine: the relation is prepared once
+// and the whole answers table is produced by one RunBatch over shared
+// state. The property checker re-ranks mutated copies of the relation, so
+// its callback prepares a throwaway engine per invocation.
+//
 //   $ ./semantics_comparison
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/expected_rank_tuple.h"
+#include "core/engine/query_engine.h"
 #include "core/properties.h"
-#include "core/quantile_rank.h"
-#include "core/ranking.h"
-#include "core/semantics/expected_score.h"
-#include "core/semantics/global_topk.h"
-#include "core/semantics/pt_k.h"
-#include "core/semantics/u_kranks.h"
-#include "core/semantics/u_topk.h"
 #include "model/tuple_model.h"
 #include "util/table.h"
 
@@ -39,6 +37,37 @@ std::string Join(const std::vector<int>& ids) {
 
 const char* Mark(bool ok) { return ok ? "yes" : "NO"; }
 
+// One row of the comparison: a display name plus the query parameters
+// (k is filled in per column).
+struct NamedSemantics {
+  const char* name;
+  urank::RankingQuery query;
+};
+
+urank::RankingQuery MakeQuery(urank::RankingSemantics semantics,
+                              double phi = 0.5, double threshold = 0.5) {
+  urank::RankingQuery query;
+  query.semantics = semantics;
+  query.phi = phi;
+  query.threshold = threshold;
+  return query;
+}
+
+std::vector<NamedSemantics> AllSemantics() {
+  using urank::RankingSemantics;
+  return {
+      {"expected rank", MakeQuery(RankingSemantics::kExpectedRank)},
+      {"median rank", MakeQuery(RankingSemantics::kMedianRank)},
+      {"0.75-quantile rank",
+       MakeQuery(RankingSemantics::kQuantileRank, 0.75)},
+      {"U-Topk", MakeQuery(RankingSemantics::kUTopk)},
+      {"U-kRanks", MakeQuery(RankingSemantics::kUKRanks)},
+      {"PT-k (p=0.3)", MakeQuery(RankingSemantics::kPTk, 0.5, 0.3)},
+      {"Global-Topk", MakeQuery(RankingSemantics::kGlobalTopk)},
+      {"expected score", MakeQuery(RankingSemantics::kExpectedScore)},
+  };
+}
+
 }  // namespace
 
 int main() {
@@ -55,50 +84,30 @@ int main() {
   std::printf("Relation (paper Fig. 4): t1(100,.4) t2(90,.5) t3(80,1) "
               "t4(70,.5); rule {t2,t4}\n\n");
 
+  const std::vector<NamedSemantics> all = AllSemantics();
+
+  // Prepare once, then answer every (semantics, k) cell from one batch
+  // over the shared prepared state.
+  const urank::QueryEngine engine(rel);
+  const std::vector<int> ks = {1, 2, 3};
+  std::vector<urank::RankingQuery> batch;
+  for (const NamedSemantics& semantics : all) {
+    for (int k : ks) {
+      urank::RankingQuery query = semantics.query;
+      query.k = k;
+      batch.push_back(query);
+    }
+  }
+  const std::vector<urank::QueryResult> results = engine.RunBatch(batch);
+
   urank::Table answers("top-k answers per semantics",
                        {"semantics", "k=1", "k=2", "k=3"});
-  struct NamedSemantics {
-    const char* name;
-    urank::TupleSemanticsFn fn;
-  };
-  const std::vector<NamedSemantics> all = {
-      {"expected rank",
-       [](const urank::TupleRelation& r, int k) {
-         return urank::IdsOf(urank::TupleExpectedRankTopK(r, k));
-       }},
-      {"median rank",
-       [](const urank::TupleRelation& r, int k) {
-         return urank::IdsOf(urank::TupleQuantileRankTopK(r, k, 0.5));
-       }},
-      {"0.75-quantile rank",
-       [](const urank::TupleRelation& r, int k) {
-         return urank::IdsOf(urank::TupleQuantileRankTopK(r, k, 0.75));
-       }},
-      {"U-Topk",
-       [](const urank::TupleRelation& r, int k) {
-         return urank::TupleUTopK(r, k).ids;
-       }},
-      {"U-kRanks",
-       [](const urank::TupleRelation& r, int k) {
-         return urank::TupleUKRanks(r, k);
-       }},
-      {"PT-k (p=0.3)",
-       [](const urank::TupleRelation& r, int k) {
-         return urank::TuplePTk(r, k, 0.3);
-       }},
-      {"Global-Topk",
-       [](const urank::TupleRelation& r, int k) {
-         return urank::TupleGlobalTopK(r, k);
-       }},
-      {"expected score",
-       [](const urank::TupleRelation& r, int k) {
-         return urank::IdsOf(urank::TupleExpectedScoreTopK(r, k));
-       }},
-  };
-
-  for (const auto& semantics : all) {
-    answers.AddRow({semantics.name, Join(semantics.fn(rel, 1)),
-                    Join(semantics.fn(rel, 2)), Join(semantics.fn(rel, 3))});
+  for (size_t s = 0; s < all.size(); ++s) {
+    std::vector<std::string> row = {all[s].name};
+    for (size_t c = 0; c < ks.size(); ++c) {
+      row.push_back(Join(results[s * ks.size() + c].answer.ids));
+    }
+    answers.AddRow(row);
   }
   answers.Print();
 
@@ -112,9 +121,18 @@ int main() {
   urank::PropertyCheckOptions options;
   options.max_k = 4;
   options.stability_trials = 16;
-  for (const auto& semantics : all) {
+  for (const NamedSemantics& semantics : all) {
+    // The checker perturbs the relation, so each call prepares fresh
+    // state; capture the query shape and fill in k per invocation.
+    const urank::RankingQuery base = semantics.query;
+    const urank::TupleSemanticsFn fn = [base](const urank::TupleRelation& r,
+                                              int k) {
+      urank::RankingQuery query = base;
+      query.k = k;
+      return urank::QueryEngine(r).Run(query).answer.ids;
+    };
     const urank::PropertyReport report =
-        urank::CheckTupleProperties(semantics.fn, rel, options);
+        urank::CheckTupleProperties(fn, rel, options);
     props.AddRow({semantics.name, Mark(report.exact_k),
                   Mark(report.containment), Mark(report.unique_rank),
                   Mark(report.value_invariance), Mark(report.stability)});

@@ -11,9 +11,9 @@
 
 #include <cstdio>
 
-#include "core/expected_rank_attr.h"
-#include "core/quantile_rank.h"
-#include "core/semantics/expected_score.h"
+#include "core/expected_rank_attr.h"  // urank-lint: allow(engine-api)
+#include "core/quantile_rank.h"  // urank-lint: allow(engine-api)
+#include "core/semantics/expected_score.h"  // urank-lint: allow(engine-api)
 #include "model/attr_model.h"
 #include "util/rng.h"
 

@@ -1,0 +1,93 @@
+#include "core/engine/prepared_relation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/rank_distribution_attr.h"
+
+namespace urank {
+
+PreparedAttrRelation::PreparedAttrRelation(AttrRelation rel)
+    : rel_(std::move(rel)), universe_(internal::BuildValueUniverse(rel_)) {
+  const int n = rel_.size();
+  ids_.resize(static_cast<size_t>(n));
+  expected_scores_.resize(static_cast<size_t>(n));
+  position_of_id_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ids_[static_cast<size_t>(i)] = rel_.tuple(i).id;
+    expected_scores_[static_cast<size_t>(i)] = rel_.tuple(i).ExpectedScore();
+    position_of_id_[rel_.tuple(i).id] = i;
+  }
+  escore_order_.resize(static_cast<size_t>(n));
+  std::iota(escore_order_.begin(), escore_order_.end(), 0);
+  std::sort(escore_order_.begin(), escore_order_.end(), [&](int a, int b) {
+    const double ea = expected_scores_[static_cast<size_t>(a)];
+    const double eb = expected_scores_[static_cast<size_t>(b)];
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+}
+
+int PreparedAttrRelation::PositionOfId(int id) const {
+  const auto it = position_of_id_.find(id);
+  return it == position_of_id_.end() ? -1 : it->second;
+}
+
+std::shared_ptr<const std::vector<std::vector<double>>>
+PreparedAttrRelation::RankDistributions(TiePolicy ties) const {
+  return dists_.GetOrCompute(static_cast<int>(ties), [&] {
+    return AttrRankDistributions(rel_, ties);
+  });
+}
+
+std::shared_ptr<const std::vector<double>> PreparedAttrRelation::CachedStat(
+    const StatKey& key,
+    const std::function<std::vector<double>()>& compute) const {
+  return stats_.GetOrCompute(key, compute);
+}
+
+bool PreparedAttrRelation::HasCachedStat(const StatKey& key) const {
+  return stats_.Contains(key);
+}
+
+PreparedTupleRelation::PreparedTupleRelation(TupleRelation rel)
+    : rel_(std::move(rel)) {
+  const int n = rel_.size();
+  ids_.resize(static_cast<size_t>(n));
+  position_of_id_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ids_[static_cast<size_t>(i)] = rel_.tuple(i).id;
+    position_of_id_[rel_.tuple(i).id] = i;
+  }
+  rank_order_.resize(static_cast<size_t>(n));
+  std::iota(rank_order_.begin(), rank_order_.end(), 0);
+  std::sort(rank_order_.begin(), rank_order_.end(), [&](int a, int b) {
+    const double sa = rel_.tuple(a).score;
+    const double sb = rel_.tuple(b).score;
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  prefix_prob_.assign(static_cast<size_t>(n) + 1, 0.0);
+  for (int j = 0; j < n; ++j) {
+    prefix_prob_[static_cast<size_t>(j) + 1] =
+        prefix_prob_[static_cast<size_t>(j)] +
+        rel_.tuple(rank_order_[static_cast<size_t>(j)]).prob;
+  }
+}
+
+int PreparedTupleRelation::PositionOfId(int id) const {
+  const auto it = position_of_id_.find(id);
+  return it == position_of_id_.end() ? -1 : it->second;
+}
+
+std::shared_ptr<const std::vector<double>> PreparedTupleRelation::CachedStat(
+    const StatKey& key,
+    const std::function<std::vector<double>()>& compute) const {
+  return stats_.GetOrCompute(key, compute);
+}
+
+bool PreparedTupleRelation::HasCachedStat(const StatKey& key) const {
+  return stats_.Contains(key);
+}
+
+}  // namespace urank

@@ -1,0 +1,312 @@
+#include "core/engine/query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/expected_rank_attr.h"
+#include "core/expected_rank_tuple.h"
+#include "core/quantile_rank.h"
+#include "core/ranking.h"
+#include "core/semantics/expected_score.h"
+#include "core/semantics/global_topk.h"
+#include "core/semantics/pt_k.h"
+#include "core/semantics/semantics.h"
+#include "core/semantics/u_kranks.h"
+#include "core/semantics/u_topk.h"
+#include "model/possible_worlds.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace urank {
+namespace {
+
+RankingAnswer FromRanked(const std::vector<RankedTuple>& ranked) {
+  RankingAnswer answer;
+  answer.ids.reserve(ranked.size());
+  answer.statistics.reserve(ranked.size());
+  for (const RankedTuple& rt : ranked) {
+    answer.ids.push_back(rt.id);
+    answer.statistics.push_back(rt.statistic);
+  }
+  return answer;
+}
+
+// Probability-carrying answers: ids in rank order plus the per-id
+// probability looked up through the prepared id index.
+template <typename Prepared>
+RankingAnswer WithProbabilities(std::vector<int> ids,
+                                const std::vector<double>& probs_by_position,
+                                const Prepared& prepared) {
+  RankingAnswer answer;
+  answer.statistics.reserve(ids.size());
+  for (int id : ids) {
+    const int pos = prepared.PositionOfId(id);
+    answer.statistics.push_back(
+        pos >= 0 ? probs_by_position[static_cast<size_t>(pos)] : 0.0);
+  }
+  answer.ids = std::move(ids);
+  return answer;
+}
+
+RankingAnswer FromUTopK(const UTopKAnswer& utopk) {
+  RankingAnswer answer;
+  answer.ids = utopk.ids;
+  answer.statistics.assign(utopk.ids.size(), utopk.probability);
+  return answer;
+}
+
+// The memo-table key a query's ranking statistic lives under, used to
+// report cache reuse. U-Topk and attribute-level expected scores have no
+// key (never memoized / eagerly built) — both are handled by the callers.
+StatKey KeyFor(const RankingQuery& q) {
+  switch (q.semantics) {
+    case RankingSemantics::kExpectedRank:
+      return {StatKey::Kind::kExpectedRank, 0, 0.0, q.ties};
+    case RankingSemantics::kMedianRank:
+      return {StatKey::Kind::kQuantileRank, 0, 0.5, q.ties};
+    case RankingSemantics::kQuantileRank:
+      return {StatKey::Kind::kQuantileRank, 0, q.phi, q.ties};
+    case RankingSemantics::kUKRanks:
+      return {StatKey::Kind::kUKRanksWinners, q.k, 0.0, q.ties};
+    case RankingSemantics::kPTk:
+    case RankingSemantics::kGlobalTopk:
+      return {StatKey::Kind::kTopKProbability, q.k, 0.0, q.ties};
+    case RankingSemantics::kExpectedScore:
+      return {StatKey::Kind::kExpectedScore, 0, 0.0,
+              TiePolicy::kBreakByIndex};
+    case RankingSemantics::kUTopk:
+      break;
+  }
+  return {};
+}
+
+// Coarse dynamic-program cell counts for a cold run of each semantics;
+// formulas documented in docs/API.md.
+long long AttrDpCells(const PreparedAttrRelation& p, const RankingQuery& q) {
+  const long long n = p.size();
+  switch (q.semantics) {
+    case RankingSemantics::kExpectedRank:
+      return static_cast<long long>(p.universe().values.size()) + n;
+    case RankingSemantics::kExpectedScore:
+      return n;
+    case RankingSemantics::kUTopk:
+      return p.NumWorlds();
+    default:
+      return n * n;  // Every other semantics is rank-matrix backed.
+  }
+}
+
+long long TupleDpCells(const PreparedTupleRelation& p,
+                       const RankingQuery& q) {
+  const long long n = p.size();
+  const long long m = p.relation().num_rules();
+  switch (q.semantics) {
+    case RankingSemantics::kExpectedRank:
+    case RankingSemantics::kExpectedScore:
+      return n;
+    case RankingSemantics::kMedianRank:
+    case RankingSemantics::kQuantileRank:
+      return 2 * n * (m + 1);
+    case RankingSemantics::kUTopk:
+      return n * (q.k + 1);
+    default:
+      return n * (m + 1);  // Positional-pmf backed semantics.
+  }
+}
+
+RankingAnswer RunAttr(const PreparedAttrRelation& p, const RankingQuery& q) {
+  switch (q.semantics) {
+    case RankingSemantics::kExpectedRank:
+      return FromRanked(AttrExpectedRankTopK(p, q.k, q.ties));
+    case RankingSemantics::kMedianRank:
+      return FromRanked(AttrQuantileRankTopK(p, q.k, 0.5, q.ties));
+    case RankingSemantics::kQuantileRank:
+      return FromRanked(AttrQuantileRankTopK(p, q.k, q.phi, q.ties));
+    case RankingSemantics::kUTopk:
+      return FromUTopK(AttrUTopK(p, q.k));
+    case RankingSemantics::kUKRanks: {
+      RankingAnswer answer;
+      answer.ids = AttrUKRanks(p, q.k, q.ties);
+      return answer;
+    }
+    case RankingSemantics::kPTk:
+      return WithProbabilities(AttrPTk(p, q.k, q.threshold, q.ties),
+                               AttrTopKProbabilities(p, q.k, q.ties), p);
+    case RankingSemantics::kGlobalTopk:
+      return WithProbabilities(AttrGlobalTopK(p, q.k, q.ties),
+                               AttrTopKProbabilities(p, q.k, q.ties), p);
+    case RankingSemantics::kExpectedScore:
+      return FromRanked(AttrExpectedScoreTopK(p, q.k));
+  }
+  URANK_CHECK_MSG(false, "unknown semantics");
+  return {};
+}
+
+RankingAnswer RunTuple(const PreparedTupleRelation& p,
+                       const RankingQuery& q) {
+  switch (q.semantics) {
+    case RankingSemantics::kExpectedRank:
+      return FromRanked(TupleExpectedRankTopK(p, q.k, q.ties));
+    case RankingSemantics::kMedianRank:
+      return FromRanked(TupleQuantileRankTopK(p, q.k, 0.5, q.ties));
+    case RankingSemantics::kQuantileRank:
+      return FromRanked(TupleQuantileRankTopK(p, q.k, q.phi, q.ties));
+    case RankingSemantics::kUTopk:
+      return FromUTopK(TupleUTopK(p, q.k));
+    case RankingSemantics::kUKRanks: {
+      RankingAnswer answer;
+      answer.ids = TupleUKRanks(p, q.k, q.ties);
+      return answer;
+    }
+    case RankingSemantics::kPTk:
+      return WithProbabilities(TuplePTk(p, q.k, q.threshold, q.ties),
+                               TupleTopKProbabilities(p, q.k, q.ties), p);
+    case RankingSemantics::kGlobalTopk:
+      return WithProbabilities(TupleGlobalTopK(p, q.k, q.ties),
+                               TupleTopKProbabilities(p, q.k, q.ties), p);
+    case RankingSemantics::kExpectedScore:
+      return FromRanked(TupleExpectedScoreTopK(p, q.k));
+  }
+  URANK_CHECK_MSG(false, "unknown semantics");
+  return {};
+}
+
+}  // namespace
+
+const char* ToString(QueryStatusCode code) {
+  switch (code) {
+    case QueryStatusCode::kOk:
+      return "ok";
+    case QueryStatusCode::kInvalidK:
+      return "invalid-k";
+    case QueryStatusCode::kInvalidPhi:
+      return "invalid-phi";
+    case QueryStatusCode::kInvalidThreshold:
+      return "invalid-threshold";
+    case QueryStatusCode::kWorldCountNotEnumerable:
+      return "world-count-not-enumerable";
+  }
+  return "?";
+}
+
+std::shared_ptr<const PreparedAttrRelation> QueryEngine::Prepare(
+    AttrRelation rel) {
+  return std::make_shared<const PreparedAttrRelation>(std::move(rel));
+}
+
+std::shared_ptr<const PreparedTupleRelation> QueryEngine::Prepare(
+    TupleRelation rel) {
+  return std::make_shared<const PreparedTupleRelation>(std::move(rel));
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<const PreparedAttrRelation> prepared)
+    : attr_(std::move(prepared)) {
+  URANK_CHECK_MSG(attr_ != nullptr, "prepared relation must not be null");
+}
+
+QueryEngine::QueryEngine(
+    std::shared_ptr<const PreparedTupleRelation> prepared)
+    : tuple_(std::move(prepared)) {
+  URANK_CHECK_MSG(tuple_ != nullptr, "prepared relation must not be null");
+}
+
+QueryEngine::QueryEngine(AttrRelation rel) : attr_(Prepare(std::move(rel))) {}
+
+QueryEngine::QueryEngine(TupleRelation rel)
+    : tuple_(Prepare(std::move(rel))) {}
+
+QueryStatus QueryEngine::Validate(const RankingQuery& query) const {
+  if (query.k < 1) {
+    std::ostringstream msg;
+    msg << "k must be >= 1 (got " << query.k << ")";
+    return {QueryStatusCode::kInvalidK, msg.str()};
+  }
+  if (query.semantics == RankingSemantics::kQuantileRank &&
+      !(query.phi > 0.0 && query.phi <= 1.0)) {
+    std::ostringstream msg;
+    msg << "phi must be in (0,1] (got " << query.phi << ")";
+    return {QueryStatusCode::kInvalidPhi, msg.str()};
+  }
+  if (query.semantics == RankingSemantics::kPTk &&
+      !(query.threshold > 0.0 && query.threshold <= 1.0)) {
+    std::ostringstream msg;
+    msg << "threshold must be in (0,1] (got " << query.threshold << ")";
+    return {QueryStatusCode::kInvalidThreshold, msg.str()};
+  }
+  if (query.semantics == RankingSemantics::kUTopk && attr_ != nullptr &&
+      attr_->NumWorlds() > kMaxEnumerableWorlds) {
+    std::ostringstream msg;
+    msg << "U-Topk on this attribute-level relation requires enumerating "
+        << attr_->NumWorlds() << " worlds (limit " << kMaxEnumerableWorlds
+        << ")";
+    return {QueryStatusCode::kWorldCountNotEnumerable, msg.str()};
+  }
+  return QueryStatus::Ok();
+}
+
+QueryResult QueryEngine::Run(const RankingQuery& query) const {
+  const Timer timer;
+  QueryResult result;
+  result.status = Validate(query);
+  if (!result.status.ok()) {
+    result.stats.wall_ms = timer.ElapsedMs();
+    return result;
+  }
+
+  const bool has_key = query.semantics != RankingSemantics::kUTopk;
+  if (attr_ != nullptr) {
+    // Attribute-level expected scores are built eagerly at preparation, so
+    // that semantics is always a cache hit; everything else consults the
+    // memo table it is backed by.
+    result.stats.reused_cache =
+        query.semantics == RankingSemantics::kExpectedScore ||
+        (has_key && attr_->HasCachedStat(KeyFor(query)));
+    result.answer = RunAttr(*attr_, query);
+    result.stats.dp_cells =
+        result.stats.reused_cache ? 0 : AttrDpCells(*attr_, query);
+    result.stats.tuples_pruned = result.stats.reused_cache ? attr_->size() : 0;
+  } else {
+    result.stats.reused_cache =
+        has_key && tuple_->HasCachedStat(KeyFor(query));
+    result.answer = RunTuple(*tuple_, query);
+    result.stats.dp_cells =
+        result.stats.reused_cache ? 0 : TupleDpCells(*tuple_, query);
+    result.stats.tuples_pruned =
+        result.stats.reused_cache ? tuple_->size() : 0;
+  }
+  result.stats.wall_ms = timer.ElapsedMs();
+  return result;
+}
+
+std::vector<QueryResult> QueryEngine::RunBatch(
+    const std::vector<RankingQuery>& queries, int threads) const {
+  std::vector<QueryResult> results(queries.size());
+  if (queries.empty()) return results;
+  unsigned n_workers =
+      threads > 0 ? static_cast<unsigned>(threads)
+                  : std::max(1u, std::thread::hardware_concurrency());
+  if (n_workers > queries.size()) {
+    n_workers = static_cast<unsigned>(queries.size());
+  }
+  if (n_workers == 1) {
+    for (size_t i = 0; i < queries.size(); ++i) results[i] = Run(queries[i]);
+    return results;
+  }
+  std::atomic<size_t> next{0};
+  const auto worker = [&] {
+    for (size_t i = next.fetch_add(1); i < queries.size();
+         i = next.fetch_add(1)) {
+      results[i] = Run(queries[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (unsigned t = 0; t < n_workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace urank

@@ -1,0 +1,156 @@
+// QueryEngine: the prepared-state query surface of the library.
+//
+// The legacy facade (core/query.h) re-derives every piece of shared state
+// — sort orders, prefix sums, rank-distribution matrices — on each call
+// and aborts on invalid options. The engine splits that into an explicit
+// lifecycle:
+//
+//   1. Prepare(relation)  -> shared_ptr<const Prepared*Relation>
+//   2. QueryEngine engine(prepared);
+//   3. engine.Run(query)  -> QueryResult{status, answer, stats}
+//
+// Preparation is paid once per relation; every Run against the same engine
+// reuses the prepared sort orders and the memoized statistic vectors, so a
+// second query — even with a different k — is a selection over cached
+// state. RunBatch evaluates many queries concurrently over that shared
+// read-only state.
+//
+// Error taxonomy (recoverable — Run returns a status instead of aborting):
+//   kOk                      — query executed; answer/stats are valid.
+//   kInvalidK                — options.k < 1 (every semantics needs k).
+//   kInvalidPhi              — kQuantileRank with phi outside (0,1].
+//   kInvalidThreshold        — kPTk with threshold outside (0,1].
+//   kWorldCountNotEnumerable — kUTopk on an attribute-level relation whose
+//                              world count exceeds kMaxEnumerableWorlds
+//                              (the enumeration would not terminate in any
+//                              reasonable time).
+// Malformed *relations* (NaN scores, unnormalized pdfs, bad rule indices)
+// are still hard contract violations caught by URANK_CHECK at model
+// construction — the status codes cover per-query parameters only, which
+// is what a long-lived service wants to survive. The legacy facade keeps
+// its abort-on-bad-options contract by checking the returned status.
+//
+// Thread-safety: a QueryEngine holds only shared_ptr<const ...> prepared
+// state, which is internally synchronized (see prepared_relation.h). Run
+// and RunBatch are const and may be called from any number of threads.
+
+#ifndef URANK_CORE_ENGINE_QUERY_ENGINE_H_
+#define URANK_CORE_ENGINE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine/prepared_relation.h"
+#include "core/query.h"
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+
+namespace urank {
+
+// The engine reuses the facade's option struct: it is already the full
+// parameter surface (semantics, k, phi, threshold, tie policy).
+using RankingQuery = RankingQueryOptions;
+
+enum class QueryStatusCode {
+  kOk,
+  kInvalidK,
+  kInvalidPhi,
+  kInvalidThreshold,
+  kWorldCountNotEnumerable,
+};
+
+// Stable identifier-style name ("ok", "invalid-k", ...).
+const char* ToString(QueryStatusCode code);
+
+struct QueryStatus {
+  QueryStatusCode code = QueryStatusCode::kOk;
+  // Human-readable detail; empty for kOk. Messages for invalid parameters
+  // mirror the URANK_CHECK wording of the one-shot entry points ("k must
+  // be >= 1", "phi must be in (0,1]", ...) so facade callers see the same
+  // diagnostics they always did.
+  std::string message;
+
+  bool ok() const { return code == QueryStatusCode::kOk; }
+
+  static QueryStatus Ok() { return {}; }
+};
+
+// Per-query execution statistics.
+struct QueryStats {
+  // Wall-clock time of the Run call (validation + dispatch + answer
+  // assembly), in milliseconds.
+  double wall_ms = 0.0;
+  // True when the statistic vector this query ranks by was already in the
+  // prepared cache (or, for attribute-level expected scores, built eagerly
+  // at preparation), so no per-tuple recomputation ran. U-Topk answers are
+  // k-specific DPs and are never memoized: always false there.
+  bool reused_cache = false;
+  // Coarse count of dynamic-program cells (or equivalent inner-loop
+  // updates) this query touched; 0 when served from cache. The per-
+  // semantics formulas are documented in docs/API.md — the number is for
+  // relative comparison between queries, not a precise FLOP count.
+  long long dp_cells = 0;
+  // Tuples whose statistic required no fresh computation: the full
+  // relation size on a cache hit, 0 otherwise.
+  long long tuples_pruned = 0;
+};
+
+struct QueryResult {
+  QueryStatus status;
+  // Valid only when status.ok(); empty otherwise.
+  RankingAnswer answer;
+  QueryStats stats;
+};
+
+// Runs ranking queries against one prepared relation (either model).
+// Cheap to copy: holds only shared pointers to immutable prepared state.
+class QueryEngine {
+ public:
+  // Builds the shared per-relation state (sort orders, prefix sums, value
+  // universe, id index). The relation is copied into the prepared object.
+  static std::shared_ptr<const PreparedAttrRelation> Prepare(
+      AttrRelation rel);
+  static std::shared_ptr<const PreparedTupleRelation> Prepare(
+      TupleRelation rel);
+
+  // Wraps already-prepared state (shareable across engines and threads).
+  explicit QueryEngine(std::shared_ptr<const PreparedAttrRelation> prepared);
+  explicit QueryEngine(std::shared_ptr<const PreparedTupleRelation> prepared);
+
+  // Convenience: prepare-and-wrap in one step.
+  explicit QueryEngine(AttrRelation rel);
+  explicit QueryEngine(TupleRelation rel);
+
+  // Checks the query's parameters against the taxonomy above without
+  // executing anything. Run calls this first.
+  QueryStatus Validate(const RankingQuery& query) const;
+
+  // Executes one query. Never aborts on bad query parameters — check
+  // result.status. Safe to call concurrently.
+  QueryResult Run(const RankingQuery& query) const;
+
+  // Executes `queries` over the shared prepared state using an internal
+  // pool of `threads` workers (threads <= 0 selects the hardware
+  // concurrency). Results are in input order and identical to running
+  // each query alone — memoized statistics are computed once under
+  // single-flight discipline no matter how many queries need them.
+  std::vector<QueryResult> RunBatch(const std::vector<RankingQuery>& queries,
+                                    int threads = 0) const;
+
+  // The prepared state this engine wraps; exactly one is non-null.
+  const std::shared_ptr<const PreparedAttrRelation>& attr() const {
+    return attr_;
+  }
+  const std::shared_ptr<const PreparedTupleRelation>& tuple() const {
+    return tuple_;
+  }
+
+ private:
+  std::shared_ptr<const PreparedAttrRelation> attr_;
+  std::shared_ptr<const PreparedTupleRelation> tuple_;
+};
+
+}  // namespace urank
+
+#endif  // URANK_CORE_ENGINE_QUERY_ENGINE_H_

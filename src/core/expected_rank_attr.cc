@@ -4,7 +4,9 @@
 #include <unordered_map>
 
 #include "core/access.h"
+#include "core/engine/prepared_relation.h"
 #include "core/internal/sorted_pdf.h"
+#include "core/internal/value_universe.h"
 #include "util/check.h"
 
 namespace urank {
@@ -36,41 +38,13 @@ std::vector<double> AttrExpectedRanksBruteForce(const AttrRelation& rel,
   return ranks;
 }
 
-std::vector<double> AttrExpectedRanks(const AttrRelation& rel,
-                                      TiePolicy ties) {
-  const int n = rel.size();
-  // Sorted universe of all values with the aggregate probability mass at
-  // each distinct value; suffix sums give q(v) = Σ_j Pr[X_j > v].
-  std::vector<std::pair<double, double>> universe;  // (value, mass)
-  universe.reserve(static_cast<size_t>(n) * 2);
-  for (int i = 0; i < n; ++i) {
-    for (const ScoreValue& sv : rel.tuple(i).pdf) {
-      universe.emplace_back(sv.value, sv.prob);
-    }
-  }
-  std::sort(universe.begin(), universe.end());
-  // Collapse duplicates.
-  std::vector<double> uvalues;
-  std::vector<double> umass;
-  for (const auto& [v, p] : universe) {
-    if (!uvalues.empty() && uvalues.back() == v) {
-      umass.back() += p;
-    } else {
-      uvalues.push_back(v);
-      umass.push_back(p);
-    }
-  }
-  std::vector<double> usuffix(uvalues.size() + 1, 0.0);
-  for (size_t l = uvalues.size(); l > 0; --l) {
-    usuffix[l - 1] = usuffix[l] + umass[l - 1];
-  }
-  auto q_greater = [&](double v) {
-    const size_t idx = static_cast<size_t>(
-        std::upper_bound(uvalues.begin(), uvalues.end(), v) -
-        uvalues.begin());
-    return usuffix[idx];
-  };
+namespace {
 
+// A-ERank (eq. 4) against a prebuilt value universe.
+std::vector<double> ExpectedRanksWithUniverse(
+    const AttrRelation& rel, const internal::ValueUniverse& universe,
+    TiePolicy ties) {
+  const int n = rel.size();
   // For kBreakByIndex, a tie with an earlier tuple also counts as being
   // outranked: add Σ_l p_{i,l} · Σ_{j<i} Pr[X_j = v_{i,l}], maintained
   // with a running per-value equal-mass map over tuples seen so far.
@@ -82,7 +56,7 @@ std::vector<double> AttrExpectedRanks(const AttrRelation& rel,
     double r = 0.0;
     for (const ScoreValue& sv : t.pdf) {
       // q(v) counts X_i's own mass above v too; subtract it (eq. 4).
-      r += sv.prob * (q_greater(sv.value) - t.PrGreater(sv.value));
+      r += sv.prob * (universe.QGreater(sv.value) - t.PrGreater(sv.value));
       if (ties == TiePolicy::kBreakByIndex) {
         auto it = equal_mass_before.find(sv.value);
         if (it != equal_mass_before.end()) r += sv.prob * it->second;
@@ -103,6 +77,23 @@ std::vector<double> AttrExpectedRanks(const AttrRelation& rel,
   return ranks;
 }
 
+}  // namespace
+
+std::vector<double> AttrExpectedRanks(const AttrRelation& rel,
+                                      TiePolicy ties) {
+  return ExpectedRanksWithUniverse(rel, internal::BuildValueUniverse(rel),
+                                   ties);
+}
+
+std::vector<double> AttrExpectedRanks(const PreparedAttrRelation& prepared,
+                                      TiePolicy ties) {
+  const StatKey key{StatKey::Kind::kExpectedRank, 0, 0.0, ties};
+  return *prepared.CachedStat(key, [&] {
+    return ExpectedRanksWithUniverse(prepared.relation(),
+                                     prepared.universe(), ties);
+  });
+}
+
 std::vector<RankedTuple> AttrExpectedRankTopK(const AttrRelation& rel, int k,
                                               TiePolicy ties) {
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
@@ -112,6 +103,13 @@ std::vector<RankedTuple> AttrExpectedRankTopK(const AttrRelation& rel, int k,
     ids[static_cast<size_t>(i)] = rel.tuple(i).id;
   }
   return TopKByStatistic(ids, ranks, k);
+}
+
+std::vector<RankedTuple> AttrExpectedRankTopK(
+    const PreparedAttrRelation& prepared, int k, TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return TopKByStatistic(prepared.ids(), AttrExpectedRanks(prepared, ties),
+                         k);
 }
 
 AttrPruneResult AttrExpectedRankTopKPrune(const AttrRelation& rel, int k,

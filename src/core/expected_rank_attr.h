@@ -24,6 +24,8 @@
 
 namespace urank {
 
+class PreparedAttrRelation;  // core/engine/prepared_relation.h
+
 // O(N² s) reference: evaluates eq. (3) pair by pair. `ties` selects the
 // rank definition (see TiePolicy); the paper's Definition 6 is
 // kStrictGreater.
@@ -40,6 +42,18 @@ std::vector<double> AttrExpectedRanks(
 // by tuple id.
 std::vector<RankedTuple> AttrExpectedRankTopK(
     const AttrRelation& rel, int k,
+    TiePolicy ties = TiePolicy::kStrictGreater);
+
+// Prepared-state overloads: reuse the prepared sorted value universe
+// (q(v) suffix masses) and memoize the full rank vector in the prepared
+// cache. Results are bit-identical to the one-shot forms above.
+std::vector<double> AttrExpectedRanks(
+    const PreparedAttrRelation& prepared,
+    TiePolicy ties = TiePolicy::kStrictGreater);
+
+// Requires k >= 1.
+std::vector<RankedTuple> AttrExpectedRankTopK(
+    const PreparedAttrRelation& prepared, int k,
     TiePolicy ties = TiePolicy::kStrictGreater);
 
 // Result of the pruned computation: the (approximate) top-k plus the

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "core/access.h"
+#include "core/engine/prepared_relation.h"
 #include "util/check.h"
 
 namespace urank {
@@ -55,19 +56,14 @@ std::vector<double> TupleExpectedRanksBruteForce(const TupleRelation& rel,
   return ranks;
 }
 
-std::vector<double> TupleExpectedRanks(const TupleRelation& rel,
-                                       TiePolicy ties) {
+namespace {
+
+// T-ERank sweep over a precomputed (score desc, index asc) permutation.
+std::vector<double> ExpectedRanksInOrder(const TupleRelation& rel,
+                                         const std::vector<int>& order,
+                                         TiePolicy ties) {
   const int n = rel.size();
   const double ew = rel.ExpectedWorldSize();
-  std::vector<int> order(static_cast<size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    const double sa = rel.tuple(a).score;
-    const double sb = rel.tuple(b).score;
-    if (sa != sb) return sa > sb;
-    return a < b;
-  });
-
   std::vector<double> ranks(static_cast<size_t>(n), 0.0);
   std::vector<double> rule_above(static_cast<size_t>(rel.num_rules()), 0.0);
   double prefix_above = 0.0;
@@ -108,6 +104,31 @@ std::vector<double> TupleExpectedRanks(const TupleRelation& rel,
   return ranks;
 }
 
+}  // namespace
+
+std::vector<double> TupleExpectedRanks(const TupleRelation& rel,
+                                       TiePolicy ties) {
+  const int n = rel.size();
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double sa = rel.tuple(a).score;
+    const double sb = rel.tuple(b).score;
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  return ExpectedRanksInOrder(rel, order, ties);
+}
+
+std::vector<double> TupleExpectedRanks(const PreparedTupleRelation& prepared,
+                                       TiePolicy ties) {
+  const StatKey key{StatKey::Kind::kExpectedRank, 0, 0.0, ties};
+  return *prepared.CachedStat(key, [&] {
+    return ExpectedRanksInOrder(prepared.relation(), prepared.rank_order(),
+                                ties);
+  });
+}
+
 std::vector<RankedTuple> TupleExpectedRankTopK(const TupleRelation& rel,
                                                int k, TiePolicy ties) {
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
@@ -117,6 +138,13 @@ std::vector<RankedTuple> TupleExpectedRankTopK(const TupleRelation& rel,
     ids[static_cast<size_t>(i)] = rel.tuple(i).id;
   }
   return TopKByStatistic(ids, ranks, k);
+}
+
+std::vector<RankedTuple> TupleExpectedRankTopK(
+    const PreparedTupleRelation& prepared, int k, TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return TopKByStatistic(prepared.ids(), TupleExpectedRanks(prepared, ties),
+                         k);
 }
 
 TuplePruneResult TupleExpectedRankTopKPrune(const TupleRelation& rel, int k,

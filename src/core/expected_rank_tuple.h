@@ -29,6 +29,8 @@
 
 namespace urank {
 
+class PreparedTupleRelation;  // core/engine/prepared_relation.h
+
 // O(N²) reference evaluation of the closed form, computing the mass sums
 // pair by pair.
 std::vector<double> TupleExpectedRanksBruteForce(
@@ -42,6 +44,19 @@ std::vector<double> TupleExpectedRanks(
 // Exact top-k by expected rank. Ties broken by tuple id.
 std::vector<RankedTuple> TupleExpectedRankTopK(
     const TupleRelation& rel, int k,
+    TiePolicy ties = TiePolicy::kStrictGreater);
+
+// Prepared-state overloads: skip the per-call sort by sweeping the
+// prepared rank order, and memoize the full rank vector in the prepared
+// cache so repeated queries (any k) cost one computation. Results are
+// bit-identical to the one-shot forms above.
+std::vector<double> TupleExpectedRanks(
+    const PreparedTupleRelation& prepared,
+    TiePolicy ties = TiePolicy::kStrictGreater);
+
+// Requires k >= 1.
+std::vector<RankedTuple> TupleExpectedRankTopK(
+    const PreparedTupleRelation& prepared, int k,
     TiePolicy ties = TiePolicy::kStrictGreater);
 
 // Result of the pruned computation. `topk` is the exact top-k (the eq. (9)

@@ -1,0 +1,65 @@
+// Internal helper: the sorted value universe of an attribute-level
+// relation — every distinct support value with its aggregate probability
+// mass and suffix sums, so q(v) = Σ_j Pr[X_j > v] is a binary search.
+// This is the shared precomputation behind A-ERank (eq. 4); the engine's
+// PreparedAttrRelation builds it once and reuses it across queries. Not
+// part of the public API.
+
+#ifndef URANK_CORE_INTERNAL_VALUE_UNIVERSE_H_
+#define URANK_CORE_INTERNAL_VALUE_UNIVERSE_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "model/attr_model.h"
+
+namespace urank {
+namespace internal {
+
+// Sorted universe of all values with the aggregate probability mass at
+// each distinct value; suffix sums give q(v) = Σ_j Pr[X_j > v].
+struct ValueUniverse {
+  std::vector<double> values;  // ascending, distinct
+  std::vector<double> mass;    // total probability at values[l]
+  std::vector<double> suffix;  // suffix[l] = sum of mass[l..]
+
+  // q(v): total probability mass strictly above v, over all tuples.
+  double QGreater(double v) const {
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(values.begin(), values.end(), v) - values.begin());
+    return suffix[idx];
+  }
+};
+
+inline ValueUniverse BuildValueUniverse(const AttrRelation& rel) {
+  const int n = rel.size();
+  std::vector<std::pair<double, double>> universe;  // (value, mass)
+  universe.reserve(static_cast<size_t>(n) * 2);
+  for (int i = 0; i < n; ++i) {
+    for (const ScoreValue& sv : rel.tuple(i).pdf) {
+      universe.emplace_back(sv.value, sv.prob);
+    }
+  }
+  std::sort(universe.begin(), universe.end());
+  ValueUniverse u;
+  // Collapse duplicates.
+  for (const auto& [v, p] : universe) {
+    if (!u.values.empty() && u.values.back() == v) {
+      u.mass.back() += p;
+    } else {
+      u.values.push_back(v);
+      u.mass.push_back(p);
+    }
+  }
+  u.suffix.assign(u.values.size() + 1, 0.0);
+  for (size_t l = u.values.size(); l > 0; --l) {
+    u.suffix[l - 1] = u.suffix[l] + u.mass[l - 1];
+  }
+  return u;
+}
+
+}  // namespace internal
+}  // namespace urank
+
+#endif  // URANK_CORE_INTERNAL_VALUE_UNIVERSE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "core/engine/prepared_relation.h"
 #include "core/rank_distribution_attr.h"
 #include "core/rank_distribution_tuple.h"
 #include "util/check.h"
@@ -95,6 +96,39 @@ std::vector<int> TupleQuantileRanks(const TupleRelation& rel, double phi,
   return ranks;
 }
 
+std::vector<int> AttrQuantileRanks(const PreparedAttrRelation& prepared,
+                                   double phi, TiePolicy ties) {
+  URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
+  const StatKey key{StatKey::Kind::kQuantileRank, 0, phi, ties};
+  const auto stat = prepared.CachedStat(key, [&] {
+    const auto dists = prepared.RankDistributions(ties);
+    std::vector<double> ranks(static_cast<size_t>(prepared.size()), 0.0);
+    for (int i = 0; i < prepared.size(); ++i) {
+      ranks[static_cast<size_t>(i)] = static_cast<double>(
+          QuantileFromPmf((*dists)[static_cast<size_t>(i)], phi));
+    }
+    return ranks;
+  });
+  return std::vector<int>(stat->begin(), stat->end());
+}
+
+std::vector<int> TupleQuantileRanks(const PreparedTupleRelation& prepared,
+                                    double phi, TiePolicy ties) {
+  URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
+  const StatKey key{StatKey::Kind::kQuantileRank, 0, phi, ties};
+  const auto stat = prepared.CachedStat(key, [&] {
+    std::vector<double> ranks(static_cast<size_t>(prepared.size()), 0.0);
+    ForEachTupleRankDistribution(
+        prepared.relation(), prepared.rank_order(), ties,
+        [&](int i, const std::vector<double>& dist) {
+          ranks[static_cast<size_t>(i)] =
+              static_cast<double>(QuantileFromPmf(dist, phi));
+        });
+    return ranks;
+  });
+  return std::vector<int>(stat->begin(), stat->end());
+}
+
 std::vector<int> AttrMedianRanks(const AttrRelation& rel, TiePolicy ties) {
   return AttrQuantileRanks(rel, 0.5, ties);
 }
@@ -120,6 +154,26 @@ std::vector<RankedTuple> TupleQuantileRankTopK(const TupleRelation& rel,
   std::vector<int> ids =
       IdsInOrder(rel.size(), [&](int i) { return rel.tuple(i).id; });
   return TopKByStatistic(ids, ToDouble(TupleQuantileRanks(rel, phi, ties)),
+                         k);
+}
+
+std::vector<RankedTuple> AttrQuantileRankTopK(
+    const PreparedAttrRelation& prepared, int k, double phi,
+    TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
+  return TopKByStatistic(prepared.ids(),
+                         ToDouble(AttrQuantileRanks(prepared, phi, ties)),
+                         k);
+}
+
+std::vector<RankedTuple> TupleQuantileRankTopK(
+    const PreparedTupleRelation& prepared, int k, double phi,
+    TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
+  return TopKByStatistic(prepared.ids(),
+                         ToDouble(TupleQuantileRanks(prepared, phi, ties)),
                          k);
 }
 

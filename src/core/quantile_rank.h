@@ -21,6 +21,9 @@
 
 namespace urank {
 
+class PreparedAttrRelation;   // core/engine/prepared_relation.h
+class PreparedTupleRelation;  // core/engine/prepared_relation.h
+
 // Smallest index r with Σ_{c<=r} pmf[c] >= phi. Requires phi in (0, 1] and
 // a non-empty pmf summing to ~1; returns the last index if round-off keeps
 // the cdf below phi.
@@ -67,6 +70,24 @@ std::vector<RankedTuple> AttrQuantileRankTopK(
     TiePolicy ties = TiePolicy::kBreakByIndex);
 std::vector<RankedTuple> TupleQuantileRankTopK(
     const TupleRelation& rel, int k, double phi,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Prepared-state overloads: the attribute-level form reads the shared
+// rank-distribution matrix, the tuple-level form sweeps the prepared rank
+// order; both memoize the quantile-rank vector per (phi, ties) so the
+// underlying DP runs once. Results are bit-identical to the one-shot
+// forms. Requires phi in (0, 1] (and k >= 1 for the top-k forms).
+std::vector<int> AttrQuantileRanks(const PreparedAttrRelation& prepared,
+                                   double phi,
+                                   TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<int> TupleQuantileRanks(
+    const PreparedTupleRelation& prepared, double phi,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<RankedTuple> AttrQuantileRankTopK(
+    const PreparedAttrRelation& prepared, int k, double phi,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<RankedTuple> TupleQuantileRankTopK(
+    const PreparedTupleRelation& prepared, int k, double phi,
     TiePolicy ties = TiePolicy::kBreakByIndex);
 
 }  // namespace urank

@@ -1,68 +1,22 @@
 #include "core/query.h"
 
-#include <algorithm>
+#include <utility>
 
-#include "core/expected_rank_attr.h"
-#include "core/expected_rank_tuple.h"
-#include "core/quantile_rank.h"
-#include "core/ranking.h"
-#include "core/semantics/expected_score.h"
-#include "core/semantics/global_topk.h"
-#include "core/semantics/pt_k.h"
-#include "core/semantics/semantics.h"
-#include "core/semantics/u_kranks.h"
-#include "core/semantics/u_topk.h"
+#include "core/engine/query_engine.h"
 #include "util/check.h"
 
 namespace urank {
 namespace {
 
-RankingAnswer FromRanked(const std::vector<RankedTuple>& ranked) {
-  RankingAnswer answer;
-  answer.ids.reserve(ranked.size());
-  answer.statistics.reserve(ranked.size());
-  for (const RankedTuple& rt : ranked) {
-    answer.ids.push_back(rt.id);
-    answer.statistics.push_back(rt.statistic);
-  }
-  return answer;
-}
-
-// Probability-carrying answers: ids in rank order plus the per-id
-// probability looked up from the per-position values.
-RankingAnswer WithProbabilities(std::vector<int> ids,
-                                const std::vector<double>& probs_by_position,
-                                const std::vector<int>& position_of_id) {
-  RankingAnswer answer;
-  answer.statistics.reserve(ids.size());
-  for (int id : ids) {
-    if (id >= 0 && static_cast<size_t>(id) < position_of_id.size() &&
-        position_of_id[static_cast<size_t>(id)] >= 0) {
-      answer.statistics.push_back(
-          probs_by_position[static_cast<size_t>(
-              position_of_id[static_cast<size_t>(id)])]);
-    } else {
-      answer.statistics.push_back(0.0);
-    }
-  }
-  answer.ids = std::move(ids);
-  return answer;
-}
-
-// Maps tuple id -> position for id-keyed statistic lookup. Ids may be
-// arbitrary ints; negative ids fall back to "no statistic".
+// The facade's abort-on-bad-options contract, layered over the engine's
+// recoverable statuses: run through a throwaway engine and promote any
+// validation failure to a URANK_CHECK with the engine's message.
 template <typename Relation>
-std::vector<int> PositionOfId(const Relation& rel) {
-  int max_id = -1;
-  for (int i = 0; i < rel.size(); ++i) {
-    max_id = std::max(max_id, rel.tuple(i).id);
-  }
-  std::vector<int> position(static_cast<size_t>(max_id) + 1, -1);
-  for (int i = 0; i < rel.size(); ++i) {
-    const int id = rel.tuple(i).id;
-    if (id >= 0) position[static_cast<size_t>(id)] = i;
-  }
-  return position;
+RankingAnswer PrepareAndRun(Relation rel, const RankingQueryOptions& options) {
+  const QueryEngine engine(std::move(rel));
+  QueryResult result = engine.Run(options);
+  URANK_CHECK_MSG(result.status.ok(), result.status.message.c_str());
+  return std::move(result.answer);
 }
 
 }  // namespace
@@ -91,81 +45,12 @@ const char* ToString(RankingSemantics semantics) {
 
 RankingAnswer RunRankingQuery(const AttrRelation& rel,
                               const RankingQueryOptions& options) {
-  switch (options.semantics) {
-    case RankingSemantics::kExpectedRank:
-      return FromRanked(AttrExpectedRankTopK(rel, options.k, options.ties));
-    case RankingSemantics::kMedianRank:
-      return FromRanked(AttrQuantileRankTopK(rel, options.k, 0.5, options.ties));
-    case RankingSemantics::kQuantileRank:
-      return FromRanked(
-          AttrQuantileRankTopK(rel, options.k, options.phi, options.ties));
-    case RankingSemantics::kUTopk: {
-      const UTopKAnswer utopk = AttrUTopK(rel, options.k);
-      RankingAnswer answer;
-      answer.ids = utopk.ids;
-      answer.statistics.assign(utopk.ids.size(), utopk.probability);
-      return answer;
-    }
-    case RankingSemantics::kUKRanks: {
-      RankingAnswer answer;
-      answer.ids = AttrUKRanks(rel, options.k, options.ties);
-      return answer;
-    }
-    case RankingSemantics::kPTk:
-      return WithProbabilities(
-          AttrPTk(rel, options.k, options.threshold, options.ties),
-          AttrTopKProbabilities(rel, options.k, options.ties),
-          PositionOfId(rel));
-    case RankingSemantics::kGlobalTopk:
-      return WithProbabilities(
-          AttrGlobalTopK(rel, options.k, options.ties),
-          AttrTopKProbabilities(rel, options.k, options.ties),
-          PositionOfId(rel));
-    case RankingSemantics::kExpectedScore:
-      return FromRanked(AttrExpectedScoreTopK(rel, options.k));
-  }
-  URANK_CHECK_MSG(false, "unknown semantics");
-  return {};
+  return PrepareAndRun(rel, options);
 }
 
 RankingAnswer RunRankingQuery(const TupleRelation& rel,
                               const RankingQueryOptions& options) {
-  switch (options.semantics) {
-    case RankingSemantics::kExpectedRank:
-      return FromRanked(TupleExpectedRankTopK(rel, options.k, options.ties));
-    case RankingSemantics::kMedianRank:
-      return FromRanked(
-          TupleQuantileRankTopK(rel, options.k, 0.5, options.ties));
-    case RankingSemantics::kQuantileRank:
-      return FromRanked(
-          TupleQuantileRankTopK(rel, options.k, options.phi, options.ties));
-    case RankingSemantics::kUTopk: {
-      const UTopKAnswer utopk = TupleUTopK(rel, options.k);
-      RankingAnswer answer;
-      answer.ids = utopk.ids;
-      answer.statistics.assign(utopk.ids.size(), utopk.probability);
-      return answer;
-    }
-    case RankingSemantics::kUKRanks: {
-      RankingAnswer answer;
-      answer.ids = TupleUKRanks(rel, options.k, options.ties);
-      return answer;
-    }
-    case RankingSemantics::kPTk:
-      return WithProbabilities(
-          TuplePTk(rel, options.k, options.threshold, options.ties),
-          TupleTopKProbabilities(rel, options.k, options.ties),
-          PositionOfId(rel));
-    case RankingSemantics::kGlobalTopk:
-      return WithProbabilities(
-          TupleGlobalTopK(rel, options.k, options.ties),
-          TupleTopKProbabilities(rel, options.k, options.ties),
-          PositionOfId(rel));
-    case RankingSemantics::kExpectedScore:
-      return FromRanked(TupleExpectedScoreTopK(rel, options.k));
-  }
-  URANK_CHECK_MSG(false, "unknown semantics");
-  return {};
+  return PrepareAndRun(rel, options);
 }
 
 }  // namespace urank

@@ -1,9 +1,15 @@
 // Unified query facade: run any of the library's ranking semantics on
 // either uncertainty model through one entry point.
 //
-// This is the surface a downstream application typically uses; the
-// per-semantics headers remain available for callers that need the richer
-// result types (probabilities, prune statistics, rank distributions).
+// COMPATIBILITY WRAPPER. RunRankingQuery is now a thin shim over the
+// prepared-state engine (core/engine/query_engine.h): it prepares the
+// relation, runs the single query, and aborts if the engine reports
+// invalid options. Each call pays the full preparation cost; applications
+// issuing more than one query against the same relation — or wanting
+// recoverable errors, per-query statistics, or parallel batches — should
+// use QueryEngine directly. The per-semantics headers likewise remain
+// available for callers that need the richer result types (probabilities,
+// prune statistics, rank distributions).
 
 #ifndef URANK_CORE_QUERY_H_
 #define URANK_CORE_QUERY_H_

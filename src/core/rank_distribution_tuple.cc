@@ -32,15 +32,15 @@ std::vector<int> RankOrder(const TupleRelation& rel) {
 // distribution is the sweep state with the tuple's own rule conditioned
 // out (its members cannot appear together with the tuple).
 //
+// `order` must be the positions sorted by (score desc, index asc).
 // Invokes `fn(index, appear_pmf)`; the pmf buffer is reused between calls.
 void ForEachAppearBranch(
-    const TupleRelation& rel, TiePolicy ties,
+    const TupleRelation& rel, const std::vector<int>& order, TiePolicy ties,
     const std::function<void(int, const std::vector<double>&)>& fn) {
   const int m = rel.num_rules();
   std::vector<double> cur(static_cast<size_t>(m), 0.0);
   PoissonBinomial pb =
       PoissonBinomial::FromProbs(std::vector<double>(static_cast<size_t>(m), 0.0));
-  const std::vector<int> order = RankOrder(rel);
 
   size_t pos = 0;
   while (pos < order.size()) {
@@ -77,6 +77,13 @@ void ForEachAppearBranch(
 void ForEachTupleRankDistribution(
     const TupleRelation& rel, TiePolicy ties,
     const std::function<void(int, const std::vector<double>&)>& fn) {
+  ForEachTupleRankDistribution(rel, RankOrder(rel), ties, fn);
+}
+
+void ForEachTupleRankDistribution(
+    const TupleRelation& rel, const std::vector<int>& rank_order,
+    TiePolicy ties,
+    const std::function<void(int, const std::vector<double>&)>& fn) {
   const int n = rel.size();
   const int m = rel.num_rules();
   // Absent branch: |W| given t_i absent is Poisson-binomial over rules,
@@ -90,7 +97,7 @@ void ForEachTupleRankDistribution(
 
   std::vector<double> dist(static_cast<size_t>(n) + 1, 0.0);
   ForEachAppearBranch(
-      rel, ties, [&](int i, const std::vector<double>& appear) {
+      rel, rank_order, ties, [&](int i, const std::vector<double>& appear) {
         const TLTuple& t = rel.tuple(i);
         std::fill(dist.begin(), dist.end(), 0.0);
         for (size_t c = 0; c < appear.size(); ++c) {
@@ -128,19 +135,38 @@ std::vector<std::vector<double>> TupleRankDistributions(
   return dists;
 }
 
+void ForEachTuplePositionalDistribution(
+    const TupleRelation& rel, TiePolicy ties,
+    const std::function<void(int, const std::vector<double>&)>& fn) {
+  ForEachTuplePositionalDistribution(rel, RankOrder(rel), ties, fn);
+}
+
+void ForEachTuplePositionalDistribution(
+    const TupleRelation& rel, const std::vector<int>& rank_order,
+    TiePolicy ties,
+    const std::function<void(int, const std::vector<double>&)>& fn) {
+  std::vector<double> row;
+  ForEachAppearBranch(rel, rank_order, ties,
+                      [&](int i, const std::vector<double>& appear) {
+                        const double p = rel.tuple(i).prob;
+                        row.resize(appear.size());
+                        for (size_t c = 0; c < appear.size(); ++c) {
+                          row[c] = p * appear[c];
+                        }
+                        fn(i, row);
+                      });
+}
+
 std::vector<std::vector<double>> TuplePositionalProbabilities(
     const TupleRelation& rel, TiePolicy ties) {
   std::vector<std::vector<double>> pos(
       static_cast<size_t>(rel.size()),
       std::vector<double>(static_cast<size_t>(rel.size()) + 1, 0.0));
-  ForEachAppearBranch(rel, ties,
-                      [&](int i, const std::vector<double>& appear) {
-                        const double p = rel.tuple(i).prob;
-                        auto& row = pos[static_cast<size_t>(i)];
-                        for (size_t c = 0; c < appear.size(); ++c) {
-                          row[c] = p * appear[c];
-                        }
-                      });
+  ForEachTuplePositionalDistribution(
+      rel, ties, [&](int i, const std::vector<double>& row) {
+        auto& out = pos[static_cast<size_t>(i)];
+        for (size_t c = 0; c < row.size(); ++c) out[c] = row[c];
+      });
   return pos;
 }
 

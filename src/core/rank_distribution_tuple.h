@@ -39,6 +39,29 @@ void ForEachTupleRankDistribution(
     const TupleRelation& rel, TiePolicy ties,
     const std::function<void(int, const std::vector<double>&)>& fn);
 
+// As above, but sweeping `rank_order` — a precomputed permutation of the
+// tuple positions sorted by (score descending, index ascending), e.g.
+// PreparedTupleRelation::rank_order() — instead of re-sorting internally.
+void ForEachTupleRankDistribution(
+    const TupleRelation& rel, const std::vector<int>& rank_order,
+    TiePolicy ties,
+    const std::function<void(int, const std::vector<double>&)>& fn);
+
+// Streaming positional probabilities: invokes `fn(index, row)` once per
+// tuple where row[c] = Pr[t_i present and ranked c-th among appearing
+// tuples] for c in [0, M]; entries at ranks above M are identically zero
+// (at most one tuple per rule appears). The buffer is reused between
+// calls; tuples are visited in score order. Memory stays O(M) instead of
+// the O(N²) of the matrix form. The overload taking `rank_order` reuses a
+// precomputed (score desc, index asc) permutation.
+void ForEachTuplePositionalDistribution(
+    const TupleRelation& rel, TiePolicy ties,
+    const std::function<void(int, const std::vector<double>&)>& fn);
+void ForEachTuplePositionalDistribution(
+    const TupleRelation& rel, const std::vector<int>& rank_order,
+    TiePolicy ties,
+    const std::function<void(int, const std::vector<double>&)>& fn);
+
 // result[i][r] = Pr[R(t_i) = r] for r in [0, N]; rows sum to 1.
 std::vector<std::vector<double>> TupleRankDistributions(
     const TupleRelation& rel, TiePolicy ties = TiePolicy::kBreakByIndex);

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "core/engine/prepared_relation.h"
 #include "util/check.h"
 
 namespace urank {
@@ -52,6 +53,30 @@ std::vector<RankedTuple> TupleExpectedScoreTopK(const TupleRelation& rel,
   std::vector<int> ids(static_cast<size_t>(rel.size()));
   for (int i = 0; i < rel.size(); ++i) ids[static_cast<size_t>(i)] = rel.tuple(i).id;
   return NegatedTopK(TupleExpectedScores(rel), ids, k);
+}
+
+std::vector<double> AttrExpectedScores(const PreparedAttrRelation& prepared) {
+  return prepared.expected_scores();
+}
+
+std::vector<double> TupleExpectedScores(
+    const PreparedTupleRelation& prepared) {
+  const StatKey key{StatKey::Kind::kExpectedScore, 0, 0.0,
+                    TiePolicy::kBreakByIndex};
+  return *prepared.CachedStat(
+      key, [&] { return TupleExpectedScores(prepared.relation()); });
+}
+
+std::vector<RankedTuple> AttrExpectedScoreTopK(
+    const PreparedAttrRelation& prepared, int k) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return NegatedTopK(prepared.expected_scores(), prepared.ids(), k);
+}
+
+std::vector<RankedTuple> TupleExpectedScoreTopK(
+    const PreparedTupleRelation& prepared, int k) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return NegatedTopK(TupleExpectedScores(prepared), prepared.ids(), k);
 }
 
 }  // namespace urank

@@ -17,6 +17,9 @@
 
 namespace urank {
 
+class PreparedAttrRelation;   // core/engine/prepared_relation.h
+class PreparedTupleRelation;  // core/engine/prepared_relation.h
+
 // Per-tuple expected scores, indexed by tuple position.
 std::vector<double> AttrExpectedScores(const AttrRelation& rel);
 std::vector<double> TupleExpectedScores(const TupleRelation& rel);
@@ -27,6 +30,19 @@ std::vector<double> TupleExpectedScores(const TupleRelation& rel);
 std::vector<RankedTuple> AttrExpectedScoreTopK(const AttrRelation& rel, int k);
 std::vector<RankedTuple> TupleExpectedScoreTopK(const TupleRelation& rel,
                                                 int k);
+
+// Prepared-state overloads. The attribute-level expected scores are built
+// eagerly at preparation time; the tuple-level ones are memoized on first
+// use. Identical answers to the one-shot forms.
+std::vector<double> AttrExpectedScores(const PreparedAttrRelation& prepared);
+std::vector<double> TupleExpectedScores(
+    const PreparedTupleRelation& prepared);
+
+// Prepared top-k selections. Requires k >= 1.
+std::vector<RankedTuple> AttrExpectedScoreTopK(
+    const PreparedAttrRelation& prepared, int k);
+std::vector<RankedTuple> TupleExpectedScoreTopK(
+    const PreparedTupleRelation& prepared, int k);
 
 }  // namespace urank
 

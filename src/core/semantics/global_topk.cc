@@ -2,6 +2,7 @@
 
 #include <queue>
 
+#include "core/engine/prepared_relation.h"
 #include "core/ranking.h"
 #include "core/semantics/score_sweep.h"
 #include "core/semantics/semantics.h"
@@ -35,6 +36,19 @@ std::vector<int> TupleGlobalTopK(const TupleRelation& rel, int k,
   std::vector<int> ids(static_cast<size_t>(rel.size()));
   for (int i = 0; i < rel.size(); ++i) ids[static_cast<size_t>(i)] = rel.tuple(i).id;
   return BestK(TupleTopKProbabilities(rel, k, ties), ids, k);
+}
+
+std::vector<int> AttrGlobalTopK(const PreparedAttrRelation& prepared, int k,
+                                TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return BestK(AttrTopKProbabilities(prepared, k, ties), prepared.ids(), k);
+}
+
+std::vector<int> TupleGlobalTopK(const PreparedTupleRelation& prepared,
+                                 int k, TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return BestK(TupleTopKProbabilities(prepared, k, ties), prepared.ids(),
+               k);
 }
 
 GlobalTopKPruneResult TupleGlobalTopKPruned(const TupleRelation& rel, int k,

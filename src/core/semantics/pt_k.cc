@@ -1,5 +1,6 @@
 #include "core/semantics/pt_k.h"
 
+#include "core/engine/prepared_relation.h"
 #include "core/ranking.h"
 #include "core/semantics/score_sweep.h"
 #include "core/semantics/semantics.h"
@@ -40,6 +41,24 @@ std::vector<int> TuplePTk(const TupleRelation& rel, int k, double threshold,
   std::vector<int> ids(static_cast<size_t>(rel.size()));
   for (int i = 0; i < rel.size(); ++i) ids[static_cast<size_t>(i)] = rel.tuple(i).id;
   return Threshold(TupleTopKProbabilities(rel, k, ties), ids, threshold);
+}
+
+std::vector<int> AttrPTk(const PreparedAttrRelation& prepared, int k,
+                         double threshold, TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  URANK_CHECK_MSG(threshold > 0.0 && threshold <= 1.0,
+                  "threshold must be in (0,1]");
+  return Threshold(AttrTopKProbabilities(prepared, k, ties), prepared.ids(),
+                   threshold);
+}
+
+std::vector<int> TuplePTk(const PreparedTupleRelation& prepared, int k,
+                          double threshold, TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  URANK_CHECK_MSG(threshold > 0.0 && threshold <= 1.0,
+                  "threshold must be in (0,1]");
+  return Threshold(TupleTopKProbabilities(prepared, k, ties),
+                   prepared.ids(), threshold);
 }
 
 PTkPruneResult TuplePTkPruned(const TupleRelation& rel, int k,

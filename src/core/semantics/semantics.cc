@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/engine/prepared_relation.h"
 #include "core/rank_distribution_attr.h"
 #include "core/rank_distribution_tuple.h"
 #include "util/check.h"
@@ -38,6 +39,46 @@ std::vector<double> TupleTopKProbabilities(const TupleRelation& rel, int k,
     probs[static_cast<size_t>(i)] = std::min(cdf, 1.0);
   }
   return probs;
+}
+
+std::vector<double> AttrTopKProbabilities(
+    const PreparedAttrRelation& prepared, int k, TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  const StatKey key{StatKey::Kind::kTopKProbability, k, 0.0, ties};
+  return *prepared.CachedStat(key, [&] {
+    const auto dists = prepared.RankDistributions(ties);
+    std::vector<double> probs(static_cast<size_t>(prepared.size()), 0.0);
+    for (int i = 0; i < prepared.size(); ++i) {
+      const auto& dist = (*dists)[static_cast<size_t>(i)];
+      double cdf = 0.0;
+      const int hi = std::min(k, static_cast<int>(dist.size()));
+      for (int r = 0; r < hi; ++r) cdf += dist[static_cast<size_t>(r)];
+      URANK_DCHECK_PROB(cdf);
+      probs[static_cast<size_t>(i)] = std::min(cdf, 1.0);
+    }
+    return probs;
+  });
+}
+
+std::vector<double> TupleTopKProbabilities(
+    const PreparedTupleRelation& prepared, int k, TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  const StatKey key{StatKey::Kind::kTopKProbability, k, 0.0, ties};
+  return *prepared.CachedStat(key, [&] {
+    // Positional entries at ranks above M are zero, so summing the first
+    // min(k, M+1) streamed entries equals the matrix form's first-k sum.
+    std::vector<double> probs(static_cast<size_t>(prepared.size()), 0.0);
+    ForEachTuplePositionalDistribution(
+        prepared.relation(), prepared.rank_order(), ties,
+        [&](int i, const std::vector<double>& row) {
+          double cdf = 0.0;
+          const int hi = std::min(k, static_cast<int>(row.size()));
+          for (int r = 0; r < hi; ++r) cdf += row[static_cast<size_t>(r)];
+          URANK_DCHECK_PROB(cdf);
+          probs[static_cast<size_t>(i)] = std::min(cdf, 1.0);
+        });
+    return probs;
+  });
 }
 
 }  // namespace urank

@@ -19,6 +19,9 @@
 
 namespace urank {
 
+class PreparedAttrRelation;   // core/engine/prepared_relation.h
+class PreparedTupleRelation;  // core/engine/prepared_relation.h
+
 // result[i] = Pr[t_i is in the top-k], indexed by tuple position.
 // Requires k >= 1. O(s N³) attribute-level, O(N M²) worst-case tuple-level
 // (the exact rank-distribution DPs).
@@ -27,6 +30,18 @@ std::vector<double> AttrTopKProbabilities(
     TiePolicy ties = TiePolicy::kBreakByIndex);
 std::vector<double> TupleTopKProbabilities(
     const TupleRelation& rel, int k,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Prepared-state overloads: the attribute-level form reads the shared
+// rank-distribution matrix (so every k shares one O(s N³) DP), the
+// tuple-level form streams positional rows over the prepared rank order in
+// O(N + M) memory; both memoize the probability vector per (k, ties).
+// Results are bit-identical to the one-shot forms. Requires k >= 1.
+std::vector<double> AttrTopKProbabilities(
+    const PreparedAttrRelation& prepared, int k,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<double> TupleTopKProbabilities(
+    const PreparedTupleRelation& prepared, int k,
     TiePolicy ties = TiePolicy::kBreakByIndex);
 
 }  // namespace urank

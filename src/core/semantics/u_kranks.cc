@@ -1,5 +1,8 @@
 #include "core/semantics/u_kranks.h"
 
+#include <algorithm>
+
+#include "core/engine/prepared_relation.h"
 #include "core/rank_distribution_attr.h"
 #include "core/rank_distribution_tuple.h"
 #include "core/semantics/score_sweep.h"
@@ -32,6 +35,18 @@ std::vector<int> WinnersPerRank(
   return winners;
 }
 
+// Winner ids round-trip the double-valued stat cache exactly (ints are
+// exact in double far beyond the id range).
+std::vector<double> ToDouble(const std::vector<int>& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+std::vector<int> ToInt(const std::vector<double>& v) {
+  std::vector<int> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = static_cast<int>(v[i]);
+  return out;
+}
+
 }  // namespace
 
 std::vector<int> AttrUKRanks(const AttrRelation& rel, int k, TiePolicy ties) {
@@ -50,6 +65,45 @@ std::vector<int> TupleUKRanks(const TupleRelation& rel, int k,
   std::vector<int> ids(static_cast<size_t>(rel.size()));
   for (int i = 0; i < rel.size(); ++i) ids[static_cast<size_t>(i)] = rel.tuple(i).id;
   return WinnersPerRank(rows, ids, k);
+}
+
+std::vector<int> AttrUKRanks(const PreparedAttrRelation& prepared, int k,
+                             TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  const StatKey key{StatKey::Kind::kUKRanksWinners, k, 0.0, ties};
+  return ToInt(*prepared.CachedStat(key, [&] {
+    const auto rows = prepared.RankDistributions(ties);
+    return ToDouble(WinnersPerRank(*rows, prepared.ids(), k));
+  }));
+}
+
+std::vector<int> TupleUKRanks(const PreparedTupleRelation& prepared, int k,
+                              TiePolicy ties) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  const StatKey key{StatKey::Kind::kUKRanksWinners, k, 0.0, ties};
+  return ToInt(*prepared.CachedStat(key, [&] {
+    // Streamed WinnersPerRank: same argmax/min-id rule applied per row as
+    // the rows arrive in score order rather than index order.
+    std::vector<int> winners(static_cast<size_t>(k), -1);
+    std::vector<double> best(static_cast<size_t>(k), 0.0);
+    ForEachTuplePositionalDistribution(
+        prepared.relation(), prepared.rank_order(), ties,
+        [&](int i, const std::vector<double>& row) {
+          URANK_DCHECK_MSG(internal::AllFiniteInRange(row, 0.0, 1.0),
+                           "positional probability outside [0,1]");
+          const int id = prepared.ids()[static_cast<size_t>(i)];
+          const size_t hi = std::min(static_cast<size_t>(k), row.size());
+          for (size_t r = 0; r < hi; ++r) {
+            if (row[r] > best[r] ||
+                (row[r] == best[r] && row[r] > 0.0 && winners[r] >= 0 &&
+                 id < winners[r])) {
+              best[r] = row[r];
+              winners[r] = id;
+            }
+          }
+        });
+    return ToDouble(winners);
+  }));
 }
 
 UKRanksPruneResult TupleUKRanksPruned(const TupleRelation& rel, int k,

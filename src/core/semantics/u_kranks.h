@@ -17,6 +17,9 @@
 
 namespace urank {
 
+class PreparedAttrRelation;   // core/engine/prepared_relation.h
+class PreparedTupleRelation;  // core/engine/prepared_relation.h
+
 // answer[r] (0-based rank r < k) is the id of argmax_i Pr[t_i at rank r],
 // with ties broken by smaller id, or -1 when no tuple can occupy rank r.
 // Requires k >= 1. In the tuple-level model "at rank r" requires the tuple
@@ -24,6 +27,17 @@ namespace urank {
 std::vector<int> AttrUKRanks(const AttrRelation& rel, int k,
                              TiePolicy ties = TiePolicy::kBreakByIndex);
 std::vector<int> TupleUKRanks(const TupleRelation& rel, int k,
+                              TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Prepared-state overloads: the attribute-level form reads the shared
+// rank-distribution matrix, the tuple-level form streams positional rows
+// over the prepared rank order; both memoize the winner list per
+// (k, ties). The winner rule (argmax with min-id tie-break) is visit-order
+// independent, so answers are identical to the one-shot forms. Requires
+// k >= 1.
+std::vector<int> AttrUKRanks(const PreparedAttrRelation& prepared, int k,
+                             TiePolicy ties = TiePolicy::kBreakByIndex);
+std::vector<int> TupleUKRanks(const PreparedTupleRelation& prepared, int k,
                               TiePolicy ties = TiePolicy::kBreakByIndex);
 
 // Result of the early-terminating evaluation: the same answer as

@@ -8,6 +8,7 @@
 #include <set>
 #include <utility>
 
+#include "core/engine/prepared_relation.h"
 #include "model/possible_worlds.h"
 #include "util/check.h"
 
@@ -25,16 +26,9 @@ UTopKAnswer BestOfSetMap(const std::map<std::vector<int>, double>& sets) {
   return best;
 }
 
-}  // namespace
-
-UTopKAnswer TupleUTopKIndependent(const TupleRelation& rel, int k) {
-  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
-  for (int r = 0; r < rel.num_rules(); ++r) {
-    URANK_CHECK_MSG(rel.rule(r).size() == 1,
-                    "TupleUTopKIndependent requires singleton rules");
-  }
-  const int n = rel.size();
-  std::vector<int> order(static_cast<size_t>(n));
+// Positions sorted by (score desc, index asc) — the shared DP sweep order.
+std::vector<int> UTopKRankOrder(const TupleRelation& rel) {
+  std::vector<int> order(static_cast<size_t>(rel.size()));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int a, int b) {
     const double sa = rel.tuple(a).score;
@@ -42,6 +36,20 @@ UTopKAnswer TupleUTopKIndependent(const TupleRelation& rel, int k) {
     if (sa != sb) return sa > sb;
     return a < b;
   });
+  return order;
+}
+
+bool AllSingletonRules(const TupleRelation& rel) {
+  for (int r = 0; r < rel.num_rules(); ++r) {
+    if (rel.rule(r).size() > 1) return false;
+  }
+  return true;
+}
+
+UTopKAnswer TupleUTopKIndependentInOrder(const TupleRelation& rel,
+                                         const std::vector<int>& order,
+                                         int k) {
+  const int n = rel.size();
 
   // g[i][c]: max probability of fixing the presence of the i highest-scored
   // tuples with exactly c of them present (present tuples contribute p,
@@ -118,8 +126,6 @@ UTopKAnswer TupleUTopKIndependent(const TupleRelation& rel, int k) {
   return answer;
 }
 
-namespace {
-
 // Shared sweep state for TupleUTopKWithRules: per-rule prefix mass and
 // best (maximum-probability) prefix member, updated as the cutoff
 // advances through the rank order.
@@ -151,24 +157,15 @@ struct RuleSweepState {
   }
 };
 
-}  // namespace
-
-UTopKAnswer TupleUTopKWithRules(const TupleRelation& rel, int k) {
-  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+UTopKAnswer TupleUTopKWithRulesInOrder(const TupleRelation& rel,
+                                       const std::vector<int>& order,
+                                       int k) {
   const int n = rel.size();
   UTopKAnswer answer;
   if (n == 0) {
     answer.probability = 1.0;  // the empty answer, with certainty
     return answer;
   }
-  std::vector<int> order(static_cast<size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    const double sa = rel.tuple(a).score;
-    const double sb = rel.tuple(b).score;
-    if (sa != sb) return sa > sb;
-    return a < b;
-  });
 
   // Sweep pass: for each cutoff c (the rank-order position of the
   // answer's lowest member), the best achievable log-probability is
@@ -334,22 +331,45 @@ UTopKAnswer TupleUTopKWithRules(const TupleRelation& rel, int k) {
   return answer;
 }
 
+}  // namespace
+
+UTopKAnswer TupleUTopKIndependent(const TupleRelation& rel, int k) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  for (int r = 0; r < rel.num_rules(); ++r) {
+    URANK_CHECK_MSG(rel.rule(r).size() == 1,
+                    "TupleUTopKIndependent requires singleton rules");
+  }
+  return TupleUTopKIndependentInOrder(rel, UTopKRankOrder(rel), k);
+}
+
+UTopKAnswer TupleUTopKWithRules(const TupleRelation& rel, int k) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return TupleUTopKWithRulesInOrder(rel, UTopKRankOrder(rel), k);
+}
+
 UTopKAnswer TupleUTopK(const TupleRelation& rel, int k) {
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
-  bool independent = true;
-  for (int r = 0; r < rel.num_rules(); ++r) {
-    if (rel.rule(r).size() > 1) {
-      independent = false;
-      break;
-    }
-  }
-  if (independent) return TupleUTopKIndependent(rel, k);
+  if (AllSingletonRules(rel)) return TupleUTopKIndependent(rel, k);
   return TupleUTopKWithRules(rel, k);
+}
+
+UTopKAnswer TupleUTopK(const PreparedTupleRelation& prepared, int k) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  const TupleRelation& rel = prepared.relation();
+  if (AllSingletonRules(rel)) {
+    return TupleUTopKIndependentInOrder(rel, prepared.rank_order(), k);
+  }
+  return TupleUTopKWithRulesInOrder(rel, prepared.rank_order(), k);
 }
 
 UTopKAnswer AttrUTopK(const AttrRelation& rel, int k) {
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
   return BestOfSetMap(AttrTopKSetProbabilities(rel, k));
+}
+
+UTopKAnswer AttrUTopK(const PreparedAttrRelation& prepared, int k) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return AttrUTopK(prepared.relation(), k);
 }
 
 }  // namespace urank

@@ -24,6 +24,9 @@
 
 namespace urank {
 
+class PreparedAttrRelation;   // core/engine/prepared_relation.h
+class PreparedTupleRelation;  // core/engine/prepared_relation.h
+
 // The most likely top-k answer. `ids` is the rank-ordered top-k list (the
 // original U-Topk definition is over ranked answers: (t2,t3) and (t3,t2)
 // are distinct); `probability` is its support across all worlds.
@@ -61,6 +64,15 @@ UTopKAnswer TupleUTopKWithRules(const TupleRelation& rel, int k);
 
 // Possible-worlds enumeration; requires an enumerable world count.
 UTopKAnswer AttrUTopK(const AttrRelation& rel, int k);
+
+// Prepared-state overloads. The tuple-level form reuses the prepared rank
+// order, skipping the per-call sort (the DP itself is k-specific, so no
+// statistic is memoized); the attribute-level form forwards to the
+// enumeration (QueryEngine::Validate rejects non-enumerable world counts
+// before dispatching here). Identical answers to the one-shot forms.
+// Requires k >= 1.
+UTopKAnswer TupleUTopK(const PreparedTupleRelation& prepared, int k);
+UTopKAnswer AttrUTopK(const PreparedAttrRelation& prepared, int k);
 
 }  // namespace urank
 

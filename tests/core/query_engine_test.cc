@@ -1,0 +1,273 @@
+// QueryEngine tests: engine-vs-facade equivalence for every semantics on
+// both uncertainty models, the recoverable validation taxonomy, RunBatch
+// determinism across thread counts, and cache-reuse statistics.
+
+#include "core/engine/query_engine.h"
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/query.h"
+#include "gen/attr_gen.h"
+#include "gen/tuple_gen.h"
+#include "gtest/gtest.h"
+#include "model/possible_worlds.h"
+
+namespace urank {
+namespace {
+
+// Same generator settings as consistency_fuzz_test.cc: overlapping values
+// and multi-tuple rules stress every DP path.
+AttrRelation MakeAttr(int n, uint64_t seed) {
+  AttrGenConfig config;
+  config.num_tuples = n;
+  config.pdf_size = 4;
+  config.value_spread = 100.0;
+  config.seed = seed;
+  return GenerateAttrRelation(config);
+}
+
+TupleRelation MakeTuple(int n, uint64_t seed) {
+  TupleGenConfig config;
+  config.num_tuples = n;
+  config.multi_rule_fraction = 0.5;
+  config.max_rule_size = 4;
+  config.prob_lo = 0.05;
+  config.seed = seed;
+  return GenerateTupleRelation(config);
+}
+
+// One query per semantics; k/phi/threshold chosen to produce non-trivial
+// answers on relations of a few dozen tuples.
+std::vector<RankingQuery> AllSemanticsQueries(TiePolicy ties) {
+  std::vector<RankingQuery> queries;
+  for (RankingSemantics semantics :
+       {RankingSemantics::kExpectedRank, RankingSemantics::kMedianRank,
+        RankingSemantics::kQuantileRank, RankingSemantics::kUTopk,
+        RankingSemantics::kUKRanks, RankingSemantics::kPTk,
+        RankingSemantics::kGlobalTopk, RankingSemantics::kExpectedScore}) {
+    RankingQuery q;
+    q.semantics = semantics;
+    q.k = 5;
+    q.phi = 0.3;
+    q.threshold = 0.1;
+    q.ties = ties;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+void ExpectSameAnswer(const RankingAnswer& got, const RankingAnswer& want,
+                      const char* label) {
+  ASSERT_EQ(got.ids, want.ids) << label;
+  ASSERT_EQ(got.statistics.size(), want.statistics.size()) << label;
+  for (size_t i = 0; i < want.statistics.size(); ++i) {
+    // The prepared paths run the same arithmetic in the same order as the
+    // one-shot entry points, so equality is exact, not approximate.
+    EXPECT_EQ(got.statistics[i], want.statistics[i])
+        << label << " statistic " << i;
+  }
+}
+
+class QueryEngineEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryEngineEquivalence, AttrMatchesFacadeForEverySemantics) {
+  // Eight tuples with pdf size four: 4^8 = 65536 worlds, small enough for
+  // the U-Topk enumeration to be part of the sweep.
+  const AttrRelation rel = MakeAttr(8, GetParam());
+  const QueryEngine engine(rel);
+  for (TiePolicy ties :
+       {TiePolicy::kBreakByIndex, TiePolicy::kStrictGreater}) {
+    for (const RankingQuery& q : AllSemanticsQueries(ties)) {
+      const QueryResult result = engine.Run(q);
+      ASSERT_TRUE(result.status.ok()) << ToString(q.semantics);
+      ExpectSameAnswer(result.answer, RunRankingQuery(rel, q),
+                       ToString(q.semantics));
+    }
+  }
+}
+
+TEST_P(QueryEngineEquivalence, TupleMatchesFacadeForEverySemantics) {
+  const TupleRelation rel = MakeTuple(60, GetParam());
+  const QueryEngine engine(rel);
+  for (TiePolicy ties :
+       {TiePolicy::kBreakByIndex, TiePolicy::kStrictGreater}) {
+    for (const RankingQuery& q : AllSemanticsQueries(ties)) {
+      const QueryResult result = engine.Run(q);
+      ASSERT_TRUE(result.status.ok()) << ToString(q.semantics);
+      ExpectSameAnswer(result.answer, RunRankingQuery(rel, q),
+                       ToString(q.semantics));
+    }
+  }
+}
+
+TEST_P(QueryEngineEquivalence, RunBatchIsDeterministicAcrossThreadCounts) {
+  const TupleRelation rel = MakeTuple(120, GetParam());
+  const QueryEngine engine(rel);
+  // Two tie policies' worth of queries, twice over: repeated queries make
+  // the memoized statistics contended across workers.
+  std::vector<RankingQuery> batch = AllSemanticsQueries(TiePolicy::kBreakByIndex);
+  const auto more = AllSemanticsQueries(TiePolicy::kStrictGreater);
+  batch.insert(batch.end(), more.begin(), more.end());
+  batch.insert(batch.end(), batch.begin(), batch.end());
+
+  std::vector<QueryResult> baseline;
+  baseline.reserve(batch.size());
+  for (const RankingQuery& q : batch) baseline.push_back(engine.Run(q));
+
+  for (int threads : {1, 2, 5, 8}) {
+    const std::vector<QueryResult> results = engine.RunBatch(batch, threads);
+    ASSERT_EQ(results.size(), batch.size()) << "threads=" << threads;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_TRUE(results[i].status.ok());
+      ExpectSameAnswer(results[i].answer, baseline[i].answer,
+                       ToString(batch[i].semantics));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryEngineEquivalence,
+                         ::testing::Values(uint64_t{101}, uint64_t{202},
+                                           uint64_t{303}));
+
+TEST(QueryEngineValidation, RejectsBadParametersRecoverably) {
+  const QueryEngine engine(MakeTuple(20, 7));
+
+  RankingQuery q;
+  q.semantics = RankingSemantics::kExpectedRank;
+  q.k = 0;
+  QueryResult result = engine.Run(q);
+  EXPECT_EQ(result.status.code, QueryStatusCode::kInvalidK);
+  EXPECT_NE(result.status.message.find("k must be >= 1"), std::string::npos);
+  EXPECT_TRUE(result.answer.ids.empty());
+
+  q = {};
+  q.semantics = RankingSemantics::kQuantileRank;
+  q.phi = 1.5;
+  result = engine.Run(q);
+  EXPECT_EQ(result.status.code, QueryStatusCode::kInvalidPhi);
+  EXPECT_NE(result.status.message.find("phi"), std::string::npos);
+
+  // phi is only a quantile parameter: out-of-range values are ignored
+  // elsewhere.
+  q.semantics = RankingSemantics::kExpectedRank;
+  EXPECT_TRUE(engine.Run(q).status.ok());
+
+  q = {};
+  q.semantics = RankingSemantics::kPTk;
+  q.threshold = 0.0;
+  result = engine.Run(q);
+  EXPECT_EQ(result.status.code, QueryStatusCode::kInvalidThreshold);
+  EXPECT_NE(result.status.message.find("threshold"), std::string::npos);
+
+  q = {};
+  EXPECT_EQ(engine.Validate(q).code, QueryStatusCode::kOk);
+  EXPECT_TRUE(engine.Validate(q).message.empty());
+}
+
+TEST(QueryEngineValidation, RejectsNonEnumerableUTopkWorldCount) {
+  // 4^40 worlds saturates NumWorlds far past the enumeration limit.
+  const AttrRelation rel = MakeAttr(40, 11);
+  ASSERT_GT(rel.NumWorlds(), kMaxEnumerableWorlds);
+  const QueryEngine engine(rel);
+
+  RankingQuery q;
+  q.semantics = RankingSemantics::kUTopk;
+  q.k = 3;
+  const QueryResult result = engine.Run(q);
+  EXPECT_EQ(result.status.code, QueryStatusCode::kWorldCountNotEnumerable);
+  EXPECT_FALSE(result.status.ok());
+
+  // Every other semantics still runs on the same engine.
+  q.semantics = RankingSemantics::kExpectedRank;
+  EXPECT_TRUE(engine.Run(q).status.ok());
+}
+
+TEST(QueryEngineStats, ReportsCacheReuseOnRepeatedStatistics) {
+  const QueryEngine engine(MakeTuple(50, 13));
+
+  RankingQuery q;
+  q.semantics = RankingSemantics::kExpectedRank;
+  q.k = 5;
+  const QueryResult cold = engine.Run(q);
+  EXPECT_FALSE(cold.stats.reused_cache);
+  EXPECT_GT(cold.stats.dp_cells, 0);
+  EXPECT_EQ(cold.stats.tuples_pruned, 0);
+
+  // A different k ranks by the same memoized expected-rank vector.
+  q.k = 20;
+  const QueryResult warm = engine.Run(q);
+  EXPECT_TRUE(warm.stats.reused_cache);
+  EXPECT_EQ(warm.stats.dp_cells, 0);
+  EXPECT_EQ(warm.stats.tuples_pruned, 50);
+
+  // The median is the phi = 0.5 quantile: the two semantics share a cache
+  // entry.
+  q = {};
+  q.semantics = RankingSemantics::kMedianRank;
+  EXPECT_FALSE(engine.Run(q).stats.reused_cache);
+  q.semantics = RankingSemantics::kQuantileRank;
+  q.phi = 0.5;
+  EXPECT_TRUE(engine.Run(q).stats.reused_cache);
+  q.phi = 0.25;
+  EXPECT_FALSE(engine.Run(q).stats.reused_cache);
+}
+
+TEST(QueryEngineStats, BatchComputesContendedStatisticExactlyOnce) {
+  const auto prepared = QueryEngine::Prepare(MakeTuple(80, 17));
+  const QueryEngine engine(prepared);
+
+  RankingQuery q;
+  q.semantics = RankingSemantics::kExpectedRank;
+  q.k = 10;
+  const std::vector<RankingQuery> batch(8, q);
+  const std::vector<QueryResult> results = engine.RunBatch(batch, 8);
+  ASSERT_EQ(results.size(), batch.size());
+  for (const QueryResult& r : results) EXPECT_TRUE(r.status.ok());
+  // Single-flight memoization: eight concurrent queries over one shared
+  // statistic trigger exactly one computation.
+  EXPECT_EQ(prepared->cache_misses(), 1);
+  EXPECT_EQ(prepared->cache_hits(), 7);
+}
+
+TEST(QueryEngineSparseIds, HugeTupleIdsUseNoPositionalArray) {
+  // Regression: the facade used to build a position array indexed by the
+  // maximum id, so a single id near 10^9 allocated gigabytes. The id index
+  // is now a hash map on both models.
+  const TupleRelation rel({{1000000000, 30.0, 0.6},
+                           {3, 20.0, 0.5},
+                           {7, 10.0, 0.4}},
+                          {{0}, {1}, {2}});
+  const QueryEngine engine(rel);
+  EXPECT_EQ(engine.tuple()->PositionOfId(1000000000), 0);
+  EXPECT_EQ(engine.tuple()->PositionOfId(3), 1);
+  EXPECT_EQ(engine.tuple()->PositionOfId(42), -1);
+
+  RankingQuery q;
+  q.semantics = RankingSemantics::kGlobalTopk;
+  q.k = 2;
+  const QueryResult result = engine.Run(q);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.answer.ids.size(), 2u);
+  ASSERT_EQ(result.answer.statistics.size(), 2u);
+  for (double p : result.answer.statistics) EXPECT_GT(p, 0.0);
+
+  // The facade shim inherits the fix.
+  const RankingAnswer facade = RunRankingQuery(rel, q);
+  EXPECT_EQ(facade.ids, result.answer.ids);
+}
+
+TEST(QueryEngineBatch, EmptyBatchAndThreadDefaultsAreSafe) {
+  const QueryEngine engine(MakeTuple(10, 19));
+  EXPECT_TRUE(engine.RunBatch({}, 0).empty());
+  EXPECT_TRUE(engine.RunBatch({}, 4).empty());
+
+  RankingQuery q;
+  const auto results = engine.RunBatch({q, q, q}, 0);  // hardware default
+  ASSERT_EQ(results.size(), 3u);
+  for (const QueryResult& r : results) EXPECT_TRUE(r.status.ok());
+}
+
+}  // namespace
+}  // namespace urank

@@ -17,6 +17,14 @@ cannot see:
                    util/check.h, I/O through io/).
   build-registration  every .cc under src/ is compiled into the library
                    (listed in src/CMakeLists.txt).
+  engine-api       outside src/core/, queries go through the QueryEngine
+                   (core/engine/query_engine.h) or the legacy facade
+                   (core/query.h); direct includes of the per-semantics
+                   headers (core/semantics/*, core/expected_rank_*.h,
+                   core/quantile_rank.h) from other src/ subsystems or
+                   examples/ are flagged. Suppress only where an example
+                   deliberately showcases the richer per-semantics result
+                   types.
 
 A finding can be suppressed for one line with a trailing or preceding
 comment `// urank-lint: allow(<rule>)`; use sparingly and justify inline.
@@ -161,6 +169,37 @@ def check_token_bans(root, findings):
                                             rule, message))
 
 
+# --- engine-api ------------------------------------------------------------
+
+SEMANTICS_INCLUDE_RE = re.compile(
+    r'#include\s+"core/(semantics/[^"]+|expected_rank_attr\.h|'
+    r'expected_rank_tuple\.h|quantile_rank\.h)"')
+
+
+def check_engine_api(root, findings):
+    """Per-semantics headers are core-internal: other subsystems and the
+    examples query through core/engine/query_engine.h (or the core/query.h
+    facade)."""
+    paths = []
+    for path in iter_files(root, "src", {".h", ".cc"}):
+        rel = relpath(root, path).replace(os.sep, "/")
+        if not rel.startswith("src/core/"):
+            paths.append(path)
+    if os.path.isdir(os.path.join(root, "examples")):
+        paths.extend(iter_files(root, "examples", {".h", ".cc", ".cpp"}))
+    for path in sorted(paths):
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().split("\n")
+        for lineno, line in enumerate(lines, start=1):
+            m = SEMANTICS_INCLUDE_RE.search(line)
+            if m and "engine-api" not in allowed_rules(lines, lineno):
+                findings.append(Finding(
+                    relpath(root, path), lineno, "engine-api",
+                    f'direct include of per-semantics header "core/'
+                    f'{m.group(1)}"; query through core/engine/'
+                    f'query_engine.h instead'))
+
+
 # --- precondition ----------------------------------------------------------
 
 def declaration_name(decl):
@@ -293,6 +332,7 @@ def main():
     findings = []
     check_include_guards(root, findings)
     check_token_bans(root, findings)
+    check_engine_api(root, findings)
     check_preconditions(root, findings)
     check_build_registration(root, findings)
 
