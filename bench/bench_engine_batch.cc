@@ -105,10 +105,66 @@ void RunExperiment() {
               speedup >= 2.0 ? "met" : "NOT met");
 }
 
+// E19c: inter-query (RunBatch workers) vs intra-query (ParallelismOptions
+// chunks) parallelism, alone and combined, over one larger relation whose
+// sweeps span several chunks. Every configuration re-prepares from scratch
+// — otherwise the second run would be served from the statistic cache —
+// and every configuration's answers must match the serial baseline
+// exactly.
+void RunScalingGrid() {
+  constexpr int kGridN = 24000;  // several chunks at the default 8192 grain
+  TupleGenConfig config;
+  config.num_tuples = kGridN;
+  config.seed = 29;
+  const TupleRelation rel = GenerateTupleRelation(config);
+  const std::vector<RankingQuery> batch = MakeBatch();
+
+  struct GridPoint {
+    int batch_threads;
+    int intra_threads;
+  };
+  const GridPoint grid[] = {{1, 1}, {8, 1}, {1, 8}, {8, 8}};
+
+  std::vector<QueryResult> baseline;
+  double baseline_ms = 0.0;
+  Table table("E19c: inter vs intra-query scaling (N = " +
+                  FormatInt(kGridN) + ", fresh prepare per config)",
+              {"batch threads", "intra threads", "total ms", "speedup",
+               "answers match"});
+  for (const GridPoint& point : grid) {
+    ParallelismOptions par;
+    par.threads = point.intra_threads;
+    Timer timer;
+    QueryEngine engine(rel);
+    engine.set_parallelism(par);
+    const std::vector<QueryResult> results =
+        engine.RunBatch(batch, point.batch_threads);
+    const double ms = timer.ElapsedMs();
+
+    bool match = true;
+    if (baseline.empty()) {
+      baseline = results;
+      baseline_ms = ms;
+    } else {
+      for (size_t i = 0; i < results.size(); ++i) {
+        match = match && results[i].answer.ids == baseline[i].answer.ids &&
+                results[i].answer.statistics == baseline[i].answer.statistics;
+      }
+    }
+    table.AddRow({FormatInt(point.batch_threads),
+                  FormatInt(point.intra_threads), FormatDouble(ms, 2),
+                  FormatDouble(ms > 0.0 ? baseline_ms / ms : 0.0, 2),
+                  match ? "yes" : "NO"});
+  }
+  table.Print();
+}
+
 }  // namespace
 }  // namespace urank
 
 int main() {
   urank::RunExperiment();
+  std::printf("\n");
+  urank::RunScalingGrid();
   return 0;
 }

@@ -1,0 +1,265 @@
+// Experiment P1: intra-query scaling of the parallel DP kernels.
+//
+// Runs the chunked tuple-level rank-distribution sweep (the kernel behind
+// median/quantile ranks), the positional sweep (behind PT-k, Global-Topk,
+// U-kRanks) and the attribute-level rank-distribution pass at 1, 2, 4 and
+// 8 worker threads over one fixed relation each, verifying that every
+// thread count produces bit-identical distributions before reporting
+// wall-clock, speedup vs the single-thread run, and emitted-DP-cell
+// throughput.
+//
+// Flags:
+//   --smoke        shrink the relations (~20k tuples) for CI smoke runs
+//   --json=PATH    append machine-readable results for tools/bench_runner
+//
+// The speedup column only shows parallel gains on multi-core hosts; the
+// identity column must read "yes" everywhere on any host.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine/query_engine.h"
+#include "core/rank_distribution_attr.h"
+#include "core/rank_distribution_tuple.h"
+#include "gen/attr_gen.h"
+#include "gen/tuple_gen.h"
+#include "util/parallel.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace urank {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 4, 8};
+
+struct Measurement {
+  std::string kernel;
+  int n = 0;
+  int threads = 0;
+  double wall_ms = 0.0;
+  double speedup_vs_1t = 0.0;
+  long long dp_cells = 0;   // nonzero pmf entries emitted
+  double cells_per_s = 0.0;
+  bool identical_to_1t = true;
+};
+
+ParallelismOptions Par(int threads) {
+  ParallelismOptions par;
+  par.threads = threads;
+  par.min_parallel_items = 1;
+  return par;
+}
+
+// Exact fingerprint over the nonzero entries (position + bit pattern) of
+// one distribution row; any single-bit difference between two runs of the
+// same kernel changes the per-tuple fingerprint.
+std::uint64_t RowFingerprint(const std::vector<double>& row) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull + row.size();
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i] == 0.0) continue;
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &row[i], sizeof(bits));
+    h ^= i + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= bits + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+long long CountNonzero(const std::vector<double>& row) {
+  long long cells = 0;
+  for (double v : row) cells += v != 0.0 ? 1 : 0;
+  return cells;
+}
+
+// One scaling series: `sweep(threads, fingerprints, cells)` runs the
+// kernel and fills per-tuple fingerprints plus the emitted-cell count.
+template <typename SweepFn>
+std::vector<Measurement> ScalingSeries(const std::string& kernel, int n,
+                                       const SweepFn& sweep) {
+  std::vector<Measurement> series;
+  std::vector<std::uint64_t> baseline;
+  for (int threads : kThreadCounts) {
+    std::vector<std::uint64_t> prints(static_cast<size_t>(n), 0);
+    long long cells = 0;
+    Timer timer;
+    sweep(threads, &prints, &cells);
+    Measurement m;
+    m.kernel = kernel;
+    m.n = n;
+    m.threads = threads;
+    m.wall_ms = timer.ElapsedMs();
+    m.dp_cells = cells;
+    m.cells_per_s = m.wall_ms > 0.0 ? cells / (m.wall_ms / 1000.0) : 0.0;
+    if (threads == 1) baseline = prints;
+    m.identical_to_1t = prints == baseline;
+    m.speedup_vs_1t =
+        m.wall_ms > 0.0 ? series.empty() ? 1.0 : series[0].wall_ms / m.wall_ms
+                        : 0.0;
+    series.push_back(m);
+  }
+  return series;
+}
+
+std::vector<Measurement> TupleRankDistributionSeries(int n) {
+  TupleGenConfig config;
+  config.num_tuples = n;
+  config.seed = 11;
+  const TupleRelation rel = GenerateTupleRelation(config);
+  const auto prepared = QueryEngine::Prepare(rel);
+  return ScalingSeries(
+      "tuple_rank_distribution", n,
+      [&](int threads, std::vector<std::uint64_t>* prints, long long* cells) {
+        // Per-chunk cell counters fold after the sweep: chunk callbacks
+        // may run concurrently, but never for the same chunk.
+        std::vector<long long> chunk_cells(
+            static_cast<size_t>(TupleSweepChunkCount(rel)), 0);
+        KernelReport report;
+        ForEachTupleRankDistribution(
+            rel, prepared->rank_order(), TiePolicy::kBreakByIndex,
+            Par(threads), &report,
+            [&](int chunk, int i, const std::vector<double>& dist) {
+              (*prints)[static_cast<size_t>(i)] = RowFingerprint(dist);
+              chunk_cells[static_cast<size_t>(chunk)] += CountNonzero(dist);
+            });
+        for (long long c : chunk_cells) *cells += c;
+      });
+}
+
+std::vector<Measurement> TuplePositionalSeries(int n) {
+  TupleGenConfig config;
+  config.num_tuples = n;
+  config.seed = 13;
+  const TupleRelation rel = GenerateTupleRelation(config);
+  const auto prepared = QueryEngine::Prepare(rel);
+  return ScalingSeries(
+      "tuple_positional", n,
+      [&](int threads, std::vector<std::uint64_t>* prints, long long* cells) {
+        std::vector<long long> chunk_cells(
+            static_cast<size_t>(TupleSweepChunkCount(rel)), 0);
+        KernelReport report;
+        ForEachTuplePositionalDistribution(
+            rel, prepared->rank_order(), TiePolicy::kBreakByIndex,
+            Par(threads), &report,
+            [&](int chunk, int i, const std::vector<double>& row) {
+              (*prints)[static_cast<size_t>(i)] = RowFingerprint(row);
+              chunk_cells[static_cast<size_t>(chunk)] += CountNonzero(row);
+            });
+        for (long long c : chunk_cells) *cells += c;
+      });
+}
+
+std::vector<Measurement> AttrRankDistributionSeries(int n) {
+  AttrGenConfig config;
+  config.num_tuples = n;
+  config.seed = 17;
+  const AttrRelation rel = GenerateAttrRelation(config);
+  const std::vector<internal::SortedPdf> pdfs = BuildSortedPdfs(rel);
+  return ScalingSeries(
+      "attr_rank_distribution", n,
+      [&](int threads, std::vector<std::uint64_t>* prints, long long* cells) {
+        KernelReport report;
+        const std::vector<std::vector<double>> dists = AttrRankDistributions(
+            rel, pdfs, TiePolicy::kBreakByIndex, Par(threads), &report);
+        for (int i = 0; i < n; ++i) {
+          (*prints)[static_cast<size_t>(i)] =
+              RowFingerprint(dists[static_cast<size_t>(i)]);
+          *cells += CountNonzero(dists[static_cast<size_t>(i)]);
+        }
+      });
+}
+
+void PrintSeries(const std::vector<Measurement>& series) {
+  Table table("P1: " + series[0].kernel +
+                  " (N = " + FormatInt(series[0].n) + ")",
+              {"threads", "wall ms", "speedup", "cells/s", "identical"});
+  for (const Measurement& m : series) {
+    table.AddRow({FormatInt(m.threads), FormatDouble(m.wall_ms, 2),
+                  FormatDouble(m.speedup_vs_1t, 2),
+                  FormatDouble(m.cells_per_s / 1e6, 2) + "M",
+                  m.identical_to_1t ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void WriteJson(const std::string& path, bool smoke,
+               const std::vector<Measurement>& all) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"harness\": \"bench_parallel_kernels\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"hardware_threads\": %d,\n", ResolveThreads(0));
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (size_t i = 0; i < all.size(); ++i) {
+    const Measurement& m = all[i];
+    std::fprintf(
+        f,
+        "    {\"kernel\": \"%s\", \"n\": %d, \"threads\": %d, "
+        "\"wall_ms\": %.3f, \"speedup_vs_1t\": %.3f, \"dp_cells\": %lld, "
+        "\"dp_cells_per_s\": %.0f, \"identical_to_1t\": %s}%s\n",
+        m.kernel.c_str(), m.n, m.threads, m.wall_ms, m.speedup_vs_1t,
+        m.dp_cells, m.cells_per_s, m.identical_to_1t ? "true" : "false",
+        i + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int RunHarness(bool smoke, const std::string& json_path) {
+  const int tuple_n = smoke ? 20000 : 100000;
+  const int attr_n = smoke ? 300 : 600;
+
+  std::vector<Measurement> all;
+  for (const auto& series :
+       {TupleRankDistributionSeries(tuple_n), TuplePositionalSeries(tuple_n),
+        AttrRankDistributionSeries(attr_n)}) {
+    PrintSeries(series);
+    all.insert(all.end(), series.begin(), series.end());
+  }
+
+  bool identical = true;
+  double tuple_dp_best_speedup = 0.0;
+  for (const Measurement& m : all) {
+    identical = identical && m.identical_to_1t;
+    if (m.kernel == "tuple_rank_distribution") {
+      tuple_dp_best_speedup = std::max(tuple_dp_best_speedup, m.speedup_vs_1t);
+    }
+  }
+  std::printf("bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO");
+  std::printf(
+      "tuple rank-distribution best speedup: %.2fx on %d hardware threads "
+      "(target: >= 3x on 8 cores)\n",
+      tuple_dp_best_speedup, ResolveThreads(0));
+
+  if (!json_path.empty()) WriteJson(json_path, smoke, all);
+  return identical ? 0 : 1;  // identity failures fail the harness
+}
+
+}  // namespace
+}  // namespace urank
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return urank::RunHarness(smoke, json_path);
+}

@@ -8,7 +8,9 @@
 namespace urank {
 
 PreparedAttrRelation::PreparedAttrRelation(AttrRelation rel)
-    : rel_(std::move(rel)), universe_(internal::BuildValueUniverse(rel_)) {
+    : rel_(std::move(rel)),
+      universe_(internal::BuildValueUniverse(rel_)),
+      sorted_pdfs_(BuildSortedPdfs(rel_)) {
   const int n = rel_.size();
   ids_.resize(static_cast<size_t>(n));
   expected_scores_.resize(static_cast<size_t>(n));
@@ -35,8 +37,15 @@ int PreparedAttrRelation::PositionOfId(int id) const {
 
 std::shared_ptr<const std::vector<std::vector<double>>>
 PreparedAttrRelation::RankDistributions(TiePolicy ties) const {
+  return RankDistributions(ties, ParallelismOptions{}, nullptr);
+}
+
+std::shared_ptr<const std::vector<std::vector<double>>>
+PreparedAttrRelation::RankDistributions(TiePolicy ties,
+                                        const ParallelismOptions& par,
+                                        KernelReport* report) const {
   return dists_.GetOrCompute(static_cast<int>(ties), [&] {
-    return AttrRankDistributions(rel_, ties);
+    return AttrRankDistributions(rel_, sorted_pdfs_, ties, par, report);
   });
 }
 

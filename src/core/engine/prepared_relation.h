@@ -35,10 +35,12 @@
 #include <utility>
 #include <vector>
 
+#include "core/internal/sorted_pdf.h"
 #include "core/internal/value_universe.h"
 #include "model/attr_model.h"
 #include "model/tuple_model.h"
 #include "model/types.h"
+#include "util/parallel.h"
 
 namespace urank {
 
@@ -150,15 +152,28 @@ class PreparedAttrRelation {
   // The sorted value universe with q(v) suffix masses (eq. 4).
   const internal::ValueUniverse& universe() const { return universe_; }
 
+  // Per-tuple sorted pdfs with suffix sums, built once at preparation time
+  // and shared by every attribute-level DP over this relation.
+  const std::vector<internal::SortedPdf>& sorted_pdfs() const {
+    return sorted_pdfs_;
+  }
+
   // Position of the tuple with external id `id`, or -1 if absent. O(1)
   // expected; ids may be arbitrary ints (sparse, negative, huge).
   int PositionOfId(int id) const;
 
   // The full N x N rank-distribution matrix (AttrRankDistributions),
   // computed on first use per tie policy and shared by every matrix-backed
-  // semantics (quantile ranks, U-kRanks, top-k probabilities).
+  // semantics (quantile ranks, U-kRanks, top-k probabilities). The
+  // overload taking ParallelismOptions computes a cache miss with that
+  // much intra-query parallelism (results are bit-identical regardless)
+  // and Merge()s what the kernel did into `report` when non-null; a cache
+  // hit leaves `report` untouched.
   std::shared_ptr<const std::vector<std::vector<double>>> RankDistributions(
       TiePolicy ties) const;
+  std::shared_ptr<const std::vector<std::vector<double>>> RankDistributions(
+      TiePolicy ties, const ParallelismOptions& par,
+      KernelReport* report) const;
 
   // Memoized per-tuple statistic vector: returns the cached value for
   // `key`, running `compute` (once, under single-flight discipline) on the
@@ -183,6 +198,7 @@ class PreparedAttrRelation {
   std::vector<double> expected_scores_;
   std::vector<int> escore_order_;
   internal::ValueUniverse universe_;
+  std::vector<internal::SortedPdf> sorted_pdfs_;
   std::unordered_map<int, int> position_of_id_;
   engine_internal::MemoTable<StatKey, std::vector<double>> stats_;
   // Keyed by the tie policy.

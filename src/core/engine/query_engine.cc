@@ -1,9 +1,7 @@
 #include "core/engine/query_engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <sstream>
-#include <thread>
 #include <utility>
 
 #include "core/expected_rank_attr.h"
@@ -117,27 +115,43 @@ long long TupleDpCells(const PreparedTupleRelation& p,
   }
 }
 
-RankingAnswer RunAttr(const PreparedAttrRelation& p, const RankingQuery& q) {
+// The dispatchers run the statistic-producing kernel through its
+// parallel-aware overload (which warms the memo cache and reports what it
+// did into `report`), then assemble the answer through the same selection
+// code the serial facade uses — so answers stay bit-identical to the
+// one-shot entry points for any ParallelismOptions. Semantics without a
+// parallel kernel (linear scans, world enumeration) run serially and
+// leave `report` untouched.
+RankingAnswer RunAttr(const PreparedAttrRelation& p, const RankingQuery& q,
+                      const ParallelismOptions& par, KernelReport* report) {
   switch (q.semantics) {
     case RankingSemantics::kExpectedRank:
       return FromRanked(AttrExpectedRankTopK(p, q.k, q.ties));
     case RankingSemantics::kMedianRank:
+      AttrQuantileRanks(p, 0.5, q.ties, par, report);
       return FromRanked(AttrQuantileRankTopK(p, q.k, 0.5, q.ties));
     case RankingSemantics::kQuantileRank:
+      AttrQuantileRanks(p, q.phi, q.ties, par, report);
       return FromRanked(AttrQuantileRankTopK(p, q.k, q.phi, q.ties));
     case RankingSemantics::kUTopk:
       return FromUTopK(AttrUTopK(p, q.k));
     case RankingSemantics::kUKRanks: {
       RankingAnswer answer;
-      answer.ids = AttrUKRanks(p, q.k, q.ties);
+      answer.ids = AttrUKRanks(p, q.k, q.ties, par, report);
       return answer;
     }
-    case RankingSemantics::kPTk:
-      return WithProbabilities(AttrPTk(p, q.k, q.threshold, q.ties),
-                               AttrTopKProbabilities(p, q.k, q.ties), p);
-    case RankingSemantics::kGlobalTopk:
-      return WithProbabilities(AttrGlobalTopK(p, q.k, q.ties),
-                               AttrTopKProbabilities(p, q.k, q.ties), p);
+    case RankingSemantics::kPTk: {
+      // Computed first so the selection below hits the warmed cache.
+      const std::vector<double> probs =
+          AttrTopKProbabilities(p, q.k, q.ties, par, report);
+      return WithProbabilities(AttrPTk(p, q.k, q.threshold, q.ties), probs,
+                               p);
+    }
+    case RankingSemantics::kGlobalTopk: {
+      const std::vector<double> probs =
+          AttrTopKProbabilities(p, q.k, q.ties, par, report);
+      return WithProbabilities(AttrGlobalTopK(p, q.k, q.ties), probs, p);
+    }
     case RankingSemantics::kExpectedScore:
       return FromRanked(AttrExpectedScoreTopK(p, q.k));
   }
@@ -145,28 +159,35 @@ RankingAnswer RunAttr(const PreparedAttrRelation& p, const RankingQuery& q) {
   return {};
 }
 
-RankingAnswer RunTuple(const PreparedTupleRelation& p,
-                       const RankingQuery& q) {
+RankingAnswer RunTuple(const PreparedTupleRelation& p, const RankingQuery& q,
+                       const ParallelismOptions& par, KernelReport* report) {
   switch (q.semantics) {
     case RankingSemantics::kExpectedRank:
       return FromRanked(TupleExpectedRankTopK(p, q.k, q.ties));
     case RankingSemantics::kMedianRank:
+      TupleQuantileRanks(p, 0.5, q.ties, par, report);
       return FromRanked(TupleQuantileRankTopK(p, q.k, 0.5, q.ties));
     case RankingSemantics::kQuantileRank:
+      TupleQuantileRanks(p, q.phi, q.ties, par, report);
       return FromRanked(TupleQuantileRankTopK(p, q.k, q.phi, q.ties));
     case RankingSemantics::kUTopk:
       return FromUTopK(TupleUTopK(p, q.k));
     case RankingSemantics::kUKRanks: {
       RankingAnswer answer;
-      answer.ids = TupleUKRanks(p, q.k, q.ties);
+      answer.ids = TupleUKRanks(p, q.k, q.ties, par, report);
       return answer;
     }
-    case RankingSemantics::kPTk:
-      return WithProbabilities(TuplePTk(p, q.k, q.threshold, q.ties),
-                               TupleTopKProbabilities(p, q.k, q.ties), p);
-    case RankingSemantics::kGlobalTopk:
-      return WithProbabilities(TupleGlobalTopK(p, q.k, q.ties),
-                               TupleTopKProbabilities(p, q.k, q.ties), p);
+    case RankingSemantics::kPTk: {
+      const std::vector<double> probs =
+          TupleTopKProbabilities(p, q.k, q.ties, par, report);
+      return WithProbabilities(TuplePTk(p, q.k, q.threshold, q.ties), probs,
+                               p);
+    }
+    case RankingSemantics::kGlobalTopk: {
+      const std::vector<double> probs =
+          TupleTopKProbabilities(p, q.k, q.ties, par, report);
+      return WithProbabilities(TupleGlobalTopK(p, q.k, q.ties), probs, p);
+    }
     case RankingSemantics::kExpectedScore:
       return FromRanked(TupleExpectedScoreTopK(p, q.k));
   }
@@ -257,6 +278,7 @@ QueryResult QueryEngine::Run(const RankingQuery& query) const {
   }
 
   const bool has_key = query.semantics != RankingSemantics::kUTopk;
+  KernelReport report;  // stays {1, 0} unless a parallel kernel ran
   if (attr_ != nullptr) {
     // Attribute-level expected scores are built eagerly at preparation, so
     // that semantics is always a cache hit; everything else consults the
@@ -264,19 +286,21 @@ QueryResult QueryEngine::Run(const RankingQuery& query) const {
     result.stats.reused_cache =
         query.semantics == RankingSemantics::kExpectedScore ||
         (has_key && attr_->HasCachedStat(KeyFor(query)));
-    result.answer = RunAttr(*attr_, query);
+    result.answer = RunAttr(*attr_, query, par_, &report);
     result.stats.dp_cells =
         result.stats.reused_cache ? 0 : AttrDpCells(*attr_, query);
     result.stats.tuples_pruned = result.stats.reused_cache ? attr_->size() : 0;
   } else {
     result.stats.reused_cache =
         has_key && tuple_->HasCachedStat(KeyFor(query));
-    result.answer = RunTuple(*tuple_, query);
+    result.answer = RunTuple(*tuple_, query, par_, &report);
     result.stats.dp_cells =
         result.stats.reused_cache ? 0 : TupleDpCells(*tuple_, query);
     result.stats.tuples_pruned =
         result.stats.reused_cache ? tuple_->size() : 0;
   }
+  result.stats.threads_used = report.threads_used;
+  result.stats.arena_bytes = report.arena_bytes;
   result.stats.wall_ms = timer.ElapsedMs();
   return result;
 }
@@ -285,27 +309,14 @@ std::vector<QueryResult> QueryEngine::RunBatch(
     const std::vector<RankingQuery>& queries, int threads) const {
   std::vector<QueryResult> results(queries.size());
   if (queries.empty()) return results;
-  unsigned n_workers =
-      threads > 0 ? static_cast<unsigned>(threads)
-                  : std::max(1u, std::thread::hardware_concurrency());
-  if (n_workers > queries.size()) {
-    n_workers = static_cast<unsigned>(queries.size());
-  }
-  if (n_workers == 1) {
-    for (size_t i = 0; i < queries.size(); ++i) results[i] = Run(queries[i]);
-    return results;
-  }
-  std::atomic<size_t> next{0};
-  const auto worker = [&] {
-    for (size_t i = next.fetch_add(1); i < queries.size();
-         i = next.fetch_add(1)) {
-      results[i] = Run(queries[i]);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(n_workers);
-  for (unsigned t = 0; t < n_workers; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  // One chunk per query on the shared process-wide pool; results land at
+  // disjoint indices, so claim order is irrelevant. ParallelFor's caller
+  // participation keeps nesting with intra-query kernels deadlock-free.
+  ParallelFor(static_cast<int>(queries.size()), ResolveThreads(threads),
+              [&](int i, int /*slot*/) {
+                results[static_cast<size_t>(i)] =
+                    Run(queries[static_cast<size_t>(i)]);
+              });
   return results;
 }
 

@@ -37,6 +37,7 @@
 #ifndef URANK_CORE_ENGINE_QUERY_ENGINE_H_
 #define URANK_CORE_ENGINE_QUERY_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +46,7 @@
 #include "core/query.h"
 #include "model/attr_model.h"
 #include "model/tuple_model.h"
+#include "util/parallel.h"
 
 namespace urank {
 
@@ -94,6 +96,13 @@ struct QueryStats {
   // Tuples whose statistic required no fresh computation: the full
   // relation size on a cache hit, 0 otherwise.
   long long tuples_pruned = 0;
+  // Worker slots the statistic computation actually used (the calling
+  // thread included): 1 for serial execution, a cache hit, or a semantics
+  // with no parallel kernel.
+  int threads_used = 1;
+  // High-water scratch bytes the parallel kernels' per-worker arenas held;
+  // 0 when no arena-backed kernel ran (cache hit, serial-only semantics).
+  std::uint64_t arena_bytes = 0;
 };
 
 struct QueryResult {
@@ -130,13 +139,22 @@ class QueryEngine {
   // result.status. Safe to call concurrently.
   QueryResult Run(const RankingQuery& query) const;
 
-  // Executes `queries` over the shared prepared state using an internal
-  // pool of `threads` workers (threads <= 0 selects the hardware
-  // concurrency). Results are in input order and identical to running
-  // each query alone — memoized statistics are computed once under
-  // single-flight discipline no matter how many queries need them.
+  // Executes `queries` over the shared prepared state on the process-wide
+  // worker pool with up to `threads` workers (threads <= 0 selects the
+  // hardware concurrency). Results are in input order and identical to
+  // running each query alone — memoized statistics are computed once under
+  // single-flight discipline no matter how many queries need them. Intra-
+  // query parallelism (set_parallelism) composes with this: worker threads
+  // running a kernel participate in draining its chunks, so nesting cannot
+  // deadlock.
   std::vector<QueryResult> RunBatch(const std::vector<RankingQuery>& queries,
                                     int threads = 0) const;
+
+  // Intra-query parallelism applied by Run/RunBatch to the DP kernels
+  // behind cache misses. Defaults to serial. Affects execution schedule
+  // and QueryStats only — answers are bit-identical for any setting.
+  void set_parallelism(const ParallelismOptions& par) { par_ = par; }
+  const ParallelismOptions& parallelism() const { return par_; }
 
   // The prepared state this engine wraps; exactly one is non-null.
   const std::shared_ptr<const PreparedAttrRelation>& attr() const {
@@ -149,6 +167,7 @@ class QueryEngine {
  private:
   std::shared_ptr<const PreparedAttrRelation> attr_;
   std::shared_ptr<const PreparedTupleRelation> tuple_;
+  ParallelismOptions par_;
 };
 
 }  // namespace urank

@@ -7,6 +7,7 @@
 #include "core/engine/prepared_relation.h"
 #include "core/internal/sorted_pdf.h"
 #include "core/internal/value_universe.h"
+#include "core/rank_distribution_attr.h"
 #include "util/check.h"
 
 namespace urank {
@@ -18,9 +19,7 @@ using internal::SortedPdf;
 std::vector<double> AttrExpectedRanksBruteForce(const AttrRelation& rel,
                                                 TiePolicy ties) {
   const int n = rel.size();
-  std::vector<SortedPdf> pdfs;
-  pdfs.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) pdfs.emplace_back(rel.tuple(i));
+  const std::vector<SortedPdf> pdfs = BuildSortedPdfs(rel);
   std::vector<double> ranks(static_cast<size_t>(n), 0.0);
   for (int i = 0; i < n; ++i) {
     double r = 0.0;
@@ -140,10 +139,12 @@ AttrPruneResult AttrExpectedRankTopKPrune(const AttrRelation& rel, int k,
   std::vector<const AttrTuple*> seen;
   std::vector<SortedPdf> pdfs;
   std::vector<double> pair_sum;  // A_i = Σ_{seen j≠i} Pr[X_j > X_i]
+  std::vector<ScoreValue> sort_scratch;
 
   while (stream.HasNext()) {
     const AttrTuple& t = stream.Next();
-    SortedPdf pdf(t);
+    SortedPdf pdf;
+    pdf.Build(t, &sort_scratch);
     double own_pairs = 0.0;
     for (size_t j = 0; j < pdfs.size(); ++j) {
       pair_sum[j] += PrGreaterPair(pdf, pdfs[j]);

@@ -1,0 +1,50 @@
+// Internal helper: per-worker scratch storage for the parallel DP kernels.
+// Not part of the public API.
+//
+// Each worker slot of a ParallelFor owns one KernelArena. Kernels acquire
+// named buffers once per chunk and reuse them across every tuple in the
+// chunk, so the per-tuple inner loops perform no heap allocation — the
+// buffers grow monotonically to the high-water mark and stay there for the
+// lifetime of the kernel call. bytes() reports that high-water footprint
+// for QueryStats.
+
+#ifndef URANK_CORE_INTERNAL_KERNEL_ARENA_H_
+#define URANK_CORE_INTERNAL_KERNEL_ARENA_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace urank {
+namespace internal {
+
+class KernelArena {
+ public:
+  // The double buffer for slot `which` (a small dense index the kernel
+  // assigns meaning to: DP row A, DP row B, prefix masses, ...). The
+  // buffer keeps whatever size/contents the previous use left; callers
+  // resize or assign as needed. The reference stays valid until the next
+  // Doubles call with a larger `which`.
+  std::vector<double>& Doubles(int which) {
+    if (static_cast<size_t>(which) >= doubles_.size()) {
+      doubles_.resize(static_cast<size_t>(which) + 1);
+    }
+    return doubles_[static_cast<size_t>(which)];
+  }
+
+  // Heap bytes currently reserved across all buffers.
+  std::uint64_t bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& buf : doubles_) {
+      total += static_cast<std::uint64_t>(buf.capacity()) * sizeof(double);
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::vector<double>> doubles_;
+};
+
+}  // namespace internal
+}  // namespace urank
+
+#endif  // URANK_CORE_INTERNAL_KERNEL_ARENA_H_

@@ -21,20 +21,32 @@ struct SortedPdf {
   std::vector<double> probs;
   std::vector<double> suffix;  // suffix[l] = sum of probs[l..]
 
+  SortedPdf() = default;
+
   explicit SortedPdf(const AttrTuple& t) {
-    std::vector<ScoreValue> pdf = t.pdf;
-    std::sort(pdf.begin(), pdf.end(),
+    std::vector<ScoreValue> scratch;
+    Build(t, &scratch);
+  }
+
+  // (Re)builds from t's pdf, sorting inside *scratch instead of a fresh
+  // copy. The member vectors and the scratch buffer are reused at their
+  // high-water capacity, so rebuilding a sequence of same-sized pdfs
+  // performs no allocation after the first.
+  void Build(const AttrTuple& t, std::vector<ScoreValue>* scratch) {
+    scratch->assign(t.pdf.begin(), t.pdf.end());
+    std::sort(scratch->begin(), scratch->end(),
               [](const ScoreValue& a, const ScoreValue& b) {
                 return a.value < b.value;
               });
-    values.reserve(pdf.size());
-    probs.reserve(pdf.size());
-    for (const ScoreValue& sv : pdf) {
-      values.push_back(sv.value);
-      probs.push_back(sv.prob);
+    const size_t s = scratch->size();
+    values.resize(s);
+    probs.resize(s);
+    for (size_t l = 0; l < s; ++l) {
+      values[l] = (*scratch)[l].value;
+      probs[l] = (*scratch)[l].prob;
     }
-    suffix.assign(values.size() + 1, 0.0);
-    for (size_t l = values.size(); l > 0; --l) {
+    suffix.assign(s + 1, 0.0);
+    for (size_t l = s; l > 0; --l) {
       suffix[l - 1] = suffix[l] + probs[l - 1];
     }
   }

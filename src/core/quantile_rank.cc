@@ -76,11 +76,15 @@ std::vector<int> AttrQuantileRanks(const AttrRelation& rel, double phi,
                                    TiePolicy ties) {
   URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
   std::vector<int> ranks(static_cast<size_t>(rel.size()), 0);
-  // One DP per tuple; memory stays O(N) rather than materializing the
-  // full N×N distribution matrix.
+  // One DP per tuple against pdfs sorted once; the distribution and DP
+  // buffers are reused across tuples, so memory stays O(N + s) rather
+  // than materializing the full N×N distribution matrix.
+  const std::vector<internal::SortedPdf> pdfs = BuildSortedPdfs(rel);
+  std::vector<double> pmf_scratch;
+  std::vector<double> dist;
   for (int i = 0; i < rel.size(); ++i) {
-    ranks[static_cast<size_t>(i)] =
-        QuantileFromPmf(AttrRankDistribution(rel, i, ties), phi);
+    AttrRankDistributionInto(rel, pdfs, i, ties, &pmf_scratch, &dist);
+    ranks[static_cast<size_t>(i)] = QuantileFromPmf(dist, phi);
   }
   return ranks;
 }
@@ -99,9 +103,18 @@ std::vector<int> TupleQuantileRanks(const TupleRelation& rel, double phi,
 std::vector<int> AttrQuantileRanks(const PreparedAttrRelation& prepared,
                                    double phi, TiePolicy ties) {
   URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
+  return AttrQuantileRanks(prepared, phi, ties, ParallelismOptions{},
+                           nullptr);
+}
+
+std::vector<int> AttrQuantileRanks(const PreparedAttrRelation& prepared,
+                                   double phi, TiePolicy ties,
+                                   const ParallelismOptions& par,
+                                   KernelReport* report) {
+  URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
   const StatKey key{StatKey::Kind::kQuantileRank, 0, phi, ties};
   const auto stat = prepared.CachedStat(key, [&] {
-    const auto dists = prepared.RankDistributions(ties);
+    const auto dists = prepared.RankDistributions(ties, par, report);
     std::vector<double> ranks(static_cast<size_t>(prepared.size()), 0.0);
     for (int i = 0; i < prepared.size(); ++i) {
       ranks[static_cast<size_t>(i)] = static_cast<double>(
@@ -115,12 +128,23 @@ std::vector<int> AttrQuantileRanks(const PreparedAttrRelation& prepared,
 std::vector<int> TupleQuantileRanks(const PreparedTupleRelation& prepared,
                                     double phi, TiePolicy ties) {
   URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
+  return TupleQuantileRanks(prepared, phi, ties, ParallelismOptions{},
+                            nullptr);
+}
+
+std::vector<int> TupleQuantileRanks(const PreparedTupleRelation& prepared,
+                                    double phi, TiePolicy ties,
+                                    const ParallelismOptions& par,
+                                    KernelReport* report) {
+  URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
   const StatKey key{StatKey::Kind::kQuantileRank, 0, phi, ties};
   const auto stat = prepared.CachedStat(key, [&] {
     std::vector<double> ranks(static_cast<size_t>(prepared.size()), 0.0);
+    // Chunk callbacks write disjoint positions, so concurrent chunks need
+    // no further coordination.
     ForEachTupleRankDistribution(
-        prepared.relation(), prepared.rank_order(), ties,
-        [&](int i, const std::vector<double>& dist) {
+        prepared.relation(), prepared.rank_order(), ties, par, report,
+        [&](int /*chunk*/, int i, const std::vector<double>& dist) {
           ranks[static_cast<size_t>(i)] =
               static_cast<double>(QuantileFromPmf(dist, phi));
         });

@@ -18,6 +18,7 @@
 #include "model/attr_model.h"
 #include "model/tuple_model.h"
 #include "model/types.h"
+#include "util/parallel.h"
 
 namespace urank {
 
@@ -83,6 +84,19 @@ std::vector<int> AttrQuantileRanks(const PreparedAttrRelation& prepared,
 std::vector<int> TupleQuantileRanks(
     const PreparedTupleRelation& prepared, double phi,
     TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Parallel-aware prepared forms: a cache miss runs the underlying DP with
+// `par` worker slots (bit-identical results regardless) and Merge()s what
+// the kernel did into `report` when non-null; a cache hit leaves `report`
+// untouched. Requires phi in (0, 1].
+std::vector<int> AttrQuantileRanks(const PreparedAttrRelation& prepared,
+                                   double phi, TiePolicy ties,
+                                   const ParallelismOptions& par,
+                                   KernelReport* report);
+std::vector<int> TupleQuantileRanks(const PreparedTupleRelation& prepared,
+                                    double phi, TiePolicy ties,
+                                    const ParallelismOptions& par,
+                                    KernelReport* report);
 std::vector<RankedTuple> AttrQuantileRankTopK(
     const PreparedAttrRelation& prepared, int k, double phi,
     TiePolicy ties = TiePolicy::kBreakByIndex);

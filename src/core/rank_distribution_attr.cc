@@ -1,27 +1,35 @@
 #include "core/rank_distribution_attr.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
-#include "core/internal/sorted_pdf.h"
+#include "core/internal/kernel_arena.h"
 #include "util/check.h"
 #include "util/poisson_binomial.h"
 
 namespace urank {
-namespace {
 
 using internal::SortedPdf;
 
-// Rank distribution of tuple `index` given precomputed sorted pdfs.
-std::vector<double> DistributionForTuple(const AttrRelation& rel,
-                                         const std::vector<SortedPdf>& pdfs,
-                                         int index, TiePolicy ties) {
+std::vector<SortedPdf> BuildSortedPdfs(const AttrRelation& rel) {
+  std::vector<SortedPdf> pdfs(static_cast<size_t>(rel.size()));
+  std::vector<ScoreValue> scratch;
+  for (int j = 0; j < rel.size(); ++j) {
+    pdfs[static_cast<size_t>(j)].Build(rel.tuple(j), &scratch);
+  }
+  return pdfs;
+}
+
+void AttrRankDistributionInto(const AttrRelation& rel,
+                              const std::vector<SortedPdf>& pdfs, int index,
+                              TiePolicy ties,
+                              std::vector<double>* pmf_scratch,
+                              std::vector<double>* dist) {
   const int n = rel.size();
-  std::vector<double> dist(static_cast<size_t>(std::max(n, 1)), 0.0);
+  dist->assign(static_cast<size_t>(std::max(n, 1)), 0.0);
+  std::vector<double>& pmf = *pmf_scratch;
   const AttrTuple& t = rel.tuple(index);
   for (const ScoreValue& sv : t.pdf) {
-    PoissonBinomial pb;
+    pmf.assign(1, 1.0);
     for (int j = 0; j < n; ++j) {
       if (j == index) continue;
       const SortedPdf& pj = pdfs[static_cast<size_t>(j)];
@@ -32,70 +40,64 @@ std::vector<double> DistributionForTuple(const AttrRelation& rel,
       // `beat` may exceed 1 only by accumulated round-off; anything larger
       // means a denormalized source pdf.
       URANK_DCHECK_PROB(beat);
-      pb.AddTrial(std::min(beat, 1.0));
+      if (beat > 0.0) PbConvolveTrial(&pmf, std::min(beat, 1.0));
     }
-    const std::vector<double>& pmf = pb.pmf();
     for (size_t c = 0; c < pmf.size(); ++c) {
-      dist[c] += sv.prob * pmf[c];
+      (*dist)[c] += sv.prob * pmf[c];
     }
   }
-  URANK_DCHECK_NORMALIZED(dist);
-  return dist;
+  URANK_DCHECK_NORMALIZED(*dist);
 }
-
-}  // namespace
 
 std::vector<double> AttrRankDistribution(const AttrRelation& rel, int index,
                                          TiePolicy ties) {
   URANK_CHECK_MSG(index >= 0 && index < rel.size(), "tuple index out of range");
-  std::vector<SortedPdf> pdfs;
-  pdfs.reserve(static_cast<size_t>(rel.size()));
-  for (int j = 0; j < rel.size(); ++j) pdfs.emplace_back(rel.tuple(j));
-  return DistributionForTuple(rel, pdfs, index, ties);
+  const std::vector<SortedPdf> pdfs = BuildSortedPdfs(rel);
+  std::vector<double> pmf_scratch;
+  std::vector<double> dist;
+  AttrRankDistributionInto(rel, pdfs, index, ties, &pmf_scratch, &dist);
+  return dist;
 }
 
 std::vector<std::vector<double>> AttrRankDistributions(const AttrRelation& rel,
                                                        TiePolicy ties) {
-  std::vector<SortedPdf> pdfs;
-  pdfs.reserve(static_cast<size_t>(rel.size()));
-  for (int j = 0; j < rel.size(); ++j) pdfs.emplace_back(rel.tuple(j));
-  std::vector<std::vector<double>> dists;
-  dists.reserve(static_cast<size_t>(rel.size()));
-  for (int i = 0; i < rel.size(); ++i) {
-    dists.push_back(DistributionForTuple(rel, pdfs, i, ties));
+  return AttrRankDistributions(rel, BuildSortedPdfs(rel), ties,
+                               ParallelismOptions{}, nullptr);
+}
+
+std::vector<std::vector<double>> AttrRankDistributions(
+    const AttrRelation& rel, const std::vector<SortedPdf>& pdfs,
+    TiePolicy ties, const ParallelismOptions& par, KernelReport* report) {
+  const int n = rel.size();
+  std::vector<std::vector<double>> dists(static_cast<size_t>(n));
+  const int workers = PlannedWorkers(par, n);
+  std::vector<internal::KernelArena> arenas(static_cast<size_t>(workers));
+  // One chunk per tuple: per-tuple DP cost dwarfs the chunk-claim atomic,
+  // and output rows are disjoint, so any claim order yields identical
+  // results.
+  const int used = ParallelFor(n, workers, [&](int i, int slot) {
+    internal::KernelArena& arena = arenas[static_cast<size_t>(slot)];
+    AttrRankDistributionInto(rel, pdfs, i, ties, &arena.Doubles(0),
+                             &dists[static_cast<size_t>(i)]);
+  });
+  if (report != nullptr) {
+    KernelReport local;
+    local.threads_used = used;
+    for (const internal::KernelArena& arena : arenas) {
+      local.arena_bytes += arena.bytes();
+    }
+    report->Merge(local);
   }
   return dists;
 }
 
 std::vector<std::vector<double>> AttrRankDistributionsParallel(
     const AttrRelation& rel, TiePolicy ties, int threads) {
-  const int n = rel.size();
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
-  }
-  threads = std::max(1, std::min(threads, n));
-  if (threads <= 1 || n <= 1) return AttrRankDistributions(rel, ties);
-
-  std::vector<SortedPdf> pdfs;
-  pdfs.reserve(static_cast<size_t>(n));
-  for (int j = 0; j < n; ++j) pdfs.emplace_back(rel.tuple(j));
-
-  std::vector<std::vector<double>> dists(static_cast<size_t>(n));
-  std::atomic<int> next{0};
-  auto worker = [&]() {
-    while (true) {
-      const int i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      dists[static_cast<size_t>(i)] =
-          DistributionForTuple(rel, pdfs, i, ties);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  return dists;
+  ParallelismOptions par;
+  par.threads = threads;
+  par.min_parallel_items = 0;  // this entry point always parallelizes
+  return AttrRankDistributions(rel, BuildSortedPdfs(rel), ties, par,
+                               nullptr);
 }
 
 }  // namespace urank

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/internal/kernel_arena.h"
 #include "util/check.h"
 #include "util/poisson_binomial.h"
 
@@ -26,53 +27,210 @@ std::vector<int> RankOrder(const TupleRelation& rel) {
   return order;
 }
 
-// Sweeps tuples in rank order maintaining a Poisson-binomial over rules
-// where rule r's trial probability is the mass of already-swept (i.e.
-// higher-ranked) members of r. For each tuple, the appear-branch rank
-// distribution is the sweep state with the tuple's own rule conditioned
-// out (its members cannot appear together with the tuple).
-//
-// `order` must be the positions sorted by (score desc, index asc).
-// Invokes `fn(index, appear_pmf)`; the pmf buffer is reused between calls.
-void ForEachAppearBranch(
-    const TupleRelation& rel, const std::vector<int>& order, TiePolicy ties,
-    const std::function<void(int, const std::vector<double>&)>& fn) {
-  const int m = rel.num_rules();
-  std::vector<double> cur(static_cast<size_t>(m), 0.0);
-  PoissonBinomial pb =
-      PoissonBinomial::FromProbs(std::vector<double>(static_cast<size_t>(m), 0.0));
+// Deterministic sweep grid: chunk start positions into `order`, aligned to
+// equal-score run starts (a run must never straddle chunks — its members
+// share one "ranked above" prefix), work-balanced by a per-position cost
+// of 1 + (distinct rules touched so far), which tracks the Poisson-
+// binomial support the sweep carries at that position. A pure function of
+// the relation and tie policy — the thread count never enters, so every
+// execution schedule solves the identical per-chunk subproblems.
+std::vector<size_t> PlanChunkStarts(const TupleRelation& rel,
+                                    const std::vector<int>& order,
+                                    TiePolicy ties) {
+  const size_t n = order.size();
+  const int chunks = DeterministicChunkCount(static_cast<long long>(n));
+  std::vector<size_t> starts(static_cast<size_t>(chunks) + 1, n);
+  starts[0] = 0;
+  if (chunks == 1) return starts;
 
-  size_t pos = 0;
-  while (pos < order.size()) {
-    size_t end = pos + 1;
-    if (ties == TiePolicy::kStrictGreater) {
-      while (end < order.size() &&
-             rel.tuple(order[end]).score == rel.tuple(order[pos]).score) {
-        ++end;
-      }
+  std::vector<unsigned char> touched(static_cast<size_t>(rel.num_rules()),
+                                     0);
+  std::vector<long long> cum(n + 1, 0);
+  long long support = 0;
+  for (size_t idx = 0; idx < n; ++idx) {
+    cum[idx + 1] = cum[idx] + 1 + support;
+    const size_t r = static_cast<size_t>(rel.rule_of(order[idx]));
+    if (touched[r] == 0) {
+      touched[r] = 1;
+      ++support;
     }
-    for (size_t idx = pos; idx < end; ++idx) {
-      const int i = order[idx];
-      const size_t r = static_cast<size_t>(rel.rule_of(i));
-      pb.RemoveTrial(cur[r]);
-      fn(i, pb.pmf());
-      pb.AddTrial(cur[r]);
+  }
+  const long long total = cum[n];
+  int next = 1;
+  for (size_t idx = 1; idx < n && next < chunks; ++idx) {
+    const bool run_start =
+        ties == TiePolicy::kBreakByIndex ||
+        rel.tuple(order[idx]).score != rel.tuple(order[idx - 1]).score;
+    if (!run_start) continue;
+    while (next < chunks &&
+           cum[idx] >= total * static_cast<long long>(next) / chunks) {
+      starts[static_cast<size_t>(next)] = idx;
+      ++next;
     }
-    for (size_t idx = pos; idx < end; ++idx) {
-      const int i = order[idx];
-      const size_t r = static_cast<size_t>(rel.rule_of(i));
-      pb.RemoveTrial(cur[r]);
-      // Rule mass stays a probability: Validate() bounds each rule's sum
-      // by 1 + tolerance, and the sweep only ever adds member masses.
-      URANK_DCHECK_PROB(cur[r] + rel.tuple(i).prob);
-      cur[r] = std::min(cur[r] + rel.tuple(i).prob, 1.0);
-      pb.AddTrial(cur[r]);
-    }
-    pos = end;
+  }
+  return starts;
+}
+
+// Replays the rule prefix masses the sweep would carry entering position
+// `begin` — exactly the update the chunk flush applies, so chunk-entry
+// state is bit-identical to what an unchunked sweep would hold there.
+void ReplayPrefix(const TupleRelation& rel, const std::vector<int>& order,
+                  size_t begin, std::vector<double>* cur) {
+  cur->assign(static_cast<size_t>(rel.num_rules()), 0.0);
+  for (size_t idx = 0; idx < begin; ++idx) {
+    const int i = order[idx];
+    const size_t r = static_cast<size_t>(rel.rule_of(i));
+    (*cur)[r] = std::min((*cur)[r] + rel.tuple(i).prob, 1.0);
   }
 }
 
+// Chunk-local sweep state: per-rule prefix masses plus the flat Poisson
+// binomial over their nonzero entries. All updates go through arena-backed
+// buffers — the per-tuple loop performs no heap allocation once the
+// buffers reach their high-water size.
+struct ChunkSweep {
+  const TupleRelation& rel;
+  std::vector<double>& cur;      // per-rule mass ranked above the cursor
+  std::vector<double>& pmf;      // Poisson binomial over nonzero cur[]
+  std::vector<double>& scratch;  // deconvolution ping-pong target
+
+  // Rebuilds a pmf from cur in canonical rule-index order, skipping
+  // `skip_rule` (-1 for none). Depends only on the mass values, so the
+  // deconvolution fallback stays deterministic under any schedule.
+  void Rebuild(std::vector<double>* out, int skip_rule) const {
+    out->assign(1, 1.0);
+    const int m = rel.num_rules();
+    for (int r = 0; r < m; ++r) {
+      if (r == skip_rule) continue;
+      const double v = cur[static_cast<size_t>(r)];
+      if (v > 0.0) PbConvolveTrial(out, v);
+    }
+  }
+
+  // The sweep pmf with rule r's current mass conditioned out; returns a
+  // pointer to `pmf` itself when the rule carries no mass yet (no copy).
+  const std::vector<double>* WithoutRule(int r,
+                                         std::vector<double>* out) const {
+    const double v = cur[static_cast<size_t>(r)];
+    if (v <= 0.0) return &pmf;
+    if (!PbDeconvolveTrial(pmf, v, out)) Rebuild(out, r);
+    return out;
+  }
+
+  // Moves the tuple at position i into the "ranked above" prefix.
+  void Flush(int i) {
+    const size_t r = static_cast<size_t>(rel.rule_of(i));
+    const double old_mass = cur[r];
+    if (old_mass > 0.0) {
+      if (PbDeconvolveTrial(pmf, old_mass, &scratch)) {
+        pmf.swap(scratch);
+      } else {
+        Rebuild(&scratch, static_cast<int>(r));
+        pmf.swap(scratch);
+      }
+    }
+    // Rule mass stays a probability: Validate() bounds each rule's sum
+    // by 1 + tolerance, and the sweep only ever adds member masses.
+    URANK_DCHECK_PROB(old_mass + rel.tuple(i).prob);
+    cur[r] = std::min(old_mass + rel.tuple(i).prob, 1.0);
+    if (cur[r] > 0.0) PbConvolveTrial(&pmf, cur[r]);
+  }
+};
+
+// Sweeps chunk positions [begin, end) of `order`, invoking
+// per_tuple(i, appear) with the appear-branch pmf (the tuple's own rule
+// conditioned out). Equal-score runs flush only after every member was
+// visited, matching the kStrictGreater semantics of the unchunked sweep.
+void SweepAppearChunk(
+    const TupleRelation& rel, const std::vector<int>& order, TiePolicy ties,
+    size_t begin, size_t end, internal::KernelArena* arena,
+    const std::function<void(int, const std::vector<double>&)>& per_tuple) {
+  std::vector<double>& cur = arena->Doubles(0);
+  std::vector<double>& pmf = arena->Doubles(1);
+  std::vector<double>& scratch = arena->Doubles(2);
+  std::vector<double>& appear = arena->Doubles(3);
+  ReplayPrefix(rel, order, begin, &cur);
+  ChunkSweep sweep{rel, cur, pmf, scratch};
+  sweep.Rebuild(&pmf, -1);
+
+  size_t pos = begin;
+  while (pos < end) {
+    size_t run_end = pos + 1;
+    if (ties == TiePolicy::kStrictGreater) {
+      while (run_end < end &&
+             rel.tuple(order[run_end]).score ==
+                 rel.tuple(order[pos]).score) {
+        ++run_end;
+      }
+    }
+    for (size_t idx = pos; idx < run_end; ++idx) {
+      const int i = order[idx];
+      per_tuple(i, *sweep.WithoutRule(rel.rule_of(i), &appear));
+    }
+    for (size_t idx = pos; idx < run_end; ++idx) sweep.Flush(order[idx]);
+    pos = run_end;
+  }
+}
+
+// Shared absent-branch state: the pristine world-size Poisson binomial
+// over final rule masses. Built once, sequentially, in rule-index order;
+// chunk workers only ever *read* pmf_all (deconvolving into their own
+// arena buffers), so concurrent access needs no synchronization and the
+// result cannot depend on tuple visit order — unlike the old serial
+// mutate-and-undo pattern, whose float state carried its update history.
+struct AbsentContext {
+  std::vector<double> rule_sums;  // min(rule mass, 1) per rule
+  std::vector<double> pmf_all;    // Poisson binomial over nonzero sums
+
+  explicit AbsentContext(const TupleRelation& rel) {
+    const int m = rel.num_rules();
+    rule_sums.resize(static_cast<size_t>(m));
+    pmf_all.assign(1, 1.0);
+    for (int r = 0; r < m; ++r) {
+      const double v = std::min(rel.rule_prob_sum(r), 1.0);
+      rule_sums[static_cast<size_t>(r)] = v;
+      if (v > 0.0) PbConvolveTrial(&pmf_all, v);
+    }
+  }
+
+  // Writes into `out` the world-size pmf with rule r's unconditional mass
+  // replaced by `cond` (its mass conditioned on the reference tuple being
+  // absent). Reads shared state only.
+  void ConditionalWorldSize(int r, double cond,
+                            std::vector<double>* out) const {
+    const double v = rule_sums[static_cast<size_t>(r)];
+    if (v > 0.0) {
+      if (!PbDeconvolveTrial(pmf_all, v, out)) {
+        // Deterministic fallback: rebuild the reduced product directly.
+        out->assign(1, 1.0);
+        for (size_t r2 = 0; r2 < rule_sums.size(); ++r2) {
+          if (static_cast<int>(r2) == r) continue;
+          if (rule_sums[r2] > 0.0) PbConvolveTrial(out, rule_sums[r2]);
+        }
+      }
+    } else {
+      *out = pmf_all;
+    }
+    if (cond > 0.0) PbConvolveTrial(out, cond);
+  }
+};
+
+KernelReport CollectReport(int threads_used,
+                           const std::vector<internal::KernelArena>& arenas) {
+  KernelReport report;
+  report.threads_used = threads_used;
+  report.arena_bytes = 0;
+  for (const internal::KernelArena& arena : arenas) {
+    report.arena_bytes += arena.bytes();
+  }
+  return report;
+}
+
 }  // namespace
+
+int TupleSweepChunkCount(const TupleRelation& rel) {
+  return DeterministicChunkCount(static_cast<long long>(rel.size()));
+}
 
 void ForEachTupleRankDistribution(
     const TupleRelation& rel, TiePolicy ties,
@@ -84,43 +242,62 @@ void ForEachTupleRankDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties,
     const std::function<void(int, const std::vector<double>&)>& fn) {
-  const int n = rel.size();
-  const int m = rel.num_rules();
-  // Absent branch: |W| given t_i absent is Poisson-binomial over rules,
-  // with t_i's own rule contributing its remaining mass renormalized by
-  // Pr[t_i absent].
-  std::vector<double> rule_sums(static_cast<size_t>(m));
-  for (int r = 0; r < m; ++r) {
-    rule_sums[static_cast<size_t>(r)] = std::min(rel.rule_prob_sum(r), 1.0);
-  }
-  PoissonBinomial pb_all = PoissonBinomial::FromProbs(rule_sums);
-
-  std::vector<double> dist(static_cast<size_t>(n) + 1, 0.0);
-  ForEachAppearBranch(
-      rel, rank_order, ties, [&](int i, const std::vector<double>& appear) {
-        const TLTuple& t = rel.tuple(i);
-        std::fill(dist.begin(), dist.end(), 0.0);
-        for (size_t c = 0; c < appear.size(); ++c) {
-          dist[c] += t.prob * appear[c];
-        }
-        if (t.prob < 1.0 - kProbEps) {
-          const size_t r = static_cast<size_t>(rel.rule_of(i));
-          const double cond = std::clamp(
-              (rel.rule_prob_sum(static_cast<int>(r)) - t.prob) /
-                  (1.0 - t.prob),
-              0.0, 1.0);
-          pb_all.RemoveTrial(rule_sums[r]);
-          pb_all.AddTrial(cond);
-          const std::vector<double>& absent = pb_all.pmf();
-          for (size_t c = 0; c < absent.size(); ++c) {
-            dist[c] += (1.0 - t.prob) * absent[c];
-          }
-          pb_all.RemoveTrial(cond);
-          pb_all.AddTrial(rule_sums[r]);
-        }
-        URANK_DCHECK_NORMALIZED(dist);
+  // Serial execution of the identical chunk grid: chunk 0, then chunk 1,
+  // ... — the full sweep order, with results bit-identical to any thread
+  // count.
+  ForEachTupleRankDistribution(
+      rel, rank_order, ties, ParallelismOptions{}, nullptr,
+      [&fn](int /*chunk*/, int i, const std::vector<double>& dist) {
         fn(i, dist);
       });
+}
+
+void ForEachTupleRankDistribution(
+    const TupleRelation& rel, const std::vector<int>& rank_order,
+    TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
+    const std::function<void(int, int, const std::vector<double>&)>& fn) {
+  const int n = rel.size();
+  const std::vector<size_t> starts = PlanChunkStarts(rel, rank_order, ties);
+  const int chunks = static_cast<int>(starts.size()) - 1;
+  const AbsentContext absent(rel);
+  const int workers = PlannedWorkers(par, n);
+  std::vector<internal::KernelArena> arenas(static_cast<size_t>(workers));
+
+  const int used = ParallelFor(chunks, workers, [&](int chunk, int slot) {
+    internal::KernelArena& arena = arenas[static_cast<size_t>(slot)];
+    // Acquire the highest slot first: a later Doubles() call with a larger
+    // index would invalidate previously returned references.
+    std::vector<double>& absent_buf = arena.Doubles(5);
+    std::vector<double>& dist = arena.Doubles(4);
+    dist.assign(static_cast<size_t>(n) + 1, 0.0);
+    size_t dirty = 0;  // high-water mark of the nonzero prefix of dist
+    SweepAppearChunk(
+        rel, rank_order, ties, starts[static_cast<size_t>(chunk)],
+        starts[static_cast<size_t>(chunk) + 1], &arena,
+        [&](int i, const std::vector<double>& appear) {
+          const TLTuple& t = rel.tuple(i);
+          std::fill(dist.begin(),
+                    dist.begin() + static_cast<long>(dirty), 0.0);
+          size_t hi = appear.size();
+          for (size_t c = 0; c < appear.size(); ++c) {
+            dist[c] = t.prob * appear[c];
+          }
+          if (t.prob < 1.0 - kProbEps) {
+            const int r = rel.rule_of(i);
+            const double cond = std::clamp(
+                (rel.rule_prob_sum(r) - t.prob) / (1.0 - t.prob), 0.0, 1.0);
+            absent.ConditionalWorldSize(r, cond, &absent_buf);
+            for (size_t c = 0; c < absent_buf.size(); ++c) {
+              dist[c] += (1.0 - t.prob) * absent_buf[c];
+            }
+            hi = std::max(hi, absent_buf.size());
+          }
+          dirty = hi;
+          URANK_DCHECK_NORMALIZED(dist);
+          fn(chunk, i, dist);
+        });
+  });
+  if (report != nullptr) report->Merge(CollectReport(used, arenas));
 }
 
 std::vector<std::vector<double>> TupleRankDistributions(
@@ -145,16 +322,39 @@ void ForEachTuplePositionalDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties,
     const std::function<void(int, const std::vector<double>&)>& fn) {
-  std::vector<double> row;
-  ForEachAppearBranch(rel, rank_order, ties,
-                      [&](int i, const std::vector<double>& appear) {
-                        const double p = rel.tuple(i).prob;
-                        row.resize(appear.size());
-                        for (size_t c = 0; c < appear.size(); ++c) {
-                          row[c] = p * appear[c];
-                        }
-                        fn(i, row);
-                      });
+  ForEachTuplePositionalDistribution(
+      rel, rank_order, ties, ParallelismOptions{}, nullptr,
+      [&fn](int /*chunk*/, int i, const std::vector<double>& row) {
+        fn(i, row);
+      });
+}
+
+void ForEachTuplePositionalDistribution(
+    const TupleRelation& rel, const std::vector<int>& rank_order,
+    TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
+    const std::function<void(int, int, const std::vector<double>&)>& fn) {
+  const int n = rel.size();
+  const std::vector<size_t> starts = PlanChunkStarts(rel, rank_order, ties);
+  const int chunks = static_cast<int>(starts.size()) - 1;
+  const int workers = PlannedWorkers(par, n);
+  std::vector<internal::KernelArena> arenas(static_cast<size_t>(workers));
+
+  const int used = ParallelFor(chunks, workers, [&](int chunk, int slot) {
+    internal::KernelArena& arena = arenas[static_cast<size_t>(slot)];
+    std::vector<double>& row = arena.Doubles(4);
+    SweepAppearChunk(
+        rel, rank_order, ties, starts[static_cast<size_t>(chunk)],
+        starts[static_cast<size_t>(chunk) + 1], &arena,
+        [&](int i, const std::vector<double>& appear) {
+          const double p = rel.tuple(i).prob;
+          row.resize(appear.size());
+          for (size_t c = 0; c < appear.size(); ++c) {
+            row[c] = p * appear[c];
+          }
+          fn(chunk, i, row);
+        });
+  });
+  if (report != nullptr) report->Merge(CollectReport(used, arenas));
 }
 
 std::vector<std::vector<double>> TuplePositionalProbabilities(

@@ -18,6 +18,16 @@
 //     tuples rank above it]; rows sum to p(t_i). This is the object the
 //     prior-work semantics (U-kRanks, PT-k, Global-Topk) are defined on,
 //     where an absent tuple occupies no rank.
+//
+// Parallel decomposition. The sweep order is partitioned into a
+// deterministic chunk grid — a pure function of the relation (size, run
+// boundaries, rule-touch profile), never of the thread count. Each chunk
+// is self-contained: its worker replays the O(chunk start) prefix of rule
+// masses, rebuilds the chunk-entry Poisson binomial from those masses in
+// canonical rule-index order, then sweeps its tuples with allocation-free
+// incremental updates in a per-worker arena. Because every entry point
+// (serial and parallel alike) runs the same grid, results are
+// bit-identical for any ParallelismOptions — see docs/PERFORMANCE.md.
 
 #ifndef URANK_CORE_RANK_DISTRIBUTION_TUPLE_H_
 #define URANK_CORE_RANK_DISTRIBUTION_TUPLE_H_
@@ -27,6 +37,7 @@
 
 #include "model/tuple_model.h"
 #include "model/types.h"
+#include "util/parallel.h"
 
 namespace urank {
 
@@ -47,13 +58,27 @@ void ForEachTupleRankDistribution(
     TiePolicy ties,
     const std::function<void(int, const std::vector<double>&)>& fn);
 
+// Parallel chunked form: invokes `fn(chunk, index, dist)` once per tuple,
+// possibly concurrently for tuples of *distinct* chunks (never for the
+// same chunk), with chunk in [0, TupleSweepChunkCount(rel)). The per-chunk
+// buffer passed to `fn` is reused between that chunk's calls. `fn` must be
+// safe to run concurrently for distinct chunks; accumulations that are not
+// per-tuple-disjoint should keep per-chunk partials and fold them in chunk
+// order (see ParallelReduce). Results are bit-identical for any `par`.
+// `report`, when non-null, is Merge()d with the threads/arena-bytes used.
+void ForEachTupleRankDistribution(
+    const TupleRelation& rel, const std::vector<int>& rank_order,
+    TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
+    const std::function<void(int, int, const std::vector<double>&)>& fn);
+
 // Streaming positional probabilities: invokes `fn(index, row)` once per
 // tuple where row[c] = Pr[t_i present and ranked c-th among appearing
-// tuples] for c in [0, M]; entries at ranks above M are identically zero
-// (at most one tuple per rule appears). The buffer is reused between
-// calls; tuples are visited in score order. Memory stays O(M) instead of
-// the O(N²) of the matrix form. The overload taking `rank_order` reuses a
-// precomputed (score desc, index asc) permutation.
+// tuples]; entries at ranks >= row.size() are identically zero (at most
+// one tuple per rule appears, and zero-mass rules cannot contribute). The
+// buffer is reused between calls; tuples are visited in score order.
+// Memory stays O(M) instead of the O(N²) of the matrix form. The overload
+// taking `rank_order` reuses a precomputed (score desc, index asc)
+// permutation.
 void ForEachTuplePositionalDistribution(
     const TupleRelation& rel, TiePolicy ties,
     const std::function<void(int, const std::vector<double>&)>& fn);
@@ -61,6 +86,18 @@ void ForEachTuplePositionalDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties,
     const std::function<void(int, const std::vector<double>&)>& fn);
+
+// Parallel chunked positional form; same contract as the parallel
+// ForEachTupleRankDistribution above.
+void ForEachTuplePositionalDistribution(
+    const TupleRelation& rel, const std::vector<int>& rank_order,
+    TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
+    const std::function<void(int, int, const std::vector<double>&)>& fn);
+
+// Number of chunks the deterministic sweep grid partitions `rel` into — a
+// pure function of the relation size. Callback chunk indices are always in
+// [0, TupleSweepChunkCount(rel)); some chunks may be empty.
+int TupleSweepChunkCount(const TupleRelation& rel);
 
 // result[i][r] = Pr[R(t_i) = r] for r in [0, N]; rows sum to 1.
 std::vector<std::vector<double>> TupleRankDistributions(

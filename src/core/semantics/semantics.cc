@@ -13,8 +13,13 @@ std::vector<double> AttrTopKProbabilities(const AttrRelation& rel, int k,
                                           TiePolicy ties) {
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
   std::vector<double> probs(static_cast<size_t>(rel.size()), 0.0);
+  // One DP per tuple against pdfs sorted once; the distribution and DP
+  // buffers are hoisted out of the loop and reused across tuples.
+  const std::vector<internal::SortedPdf> pdfs = BuildSortedPdfs(rel);
+  std::vector<double> pmf_scratch;
+  std::vector<double> dist;
   for (int i = 0; i < rel.size(); ++i) {
-    const std::vector<double> dist = AttrRankDistribution(rel, i, ties);
+    AttrRankDistributionInto(rel, pdfs, i, ties, &pmf_scratch, &dist);
     double cdf = 0.0;
     const int hi = std::min(k, static_cast<int>(dist.size()));
     for (int r = 0; r < hi; ++r) cdf += dist[static_cast<size_t>(r)];
@@ -44,9 +49,17 @@ std::vector<double> TupleTopKProbabilities(const TupleRelation& rel, int k,
 std::vector<double> AttrTopKProbabilities(
     const PreparedAttrRelation& prepared, int k, TiePolicy ties) {
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return AttrTopKProbabilities(prepared, k, ties, ParallelismOptions{},
+                               nullptr);
+}
+
+std::vector<double> AttrTopKProbabilities(
+    const PreparedAttrRelation& prepared, int k, TiePolicy ties,
+    const ParallelismOptions& par, KernelReport* report) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
   const StatKey key{StatKey::Kind::kTopKProbability, k, 0.0, ties};
   return *prepared.CachedStat(key, [&] {
-    const auto dists = prepared.RankDistributions(ties);
+    const auto dists = prepared.RankDistributions(ties, par, report);
     std::vector<double> probs(static_cast<size_t>(prepared.size()), 0.0);
     for (int i = 0; i < prepared.size(); ++i) {
       const auto& dist = (*dists)[static_cast<size_t>(i)];
@@ -63,14 +76,24 @@ std::vector<double> AttrTopKProbabilities(
 std::vector<double> TupleTopKProbabilities(
     const PreparedTupleRelation& prepared, int k, TiePolicy ties) {
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return TupleTopKProbabilities(prepared, k, ties, ParallelismOptions{},
+                                nullptr);
+}
+
+std::vector<double> TupleTopKProbabilities(
+    const PreparedTupleRelation& prepared, int k, TiePolicy ties,
+    const ParallelismOptions& par, KernelReport* report) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
   const StatKey key{StatKey::Kind::kTopKProbability, k, 0.0, ties};
   return *prepared.CachedStat(key, [&] {
     // Positional entries at ranks above M are zero, so summing the first
     // min(k, M+1) streamed entries equals the matrix form's first-k sum.
+    // Chunk callbacks write disjoint positions, so concurrent chunks need
+    // no further coordination.
     std::vector<double> probs(static_cast<size_t>(prepared.size()), 0.0);
     ForEachTuplePositionalDistribution(
-        prepared.relation(), prepared.rank_order(), ties,
-        [&](int i, const std::vector<double>& row) {
+        prepared.relation(), prepared.rank_order(), ties, par, report,
+        [&](int /*chunk*/, int i, const std::vector<double>& row) {
           double cdf = 0.0;
           const int hi = std::min(k, static_cast<int>(row.size()));
           for (int r = 0; r < hi; ++r) cdf += row[static_cast<size_t>(r)];

@@ -16,6 +16,7 @@
 #include "model/attr_model.h"
 #include "model/tuple_model.h"
 #include "model/types.h"
+#include "util/parallel.h"
 
 namespace urank {
 
@@ -43,6 +44,17 @@ std::vector<double> AttrTopKProbabilities(
 std::vector<double> TupleTopKProbabilities(
     const PreparedTupleRelation& prepared, int k,
     TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Parallel-aware prepared forms: a cache miss runs the underlying DP with
+// `par` worker slots (bit-identical results regardless) and Merge()s what
+// the kernel did into `report` when non-null; a cache hit leaves `report`
+// untouched. Requires k >= 1.
+std::vector<double> AttrTopKProbabilities(
+    const PreparedAttrRelation& prepared, int k, TiePolicy ties,
+    const ParallelismOptions& par, KernelReport* report);
+std::vector<double> TupleTopKProbabilities(
+    const PreparedTupleRelation& prepared, int k, TiePolicy ties,
+    const ParallelismOptions& par, KernelReport* report);
 
 }  // namespace urank
 

@@ -70,9 +70,16 @@ std::vector<int> TupleUKRanks(const TupleRelation& rel, int k,
 std::vector<int> AttrUKRanks(const PreparedAttrRelation& prepared, int k,
                              TiePolicy ties) {
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return AttrUKRanks(prepared, k, ties, ParallelismOptions{}, nullptr);
+}
+
+std::vector<int> AttrUKRanks(const PreparedAttrRelation& prepared, int k,
+                             TiePolicy ties, const ParallelismOptions& par,
+                             KernelReport* report) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
   const StatKey key{StatKey::Kind::kUKRanksWinners, k, 0.0, ties};
   return ToInt(*prepared.CachedStat(key, [&] {
-    const auto rows = prepared.RankDistributions(ties);
+    const auto rows = prepared.RankDistributions(ties, par, report);
     return ToDouble(WinnersPerRank(*rows, prepared.ids(), k));
   }));
 }
@@ -80,28 +87,60 @@ std::vector<int> AttrUKRanks(const PreparedAttrRelation& prepared, int k,
 std::vector<int> TupleUKRanks(const PreparedTupleRelation& prepared, int k,
                               TiePolicy ties) {
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return TupleUKRanks(prepared, k, ties, ParallelismOptions{}, nullptr);
+}
+
+std::vector<int> TupleUKRanks(const PreparedTupleRelation& prepared, int k,
+                              TiePolicy ties, const ParallelismOptions& par,
+                              KernelReport* report) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
   const StatKey key{StatKey::Kind::kUKRanksWinners, k, 0.0, ties};
   return ToInt(*prepared.CachedStat(key, [&] {
-    // Streamed WinnersPerRank: same argmax/min-id rule applied per row as
-    // the rows arrive in score order rather than index order.
-    std::vector<int> winners(static_cast<size_t>(k), -1);
-    std::vector<double> best(static_cast<size_t>(k), 0.0);
+    // Streamed WinnersPerRank with per-chunk partials: each chunk applies
+    // the argmax/min-id rule to its own rows, then the partials fold in
+    // chunk index order. The rule is associative and order-independent
+    // (strictly-greater wins; equal-and-positive prefers the smaller id),
+    // so the answer matches the serial one-chunk sweep bit for bit.
+    const int chunks = TupleSweepChunkCount(prepared.relation());
+    struct Partial {
+      std::vector<int> winners;
+      std::vector<double> best;
+    };
+    std::vector<Partial> partials(
+        static_cast<size_t>(chunks),
+        Partial{std::vector<int>(static_cast<size_t>(k), -1),
+                std::vector<double>(static_cast<size_t>(k), 0.0)});
     ForEachTuplePositionalDistribution(
-        prepared.relation(), prepared.rank_order(), ties,
-        [&](int i, const std::vector<double>& row) {
+        prepared.relation(), prepared.rank_order(), ties, par, report,
+        [&](int chunk, int i, const std::vector<double>& row) {
           URANK_DCHECK_MSG(internal::AllFiniteInRange(row, 0.0, 1.0),
                            "positional probability outside [0,1]");
+          Partial& part = partials[static_cast<size_t>(chunk)];
           const int id = prepared.ids()[static_cast<size_t>(i)];
           const size_t hi = std::min(static_cast<size_t>(k), row.size());
           for (size_t r = 0; r < hi; ++r) {
-            if (row[r] > best[r] ||
-                (row[r] == best[r] && row[r] > 0.0 && winners[r] >= 0 &&
-                 id < winners[r])) {
-              best[r] = row[r];
-              winners[r] = id;
+            if (row[r] > part.best[r] ||
+                (row[r] == part.best[r] && row[r] > 0.0 &&
+                 part.winners[r] >= 0 && id < part.winners[r])) {
+              part.best[r] = row[r];
+              part.winners[r] = id;
             }
           }
         });
+    std::vector<int> winners(static_cast<size_t>(k), -1);
+    std::vector<double> best(static_cast<size_t>(k), 0.0);
+    for (const Partial& part : partials) {
+      for (size_t r = 0; r < static_cast<size_t>(k); ++r) {
+        const double b = part.best[r];
+        const int w = part.winners[r];
+        if (b > best[r] ||
+            (b == best[r] && b > 0.0 && winners[r] >= 0 && w >= 0 &&
+             w < winners[r])) {
+          best[r] = b;
+          winners[r] = w;
+        }
+      }
+    }
     return ToDouble(winners);
   }));
 }

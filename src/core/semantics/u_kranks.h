@@ -14,6 +14,7 @@
 #include "model/attr_model.h"
 #include "model/tuple_model.h"
 #include "model/types.h"
+#include "util/parallel.h"
 
 namespace urank {
 
@@ -39,6 +40,19 @@ std::vector<int> AttrUKRanks(const PreparedAttrRelation& prepared, int k,
                              TiePolicy ties = TiePolicy::kBreakByIndex);
 std::vector<int> TupleUKRanks(const PreparedTupleRelation& prepared, int k,
                               TiePolicy ties = TiePolicy::kBreakByIndex);
+
+// Parallel-aware prepared forms: a cache miss runs the underlying DP with
+// `par` worker slots and Merge()s what the kernel did into `report` when
+// non-null; a cache hit leaves `report` untouched. The tuple-level form
+// keeps per-chunk (winner, best) partials and folds them in chunk order;
+// the argmax/min-id rule is merge-order independent, so answers are
+// identical to the serial forms. Requires k >= 1.
+std::vector<int> AttrUKRanks(const PreparedAttrRelation& prepared, int k,
+                             TiePolicy ties, const ParallelismOptions& par,
+                             KernelReport* report);
+std::vector<int> TupleUKRanks(const PreparedTupleRelation& prepared, int k,
+                              TiePolicy ties, const ParallelismOptions& par,
+                              KernelReport* report);
 
 // Result of the early-terminating evaluation: the same answer as
 // TupleUKRanks plus the number of tuples the score-ordered scan retrieved.

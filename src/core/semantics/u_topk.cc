@@ -134,18 +134,20 @@ struct RuleSweepState {
       : mass(static_cast<size_t>(num_rules), 0.0),
         best_prob(static_cast<size_t>(num_rules), 0.0),
         best_pos(static_cast<size_t>(num_rules), -1),
-        in_prefix(static_cast<size_t>(num_rules), false) {}
+        in_prefix(static_cast<size_t>(num_rules), 0) {}
 
   std::vector<double> mass;
   std::vector<double> best_prob;
   std::vector<int> best_pos;  // rank-order position of the best member
-  std::vector<bool> in_prefix;
+  // Byte-per-rule flags: std::vector<bool>'s proxy bit-packing costs a
+  // mask-and-shift on the hot membership test and defeats vectorization.
+  std::vector<std::uint8_t> in_prefix;
 
   // Adds the tuple at rank-order position `pos` (probability p, rule r).
   void Add(int r, int pos, double p) {
     const size_t ri = static_cast<size_t>(r);
     mass[ri] += p;
-    in_prefix[ri] = true;
+    in_prefix[ri] = 1;
     if (p > best_prob[ri]) {
       best_prob[ri] = p;
       best_pos[ri] = pos;
@@ -280,11 +282,12 @@ UTopKAnswer TupleUTopKWithRulesInOrder(const TupleRelation& rel,
     rebuild.Add(rel.rule_of(i), c, rel.tuple(i).prob);
   }
   std::vector<int> chosen_positions;
-  std::vector<bool> rule_used(static_cast<size_t>(rel.num_rules()), false);
+  std::vector<std::uint8_t> rule_used(static_cast<size_t>(rel.num_rules()),
+                                      0);
   if (best_cutoff >= 0) {
     const int rho = rel.rule_of(order[static_cast<size_t>(best_cutoff)]);
     chosen_positions.push_back(best_cutoff);
-    rule_used[static_cast<size_t>(rho)] = true;
+    rule_used[static_cast<size_t>(rho)] = 1;
   }
   // Forced (saturated) rules.
   std::vector<std::pair<double, int>> candidates;  // (w, rule)
@@ -295,7 +298,7 @@ UTopKAnswer TupleUTopKWithRulesInOrder(const TupleRelation& rel,
     }
     if (rebuild.saturated(r)) {
       chosen_positions.push_back(rebuild.best_pos[static_cast<size_t>(r)]);
-      rule_used[static_cast<size_t>(r)] = true;
+      rule_used[static_cast<size_t>(r)] = 1;
     } else {
       candidates.emplace_back(
           std::log(rebuild.best_prob[static_cast<size_t>(r)]) -
@@ -310,7 +313,7 @@ UTopKAnswer TupleUTopKWithRulesInOrder(const TupleRelation& rel,
   for (int e = 0; e < want; ++e) {
     const int r = candidates[static_cast<size_t>(e)].second;
     chosen_positions.push_back(rebuild.best_pos[static_cast<size_t>(r)]);
-    rule_used[static_cast<size_t>(r)] = true;
+    rule_used[static_cast<size_t>(r)] = 1;
   }
   std::sort(chosen_positions.begin(), chosen_positions.end());
 

@@ -1,0 +1,141 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <memory>
+
+#include "util/check.h"
+
+namespace urank {
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: worker threads live for the process lifetime, so a
+  // destructor running during static teardown would race them.
+  static ThreadPool* pool = new ThreadPool(ResolveThreads(0));
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int max_workers) : max_workers_(max_workers) {
+  URANK_CHECK_MSG(max_workers >= 0, "max_workers must be >= 0");
+}
+
+ThreadPool::~ThreadPool() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    workers.swap(workers_);
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    // Spawn a worker lazily while the queue outnumbers the idle capacity;
+    // cheap heuristic: one worker per queued task up to the cap.
+    if (static_cast<int>(workers_.size()) < max_workers_ &&
+        queue_.size() > 0) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int PlannedWorkers(const ParallelismOptions& par, long long items) {
+  if (items < par.min_parallel_items) return 1;
+  const long long resolved = ResolveThreads(par.threads);
+  return static_cast<int>(std::max(1LL, std::min(resolved, items)));
+}
+
+int DeterministicChunkCount(long long n, long long grain, int max_chunks) {
+  URANK_CHECK_MSG(grain > 0 && max_chunks >= 1,
+                  "grain and max_chunks must be positive");
+  if (n <= 0) return 1;
+  const long long chunks = n / grain;
+  return static_cast<int>(
+      std::max(1LL, std::min(chunks, static_cast<long long>(max_chunks))));
+}
+
+std::vector<long long> ChunkBoundaries(long long n, int num_chunks) {
+  URANK_CHECK_MSG(n >= 0, "n must be >= 0");
+  URANK_CHECK_MSG(num_chunks >= 1, "num_chunks must be >= 1");
+  std::vector<long long> bounds(static_cast<size_t>(num_chunks) + 1, 0);
+  for (int c = 0; c <= num_chunks; ++c) {
+    bounds[static_cast<size_t>(c)] =
+        n * static_cast<long long>(c) / static_cast<long long>(num_chunks);
+  }
+  return bounds;
+}
+
+namespace {
+
+// Shared state of one ParallelFor call. Held by shared_ptr so a helper
+// task that the pool dequeues after the caller already finished (having
+// drained every chunk itself) still touches valid memory.
+struct ForState {
+  ForState(int chunks, std::function<void(int, int)> f)
+      : num_chunks(chunks), fn(std::move(f)) {}
+
+  void Drain(int slot) {
+    for (;;) {
+      const int chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      fn(chunk, slot);
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == num_chunks) cv.notify_all();
+    }
+  }
+
+  const int num_chunks;
+  const std::function<void(int, int)> fn;
+  std::atomic<int> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;  // guarded by mu
+};
+
+}  // namespace
+
+int ParallelFor(int num_chunks, int workers,
+                const std::function<void(int, int)>& fn) {
+  URANK_CHECK_MSG(num_chunks >= 0, "num_chunks must be >= 0");
+  if (num_chunks == 0) return 1;
+  workers = std::max(1, std::min(workers, num_chunks));
+  if (workers == 1) {
+    for (int chunk = 0; chunk < num_chunks; ++chunk) fn(chunk, 0);
+    return 1;
+  }
+  auto state = std::make_shared<ForState>(num_chunks, fn);
+  ThreadPool& pool = ThreadPool::Global();
+  for (int slot = 1; slot < workers; ++slot) {
+    pool.Submit([state, slot] { state->Drain(slot); });
+  }
+  state->Drain(0);  // the caller always participates — no nested deadlock
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done == state->num_chunks; });
+  return workers;
+}
+
+}  // namespace urank

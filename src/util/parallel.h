@@ -1,0 +1,147 @@
+// Deterministic intra-query parallelism: a process-wide cached thread pool
+// plus statically-chunked ParallelFor / ParallelReduce helpers.
+//
+// The determinism contract every parallel kernel in this library is built
+// on: the decomposition of a computation into chunks is a pure function of
+// the *data* (relation size, run boundaries), never of the thread count or
+// of scheduling. Each chunk's arithmetic is self-contained, and reductions
+// fold per-chunk partials sequentially in chunk index order. Under that
+// discipline the result is bit-identical for any `threads` value,
+// including 1 — which is what tests/core/parallel_determinism_test.cc
+// asserts and docs/PERFORMANCE.md documents.
+//
+// One pool serves both inter-query work (QueryEngine::RunBatch) and
+// intra-query work (the DP kernels). Nested use cannot deadlock because
+// the calling thread always participates: helpers submitted to the pool
+// are accelerators, and the caller drains every remaining chunk itself
+// before returning.
+
+#ifndef URANK_UTIL_PARALLEL_H_
+#define URANK_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace urank {
+
+// Per-query parallelism knob, threaded through QueryEngine / the
+// parallel-capable kernel entry points. Affects execution schedule only,
+// never results.
+struct ParallelismOptions {
+  // Worker slots per kernel invocation, the calling thread included.
+  // 1 = serial (the default); <= 0 = one slot per hardware thread.
+  int threads = 1;
+  // Kernels over fewer work items than this stay serial: the pool handoff
+  // would cost more than it saves. Never affects the chunk grid.
+  long long min_parallel_items = 4096;
+};
+
+// What a parallel-capable kernel actually did: how many worker slots
+// participated and how many scratch bytes its per-worker arenas held at
+// the end of the call. Merged upward into QueryStats.
+struct KernelReport {
+  int threads_used = 1;
+  std::uint64_t arena_bytes = 0;
+
+  void Merge(const KernelReport& other) {
+    threads_used = std::max(threads_used, other.threads_used);
+    arena_bytes += other.arena_bytes;
+  }
+};
+
+// Process-wide worker pool. Workers are spawned lazily on first use, kept
+// alive for the process lifetime (the singleton is leaked so no destructor
+// races static teardown), and shared by every ParallelFor and RunBatch.
+class ThreadPool {
+ public:
+  // The shared pool, sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+  // A pool with up to `max_workers` lazily spawned worker threads.
+  // Requires max_workers >= 0 (0 means every task waits for the caller —
+  // only useful in tests). Aborts if max_workers is negative.
+  explicit ThreadPool(int max_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int max_workers() const { return max_workers_; }
+
+  // Enqueues `task` for execution on some worker thread. Tasks must not
+  // block waiting for other queued tasks (the ParallelFor protocol never
+  // does: the submitting thread drains work itself).
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  const int max_workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;  // guarded by mu_
+  bool shutdown_ = false;
+};
+
+// Resolves a ParallelismOptions::threads request to a concrete worker
+// count: values <= 0 mean "all hardware threads"; the result is >= 1.
+int ResolveThreads(int requested);
+
+// Worker slots a kernel processing `items` work items should use under
+// `par`: 1 when items < min_parallel_items, otherwise
+// min(ResolveThreads(par.threads), items). Purely an execution decision —
+// the chunk grid must not depend on it.
+int PlannedWorkers(const ParallelismOptions& par, long long items);
+
+// Deterministic chunk count for an n-item kernel: a pure function of n
+// (roughly one chunk per `grain` items, capped) so the chunk grid — and
+// therefore every per-chunk subproblem — is identical for any thread
+// count.
+int DeterministicChunkCount(long long n, long long grain = 8192,
+                            int max_chunks = 16);
+
+// Evenly-spaced chunk boundaries over [0, n): num_chunks + 1 ascending
+// offsets with boundaries[0] = 0 and boundaries[num_chunks] = n. A pure
+// function of (n, num_chunks). Aborts if n < 0 or num_chunks < 1.
+std::vector<long long> ChunkBoundaries(long long n, int num_chunks);
+
+// Runs fn(chunk, slot) for every chunk in [0, num_chunks), on up to
+// `workers` threads including the caller. `slot` is a stable per-worker
+// index in [0, workers) for indexing per-worker scratch arenas; slot 0 is
+// always the calling thread. fn must be safe to run concurrently for
+// distinct chunks; chunks are claimed dynamically, so fn must not depend
+// on execution order (per-chunk subproblems are self-contained under the
+// determinism contract above). Returns the number of worker slots made
+// available (helpers may finish without claiming a chunk when the caller
+// outruns them). Aborts if num_chunks is negative.
+int ParallelFor(int num_chunks, int workers,
+                const std::function<void(int, int)>& fn);
+
+// Deterministic reduction: computes chunk_fn(chunk, slot) for every chunk
+// (in parallel, as ParallelFor) and folds the per-chunk partials
+// *sequentially in chunk index order* via fold(acc, partial). The fold
+// order is what makes non-commutative merges (argmax with tie-breaks)
+// bit-identical across thread counts.
+template <typename T, typename ChunkFn, typename FoldFn>
+T ParallelReduce(int num_chunks, int workers, T init, const ChunkFn& chunk_fn,
+                 const FoldFn& fold) {
+  std::vector<T> partials(static_cast<size_t>(std::max(num_chunks, 0)));
+  ParallelFor(num_chunks, workers, [&](int chunk, int slot) {
+    partials[static_cast<size_t>(chunk)] = chunk_fn(chunk, slot);
+  });
+  T acc = std::move(init);
+  for (T& partial : partials) acc = fold(std::move(acc), std::move(partial));
+  return acc;
+}
+
+}  // namespace urank
+
+#endif  // URANK_UTIL_PARALLEL_H_

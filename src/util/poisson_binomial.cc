@@ -14,85 +14,66 @@ constexpr double kDeconvTolerance = 1e-9;
 
 }  // namespace
 
-PoissonBinomial::PoissonBinomial() : pmf_{1.0} {}
-
-PoissonBinomial PoissonBinomial::FromProbs(const std::vector<double>& probs) {
-  PoissonBinomial pb;
-  pb.trials_ = probs;
-  pb.Recompute();
-  return pb;
-}
-
-void PoissonBinomial::AddTrial(double p) {
-  URANK_CHECK_MSG(p >= 0.0 && p <= 1.0, "trial probability must be in [0,1]");
-  trials_.push_back(p);
-  const size_t n = pmf_.size();
-  pmf_.push_back(0.0);
-  if (p == 0.0) return;  // convolving with {1, 0} only extends the support
+void PbConvolveTrial(std::vector<double>* pmf, double p) {
+  URANK_CHECK_MSG(p > 0.0 && p <= 1.0, "trial probability must be in (0,1]");
+  URANK_CHECK_MSG(!pmf->empty(), "pmf must be non-empty");
+  const size_t n = pmf->size();
+  pmf->push_back(0.0);
+  std::vector<double>& v = *pmf;
   // Convolve with the two-point distribution {1-p, p}, in place, high to low.
+  const double q = 1.0 - p;
   for (size_t c = n; c > 0; --c) {
-    pmf_[c] = pmf_[c] * (1.0 - p) + pmf_[c - 1] * p;
+    v[c] = v[c] * q + v[c - 1] * p;
   }
-  pmf_[0] *= (1.0 - p);
-  URANK_DCHECK_NORMALIZED(pmf_);
+  v[0] *= q;
 }
 
-void PoissonBinomial::RemoveTrial(double p) {
-  URANK_CHECK_MSG(p >= 0.0 && p <= 1.0, "trial probability must be in [0,1]");
-  URANK_CHECK_MSG(!trials_.empty(), "RemoveTrial with no live trials");
-  auto it = std::find(trials_.begin(), trials_.end(), p);
-  URANK_CHECK_MSG(it != trials_.end(), "RemoveTrial: no matching trial");
-  trials_.erase(it);
-
-  if (p == 0.0) {
-    // A zero trial never succeeds, so the top count is unreachable and its
-    // pmf entry is exactly 0; dropping it undoes AddTrial(0).
-    pmf_.pop_back();
-    return;
-  }
-
-  const size_t n = pmf_.size() - 1;  // trial count before removal
-  std::vector<double> out(n);        // pmf over n-1 trials
+bool PbDeconvolveTrial(const std::vector<double>& src, double p,
+                       std::vector<double>* out) {
+  URANK_CHECK_MSG(p > 0.0 && p <= 1.0, "trial probability must be in (0,1]");
+  URANK_CHECK_MSG(src.size() >= 2, "src must hold at least one trial");
+  const size_t n = src.size() - 1;  // trial count before removal
+  out->resize(n);
+  std::vector<double>& o = *out;
+  const double q = 1.0 - p;
   bool ok = true;
   if (p <= 0.5) {
-    // pmf[c] = out[c]*(1-p) + out[c-1]*p  =>  solve forward by (1-p).
-    const double q = 1.0 - p;
+    // src[c] = out[c]*(1-p) + out[c-1]*p  =>  solve forward by (1-p).
     double carry = 0.0;  // out[c-1]
     for (size_t c = 0; c < n; ++c) {
-      double v = (pmf_[c] - carry * p) / q;
+      const double v = (src[c] - carry * p) / q;
       if (!std::isfinite(v)) {
         ok = false;
         break;
       }
-      out[c] = v;
+      o[c] = v;
       carry = v;
     }
     // Consistency check against the top coefficient.
-    if (ok && std::fabs(out[n - 1] * p - pmf_[n]) >
-                  kDeconvTolerance + kDeconvTolerance * std::fabs(pmf_[n])) {
+    if (ok && std::fabs(o[n - 1] * p - src[n]) >
+                  kDeconvTolerance + kDeconvTolerance * std::fabs(src[n])) {
       ok = false;
     }
   } else {
-    // Solve backward by p: pmf[c] = out[c]*(1-p) + out[c-1]*p.
-    const double q = 1.0 - p;
+    // Solve backward by p: src[c] = out[c]*(1-p) + out[c-1]*p.
     double carry = 0.0;  // out[c]
     for (size_t c = n; c > 0; --c) {
-      double v = (pmf_[c] - carry * q) / p;
+      const double v = (src[c] - carry * q) / p;
       if (!std::isfinite(v)) {
         ok = false;
         break;
       }
-      out[c - 1] = v;
+      o[c - 1] = v;
       carry = v;
     }
-    if (ok && std::fabs(out[0] * q - pmf_[0]) >
-                  kDeconvTolerance + kDeconvTolerance * std::fabs(pmf_[0])) {
+    if (ok && std::fabs(o[0] * q - src[0]) >
+                  kDeconvTolerance + kDeconvTolerance * std::fabs(src[0])) {
       ok = false;
     }
   }
   // Negative dips beyond round-off also signal cancellation.
   if (ok) {
-    for (double v : out) {
+    for (double v : o) {
       if (v < -1e-9) {
         ok = false;
         break;
@@ -100,8 +81,53 @@ void PoissonBinomial::RemoveTrial(double p) {
     }
   }
   if (ok) {
-    for (double& v : out) v = std::max(v, 0.0);
-    pmf_ = std::move(out);
+    for (double& v : o) v = std::max(v, 0.0);
+  }
+  return ok;
+}
+
+PoissonBinomial::PoissonBinomial() : pmf_{1.0} {}
+
+PoissonBinomial PoissonBinomial::FromProbs(const std::vector<double>& probs) {
+  PoissonBinomial pb;
+  for (double p : probs) {
+    URANK_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                    "trial probability must be in [0,1]");
+    if (p == 0.0) {
+      ++pb.zero_trials_;
+    } else {
+      pb.trials_.push_back(p);
+    }
+  }
+  pb.Recompute();
+  return pb;
+}
+
+void PoissonBinomial::AddTrial(double p) {
+  URANK_CHECK_MSG(p >= 0.0 && p <= 1.0, "trial probability must be in [0,1]");
+  if (p == 0.0) {
+    ++zero_trials_;  // a {1, 0} factor: exact, support unchanged
+    return;
+  }
+  trials_.push_back(p);
+  PbConvolveTrial(&pmf_, p);
+  URANK_DCHECK_NORMALIZED(pmf_);
+}
+
+void PoissonBinomial::RemoveTrial(double p) {
+  URANK_CHECK_MSG(p >= 0.0 && p <= 1.0, "trial probability must be in [0,1]");
+  URANK_CHECK_MSG(num_trials() > 0, "RemoveTrial with no live trials");
+  if (p == 0.0) {
+    URANK_CHECK_MSG(zero_trials_ > 0, "RemoveTrial: no matching trial");
+    --zero_trials_;
+    return;
+  }
+  auto it = std::find(trials_.begin(), trials_.end(), p);
+  URANK_CHECK_MSG(it != trials_.end(), "RemoveTrial: no matching trial");
+  trials_.erase(it);
+
+  if (PbDeconvolveTrial(pmf_, p, &scratch_)) {
+    pmf_.swap(scratch_);
   } else {
     Recompute();
   }
@@ -129,10 +155,7 @@ double PoissonBinomial::Mean() const {
 
 void PoissonBinomial::Recompute() {
   pmf_.assign(1, 1.0);
-  std::vector<double> saved = std::move(trials_);
-  trials_.clear();
-  trials_.reserve(saved.size());
-  for (double p : saved) AddTrial(p);
+  for (double p : trials_) PbConvolveTrial(&pmf_, p);
 }
 
 }  // namespace urank

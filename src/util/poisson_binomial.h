@@ -14,6 +14,14 @@
 // Removal is polynomial deconvolution; it chooses the numerically stable
 // division direction based on the trial probability and falls back to a
 // full recomputation when cancellation is detected.
+//
+// The representation is support-aware: zero-probability trials contribute
+// only an exact factor {1, 0}, so they are counted but never convolved —
+// the stored pmf covers success counts up to the number of *nonzero*
+// trials, and Add/Remove cost O(support) instead of O(num_trials). The
+// sweeps over sparse rule masses (most rules untouched, probability 0)
+// rely on this. Remove ping-pongs an internal scratch buffer, so steady-
+// state updates perform no heap allocation.
 
 #ifndef URANK_UTIL_POISSON_BINOMIAL_H_
 #define URANK_UTIL_POISSON_BINOMIAL_H_
@@ -21,6 +29,26 @@
 #include <vector>
 
 namespace urank {
+
+// Flat single-step building blocks, shared between the PoissonBinomial
+// class and the chunked rank-distribution kernels that manage raw pmf
+// buffers in per-worker arenas.
+
+// In-place convolution of `pmf` with the two-point distribution {1-p, p}:
+// afterwards pmf->size() is one larger. Requires p in (0, 1] and a
+// non-empty pmf (convolving a zero trial is the identity on the support —
+// callers skip it).
+void PbConvolveTrial(std::vector<double>* pmf, double p);
+
+// Polynomial deconvolution: writes into `out` the pmf of `src` with one
+// factor {1-p, p} divided out (out->size() = src.size() - 1), choosing the
+// numerically stable division direction for p. `src` is left untouched —
+// this is what makes concurrent read-only deconvolutions of one shared
+// pmf safe. Returns false (contents of `out` unspecified) when
+// cancellation is detected; the caller must then rebuild the reduced pmf
+// from its factor list. Requires p in (0, 1] and src.size() >= 2.
+bool PbDeconvolveTrial(const std::vector<double>& src, double p,
+                       std::vector<double>* out);
 
 // Running Poisson-binomial DP. Starts with zero trials (Pr[count = 0] = 1).
 class PoissonBinomial {
@@ -31,12 +59,14 @@ class PoissonBinomial {
   // Each probability must lie in [0, 1].
   static PoissonBinomial FromProbs(const std::vector<double>& probs);
 
-  // Incorporates one trial with success probability p in [0, 1]. O(n).
+  // Incorporates one trial with success probability p in [0, 1].
+  // O(support) — a zero trial is O(1).
   void AddTrial(double p);
 
   // Removes one previously added trial with success probability p. The
   // caller must guarantee that a trial with exactly this probability was
-  // added and not yet removed; otherwise the result is meaningless. O(n).
+  // added and not yet removed; otherwise the result is meaningless.
+  // O(support) — a zero trial is O(1); no heap allocation.
   void RemoveTrial(double p);
 
   // Pr[count = c]; zero outside [0, num_trials].
@@ -48,10 +78,15 @@ class PoissonBinomial {
   // Expected number of successes.
   double Mean() const;
 
-  // Number of trials currently incorporated.
-  int num_trials() const { return static_cast<int>(trials_.size()); }
+  // Number of trials currently incorporated (zero trials included).
+  int num_trials() const {
+    return static_cast<int>(trials_.size()) + zero_trials_;
+  }
 
-  // Full pmf vector, indexed by success count (size num_trials() + 1).
+  // Pmf vector indexed by success count, truncated to the reachable
+  // support: size() is (number of nonzero trials) + 1. Counts between
+  // size() and num_trials() have probability exactly zero (a zero trial
+  // never succeeds) and are omitted; Pmf()/Cdf() account for them.
   const std::vector<double>& pmf() const { return pmf_; }
 
  private:
@@ -59,8 +94,10 @@ class PoissonBinomial {
   // fallback for RemoveTrial.
   void Recompute();
 
-  std::vector<double> trials_;  // success probabilities of live trials
-  std::vector<double> pmf_;     // pmf_[c] = Pr[count = c]
+  std::vector<double> trials_;   // success probabilities of nonzero trials
+  int zero_trials_ = 0;          // live trials with p == 0
+  std::vector<double> pmf_;      // pmf_[c] = Pr[count = c], c <= support
+  std::vector<double> scratch_;  // RemoveTrial ping-pong target
 };
 
 }  // namespace urank

@@ -1,0 +1,363 @@
+// Bit-identity of the parallel DP kernels: every parallel-capable entry
+// point must return *exactly* the same bytes for any ParallelismOptions —
+// threads 1, 2, 8 (oversubscribed or not), any min_parallel_items — and
+// must match the serial facade. The chunk grid is a pure function of the
+// relation, per-chunk subproblems are self-contained, and reductions fold
+// in chunk index order, so these comparisons use EXPECT_EQ on doubles, not
+// tolerances. This file runs under TSan in CI to also certify the chunk
+// protocol data-race-free.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/engine/query_engine.h"
+#include "core/quantile_rank.h"
+#include "core/rank_distribution_attr.h"
+#include "core/rank_distribution_tuple.h"
+#include "core/semantics/semantics.h"
+#include "core/semantics/u_kranks.h"
+#include "gen/attr_gen.h"
+#include "gen/tuple_gen.h"
+#include "model/tuple_model.h"
+#include "util/parallel.h"
+
+namespace urank {
+namespace {
+
+ParallelismOptions Par(int threads) {
+  ParallelismOptions par;
+  par.threads = threads;
+  par.min_parallel_items = 1;  // parallelize even the test-sized inputs
+  return par;
+}
+
+// A relation built to stress the chunked sweep: large enough for several
+// chunks, long runs of tied scores that straddle naive chunk boundaries,
+// a few hundred wide exclusion rules (so the Poisson-binomial support
+// stays small and the test stays fast), plus high-probability singletons
+// including certain (p = 1) tuples.
+TupleRelation MakeClusteredTupleRelation(int n, int num_shared_rules,
+                                         int num_singletons) {
+  std::vector<TLTuple> tuples(static_cast<size_t>(n));
+  std::vector<std::vector<int>> rules(static_cast<size_t>(num_shared_rules));
+  for (int i = 0; i < n; ++i) {
+    TLTuple& t = tuples[static_cast<size_t>(i)];
+    t.id = 2 * i + 5;  // non-contiguous ids catch id/index mixups
+    t.score = static_cast<double>((i * 7919) % 97);  // ~n/97-long tie runs
+    if (i < num_singletons) {
+      t.prob = (i % 10 == 0) ? 1.0 : 0.25 + 0.7 * ((i * 13) % 101) / 101.0;
+    } else {
+      rules[static_cast<size_t>(i % num_shared_rules)].push_back(i);
+      t.prob = 0.0;  // filled below once member counts are known
+    }
+  }
+  for (const std::vector<int>& members : rules) {
+    const double p = 0.95 / static_cast<double>(members.size());
+    for (int i : members) tuples[static_cast<size_t>(i)].prob = p;
+  }
+  return TupleRelation(std::move(tuples), std::move(rules));
+}
+
+// Exact fingerprint of a distribution row: hashes the length plus the
+// (position, bit pattern) of every nonzero entry, so any single bit of
+// difference anywhere in the row — including a stray nonzero among the
+// zero tail — changes it. Skipping exact zeros keeps the fingerprint
+// O(support) instead of O(N) on the sparse N+1-sized rank rows.
+std::uint64_t RowFingerprint(const std::vector<double>& row) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull + row.size();
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i] == 0.0) continue;
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &row[i], sizeof(bits));
+    h ^= i + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= bits + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+class TupleKernelDeterminismTest
+    : public ::testing::TestWithParam<TiePolicy> {
+ protected:
+  static constexpr int kN = 33000;  // 4 chunks at the default 8192 grain
+  TupleRelation rel_ = MakeClusteredTupleRelation(kN, 64, 200);
+};
+
+INSTANTIATE_TEST_SUITE_P(BothTiePolicies, TupleKernelDeterminismTest,
+                         ::testing::Values(TiePolicy::kBreakByIndex,
+                                           TiePolicy::kStrictGreater));
+
+TEST_P(TupleKernelDeterminismTest, RankDistributionsBitIdentical) {
+  const TiePolicy ties = GetParam();
+  ASSERT_GE(TupleSweepChunkCount(rel_), 2);
+  const auto prepared = QueryEngine::Prepare(rel_);
+
+  // Serial facade baseline (one-shot entry, no prepared state).
+  std::vector<std::uint64_t> baseline(static_cast<size_t>(kN), 0);
+  ForEachTupleRankDistribution(
+      rel_, ties, [&](int i, const std::vector<double>& dist) {
+        baseline[static_cast<size_t>(i)] = RowFingerprint(dist);
+      });
+
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::uint64_t> got(static_cast<size_t>(kN), 0);
+    std::vector<std::uint8_t> chunk_seen(
+        static_cast<size_t>(TupleSweepChunkCount(rel_)), 0);
+    KernelReport report;
+    ForEachTupleRankDistribution(
+        rel_, prepared->rank_order(), ties, Par(threads), &report,
+        [&](int chunk, int i, const std::vector<double>& dist) {
+          got[static_cast<size_t>(i)] = RowFingerprint(dist);
+          chunk_seen[static_cast<size_t>(chunk)] = 1;
+        });
+    EXPECT_EQ(got, baseline) << "threads=" << threads;
+    EXPECT_GE(report.threads_used, 1);
+    int populated = 0;
+    for (std::uint8_t s : chunk_seen) populated += s;
+    EXPECT_GE(populated, 2) << "grid should span several chunks";
+  }
+}
+
+TEST_P(TupleKernelDeterminismTest, PositionalDistributionsBitIdentical) {
+  const TiePolicy ties = GetParam();
+  const auto prepared = QueryEngine::Prepare(rel_);
+
+  std::vector<std::uint64_t> baseline(static_cast<size_t>(kN), 0);
+  ForEachTuplePositionalDistribution(
+      rel_, ties, [&](int i, const std::vector<double>& row) {
+        baseline[static_cast<size_t>(i)] = RowFingerprint(row);
+      });
+
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::uint64_t> got(static_cast<size_t>(kN), 0);
+    KernelReport report;
+    ForEachTuplePositionalDistribution(
+        rel_, prepared->rank_order(), ties, Par(threads), &report,
+        [&](int /*chunk*/, int i, const std::vector<double>& row) {
+          got[static_cast<size_t>(i)] = RowFingerprint(row);
+        });
+    EXPECT_EQ(got, baseline) << "threads=" << threads;
+  }
+}
+
+TEST_P(TupleKernelDeterminismTest, PreparedSemanticsBitIdentical) {
+  const TiePolicy ties = GetParam();
+  constexpr int kK = 25;
+  constexpr double kPhi = 0.5;
+
+  // Serial prepared baseline. Each thread count gets its own prepared
+  // object: a shared one would serve the later runs from the memoized
+  // statistic cache and make the comparison vacuous.
+  const auto serial = QueryEngine::Prepare(rel_);
+  const std::vector<int> base_ranks = TupleQuantileRanks(*serial, kPhi, ties);
+  const std::vector<double> base_probs =
+      TupleTopKProbabilities(*serial, kK, ties);
+  const std::vector<int> base_winners = TupleUKRanks(*serial, kK, ties);
+
+  for (int threads : {2, 8}) {
+    const auto prepared = QueryEngine::Prepare(rel_);
+    KernelReport report;
+    EXPECT_EQ(TupleQuantileRanks(*prepared, kPhi, ties, Par(threads), &report),
+              base_ranks)
+        << "threads=" << threads;
+    EXPECT_EQ(
+        TupleTopKProbabilities(*prepared, kK, ties, Par(threads), &report),
+        base_probs)
+        << "threads=" << threads;
+    // UKRanks folds per-chunk argmax partials; ids must match exactly.
+    const auto fresh = QueryEngine::Prepare(rel_);
+    EXPECT_EQ(TupleUKRanks(*fresh, kK, ties, Par(threads), &report),
+              base_winners)
+        << "threads=" << threads;
+  }
+}
+
+TEST(GeneratedTupleRelationDeterminismTest, QuantileRanksBitIdentical) {
+  // Realistic generator output: continuous scores (every run is a
+  // singleton) and ~0.8N mostly-small exclusion rules, i.e. the wide-
+  // support regime where the incremental convolve/deconvolve updates and
+  // the shared absent-branch deconvolution carry the most float state.
+  TupleGenConfig cfg;
+  cfg.num_tuples = 17000;  // 2 chunks at the default grain
+  cfg.seed = 7;
+  const TupleRelation rel = GenerateTupleRelation(cfg);
+  ASSERT_GE(TupleSweepChunkCount(rel), 2);
+
+  // The serial facade is the baseline; it runs the same grid with one
+  // worker, so the threads = 1 case is covered without a third sweep.
+  const std::vector<int> baseline =
+      TupleQuantileRanks(rel, 0.5, TiePolicy::kBreakByIndex);
+  const auto prepared = QueryEngine::Prepare(rel);
+  KernelReport report;
+  EXPECT_EQ(TupleQuantileRanks(*prepared, 0.5, TiePolicy::kBreakByIndex,
+                               Par(3), &report),
+            baseline);
+}
+
+class AttrKernelDeterminismTest : public ::testing::TestWithParam<TiePolicy> {
+ protected:
+  AttrRelation MakeRelation() {
+    AttrGenConfig cfg;
+    cfg.num_tuples = 160;
+    cfg.seed = 3;
+    return GenerateAttrRelation(cfg);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(BothTiePolicies, AttrKernelDeterminismTest,
+                         ::testing::Values(TiePolicy::kBreakByIndex,
+                                           TiePolicy::kStrictGreater));
+
+TEST_P(AttrKernelDeterminismTest, RankDistributionsBitIdentical) {
+  const TiePolicy ties = GetParam();
+  const AttrRelation rel = MakeRelation();
+  const std::vector<internal::SortedPdf> pdfs = BuildSortedPdfs(rel);
+
+  const std::vector<std::vector<double>> baseline =
+      AttrRankDistributions(rel, ties);
+  for (int threads : {1, 2, 8}) {
+    KernelReport report;
+    EXPECT_EQ(AttrRankDistributions(rel, pdfs, ties, Par(threads), &report),
+              baseline)
+        << "threads=" << threads;
+  }
+}
+
+TEST_P(AttrKernelDeterminismTest, PreparedSemanticsBitIdentical) {
+  const TiePolicy ties = GetParam();
+  const AttrRelation rel = MakeRelation();
+  constexpr int kK = 15;
+
+  const auto serial = QueryEngine::Prepare(rel);
+  const std::vector<int> base_ranks = AttrQuantileRanks(*serial, 0.25, ties);
+  const std::vector<double> base_probs =
+      AttrTopKProbabilities(*serial, kK, ties);
+  const std::vector<int> base_winners = AttrUKRanks(*serial, kK, ties);
+
+  for (int threads : {2, 8}) {
+    const auto prepared = QueryEngine::Prepare(rel);
+    KernelReport report;
+    EXPECT_EQ(AttrQuantileRanks(*prepared, 0.25, ties, Par(threads), &report),
+              base_ranks);
+    EXPECT_EQ(AttrTopKProbabilities(*prepared, kK, ties, Par(threads), &report),
+              base_probs);
+    EXPECT_EQ(AttrUKRanks(*prepared, kK, ties, Par(threads), &report),
+              base_winners);
+  }
+}
+
+// Every semantics the engine can parallelize, on both models, end to end.
+// kUTopk is omitted on the large tuple relation (its answer-set DP is
+// serial, so thread-count independence is trivially exercised by
+// query_engine_test) and on attribute relations of this size its world
+// count is not enumerable.
+std::vector<RankingQuery> EngineQueryMix() {
+  std::vector<RankingQuery> queries;
+  for (RankingSemantics s :
+       {RankingSemantics::kExpectedRank, RankingSemantics::kMedianRank,
+        RankingSemantics::kQuantileRank, RankingSemantics::kUKRanks,
+        RankingSemantics::kPTk, RankingSemantics::kGlobalTopk,
+        RankingSemantics::kExpectedScore}) {
+    RankingQuery q;
+    q.semantics = s;
+    q.k = 20;
+    q.phi = 0.3;
+    q.threshold = 0.4;
+    queries.push_back(q);
+    q.ties = TiePolicy::kStrictGreater;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+void ExpectSameResult(const QueryResult& got, const QueryResult& want,
+                      const char* context) {
+  EXPECT_EQ(got.status.code, want.status.code) << context;
+  EXPECT_EQ(got.answer.ids, want.answer.ids) << context;
+  EXPECT_EQ(got.answer.statistics, want.answer.statistics) << context;
+}
+
+TEST(EngineDeterminismTest, TupleAnswersBitIdenticalAcrossThreadCounts) {
+  const TupleRelation rel = MakeClusteredTupleRelation(33000, 64, 200);
+  const std::vector<RankingQuery> queries = EngineQueryMix();
+
+  QueryEngine baseline(rel);
+  std::vector<QueryResult> base;
+  for (const RankingQuery& q : queries) base.push_back(baseline.Run(q));
+
+  for (int threads : {2, 8}) {
+    QueryEngine engine(rel);  // fresh prepared state — no cache crossover
+    engine.set_parallelism(Par(threads));
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ExpectSameResult(engine.Run(queries[i]), base[i],
+                       ToString(queries[i].semantics));
+    }
+  }
+}
+
+TEST(EngineDeterminismTest, AttrAnswersBitIdenticalAcrossThreadCounts) {
+  AttrGenConfig cfg;
+  cfg.num_tuples = 160;
+  cfg.seed = 3;
+  const AttrRelation rel = GenerateAttrRelation(cfg);
+  const std::vector<RankingQuery> queries = EngineQueryMix();
+
+  QueryEngine baseline(rel);
+  std::vector<QueryResult> base;
+  for (const RankingQuery& q : queries) base.push_back(baseline.Run(q));
+
+  for (int threads : {2, 8}) {
+    QueryEngine engine(rel);
+    engine.set_parallelism(Par(threads));
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ExpectSameResult(engine.Run(queries[i]), base[i],
+                       ToString(queries[i].semantics));
+    }
+  }
+}
+
+TEST(EngineDeterminismTest, RunBatchComposesWithIntraQueryParallelism) {
+  const TupleRelation rel = MakeClusteredTupleRelation(33000, 64, 200);
+  const std::vector<RankingQuery> queries = EngineQueryMix();
+
+  QueryEngine baseline(rel);
+  std::vector<QueryResult> base;
+  for (const RankingQuery& q : queries) base.push_back(baseline.Run(q));
+
+  QueryEngine engine(rel);
+  engine.set_parallelism(Par(4));  // intra-query chunks + inter-query batch
+  const std::vector<QueryResult> got = engine.RunBatch(queries, 4);
+  ASSERT_EQ(got.size(), base.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameResult(got[i], base[i], ToString(queries[i].semantics));
+  }
+}
+
+TEST(EngineDeterminismTest, StatsReportParallelExecutionThenCacheHit) {
+  const TupleRelation rel = MakeClusteredTupleRelation(33000, 64, 200);
+  QueryEngine engine(rel);
+  engine.set_parallelism(Par(8));
+
+  RankingQuery q;
+  q.semantics = RankingSemantics::kQuantileRank;
+  q.k = 10;
+  q.phi = 0.5;
+
+  const QueryResult cold = engine.Run(q);
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_FALSE(cold.stats.reused_cache);
+  EXPECT_GE(cold.stats.threads_used, 2);  // 4 chunks at this size
+  EXPECT_GT(cold.stats.arena_bytes, 0u);
+
+  const QueryResult warm = engine.Run(q);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.stats.reused_cache);
+  EXPECT_EQ(warm.stats.threads_used, 1);
+  EXPECT_EQ(warm.stats.arena_bytes, 0u);
+  EXPECT_EQ(warm.answer.ids, cold.answer.ids);
+  EXPECT_EQ(warm.answer.statistics, cold.answer.statistics);
+}
+
+}  // namespace
+}  // namespace urank

@@ -1,0 +1,214 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace urank {
+namespace {
+
+TEST(ResolveThreadsTest, PositiveRequestsPassThrough) {
+  EXPECT_EQ(ResolveThreads(1), 1);
+  EXPECT_EQ(ResolveThreads(7), 7);
+}
+
+TEST(ResolveThreadsTest, NonPositiveMeansHardwareAndAtLeastOne) {
+  EXPECT_GE(ResolveThreads(0), 1);
+  EXPECT_GE(ResolveThreads(-3), 1);
+  EXPECT_EQ(ResolveThreads(0), ResolveThreads(-1));
+}
+
+TEST(PlannedWorkersTest, SmallInputsStaySerial) {
+  ParallelismOptions par;
+  par.threads = 8;
+  par.min_parallel_items = 4096;
+  EXPECT_EQ(PlannedWorkers(par, 0), 1);
+  EXPECT_EQ(PlannedWorkers(par, 4095), 1);
+}
+
+TEST(PlannedWorkersTest, LargeInputsUseRequestedThreads) {
+  ParallelismOptions par;
+  par.threads = 8;
+  par.min_parallel_items = 4096;
+  EXPECT_EQ(PlannedWorkers(par, 4096), 8);
+  EXPECT_EQ(PlannedWorkers(par, 1 << 20), 8);
+}
+
+TEST(PlannedWorkersTest, NeverMoreWorkersThanItems) {
+  ParallelismOptions par;
+  par.threads = 8;
+  par.min_parallel_items = 1;
+  EXPECT_EQ(PlannedWorkers(par, 3), 3);
+  EXPECT_EQ(PlannedWorkers(par, 1), 1);
+}
+
+TEST(DeterministicChunkCountTest, PureFunctionOfSize) {
+  EXPECT_EQ(DeterministicChunkCount(0), 1);
+  EXPECT_EQ(DeterministicChunkCount(1), 1);
+  EXPECT_EQ(DeterministicChunkCount(8191), 1);
+  EXPECT_EQ(DeterministicChunkCount(8192), 1);
+  EXPECT_EQ(DeterministicChunkCount(16384), 2);
+  EXPECT_EQ(DeterministicChunkCount(100000), 12);
+  EXPECT_EQ(DeterministicChunkCount(1 << 30), 16);  // capped
+}
+
+TEST(DeterministicChunkCountTest, CustomGrainAndCap) {
+  EXPECT_EQ(DeterministicChunkCount(100, 10, 4), 4);
+  EXPECT_EQ(DeterministicChunkCount(100, 10, 32), 10);
+  EXPECT_EQ(DeterministicChunkCount(100, 1000, 32), 1);
+}
+
+TEST(DeterministicChunkCountDeathTest, RejectsBadGrainOrCap) {
+  EXPECT_DEATH(DeterministicChunkCount(10, 0, 4), "grain");
+  EXPECT_DEATH(DeterministicChunkCount(10, 8, 0), "max_chunks");
+}
+
+TEST(ChunkBoundariesTest, CoversRangeInAscendingOrder) {
+  const std::vector<long long> bounds = ChunkBoundaries(10, 3);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), 10);
+  for (size_t c = 1; c < bounds.size(); ++c) {
+    EXPECT_LE(bounds[c - 1], bounds[c]);
+  }
+}
+
+TEST(ChunkBoundariesTest, MoreChunksThanItemsYieldsEmptyChunks) {
+  const std::vector<long long> bounds = ChunkBoundaries(2, 5);
+  ASSERT_EQ(bounds.size(), 6u);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), 2);
+  long long covered = 0;
+  for (size_t c = 1; c < bounds.size(); ++c) covered += bounds[c] - bounds[c - 1];
+  EXPECT_EQ(covered, 2);
+}
+
+TEST(ChunkBoundariesDeathTest, RejectsBadArguments) {
+  EXPECT_DEATH(ChunkBoundaries(-1, 3), "n must be");
+  EXPECT_DEATH(ChunkBoundaries(10, 0), "num_chunks");
+}
+
+TEST(ParallelForTest, SerialWorkerVisitsChunksInOrderOnSlotZero) {
+  std::vector<int> order;
+  std::vector<int> slots;
+  const int used = ParallelFor(5, 1, [&](int chunk, int slot) {
+    order.push_back(chunk);
+    slots.push_back(slot);
+  });
+  EXPECT_EQ(used, 1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(slots, (std::vector<int>{0, 0, 0, 0, 0}));
+}
+
+TEST(ParallelForTest, ZeroChunksRunsNothing) {
+  bool ran = false;
+  const int used = ParallelFor(0, 8, [&](int, int) { ran = true; });
+  EXPECT_EQ(used, 1);
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, EveryChunkRunsExactlyOnce) {
+  constexpr int kChunks = 64;
+  std::vector<std::atomic<int>> counts(kChunks);
+  for (auto& c : counts) c.store(0);
+  const int used = ParallelFor(kChunks, 8, [&](int chunk, int slot) {
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, 8);
+    counts[static_cast<size_t>(chunk)].fetch_add(1);
+  });
+  EXPECT_GE(used, 1);
+  EXPECT_LE(used, 8);
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelForTest, WorkersClampedToChunkCount) {
+  std::atomic<int> max_slot{0};
+  const int used = ParallelFor(2, 16, [&](int, int slot) {
+    int cur = max_slot.load();
+    while (slot > cur && !max_slot.compare_exchange_weak(cur, slot)) {
+    }
+  });
+  EXPECT_LE(used, 2);
+  EXPECT_LT(max_slot.load(), 2);
+}
+
+TEST(ParallelForDeathTest, RejectsNegativeChunkCount) {
+  EXPECT_DEATH(ParallelFor(-1, 2, [](int, int) {}), "num_chunks");
+}
+
+TEST(ParallelReduceTest, FoldsPartialsInChunkIndexOrder) {
+  // String concatenation is non-commutative, so any out-of-order fold
+  // changes the answer. Run with enough workers to force real concurrency.
+  for (int workers : {1, 2, 8}) {
+    const std::string joined = ParallelReduce<std::string>(
+        6, workers, std::string(),
+        [](int chunk, int) { return std::string(1, static_cast<char>('a' + chunk)); },
+        [](std::string acc, std::string part) { return acc + part; });
+    EXPECT_EQ(joined, "abcdef") << "workers=" << workers;
+  }
+}
+
+TEST(ParallelReduceTest, SumMatchesSerialForAnyWorkerCount) {
+  const auto chunk_sum = [](int chunk, int) {
+    long long s = 0;
+    for (int i = 0; i < 1000; ++i) s += chunk * 1000 + i;
+    return s;
+  };
+  const auto fold = [](long long acc, long long part) { return acc + part; };
+  const long long serial = ParallelReduce<long long>(16, 1, 0, chunk_sum, fold);
+  for (int workers : {2, 4, 8}) {
+    EXPECT_EQ(ParallelReduce<long long>(16, workers, 0, chunk_sum, fold),
+              serial);
+  }
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  constexpr int kTasks = 32;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == kTasks) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(60),
+                          [&] { return done == kTasks; }));
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSharedAndSizedToHardware) {
+  ThreadPool& a = ThreadPool::Global();
+  ThreadPool& b = ThreadPool::Global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.max_workers(), 1);
+}
+
+TEST(ThreadPoolDeathTest, RejectsNegativeWorkerCap) {
+  EXPECT_DEATH(ThreadPool(-1), "max_workers");
+}
+
+TEST(KernelReportTest, MergeTakesMaxThreadsAndSumsArenaBytes) {
+  KernelReport a;
+  a.threads_used = 4;
+  a.arena_bytes = 100;
+  KernelReport b;
+  b.threads_used = 2;
+  b.arena_bytes = 50;
+  a.Merge(b);
+  EXPECT_EQ(a.threads_used, 4);
+  EXPECT_EQ(a.arena_bytes, 150u);
+  b.Merge(a);
+  EXPECT_EQ(b.threads_used, 4);
+  EXPECT_EQ(b.arena_bytes, 200u);
+}
+
+}  // namespace
+}  // namespace urank

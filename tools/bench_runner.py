@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Runs the bench/ suite and merges the results into BENCH_3.json.
+
+The perf trajectory lives in BENCH_<PR>.json files at the repo root: one
+machine-readable snapshot per performance-focused PR, so later PRs can
+diff against it. This runner executes the registered benchmark binaries
+from an existing build tree and writes one merged JSON document.
+
+Usage:
+    python3 tools/bench_runner.py [--build-dir build] [--smoke]
+                                  [--out BENCH_3.json] [--only a,b,...]
+
+Modes:
+    --smoke   run only the benchmarks marked smoke-safe, with their
+              reduced problem sizes — a few minutes, used by the CI
+              bench-smoke job.
+    (default) run the full registered suite, including the
+              google-benchmark timing binaries.
+
+Exit status is nonzero when any benchmark binary fails (in particular,
+bench_parallel_kernels fails on any bit-identity violation between
+thread counts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+BENCH_ID = "BENCH_3"
+TITLE = ("Intra-query parallel DP kernels: deterministic ParallelFor, "
+         "allocation-free sweeps")
+
+
+class Bench:
+    """One registered benchmark binary.
+
+    kind:
+      json_harness -- plain harness that writes its own JSON via --json=
+      harness      -- plain harness; only wall time and exit code recorded
+      gbench       -- google-benchmark binary; per-benchmark timings parsed
+                      from --benchmark_format=json output
+    """
+
+    def __init__(self, name, binary, kind, smoke=False, smoke_args=()):
+        self.name = name
+        self.binary = binary
+        self.kind = kind
+        self.smoke = smoke
+        self.smoke_args = list(smoke_args)
+
+
+REGISTRY = [
+    Bench("parallel_kernels", "bench_parallel_kernels", "json_harness",
+          smoke=True, smoke_args=["--smoke"]),
+    Bench("engine_batch", "bench_engine_batch", "harness"),
+    Bench("attr_prune", "bench_attr_prune", "harness"),
+    Bench("tuple_prune", "bench_tuple_prune", "harness"),
+    Bench("tuple_rules", "bench_tuple_rules", "harness"),
+    Bench("semantics_compare", "bench_semantics_compare", "harness"),
+    Bench("ptk_prune", "bench_ptk_prune", "harness"),
+    Bench("pruned_semantics", "bench_pruned_semantics", "harness"),
+    Bench("attr_exact", "bench_attr_exact", "gbench"),
+    Bench("tuple_exact", "bench_tuple_exact", "gbench"),
+    Bench("quantile_attr", "bench_quantile_attr", "gbench"),
+    Bench("quantile_tuple", "bench_quantile_tuple", "gbench"),
+    Bench("poisson_binomial", "bench_poisson_binomial", "gbench"),
+]
+
+
+def run_one(bench, build_dir, smoke):
+    binary = os.path.join(build_dir, "bench", bench.binary)
+    if not os.path.exists(binary):
+        return {"skipped": f"binary not found: {binary}"}
+
+    args = [binary]
+    result = {}
+    json_path = None
+    if bench.kind == "json_harness":
+        fd, json_path = tempfile.mkstemp(suffix=".json")
+        os.close(fd)
+        args.append(f"--json={json_path}")
+    if smoke:
+        args.extend(bench.smoke_args)
+    if bench.kind == "gbench":
+        args.append("--benchmark_format=json")
+        if smoke:
+            args.append("--benchmark_min_time=0.05s")
+
+    print(f"[bench_runner] {bench.name}: {' '.join(args)}", flush=True)
+    start = time.monotonic()
+    proc = subprocess.run(args, capture_output=True, text=True)
+    result["wall_ms"] = round((time.monotonic() - start) * 1000.0, 1)
+    result["exit_code"] = proc.returncode
+    if proc.returncode != 0:
+        # Keep the tail of the output so the failure is diagnosable from
+        # the JSON artifact alone.
+        result["stderr_tail"] = proc.stderr.splitlines()[-10:]
+        result["stdout_tail"] = proc.stdout.splitlines()[-10:]
+
+    if bench.kind == "json_harness" and json_path is not None:
+        try:
+            with open(json_path) as f:
+                result.update(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            result["json_error"] = str(e)
+        finally:
+            os.unlink(json_path)
+    elif bench.kind == "gbench" and proc.returncode == 0:
+        try:
+            gb = json.loads(proc.stdout)
+            result["benchmarks"] = [
+                {
+                    "name": b.get("name"),
+                    "real_time_ms": round(b.get("real_time", 0.0) / 1e6, 3)
+                    if b.get("time_unit") == "ns"
+                    else b.get("real_time"),
+                    "time_unit": "ms"
+                    if b.get("time_unit") == "ns"
+                    else b.get("time_unit"),
+                    "iterations": b.get("iterations"),
+                }
+                for b in gb.get("benchmarks", [])
+            ]
+        except json.JSONDecodeError as e:
+            result["json_error"] = str(e)
+    return result
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--out", default=f"{BENCH_ID}.json")
+    parser.add_argument("--only", default="",
+                        help="comma-separated registry names")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered benchmarks and exit")
+    args = parser.parse_args()
+
+    if args.list:
+        for b in REGISTRY:
+            mode = "smoke+full" if b.smoke else "full"
+            print(f"{b.name:20s} {b.kind:12s} [{mode}] {b.binary}")
+        return 0
+
+    selected = REGISTRY
+    if args.only:
+        names = {n.strip() for n in args.only.split(",") if n.strip()}
+        unknown = names - {b.name for b in REGISTRY}
+        if unknown:
+            print(f"unknown benchmarks: {sorted(unknown)}", file=sys.stderr)
+            return 2
+        selected = [b for b in REGISTRY if b.name in names]
+    elif args.smoke:
+        selected = [b for b in REGISTRY if b.smoke]
+
+    doc = {
+        "bench_id": BENCH_ID,
+        "title": TITLE,
+        "mode": "smoke" if args.smoke else "full",
+        "hardware_threads": os.cpu_count() or 1,
+        "results": {},
+    }
+    failures = 0
+    for bench in selected:
+        result = run_one(bench, args.build_dir, args.smoke)
+        doc["results"][bench.name] = result
+        if result.get("exit_code", 0) != 0:
+            failures += 1
+            print(f"[bench_runner] {bench.name} FAILED "
+                  f"(exit {result['exit_code']})", file=sys.stderr)
+
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"[bench_runner] wrote {args.out} "
+          f"({len(doc['results'])} benchmarks, {failures} failures)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,12 @@ cannot see:
                    examples/ are flagged. Suppress only where an example
                    deliberately showcases the richer per-semantics result
                    types.
+  kernel-alloc     the hot DP kernel files (KERNEL_FILES below) must not
+                   construct a std::vector inside a for/while body: per-
+                   item allocations dominate sweep cost. Hoist the buffer
+                   out of the loop or draw scratch from the per-worker
+                   KernelArena. Reference bindings, pointers and nested
+                   type names do not allocate and are not flagged.
 
 A finding can be suppressed for one line with a trailing or preceding
 comment `// urank-lint: allow(<rule>)`; use sparingly and justify inline.
@@ -224,7 +230,10 @@ def find_definitions(code, name):
     brace-matched body.
     """
     bodies = []
-    for m in re.finditer(r"\b" + re.escape(name) + r"\s*\(", code):
+    # The lookbehind rejects destructors (~Name), negations (!Name(...))
+    # and calls nested directly in a condition (`if (Name(...)) {`), whose
+    # trailing brace would otherwise read as a definition body.
+    for m in re.finditer(r"(?<![~!(])\b" + re.escape(name) + r"\s*\(", code):
         i = m.end() - 1  # at '('
         depth = 0
         while i < len(code):
@@ -304,6 +313,99 @@ def check_preconditions(root, findings):
             comment_documents_precondition = False
 
 
+# --- kernel-alloc ----------------------------------------------------------
+
+# The per-tuple DP kernels: the files where an allocation inside a loop is
+# an O(N) perf defect rather than a style preference. Extend the list when
+# a new kernel file joins the hot path.
+KERNEL_FILES = (
+    "src/core/rank_distribution_tuple.cc",
+    "src/core/rank_distribution_attr.cc",
+    "src/core/quantile_rank.cc",
+    "src/core/expected_rank_attr.cc",
+    "src/core/expected_rank_tuple.cc",
+    "src/core/semantics/semantics.cc",
+    "src/core/semantics/u_kranks.cc",
+    "src/core/semantics/score_sweep.cc",
+    "src/util/poisson_binomial.cc",
+)
+
+
+def loop_body_spans(code):
+    """Character spans of every brace-delimited for/while body in comment-
+    stripped code. Single-statement loop bodies carry no declarations and
+    are skipped."""
+    spans = []
+    for m in re.finditer(r"\b(for|while)\s*\(", code):
+        i = m.end() - 1
+        depth = 0
+        while i < len(code):
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        j = i + 1
+        while j < len(code) and code[j] in " \t\n\r":
+            j += 1
+        if j >= len(code) or code[j] != "{":
+            continue
+        depth = 0
+        k = j
+        while k < len(code):
+            if code[k] == "{":
+                depth += 1
+            elif code[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        spans.append((j, k))
+    return spans
+
+
+def check_kernel_alloc(root, findings):
+    for rel in KERNEL_FILES:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        lines = text.split("\n")
+        code = strip_comments_and_strings(text)
+        spans = loop_body_spans(code)
+        for m in re.finditer(r"\bstd::vector\s*<", code):
+            if not any(a < m.start() < b for a, b in spans):
+                continue
+            # Walk past the template argument list, then classify the use:
+            # `&` (reference binding), `*` (pointer) and `::` (nested type
+            # name) do not allocate.
+            i = m.end() - 1
+            depth = 0
+            while i < len(code):
+                if code[i] == "<":
+                    depth += 1
+                elif code[i] == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            j = i + 1
+            while j < len(code) and code[j] in " \t\n\r":
+                j += 1
+            if code[j:j + 1] in ("&", "*") or code[j:j + 2] == "::":
+                continue
+            lineno = code[:m.start()].count("\n") + 1
+            if "kernel-alloc" in allowed_rules(lines, lineno):
+                continue
+            findings.append(Finding(
+                rel, lineno, "kernel-alloc",
+                "std::vector constructed inside a kernel loop; hoist the "
+                "buffer out of the loop or use the per-worker KernelArena"))
+
+
 # --- build-registration ----------------------------------------------------
 
 def check_build_registration(root, findings):
@@ -334,6 +436,7 @@ def main():
     check_token_bans(root, findings)
     check_engine_api(root, findings)
     check_preconditions(root, findings)
+    check_kernel_alloc(root, findings)
     check_build_registration(root, findings)
 
     for finding in sorted(findings, key=lambda f: (f.path, f.line)):
