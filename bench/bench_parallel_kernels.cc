@@ -8,6 +8,11 @@
 // wall-clock, speedup vs the single-thread run, and emitted-DP-cell
 // throughput.
 //
+// A second family of series pins each compiled-in SIMD dispatch target
+// (scalar, AVX2, AVX-512, NEON) in turn and re-runs the kernels single-
+// threaded, reporting per-target speedup over the scalar reference — the
+// vectorization win independent of thread scaling.
+//
 // Flags:
 //   --smoke        shrink the relations (~20k tuples) for CI smoke runs
 //   --json=PATH    append machine-readable results for tools/bench_runner
@@ -19,6 +24,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,6 +34,7 @@
 #include "gen/attr_gen.h"
 #include "gen/tuple_gen.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -41,10 +48,13 @@ struct Measurement {
   int n = 0;
   int threads = 0;
   double wall_ms = 0.0;
+  // Thread-scaling series: speedup vs this series' 1-thread run.
+  // Dispatch series: speedup vs this series' scalar-target run.
   double speedup_vs_1t = 0.0;
   long long dp_cells = 0;   // nonzero pmf entries emitted
   double cells_per_s = 0.0;
   bool identical_to_1t = true;
+  const char* simd_target = "scalar";  // dispatch target the run executed on
 };
 
 ParallelismOptions Par(int threads) {
@@ -57,7 +67,7 @@ ParallelismOptions Par(int threads) {
 // Exact fingerprint over the nonzero entries (position + bit pattern) of
 // one distribution row; any single-bit difference between two runs of the
 // same kernel changes the per-tuple fingerprint.
-std::uint64_t RowFingerprint(const std::vector<double>& row) {
+std::uint64_t RowFingerprint(std::span<const double> row) {
   std::uint64_t h = 0x9e3779b97f4a7c15ull + row.size();
   for (size_t i = 0; i < row.size(); ++i) {
     if (row[i] == 0.0) continue;
@@ -69,7 +79,7 @@ std::uint64_t RowFingerprint(const std::vector<double>& row) {
   return h;
 }
 
-long long CountNonzero(const std::vector<double>& row) {
+long long CountNonzero(std::span<const double> row) {
   long long cells = 0;
   for (double v : row) cells += v != 0.0 ? 1 : 0;
   return cells;
@@ -99,9 +109,86 @@ std::vector<Measurement> ScalingSeries(const std::string& kernel, int n,
     m.speedup_vs_1t =
         m.wall_ms > 0.0 ? series.empty() ? 1.0 : series[0].wall_ms / m.wall_ms
                         : 0.0;
+    m.simd_target = ToString(ActiveSimdTarget());
     series.push_back(m);
   }
   return series;
+}
+
+// Dispatch targets compiled into this binary and usable on this host,
+// scalar first (the speedup reference).
+std::vector<SimdTarget> AvailableTargets() {
+  std::vector<SimdTarget> targets;
+  for (SimdTarget t : {SimdTarget::kScalar, SimdTarget::kNeon,
+                       SimdTarget::kAvx2, SimdTarget::kAvx512}) {
+    if (SimdTargetAvailable(t)) targets.push_back(t);
+  }
+  return targets;
+}
+
+// One single-threaded run of `sweep` per available dispatch target; the
+// speedup column is relative to the scalar run. Pins the process-wide
+// target for the duration of each run and restores the entry state.
+template <typename SweepFn>
+std::vector<Measurement> DispatchSeries(const std::string& kernel, int n,
+                                        const SweepFn& sweep) {
+  const SimdTarget entry = ActiveSimdTarget();
+  std::vector<Measurement> series;
+  for (SimdTarget target : AvailableTargets()) {
+    SetSimdTarget(target);
+    long long cells = 0;
+    Timer timer;
+    sweep(&cells);
+    Measurement m;
+    m.kernel = kernel;
+    m.n = n;
+    m.threads = 1;
+    m.wall_ms = timer.ElapsedMs();
+    m.dp_cells = cells;
+    m.cells_per_s = m.wall_ms > 0.0 ? cells / (m.wall_ms / 1000.0) : 0.0;
+    m.speedup_vs_1t =
+        m.wall_ms > 0.0 ? series.empty() ? 1.0 : series[0].wall_ms / m.wall_ms
+                        : 0.0;
+    m.simd_target = ToString(target);
+    series.push_back(m);
+  }
+  SetSimdTarget(entry);
+  return series;
+}
+
+std::vector<Measurement> TupleRankDistributionDispatchSeries(int n) {
+  TupleGenConfig config;
+  config.num_tuples = n;
+  config.seed = 11;
+  const TupleRelation rel = GenerateTupleRelation(config);
+  const auto prepared = QueryEngine::Prepare(rel);
+  return DispatchSeries(
+      "tuple_rank_distribution_simd", n, [&](long long* cells) {
+        std::vector<long long> chunk_cells(
+            static_cast<size_t>(TupleSweepChunkCount(rel)), 0);
+        KernelReport report;
+        ForEachTupleRankDistribution(
+            rel, prepared->rank_order(), TiePolicy::kBreakByIndex, Par(1),
+            &report, [&](int chunk, int /*i*/, std::span<const double> dist) {
+              chunk_cells[static_cast<size_t>(chunk)] += CountNonzero(dist);
+            });
+        for (long long c : chunk_cells) *cells += c;
+      });
+}
+
+std::vector<Measurement> AttrRankDistributionDispatchSeries(int n) {
+  AttrGenConfig config;
+  config.num_tuples = n;
+  config.seed = 17;
+  const AttrRelation rel = GenerateAttrRelation(config);
+  const std::vector<internal::SortedPdf> pdfs = BuildSortedPdfs(rel);
+  return DispatchSeries(
+      "attr_rank_distribution_simd", n, [&](long long* cells) {
+        KernelReport report;
+        const std::vector<std::vector<double>> dists = AttrRankDistributions(
+            rel, pdfs, TiePolicy::kBreakByIndex, Par(1), &report);
+        for (const auto& dist : dists) *cells += CountNonzero(dist);
+      });
 }
 
 std::vector<Measurement> TupleRankDistributionSeries(int n) {
@@ -121,7 +208,7 @@ std::vector<Measurement> TupleRankDistributionSeries(int n) {
         ForEachTupleRankDistribution(
             rel, prepared->rank_order(), TiePolicy::kBreakByIndex,
             Par(threads), &report,
-            [&](int chunk, int i, const std::vector<double>& dist) {
+            [&](int chunk, int i, std::span<const double> dist) {
               (*prints)[static_cast<size_t>(i)] = RowFingerprint(dist);
               chunk_cells[static_cast<size_t>(chunk)] += CountNonzero(dist);
             });
@@ -144,7 +231,7 @@ std::vector<Measurement> TuplePositionalSeries(int n) {
         ForEachTuplePositionalDistribution(
             rel, prepared->rank_order(), TiePolicy::kBreakByIndex,
             Par(threads), &report,
-            [&](int chunk, int i, const std::vector<double>& row) {
+            [&](int chunk, int i, std::span<const double> row) {
               (*prints)[static_cast<size_t>(i)] = RowFingerprint(row);
               chunk_cells[static_cast<size_t>(chunk)] += CountNonzero(row);
             });
@@ -186,6 +273,19 @@ void PrintSeries(const std::vector<Measurement>& series) {
   std::printf("\n");
 }
 
+void PrintDispatchSeries(const std::vector<Measurement>& series) {
+  Table table("P1: " + series[0].kernel +
+                  " (N = " + FormatInt(series[0].n) + ", 1 thread)",
+              {"target", "wall ms", "speedup vs scalar", "cells/s"});
+  for (const Measurement& m : series) {
+    table.AddRow({m.simd_target, FormatDouble(m.wall_ms, 2),
+                  FormatDouble(m.speedup_vs_1t, 2),
+                  FormatDouble(m.cells_per_s / 1e6, 2) + "M"});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
 void WriteJson(const std::string& path, bool smoke,
                const std::vector<Measurement>& all) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -202,10 +302,12 @@ void WriteJson(const std::string& path, bool smoke,
     std::fprintf(
         f,
         "    {\"kernel\": \"%s\", \"n\": %d, \"threads\": %d, "
+        "\"simd_target\": \"%s\", "
         "\"wall_ms\": %.3f, \"speedup_vs_1t\": %.3f, \"dp_cells\": %lld, "
         "\"dp_cells_per_s\": %.0f, \"identical_to_1t\": %s}%s\n",
-        m.kernel.c_str(), m.n, m.threads, m.wall_ms, m.speedup_vs_1t,
-        m.dp_cells, m.cells_per_s, m.identical_to_1t ? "true" : "false",
+        m.kernel.c_str(), m.n, m.threads, m.simd_target, m.wall_ms,
+        m.speedup_vs_1t, m.dp_cells, m.cells_per_s,
+        m.identical_to_1t ? "true" : "false",
         i + 1 < all.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -222,6 +324,11 @@ int RunHarness(bool smoke, const std::string& json_path) {
        {TupleRankDistributionSeries(tuple_n), TuplePositionalSeries(tuple_n),
         AttrRankDistributionSeries(attr_n)}) {
     PrintSeries(series);
+    all.insert(all.end(), series.begin(), series.end());
+  }
+  for (const auto& series : {TupleRankDistributionDispatchSeries(tuple_n),
+                             AttrRankDistributionDispatchSeries(attr_n)}) {
+    PrintDispatchSeries(series);
     all.insert(all.end(), series.begin(), series.end());
   }
 

@@ -16,6 +16,7 @@
 #include "core/semantics/u_topk.h"
 #include "model/possible_worlds.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 namespace urank {
@@ -301,6 +302,7 @@ QueryResult QueryEngine::Run(const RankingQuery& query) const {
   }
   result.stats.threads_used = report.threads_used;
   result.stats.arena_bytes = report.arena_bytes;
+  result.stats.simd_target = ToString(ActiveSimdTarget());
   result.stats.wall_ms = timer.ElapsedMs();
   return result;
 }

@@ -103,6 +103,11 @@ struct QueryStats {
   // High-water scratch bytes the parallel kernels' per-worker arenas held;
   // 0 when no arena-backed kernel ran (cache hit, serial-only semantics).
   std::uint64_t arena_bytes = 0;
+  // The SIMD dispatch target the vector kernels ran on ("scalar", "avx2",
+  // "avx512", "neon") — ToString(ActiveSimdTarget()) at Run time. Static
+  // storage; never null. See docs/PERFORMANCE.md for the determinism
+  // contract per target.
+  const char* simd_target = "scalar";
 };
 
 struct QueryResult {

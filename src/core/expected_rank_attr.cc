@@ -147,6 +147,9 @@ AttrPruneResult AttrExpectedRankTopKPrune(const AttrRelation& rel, int k,
     pdf.Build(t, &sort_scratch);
     double own_pairs = 0.0;
     for (size_t j = 0; j < pdfs.size(); ++j) {
+      // Each iteration is an O(s+s') sorted-pdf merge inside
+      // PrGreaterPair, not an elementwise array sweep.
+      // urank-lint: allow(kernel-vectorize)
       pair_sum[j] += PrGreaterPair(pdf, pdfs[j]);
       own_pairs += PrGreaterPair(pdfs[j], pdf);
     }

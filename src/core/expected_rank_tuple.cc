@@ -6,6 +6,8 @@
 
 #include "core/access.h"
 #include "core/engine/prepared_relation.h"
+#include "core/internal/kernel_arena.h"
+#include "core/internal/vector_kernels.h"
 #include "util/check.h"
 
 namespace urank {
@@ -64,9 +66,22 @@ std::vector<double> ExpectedRanksInOrder(const TupleRelation& rel,
                                          TiePolicy ties) {
   const int n = rel.size();
   const double ew = rel.ExpectedWorldSize();
+  const vk::KernelOps& ops = vk::Active();
   std::vector<double> ranks(static_cast<size_t>(n), 0.0);
   std::vector<double> rule_above(static_cast<size_t>(rel.num_rules()), 0.0);
-  double prefix_above = 0.0;
+  // Inclusive prefix sums of existence probability in rank order:
+  // pref[idx] = Σ_{m <= idx} p(order[m]), so the "above" mass at a run
+  // starting at pos is pref[pos-1]. The scalar kernel accumulates left to
+  // right — the same addition sequence the incremental sweep performed.
+  internal::AlignedBuf pref;
+  pref.resize(static_cast<size_t>(n));
+  for (size_t idx = 0; idx < order.size(); ++idx) {
+    // Gather through the rank-order permutation; the contiguous prefix sum
+    // below is the vector kernel.
+    // urank-lint: allow(kernel-vectorize)
+    pref[idx] = rel.tuple(order[idx]).prob;
+  }
+  ops.prefix_sum(pref.data(), static_cast<size_t>(n));
   // Sweep in rank order; under the strict policy a whole run of equal
   // scores shares the same "above" masses, so flush a run only after every
   // member was handled. Under kBreakByIndex each tuple is its own run.
@@ -79,18 +94,24 @@ std::vector<double> ExpectedRanksInOrder(const TupleRelation& rel,
         ++end;
       }
     }
+    const double prefix_above = pos == 0 ? 0.0 : pref[pos - 1];
     for (size_t idx = pos; idx < end; ++idx) {
       const int i = order[idx];
       const TLTuple& ti = rel.tuple(i);
       const int r = rel.rule_of(i);
       const double same_other = rel.rule_prob_sum(r) - ti.prob;
+      // Scatter through the rank-order permutation with a data-dependent
+      // rule-id gather; the contiguous mass is the prefix-sum kernel above.
+      // urank-lint: allow(kernel-vectorize)
       ranks[static_cast<size_t>(i)] = ExpectedRankFromMasses(
           ti.prob, prefix_above, rule_above[static_cast<size_t>(r)],
           same_other, ew);
     }
     for (size_t idx = pos; idx < end; ++idx) {
       const int i = order[idx];
-      prefix_above += rel.tuple(i).prob;
+      // Scatter keyed by rule id — data-dependent indices, not a
+      // contiguous sweep a vector kernel could express.
+      // urank-lint: allow(kernel-vectorize)
       rule_above[static_cast<size_t>(rel.rule_of(i))] += rel.tuple(i).prob;
     }
     pos = end;

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/internal/vector_kernels.h"
 #include "model/attr_model.h"
 
 namespace urank {
@@ -45,10 +46,8 @@ struct SortedPdf {
       values[l] = (*scratch)[l].value;
       probs[l] = (*scratch)[l].prob;
     }
-    suffix.assign(s + 1, 0.0);
-    for (size_t l = s; l > 0; --l) {
-      suffix[l - 1] = suffix[l] + probs[l - 1];
-    }
+    suffix.resize(s + 1);
+    vk::Active().suffix_sum(probs.data(), suffix.data(), s);
   }
 
   // Pr[X > v].

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/internal/vector_kernels.h"
 #include "model/attr_model.h"
 
 namespace urank {
@@ -52,10 +53,8 @@ inline ValueUniverse BuildValueUniverse(const AttrRelation& rel) {
       u.mass.push_back(p);
     }
   }
-  u.suffix.assign(u.values.size() + 1, 0.0);
-  for (size_t l = u.values.size(); l > 0; --l) {
-    u.suffix[l - 1] = u.suffix[l] + u.mass[l - 1];
-  }
+  u.suffix.resize(u.values.size() + 1);
+  vk::Active().suffix_sum(u.mass.data(), u.suffix.data(), u.values.size());
   return u;
 }
 

@@ -1,0 +1,159 @@
+// Portable scalar reference implementations and the runtime dispatch table.
+// The scalar primitives reproduce the pre-vectorization kernel arithmetic
+// operation for operation (same expressions, same evaluation order), so the
+// kScalar target is bit-identical to the historical serial code.
+
+#include "core/internal/vector_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace urank {
+namespace vk {
+namespace detail {
+
+void ScalarConvolveTrial(double* v, std::size_t n, double p) {
+  const double q = 1.0 - p;
+  // Convolve with the two-point distribution {1-p, p}, in place, high to
+  // low; the top coefficient has no surviving v[n] term.
+  v[n] = v[n - 1] * p;
+  for (std::size_t c = n - 1; c > 0; --c) {
+    v[c] = v[c] * q + v[c - 1] * p;
+  }
+  v[0] *= q;
+}
+
+bool DeconvolveChecksPass(const double* src, std::size_t n, double p,
+                          double* out) {
+  const double q = 1.0 - p;
+  const bool forward = p <= 0.5;
+  // The recurrence multiplier is never zero, so a non-finite value anywhere
+  // propagates to the last element written; one check covers the vector.
+  if (!std::isfinite(out[forward ? n - 1 : 0])) return false;
+  // Consistency against the src boundary coefficient the division skipped.
+  const double got = forward ? out[n - 1] * p : out[0] * q;
+  const double ref = forward ? src[n] : src[0];
+  if (std::fabs(got - ref) >
+      kDeconvTolerance + kDeconvTolerance * std::fabs(ref)) {
+    return false;
+  }
+  // Negative dips beyond round-off also signal cancellation.
+  for (std::size_t c = 0; c < n; ++c) {
+    if (out[c] < -1e-9) return false;
+  }
+  for (std::size_t c = 0; c < n; ++c) out[c] = std::max(out[c], 0.0);
+  return true;
+}
+
+bool ScalarDeconvolveTrial(const double* src, std::size_t n, double p,
+                           double* out) {
+  const double q = 1.0 - p;
+  if (p <= 0.5) {
+    // src[c] = out[c]*(1-p) + out[c-1]*p  =>  solve forward by (1-p).
+    double carry = 0.0;  // out[c-1]
+    for (std::size_t c = 0; c < n; ++c) {
+      const double v = (src[c] - carry * p) / q;
+      out[c] = v;
+      carry = v;
+    }
+  } else {
+    // Solve backward by p: src[c] = out[c]*(1-p) + out[c-1]*p.
+    double carry = 0.0;  // out[c]
+    for (std::size_t c = n; c > 0; --c) {
+      const double v = (src[c] - carry * q) / p;
+      out[c - 1] = v;
+      carry = v;
+    }
+  }
+  return DeconvolveChecksPass(src, n, p, out);
+}
+
+void ScalarPrefixSum(double* v, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    acc += v[c];
+    v[c] = acc;
+  }
+}
+
+void ScalarSuffixSum(const double* mass, double* suffix, std::size_t n) {
+  suffix[n] = 0.0;
+  for (std::size_t l = n; l > 0; --l) {
+    suffix[l - 1] = suffix[l] + mass[l - 1];
+  }
+}
+
+double ScalarSum(const double* v, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < n; ++c) sum += v[c];
+  return sum;
+}
+
+void ScalarScale(double* out, const double* in, double a, std::size_t n) {
+  for (std::size_t c = 0; c < n; ++c) out[c] = a * in[c];
+}
+
+void ScalarScaleAdd(double* out, const double* in, double a, std::size_t n) {
+  for (std::size_t c = 0; c < n; ++c) out[c] += a * in[c];
+}
+
+void ScalarArgmaxMerge(const double* row, int id, double* best, int* winner,
+                       std::size_t n) {
+  for (std::size_t c = 0; c < n; ++c) {
+    if (row[c] > best[c] ||
+        (row[c] == best[c] && row[c] > 0.0 && winner[c] >= 0 &&
+         id < winner[c])) {
+      best[c] = row[c];
+      winner[c] = id;
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr KernelOps kScalarOps = {
+    &detail::ScalarConvolveTrial, &detail::ScalarDeconvolveTrial,
+    &detail::ScalarPrefixSum,     &detail::ScalarSuffixSum,
+    &detail::ScalarSum,           &detail::ScalarScale,
+    &detail::ScalarScaleAdd,      &detail::ScalarArgmaxMerge,
+};
+
+}  // namespace
+
+const KernelOps& ForTarget(SimdTarget target) {
+  switch (target) {
+    case SimdTarget::kScalar:
+      return kScalarOps;
+    case SimdTarget::kNeon:
+#if defined(URANK_HAVE_NEON)
+      return NeonOps();
+#else
+      break;
+#endif
+    case SimdTarget::kAvx2:
+#if defined(URANK_HAVE_AVX2)
+      return Avx2Ops();
+#else
+      break;
+#endif
+    case SimdTarget::kAvx512:
+#if defined(URANK_HAVE_AVX512)
+      return Avx512Ops();
+#else
+      break;
+#endif
+  }
+  URANK_CHECK_MSG(false,
+                  "vector kernels: dispatch target not compiled into this "
+                  "binary (guard with SimdTargetAvailable)");
+  return kScalarOps;  // unreachable; URANK_CHECK aborts
+}
+
+const KernelOps& Active() { return ForTarget(ActiveSimdTarget()); }
+
+}  // namespace vk
+}  // namespace urank

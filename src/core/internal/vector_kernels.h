@@ -1,0 +1,151 @@
+// Vectorized, cache-blocked probability primitives behind the DP kernels.
+// Not part of the public API.
+//
+// Every inner loop of the hot kernels — Poisson-binomial shift-add
+// convolution and deconvolution, prefix/suffix probability sums, the tuple
+// rank-distribution positional sweep's scale / scale-add passes, the
+// U-kRanks per-rank argmax fold, and the quantile / top-k cdf reductions —
+// is expressed against the function table below instead of a raw loop
+// (the `kernel-vectorize` rule in tools/urank_lint.py enforces this).
+// Each primitive has one portable scalar implementation (the reference
+// semantics) plus SIMD translation units compiled per instruction set
+// (vector_kernels_avx2.cc, vector_kernels_avx512.cc, vector_kernels_
+// neon.cc); the table actually dispatched to is selected at runtime by
+// util/simd.h.
+//
+// Exactness taxonomy (see docs/PERFORMANCE.md, "SIMD dispatch and
+// determinism"):
+//   * Elementwise primitives — convolve_trial, scale, scale_add,
+//     argmax_merge — perform exactly the scalar reference's one rounding
+//     per multiply and add, in the same per-element expression, so their
+//     results are bit-identical across dispatch targets (no FMA
+//     contraction is used on any target).
+//   * Reassociated primitives — prefix_sum, suffix_sum, sum, and the
+//     vectorized deconvolve_trial recurrence — change the association of
+//     floating-point additions and therefore match the scalar reference
+//     only within 1e-12 relative error at distribution scale
+//     (tests/core/vector_kernel_identity_test.cc enforces the bound for
+//     every compiled target).
+// For a FIXED target, every primitive is a pure function of its inputs:
+// kernels stay bit-identical across thread counts and repeated runs.
+//
+// All pointers are to double and need no particular alignment (the SIMD
+// implementations use unaligned loads); the KernelArena hands out 64-byte
+// aligned buffers so steady-state kernel traffic is aligned anyway.
+
+#ifndef URANK_CORE_INTERNAL_VECTOR_KERNELS_H_
+#define URANK_CORE_INTERNAL_VECTOR_KERNELS_H_
+
+#include <cstddef>
+
+#include "util/simd.h"
+
+namespace urank {
+namespace vk {
+
+// One dispatch target's implementations. Semantics (shared by every
+// target; n is an element count, all regions may not overlap unless the
+// primitive is documented in-place):
+//
+//   convolve_trial(v, n, p)
+//     In-place convolution of the pmf v[0..n-1] with the two-point
+//     distribution {1-p, p}: afterwards v[0..n] holds the convolved pmf
+//     (v must have room for n+1 entries; v[n] is written, not read).
+//     new v[c] = v[c]*(1-p) + v[c-1]*p, evaluated high to low.
+//     Requires n >= 1 and p in (0, 1].
+//
+//   deconvolve_trial(src, n, p, out) -> ok
+//     Divides one {1-p, p} factor out of src[0..n] (a pmf over n trials),
+//     writing the reduced pmf to out[0..n-1]. Chooses the numerically
+//     stable direction for p, verifies the result (finite, consistent
+//     with the src boundary coefficient, no negative dips beyond 1e-9)
+//     and clamps round-off negatives to 0. Returns false — out contents
+//     unspecified — when cancellation is detected; the caller rebuilds
+//     the reduced pmf from its factor list. src and out must not overlap.
+//     Requires n >= 1 and p in (0, 1].
+//
+//   prefix_sum(v, n)
+//     In-place inclusive prefix sum: v[c] = v[0] + ... + v[c].
+//
+//   suffix_sum(mass, suffix, n)
+//     suffix[l] = mass[l] + ... + mass[n-1], with suffix[n] = 0
+//     (suffix has n+1 entries).
+//
+//   sum(v, n) -> total
+//     Sum of v[0..n-1]; 0.0 for n == 0.
+//
+//   scale(out, in, a, n)
+//     out[c] = a * in[c].
+//
+//   scale_add(out, in, a, n)
+//     out[c] += a * in[c], one multiply and one add per element.
+//
+//   argmax_merge(row, id, best, winner, n)
+//     Per-rank argmax fold with the U-kRanks tie rule: for each c, the
+//     candidate (row[c], id) replaces (best[c], winner[c]) when row[c] is
+//     strictly greater, or equal-and-positive with a smaller id than a
+//     live winner. Elementwise comparisons only — bit-identical across
+//     targets.
+struct KernelOps {
+  void (*convolve_trial)(double* v, std::size_t n, double p);
+  bool (*deconvolve_trial)(const double* src, std::size_t n, double p,
+                           double* out);
+  void (*prefix_sum)(double* v, std::size_t n);
+  void (*suffix_sum)(const double* mass, double* suffix, std::size_t n);
+  double (*sum)(const double* v, std::size_t n);
+  void (*scale)(double* out, const double* in, double a, std::size_t n);
+  void (*scale_add)(double* out, const double* in, double a, std::size_t n);
+  void (*argmax_merge)(const double* row, int id, double* best, int* winner,
+                       std::size_t n);
+};
+
+// The table for the currently active dispatch target
+// (urank::ActiveSimdTarget()). Cheap: one atomic load plus an index.
+const KernelOps& Active();
+
+// The table for a specific target — the cross-dispatch identity test runs
+// every compiled target against kScalar. Aborts if `target` is not
+// available on this machine (guard with SimdTargetAvailable).
+const KernelOps& ForTarget(SimdTarget target);
+
+// Relative error beyond which deconvolve_trial reports cancellation; the
+// check is tol + tol*|reference| against the untouched src boundary
+// coefficient, plus a -1e-9 negative-dip bound. Shared by every target.
+inline constexpr double kDeconvTolerance = 1e-9;
+
+// Per-target tables, each defined in its own translation unit and compiled
+// only when the toolchain supports the instruction set (src/CMakeLists.txt
+// probes the flags). Referencing one that is not compiled in is a link
+// error; go through ForTarget().
+const KernelOps& Avx2Ops();    // vector_kernels_avx2.cc
+const KernelOps& Avx512Ops();  // vector_kernels_avx512.cc
+const KernelOps& NeonOps();    // vector_kernels_neon.cc
+
+namespace detail {
+
+// Portable reference implementations backing the kScalar table. The SIMD
+// translation units tail-call these for remainder elements and for
+// primitives a target does not reimplement.
+void ScalarConvolveTrial(double* v, std::size_t n, double p);
+bool ScalarDeconvolveTrial(const double* src, std::size_t n, double p,
+                           double* out);
+void ScalarPrefixSum(double* v, std::size_t n);
+void ScalarSuffixSum(const double* mass, double* suffix, std::size_t n);
+double ScalarSum(const double* v, std::size_t n);
+void ScalarScale(double* out, const double* in, double a, std::size_t n);
+void ScalarScaleAdd(double* out, const double* in, double a, std::size_t n);
+void ScalarArgmaxMerge(const double* row, int id, double* best, int* winner,
+                       std::size_t n);
+
+// Shared deconvolve_trial post-pass (every target): rejects non-finite
+// results and boundary-coefficient inconsistencies, rejects negative dips
+// beyond round-off, clamps the surviving round-off negatives to zero.
+bool DeconvolveChecksPass(const double* src, std::size_t n, double p,
+                          double* out);
+
+}  // namespace detail
+
+}  // namespace vk
+}  // namespace urank
+
+#endif  // URANK_CORE_INTERNAL_VECTOR_KERNELS_H_

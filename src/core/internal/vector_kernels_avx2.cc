@@ -1,0 +1,236 @@
+// AVX2 implementations of the vector kernels (4 x f64 lanes).
+//
+// Exactness (see vector_kernels.h): convolve_trial, scale, scale_add and
+// argmax_merge keep the scalar reference's per-element expressions using
+// explicit mul/add intrinsics (no FMA contraction), so they are
+// bit-identical to kScalar. prefix_sum, suffix_sum, sum and the
+// deconvolve_trial recurrence use in-register scans that reassociate
+// additions and are epsilon-bounded instead.
+//
+// This translation unit is compiled with -mavx2 (see src/CMakeLists.txt)
+// and must never be entered on a CPU without AVX2 — runtime dispatch in
+// util/simd.cc guarantees that.
+
+#if !defined(__AVX2__)
+#error "vector_kernels_avx2.cc must be compiled with -mavx2"
+#endif
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "core/internal/vector_kernels.h"
+
+namespace urank {
+namespace vk {
+namespace {
+
+// [0, x0, x1, x2]
+inline __m256d Slide1(__m256d x) {
+  return _mm256_blend_pd(_mm256_permute4x64_pd(x, _MM_SHUFFLE(2, 1, 0, 0)),
+                         _mm256_setzero_pd(), 0x1);
+}
+
+// [0, 0, x0, x1]
+inline __m256d Slide2(__m256d x) {
+  return _mm256_blend_pd(_mm256_permute4x64_pd(x, _MM_SHUFFLE(1, 0, 0, 0)),
+                         _mm256_setzero_pd(), 0x3);
+}
+
+// [x1, x2, x3, 0]
+inline __m256d SlideUp1(__m256d x) {
+  return _mm256_blend_pd(_mm256_permute4x64_pd(x, _MM_SHUFFLE(3, 3, 2, 1)),
+                         _mm256_setzero_pd(), 0x8);
+}
+
+// [x2, x3, 0, 0]
+inline __m256d SlideUp2(__m256d x) {
+  return _mm256_blend_pd(_mm256_permute4x64_pd(x, _MM_SHUFFLE(3, 3, 3, 2)),
+                         _mm256_setzero_pd(), 0xC);
+}
+
+inline __m256d BroadcastLane3(__m256d x) {
+  return _mm256_permute4x64_pd(x, _MM_SHUFFLE(3, 3, 3, 3));
+}
+
+inline __m256d BroadcastLane0(__m256d x) {
+  return _mm256_permute4x64_pd(x, _MM_SHUFFLE(0, 0, 0, 0));
+}
+
+inline double Lane0(__m256d x) { return _mm256_cvtsd_f64(x); }
+
+void ConvolveTrial(double* v, std::size_t n, double p) {
+  const double q = 1.0 - p;
+  v[n] = v[n - 1] * p;
+  const __m256d q4 = _mm256_set1_pd(q);
+  const __m256d p4 = _mm256_set1_pd(p);
+  std::size_t c = n - 1;  // highest index still to update
+  // Each block writes v[c-3..c] from v[c-4..c]; the reads all happen
+  // before the store and the next block's reads sit strictly below this
+  // block's writes, so the descending in-place update stays exact.
+  while (c >= 4) {
+    const __m256d hi = _mm256_loadu_pd(v + c - 3);
+    const __m256d lo = _mm256_loadu_pd(v + c - 4);
+    _mm256_storeu_pd(
+        v + c - 3,
+        _mm256_add_pd(_mm256_mul_pd(hi, q4), _mm256_mul_pd(lo, p4)));
+    c -= 4;
+  }
+  for (; c > 0; --c) v[c] = v[c] * q + v[c - 1] * p;
+  v[0] *= q;
+}
+
+// First-order recurrence out[c] = b[c] + a*out[c-1] (and its mirror for
+// the backward branch) as a blocked in-register scan: two shifted
+// multiply-adds build the within-block scan, then the carry enters through
+// the geometric weights [a, a^2, a^3, a^4]. |a| <= 1 by the direction
+// choice, so the weights cannot overflow.
+bool DeconvolveTrial(const double* src, std::size_t n, double p, double* out) {
+  const double q = 1.0 - p;
+  if (p <= 0.5) {
+    const double inv = 1.0 / q;
+    const double a = -p * inv;
+    const __m256d inv4 = _mm256_set1_pd(inv);
+    const __m256d a1 = _mm256_set1_pd(a);
+    const __m256d a2 = _mm256_set1_pd(a * a);
+    const __m256d apow = _mm256_setr_pd(a, a * a, a * a * a, a * a * a * a);
+    double carry = 0.0;  // out[c-1]
+    std::size_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+      const __m256d b = _mm256_mul_pd(_mm256_loadu_pd(src + c), inv4);
+      __m256d t = _mm256_add_pd(b, _mm256_mul_pd(a1, Slide1(b)));
+      t = _mm256_add_pd(t, _mm256_mul_pd(a2, Slide2(t)));
+      t = _mm256_add_pd(t, _mm256_mul_pd(apow, _mm256_set1_pd(carry)));
+      _mm256_storeu_pd(out + c, t);
+      carry = Lane0(BroadcastLane3(t));
+    }
+    for (; c < n; ++c) {
+      const double v = src[c] * inv + a * carry;
+      out[c] = v;
+      carry = v;
+    }
+  } else {
+    const double inv = 1.0 / p;
+    const double a = -q * inv;
+    const __m256d inv4 = _mm256_set1_pd(inv);
+    const __m256d a1 = _mm256_set1_pd(a);
+    const __m256d a2 = _mm256_set1_pd(a * a);
+    // Descending recurrence: out[j] = src[j+1]*inv + a*out[j+1], so the
+    // carry enters lane 3 with weight a and lane 0 with weight a^4.
+    const __m256d apow = _mm256_setr_pd(a * a * a * a, a * a * a, a * a, a);
+    double carry = 0.0;  // out[j+1]
+    std::size_t j = n;   // next index to write is j-1
+    while (j >= 4) {
+      j -= 4;
+      const __m256d b = _mm256_mul_pd(_mm256_loadu_pd(src + j + 1), inv4);
+      __m256d t = _mm256_add_pd(b, _mm256_mul_pd(a1, SlideUp1(b)));
+      t = _mm256_add_pd(t, _mm256_mul_pd(a2, SlideUp2(t)));
+      t = _mm256_add_pd(t, _mm256_mul_pd(apow, _mm256_set1_pd(carry)));
+      _mm256_storeu_pd(out + j, t);
+      carry = Lane0(t);
+    }
+    while (j > 0) {
+      --j;
+      const double v = src[j + 1] * inv + a * carry;
+      out[j] = v;
+      carry = v;
+    }
+  }
+  return detail::DeconvolveChecksPass(src, n, p, out);
+}
+
+void PrefixSum(double* v, std::size_t n) {
+  __m256d carry = _mm256_setzero_pd();  // running total, broadcast
+  std::size_t c = 0;
+  for (; c + 4 <= n; c += 4) {
+    __m256d x = _mm256_loadu_pd(v + c);
+    x = _mm256_add_pd(x, Slide1(x));
+    x = _mm256_add_pd(x, Slide2(x));
+    x = _mm256_add_pd(x, carry);
+    _mm256_storeu_pd(v + c, x);
+    carry = BroadcastLane3(x);
+  }
+  double s = Lane0(carry);
+  for (; c < n; ++c) {
+    s += v[c];
+    v[c] = s;
+  }
+}
+
+void SuffixSum(const double* mass, double* suffix, std::size_t n) {
+  suffix[n] = 0.0;
+  // Scalar head at the top end so the vector loop runs on whole blocks.
+  std::size_t c = n;
+  double s = 0.0;
+  for (std::size_t i = n % 4; i > 0; --i) {
+    --c;
+    s += mass[c];
+    suffix[c] = s;
+  }
+  __m256d carry = _mm256_set1_pd(s);
+  while (c >= 4) {
+    c -= 4;
+    __m256d x = _mm256_loadu_pd(mass + c);
+    x = _mm256_add_pd(x, SlideUp1(x));
+    x = _mm256_add_pd(x, SlideUp2(x));
+    x = _mm256_add_pd(x, carry);
+    _mm256_storeu_pd(suffix + c, x);
+    carry = BroadcastLane0(x);
+  }
+}
+
+double Sum(const double* v, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t c = 0;
+  for (; c + 4 <= n; c += 4) acc = _mm256_add_pd(acc, _mm256_loadu_pd(v + c));
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; c < n; ++c) s += v[c];
+  return s;
+}
+
+void Scale(double* out, const double* in, double a, std::size_t n) {
+  const __m256d a4 = _mm256_set1_pd(a);
+  std::size_t c = 0;
+  for (; c + 4 <= n; c += 4) {
+    _mm256_storeu_pd(out + c, _mm256_mul_pd(a4, _mm256_loadu_pd(in + c)));
+  }
+  for (; c < n; ++c) out[c] = a * in[c];
+}
+
+void ScaleAdd(double* out, const double* in, double a, std::size_t n) {
+  const __m256d a4 = _mm256_set1_pd(a);
+  std::size_t c = 0;
+  for (; c + 4 <= n; c += 4) {
+    const __m256d prod = _mm256_mul_pd(a4, _mm256_loadu_pd(in + c));
+    _mm256_storeu_pd(out + c, _mm256_add_pd(_mm256_loadu_pd(out + c), prod));
+  }
+  for (; c < n; ++c) out[c] += a * in[c];
+}
+
+void ArgmaxMerge(const double* row, int id, double* best, int* winner,
+                 std::size_t n) {
+  std::size_t c = 0;
+  // Vector compare prunes blocks where no candidate can win; the (rare)
+  // surviving blocks resolve ties with the exact scalar predicate.
+  for (; c + 4 <= n; c += 4) {
+    const __m256d r = _mm256_loadu_pd(row + c);
+    const __m256d b = _mm256_loadu_pd(best + c);
+    if (_mm256_movemask_pd(_mm256_cmp_pd(r, b, _CMP_GE_OQ)) == 0) continue;
+    detail::ScalarArgmaxMerge(row + c, id, best + c, winner + c, 4);
+  }
+  if (c < n) detail::ScalarArgmaxMerge(row + c, id, best + c, winner + c, n - c);
+}
+
+constexpr KernelOps kAvx2Ops = {
+    &ConvolveTrial, &DeconvolveTrial, &PrefixSum, &SuffixSum,
+    &Sum,           &Scale,           &ScaleAdd,  &ArgmaxMerge,
+};
+
+}  // namespace
+
+const KernelOps& Avx2Ops() { return kAvx2Ops; }
+
+}  // namespace vk
+}  // namespace urank

@@ -1,0 +1,230 @@
+// AVX-512F implementations of the vector kernels (8 x f64 lanes).
+//
+// Same structure as vector_kernels_avx2.cc, widened to 512-bit registers:
+// elementwise primitives keep the scalar per-element expressions (explicit
+// mul/add, no FMA contraction — bit-identical to kScalar); the scans use
+// three shifted in-register add steps (1, 2, 4) plus a broadcast carry and
+// are epsilon-bounded against the scalar reference.
+//
+// Compiled with -mavx512f (see src/CMakeLists.txt); runtime dispatch in
+// util/simd.cc keeps this translation unit off CPUs without AVX-512.
+
+#if !defined(__AVX512F__)
+#error "vector_kernels_avx512.cc must be compiled with -mavx512f"
+#endif
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "core/internal/vector_kernels.h"
+
+namespace urank {
+namespace vk {
+namespace {
+
+// Shift k lanes toward the high end, zero-filling the bottom:
+// [0 x k, x0, ..., x_{7-k}].
+template <int K>
+inline __m512d Slide(__m512d x) {
+  return _mm512_castsi512_pd(_mm512_alignr_epi64(
+      _mm512_castpd_si512(x), _mm512_setzero_si512(), 8 - K));
+}
+
+// Shift k lanes toward the low end, zero-filling the top:
+// [x_k, ..., x7, 0 x k].
+template <int K>
+inline __m512d SlideUp(__m512d x) {
+  return _mm512_castsi512_pd(_mm512_alignr_epi64(
+      _mm512_setzero_si512(), _mm512_castpd_si512(x), K));
+}
+
+inline __m512d BroadcastLane7(__m512d x) {
+  return _mm512_permutexvar_pd(_mm512_set1_epi64(7), x);
+}
+
+inline __m512d BroadcastLane0(__m512d x) {
+  return _mm512_permutexvar_pd(_mm512_set1_epi64(0), x);
+}
+
+inline double Lane0(__m512d x) { return _mm512_cvtsd_f64(x); }
+
+void ConvolveTrial(double* v, std::size_t n, double p) {
+  const double q = 1.0 - p;
+  v[n] = v[n - 1] * p;
+  const __m512d q8 = _mm512_set1_pd(q);
+  const __m512d p8 = _mm512_set1_pd(p);
+  std::size_t c = n - 1;  // highest index still to update
+  while (c >= 8) {
+    const __m512d hi = _mm512_loadu_pd(v + c - 7);
+    const __m512d lo = _mm512_loadu_pd(v + c - 8);
+    _mm512_storeu_pd(
+        v + c - 7,
+        _mm512_add_pd(_mm512_mul_pd(hi, q8), _mm512_mul_pd(lo, p8)));
+    c -= 8;
+  }
+  for (; c > 0; --c) v[c] = v[c] * q + v[c - 1] * p;
+  v[0] *= q;
+}
+
+bool DeconvolveTrial(const double* src, std::size_t n, double p, double* out) {
+  const double q = 1.0 - p;
+  if (p <= 0.5) {
+    const double inv = 1.0 / q;
+    const double a = -p * inv;
+    double ap[9];  // ap[k] = a^k
+    ap[0] = 1.0;
+    for (int k = 1; k <= 8; ++k) ap[k] = ap[k - 1] * a;
+    const __m512d inv8 = _mm512_set1_pd(inv);
+    const __m512d a1 = _mm512_set1_pd(a);
+    const __m512d a2 = _mm512_set1_pd(ap[2]);
+    const __m512d a4 = _mm512_set1_pd(ap[4]);
+    const __m512d apow = _mm512_setr_pd(ap[1], ap[2], ap[3], ap[4], ap[5],
+                                        ap[6], ap[7], ap[8]);
+    double carry = 0.0;  // out[c-1]
+    std::size_t c = 0;
+    for (; c + 8 <= n; c += 8) {
+      const __m512d b = _mm512_mul_pd(_mm512_loadu_pd(src + c), inv8);
+      __m512d t = _mm512_add_pd(b, _mm512_mul_pd(a1, Slide<1>(b)));
+      t = _mm512_add_pd(t, _mm512_mul_pd(a2, Slide<2>(t)));
+      t = _mm512_add_pd(t, _mm512_mul_pd(a4, Slide<4>(t)));
+      t = _mm512_add_pd(t, _mm512_mul_pd(apow, _mm512_set1_pd(carry)));
+      _mm512_storeu_pd(out + c, t);
+      carry = Lane0(BroadcastLane7(t));
+    }
+    for (; c < n; ++c) {
+      const double v = src[c] * inv + a * carry;
+      out[c] = v;
+      carry = v;
+    }
+  } else {
+    const double inv = 1.0 / p;
+    const double a = -q * inv;
+    double ap[9];
+    ap[0] = 1.0;
+    for (int k = 1; k <= 8; ++k) ap[k] = ap[k - 1] * a;
+    const __m512d inv8 = _mm512_set1_pd(inv);
+    const __m512d a1 = _mm512_set1_pd(a);
+    const __m512d a2 = _mm512_set1_pd(ap[2]);
+    const __m512d a4 = _mm512_set1_pd(ap[4]);
+    // Descending recurrence out[j] = src[j+1]*inv + a*out[j+1]: the carry
+    // enters lane 7 with weight a and lane 0 with weight a^8.
+    const __m512d apow = _mm512_setr_pd(ap[8], ap[7], ap[6], ap[5], ap[4],
+                                        ap[3], ap[2], ap[1]);
+    double carry = 0.0;  // out[j+1]
+    std::size_t j = n;   // next index to write is j-1
+    while (j >= 8) {
+      j -= 8;
+      const __m512d b = _mm512_mul_pd(_mm512_loadu_pd(src + j + 1), inv8);
+      __m512d t = _mm512_add_pd(b, _mm512_mul_pd(a1, SlideUp<1>(b)));
+      t = _mm512_add_pd(t, _mm512_mul_pd(a2, SlideUp<2>(t)));
+      t = _mm512_add_pd(t, _mm512_mul_pd(a4, SlideUp<4>(t)));
+      t = _mm512_add_pd(t, _mm512_mul_pd(apow, _mm512_set1_pd(carry)));
+      _mm512_storeu_pd(out + j, t);
+      carry = Lane0(t);
+    }
+    while (j > 0) {
+      --j;
+      const double v = src[j + 1] * inv + a * carry;
+      out[j] = v;
+      carry = v;
+    }
+  }
+  return detail::DeconvolveChecksPass(src, n, p, out);
+}
+
+void PrefixSum(double* v, std::size_t n) {
+  __m512d carry = _mm512_setzero_pd();  // running total, broadcast
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    __m512d x = _mm512_loadu_pd(v + c);
+    x = _mm512_add_pd(x, Slide<1>(x));
+    x = _mm512_add_pd(x, Slide<2>(x));
+    x = _mm512_add_pd(x, Slide<4>(x));
+    x = _mm512_add_pd(x, carry);
+    _mm512_storeu_pd(v + c, x);
+    carry = BroadcastLane7(x);
+  }
+  double s = Lane0(carry);
+  for (; c < n; ++c) {
+    s += v[c];
+    v[c] = s;
+  }
+}
+
+void SuffixSum(const double* mass, double* suffix, std::size_t n) {
+  suffix[n] = 0.0;
+  std::size_t c = n;
+  double s = 0.0;
+  for (std::size_t i = n % 8; i > 0; --i) {
+    --c;
+    s += mass[c];
+    suffix[c] = s;
+  }
+  __m512d carry = _mm512_set1_pd(s);
+  while (c >= 8) {
+    c -= 8;
+    __m512d x = _mm512_loadu_pd(mass + c);
+    x = _mm512_add_pd(x, SlideUp<1>(x));
+    x = _mm512_add_pd(x, SlideUp<2>(x));
+    x = _mm512_add_pd(x, SlideUp<4>(x));
+    x = _mm512_add_pd(x, carry);
+    _mm512_storeu_pd(suffix + c, x);
+    carry = BroadcastLane0(x);
+  }
+}
+
+double Sum(const double* v, std::size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) acc = _mm512_add_pd(acc, _mm512_loadu_pd(v + c));
+  double lanes[8];
+  _mm512_storeu_pd(lanes, acc);
+  double s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+             ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  for (; c < n; ++c) s += v[c];
+  return s;
+}
+
+void Scale(double* out, const double* in, double a, std::size_t n) {
+  const __m512d a8 = _mm512_set1_pd(a);
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    _mm512_storeu_pd(out + c, _mm512_mul_pd(a8, _mm512_loadu_pd(in + c)));
+  }
+  for (; c < n; ++c) out[c] = a * in[c];
+}
+
+void ScaleAdd(double* out, const double* in, double a, std::size_t n) {
+  const __m512d a8 = _mm512_set1_pd(a);
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const __m512d prod = _mm512_mul_pd(a8, _mm512_loadu_pd(in + c));
+    _mm512_storeu_pd(out + c, _mm512_add_pd(_mm512_loadu_pd(out + c), prod));
+  }
+  for (; c < n; ++c) out[c] += a * in[c];
+}
+
+void ArgmaxMerge(const double* row, int id, double* best, int* winner,
+                 std::size_t n) {
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const __m512d r = _mm512_loadu_pd(row + c);
+    const __m512d b = _mm512_loadu_pd(best + c);
+    if (_mm512_cmp_pd_mask(r, b, _CMP_GE_OQ) == 0) continue;
+    detail::ScalarArgmaxMerge(row + c, id, best + c, winner + c, 8);
+  }
+  if (c < n) detail::ScalarArgmaxMerge(row + c, id, best + c, winner + c, n - c);
+}
+
+constexpr KernelOps kAvx512Ops = {
+    &ConvolveTrial, &DeconvolveTrial, &PrefixSum, &SuffixSum,
+    &Sum,           &Scale,           &ScaleAdd,  &ArgmaxMerge,
+};
+
+}  // namespace
+
+const KernelOps& Avx512Ops() { return kAvx512Ops; }
+
+}  // namespace vk
+}  // namespace urank

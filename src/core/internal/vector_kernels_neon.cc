@@ -1,0 +1,88 @@
+// NEON implementations of the vector kernels (2 x f64 lanes, AArch64).
+//
+// With only two double lanes, the in-register scan trick that pays off on
+// AVX2/AVX-512 barely beats the serial recurrence, so this target
+// vectorizes the elementwise primitives (convolve, scale, scale_add, sum)
+// and delegates the scan-dominated ones (deconvolve, prefix/suffix sums,
+// argmax tie resolution) to the scalar reference. Elementwise primitives
+// use explicit vmulq/vaddq (no fused multiply-add), matching the scalar
+// per-element expressions exactly.
+//
+// Compiled only on AArch64 (see src/CMakeLists.txt), where NEON is
+// architecturally guaranteed.
+
+#if !defined(__aarch64__)
+#error "vector_kernels_neon.cc is AArch64-only"
+#endif
+
+#include <arm_neon.h>
+
+#include <cstddef>
+
+#include "core/internal/vector_kernels.h"
+
+namespace urank {
+namespace vk {
+namespace {
+
+void ConvolveTrial(double* v, std::size_t n, double p) {
+  const double q = 1.0 - p;
+  v[n] = v[n - 1] * p;
+  const float64x2_t q2 = vdupq_n_f64(q);
+  const float64x2_t p2 = vdupq_n_f64(p);
+  std::size_t c = n - 1;  // highest index still to update
+  while (c >= 2) {
+    const float64x2_t hi = vld1q_f64(v + c - 1);
+    const float64x2_t lo = vld1q_f64(v + c - 2);
+    vst1q_f64(v + c - 1, vaddq_f64(vmulq_f64(hi, q2), vmulq_f64(lo, p2)));
+    c -= 2;
+  }
+  for (; c > 0; --c) v[c] = v[c] * q + v[c - 1] * p;
+  v[0] *= q;
+}
+
+double Sum(const double* v, std::size_t n) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  std::size_t c = 0;
+  for (; c + 2 <= n; c += 2) acc = vaddq_f64(acc, vld1q_f64(v + c));
+  double s = vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+  for (; c < n; ++c) s += v[c];
+  return s;
+}
+
+void Scale(double* out, const double* in, double a, std::size_t n) {
+  const float64x2_t a2 = vdupq_n_f64(a);
+  std::size_t c = 0;
+  for (; c + 2 <= n; c += 2) {
+    vst1q_f64(out + c, vmulq_f64(a2, vld1q_f64(in + c)));
+  }
+  for (; c < n; ++c) out[c] = a * in[c];
+}
+
+void ScaleAdd(double* out, const double* in, double a, std::size_t n) {
+  const float64x2_t a2 = vdupq_n_f64(a);
+  std::size_t c = 0;
+  for (; c + 2 <= n; c += 2) {
+    const float64x2_t prod = vmulq_f64(a2, vld1q_f64(in + c));
+    vst1q_f64(out + c, vaddq_f64(vld1q_f64(out + c), prod));
+  }
+  for (; c < n; ++c) out[c] += a * in[c];
+}
+
+constexpr KernelOps kNeonOps = {
+    &ConvolveTrial,
+    &detail::ScalarDeconvolveTrial,
+    &detail::ScalarPrefixSum,
+    &detail::ScalarSuffixSum,
+    &Sum,
+    &Scale,
+    &ScaleAdd,
+    &detail::ScalarArgmaxMerge,
+};
+
+}  // namespace
+
+const KernelOps& NeonOps() { return kNeonOps; }
+
+}  // namespace vk
+}  // namespace urank

@@ -24,16 +24,24 @@ std::vector<double> ToDouble(const std::vector<int>& v) {
 
 }  // namespace
 
-int QuantileFromPmf(const std::vector<double>& pmf, double phi) {
+int QuantileFromPmf(std::span<const double> pmf, double phi) {
   URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
   URANK_CHECK_MSG(!pmf.empty(), "pmf must be non-empty");
   URANK_DCHECK_NORMALIZED(pmf);
   double cdf = 0.0;
   for (size_t r = 0; r < pmf.size(); ++r) {
+    // Early-exit threshold scan: a vectorized prefix sum would reassociate
+    // and could flip the >= phi comparison at round-off boundaries.
+    // urank-lint: allow(kernel-vectorize)
     cdf += pmf[r];
     if (cdf >= phi) return static_cast<int>(r);
   }
   return static_cast<int>(pmf.size()) - 1;  // round-off guard
+}
+
+int QuantileFromPmf(const std::vector<double>& pmf, double phi) {
+  URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
+  return QuantileFromPmf(std::span<const double>(pmf), phi);
 }
 
 RankDistributionSummary SummarizeRankDistribution(
@@ -61,6 +69,9 @@ RankDistributionSummary SummarizeRankDistribution(
                   "pmf must sum to ~1");
   for (size_t r = 0; r < pmf.size(); ++r) {
     const double d = static_cast<double>(r) - s.mean;
+    // O(N) summary statistic outside the DP hot path; keeps the documented
+    // left-to-right accumulation.
+    // urank-lint: allow(kernel-vectorize)
     s.variance += d * d * pmf[r];
   }
   s.stddev = std::sqrt(std::max(s.variance, 0.0));
@@ -80,7 +91,7 @@ std::vector<int> AttrQuantileRanks(const AttrRelation& rel, double phi,
   // buffers are reused across tuples, so memory stays O(N + s) rather
   // than materializing the full N×N distribution matrix.
   const std::vector<internal::SortedPdf> pdfs = BuildSortedPdfs(rel);
-  std::vector<double> pmf_scratch;
+  internal::AlignedBuf pmf_scratch;
   std::vector<double> dist;
   for (int i = 0; i < rel.size(); ++i) {
     AttrRankDistributionInto(rel, pdfs, i, ties, &pmf_scratch, &dist);
@@ -94,7 +105,7 @@ std::vector<int> TupleQuantileRanks(const TupleRelation& rel, double phi,
   URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
   std::vector<int> ranks(static_cast<size_t>(rel.size()), 0);
   ForEachTupleRankDistribution(
-      rel, ties, [&](int i, const std::vector<double>& dist) {
+      rel, ties, [&](int i, std::span<const double> dist) {
         ranks[static_cast<size_t>(i)] = QuantileFromPmf(dist, phi);
       });
   return ranks;
@@ -117,6 +128,8 @@ std::vector<int> AttrQuantileRanks(const PreparedAttrRelation& prepared,
     const auto dists = prepared.RankDistributions(ties, par, report);
     std::vector<double> ranks(static_cast<size_t>(prepared.size()), 0.0);
     for (int i = 0; i < prepared.size(); ++i) {
+      // Per-tuple statistic gather, not an elementwise probability sweep.
+      // urank-lint: allow(kernel-vectorize)
       ranks[static_cast<size_t>(i)] = static_cast<double>(
           QuantileFromPmf((*dists)[static_cast<size_t>(i)], phi));
     }
@@ -144,7 +157,7 @@ std::vector<int> TupleQuantileRanks(const PreparedTupleRelation& prepared,
     // no further coordination.
     ForEachTupleRankDistribution(
         prepared.relation(), prepared.rank_order(), ties, par, report,
-        [&](int /*chunk*/, int i, const std::vector<double>& dist) {
+        [&](int /*chunk*/, int i, std::span<const double> dist) {
           ranks[static_cast<size_t>(i)] =
               static_cast<double>(QuantileFromPmf(dist, phi));
         });

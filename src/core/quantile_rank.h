@@ -12,6 +12,7 @@
 #ifndef URANK_CORE_QUANTILE_RANK_H_
 #define URANK_CORE_QUANTILE_RANK_H_
 
+#include <span>
 #include <vector>
 
 #include "core/ranking.h"
@@ -27,7 +28,9 @@ class PreparedTupleRelation;  // core/engine/prepared_relation.h
 
 // Smallest index r with Σ_{c<=r} pmf[c] >= phi. Requires phi in (0, 1] and
 // a non-empty pmf summing to ~1; returns the last index if round-off keeps
-// the cdf below phi.
+// the cdf below phi. The span form is the primary; the vector overload
+// exists so braced-init call sites keep working.
+int QuantileFromPmf(std::span<const double> pmf, double phi);
 int QuantileFromPmf(const std::vector<double>& pmf, double phi);
 
 // Descriptive statistics of one tuple's rank distribution — the objects

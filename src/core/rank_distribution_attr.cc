@@ -3,12 +3,24 @@
 #include <algorithm>
 
 #include "core/internal/kernel_arena.h"
+#include "core/internal/vector_kernels.h"
 #include "util/check.h"
-#include "util/poisson_binomial.h"
 
 namespace urank {
 
+using internal::AlignedBuf;
 using internal::SortedPdf;
+
+namespace {
+
+// PbConvolveTrial on an arena buffer: appends one {1-p, p} trial in place.
+void BufConvolveTrial(const vk::KernelOps& ops, AlignedBuf* pmf, double p) {
+  const size_t m = pmf->size();
+  pmf->resize(m + 1);
+  ops.convolve_trial(pmf->data(), m, p);
+}
+
+}  // namespace
 
 std::vector<SortedPdf> BuildSortedPdfs(const AttrRelation& rel) {
   std::vector<SortedPdf> pdfs(static_cast<size_t>(rel.size()));
@@ -21,12 +33,12 @@ std::vector<SortedPdf> BuildSortedPdfs(const AttrRelation& rel) {
 
 void AttrRankDistributionInto(const AttrRelation& rel,
                               const std::vector<SortedPdf>& pdfs, int index,
-                              TiePolicy ties,
-                              std::vector<double>* pmf_scratch,
+                              TiePolicy ties, AlignedBuf* pmf_scratch,
                               std::vector<double>* dist) {
   const int n = rel.size();
+  const vk::KernelOps& ops = vk::Active();
   dist->assign(static_cast<size_t>(std::max(n, 1)), 0.0);
-  std::vector<double>& pmf = *pmf_scratch;
+  AlignedBuf& pmf = *pmf_scratch;
   const AttrTuple& t = rel.tuple(index);
   for (const ScoreValue& sv : t.pdf) {
     pmf.assign(1, 1.0);
@@ -40,11 +52,9 @@ void AttrRankDistributionInto(const AttrRelation& rel,
       // `beat` may exceed 1 only by accumulated round-off; anything larger
       // means a denormalized source pdf.
       URANK_DCHECK_PROB(beat);
-      if (beat > 0.0) PbConvolveTrial(&pmf, std::min(beat, 1.0));
+      if (beat > 0.0) BufConvolveTrial(ops, &pmf, std::min(beat, 1.0));
     }
-    for (size_t c = 0; c < pmf.size(); ++c) {
-      (*dist)[c] += sv.prob * pmf[c];
-    }
+    ops.scale_add(dist->data(), pmf.data(), sv.prob, pmf.size());
   }
   URANK_DCHECK_NORMALIZED(*dist);
 }
@@ -53,7 +63,7 @@ std::vector<double> AttrRankDistribution(const AttrRelation& rel, int index,
                                          TiePolicy ties) {
   URANK_CHECK_MSG(index >= 0 && index < rel.size(), "tuple index out of range");
   const std::vector<SortedPdf> pdfs = BuildSortedPdfs(rel);
-  std::vector<double> pmf_scratch;
+  AlignedBuf pmf_scratch;
   std::vector<double> dist;
   AttrRankDistributionInto(rel, pdfs, index, ties, &pmf_scratch, &dist);
   return dist;

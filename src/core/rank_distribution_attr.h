@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "core/internal/kernel_arena.h"
 #include "core/internal/sorted_pdf.h"
 #include "model/attr_model.h"
 #include "model/types.h"
@@ -34,12 +35,14 @@ std::vector<internal::SortedPdf> BuildSortedPdfs(const AttrRelation& rel);
 
 // Rank distribution of tuple `index` given prebuilt sorted pdfs, written
 // into `*dist` (resized to max(N, 1)). `*pmf_scratch` is the flat
-// Poisson-binomial work buffer; both buffers are reused at high-water
-// capacity, so streaming callers perform no per-tuple allocation.
+// Poisson-binomial work buffer — a 64-byte-aligned arena buffer so the
+// vector kernels run on aligned scratch; both buffers are reused at
+// high-water capacity, so streaming callers perform no per-tuple
+// allocation.
 void AttrRankDistributionInto(const AttrRelation& rel,
                               const std::vector<internal::SortedPdf>& pdfs,
                               int index, TiePolicy ties,
-                              std::vector<double>* pmf_scratch,
+                              internal::AlignedBuf* pmf_scratch,
                               std::vector<double>* dist);
 
 // Rank distribution of the tuple at `index`: result[r] = Pr[R(t_i) = r] for

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/internal/kernel_arena.h"
+#include "core/internal/vector_kernels.h"
 #include "util/check.h"
 #include "util/poisson_binomial.h"
 
@@ -11,6 +12,24 @@ namespace urank {
 namespace {
 
 constexpr double kProbEps = 1e-12;
+
+using internal::AlignedBuf;
+
+// PbConvolveTrial / PbDeconvolveTrial on arena-backed aligned buffers,
+// dispatched through the active vector-kernel table. Preconditions are the
+// kernel invariants (p in (0,1], non-empty pmf) already enforced upstream.
+void BufConvolveTrial(const vk::KernelOps& ops, AlignedBuf* pmf, double p) {
+  const size_t n = pmf->size();
+  pmf->resize(n + 1);
+  ops.convolve_trial(pmf->data(), n, p);
+}
+
+bool BufDeconvolveTrial(const vk::KernelOps& ops, const AlignedBuf& src,
+                        double p, AlignedBuf* out) {
+  const size_t n = src.size() - 1;
+  out->resize(n);
+  return ops.deconvolve_trial(src.data(), n, p, out->data());
+}
 
 // Index order sorted by (score desc, index asc): the sweep order in which
 // "already processed" means "ranked above" (exactly, under kBreakByIndex;
@@ -48,8 +67,12 @@ std::vector<size_t> PlanChunkStarts(const TupleRelation& rel,
   std::vector<long long> cum(n + 1, 0);
   long long support = 0;
   for (size_t idx = 0; idx < n; ++idx) {
+    // Integer chunk-cost recurrence for the deterministic chunk grid;
+    // not a probability-array sweep.
+    // urank-lint: allow(kernel-vectorize)
     cum[idx + 1] = cum[idx] + 1 + support;
     const size_t r = static_cast<size_t>(rel.rule_of(order[idx]));
+    // urank-lint: allow(kernel-vectorize) — first-touch flag per rule.
     if (touched[r] == 0) {
       touched[r] = 1;
       ++support;
@@ -75,45 +98,47 @@ std::vector<size_t> PlanChunkStarts(const TupleRelation& rel,
 // `begin` — exactly the update the chunk flush applies, so chunk-entry
 // state is bit-identical to what an unchunked sweep would hold there.
 void ReplayPrefix(const TupleRelation& rel, const std::vector<int>& order,
-                  size_t begin, std::vector<double>* cur) {
+                  size_t begin, AlignedBuf* cur) {
   cur->assign(static_cast<size_t>(rel.num_rules()), 0.0);
   for (size_t idx = 0; idx < begin; ++idx) {
     const int i = order[idx];
     const size_t r = static_cast<size_t>(rel.rule_of(i));
+    // urank-lint: allow(kernel-vectorize) — scatter keyed by rule index.
     (*cur)[r] = std::min((*cur)[r] + rel.tuple(i).prob, 1.0);
   }
 }
 
 // Chunk-local sweep state: per-rule prefix masses plus the flat Poisson
 // binomial over their nonzero entries. All updates go through arena-backed
-// buffers — the per-tuple loop performs no heap allocation once the
-// buffers reach their high-water size.
+// aligned buffers — the per-tuple loop performs no heap allocation once
+// the buffers reach their high-water size — and all pmf arithmetic goes
+// through one vector-kernel table captured at sweep entry.
 struct ChunkSweep {
   const TupleRelation& rel;
-  std::vector<double>& cur;      // per-rule mass ranked above the cursor
-  std::vector<double>& pmf;      // Poisson binomial over nonzero cur[]
-  std::vector<double>& scratch;  // deconvolution ping-pong target
+  const vk::KernelOps& ops;
+  AlignedBuf& cur;      // per-rule mass ranked above the cursor
+  AlignedBuf& pmf;      // Poisson binomial over nonzero cur[]
+  AlignedBuf& scratch;  // deconvolution ping-pong target
 
   // Rebuilds a pmf from cur in canonical rule-index order, skipping
   // `skip_rule` (-1 for none). Depends only on the mass values, so the
   // deconvolution fallback stays deterministic under any schedule.
-  void Rebuild(std::vector<double>* out, int skip_rule) const {
+  void Rebuild(AlignedBuf* out, int skip_rule) const {
     out->assign(1, 1.0);
     const int m = rel.num_rules();
     for (int r = 0; r < m; ++r) {
       if (r == skip_rule) continue;
       const double v = cur[static_cast<size_t>(r)];
-      if (v > 0.0) PbConvolveTrial(out, v);
+      if (v > 0.0) BufConvolveTrial(ops, out, v);
     }
   }
 
   // The sweep pmf with rule r's current mass conditioned out; returns a
   // pointer to `pmf` itself when the rule carries no mass yet (no copy).
-  const std::vector<double>* WithoutRule(int r,
-                                         std::vector<double>* out) const {
+  const AlignedBuf* WithoutRule(int r, AlignedBuf* out) const {
     const double v = cur[static_cast<size_t>(r)];
     if (v <= 0.0) return &pmf;
-    if (!PbDeconvolveTrial(pmf, v, out)) Rebuild(out, r);
+    if (!BufDeconvolveTrial(ops, pmf, v, out)) Rebuild(out, r);
     return out;
   }
 
@@ -122,7 +147,7 @@ struct ChunkSweep {
     const size_t r = static_cast<size_t>(rel.rule_of(i));
     const double old_mass = cur[r];
     if (old_mass > 0.0) {
-      if (PbDeconvolveTrial(pmf, old_mass, &scratch)) {
+      if (BufDeconvolveTrial(ops, pmf, old_mass, &scratch)) {
         pmf.swap(scratch);
       } else {
         Rebuild(&scratch, static_cast<int>(r));
@@ -133,7 +158,7 @@ struct ChunkSweep {
     // by 1 + tolerance, and the sweep only ever adds member masses.
     URANK_DCHECK_PROB(old_mass + rel.tuple(i).prob);
     cur[r] = std::min(old_mass + rel.tuple(i).prob, 1.0);
-    if (cur[r] > 0.0) PbConvolveTrial(&pmf, cur[r]);
+    if (cur[r] > 0.0) BufConvolveTrial(ops, &pmf, cur[r]);
   }
 };
 
@@ -144,13 +169,14 @@ struct ChunkSweep {
 void SweepAppearChunk(
     const TupleRelation& rel, const std::vector<int>& order, TiePolicy ties,
     size_t begin, size_t end, internal::KernelArena* arena,
-    const std::function<void(int, const std::vector<double>&)>& per_tuple) {
-  std::vector<double>& cur = arena->Doubles(0);
-  std::vector<double>& pmf = arena->Doubles(1);
-  std::vector<double>& scratch = arena->Doubles(2);
-  std::vector<double>& appear = arena->Doubles(3);
+    const std::function<void(int, const AlignedBuf&)>& per_tuple) {
+  const vk::KernelOps& ops = vk::Active();
+  AlignedBuf& cur = arena->Doubles(0);
+  AlignedBuf& pmf = arena->Doubles(1);
+  AlignedBuf& scratch = arena->Doubles(2);
+  AlignedBuf& appear = arena->Doubles(3);
   ReplayPrefix(rel, order, begin, &cur);
-  ChunkSweep sweep{rel, cur, pmf, scratch};
+  ChunkSweep sweep{rel, ops, cur, pmf, scratch};
   sweep.Rebuild(&pmf, -1);
 
   size_t pos = begin;
@@ -196,22 +222,24 @@ struct AbsentContext {
   // Writes into `out` the world-size pmf with rule r's unconditional mass
   // replaced by `cond` (its mass conditioned on the reference tuple being
   // absent). Reads shared state only.
-  void ConditionalWorldSize(int r, double cond,
-                            std::vector<double>* out) const {
+  void ConditionalWorldSize(const vk::KernelOps& ops, int r, double cond,
+                            AlignedBuf* out) const {
     const double v = rule_sums[static_cast<size_t>(r)];
     if (v > 0.0) {
-      if (!PbDeconvolveTrial(pmf_all, v, out)) {
+      const size_t n = pmf_all.size() - 1;
+      out->resize(n);
+      if (!ops.deconvolve_trial(pmf_all.data(), n, v, out->data())) {
         // Deterministic fallback: rebuild the reduced product directly.
         out->assign(1, 1.0);
         for (size_t r2 = 0; r2 < rule_sums.size(); ++r2) {
           if (static_cast<int>(r2) == r) continue;
-          if (rule_sums[r2] > 0.0) PbConvolveTrial(out, rule_sums[r2]);
+          if (rule_sums[r2] > 0.0) BufConvolveTrial(ops, out, rule_sums[r2]);
         }
       }
     } else {
-      *out = pmf_all;
+      out->assign(pmf_all.data(), pmf_all.size());
     }
-    if (cond > 0.0) PbConvolveTrial(out, cond);
+    if (cond > 0.0) BufConvolveTrial(ops, out, cond);
   }
 };
 
@@ -234,20 +262,20 @@ int TupleSweepChunkCount(const TupleRelation& rel) {
 
 void ForEachTupleRankDistribution(
     const TupleRelation& rel, TiePolicy ties,
-    const std::function<void(int, const std::vector<double>&)>& fn) {
+    const std::function<void(int, std::span<const double>)>& fn) {
   ForEachTupleRankDistribution(rel, RankOrder(rel), ties, fn);
 }
 
 void ForEachTupleRankDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties,
-    const std::function<void(int, const std::vector<double>&)>& fn) {
+    const std::function<void(int, std::span<const double>)>& fn) {
   // Serial execution of the identical chunk grid: chunk 0, then chunk 1,
   // ... — the full sweep order, with results bit-identical to any thread
   // count.
   ForEachTupleRankDistribution(
       rel, rank_order, ties, ParallelismOptions{}, nullptr,
-      [&fn](int /*chunk*/, int i, const std::vector<double>& dist) {
+      [&fn](int /*chunk*/, int i, std::span<const double> dist) {
         fn(i, dist);
       });
 }
@@ -255,7 +283,7 @@ void ForEachTupleRankDistribution(
 void ForEachTupleRankDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
-    const std::function<void(int, int, const std::vector<double>&)>& fn) {
+    const std::function<void(int, int, std::span<const double>)>& fn) {
   const int n = rel.size();
   const std::vector<size_t> starts = PlanChunkStarts(rel, rank_order, ties);
   const int chunks = static_cast<int>(starts.size()) - 1;
@@ -265,36 +293,40 @@ void ForEachTupleRankDistribution(
 
   const int used = ParallelFor(chunks, workers, [&](int chunk, int slot) {
     internal::KernelArena& arena = arenas[static_cast<size_t>(slot)];
+    const vk::KernelOps& ops = vk::Active();
     // Acquire the highest slot first: a later Doubles() call with a larger
     // index would invalidate previously returned references.
-    std::vector<double>& absent_buf = arena.Doubles(5);
-    std::vector<double>& dist = arena.Doubles(4);
+    AlignedBuf& absent_buf = arena.Doubles(5);
+    AlignedBuf& dist = arena.Doubles(4);
     dist.assign(static_cast<size_t>(n) + 1, 0.0);
     size_t dirty = 0;  // high-water mark of the nonzero prefix of dist
     SweepAppearChunk(
         rel, rank_order, ties, starts[static_cast<size_t>(chunk)],
         starts[static_cast<size_t>(chunk) + 1], &arena,
-        [&](int i, const std::vector<double>& appear) {
+        [&](int i, const AlignedBuf& appear) {
           const TLTuple& t = rel.tuple(i);
-          std::fill(dist.begin(),
-                    dist.begin() + static_cast<long>(dirty), 0.0);
-          size_t hi = appear.size();
-          for (size_t c = 0; c < appear.size(); ++c) {
-            dist[c] = t.prob * appear[c];
+          const size_t na = appear.size();
+          // Only [na, dirty) keeps stale mass: the appear-branch scale
+          // overwrites [0, na) and everything at or beyond `dirty` is
+          // still exactly zero.
+          if (dirty > na) {
+            std::fill(dist.begin() + static_cast<long>(na),
+                      dist.begin() + static_cast<long>(dirty), 0.0);
           }
+          ops.scale(dist.data(), appear.data(), t.prob, na);
+          size_t hi = na;
           if (t.prob < 1.0 - kProbEps) {
             const int r = rel.rule_of(i);
             const double cond = std::clamp(
                 (rel.rule_prob_sum(r) - t.prob) / (1.0 - t.prob), 0.0, 1.0);
-            absent.ConditionalWorldSize(r, cond, &absent_buf);
-            for (size_t c = 0; c < absent_buf.size(); ++c) {
-              dist[c] += (1.0 - t.prob) * absent_buf[c];
-            }
+            absent.ConditionalWorldSize(ops, r, cond, &absent_buf);
+            ops.scale_add(dist.data(), absent_buf.data(), 1.0 - t.prob,
+                          absent_buf.size());
             hi = std::max(hi, absent_buf.size());
           }
           dirty = hi;
           URANK_DCHECK_NORMALIZED(dist);
-          fn(chunk, i, dist);
+          fn(chunk, i, std::span<const double>(dist.data(), dist.size()));
         });
   });
   if (report != nullptr) report->Merge(CollectReport(used, arenas));
@@ -306,25 +338,25 @@ std::vector<std::vector<double>> TupleRankDistributions(
       static_cast<size_t>(rel.size()),
       std::vector<double>(static_cast<size_t>(rel.size()) + 1, 0.0));
   ForEachTupleRankDistribution(
-      rel, ties, [&](int i, const std::vector<double>& dist) {
-        dists[static_cast<size_t>(i)] = dist;
+      rel, ties, [&](int i, std::span<const double> dist) {
+        dists[static_cast<size_t>(i)].assign(dist.begin(), dist.end());
       });
   return dists;
 }
 
 void ForEachTuplePositionalDistribution(
     const TupleRelation& rel, TiePolicy ties,
-    const std::function<void(int, const std::vector<double>&)>& fn) {
+    const std::function<void(int, std::span<const double>)>& fn) {
   ForEachTuplePositionalDistribution(rel, RankOrder(rel), ties, fn);
 }
 
 void ForEachTuplePositionalDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties,
-    const std::function<void(int, const std::vector<double>&)>& fn) {
+    const std::function<void(int, std::span<const double>)>& fn) {
   ForEachTuplePositionalDistribution(
       rel, rank_order, ties, ParallelismOptions{}, nullptr,
-      [&fn](int /*chunk*/, int i, const std::vector<double>& row) {
+      [&fn](int /*chunk*/, int i, std::span<const double> row) {
         fn(i, row);
       });
 }
@@ -332,7 +364,7 @@ void ForEachTuplePositionalDistribution(
 void ForEachTuplePositionalDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
-    const std::function<void(int, int, const std::vector<double>&)>& fn) {
+    const std::function<void(int, int, std::span<const double>)>& fn) {
   const int n = rel.size();
   const std::vector<size_t> starts = PlanChunkStarts(rel, rank_order, ties);
   const int chunks = static_cast<int>(starts.size()) - 1;
@@ -341,17 +373,16 @@ void ForEachTuplePositionalDistribution(
 
   const int used = ParallelFor(chunks, workers, [&](int chunk, int slot) {
     internal::KernelArena& arena = arenas[static_cast<size_t>(slot)];
-    std::vector<double>& row = arena.Doubles(4);
+    const vk::KernelOps& ops = vk::Active();
+    AlignedBuf& row = arena.Doubles(4);
     SweepAppearChunk(
         rel, rank_order, ties, starts[static_cast<size_t>(chunk)],
         starts[static_cast<size_t>(chunk) + 1], &arena,
-        [&](int i, const std::vector<double>& appear) {
+        [&](int i, const AlignedBuf& appear) {
           const double p = rel.tuple(i).prob;
           row.resize(appear.size());
-          for (size_t c = 0; c < appear.size(); ++c) {
-            row[c] = p * appear[c];
-          }
-          fn(chunk, i, row);
+          ops.scale(row.data(), appear.data(), p, appear.size());
+          fn(chunk, i, std::span<const double>(row.data(), row.size()));
         });
   });
   if (report != nullptr) report->Merge(CollectReport(used, arenas));
@@ -363,9 +394,9 @@ std::vector<std::vector<double>> TuplePositionalProbabilities(
       static_cast<size_t>(rel.size()),
       std::vector<double>(static_cast<size_t>(rel.size()) + 1, 0.0));
   ForEachTuplePositionalDistribution(
-      rel, ties, [&](int i, const std::vector<double>& row) {
-        auto& out = pos[static_cast<size_t>(i)];
-        for (size_t c = 0; c < row.size(); ++c) out[c] = row[c];
+      rel, ties, [&](int i, std::span<const double> row) {
+        std::copy(row.begin(), row.end(),
+                  pos[static_cast<size_t>(i)].begin());
       });
   return pos;
 }

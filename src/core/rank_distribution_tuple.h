@@ -33,6 +33,7 @@
 #define URANK_CORE_RANK_DISTRIBUTION_TUPLE_H_
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "model/tuple_model.h"
@@ -42,13 +43,14 @@
 namespace urank {
 
 // Streaming form: invokes `fn(index, dist)` once per tuple with that
-// tuple's Definition-7 rank distribution (size N+1). The buffer passed to
-// `fn` is reused between calls; copy it if it must outlive the callback.
+// tuple's Definition-7 rank distribution (size N+1). The span passed to
+// `fn` views a 64-byte aligned scratch buffer reused between calls; copy
+// it if it must outlive the callback.
 // Tuples are visited in score order, not index order. Memory stays O(N + M)
 // instead of the O(N²) of the matrix form.
 void ForEachTupleRankDistribution(
     const TupleRelation& rel, TiePolicy ties,
-    const std::function<void(int, const std::vector<double>&)>& fn);
+    const std::function<void(int, std::span<const double>)>& fn);
 
 // As above, but sweeping `rank_order` — a precomputed permutation of the
 // tuple positions sorted by (score descending, index ascending), e.g.
@@ -56,7 +58,7 @@ void ForEachTupleRankDistribution(
 void ForEachTupleRankDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties,
-    const std::function<void(int, const std::vector<double>&)>& fn);
+    const std::function<void(int, std::span<const double>)>& fn);
 
 // Parallel chunked form: invokes `fn(chunk, index, dist)` once per tuple,
 // possibly concurrently for tuples of *distinct* chunks (never for the
@@ -69,7 +71,7 @@ void ForEachTupleRankDistribution(
 void ForEachTupleRankDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
-    const std::function<void(int, int, const std::vector<double>&)>& fn);
+    const std::function<void(int, int, std::span<const double>)>& fn);
 
 // Streaming positional probabilities: invokes `fn(index, row)` once per
 // tuple where row[c] = Pr[t_i present and ranked c-th among appearing
@@ -81,18 +83,18 @@ void ForEachTupleRankDistribution(
 // permutation.
 void ForEachTuplePositionalDistribution(
     const TupleRelation& rel, TiePolicy ties,
-    const std::function<void(int, const std::vector<double>&)>& fn);
+    const std::function<void(int, std::span<const double>)>& fn);
 void ForEachTuplePositionalDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties,
-    const std::function<void(int, const std::vector<double>&)>& fn);
+    const std::function<void(int, std::span<const double>)>& fn);
 
 // Parallel chunked positional form; same contract as the parallel
 // ForEachTupleRankDistribution above.
 void ForEachTuplePositionalDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
-    const std::function<void(int, int, const std::vector<double>&)>& fn);
+    const std::function<void(int, int, std::span<const double>)>& fn);
 
 // Number of chunks the deterministic sweep grid partitions `rel` into — a
 // pure function of the relation size. Callback chunk indices are always in

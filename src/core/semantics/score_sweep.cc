@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/internal/vector_kernels.h"
 #include "util/check.h"
 
 namespace urank {
@@ -18,6 +19,9 @@ void ScoreOrderSweep::FlushPending() {
   for (int i : pending_) {
     const size_t r = static_cast<size_t>(rel_.rule_of(i));
     pb_.RemoveTrial(cur_[r]);
+    // Per-rule trial swap keyed by data-dependent rule ids; the DP work
+    // happens inside Add/RemoveTrial, which sit on the vector kernels.
+    // urank-lint: allow(kernel-vectorize)
     cur_[r] = std::min(cur_[r] + rel_.tuple(i).prob, 1.0);
     pb_.AddTrial(cur_[r]);
   }
@@ -61,9 +65,12 @@ void ScoreOrderSweep::PositionalProbabilities(int max_ranks,
   const double p = rel_.tuple(current_).prob;
   URANK_DCHECK_PROB(p);
   pb_.RemoveTrial(cur_[r]);
-  for (int rank = 0; rank < max_ranks; ++rank) {
-    (*out)[static_cast<size_t>(rank)] = p * pb_.Pmf(rank);
-  }
+  // pb_'s pmf is zero beyond its support, so scaling its first
+  // min(max_ranks, support) entries and leaving the assigned zeros equals
+  // the per-rank p * Pmf(rank) products exactly.
+  const size_t hi =
+      std::min(static_cast<size_t>(max_ranks), pb_.pmf().size());
+  vk::Active().scale(out->data(), pb_.pmf().data(), p, hi);
   pb_.AddTrial(cur_[r]);
 }
 

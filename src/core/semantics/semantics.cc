@@ -1,8 +1,10 @@
 #include "core/semantics/semantics.h"
 
 #include <algorithm>
+#include <span>
 
 #include "core/engine/prepared_relation.h"
+#include "core/internal/vector_kernels.h"
 #include "core/rank_distribution_attr.h"
 #include "core/rank_distribution_tuple.h"
 #include "util/check.h"
@@ -16,13 +18,14 @@ std::vector<double> AttrTopKProbabilities(const AttrRelation& rel, int k,
   // One DP per tuple against pdfs sorted once; the distribution and DP
   // buffers are hoisted out of the loop and reused across tuples.
   const std::vector<internal::SortedPdf> pdfs = BuildSortedPdfs(rel);
-  std::vector<double> pmf_scratch;
+  const vk::KernelOps& ops = vk::Active();
+  internal::AlignedBuf pmf_scratch;
   std::vector<double> dist;
   for (int i = 0; i < rel.size(); ++i) {
     AttrRankDistributionInto(rel, pdfs, i, ties, &pmf_scratch, &dist);
-    double cdf = 0.0;
-    const int hi = std::min(k, static_cast<int>(dist.size()));
-    for (int r = 0; r < hi; ++r) cdf += dist[static_cast<size_t>(r)];
+    const size_t hi =
+        std::min(static_cast<size_t>(k), dist.size());
+    const double cdf = ops.sum(dist.data(), hi);
     URANK_DCHECK_PROB(cdf);
     probs[static_cast<size_t>(i)] = std::min(cdf, 1.0);
   }
@@ -35,11 +38,11 @@ std::vector<double> TupleTopKProbabilities(const TupleRelation& rel, int k,
   const std::vector<std::vector<double>> pos =
       TuplePositionalProbabilities(rel, ties);
   std::vector<double> probs(static_cast<size_t>(rel.size()), 0.0);
+  const vk::KernelOps& ops = vk::Active();
   for (int i = 0; i < rel.size(); ++i) {
     const auto& row = pos[static_cast<size_t>(i)];
-    double cdf = 0.0;
-    const int hi = std::min(k, static_cast<int>(row.size()));
-    for (int r = 0; r < hi; ++r) cdf += row[static_cast<size_t>(r)];
+    const size_t hi = std::min(static_cast<size_t>(k), row.size());
+    const double cdf = ops.sum(row.data(), hi);
     URANK_DCHECK_PROB(cdf);
     probs[static_cast<size_t>(i)] = std::min(cdf, 1.0);
   }
@@ -60,12 +63,12 @@ std::vector<double> AttrTopKProbabilities(
   const StatKey key{StatKey::Kind::kTopKProbability, k, 0.0, ties};
   return *prepared.CachedStat(key, [&] {
     const auto dists = prepared.RankDistributions(ties, par, report);
+    const vk::KernelOps& ops = vk::Active();
     std::vector<double> probs(static_cast<size_t>(prepared.size()), 0.0);
     for (int i = 0; i < prepared.size(); ++i) {
       const auto& dist = (*dists)[static_cast<size_t>(i)];
-      double cdf = 0.0;
-      const int hi = std::min(k, static_cast<int>(dist.size()));
-      for (int r = 0; r < hi; ++r) cdf += dist[static_cast<size_t>(r)];
+      const size_t hi = std::min(static_cast<size_t>(k), dist.size());
+      const double cdf = ops.sum(dist.data(), hi);
       URANK_DCHECK_PROB(cdf);
       probs[static_cast<size_t>(i)] = std::min(cdf, 1.0);
     }
@@ -91,12 +94,12 @@ std::vector<double> TupleTopKProbabilities(
     // Chunk callbacks write disjoint positions, so concurrent chunks need
     // no further coordination.
     std::vector<double> probs(static_cast<size_t>(prepared.size()), 0.0);
+    const vk::KernelOps& ops = vk::Active();
     ForEachTuplePositionalDistribution(
         prepared.relation(), prepared.rank_order(), ties, par, report,
-        [&](int /*chunk*/, int i, const std::vector<double>& row) {
-          double cdf = 0.0;
-          const int hi = std::min(k, static_cast<int>(row.size()));
-          for (int r = 0; r < hi; ++r) cdf += row[static_cast<size_t>(r)];
+        [&](int /*chunk*/, int i, std::span<const double> row) {
+          const size_t hi = std::min(static_cast<size_t>(k), row.size());
+          const double cdf = ops.sum(row.data(), hi);
           URANK_DCHECK_PROB(cdf);
           probs[static_cast<size_t>(i)] = std::min(cdf, 1.0);
         });

@@ -1,8 +1,10 @@
 #include "core/semantics/u_kranks.h"
 
 #include <algorithm>
+#include <span>
 
 #include "core/engine/prepared_relation.h"
+#include "core/internal/vector_kernels.h"
 #include "core/rank_distribution_attr.h"
 #include "core/rank_distribution_tuple.h"
 #include "core/semantics/score_sweep.h"
@@ -16,6 +18,7 @@ namespace {
 std::vector<int> WinnersPerRank(
     const std::vector<std::vector<double>>& rows,
     const std::vector<int>& ids, int k) {
+  const vk::KernelOps& ops = vk::Active();
   std::vector<int> winners(static_cast<size_t>(k), -1);
   std::vector<double> best(static_cast<size_t>(k), 0.0);
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -23,14 +26,7 @@ std::vector<int> WinnersPerRank(
     URANK_DCHECK_MSG(internal::AllFiniteInRange(row, 0.0, 1.0),
                      "positional probability outside [0,1]");
     const size_t hi = std::min(static_cast<size_t>(k), row.size());
-    for (size_t r = 0; r < hi; ++r) {
-      if (row[r] > best[r] ||
-          (row[r] == best[r] && row[r] > 0.0 && winners[r] >= 0 &&
-           ids[i] < winners[r])) {
-        best[r] = row[r];
-        winners[r] = ids[i];
-      }
-    }
+    ops.argmax_merge(row.data(), ids[i], best.data(), winners.data(), hi);
   }
   return winners;
 }
@@ -110,22 +106,17 @@ std::vector<int> TupleUKRanks(const PreparedTupleRelation& prepared, int k,
         static_cast<size_t>(chunks),
         Partial{std::vector<int>(static_cast<size_t>(k), -1),
                 std::vector<double>(static_cast<size_t>(k), 0.0)});
+    const vk::KernelOps& ops = vk::Active();
     ForEachTuplePositionalDistribution(
         prepared.relation(), prepared.rank_order(), ties, par, report,
-        [&](int chunk, int i, const std::vector<double>& row) {
+        [&](int chunk, int i, std::span<const double> row) {
           URANK_DCHECK_MSG(internal::AllFiniteInRange(row, 0.0, 1.0),
                            "positional probability outside [0,1]");
           Partial& part = partials[static_cast<size_t>(chunk)];
           const int id = prepared.ids()[static_cast<size_t>(i)];
           const size_t hi = std::min(static_cast<size_t>(k), row.size());
-          for (size_t r = 0; r < hi; ++r) {
-            if (row[r] > part.best[r] ||
-                (row[r] == part.best[r] && row[r] > 0.0 &&
-                 part.winners[r] >= 0 && id < part.winners[r])) {
-              part.best[r] = row[r];
-              part.winners[r] = id;
-            }
-          }
+          ops.argmax_merge(row.data(), id, part.best.data(),
+                           part.winners.data(), hi);
         });
     std::vector<int> winners(static_cast<size_t>(k), -1);
     std::vector<double> best(static_cast<size_t>(k), 0.0);
@@ -149,6 +140,7 @@ UKRanksPruneResult TupleUKRanksPruned(const TupleRelation& rel, int k,
                                       TiePolicy ties) {
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
   ScoreOrderSweep sweep(rel, ties);
+  const vk::KernelOps& ops = vk::Active();
   std::vector<int> winners(static_cast<size_t>(k), -1);
   std::vector<double> best(static_cast<size_t>(k), 0.0);
   std::vector<double> positional;
@@ -158,16 +150,8 @@ UKRanksPruneResult TupleUKRanksPruned(const TupleRelation& rel, int k,
     sweep.PositionalProbabilities(k, &positional);
     URANK_DCHECK_MSG(internal::AllFiniteInRange(positional, 0.0, 1.0),
                      "positional probability outside [0,1]");
-    for (int r = 0; r < k; ++r) {
-      const double p = positional[static_cast<size_t>(r)];
-      if (p > best[static_cast<size_t>(r)] ||
-          (p == best[static_cast<size_t>(r)] && p > 0.0 &&
-           winners[static_cast<size_t>(r)] >= 0 &&
-           id < winners[static_cast<size_t>(r)])) {
-        best[static_cast<size_t>(r)] = p;
-        winners[static_cast<size_t>(r)] = id;
-      }
-    }
+    ops.argmax_merge(positional.data(), id, best.data(), winners.data(),
+                     static_cast<size_t>(k));
     // Stop once every rank's current winner strictly dominates the bound
     // achievable by any unseen tuple.
     bool done = true;

@@ -21,6 +21,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <vector>
 
 // Debug contracts default to "on in Debug builds, off in Release" but can
@@ -58,7 +59,7 @@ inline bool IsProbability(double p, double tol = kContractTolerance) {
 // True when every entry of `values` is finite and inside [lo - tol,
 // hi + tol]. Used to validate whole rank vectors in one debug contract so
 // the scan itself compiles out in Release.
-inline bool AllFiniteInRange(const std::vector<double>& values, double lo,
+inline bool AllFiniteInRange(std::span<const double> values, double lo,
                              double hi, double tol = kContractTolerance) {
   for (double v : values) {
     if (!std::isfinite(v) || v < lo - tol || v > hi + tol) return false;
@@ -66,11 +67,17 @@ inline bool AllFiniteInRange(const std::vector<double>& values, double lo,
   return true;
 }
 
+// std::vector overload so braced-init call sites keep working (a span
+// cannot be formed from an initializer list).
+inline bool AllFiniteInRange(const std::vector<double>& values, double lo,
+                             double hi, double tol = kContractTolerance) {
+  return AllFiniteInRange(std::span<const double>(values), lo, hi, tol);
+}
+
 // True when `pmf` is a (sub-)distribution normalized to `target`: every
 // entry a probability and the total within `tol * max(1, size)` of target.
 // The size-scaled tolerance absorbs one rounding error per accumulation.
-inline bool IsNormalized(const std::vector<double>& pmf,
-                         double target = 1.0,
+inline bool IsNormalized(std::span<const double> pmf, double target = 1.0,
                          double tol = kContractTolerance) {
   if (pmf.empty()) return false;
   double sum = 0.0;
@@ -80,6 +87,12 @@ inline bool IsNormalized(const std::vector<double>& pmf,
   }
   const double slack = tol * static_cast<double>(pmf.size() > 1 ? pmf.size() : 1);
   return std::fabs(sum - target) <= slack;
+}
+
+// std::vector overload for braced-init call sites.
+inline bool IsNormalized(const std::vector<double>& pmf, double target = 1.0,
+                         double tol = kContractTolerance) {
+  return IsNormalized(std::span<const double>(pmf), target, tol);
 }
 
 }  // namespace internal

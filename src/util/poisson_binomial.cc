@@ -1,31 +1,18 @@
 #include "util/poisson_binomial.h"
 
 #include <algorithm>
-#include <cmath>
 
+#include "core/internal/vector_kernels.h"
 #include "util/check.h"
 
 namespace urank {
-namespace {
-
-// Relative error beyond which a deconvolution result is considered to have
-// lost too much precision and a full recompute is triggered instead.
-constexpr double kDeconvTolerance = 1e-9;
-
-}  // namespace
 
 void PbConvolveTrial(std::vector<double>* pmf, double p) {
   URANK_CHECK_MSG(p > 0.0 && p <= 1.0, "trial probability must be in (0,1]");
   URANK_CHECK_MSG(!pmf->empty(), "pmf must be non-empty");
   const size_t n = pmf->size();
   pmf->push_back(0.0);
-  std::vector<double>& v = *pmf;
-  // Convolve with the two-point distribution {1-p, p}, in place, high to low.
-  const double q = 1.0 - p;
-  for (size_t c = n; c > 0; --c) {
-    v[c] = v[c] * q + v[c - 1] * p;
-  }
-  v[0] *= q;
+  vk::Active().convolve_trial(pmf->data(), n, p);
 }
 
 bool PbDeconvolveTrial(const std::vector<double>& src, double p,
@@ -34,56 +21,7 @@ bool PbDeconvolveTrial(const std::vector<double>& src, double p,
   URANK_CHECK_MSG(src.size() >= 2, "src must hold at least one trial");
   const size_t n = src.size() - 1;  // trial count before removal
   out->resize(n);
-  std::vector<double>& o = *out;
-  const double q = 1.0 - p;
-  bool ok = true;
-  if (p <= 0.5) {
-    // src[c] = out[c]*(1-p) + out[c-1]*p  =>  solve forward by (1-p).
-    double carry = 0.0;  // out[c-1]
-    for (size_t c = 0; c < n; ++c) {
-      const double v = (src[c] - carry * p) / q;
-      if (!std::isfinite(v)) {
-        ok = false;
-        break;
-      }
-      o[c] = v;
-      carry = v;
-    }
-    // Consistency check against the top coefficient.
-    if (ok && std::fabs(o[n - 1] * p - src[n]) >
-                  kDeconvTolerance + kDeconvTolerance * std::fabs(src[n])) {
-      ok = false;
-    }
-  } else {
-    // Solve backward by p: src[c] = out[c]*(1-p) + out[c-1]*p.
-    double carry = 0.0;  // out[c]
-    for (size_t c = n; c > 0; --c) {
-      const double v = (src[c] - carry * q) / p;
-      if (!std::isfinite(v)) {
-        ok = false;
-        break;
-      }
-      o[c - 1] = v;
-      carry = v;
-    }
-    if (ok && std::fabs(o[0] * q - src[0]) >
-                  kDeconvTolerance + kDeconvTolerance * std::fabs(src[0])) {
-      ok = false;
-    }
-  }
-  // Negative dips beyond round-off also signal cancellation.
-  if (ok) {
-    for (double v : o) {
-      if (v < -1e-9) {
-        ok = false;
-        break;
-      }
-    }
-  }
-  if (ok) {
-    for (double& v : o) v = std::max(v, 0.0);
-  }
-  return ok;
+  return vk::Active().deconvolve_trial(src.data(), n, p, out->data());
 }
 
 PoissonBinomial::PoissonBinomial() : pmf_{1.0} {}
@@ -141,9 +79,9 @@ double PoissonBinomial::Pmf(int c) const {
 
 double PoissonBinomial::Cdf(int c) const {
   if (c < 0) return 0.0;
-  double sum = 0.0;
   const int hi = std::min(c, static_cast<int>(pmf_.size()) - 1);
-  for (int i = 0; i <= hi; ++i) sum += pmf_[static_cast<size_t>(i)];
+  const double sum =
+      vk::Active().sum(pmf_.data(), static_cast<size_t>(hi) + 1);
   return std::min(sum, 1.0);
 }
 

@@ -1,0 +1,158 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace urank {
+namespace {
+
+std::atomic<int> g_active{-1};  // -1 = not yet resolved
+
+bool CompiledIn(SimdTarget target) {
+  switch (target) {
+    case SimdTarget::kScalar:
+      return true;
+    case SimdTarget::kNeon:
+#if defined(URANK_HAVE_NEON)
+      return true;
+#else
+      return false;
+#endif
+    case SimdTarget::kAvx2:
+#if defined(URANK_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case SimdTarget::kAvx512:
+#if defined(URANK_HAVE_AVX512)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool CpuSupports(SimdTarget target) {
+  switch (target) {
+    case SimdTarget::kScalar:
+      return true;
+    case SimdTarget::kNeon:
+      // NEON is architecturally guaranteed on AArch64, which is the only
+      // platform the NEON translation unit is compiled for.
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+    case SimdTarget::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case SimdTarget::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+// Widest available target at or below `request` in the SimdTarget order.
+SimdTarget ClampToAvailable(SimdTarget request) {
+  for (int t = static_cast<int>(request); t > 0; --t) {
+    if (SimdTargetAvailable(static_cast<SimdTarget>(t))) {
+      return static_cast<SimdTarget>(t);
+    }
+  }
+  return SimdTarget::kScalar;
+}
+
+SimdTarget ResolveInitialTarget() {
+  const char* env = std::getenv("URANK_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    SimdTarget requested;
+    if (!ParseSimdTarget(env, &requested)) {
+      std::fprintf(stderr,
+                   "urank: unknown URANK_SIMD value '%s' "
+                   "(expected scalar, neon, avx2 or avx512); "
+                   "using CPU detection\n",
+                   env);
+      return DetectSimdTarget();
+    }
+    const SimdTarget clamped = ClampToAvailable(requested);
+    if (clamped != requested) {
+      std::fprintf(stderr,
+                   "urank: URANK_SIMD=%s is not available on this "
+                   "machine; using %s\n",
+                   ToString(requested), ToString(clamped));
+    }
+    return clamped;
+  }
+  return DetectSimdTarget();
+}
+
+}  // namespace
+
+const char* ToString(SimdTarget target) {
+  switch (target) {
+    case SimdTarget::kScalar:
+      return "scalar";
+    case SimdTarget::kNeon:
+      return "neon";
+    case SimdTarget::kAvx2:
+      return "avx2";
+    case SimdTarget::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseSimdTarget(const char* name, SimdTarget* out) {
+  if (name == nullptr || out == nullptr) return false;
+  for (SimdTarget t : {SimdTarget::kScalar, SimdTarget::kNeon,
+                       SimdTarget::kAvx2, SimdTarget::kAvx512}) {
+    if (std::strcmp(name, ToString(t)) == 0) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SimdTargetAvailable(SimdTarget target) {
+  return CompiledIn(target) && CpuSupports(target);
+}
+
+SimdTarget DetectSimdTarget() {
+  return ClampToAvailable(SimdTarget::kAvx512);
+}
+
+SimdTarget ActiveSimdTarget() {
+  int raw = g_active.load(std::memory_order_acquire);
+  if (raw >= 0) return static_cast<SimdTarget>(raw);
+  // First use: resolve from the environment / CPUID. The resolution is
+  // idempotent, so a racing first call simply adopts whichever resolved
+  // value was published first.
+  const SimdTarget resolved = ResolveInitialTarget();
+  int expected = -1;
+  if (g_active.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                       std::memory_order_acq_rel)) {
+    return resolved;
+  }
+  return static_cast<SimdTarget>(expected);
+}
+
+SimdTarget SetSimdTarget(SimdTarget target) {
+  const SimdTarget clamped = ClampToAvailable(target);
+  g_active.store(static_cast<int>(clamped), std::memory_order_release);
+  return clamped;
+}
+
+}  // namespace urank

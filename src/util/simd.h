@@ -1,0 +1,66 @@
+// Runtime SIMD dispatch target for the vectorized DP kernels.
+//
+// The library compiles its hot probability primitives (see
+// core/internal/vector_kernels.h) once per instruction-set target —
+// portable scalar always, plus AVX2 / AVX-512 on x86-64 and NEON on
+// AArch64 when the toolchain supports them — and selects one target at
+// runtime. Selection happens once, on first use, in this order:
+//
+//   1. the URANK_SIMD environment variable ("scalar", "neon", "avx2",
+//      "avx512"), when set to an available target;
+//   2. otherwise CPUID detection: the widest target both compiled in and
+//      supported by the running CPU.
+//
+// SetSimdTarget() overrides the active target programmatically (tests pin
+// a target; services can force the scalar reference path). Requests for a
+// target the binary or CPU cannot run are clamped down to the widest
+// available target below the request, so callers never have to guard by
+// platform. For a fixed active target, every kernel in the library is
+// deterministic: bit-identical across thread counts and repeated runs —
+// see docs/PERFORMANCE.md ("SIMD dispatch and determinism").
+
+#ifndef URANK_UTIL_SIMD_H_
+#define URANK_UTIL_SIMD_H_
+
+namespace urank {
+
+// Instruction-set targets, ordered narrow to wide; clamping a request
+// walks down this order. kScalar is always available.
+enum class SimdTarget {
+  kScalar = 0,
+  kNeon = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+// Lower-case target name ("scalar", "neon", "avx2", "avx512"), as accepted
+// by ParseSimdTarget and the URANK_SIMD environment variable.
+const char* ToString(SimdTarget target);
+
+// Parses a target name (the ToString spelling). Returns false — leaving
+// *out untouched — for any other string.
+bool ParseSimdTarget(const char* name, SimdTarget* out);
+
+// True when `target` was both compiled into this binary and is supported
+// by the running CPU. kScalar is always true.
+bool SimdTargetAvailable(SimdTarget target);
+
+// The widest available target on this machine (CPUID detection; pure —
+// ignores URANK_SIMD and SetSimdTarget).
+SimdTarget DetectSimdTarget();
+
+// The target the vectorized kernels currently dispatch to. Resolved once
+// on first call (URANK_SIMD, else DetectSimdTarget()); later calls return
+// the resolved or last Set value. Thread-safe.
+SimdTarget ActiveSimdTarget();
+
+// Overrides the active target for all subsequent kernel invocations,
+// clamped to the widest available target not above `target`. Thread-safe,
+// but callers are expected to set it at startup or around a test block —
+// kernels already in flight keep the table they loaded. Returns the
+// target actually installed after clamping.
+SimdTarget SetSimdTarget(SimdTarget target);
+
+}  // namespace urank
+
+#endif  // URANK_UTIL_SIMD_H_

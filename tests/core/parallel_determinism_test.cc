@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -65,7 +66,7 @@ TupleRelation MakeClusteredTupleRelation(int n, int num_shared_rules,
 // difference anywhere in the row — including a stray nonzero among the
 // zero tail — changes it. Skipping exact zeros keeps the fingerprint
 // O(support) instead of O(N) on the sparse N+1-sized rank rows.
-std::uint64_t RowFingerprint(const std::vector<double>& row) {
+std::uint64_t RowFingerprint(std::span<const double> row) {
   std::uint64_t h = 0x9e3779b97f4a7c15ull + row.size();
   for (size_t i = 0; i < row.size(); ++i) {
     if (row[i] == 0.0) continue;
@@ -96,7 +97,7 @@ TEST_P(TupleKernelDeterminismTest, RankDistributionsBitIdentical) {
   // Serial facade baseline (one-shot entry, no prepared state).
   std::vector<std::uint64_t> baseline(static_cast<size_t>(kN), 0);
   ForEachTupleRankDistribution(
-      rel_, ties, [&](int i, const std::vector<double>& dist) {
+      rel_, ties, [&](int i, std::span<const double> dist) {
         baseline[static_cast<size_t>(i)] = RowFingerprint(dist);
       });
 
@@ -107,7 +108,7 @@ TEST_P(TupleKernelDeterminismTest, RankDistributionsBitIdentical) {
     KernelReport report;
     ForEachTupleRankDistribution(
         rel_, prepared->rank_order(), ties, Par(threads), &report,
-        [&](int chunk, int i, const std::vector<double>& dist) {
+        [&](int chunk, int i, std::span<const double> dist) {
           got[static_cast<size_t>(i)] = RowFingerprint(dist);
           chunk_seen[static_cast<size_t>(chunk)] = 1;
         });
@@ -125,7 +126,7 @@ TEST_P(TupleKernelDeterminismTest, PositionalDistributionsBitIdentical) {
 
   std::vector<std::uint64_t> baseline(static_cast<size_t>(kN), 0);
   ForEachTuplePositionalDistribution(
-      rel_, ties, [&](int i, const std::vector<double>& row) {
+      rel_, ties, [&](int i, std::span<const double> row) {
         baseline[static_cast<size_t>(i)] = RowFingerprint(row);
       });
 
@@ -134,7 +135,7 @@ TEST_P(TupleKernelDeterminismTest, PositionalDistributionsBitIdentical) {
     KernelReport report;
     ForEachTuplePositionalDistribution(
         rel_, prepared->rank_order(), ties, Par(threads), &report,
-        [&](int /*chunk*/, int i, const std::vector<double>& row) {
+        [&](int /*chunk*/, int i, std::span<const double> row) {
           got[static_cast<size_t>(i)] = RowFingerprint(row);
         });
     EXPECT_EQ(got, baseline) << "threads=" << threads;

@@ -40,7 +40,7 @@ TEST(QuantileFromPmfTest, RoundOffGuard) {
 TEST(QuantileFromPmfDeathTest, RejectsBadArguments) {
   EXPECT_DEATH(QuantileFromPmf({1.0}, 0.0), "phi");
   EXPECT_DEATH(QuantileFromPmf({1.0}, 1.5), "phi");
-  EXPECT_DEATH(QuantileFromPmf({}, 0.5), "non-empty");
+  EXPECT_DEATH(QuantileFromPmf(std::vector<double>{}, 0.5), "non-empty");
 }
 
 TEST(MedianRankTest, PaperFig2Values) {

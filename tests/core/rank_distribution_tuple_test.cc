@@ -1,5 +1,6 @@
 #include "core/rank_distribution_tuple.h"
 
+#include <span>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -85,7 +86,7 @@ TEST(TupleRankDistributionTest, StreamingFormAgreesWithMatrixForm) {
   int visited = 0;
   ForEachTupleRankDistribution(
       rel, TiePolicy::kBreakByIndex,
-      [&](int i, const std::vector<double>& dist) {
+      [&](int i, std::span<const double> dist) {
         ++visited;
         ExpectNearVectors(dist, matrix[static_cast<size_t>(i)], 1e-12);
       });

@@ -1,0 +1,314 @@
+// Cross-dispatch identity test: every SIMD kernel table compiled into this
+// binary must agree with the scalar reference table on every primitive.
+//
+// The contract split (documented in vector_kernels.h and
+// docs/PERFORMANCE.md) is enforced literally:
+//   * elementwise primitives (convolve_trial, scale, scale_add,
+//     argmax_merge) must be BIT-IDENTICAL to the scalar reference;
+//   * reassociated primitives (prefix_sum, suffix_sum, sum,
+//     deconvolve_trial) must match within 1e-12 relative error.
+//
+// Inputs cover randomized dense probability vectors plus the adversarial
+// shapes the ISSUE calls out: all-zero rows, single-element rows,
+// denormal-adjacent magnitudes (~1e-308), and sizes straddling every
+// vector-width boundary (2/4/8 lanes and their remainders).
+
+#include "core/internal/vector_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace urank {
+namespace {
+
+// Sizes chosen to straddle 2-, 4- and 8-lane vector boundaries plus their
+// off-by-one remainders, and to include cache-block-sized rows.
+constexpr size_t kSizes[] = {1,  2,  3,  4,   5,    7,   8,   9,  15, 16,
+                             17, 31, 32, 33,  63,   64,  65,  100, 257,
+                             1000, 2048};
+
+constexpr double kRelTol = 1e-12;
+
+std::vector<SimdTarget> CompiledSimdTargets() {
+  std::vector<SimdTarget> targets;
+  for (SimdTarget t : {SimdTarget::kNeon, SimdTarget::kAvx2,
+                       SimdTarget::kAvx512}) {
+    if (SimdTargetAvailable(t)) targets.push_back(t);
+  }
+  return targets;
+}
+
+enum class Shape { kRandom, kAllZero, kDenormalAdjacent };
+
+constexpr Shape kShapes[] = {Shape::kRandom, Shape::kAllZero,
+                             Shape::kDenormalAdjacent};
+
+const char* ShapeName(Shape s) {
+  switch (s) {
+    case Shape::kRandom:
+      return "random";
+    case Shape::kAllZero:
+      return "all_zero";
+    case Shape::kDenormalAdjacent:
+      return "denormal_adjacent";
+  }
+  return "?";
+}
+
+std::vector<double> MakeRow(Rng& rng, size_t n, Shape shape) {
+  std::vector<double> v(n, 0.0);
+  switch (shape) {
+    case Shape::kRandom:
+      for (double& x : v) x = rng.Uniform01();
+      break;
+    case Shape::kAllZero:
+      break;
+    case Shape::kDenormalAdjacent:
+      // Magnitudes just above the smallest normal double (~2.2e-308), so
+      // intermediate products dip into the subnormal range.
+      for (double& x : v) x = rng.Uniform(0.5, 1.0) * 1e-308;
+      break;
+  }
+  return v;
+}
+
+double MaxAbs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+void ExpectBitIdentical(const std::vector<double>& simd,
+                        const std::vector<double>& scalar,
+                        const char* what) {
+  ASSERT_EQ(simd.size(), scalar.size()) << what;
+  for (size_t i = 0; i < simd.size(); ++i) {
+    // EXPECT_EQ on doubles is exact equality; NaNs would fail, which is
+    // the desired behavior (kernels must not manufacture NaNs).
+    EXPECT_EQ(simd[i], scalar[i]) << what << " at index " << i;
+  }
+}
+
+void ExpectWithinRelTol(const std::vector<double>& simd,
+                        const std::vector<double>& scalar,
+                        const char* what) {
+  ASSERT_EQ(simd.size(), scalar.size()) << what;
+  const double bound = kRelTol * std::max(1.0, MaxAbs(scalar));
+  for (size_t i = 0; i < simd.size(); ++i) {
+    EXPECT_NEAR(simd[i], scalar[i], bound) << what << " at index " << i;
+  }
+}
+
+class KernelIdentityTest : public ::testing::TestWithParam<SimdTarget> {
+ protected:
+  const vk::KernelOps& simd_ = vk::ForTarget(GetParam());
+  const vk::KernelOps& scalar_ = vk::ForTarget(SimdTarget::kScalar);
+};
+
+TEST_P(KernelIdentityTest, ConvolveTrialIsBitIdentical) {
+  Rng rng(101);
+  for (size_t n : kSizes) {
+    for (Shape shape : kShapes) {
+      const std::vector<double> base = MakeRow(rng, n, shape);
+      const double p = rng.Uniform(0.01, 1.0);
+      std::vector<double> a(base), b(base);
+      a.resize(n + 1, -7.0);  // v[n] is written, not read
+      b.resize(n + 1, -7.0);
+      simd_.convolve_trial(a.data(), n, p);
+      scalar_.convolve_trial(b.data(), n, p);
+      ExpectBitIdentical(a, b, ShapeName(shape));
+    }
+  }
+}
+
+TEST_P(KernelIdentityTest, DeconvolveTrialRoundTripsWithinTol) {
+  Rng rng(202);
+  for (size_t n : kSizes) {
+    if (n > 300) continue;  // O(n) probs per case; keep the sweep fast
+    // Build a genuine n-trial Poisson-binomial pmf so both targets accept
+    // the division; probabilities away from 0 and 1 avoid cancellation.
+    std::vector<double> probs(n);
+    for (double& p : probs) p = rng.Uniform(0.05, 0.95);
+    std::vector<double> src(n + 1, 0.0);
+    src[0] = 1.0;
+    for (size_t t = 0; t < n; ++t) {
+      scalar_.convolve_trial(src.data(), t + 1, probs[t]);
+    }
+    const double p = probs[n - 1];
+    std::vector<double> a(n, -7.0), b(n, -7.0);
+    const bool ok_simd = simd_.deconvolve_trial(src.data(), n, p, a.data());
+    const bool ok_scalar =
+        scalar_.deconvolve_trial(src.data(), n, p, b.data());
+    ASSERT_TRUE(ok_scalar) << "n=" << n;
+    ASSERT_TRUE(ok_simd) << "n=" << n;
+    ExpectWithinRelTol(a, b, "deconvolve");
+  }
+}
+
+TEST_P(KernelIdentityTest, DeconvolveTrialSingleTrialIsExact) {
+  // n == 1: src = {1-p, p}; the reduced pmf is exactly {1.0}.
+  for (double p : {0.25, 0.5, 1.0}) {
+    const std::vector<double> src = {1.0 - p, p};
+    double a = -7.0, b = -7.0;
+    ASSERT_TRUE(simd_.deconvolve_trial(src.data(), 1, p, &a));
+    ASSERT_TRUE(scalar_.deconvolve_trial(src.data(), 1, p, &b));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_P(KernelIdentityTest, PrefixSumWithinTol) {
+  Rng rng(303);
+  for (size_t n : kSizes) {
+    for (Shape shape : kShapes) {
+      const std::vector<double> base = MakeRow(rng, n, shape);
+      std::vector<double> a(base), b(base);
+      simd_.prefix_sum(a.data(), n);
+      scalar_.prefix_sum(b.data(), n);
+      ExpectWithinRelTol(a, b, ShapeName(shape));
+    }
+  }
+  // n == 0 must be a no-op on both.
+  simd_.prefix_sum(nullptr, 0);
+  scalar_.prefix_sum(nullptr, 0);
+}
+
+TEST_P(KernelIdentityTest, SuffixSumWithinTolAndZeroTerminated) {
+  Rng rng(404);
+  for (size_t n : kSizes) {
+    for (Shape shape : kShapes) {
+      const std::vector<double> mass = MakeRow(rng, n, shape);
+      std::vector<double> a(n + 1, -7.0), b(n + 1, -7.0);
+      simd_.suffix_sum(mass.data(), a.data(), n);
+      scalar_.suffix_sum(mass.data(), b.data(), n);
+      EXPECT_EQ(a[n], 0.0) << ShapeName(shape);
+      EXPECT_EQ(b[n], 0.0) << ShapeName(shape);
+      ExpectWithinRelTol(a, b, ShapeName(shape));
+    }
+  }
+}
+
+TEST_P(KernelIdentityTest, SumWithinTol) {
+  Rng rng(505);
+  for (size_t n : kSizes) {
+    for (Shape shape : kShapes) {
+      const std::vector<double> v = MakeRow(rng, n, shape);
+      const double a = simd_.sum(v.data(), n);
+      const double b = scalar_.sum(v.data(), n);
+      EXPECT_NEAR(a, b, kRelTol * std::max(1.0, std::abs(b)))
+          << ShapeName(shape) << " n=" << n;
+    }
+  }
+  EXPECT_EQ(simd_.sum(nullptr, 0), 0.0);
+}
+
+TEST_P(KernelIdentityTest, ScaleIsBitIdentical) {
+  Rng rng(606);
+  for (size_t n : kSizes) {
+    for (Shape shape : kShapes) {
+      const std::vector<double> in = MakeRow(rng, n, shape);
+      const double a = rng.Uniform(0.0, 2.0);
+      std::vector<double> out_simd(n, -7.0), out_scalar(n, -7.0);
+      simd_.scale(out_simd.data(), in.data(), a, n);
+      scalar_.scale(out_scalar.data(), in.data(), a, n);
+      ExpectBitIdentical(out_simd, out_scalar, ShapeName(shape));
+    }
+  }
+}
+
+TEST_P(KernelIdentityTest, ScaleAddIsBitIdentical) {
+  Rng rng(707);
+  for (size_t n : kSizes) {
+    for (Shape shape : kShapes) {
+      const std::vector<double> in = MakeRow(rng, n, shape);
+      const std::vector<double> acc = MakeRow(rng, n, Shape::kRandom);
+      const double a = rng.Uniform(0.0, 2.0);
+      std::vector<double> out_simd(acc), out_scalar(acc);
+      simd_.scale_add(out_simd.data(), in.data(), a, n);
+      scalar_.scale_add(out_scalar.data(), in.data(), a, n);
+      ExpectBitIdentical(out_simd, out_scalar, ShapeName(shape));
+    }
+  }
+}
+
+TEST_P(KernelIdentityTest, ArgmaxMergeIsBitIdentical) {
+  Rng rng(808);
+  for (size_t n : kSizes) {
+    // Quantized probabilities force exact ties, exercising the
+    // smaller-id-wins and zero-never-wins branches of the tie rule.
+    std::vector<double> best_simd(n, -1.0), best_scalar(n, -1.0);
+    std::vector<int> win_simd(n, -1), win_scalar(n, -1);
+    for (int round = 0; round < 12; ++round) {
+      std::vector<double> row(n);
+      for (double& x : row) {
+        x = static_cast<double>(rng.UniformInt(0, 4)) / 4.0;
+      }
+      // Non-monotone id sequence so later rows can carry smaller ids.
+      const int id = static_cast<int>(rng.UniformInt(0, 9));
+      simd_.argmax_merge(row.data(), id, best_simd.data(), win_simd.data(),
+                         n);
+      scalar_.argmax_merge(row.data(), id, best_scalar.data(),
+                           win_scalar.data(), n);
+    }
+    ExpectBitIdentical(best_simd, best_scalar, "argmax best");
+    for (size_t c = 0; c < n; ++c) {
+      EXPECT_EQ(win_simd[c], win_scalar[c]) << "winner at rank " << c;
+    }
+  }
+}
+
+TEST_P(KernelIdentityTest, ConvolvePrefixDeconvolveComposition) {
+  // End-to-end shape mirroring the rank-distribution DP: convolve a pmf up
+  // through k trials, prefix-sum it to a cdf, and deconvolve one factor
+  // out — all on the SIMD target — then compare to the scalar pipeline.
+  Rng rng(909);
+  constexpr size_t kTrials = 200;
+  std::vector<double> probs(kTrials);
+  for (double& p : probs) p = rng.Uniform(0.05, 0.95);
+
+  std::vector<double> pmf_simd = {1.0};
+  std::vector<double> pmf_scalar = {1.0};
+  pmf_simd.reserve(kTrials + 1);
+  pmf_scalar.reserve(kTrials + 1);
+  for (size_t t = 0; t < kTrials; ++t) {
+    pmf_simd.resize(t + 2);
+    pmf_scalar.resize(t + 2);
+    simd_.convolve_trial(pmf_simd.data(), t + 1, probs[t]);
+    scalar_.convolve_trial(pmf_scalar.data(), t + 1, probs[t]);
+  }
+  ExpectBitIdentical(pmf_simd, pmf_scalar, "pipeline pmf");
+
+  std::vector<double> cdf_simd(pmf_simd), cdf_scalar(pmf_scalar);
+  simd_.prefix_sum(cdf_simd.data(), cdf_simd.size());
+  scalar_.prefix_sum(cdf_scalar.data(), cdf_scalar.size());
+  ExpectWithinRelTol(cdf_simd, cdf_scalar, "pipeline cdf");
+  EXPECT_NEAR(cdf_simd.back(), 1.0, 1e-9);
+
+  std::vector<double> red_simd(kTrials, -7.0), red_scalar(kTrials, -7.0);
+  ASSERT_TRUE(simd_.deconvolve_trial(pmf_simd.data(), kTrials, probs[7],
+                                     red_simd.data()));
+  ASSERT_TRUE(scalar_.deconvolve_trial(pmf_scalar.data(), kTrials, probs[7],
+                                       red_scalar.data()));
+  ExpectWithinRelTol(red_simd, red_scalar, "pipeline deconvolve");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CompiledTargets, KernelIdentityTest,
+    ::testing::ValuesIn(CompiledSimdTargets()),
+    [](const ::testing::TestParamInfo<SimdTarget>& info) {
+      return std::string(ToString(info.param));
+    });
+
+// gtest treats an empty ValuesIn list as an error by default; on machines
+// where only the scalar table is compiled (no SIMD targets available)
+// there is legitimately nothing to cross-check.
+GTEST_ALLOW_UNINSTANTIATED_PARAMETERIZED_TEST(KernelIdentityTest);
+
+}  // namespace
+}  // namespace urank

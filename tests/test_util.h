@@ -6,6 +6,7 @@
 #ifndef URANK_TESTS_TEST_UTIL_H_
 #define URANK_TESTS_TEST_UTIL_H_
 
+#include <span>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -100,8 +101,11 @@ inline TupleRelation RandomSmallTuple(Rng& rng, int n, int value_grid = 12) {
   return TupleRelation(std::move(tuples), std::move(rules));
 }
 
-// EXPECT element-wise closeness of two double vectors.
-inline void ExpectNearVectors(const std::vector<double>& actual,
+// EXPECT element-wise closeness of two double sequences. `actual` is a
+// span so the streamed kernel callbacks (which hand out views of aligned
+// scratch) can be checked without copying; braced-init expected values
+// bind to the vector parameter.
+inline void ExpectNearVectors(std::span<const double> actual,
                               const std::vector<double>& expected,
                               double tol) {
   ASSERT_EQ(actual.size(), expected.size());

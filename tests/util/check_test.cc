@@ -113,7 +113,7 @@ TEST(ValidatorTest, IsNormalizedHonorsSizeScaledTolerance) {
   EXPECT_FALSE(IsNormalized({0.5, 0.4}));
   EXPECT_FALSE(IsNormalized({0.7, 0.4}));
   EXPECT_FALSE(IsNormalized({1.5, -0.5}));  // entries must be probabilities
-  EXPECT_FALSE(IsNormalized({}));
+  EXPECT_FALSE(IsNormalized(std::vector<double>{}));
   // Sub-distributions validate against an explicit target.
   EXPECT_TRUE(IsNormalized({0.2, 0.2}, 0.4));
   EXPECT_FALSE(IsNormalized({0.2, 0.2}, 0.5));
@@ -121,7 +121,7 @@ TEST(ValidatorTest, IsNormalizedHonorsSizeScaledTolerance) {
 
 TEST(ValidatorTest, AllFiniteInRangeChecksEveryEntry) {
   EXPECT_TRUE(AllFiniteInRange({0.0, 1.0, 2.0}, 0.0, 2.0));
-  EXPECT_TRUE(AllFiniteInRange({}, 0.0, 1.0));
+  EXPECT_TRUE(AllFiniteInRange(std::vector<double>{}, 0.0, 1.0));
   EXPECT_TRUE(AllFiniteInRange({-1e-12}, 0.0, 1.0));  // tolerance below lo
   EXPECT_FALSE(AllFiniteInRange({-1e-6}, 0.0, 1.0));
   EXPECT_FALSE(AllFiniteInRange({0.0, 3.0}, 0.0, 2.0));

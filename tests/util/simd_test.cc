@@ -1,0 +1,82 @@
+#include "util/simd.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace urank {
+namespace {
+
+constexpr SimdTarget kAllTargets[] = {SimdTarget::kScalar, SimdTarget::kNeon,
+                                      SimdTarget::kAvx2, SimdTarget::kAvx512};
+
+// Pins the process-wide dispatch target for one test and restores the
+// entry state on scope exit, so tests in this binary stay independent.
+class TargetGuard {
+ public:
+  TargetGuard() : entry_(ActiveSimdTarget()) {}
+  ~TargetGuard() { SetSimdTarget(entry_); }
+
+ private:
+  SimdTarget entry_;
+};
+
+TEST(SimdTargetTest, ToStringParseRoundTrip) {
+  for (SimdTarget t : kAllTargets) {
+    SimdTarget parsed = SimdTarget::kAvx512;
+    ASSERT_TRUE(ParseSimdTarget(ToString(t), &parsed)) << ToString(t);
+    EXPECT_EQ(parsed, t);
+  }
+}
+
+TEST(SimdTargetTest, ParseRejectsUnknownNames) {
+  SimdTarget parsed = SimdTarget::kScalar;
+  EXPECT_FALSE(ParseSimdTarget("sse9", &parsed));
+  EXPECT_FALSE(ParseSimdTarget("", &parsed));
+  EXPECT_FALSE(ParseSimdTarget(nullptr, &parsed));
+  EXPECT_FALSE(ParseSimdTarget("AVX2", &parsed));  // names are lowercase
+}
+
+TEST(SimdTargetTest, ScalarIsAlwaysAvailable) {
+  EXPECT_TRUE(SimdTargetAvailable(SimdTarget::kScalar));
+}
+
+TEST(SimdTargetTest, DetectedTargetIsAvailable) {
+  EXPECT_TRUE(SimdTargetAvailable(DetectSimdTarget()));
+}
+
+TEST(SimdTargetTest, ActiveTargetIsAvailable) {
+  EXPECT_TRUE(SimdTargetAvailable(ActiveSimdTarget()));
+}
+
+TEST(SimdTargetTest, SetTargetInstallsScalar) {
+  TargetGuard guard;
+  EXPECT_EQ(SetSimdTarget(SimdTarget::kScalar), SimdTarget::kScalar);
+  EXPECT_EQ(ActiveSimdTarget(), SimdTarget::kScalar);
+}
+
+TEST(SimdTargetTest, SetTargetClampsToAvailable) {
+  TargetGuard guard;
+  for (SimdTarget requested : kAllTargets) {
+    const SimdTarget installed = SetSimdTarget(requested);
+    EXPECT_TRUE(SimdTargetAvailable(installed)) << ToString(requested);
+    EXPECT_LE(static_cast<int>(installed), static_cast<int>(requested));
+    EXPECT_EQ(ActiveSimdTarget(), installed);
+    // Requesting an available target installs exactly that target.
+    if (SimdTargetAvailable(requested)) {
+      EXPECT_EQ(installed, requested);
+    }
+  }
+}
+
+TEST(SimdTargetTest, ToStringNamesAreDistinct) {
+  for (SimdTarget a : kAllTargets) {
+    for (SimdTarget b : kAllTargets) {
+      if (a == b) continue;
+      EXPECT_NE(std::string(ToString(a)), std::string(ToString(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace urank

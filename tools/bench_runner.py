@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Runs the bench/ suite and merges the results into BENCH_3.json.
+"""Runs the bench/ suite and merges the results into BENCH_4.json.
 
 The perf trajectory lives in BENCH_<PR>.json files at the repo root: one
 machine-readable snapshot per performance-focused PR, so later PRs can
@@ -8,7 +8,8 @@ from an existing build tree and writes one merged JSON document.
 
 Usage:
     python3 tools/bench_runner.py [--build-dir build] [--smoke]
-                                  [--out BENCH_3.json] [--only a,b,...]
+                                  [--out BENCH_4.json] [--only a,b,...]
+                                  [--compare BENCH_3.json]
 
 Modes:
     --smoke   run only the benchmarks marked smoke-safe, with their
@@ -17,9 +18,19 @@ Modes:
     (default) run the full registered suite, including the
               google-benchmark timing binaries.
 
+--compare diffs the freshly-written snapshot against a baseline
+BENCH_<PR>.json: series are matched by (kernel, n, threads, simd_target)
+for the harness benchmarks (baselines written before the simd_target
+field existed match on (kernel, n, threads)) and by benchmark name for
+the google-benchmark binaries, a per-series speedup ratio
+(baseline time / new time) is printed, and any matched series that is
+more than 10% SLOWER than the baseline fails the run. Series present on
+only one side (new dispatch sweeps, renamed benchmarks) are reported but
+never fail.
+
 Exit status is nonzero when any benchmark binary fails (in particular,
 bench_parallel_kernels fails on any bit-identity violation between
-thread counts).
+thread counts) or when --compare finds a >10% regression.
 """
 
 from __future__ import annotations
@@ -32,9 +43,12 @@ import sys
 import tempfile
 import time
 
-BENCH_ID = "BENCH_3"
-TITLE = ("Intra-query parallel DP kernels: deterministic ParallelFor, "
-         "allocation-free sweeps")
+BENCH_ID = "BENCH_4"
+TITLE = ("SIMD-vectorized, cache-blocked DP kernels with runtime "
+         "dispatch")
+
+# A matched series must not be slower than baseline by more than this.
+REGRESSION_TOLERANCE = 0.10
 
 
 class Bench:
@@ -132,6 +146,82 @@ def run_one(bench, build_dir, smoke):
     return result
 
 
+def series_key(row):
+    """Stable identity of one measurement row across snapshots.
+
+    Harness rows carry (kernel, n, threads[, simd_target]); BENCH_3 and
+    older predate the simd_target field, so a missing value means the
+    scalar code path. google-benchmark rows are identified by name.
+    """
+    if "kernel" in row:
+        return (row.get("kernel"), row.get("n"), row.get("threads"),
+                row.get("simd_target", "scalar"))
+    return (row.get("name"),)
+
+
+def row_time_ms(row):
+    for field in ("wall_ms", "real_time_ms"):
+        if isinstance(row.get(field), (int, float)):
+            return float(row[field])
+    return None
+
+
+def compare_docs(baseline, new):
+    """Prints per-series speedups of `new` over `baseline`.
+
+    Returns the number of matched series regressing by more than
+    REGRESSION_TOLERANCE.
+    """
+    regressions = 0
+    matched = 0
+    print(f"[bench_runner] compare: {new.get('bench_id')} vs "
+          f"{baseline.get('bench_id')} baseline")
+    for name, new_result in sorted(new.get("results", {}).items()):
+        base_result = baseline.get("results", {}).get(name)
+        if base_result is None:
+            print(f"  {name}: not in baseline, skipped")
+            continue
+        base_rows = {series_key(r): r
+                     for r in base_result.get("benchmarks", [])}
+        # Baselines written before the simd_target field carry implicit
+        # scalar keys; match those on (kernel, n, threads) so a new
+        # snapshot whose default dispatch target is a SIMD table still
+        # diffs against them.
+        base_legacy = {series_key(r)[:3]: series_key(r)
+                       for r in base_result.get("benchmarks", [])
+                       if "kernel" in r and "simd_target" not in r}
+        for row in new_result.get("benchmarks", []):
+            key = series_key(row)
+            new_ms = row_time_ms(row)
+            base_row = base_rows.pop(key, None)
+            if base_row is None and "kernel" in row:
+                legacy_key = base_legacy.get(key[:3])
+                if legacy_key is not None:
+                    base_row = base_rows.pop(legacy_key, None)
+            if new_ms is None:
+                continue
+            label = "/".join(str(p) for p in key if p is not None)
+            if base_row is None or row_time_ms(base_row) is None:
+                print(f"  {name} {label}: new series ({new_ms:.3f} ms)")
+                continue
+            base_ms = row_time_ms(base_row)
+            matched += 1
+            ratio = base_ms / new_ms if new_ms > 0 else float("inf")
+            verdict = ""
+            if new_ms > base_ms * (1.0 + REGRESSION_TOLERANCE):
+                verdict = "  <-- REGRESSION"
+                regressions += 1
+            print(f"  {name} {label}: {base_ms:.3f} ms -> {new_ms:.3f} ms "
+                  f"(speedup {ratio:.2f}x){verdict}")
+        for key in base_rows:
+            label = "/".join(str(p) for p in key if p is not None)
+            print(f"  {name} {label}: missing from new snapshot")
+    print(f"[bench_runner] compare: {matched} series matched, "
+          f"{regressions} regression(s) beyond "
+          f"{REGRESSION_TOLERANCE:.0%}")
+    return regressions
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build")
@@ -141,6 +231,9 @@ def main():
                         help="comma-separated registry names")
     parser.add_argument("--list", action="store_true",
                         help="list registered benchmarks and exit")
+    parser.add_argument("--compare", default="",
+                        help="baseline BENCH_<PR>.json to diff against; "
+                             "exits 1 on a >10%% per-series regression")
     args = parser.parse_args()
 
     if args.list:
@@ -181,7 +274,19 @@ def main():
         f.write("\n")
     print(f"[bench_runner] wrote {args.out} "
           f"({len(doc['results'])} benchmarks, {failures} failures)")
-    return 1 if failures else 0
+
+    regressions = 0
+    if args.compare:
+        try:
+            with open(args.compare) as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"[bench_runner] cannot read baseline "
+                  f"{args.compare}: {e}", file=sys.stderr)
+            return 2
+        regressions = compare_docs(baseline, doc)
+
+    return 1 if failures or regressions else 0
 
 
 if __name__ == "__main__":

@@ -31,6 +31,14 @@ cannot see:
                    out of the loop or draw scratch from the per-worker
                    KernelArena. Reference bindings, pointers and nested
                    type names do not allocate and are not flagged.
+  kernel-vectorize the hot DP kernel files must not hand-roll elementwise
+                   array sweeps or indexed reductions inside for/while
+                   bodies: those inner loops belong behind the dispatch
+                   table in core/internal/vector_kernels.h so every kernel
+                   picks up the SIMD fast paths. Loops that are genuinely
+                   scalar (early-exit scans, permutation gathers, order-
+                   sensitive accumulations) carry an allow comment stating
+                   why.
 
 A finding can be suppressed for one line with a trailing or preceding
 comment `// urank-lint: allow(<rule>)`; use sparingly and justify inline.
@@ -406,6 +414,51 @@ def check_kernel_alloc(root, findings):
                 "buffer out of the loop or use the per-worker KernelArena"))
 
 
+# --- kernel-vectorize ------------------------------------------------------
+
+# Raw inner-loop shapes over probability arrays that vector_kernels.h
+# already covers:
+#   * elementwise writes `a[i] op= ... b[j] ...` (scale/scale_add/convolve
+#     territory), and
+#   * indexed reductions `acc += ... v[i];` (sum/prefix territory).
+# Matches are restricted to for/while bodies in KERNEL_FILES; loops that
+# must stay scalar justify themselves with an allow(kernel-vectorize)
+# comment.
+KERNEL_VECTORIZE_RES = (
+    re.compile(r"\[[^\];]*\]\s*[+\-*]?=\s*[^;]*\["),
+    re.compile(r"\w+\s*\+=\s*[^;=]*\[[^\];]*\]\s*;"),
+)
+
+
+def check_kernel_vectorize(root, findings):
+    for rel in KERNEL_FILES:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        lines = text.split("\n")
+        code = strip_comments_and_strings(text)
+        spans = loop_body_spans(code)
+        flagged = set()
+        for rx in KERNEL_VECTORIZE_RES:
+            for m in rx.finditer(code):
+                if not any(a < m.start() < b for a, b in spans):
+                    continue
+                lineno = code[:m.start()].count("\n") + 1
+                if lineno in flagged:
+                    continue
+                if "kernel-vectorize" in allowed_rules(lines, lineno):
+                    continue
+                flagged.add(lineno)
+                findings.append(Finding(
+                    rel, lineno, "kernel-vectorize",
+                    "raw inner loop over probability arrays; express it "
+                    "against a core/internal/vector_kernels.h primitive, "
+                    "or justify the scalar loop with an "
+                    "allow(kernel-vectorize) comment"))
+
+
 # --- build-registration ----------------------------------------------------
 
 def check_build_registration(root, findings):
@@ -437,6 +490,7 @@ def main():
     check_engine_api(root, findings)
     check_preconditions(root, findings)
     check_kernel_alloc(root, findings)
+    check_kernel_vectorize(root, findings)
     check_build_registration(root, findings)
 
     for finding in sorted(findings, key=lambda f: (f.path, f.line)):
