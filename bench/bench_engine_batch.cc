@@ -9,21 +9,45 @@
 // k=10/k=100 pairs collapse to one) compute it once, and independent
 // queries run on parallel workers. The acceptance target for this harness
 // is a >= 2x end-to-end speedup.
+//
+// Flags:
+//   --smoke        shrink the relations for CI smoke runs
+//   --json=PATH    machine-readable results for tools/bench_runner.py
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/engine/query_engine.h"
 #include "core/query.h"
 #include "gen/tuple_gen.h"
+#include "util/parallel.h"
+#include "util/simd.h"
 #include "util/table.h"
 #include "util/timer.h"
 
 namespace urank {
 namespace {
 
-constexpr int kN = 10000;
 constexpr int kThreads = 8;
+
+// One machine-readable series point, keyed by (kernel, n, threads,
+// simd_target) in tools/bench_runner.py --compare.
+struct Measurement {
+  std::string kernel;
+  int n = 0;
+  int threads = 0;
+  double wall_ms = 0.0;
+};
+
+std::vector<Measurement>& Collected() {
+  static std::vector<Measurement> rows;
+  return rows;
+}
+
+void Collect(const std::string& kernel, int n, int threads, double wall_ms) {
+  Collected().push_back({kernel, n, threads, wall_ms});
+}
 
 RankingQuery MakeQuery(RankingSemantics semantics, int k, double phi = 0.5) {
   RankingQuery q;
@@ -53,7 +77,7 @@ std::vector<RankingQuery> MakeBatch() {
   };
 }
 
-void RunExperiment() {
+void RunExperiment(int kN) {
   TupleGenConfig config;  // paper baseline: N=10k, 30% multi-tuple rules
   config.num_tuples = kN;
   config.seed = 23;
@@ -81,9 +105,13 @@ void RunExperiment() {
     if (results[i].answer.ids != facade_answers[i].ids) ++mismatches;
   }
 
-  Table per_query(
-      "E19a: per-query engine statistics (N = 10000, 8 worker threads)",
-      {"semantics", "k", "wall ms", "cache hit", "dp cells", "pruned"});
+  Collect("engine_facade_sequential", kN, 1, facade_ms);
+  Collect("engine_batch", kN, kThreads, engine_ms);
+
+  Table per_query("E19a: per-query engine statistics (N = " + FormatInt(kN) +
+                      ", 8 worker threads)",
+                  {"semantics", "k", "wall ms", "cache hit", "dp cells",
+                   "pruned"});
   for (size_t i = 0; i < batch.size(); ++i) {
     const QueryStats& s = results[i].stats;
     per_query.AddRow({ToString(batch[i].semantics), FormatInt(batch[i].k),
@@ -111,8 +139,7 @@ void RunExperiment() {
 // — otherwise the second run would be served from the statistic cache —
 // and every configuration's answers must match the serial baseline
 // exactly.
-void RunScalingGrid() {
-  constexpr int kGridN = 24000;  // several chunks at the default 8192 grain
+void RunScalingGrid(int kGridN) {
   TupleGenConfig config;
   config.num_tuples = kGridN;
   config.seed = 29;
@@ -151,6 +178,8 @@ void RunScalingGrid() {
                 results[i].answer.statistics == baseline[i].answer.statistics;
       }
     }
+    Collect("engine_grid_intra" + FormatInt(point.intra_threads), kGridN,
+            point.batch_threads, ms);
     table.AddRow({FormatInt(point.batch_threads),
                   FormatInt(point.intra_threads), FormatDouble(ms, 2),
                   FormatDouble(ms > 0.0 ? baseline_ms / ms : 0.0, 2),
@@ -159,12 +188,53 @@ void RunScalingGrid() {
   table.Print();
 }
 
+void WriteJson(const std::string& path, bool smoke) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  const std::vector<Measurement>& rows = Collected();
+  std::fprintf(f, "{\n  \"harness\": \"bench_engine_batch\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"hardware_threads\": %d,\n", ResolveThreads(0));
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Measurement& m = rows[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"n\": %d, \"threads\": %d, "
+                 "\"simd_target\": \"%s\", \"wall_ms\": %.3f}%s\n",
+                 m.kernel.c_str(), m.n, m.threads,
+                 ToString(ActiveSimdTarget()), m.wall_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace urank
 
-int main() {
-  urank::RunExperiment();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  // Smoke sizes keep every sweep multi-chunk (several 8192-item chunks)
+  // while fitting a CI time budget.
+  urank::RunExperiment(smoke ? 4000 : 10000);
   std::printf("\n");
-  urank::RunScalingGrid();
+  urank::RunScalingGrid(smoke ? 12000 : 24000);
+  if (!json_path.empty()) urank::WriteJson(json_path, smoke);
   return 0;
 }

@@ -1,0 +1,96 @@
+// metrics_dump: end-to-end tour of the observability layer.
+//
+// Runs a mixed-semantics QueryEngine batch with intra-query parallelism
+// under an active trace session, then emits every exporter the library
+// provides:
+//   1. the Prometheus text page (stdout) — what a scrape endpoint serves,
+//   2. the compact JSON snapshot (stdout) — what tools/bench_runner.py
+//      archives next to bench numbers,
+//   3. a Chrome trace_event document (metrics_trace.json, or argv[1]) —
+//      open it in chrome://tracing or https://ui.perfetto.dev to see the
+//      engine spans with per-chunk kernel work fanning out across the
+//      worker-thread lanes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine/query_engine.h"
+#include "core/engine/trace.h"
+#include "core/query.h"
+#include "gen/tuple_gen.h"
+#include "util/metrics.h"
+
+namespace {
+
+std::vector<urank::RankingQuery> MakeBatch() {
+  using urank::RankingQuery;
+  using urank::RankingSemantics;
+  std::vector<RankingQuery> batch;
+  const RankingSemantics mix[] = {
+      RankingSemantics::kExpectedRank, RankingSemantics::kMedianRank,
+      RankingSemantics::kQuantileRank, RankingSemantics::kPTk,
+      RankingSemantics::kGlobalTopk,   RankingSemantics::kUKRanks,
+  };
+  for (RankingSemantics semantics : mix) {
+    RankingQuery q;
+    q.semantics = semantics;
+    q.k = 10;
+    q.phi = 0.75;
+    q.threshold = 0.1;
+    batch.push_back(q);
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace_path = argc > 1 ? argv[1] : "metrics_trace.json";
+
+  // Record everything this process does from here on.
+  urank::trace::Recorder& recorder = urank::trace::Recorder::Global();
+  recorder.Start();
+
+  urank::TupleGenConfig config;
+  config.num_tuples = 30000;  // several chunks per DP sweep
+  config.seed = 41;
+  const urank::TupleRelation rel = urank::GenerateTupleRelation(config);
+
+  const auto prepared = urank::QueryEngine::Prepare(rel);
+  urank::QueryEngine engine(prepared);
+  urank::ParallelismOptions par;
+  par.threads = 4;
+  engine.set_parallelism(par);
+
+  const std::vector<urank::QueryResult> results =
+      engine.RunBatch(MakeBatch(), 4);
+  for (const urank::QueryResult& r : results) {
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", r.status.message.c_str());
+      return 1;
+    }
+  }
+
+  recorder.Stop();
+
+  std::printf("=== Prometheus text page ===\n%s\n",
+              urank::metrics::Registry::Global().RenderPrometheus().c_str());
+  std::printf("=== JSON snapshot ===\n%s\n\n",
+              urank::metrics::Registry::Global().RenderJsonSnapshot().c_str());
+
+  const std::string trace = recorder.ChromeTraceJson();
+  std::FILE* f = std::fopen(trace_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", trace_path.c_str());
+    return 1;
+  }
+  std::fwrite(trace.data(), 1, trace.size(), f);
+  std::fclose(f);
+  std::printf(
+      "=== Chrome trace ===\nwrote %s (%zu events recorded, %llu dropped) — "
+      "load it in chrome://tracing or https://ui.perfetto.dev\n",
+      trace_path.c_str(), recorder.Events().size(),
+      static_cast<unsigned long long>(recorder.dropped()));
+  return 0;
+}

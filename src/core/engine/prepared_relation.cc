@@ -3,9 +3,41 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/engine/trace.h"
 #include "core/rank_distribution_attr.h"
+#include "util/metrics.h"
 
 namespace urank {
+
+namespace {
+
+// Statistic-memo metrics, shared by both prepared-relation flavours. A
+// lookup is a miss exactly when its compute lambda ran; callers that
+// merely wait on another thread's in-flight compute count as hits (they
+// paid latency but no work).
+struct StatCacheMetrics {
+  metrics::Counter& hits;
+  metrics::Counter& misses;
+
+  static const StatCacheMetrics& Get() {
+    metrics::Registry& r = metrics::Registry::Global();
+    static const StatCacheMetrics m{
+        r.counter("urank_engine_stat_cache_hits_total"),
+        r.counter("urank_engine_stat_cache_misses_total")};
+    return m;
+  }
+};
+
+template <typename T, typename Fn>
+T InstrumentedLookup(const Fn& lookup) {
+  bool computed = false;
+  T result = lookup(&computed);
+  const StatCacheMetrics& cm = StatCacheMetrics::Get();
+  (computed ? cm.misses : cm.hits).Increment();
+  return result;
+}
+
+}  // namespace
 
 PreparedAttrRelation::PreparedAttrRelation(AttrRelation rel)
     : rel_(std::move(rel)),
@@ -44,15 +76,27 @@ std::shared_ptr<const std::vector<std::vector<double>>>
 PreparedAttrRelation::RankDistributions(TiePolicy ties,
                                         const ParallelismOptions& par,
                                         KernelReport* report) const {
-  return dists_.GetOrCompute(static_cast<int>(ties), [&] {
-    return AttrRankDistributions(rel_, sorted_pdfs_, ties, par, report);
+  using Result = std::shared_ptr<const std::vector<std::vector<double>>>;
+  return InstrumentedLookup<Result>([&](bool* computed) {
+    return dists_.GetOrCompute(static_cast<int>(ties), [&] {
+      *computed = true;
+      URANK_TRACE_SPAN("engine.stat_compute");
+      return AttrRankDistributions(rel_, sorted_pdfs_, ties, par, report);
+    });
   });
 }
 
 std::shared_ptr<const std::vector<double>> PreparedAttrRelation::CachedStat(
     const StatKey& key,
     const std::function<std::vector<double>()>& compute) const {
-  return stats_.GetOrCompute(key, compute);
+  using Result = std::shared_ptr<const std::vector<double>>;
+  return InstrumentedLookup<Result>([&](bool* computed) {
+    return stats_.GetOrCompute(key, [&] {
+      *computed = true;
+      URANK_TRACE_SPAN("engine.stat_compute");
+      return compute();
+    });
+  });
 }
 
 bool PreparedAttrRelation::HasCachedStat(const StatKey& key) const {
@@ -92,7 +136,14 @@ int PreparedTupleRelation::PositionOfId(int id) const {
 std::shared_ptr<const std::vector<double>> PreparedTupleRelation::CachedStat(
     const StatKey& key,
     const std::function<std::vector<double>()>& compute) const {
-  return stats_.GetOrCompute(key, compute);
+  using Result = std::shared_ptr<const std::vector<double>>;
+  return InstrumentedLookup<Result>([&](bool* computed) {
+    return stats_.GetOrCompute(key, [&] {
+      *computed = true;
+      URANK_TRACE_SPAN("engine.stat_compute");
+      return compute();
+    });
+  });
 }
 
 bool PreparedTupleRelation::HasCachedStat(const StatKey& key) const {

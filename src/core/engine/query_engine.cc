@@ -14,13 +14,39 @@
 #include "core/semantics/semantics.h"
 #include "core/semantics/u_kranks.h"
 #include "core/semantics/u_topk.h"
+#include "core/engine/trace.h"
 #include "model/possible_worlds.h"
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/simd.h"
-#include "util/timer.h"
 
 namespace urank {
 namespace {
+
+// Engine-level metrics (docs/OBSERVABILITY.md has the catalogue). Resolved
+// once; QueryStats is a per-call view over the same measurements.
+struct EngineMetrics {
+  metrics::Counter& queries;
+  metrics::Counter& errors;
+  metrics::Counter& batches;
+  metrics::Counter& dp_cells;
+  metrics::Histogram& query_latency;
+  metrics::Histogram& prepare_latency;
+  metrics::Gauge& arena_bytes;
+
+  static const EngineMetrics& Get() {
+    metrics::Registry& r = metrics::Registry::Global();
+    static const EngineMetrics m{
+        r.counter("urank_engine_queries_total"),
+        r.counter("urank_engine_query_errors_total"),
+        r.counter("urank_engine_batches_total"),
+        r.counter("urank_engine_dp_cells_total"),
+        r.histogram("urank_engine_query_latency_us"),
+        r.histogram("urank_engine_prepare_latency_us"),
+        r.gauge("urank_kernel_arena_bytes")};
+    return m;
+  }
+};
 
 RankingAnswer FromRanked(const std::vector<RankedTuple>& ranked) {
   RankingAnswer answer;
@@ -216,11 +242,15 @@ const char* ToString(QueryStatusCode code) {
 
 std::shared_ptr<const PreparedAttrRelation> QueryEngine::Prepare(
     AttrRelation rel) {
+  URANK_TRACE_SPAN_ARG("engine.prepare", "n", rel.size());
+  metrics::ScopedHistogramTimer timer(EngineMetrics::Get().prepare_latency);
   return std::make_shared<const PreparedAttrRelation>(std::move(rel));
 }
 
 std::shared_ptr<const PreparedTupleRelation> QueryEngine::Prepare(
     TupleRelation rel) {
+  URANK_TRACE_SPAN_ARG("engine.prepare", "n", rel.size());
+  metrics::ScopedHistogramTimer timer(EngineMetrics::Get().prepare_latency);
   return std::make_shared<const PreparedTupleRelation>(std::move(rel));
 }
 
@@ -270,40 +300,52 @@ QueryStatus QueryEngine::Validate(const RankingQuery& query) const {
 }
 
 QueryResult QueryEngine::Run(const RankingQuery& query) const {
-  const Timer timer;
+  const EngineMetrics& em = EngineMetrics::Get();
+  URANK_TRACE_SPAN_ARG("engine.run", "k", query.k);
+  metrics::ScopedHistogramTimer timer(em.query_latency);
+  em.queries.Increment();
   QueryResult result;
   result.status = Validate(query);
   if (!result.status.ok()) {
-    result.stats.wall_ms = timer.ElapsedMs();
+    em.errors.Increment();
+    result.stats.wall_ms = timer.ElapsedUs() * 1e-3;
     return result;
   }
 
   const bool has_key = query.semantics != RankingSemantics::kUTopk;
   KernelReport report;  // stays {1, 0} unless a parallel kernel ran
-  if (attr_ != nullptr) {
-    // Attribute-level expected scores are built eagerly at preparation, so
-    // that semantics is always a cache hit; everything else consults the
-    // memo table it is backed by.
-    result.stats.reused_cache =
-        query.semantics == RankingSemantics::kExpectedScore ||
-        (has_key && attr_->HasCachedStat(KeyFor(query)));
-    result.answer = RunAttr(*attr_, query, par_, &report);
-    result.stats.dp_cells =
-        result.stats.reused_cache ? 0 : AttrDpCells(*attr_, query);
-    result.stats.tuples_pruned = result.stats.reused_cache ? attr_->size() : 0;
-  } else {
-    result.stats.reused_cache =
-        has_key && tuple_->HasCachedStat(KeyFor(query));
-    result.answer = RunTuple(*tuple_, query, par_, &report);
-    result.stats.dp_cells =
-        result.stats.reused_cache ? 0 : TupleDpCells(*tuple_, query);
-    result.stats.tuples_pruned =
-        result.stats.reused_cache ? tuple_->size() : 0;
+  {
+    // Per-semantics kernel span; ToString returns a static literal, which
+    // is what the recorder's no-copy contract requires.
+    URANK_TRACE_SPAN_ARG(ToString(query.semantics), "k", query.k);
+    if (attr_ != nullptr) {
+      // Attribute-level expected scores are built eagerly at preparation,
+      // so that semantics is always a cache hit; everything else consults
+      // the memo table it is backed by.
+      result.stats.reused_cache =
+          query.semantics == RankingSemantics::kExpectedScore ||
+          (has_key && attr_->HasCachedStat(KeyFor(query)));
+      result.answer = RunAttr(*attr_, query, par_, &report);
+      result.stats.dp_cells =
+          result.stats.reused_cache ? 0 : AttrDpCells(*attr_, query);
+      result.stats.tuples_pruned =
+          result.stats.reused_cache ? attr_->size() : 0;
+    } else {
+      result.stats.reused_cache =
+          has_key && tuple_->HasCachedStat(KeyFor(query));
+      result.answer = RunTuple(*tuple_, query, par_, &report);
+      result.stats.dp_cells =
+          result.stats.reused_cache ? 0 : TupleDpCells(*tuple_, query);
+      result.stats.tuples_pruned =
+          result.stats.reused_cache ? tuple_->size() : 0;
+    }
   }
+  em.dp_cells.Increment(result.stats.dp_cells);
+  em.arena_bytes.SetMax(static_cast<double>(report.arena_bytes));
   result.stats.threads_used = report.threads_used;
   result.stats.arena_bytes = report.arena_bytes;
   result.stats.simd_target = ToString(ActiveSimdTarget());
-  result.stats.wall_ms = timer.ElapsedMs();
+  result.stats.wall_ms = timer.ElapsedUs() * 1e-3;
   return result;
 }
 
@@ -311,6 +353,9 @@ std::vector<QueryResult> QueryEngine::RunBatch(
     const std::vector<RankingQuery>& queries, int threads) const {
   std::vector<QueryResult> results(queries.size());
   if (queries.empty()) return results;
+  EngineMetrics::Get().batches.Increment();
+  URANK_TRACE_SPAN_ARG("engine.run_batch", "queries",
+                       static_cast<long long>(queries.size()));
   // One chunk per query on the shared process-wide pool; results land at
   // disjoint indices, so claim order is irrelevant. ParallelFor's caller
   // participation keeps nesting with intra-query kernels deadlock-free.

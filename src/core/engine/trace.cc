@@ -1,0 +1,204 @@
+#include "core/engine/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace urank {
+namespace trace {
+
+namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if !defined(URANK_METRICS_DISABLED)
+
+// Synthetic per-thread ids: small, dense, stable for the thread's
+// lifetime. Chrome trace viewers group events by (pid, tid), so pool
+// workers get their own lanes without touching OS thread ids.
+std::uint32_t ThisThreadTid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+thread_local std::uint32_t g_depth = 0;
+
+#endif  // !URANK_METRICS_DISABLED
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out->push_back('\\');
+    out->push_back(*s);
+  }
+}
+
+std::string FormatUs(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) * 1e-3);
+  return buf;
+}
+
+}  // namespace
+
+struct Recorder::Impl {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::uint64_t session_start_ns = 0;
+  std::vector<Event> slots;
+};
+
+Recorder::Recorder() : impl_(new Impl) {}
+
+// Leaked global (see ThreadPool::Global): spans on pool workers may fire
+// during static teardown.
+Recorder::~Recorder() { delete impl_; }
+
+Recorder& Recorder::Global() {
+  static Recorder* recorder = new Recorder;
+  return *recorder;
+}
+
+void Recorder::Start(std::size_t capacity) {
+  URANK_CHECK_MSG(capacity > 0, "trace capacity must be > 0");
+#if defined(URANK_METRICS_DISABLED)
+  (void)capacity;
+#else
+  URANK_CHECK_MSG(!enabled(), "trace session already active");
+  impl_->slots.assign(capacity, Event{});
+  impl_->next.store(0, std::memory_order_relaxed);
+  impl_->dropped.store(0, std::memory_order_relaxed);
+  impl_->session_start_ns = SteadyNowNs();
+  impl_->enabled.store(true, std::memory_order_release);
+#endif
+}
+
+void Recorder::Stop() {
+  impl_->enabled.store(false, std::memory_order_release);
+}
+
+bool Recorder::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void Recorder::Record(const Event& event) {
+  if (!enabled()) return;
+  const std::uint64_t idx =
+      impl_->next.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= impl_->slots.size()) {
+    impl_->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  impl_->slots[idx] = event;
+}
+
+std::vector<Event> Recorder::Events() const {
+  URANK_CHECK_MSG(!enabled(), "stop the trace session before reading it");
+  const std::uint64_t n = std::min<std::uint64_t>(
+      impl_->next.load(std::memory_order_acquire), impl_->slots.size());
+  return std::vector<Event>(impl_->slots.begin(),
+                            impl_->slots.begin() + static_cast<long>(n));
+}
+
+std::uint64_t Recorder::dropped() const {
+  return impl_->dropped.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Recorder::NowNs() const {
+  if (impl_->session_start_ns == 0) return 0;
+  return SteadyNowNs() - impl_->session_start_ns;
+}
+
+std::string Recorder::ChromeTraceJson() const {
+  URANK_CHECK_MSG(!enabled(), "stop the trace session before exporting");
+  const std::vector<Event> events = Events();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  // Thread-name metadata first, one lane per tid seen.
+  std::vector<std::uint32_t> tids;
+  for (const Event& e : events) {
+    bool seen = false;
+    for (std::uint32_t t : tids) seen = seen || t == e.tid;
+    if (!seen) tids.push_back(e.tid);
+  }
+  bool first = true;
+  for (std::uint32_t t : tids) {
+    if (!first) out += ",";
+    first = false;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+                  "\"tid\": %u, \"args\": {\"name\": \"urank-thread-%u\"}}",
+                  t, t);
+    out += buf;
+  }
+  for (const Event& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\": \"";
+    AppendEscaped(&out, e.name != nullptr ? e.name : "?");
+    out += "\", \"cat\": \"urank\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(e.tid);
+    out += ", \"ts\": " + FormatUs(e.start_ns);
+    out += ", \"dur\": " + FormatUs(e.dur_ns);
+    out += ", \"args\": {\"depth\": " + std::to_string(e.depth);
+    if (e.arg_name != nullptr) {
+      out += ", \"";
+      AppendEscaped(&out, e.arg_name);
+      out += "\": " + std::to_string(e.arg);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+#if defined(URANK_METRICS_DISABLED)
+
+Span::Span(const char* name, const char* arg_name, long long arg) {
+  (void)name;
+  (void)arg_name;
+  (void)arg;
+}
+
+Span::~Span() = default;
+
+#else
+
+Span::Span(const char* name, const char* arg_name, long long arg)
+    : name_(name), arg_name_(arg_name), arg_(arg) {
+  Recorder& recorder = Recorder::Global();
+  if (!recorder.enabled()) return;
+  active_ = true;
+  ++g_depth;
+  start_ns_ = recorder.NowNs();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Recorder& recorder = Recorder::Global();
+  const std::uint64_t end_ns = recorder.NowNs();
+  const std::uint32_t depth = --g_depth;
+  Event event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  event.tid = ThisThreadTid();
+  event.depth = depth;
+  event.arg_name = arg_name_;
+  event.arg = arg_;
+  recorder.Record(event);
+}
+
+#endif  // URANK_METRICS_DISABLED
+
+}  // namespace trace
+}  // namespace urank

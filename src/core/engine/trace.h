@@ -1,0 +1,131 @@
+// RAII span tracing for the QueryEngine execution path.
+//
+// A trace session records nestable, named spans — prepare, per-semantics
+// kernel time, statistic-cache computations, ParallelFor chunk scheduling
+// — into a fixed-capacity in-memory ring and exports them as a Chrome
+// trace_event JSON document that loads directly in chrome://tracing or
+// Perfetto. Spans opened on worker-pool threads record under their own
+// synthetic thread id, so a flame chart shows the per-chunk work fanning
+// out across workers beneath the engine span that scheduled it.
+//
+// Cost model:
+//   * No session active (the default): a span is one relaxed atomic load.
+//   * Session active: span destruction claims one preallocated slot with
+//     a fetch_add and writes a fixed-size event — no allocation, no
+//     locks. When the buffer fills, new events are dropped (and counted)
+//     rather than wrapping, so the session keeps the earliest spans — the
+//     ones that explain a flame chart's structure.
+//   * Compiled out under -DURANK_METRICS=OFF (URANK_METRICS_DISABLED):
+//     spans are empty objects, Start() refuses to enable, and the
+//     exporter emits a valid empty document.
+//
+// Span names must be string literals (or otherwise outlive the session):
+// events store the pointer, never a copy. This is what keeps recording
+// allocation-free.
+//
+// Single-writer-session discipline: Start/Stop/export are controlled by
+// one coordinating thread (a benchmark harness, examples/metrics_dump, a
+// service's debug endpoint); spans may come from any thread in between.
+
+#ifndef URANK_CORE_ENGINE_TRACE_H_
+#define URANK_CORE_ENGINE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace urank {
+namespace trace {
+
+// One completed span. Timestamps are nanoseconds since session start.
+struct Event {
+  const char* name = nullptr;      // static storage, never owned
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;           // synthetic thread id, stable per thread
+  std::uint32_t depth = 0;         // nesting depth within its thread
+  const char* arg_name = nullptr;  // optional numeric argument
+  long long arg = 0;
+};
+
+// Fixed-capacity trace ring shared by every Span in the process.
+class Recorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  // The process-wide recorder all library spans record into.
+  static Recorder& Global();
+
+  Recorder();
+  ~Recorder();
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  // Clears prior events, allocates `capacity` slots and enables
+  // recording. Aborts if capacity is 0. No-op in compiled-out builds.
+  void Start(std::size_t capacity = kDefaultCapacity);
+
+  // Disables recording. Events recorded so far stay readable.
+  void Stop();
+
+  bool enabled() const;
+
+  // Records one completed event; drops (and counts) it when the buffer
+  // is full. Called by Span — library code rarely needs it directly.
+  void Record(const Event& event);
+
+  // Completed events in record order. Requires the session to be stopped
+  // (reading while spans are recording would race the slot writes).
+  std::vector<Event> Events() const;
+
+  // Events dropped since Start() because the buffer was full.
+  std::uint64_t dropped() const;
+
+  // Chrome trace_event JSON ("traceEvents" array of complete "X" events
+  // plus thread-name metadata), loadable in chrome://tracing / Perfetto.
+  // Requires the session to be stopped.
+  std::string ChromeTraceJson() const;
+
+  // Nanoseconds since session start (0 when no session ever started).
+  std::uint64_t NowNs() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// RAII span: opens at construction, records into Recorder::Global() at
+// destruction. Inactive (and near-free) when no session is enabled at
+// construction time.
+class Span {
+ public:
+  explicit Span(const char* name) : Span(name, nullptr, 0) {}
+  Span(const char* name, const char* arg_name, long long arg);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#if !defined(URANK_METRICS_DISABLED)
+  const char* name_;
+  const char* arg_name_;
+  long long arg_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+#endif
+};
+
+}  // namespace trace
+}  // namespace urank
+
+// Convenience macros for instrumenting a scope. Usable in any block;
+// names must be string literals.
+#define URANK_TRACE_CONCAT_INNER(a, b) a##b
+#define URANK_TRACE_CONCAT(a, b) URANK_TRACE_CONCAT_INNER(a, b)
+#define URANK_TRACE_SPAN(name) \
+  ::urank::trace::Span URANK_TRACE_CONCAT(urank_trace_span_, __LINE__)(name)
+#define URANK_TRACE_SPAN_ARG(name, arg_name, arg)                         \
+  ::urank::trace::Span URANK_TRACE_CONCAT(urank_trace_span_, __LINE__)(   \
+      name, arg_name, static_cast<long long>(arg))
+
+#endif  // URANK_CORE_ENGINE_TRACE_H_

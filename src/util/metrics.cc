@@ -1,0 +1,228 @@
+#include "util/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace urank {
+namespace metrics {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Shortest round-trippable formatting for snapshot values; %.17g is exact
+// for doubles and %g keeps integers compact.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string FormatBound(double bound) {
+  if (bound == std::numeric_limits<double>::infinity()) return "+Inf";
+  return FormatValue(bound);
+}
+
+}  // namespace
+
+double Histogram::BucketUpperBound(int i) {
+  URANK_CHECK_MSG(i >= 0 && i < kBucketCount, "bucket index out of range");
+  if (i == kBucketCount - 1) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(1ULL << static_cast<unsigned>(i));
+}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > 1.0)) return 0;  // <= 1, negative and NaN all clamp down
+  // Smallest i with value <= 2^i: bit_width(ceil(value) - 1). Values past
+  // the last finite bound (inclusive) land in the +Inf bucket.
+  if (value > static_cast<double>(1ULL << (kBucketCount - 2))) {
+    return kBucketCount - 1;
+  }
+  const auto m = static_cast<std::uint64_t>(std::ceil(value));
+  const int i = std::bit_width(m - 1);
+  return i < kBucketCount - 1 ? i : kBucketCount - 1;
+}
+
+long long Histogram::bucket_count(int i) const {
+  URANK_CHECK_MSG(i >= 0 && i < kBucketCount, "bucket index out of range");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // Node-based maps: element addresses are stable across insertions, so
+  // the references handed out by counter()/gauge()/histogram() stay valid
+  // for the registry's lifetime.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+
+  void CheckName(std::string_view name) const {
+    URANK_CHECK_MSG(name.rfind("urank_", 0) == 0,
+                    "metric names must follow urank_<layer>_<name>_<unit>");
+  }
+
+  bool NameTaken(const std::string& name,
+                 const void* exempt_map) const {
+    return (exempt_map != &counters && counters.count(name) > 0) ||
+           (exempt_map != &gauges && gauges.count(name) > 0) ||
+           (exempt_map != &histograms && histograms.count(name) > 0);
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+// The global registry is leaked (see ThreadPool::Global): instrumented
+// worker threads may outlive static destructors.
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  impl_->CheckName(name);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string key(name);
+  URANK_CHECK_MSG(!impl_->NameTaken(key, &impl_->counters),
+                  "metric name already registered under another type");
+  auto& slot = impl_->counters[key];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  impl_->CheckName(name);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string key(name);
+  URANK_CHECK_MSG(!impl_->NameTaken(key, &impl_->gauges),
+                  "metric name already registered under another type");
+  auto& slot = impl_->gauges[key];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  impl_->CheckName(name);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string key(name);
+  URANK_CHECK_MSG(!impl_->NameTaken(key, &impl_->histograms),
+                  "metric name already registered under another type");
+  auto& slot = impl_->histograms[key];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out;
+  out.reserve(1024);
+  for (const auto& [name, c] : impl_->counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + FormatValue(static_cast<double>(c->value())) + "\n";
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatValue(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    long long cumulative = 0;
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      cumulative += h->bucket_count(i);
+      out += name + "_bucket{le=\"" +
+             FormatBound(Histogram::BucketUpperBound(i)) + "\"} " +
+             FormatValue(static_cast<double>(cumulative)) + "\n";
+    }
+    out += name + "_sum " + FormatValue(h->sum()) + "\n";
+    out += name + "_count " +
+           FormatValue(static_cast<double>(h->count())) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::RenderJsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name +
+           "\": " + FormatValue(static_cast<double>(c->value()));
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + FormatValue(g->value());
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": {\"count\": " +
+           FormatValue(static_cast<double>(h->count())) +
+           ", \"sum\": " + FormatValue(h->sum()) + ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      const long long n = h->bucket_count(i);
+      if (n == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "[\"" + FormatBound(Histogram::BucketUpperBound(i)) + "\", " +
+             FormatValue(static_cast<double>(n)) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& [name, c] : impl_->counters) c->Reset();
+  for (const auto& [name, g] : impl_->gauges) g->Reset();
+  for (const auto& [name, h] : impl_->histograms) h->Reset();
+}
+
+ScopedHistogramTimer::ScopedHistogramTimer(Histogram& histogram)
+    : histogram_(histogram), start_ns_(NowNs()) {}
+
+ScopedHistogramTimer::~ScopedHistogramTimer() {
+  histogram_.Record(ElapsedUs());
+}
+
+double ScopedHistogramTimer::ElapsedUs() const {
+  return static_cast<double>(NowNs() - start_ns_) * 1e-3;
+}
+
+}  // namespace metrics
+}  // namespace urank

@@ -1,0 +1,236 @@
+// Low-overhead process-wide metrics: counters, gauges and latency
+// histograms with fixed log-spaced buckets, collected in a named registry
+// and exportable as a Prometheus-style text page or a compact JSON
+// snapshot (consumed by tools/bench_runner.py).
+//
+// Design constraints, in order:
+//   * Zero allocation on the hot path. Registration (the only allocating
+//     operation) happens once per call site through a function-local
+//     static reference; recording is a handful of relaxed atomics.
+//   * Thread-pool safe. Any number of threads may record into the same
+//     metric concurrently; snapshots may be rendered while writers are
+//     active and see a consistent-enough view (each scalar is read
+//     atomically; cross-metric skew is permitted and documented).
+//   * Compiled out entirely under -DURANK_METRICS=OFF (which defines
+//     URANK_METRICS_DISABLED): the mutation methods become empty inline
+//     functions the optimizer erases, so instrumented call sites cost
+//     nothing. Registration and rendering still work — exporters emit
+//     zeros — so examples and tools link unchanged.
+//
+// Naming contract (enforced by tools/urank_lint.py, rule metric-name):
+// every metric is named urank_<layer>_<name>_<unit>, lower-case snake
+// case, where <unit> is one of total (monotonic counts), bytes, us
+// (microseconds), count, ratio or info (enum-valued gauges). See
+// docs/OBSERVABILITY.md for the full catalogue.
+//
+// Typical call site:
+//
+//   static metrics::Counter& queries =
+//       metrics::Registry::Global().counter("urank_engine_queries_total");
+//   queries.Increment();
+
+#ifndef URANK_UTIL_METRICS_H_
+#define URANK_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace urank {
+namespace metrics {
+
+namespace internal {
+// Master runtime switch, default on. Checked (one relaxed load) by every
+// mutation; flipping it off approximates the compiled-out build at
+// runtime, which is what bench_metrics_overhead measures against.
+inline std::atomic<bool> g_enabled{true};
+}  // namespace internal
+
+// True when recording is active (compiled in AND runtime-enabled).
+inline bool Enabled() {
+#if defined(URANK_METRICS_DISABLED)
+  return false;
+#else
+  return internal::g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+// Runtime master switch. A no-op in compiled-out builds.
+inline void SetEnabled(bool enabled) {
+#if defined(URANK_METRICS_DISABLED)
+  (void)enabled;
+#else
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+#endif
+}
+
+// Monotonic event count.
+class Counter {
+ public:
+  void Increment(long long delta = 1) {
+#if defined(URANK_METRICS_DISABLED)
+    (void)delta;
+#else
+    if (!Enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#endif
+  }
+
+  long long value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+// Last-written (Set) or high-water (SetMax) scalar.
+class Gauge {
+ public:
+  void Set(double value) {
+#if defined(URANK_METRICS_DISABLED)
+    (void)value;
+#else
+    if (!Enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+#endif
+  }
+
+  // Monotonic high-water update: the gauge only moves up.
+  void SetMax(double value) {
+#if defined(URANK_METRICS_DISABLED)
+    (void)value;
+#else
+    if (!Enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (value > cur && !value_.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+#endif
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Distribution of non-negative samples over fixed log-spaced (power-of-2)
+// buckets: bucket i counts samples v with UpperBound(i-1) < v <=
+// UpperBound(i), where UpperBound(i) = 2^i for i < kBucketCount - 1 and
+// +infinity for the last bucket. With the primary unit being microseconds
+// the grid spans 1 us .. ~67 s before overflowing, which covers every
+// latency this engine produces. Recording is bucket-index arithmetic plus
+// three relaxed atomic updates — no allocation, no locks.
+class Histogram {
+ public:
+  static constexpr int kBucketCount = 28;
+
+  // Upper bound of bucket `i` (inclusive). Requires 0 <= i < kBucketCount.
+  static double BucketUpperBound(int i);
+
+  // Index of the bucket a sample lands in. Negative samples clamp to
+  // bucket 0 (they indicate a caller bug but must not corrupt the grid).
+  static int BucketIndex(double value);
+
+  void Record(double value) {
+#if defined(URANK_METRICS_DISABLED)
+    (void)value;
+#else
+    if (!Enabled()) return;
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + value,
+                                       std::memory_order_relaxed)) {
+    }
+#endif
+  }
+
+  long long count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  // Samples in bucket `i` (non-cumulative). Requires 0 <= i <
+  // kBucketCount.
+  long long bucket_count(int i) const;
+
+  void Reset();
+
+ private:
+  std::atomic<long long> buckets_[kBucketCount] = {};
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Named registry. Metric objects are created on first lookup, live for the
+// registry's lifetime at stable addresses, and are shared by every caller
+// of the same name. Lookup takes a mutex (call-site pattern: cache the
+// reference in a function-local static); recording never does.
+class Registry {
+ public:
+  // The process-wide registry used by all library instrumentation.
+  static Registry& Global();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Finds or creates the metric named `name`. A name registered as one
+  // metric type must not be requested as another. Aborts if `name` does
+  // not start with "urank_" or is registered under a different type.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Prometheus text exposition: # TYPE lines, counter/gauge samples, and
+  // cumulative _bucket{le="..."} / _sum / _count series per histogram.
+  std::string RenderPrometheus() const;
+
+  // Compact machine-readable snapshot:
+  //   {"counters": {name: value, ...},
+  //    "gauges": {name: value, ...},
+  //    "histograms": {name: {"count": c, "sum": s,
+  //                          "buckets": [[le, count], ...]}, ...}}
+  // Zero-count histogram buckets are omitted. Safe to call while writers
+  // are recording (values are read atomically; cross-metric skew allowed).
+  std::string RenderJsonSnapshot() const;
+
+  // Zeroes every registered metric (names stay registered). For tests and
+  // benchmark harnesses.
+  void ResetAll();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// RAII wall-clock timer recording its lifetime into a latency histogram
+// (in microseconds) at destruction. ElapsedUs() works even when metrics
+// are disabled or compiled out, so callers can keep per-call statistics
+// (QueryStats) flowing through the same code path.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram& histogram);
+  ~ScopedHistogramTimer();
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+  double ElapsedUs() const;
+
+ private:
+  Histogram& histogram_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace metrics
+}  // namespace urank
+
+#endif  // URANK_UTIL_METRICS_H_

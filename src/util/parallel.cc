@@ -3,9 +3,45 @@
 #include <atomic>
 #include <memory>
 
+// trace.h lives under core/engine (it instruments the query path) but is
+// dependency-free; including it here is the one sanctioned upward include
+// so ParallelFor chunks show up in flame charts under the engine spans.
+#include "core/engine/trace.h"
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace urank {
+
+namespace {
+
+// Scheduling metrics shared by every ParallelFor. Resolved once; the
+// per-chunk path is the relaxed atomics documented in util/metrics.h.
+struct ForMetrics {
+  metrics::Counter& invocations;
+  metrics::Counter& chunks;
+  metrics::Counter& pool_tasks;
+  metrics::Histogram& chunk_latency;
+
+  static const ForMetrics& Get() {
+    static const ForMetrics m{
+        metrics::Registry::Global().counter(
+            "urank_parallel_invocations_total"),
+        metrics::Registry::Global().counter("urank_parallel_chunks_total"),
+        metrics::Registry::Global().counter(
+            "urank_parallel_pool_tasks_total"),
+        metrics::Registry::Global().histogram(
+            "urank_parallel_chunk_latency_us")};
+    return m;
+  }
+};
+
+void RunChunk(const std::function<void(int, int)>& fn, int chunk, int slot) {
+  URANK_TRACE_SPAN_ARG("parallel.chunk", "chunk", chunk);
+  metrics::ScopedHistogramTimer timer(ForMetrics::Get().chunk_latency);
+  fn(chunk, slot);
+}
+
+}  // namespace
 
 ThreadPool& ThreadPool::Global() {
   // Leaked on purpose: worker threads live for the process lifetime, so a
@@ -99,10 +135,19 @@ struct ForState {
       : num_chunks(chunks), fn(std::move(f)) {}
 
   void Drain(int slot) {
+    bool counted = false;
     for (;;) {
       const int chunk = next.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= num_chunks) break;
-      fn(chunk, slot);
+      if (!counted) {
+        // Observed participation, not slots made available: a helper the
+        // caller outran never claims a chunk and is not counted. Every
+        // increment is sequenced before the chunk's done++ below, so the
+        // caller's read after done == num_chunks sees the final count.
+        participants.fetch_add(1, std::memory_order_relaxed);
+        counted = true;
+      }
+      RunChunk(fn, chunk, slot);
       std::lock_guard<std::mutex> lock(mu);
       if (++done == num_chunks) cv.notify_all();
     }
@@ -111,6 +156,7 @@ struct ForState {
   const int num_chunks;
   const std::function<void(int, int)> fn;
   std::atomic<int> next{0};
+  std::atomic<int> participants{0};
   std::mutex mu;
   std::condition_variable cv;
   int done = 0;  // guarded by mu
@@ -122,9 +168,13 @@ int ParallelFor(int num_chunks, int workers,
                 const std::function<void(int, int)>& fn) {
   URANK_CHECK_MSG(num_chunks >= 0, "num_chunks must be >= 0");
   if (num_chunks == 0) return 1;
+  const ForMetrics& fm = ForMetrics::Get();
+  fm.invocations.Increment();
+  fm.chunks.Increment(num_chunks);
+  URANK_TRACE_SPAN_ARG("parallel.for", "chunks", num_chunks);
   workers = std::max(1, std::min(workers, num_chunks));
   if (workers == 1) {
-    for (int chunk = 0; chunk < num_chunks; ++chunk) fn(chunk, 0);
+    for (int chunk = 0; chunk < num_chunks; ++chunk) RunChunk(fn, chunk, 0);
     return 1;
   }
   auto state = std::make_shared<ForState>(num_chunks, fn);
@@ -132,10 +182,13 @@ int ParallelFor(int num_chunks, int workers,
   for (int slot = 1; slot < workers; ++slot) {
     pool.Submit([state, slot] { state->Drain(slot); });
   }
+  fm.pool_tasks.Increment(workers - 1);
   state->Drain(0);  // the caller always participates — no nested deadlock
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&] { return state->done == state->num_chunks; });
-  return workers;
+  // Every chunk has run, so every participating slot has registered
+  // itself; the caller is always among them.
+  return state->participants.load(std::memory_order_relaxed);
 }
 
 }  // namespace urank

@@ -119,9 +119,11 @@ std::vector<long long> ChunkBoundaries(long long n, int num_chunks);
 // always the calling thread. fn must be safe to run concurrently for
 // distinct chunks; chunks are claimed dynamically, so fn must not depend
 // on execution order (per-chunk subproblems are self-contained under the
-// determinism contract above). Returns the number of worker slots made
-// available (helpers may finish without claiming a chunk when the caller
-// outruns them). Aborts if num_chunks is negative.
+// determinism contract above). Returns the number of worker slots that
+// actually executed at least one chunk (>= 1: the caller always
+// participates) — pool helpers that finish without claiming a chunk, e.g.
+// because the caller outran them, are not counted. Aborts if num_chunks
+// is negative.
 int ParallelFor(int num_chunks, int workers,
                 const std::function<void(int, int)>& fn);
 

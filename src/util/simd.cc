@@ -5,10 +5,20 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/metrics.h"
+
 namespace urank {
 namespace {
 
 std::atomic<int> g_active{-1};  // -1 = not yet resolved
+
+// Enum-valued gauge: the SimdTarget ordinal of the active dispatch target
+// (0 scalar, 1 neon, 2 avx2, 3 avx512), published whenever it changes.
+void PublishActiveTarget(SimdTarget target) {
+  static metrics::Gauge& active =
+      metrics::Registry::Global().gauge("urank_simd_active_target_info");
+  active.Set(static_cast<double>(static_cast<int>(target)));
+}
 
 bool CompiledIn(SimdTarget target) {
   switch (target) {
@@ -144,6 +154,7 @@ SimdTarget ActiveSimdTarget() {
   int expected = -1;
   if (g_active.compare_exchange_strong(expected, static_cast<int>(resolved),
                                        std::memory_order_acq_rel)) {
+    PublishActiveTarget(resolved);
     return resolved;
   }
   return static_cast<SimdTarget>(expected);
@@ -152,6 +163,7 @@ SimdTarget ActiveSimdTarget() {
 SimdTarget SetSimdTarget(SimdTarget target) {
   const SimdTarget clamped = ClampToAvailable(target);
   g_active.store(static_cast<int>(clamped), std::memory_order_release);
+  PublishActiveTarget(clamped);
   return clamped;
 }
 

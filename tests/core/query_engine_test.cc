@@ -214,6 +214,25 @@ TEST(QueryEngineStats, ReportsCacheReuseOnRepeatedStatistics) {
   EXPECT_FALSE(engine.Run(q).stats.reused_cache);
 }
 
+TEST(QueryEngineStats, TinyRelationReportsOneThreadEvenWhenParallelismAsked) {
+  // min_parallel_items suppresses the pool for tiny inputs, and
+  // threads_used reports threads that actually participated — not the
+  // requested ParallelismOptions — so a tiny N must report exactly 1.
+  QueryEngine engine(MakeTuple(40, 23));
+  ParallelismOptions par;
+  par.threads = 8;
+  engine.set_parallelism(par);
+
+  RankingQuery q;
+  q.semantics = RankingSemantics::kQuantileRank;
+  q.k = 5;
+  q.phi = 0.5;
+  const QueryResult cold = engine.Run(q);
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_FALSE(cold.stats.reused_cache);
+  EXPECT_EQ(cold.stats.threads_used, 1);
+}
+
 TEST(QueryEngineStats, BatchComputesContendedStatisticExactlyOnce) {
   const auto prepared = QueryEngine::Prepare(MakeTuple(80, 17));
   const QueryEngine engine(prepared);

@@ -1,0 +1,182 @@
+#include "core/engine/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace urank {
+namespace {
+
+// Events recorded under `name`, in record order.
+std::vector<trace::Event> EventsNamed(const std::vector<trace::Event>& all,
+                                      const char* name) {
+  std::vector<trace::Event> out;
+  for (const trace::Event& e : all) {
+    if (e.name != nullptr && std::strcmp(e.name, name) == 0) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+TEST(TraceSpanTest, DisabledByDefaultAndSpansAreFree) {
+  trace::Recorder recorder;
+  EXPECT_FALSE(recorder.enabled());
+  { URANK_TRACE_SPAN("never-recorded"); }
+  EXPECT_TRUE(recorder.Events().empty());
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(TraceSpanTest, NestedSpansRecordDepthAndContainment) {
+  trace::Recorder& recorder = trace::Recorder::Global();
+  recorder.Start(1024);
+  if (!recorder.enabled()) {
+    // Compiled-out build: Start refuses to enable and spans stay no-ops.
+    { URANK_TRACE_SPAN("outer"); }
+    recorder.Stop();
+    EXPECT_TRUE(recorder.Events().empty());
+    EXPECT_TRUE(recorder.ChromeTraceJson().find("\"traceEvents\": [") !=
+                std::string::npos);
+    return;
+  }
+  {
+    URANK_TRACE_SPAN("outer");
+    { URANK_TRACE_SPAN_ARG("inner", "k", 7); }
+  }
+  recorder.Stop();
+  const std::vector<trace::Event> events = recorder.Events();
+  const std::vector<trace::Event> inner = EventsNamed(events, "inner");
+  const std::vector<trace::Event> outer = EventsNamed(events, "outer");
+  ASSERT_EQ(inner.size(), 1u);
+  ASSERT_EQ(outer.size(), 1u);
+  // Spans close inside-out, so the inner event records first, one level
+  // deeper, on the same thread, contained in the outer interval.
+  EXPECT_EQ(inner[0].depth, outer[0].depth + 1);
+  EXPECT_EQ(inner[0].tid, outer[0].tid);
+  EXPECT_GE(inner[0].start_ns, outer[0].start_ns);
+  EXPECT_LE(inner[0].start_ns + inner[0].dur_ns,
+            outer[0].start_ns + outer[0].dur_ns);
+  EXPECT_STREQ(inner[0].arg_name, "k");
+  EXPECT_EQ(inner[0].arg, 7);
+}
+
+TEST(TraceSpanTest, SpansNestAcrossParallelForWorkers) {
+  trace::Recorder& recorder = trace::Recorder::Global();
+  recorder.Start();
+  if (!recorder.enabled()) {
+    recorder.Stop();
+    return;
+  }
+  constexpr int kChunks = 12;
+  {
+    URANK_TRACE_SPAN("test.batch");
+    ParallelFor(kChunks, 8, [&](int /*chunk*/, int /*slot*/) {
+      volatile double sink = 0.0;
+      for (int i = 0; i < 2000; ++i) sink = sink + 1.0;
+    });
+  }
+  recorder.Stop();
+  const std::vector<trace::Event> events = recorder.Events();
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  // ParallelFor itself instruments one parallel.for span on the caller and
+  // one parallel.chunk span per chunk, possibly on other threads.
+  const std::vector<trace::Event> batch = EventsNamed(events, "test.batch");
+  const std::vector<trace::Event> loop = EventsNamed(events, "parallel.for");
+  const std::vector<trace::Event> chunks =
+      EventsNamed(events, "parallel.chunk");
+  ASSERT_EQ(batch.size(), 1u);
+  ASSERT_EQ(loop.size(), 1u);
+  ASSERT_EQ(chunks.size(), static_cast<size_t>(kChunks));
+
+  EXPECT_EQ(loop[0].tid, batch[0].tid);
+  EXPECT_EQ(loop[0].depth, batch[0].depth + 1);
+  for (const trace::Event& chunk : chunks) {
+    // Chunks executed by the caller nest beneath the parallel.for span;
+    // chunks claimed by pool helpers start a fresh depth on their own
+    // synthetic thread lane.
+    if (chunk.tid == loop[0].tid) {
+      EXPECT_EQ(chunk.depth, loop[0].depth + 1);
+    } else {
+      EXPECT_EQ(chunk.depth, 0u);
+    }
+    // Every chunk runs within the batch span's wall interval.
+    EXPECT_GE(chunk.start_ns, batch[0].start_ns);
+    EXPECT_LE(chunk.start_ns + chunk.dur_ns,
+              batch[0].start_ns + batch[0].dur_ns);
+    EXPECT_STREQ(chunk.arg_name, "chunk");
+    EXPECT_GE(chunk.arg, 0);
+    EXPECT_LT(chunk.arg, kChunks);
+  }
+  // All chunk indices execute exactly once.
+  std::vector<long long> seen;
+  for (const trace::Event& chunk : chunks) seen.push_back(chunk.arg);
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kChunks; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(TraceSpanTest, FullBufferDropsNewEventsAndCountsThem) {
+  trace::Recorder& recorder = trace::Recorder::Global();
+  recorder.Start(2);
+  if (!recorder.enabled()) {
+    recorder.Stop();
+    return;
+  }
+  for (int i = 0; i < 5; ++i) {
+    URANK_TRACE_SPAN("drop.test");
+  }
+  recorder.Stop();
+  // Drop-new keeps the two earliest events — the ones that explain a flame
+  // chart's structure — and counts the rest.
+  EXPECT_EQ(recorder.Events().size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 3u);
+}
+
+TEST(TraceSpanTest, ChromeTraceJsonShape) {
+  trace::Recorder& recorder = trace::Recorder::Global();
+  recorder.Start(64);
+  const bool live = recorder.enabled();
+  {
+    URANK_TRACE_SPAN("json.outer");
+    { URANK_TRACE_SPAN_ARG("json.inner", "n", 3); }
+  }
+  recorder.Stop();
+  const std::string json = recorder.ChromeTraceJson();
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  if (live) {
+    EXPECT_NE(json.find("\"name\": \"json.inner\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"json.outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"n\": 3"), std::string::npos);
+  }
+}
+
+TEST(TraceSpanTest, RestartClearsPriorSession) {
+  trace::Recorder& recorder = trace::Recorder::Global();
+  recorder.Start(64);
+  { URANK_TRACE_SPAN("first.session"); }
+  recorder.Stop();
+  recorder.Start(64);
+  { URANK_TRACE_SPAN("second.session"); }
+  recorder.Stop();
+  const std::vector<trace::Event> events = recorder.Events();
+  EXPECT_TRUE(EventsNamed(events, "first.session").empty());
+  if (recorder.enabled() || !events.empty()) {
+    EXPECT_EQ(EventsNamed(events, "second.session").size(), 1u);
+  }
+}
+
+TEST(TraceSpanTest, StartRejectsZeroCapacity) {
+  trace::Recorder recorder;
+  EXPECT_DEATH(recorder.Start(0), "capacity");
+}
+
+}  // namespace
+}  // namespace urank

@@ -1,0 +1,240 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace urank {
+namespace {
+
+// Expected value of a metric mutated `n` times in this build: mutations
+// no-op when the instrumentation is compiled out, so the same assertions
+// hold for URANK_METRICS=ON and OFF builds.
+long long IfEnabled(long long n) { return metrics::Enabled() ? n : 0; }
+
+TEST(MetricsCounterTest, IncrementAndReset) {
+  metrics::Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), IfEnabled(42));
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(MetricsCounterTest, ConcurrentIncrementsUnderThreadPoolAreExact) {
+  metrics::Counter counter;
+  constexpr int kChunks = 16;
+  constexpr int kIncrementsPerChunk = 20000;
+  ParallelFor(kChunks, 8, [&](int /*chunk*/, int /*slot*/) {
+    for (int i = 0; i < kIncrementsPerChunk; ++i) counter.Increment();
+  });
+  EXPECT_EQ(counter.value(),
+            IfEnabled(static_cast<long long>(kChunks) * kIncrementsPerChunk));
+}
+
+TEST(MetricsGaugeTest, SetAndHighWater) {
+  metrics::Gauge gauge;
+  gauge.Set(3.5);
+  EXPECT_EQ(gauge.value(), IfEnabled(1) ? 3.5 : 0.0);
+  gauge.SetMax(2.0);  // below the high water: no change
+  EXPECT_EQ(gauge.value(), IfEnabled(1) ? 3.5 : 0.0);
+  gauge.SetMax(7.0);
+  EXPECT_EQ(gauge.value(), IfEnabled(1) ? 7.0 : 0.0);
+}
+
+TEST(MetricsGaugeTest, ConcurrentSetMaxConvergesToMaximum) {
+  metrics::Gauge gauge;
+  constexpr int kChunks = 16;
+  ParallelFor(kChunks, 8, [&](int chunk, int /*slot*/) {
+    for (int i = 0; i <= 1000; ++i) {
+      gauge.SetMax(static_cast<double>(chunk * 1000 + i));
+    }
+  });
+  EXPECT_EQ(gauge.value(), IfEnabled(1) ? 16000.0 : 0.0);
+}
+
+TEST(MetricsHistogramTest, BucketBoundaries) {
+  using metrics::Histogram;
+  // The grid is powers of two with an inclusive upper bound: bucket i
+  // holds 2^(i-1) < v <= 2^i, bucket 0 holds v <= 1.
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1.0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 2.0);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024.0);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBucketCount - 1),
+            std::numeric_limits<double>::infinity());
+
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-5.0), 0);  // caller bug clamps down
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1.0001), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2.0), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2.0001), 2);
+  EXPECT_EQ(Histogram::BucketIndex(1024.0), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024.5), 11);
+  // Every finite upper bound is inclusive: 2^i lands in bucket i.
+  for (int i = 0; i < Histogram::kBucketCount - 1; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpperBound(i)), i);
+  }
+  // Past the finite grid: the overflow bucket.
+  EXPECT_EQ(Histogram::BucketIndex(1e18), Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<double>::infinity()),
+            Histogram::kBucketCount - 1);
+}
+
+TEST(MetricsHistogramTest, RecordCountsSumAndBuckets) {
+  metrics::Histogram h;
+  h.Record(0.5);   // bucket 0
+  h.Record(1.5);   // bucket 1
+  h.Record(3.0);   // bucket 2
+  h.Record(3.5);   // bucket 2
+  EXPECT_EQ(h.count(), IfEnabled(4));
+  EXPECT_EQ(h.sum(), IfEnabled(1) ? 8.5 : 0.0);
+  EXPECT_EQ(h.bucket_count(0), IfEnabled(1));
+  EXPECT_EQ(h.bucket_count(1), IfEnabled(1));
+  EXPECT_EQ(h.bucket_count(2), IfEnabled(2));
+  EXPECT_EQ(h.bucket_count(3), 0);
+}
+
+TEST(MetricsHistogramTest, ConcurrentRecordsUnderThreadPoolAreExact) {
+  metrics::Histogram h;
+  constexpr int kChunks = 16;
+  constexpr int kSamplesPerChunk = 5000;
+  ParallelFor(kChunks, 8, [&](int /*chunk*/, int /*slot*/) {
+    for (int i = 0; i < kSamplesPerChunk; ++i) h.Record(1.0);
+  });
+  const long long total =
+      IfEnabled(static_cast<long long>(kChunks) * kSamplesPerChunk);
+  EXPECT_EQ(h.count(), total);
+  EXPECT_EQ(h.bucket_count(0), total);
+  // Each sample adds exactly 1.0, which doubles represent exactly at this
+  // magnitude, so the CAS-looped sum must equal the count.
+  EXPECT_EQ(h.sum(), static_cast<double>(total));
+}
+
+TEST(MetricsRegistryTest, SameNameYieldsSameMetric) {
+  metrics::Registry registry;
+  metrics::Counter& a = registry.counter("urank_test_lookup_total");
+  metrics::Counter& b = registry.counter("urank_test_lookup_total");
+  EXPECT_EQ(&a, &b);
+  metrics::Histogram& h1 = registry.histogram("urank_test_lookup_us");
+  metrics::Histogram& h2 = registry.histogram("urank_test_lookup_us");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistryTest, RejectsBadNamesAndCrossTypeCollisions) {
+  metrics::Registry registry;
+  registry.counter("urank_test_collision_total");
+  EXPECT_DEATH(registry.counter("queries_total"), "urank_");
+  EXPECT_DEATH(registry.gauge("urank_test_collision_total"), "another type");
+}
+
+TEST(MetricsRegistryTest, RenderPrometheusShape) {
+  metrics::Registry registry;
+  registry.counter("urank_test_events_total").Increment(3);
+  registry.gauge("urank_test_depth_count").Set(2.0);
+  registry.histogram("urank_test_latency_us").Record(1.5);
+  const std::string page = registry.RenderPrometheus();
+  EXPECT_NE(page.find("# TYPE urank_test_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(page.find("# TYPE urank_test_depth_count gauge"),
+            std::string::npos);
+  EXPECT_NE(page.find("# TYPE urank_test_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(page.find("urank_test_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(page.find("urank_test_latency_us_count"), std::string::npos);
+  if (metrics::Enabled()) {
+    EXPECT_NE(page.find("urank_test_events_total 3"), std::string::npos);
+  } else {
+    // Compiled out: names render, values are zero.
+    EXPECT_NE(page.find("urank_test_events_total 0"), std::string::npos);
+  }
+}
+
+TEST(MetricsRegistryTest, RenderJsonSnapshotShape) {
+  metrics::Registry registry;
+  registry.counter("urank_test_events_total").Increment(2);
+  registry.histogram("urank_test_latency_us").Record(3.0);
+  const std::string json = registry.RenderJsonSnapshot();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  if (metrics::Enabled()) {
+    EXPECT_NE(json.find("\"urank_test_events_total\": 2"),
+              std::string::npos);
+    EXPECT_NE(json.find("[\"4\", 1]"), std::string::npos);  // 3.0 -> le=4
+  }
+}
+
+TEST(MetricsRegistryTest, SnapshotWhileWritingIsSafe) {
+  metrics::Registry registry;
+  metrics::Counter& counter = registry.counter("urank_test_racing_total");
+  metrics::Histogram& hist = registry.histogram("urank_test_racing_us");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      counter.Increment();
+      hist.Record(2.5);
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    const std::string page = registry.RenderPrometheus();
+    const std::string json = registry.RenderJsonSnapshot();
+    EXPECT_NE(page.find("urank_test_racing_total"), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  // Quiesced: the per-scalar atomics must agree with a final exact read.
+  EXPECT_EQ(hist.count(), counter.value());
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesValuesButKeepsNames) {
+  metrics::Registry registry;
+  registry.counter("urank_test_reset_total").Increment(5);
+  registry.ResetAll();
+  EXPECT_EQ(registry.counter("urank_test_reset_total").value(), 0);
+  EXPECT_NE(registry.RenderPrometheus().find("urank_test_reset_total"),
+            std::string::npos);
+}
+
+TEST(MetricsEnabledTest, RuntimeSwitchSuppressesRecording) {
+  metrics::Counter counter;
+  metrics::SetEnabled(false);
+  counter.Increment(10);
+  EXPECT_EQ(counter.value(), 0);
+  metrics::SetEnabled(true);
+  counter.Increment(10);
+  EXPECT_EQ(counter.value(), IfEnabled(10));
+}
+
+TEST(MetricsTimerTest, ScopedTimerRecordsAndElapsedWorksWhenDisabled) {
+  metrics::Histogram h;
+  {
+    metrics::ScopedHistogramTimer timer(h);
+    EXPECT_GE(timer.ElapsedUs(), 0.0);
+  }
+  EXPECT_EQ(h.count(), IfEnabled(1));
+
+  metrics::SetEnabled(false);
+  {
+    // ElapsedUs keeps working so QueryStats.wall_ms flows in every build.
+    metrics::ScopedHistogramTimer timer(h);
+    EXPECT_GE(timer.ElapsedUs(), 0.0);
+  }
+  metrics::SetEnabled(true);
+  EXPECT_EQ(h.count(), IfEnabled(1));
+}
+
+}  // namespace
+}  // namespace urank

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Runs the bench/ suite and merges the results into BENCH_4.json.
+"""Runs the bench/ suite and merges the results into BENCH_5.json.
 
 The perf trajectory lives in BENCH_<PR>.json files at the repo root: one
 machine-readable snapshot per performance-focused PR, so later PRs can
@@ -8,15 +8,27 @@ from an existing build tree and writes one merged JSON document.
 
 Usage:
     python3 tools/bench_runner.py [--build-dir build] [--smoke]
-                                  [--out BENCH_4.json] [--only a,b,...]
-                                  [--compare BENCH_3.json]
+                                  [--out BENCH_5.json] [--only a,b,...]
+                                  [--compare BENCH_4.json] [--repeat N]
+                                  [--metrics-out metrics.json]
 
 Modes:
     --smoke   run only the benchmarks marked smoke-safe, with their
               reduced problem sizes — a few minutes, used by the CI
-              bench-smoke job.
+              bench-regression job.
     (default) run the full registered suite, including the
               google-benchmark timing binaries.
+
+--repeat runs each harness binary N times and keeps the per-series
+MINIMUM wall time (best-of-N): the minimum is the scheduling-noise-free
+estimate of a deterministic workload's cost, which is what a regression
+gate should diff. The committed baseline and the CI bench-regression job
+both use --repeat 3; single-shot wall times on a loaded CI worker vary
+by far more than the 10% tolerance.
+
+--metrics-out extracts the metrics-registry snapshots that json_harness
+binaries embed under a "metrics" key (see docs/OBSERVABILITY.md) into one
+standalone file, which CI uploads as a workflow artifact.
 
 --compare diffs the freshly-written snapshot against a baseline
 BENCH_<PR>.json: series are matched by (kernel, n, threads, simd_target)
@@ -43,9 +55,9 @@ import sys
 import tempfile
 import time
 
-BENCH_ID = "BENCH_4"
-TITLE = ("SIMD-vectorized, cache-blocked DP kernels with runtime "
-         "dispatch")
+BENCH_ID = "BENCH_5"
+TITLE = ("Observability layer: metrics registry, trace spans and the CI "
+         "perf-regression gate")
 
 # A matched series must not be slower than baseline by more than this.
 REGRESSION_TOLERANCE = 0.10
@@ -72,7 +84,10 @@ class Bench:
 REGISTRY = [
     Bench("parallel_kernels", "bench_parallel_kernels", "json_harness",
           smoke=True, smoke_args=["--smoke"]),
-    Bench("engine_batch", "bench_engine_batch", "harness"),
+    Bench("engine_batch", "bench_engine_batch", "json_harness",
+          smoke=True, smoke_args=["--smoke"]),
+    Bench("metrics_overhead", "bench_metrics_overhead", "json_harness",
+          smoke=True, smoke_args=["--smoke"]),
     Bench("attr_prune", "bench_attr_prune", "harness"),
     Bench("tuple_prune", "bench_tuple_prune", "harness"),
     Bench("tuple_rules", "bench_tuple_rules", "harness"),
@@ -87,7 +102,42 @@ REGISTRY = [
 ]
 
 
-def run_one(bench, build_dir, smoke):
+def run_one(bench, build_dir, smoke, repeat=1):
+    """Runs `bench` `repeat` times and keeps the best (minimum) time per
+    series. Non-timing fields (metrics snapshot, exit codes, tails) come
+    from the first failing run if any, else the first run."""
+    merged = None
+    for _ in range(max(1, repeat)):
+        result = run_once(bench, build_dir, smoke)
+        if merged is None:
+            merged = result
+        else:
+            merged["wall_ms"] = min(merged.get("wall_ms", 0.0),
+                                    result.get("wall_ms", 0.0))
+            merged["benchmarks"] = merge_best_rows(
+                merged.get("benchmarks", []), result.get("benchmarks", []))
+        if merged.get("exit_code", 0) != 0 or "skipped" in merged:
+            break  # a failure or missing binary will not improve with reps
+    return merged
+
+
+def merge_best_rows(current, candidate):
+    """Per-series minimum wall time across repetitions of one binary."""
+    best = {series_key(r): r for r in current}
+    order = [series_key(r) for r in current]
+    for row in candidate:
+        key = series_key(row)
+        if key not in best:
+            best[key] = row
+            order.append(key)
+            continue
+        t_new, t_old = row_time_ms(row), row_time_ms(best[key])
+        if t_new is not None and (t_old is None or t_new < t_old):
+            best[key] = row
+    return [best[k] for k in order]
+
+
+def run_once(bench, build_dir, smoke):
     binary = os.path.join(build_dir, "bench", bench.binary)
     if not os.path.exists(binary):
         return {"skipped": f"binary not found: {binary}"}
@@ -234,6 +284,12 @@ def main():
     parser.add_argument("--compare", default="",
                         help="baseline BENCH_<PR>.json to diff against; "
                              "exits 1 on a >10%% per-series regression")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="run each binary N times, keep per-series "
+                             "minimum wall time (CI uses 3)")
+    parser.add_argument("--metrics-out", default="",
+                        help="write the metrics-registry snapshots embedded "
+                             "in harness JSON to this file")
     args = parser.parse_args()
 
     if args.list:
@@ -257,12 +313,13 @@ def main():
         "bench_id": BENCH_ID,
         "title": TITLE,
         "mode": "smoke" if args.smoke else "full",
+        "repeat": max(1, args.repeat),
         "hardware_threads": os.cpu_count() or 1,
         "results": {},
     }
     failures = 0
     for bench in selected:
-        result = run_one(bench, args.build_dir, args.smoke)
+        result = run_one(bench, args.build_dir, args.smoke, args.repeat)
         doc["results"][bench.name] = result
         if result.get("exit_code", 0) != 0:
             failures += 1
@@ -274,6 +331,17 @@ def main():
         f.write("\n")
     print(f"[bench_runner] wrote {args.out} "
           f"({len(doc['results'])} benchmarks, {failures} failures)")
+
+    if args.metrics_out:
+        snapshots = {name: result["metrics"]
+                     for name, result in doc["results"].items()
+                     if isinstance(result.get("metrics"), dict)}
+        with open(args.metrics_out, "w") as f:
+            json.dump({"bench_id": BENCH_ID, "snapshots": snapshots}, f,
+                      indent=2)
+            f.write("\n")
+        print(f"[bench_runner] wrote {args.metrics_out} "
+              f"({len(snapshots)} registry snapshot(s))")
 
     regressions = 0
     if args.compare:

@@ -17,6 +17,11 @@ cannot see:
                    util/check.h, I/O through io/).
   build-registration  every .cc under src/ is compiled into the library
                    (listed in src/CMakeLists.txt).
+  metric-name      metrics registered in src/ follow the naming contract
+                   urank_<layer>_<name>_<unit> (lower_snake, unit one of
+                   total/bytes/us/count/ratio/info) so the Prometheus page
+                   and the bench_runner snapshots stay greppable and
+                   self-describing (see docs/OBSERVABILITY.md).
   engine-api       outside src/core/, queries go through the QueryEngine
                    (core/engine/query_engine.h) or the legacy facade
                    (core/query.h); direct includes of the per-semantics
@@ -459,6 +464,38 @@ def check_kernel_vectorize(root, findings):
                     "allow(kernel-vectorize) comment"))
 
 
+# --- metric-name -----------------------------------------------------------
+
+# Registration sites look like `registry.counter("urank_engine_queries_total")`
+# (see util/metrics.h). The literal is the wire name: it must spell out the
+# owning layer and end in a recognised unit suffix.
+METRIC_CALL_RE = re.compile(
+    r"\b(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
+METRIC_NAME_RE = re.compile(
+    r"^urank_[a-z0-9]+(?:_[a-z0-9]+)+_(?:total|bytes|us|count|ratio|info)$")
+
+
+def check_metric_names(root, findings):
+    """Scans raw text (the names live inside string literals, which
+    strip_comments_and_strings blanks out)."""
+    for path in iter_files(root, "src", {".h", ".cc"}):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        lines = text.split("\n")
+        for lineno, line in enumerate(lines, start=1):
+            for m in METRIC_CALL_RE.finditer(line):
+                name = m.group(1)
+                if METRIC_NAME_RE.match(name):
+                    continue
+                if "metric-name" in allowed_rules(lines, lineno):
+                    continue
+                findings.append(Finding(
+                    relpath(root, path), lineno, "metric-name",
+                    f'metric name "{name}" does not match '
+                    f"urank_<layer>_<name>_<unit> with unit in "
+                    f"total/bytes/us/count/ratio/info"))
+
+
 # --- build-registration ----------------------------------------------------
 
 def check_build_registration(root, findings):
@@ -491,6 +528,7 @@ def main():
     check_preconditions(root, findings)
     check_kernel_alloc(root, findings)
     check_kernel_vectorize(root, findings)
+    check_metric_names(root, findings)
     check_build_registration(root, findings)
 
     for finding in sorted(findings, key=lambda f: (f.path, f.line)):
