@@ -95,10 +95,10 @@ class MemoTable {
       future = it->second;
     }
     if (owner) {
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      misses_.fetch_add(1, std::memory_order_acq_rel);
       promise.set_value(std::make_shared<const Value>(compute()));
     } else {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_acq_rel);
     }
     return future.get();
   }
@@ -110,9 +110,9 @@ class MemoTable {
     return entries_.count(key) > 0;
   }
 
-  long long hits() const { return hits_.load(std::memory_order_relaxed); }
+  long long hits() const { return hits_.load(std::memory_order_acquire); }
   long long misses() const {
-    return misses_.load(std::memory_order_relaxed);
+    return misses_.load(std::memory_order_acquire);
   }
 
  private:

@@ -26,7 +26,7 @@ std::uint64_t SteadyNowNs() {
 std::uint32_t ThisThreadTid() {
   static std::atomic<std::uint32_t> next{1};
   thread_local const std::uint32_t tid =
-      next.fetch_add(1, std::memory_order_relaxed);
+      next.fetch_add(1, std::memory_order_acq_rel);
   return tid;
 }
 
@@ -75,8 +75,8 @@ void Recorder::Start(std::size_t capacity) {
 #else
   URANK_CHECK_MSG(!enabled(), "trace session already active");
   impl_->slots.assign(capacity, Event{});
-  impl_->next.store(0, std::memory_order_relaxed);
-  impl_->dropped.store(0, std::memory_order_relaxed);
+  impl_->next.store(0, std::memory_order_release);
+  impl_->dropped.store(0, std::memory_order_release);
   impl_->session_start_ns = SteadyNowNs();
   impl_->enabled.store(true, std::memory_order_release);
 #endif
@@ -87,15 +87,15 @@ void Recorder::Stop() {
 }
 
 bool Recorder::enabled() const {
-  return impl_->enabled.load(std::memory_order_relaxed);
+  return impl_->enabled.load(std::memory_order_acquire);
 }
 
 void Recorder::Record(const Event& event) {
   if (!enabled()) return;
   const std::uint64_t idx =
-      impl_->next.fetch_add(1, std::memory_order_relaxed);
+      impl_->next.fetch_add(1, std::memory_order_acq_rel);
   if (idx >= impl_->slots.size()) {
-    impl_->dropped.fetch_add(1, std::memory_order_relaxed);
+    impl_->dropped.fetch_add(1, std::memory_order_acq_rel);
     return;
   }
   impl_->slots[idx] = event;
@@ -110,7 +110,7 @@ std::vector<Event> Recorder::Events() const {
 }
 
 std::uint64_t Recorder::dropped() const {
-  return impl_->dropped.load(std::memory_order_relaxed);
+  return impl_->dropped.load(std::memory_order_acquire);
 }
 
 std::uint64_t Recorder::NowNs() const {

@@ -9,6 +9,7 @@
 #include "core/internal/value_universe.h"
 #include "core/rank_distribution_attr.h"
 #include "util/check.h"
+#include "util/kernel_annotations.h"
 
 namespace urank {
 
@@ -40,6 +41,7 @@ std::vector<double> AttrExpectedRanksBruteForce(const AttrRelation& rel,
 namespace {
 
 // A-ERank (eq. 4) against a prebuilt value universe.
+URANK_KERNEL
 std::vector<double> ExpectedRanksWithUniverse(
     const AttrRelation& rel, const internal::ValueUniverse& universe,
     TiePolicy ties) {

@@ -9,6 +9,7 @@
 #include "core/internal/kernel_arena.h"
 #include "core/internal/vector_kernels.h"
 #include "util/check.h"
+#include "util/kernel_annotations.h"
 
 namespace urank {
 namespace {
@@ -61,6 +62,7 @@ std::vector<double> TupleExpectedRanksBruteForce(const TupleRelation& rel,
 namespace {
 
 // T-ERank sweep over a precomputed (score desc, index asc) permutation.
+URANK_KERNEL
 std::vector<double> ExpectedRanksInOrder(const TupleRelation& rel,
                                          const std::vector<int>& order,
                                          TiePolicy ties) {

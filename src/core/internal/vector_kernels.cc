@@ -9,11 +9,13 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/kernel_annotations.h"
 
 namespace urank {
 namespace vk {
 namespace detail {
 
+URANK_KERNEL
 void ScalarConvolveTrial(double* v, std::size_t n, double p) {
   const double q = 1.0 - p;
   // Convolve with the two-point distribution {1-p, p}, in place, high to
@@ -47,6 +49,7 @@ bool DeconvolveChecksPass(const double* src, std::size_t n, double p,
   return true;
 }
 
+URANK_KERNEL
 bool ScalarDeconvolveTrial(const double* src, std::size_t n, double p,
                            double* out) {
   const double q = 1.0 - p;
@@ -70,6 +73,7 @@ bool ScalarDeconvolveTrial(const double* src, std::size_t n, double p,
   return DeconvolveChecksPass(src, n, p, out);
 }
 
+URANK_KERNEL
 void ScalarPrefixSum(double* v, std::size_t n) {
   double acc = 0.0;
   for (std::size_t c = 0; c < n; ++c) {
@@ -78,6 +82,7 @@ void ScalarPrefixSum(double* v, std::size_t n) {
   }
 }
 
+URANK_KERNEL
 void ScalarSuffixSum(const double* mass, double* suffix, std::size_t n) {
   suffix[n] = 0.0;
   for (std::size_t l = n; l > 0; --l) {
@@ -85,20 +90,24 @@ void ScalarSuffixSum(const double* mass, double* suffix, std::size_t n) {
   }
 }
 
+URANK_KERNEL
 double ScalarSum(const double* v, std::size_t n) {
   double sum = 0.0;
   for (std::size_t c = 0; c < n; ++c) sum += v[c];
   return sum;
 }
 
+URANK_KERNEL
 void ScalarScale(double* out, const double* in, double a, std::size_t n) {
   for (std::size_t c = 0; c < n; ++c) out[c] = a * in[c];
 }
 
+URANK_KERNEL
 void ScalarScaleAdd(double* out, const double* in, double a, std::size_t n) {
   for (std::size_t c = 0; c < n; ++c) out[c] += a * in[c];
 }
 
+URANK_KERNEL
 void ScalarArgmaxMerge(const double* row, int id, double* best, int* winner,
                        std::size_t n) {
   for (std::size_t c = 0; c < n; ++c) {

@@ -21,6 +21,8 @@
 
 #include "core/internal/vector_kernels.h"
 
+#include "util/kernel_annotations.h"
+
 namespace urank {
 namespace vk {
 namespace {
@@ -59,6 +61,7 @@ inline __m256d BroadcastLane0(__m256d x) {
 
 inline double Lane0(__m256d x) { return _mm256_cvtsd_f64(x); }
 
+URANK_KERNEL
 void ConvolveTrial(double* v, std::size_t n, double p) {
   const double q = 1.0 - p;
   v[n] = v[n - 1] * p;
@@ -85,6 +88,7 @@ void ConvolveTrial(double* v, std::size_t n, double p) {
 // multiply-adds build the within-block scan, then the carry enters through
 // the geometric weights [a, a^2, a^3, a^4]. |a| <= 1 by the direction
 // choice, so the weights cannot overflow.
+URANK_KERNEL
 bool DeconvolveTrial(const double* src, std::size_t n, double p, double* out) {
   const double q = 1.0 - p;
   if (p <= 0.5) {
@@ -139,6 +143,7 @@ bool DeconvolveTrial(const double* src, std::size_t n, double p, double* out) {
   return detail::DeconvolveChecksPass(src, n, p, out);
 }
 
+URANK_KERNEL
 void PrefixSum(double* v, std::size_t n) {
   __m256d carry = _mm256_setzero_pd();  // running total, broadcast
   std::size_t c = 0;
@@ -157,6 +162,7 @@ void PrefixSum(double* v, std::size_t n) {
   }
 }
 
+URANK_KERNEL
 void SuffixSum(const double* mass, double* suffix, std::size_t n) {
   suffix[n] = 0.0;
   // Scalar head at the top end so the vector loop runs on whole blocks.
@@ -179,6 +185,7 @@ void SuffixSum(const double* mass, double* suffix, std::size_t n) {
   }
 }
 
+URANK_KERNEL
 double Sum(const double* v, std::size_t n) {
   __m256d acc = _mm256_setzero_pd();
   std::size_t c = 0;
@@ -190,6 +197,7 @@ double Sum(const double* v, std::size_t n) {
   return s;
 }
 
+URANK_KERNEL
 void Scale(double* out, const double* in, double a, std::size_t n) {
   const __m256d a4 = _mm256_set1_pd(a);
   std::size_t c = 0;
@@ -199,6 +207,7 @@ void Scale(double* out, const double* in, double a, std::size_t n) {
   for (; c < n; ++c) out[c] = a * in[c];
 }
 
+URANK_KERNEL
 void ScaleAdd(double* out, const double* in, double a, std::size_t n) {
   const __m256d a4 = _mm256_set1_pd(a);
   std::size_t c = 0;
@@ -209,6 +218,7 @@ void ScaleAdd(double* out, const double* in, double a, std::size_t n) {
   for (; c < n; ++c) out[c] += a * in[c];
 }
 
+URANK_KERNEL
 void ArgmaxMerge(const double* row, int id, double* best, int* winner,
                  std::size_t n) {
   std::size_t c = 0;

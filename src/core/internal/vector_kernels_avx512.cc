@@ -19,6 +19,8 @@
 
 #include "core/internal/vector_kernels.h"
 
+#include "util/kernel_annotations.h"
+
 namespace urank {
 namespace vk {
 namespace {
@@ -49,6 +51,7 @@ inline __m512d BroadcastLane0(__m512d x) {
 
 inline double Lane0(__m512d x) { return _mm512_cvtsd_f64(x); }
 
+URANK_KERNEL
 void ConvolveTrial(double* v, std::size_t n, double p) {
   const double q = 1.0 - p;
   v[n] = v[n - 1] * p;
@@ -67,6 +70,7 @@ void ConvolveTrial(double* v, std::size_t n, double p) {
   v[0] *= q;
 }
 
+URANK_KERNEL
 bool DeconvolveTrial(const double* src, std::size_t n, double p, double* out) {
   const double q = 1.0 - p;
   if (p <= 0.5) {
@@ -133,6 +137,7 @@ bool DeconvolveTrial(const double* src, std::size_t n, double p, double* out) {
   return detail::DeconvolveChecksPass(src, n, p, out);
 }
 
+URANK_KERNEL
 void PrefixSum(double* v, std::size_t n) {
   __m512d carry = _mm512_setzero_pd();  // running total, broadcast
   std::size_t c = 0;
@@ -152,6 +157,7 @@ void PrefixSum(double* v, std::size_t n) {
   }
 }
 
+URANK_KERNEL
 void SuffixSum(const double* mass, double* suffix, std::size_t n) {
   suffix[n] = 0.0;
   std::size_t c = n;
@@ -174,6 +180,7 @@ void SuffixSum(const double* mass, double* suffix, std::size_t n) {
   }
 }
 
+URANK_KERNEL
 double Sum(const double* v, std::size_t n) {
   __m512d acc = _mm512_setzero_pd();
   std::size_t c = 0;
@@ -186,6 +193,7 @@ double Sum(const double* v, std::size_t n) {
   return s;
 }
 
+URANK_KERNEL
 void Scale(double* out, const double* in, double a, std::size_t n) {
   const __m512d a8 = _mm512_set1_pd(a);
   std::size_t c = 0;
@@ -195,6 +203,7 @@ void Scale(double* out, const double* in, double a, std::size_t n) {
   for (; c < n; ++c) out[c] = a * in[c];
 }
 
+URANK_KERNEL
 void ScaleAdd(double* out, const double* in, double a, std::size_t n) {
   const __m512d a8 = _mm512_set1_pd(a);
   std::size_t c = 0;
@@ -205,6 +214,7 @@ void ScaleAdd(double* out, const double* in, double a, std::size_t n) {
   for (; c < n; ++c) out[c] += a * in[c];
 }
 
+URANK_KERNEL
 void ArgmaxMerge(const double* row, int id, double* best, int* winner,
                  std::size_t n) {
   std::size_t c = 0;

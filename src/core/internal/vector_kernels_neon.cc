@@ -21,10 +21,13 @@
 
 #include "core/internal/vector_kernels.h"
 
+#include "util/kernel_annotations.h"
+
 namespace urank {
 namespace vk {
 namespace {
 
+URANK_KERNEL
 void ConvolveTrial(double* v, std::size_t n, double p) {
   const double q = 1.0 - p;
   v[n] = v[n - 1] * p;
@@ -41,6 +44,7 @@ void ConvolveTrial(double* v, std::size_t n, double p) {
   v[0] *= q;
 }
 
+URANK_KERNEL
 double Sum(const double* v, std::size_t n) {
   float64x2_t acc = vdupq_n_f64(0.0);
   std::size_t c = 0;
@@ -50,6 +54,7 @@ double Sum(const double* v, std::size_t n) {
   return s;
 }
 
+URANK_KERNEL
 void Scale(double* out, const double* in, double a, std::size_t n) {
   const float64x2_t a2 = vdupq_n_f64(a);
   std::size_t c = 0;
@@ -59,6 +64,7 @@ void Scale(double* out, const double* in, double a, std::size_t n) {
   for (; c < n; ++c) out[c] = a * in[c];
 }
 
+URANK_KERNEL
 void ScaleAdd(double* out, const double* in, double a, std::size_t n) {
   const float64x2_t a2 = vdupq_n_f64(a);
   std::size_t c = 0;

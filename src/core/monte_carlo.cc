@@ -20,6 +20,7 @@ struct AttrSampler {
       std::vector<double> c, v;
       double run = 0.0;
       for (const ScoreValue& sv : t.pdf) {
+        URANK_DCHECK_PROB(sv.prob);
         run += sv.prob;
         c.push_back(run);
         v.push_back(sv.value);
@@ -105,9 +106,11 @@ void SampleAttrWorld(const AttrRelation& rel, Rng& rng,
   for (int i = 0; i < rel.size(); ++i) {
     const AttrTuple& t = rel.tuple(i);
     const double u = rng.Uniform01();
+    URANK_DCHECK_PROB(u);
     double run = 0.0;
     size_t l = 0;
     for (; l + 1 < t.pdf.size(); ++l) {
+      URANK_DCHECK_PROB(t.pdf[l].prob);
       run += t.pdf[l].prob;
       if (u < run) break;
     }
@@ -123,8 +126,10 @@ void SampleTupleWorld(const TupleRelation& rel, Rng& rng,
   std::fill(out->begin(), out->end(), false);
   for (int r = 0; r < rel.num_rules(); ++r) {
     const double u = rng.Uniform01();
+    URANK_DCHECK_PROB(u);
     double run = 0.0;
     for (int idx : rel.rule(r)) {
+      URANK_DCHECK_PROB(rel.tuple(idx).prob);
       run += rel.tuple(idx).prob;
       if (u < run) {
         (*out)[static_cast<size_t>(idx)] = true;
@@ -196,6 +201,7 @@ std::vector<std::vector<double>> AttrRankDistributionsMonteCarlo(
   }
   for (auto& row : dist) {
     for (double& v : row) v /= samples;
+    URANK_DCHECK_NORMALIZED(row);
   }
   return dist;
 }
@@ -220,6 +226,7 @@ std::vector<std::vector<double>> TupleRankDistributionsMonteCarlo(
   }
   for (auto& row : dist) {
     for (double& v : row) v /= samples;
+    URANK_DCHECK_NORMALIZED(row);
   }
   return dist;
 }
@@ -242,7 +249,10 @@ std::vector<double> AttrTopKProbabilitiesMonteCarlo(const AttrRelation& rel,
       if (ranks[static_cast<size_t>(i)] < k) hits[static_cast<size_t>(i)] += 1.0;
     }
   }
-  for (double& v : hits) v /= samples;
+  for (double& v : hits) {
+    v /= samples;
+    URANK_DCHECK_PROB(v);
+  }
   return hits;
 }
 
@@ -267,7 +277,10 @@ std::vector<double> TupleTopKProbabilitiesMonteCarlo(
       }
     }
   }
-  for (double& v : hits) v /= samples;
+  for (double& v : hits) {
+    v /= samples;
+    URANK_DCHECK_PROB(v);
+  }
   return hits;
 }
 

@@ -8,6 +8,7 @@
 #include "core/rank_distribution_attr.h"
 #include "core/rank_distribution_tuple.h"
 #include "util/check.h"
+#include "util/kernel_annotations.h"
 
 namespace urank {
 namespace {
@@ -24,6 +25,7 @@ std::vector<double> ToDouble(const std::vector<int>& v) {
 
 }  // namespace
 
+URANK_KERNEL
 int QuantileFromPmf(std::span<const double> pmf, double phi) {
   URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
   URANK_CHECK_MSG(!pmf.empty(), "pmf must be non-empty");

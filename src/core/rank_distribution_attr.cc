@@ -5,6 +5,7 @@
 #include "core/internal/kernel_arena.h"
 #include "core/internal/vector_kernels.h"
 #include "util/check.h"
+#include "util/kernel_annotations.h"
 
 namespace urank {
 
@@ -14,7 +15,8 @@ using internal::SortedPdf;
 namespace {
 
 // PbConvolveTrial on an arena buffer: appends one {1-p, p} trial in place.
-void BufConvolveTrial(const vk::KernelOps& ops, AlignedBuf* pmf, double p) {
+URANK_KERNEL void BufConvolveTrial(const vk::KernelOps& ops, AlignedBuf* pmf,
+                                   double p) {
   const size_t m = pmf->size();
   pmf->resize(m + 1);
   ops.convolve_trial(pmf->data(), m, p);
@@ -31,10 +33,9 @@ std::vector<SortedPdf> BuildSortedPdfs(const AttrRelation& rel) {
   return pdfs;
 }
 
-void AttrRankDistributionInto(const AttrRelation& rel,
-                              const std::vector<SortedPdf>& pdfs, int index,
-                              TiePolicy ties, AlignedBuf* pmf_scratch,
-                              std::vector<double>* dist) {
+URANK_KERNEL void AttrRankDistributionInto(
+    const AttrRelation& rel, const std::vector<SortedPdf>& pdfs, int index,
+    TiePolicy ties, AlignedBuf* pmf_scratch, std::vector<double>* dist) {
   const int n = rel.size();
   const vk::KernelOps& ops = vk::Active();
   dist->assign(static_cast<size_t>(std::max(n, 1)), 0.0);
@@ -75,7 +76,7 @@ std::vector<std::vector<double>> AttrRankDistributions(const AttrRelation& rel,
                                ParallelismOptions{}, nullptr);
 }
 
-std::vector<std::vector<double>> AttrRankDistributions(
+URANK_KERNEL std::vector<std::vector<double>> AttrRankDistributions(
     const AttrRelation& rel, const std::vector<SortedPdf>& pdfs,
     TiePolicy ties, const ParallelismOptions& par, KernelReport* report) {
   const int n = rel.size();

@@ -6,6 +6,7 @@
 #include "core/internal/kernel_arena.h"
 #include "core/internal/vector_kernels.h"
 #include "util/check.h"
+#include "util/kernel_annotations.h"
 #include "util/poisson_binomial.h"
 
 namespace urank {
@@ -18,14 +19,16 @@ using internal::AlignedBuf;
 // PbConvolveTrial / PbDeconvolveTrial on arena-backed aligned buffers,
 // dispatched through the active vector-kernel table. Preconditions are the
 // kernel invariants (p in (0,1], non-empty pmf) already enforced upstream.
-void BufConvolveTrial(const vk::KernelOps& ops, AlignedBuf* pmf, double p) {
+URANK_KERNEL void BufConvolveTrial(const vk::KernelOps& ops, AlignedBuf* pmf,
+                                   double p) {
   const size_t n = pmf->size();
   pmf->resize(n + 1);
   ops.convolve_trial(pmf->data(), n, p);
 }
 
-bool BufDeconvolveTrial(const vk::KernelOps& ops, const AlignedBuf& src,
-                        double p, AlignedBuf* out) {
+URANK_KERNEL bool BufDeconvolveTrial(const vk::KernelOps& ops,
+                                     const AlignedBuf& src, double p,
+                                     AlignedBuf* out) {
   const size_t n = src.size() - 1;
   out->resize(n);
   return ops.deconvolve_trial(src.data(), n, p, out->data());
@@ -97,8 +100,9 @@ std::vector<size_t> PlanChunkStarts(const TupleRelation& rel,
 // Replays the rule prefix masses the sweep would carry entering position
 // `begin` — exactly the update the chunk flush applies, so chunk-entry
 // state is bit-identical to what an unchunked sweep would hold there.
-void ReplayPrefix(const TupleRelation& rel, const std::vector<int>& order,
-                  size_t begin, AlignedBuf* cur) {
+URANK_KERNEL void ReplayPrefix(const TupleRelation& rel,
+                               const std::vector<int>& order, size_t begin,
+                               AlignedBuf* cur) {
   cur->assign(static_cast<size_t>(rel.num_rules()), 0.0);
   for (size_t idx = 0; idx < begin; ++idx) {
     const int i = order[idx];
@@ -123,7 +127,7 @@ struct ChunkSweep {
   // Rebuilds a pmf from cur in canonical rule-index order, skipping
   // `skip_rule` (-1 for none). Depends only on the mass values, so the
   // deconvolution fallback stays deterministic under any schedule.
-  void Rebuild(AlignedBuf* out, int skip_rule) const {
+  URANK_KERNEL void Rebuild(AlignedBuf* out, int skip_rule) const {
     out->assign(1, 1.0);
     const int m = rel.num_rules();
     for (int r = 0; r < m; ++r) {
@@ -135,7 +139,7 @@ struct ChunkSweep {
 
   // The sweep pmf with rule r's current mass conditioned out; returns a
   // pointer to `pmf` itself when the rule carries no mass yet (no copy).
-  const AlignedBuf* WithoutRule(int r, AlignedBuf* out) const {
+  URANK_KERNEL const AlignedBuf* WithoutRule(int r, AlignedBuf* out) const {
     const double v = cur[static_cast<size_t>(r)];
     if (v <= 0.0) return &pmf;
     if (!BufDeconvolveTrial(ops, pmf, v, out)) Rebuild(out, r);
@@ -143,7 +147,7 @@ struct ChunkSweep {
   }
 
   // Moves the tuple at position i into the "ranked above" prefix.
-  void Flush(int i) {
+  URANK_KERNEL void Flush(int i) {
     const size_t r = static_cast<size_t>(rel.rule_of(i));
     const double old_mass = cur[r];
     if (old_mass > 0.0) {
@@ -166,7 +170,7 @@ struct ChunkSweep {
 // per_tuple(i, appear) with the appear-branch pmf (the tuple's own rule
 // conditioned out). Equal-score runs flush only after every member was
 // visited, matching the kStrictGreater semantics of the unchunked sweep.
-void SweepAppearChunk(
+URANK_KERNEL void SweepAppearChunk(
     const TupleRelation& rel, const std::vector<int>& order, TiePolicy ties,
     size_t begin, size_t end, internal::KernelArena* arena,
     const std::function<void(int, const AlignedBuf&)>& per_tuple) {
@@ -222,8 +226,8 @@ struct AbsentContext {
   // Writes into `out` the world-size pmf with rule r's unconditional mass
   // replaced by `cond` (its mass conditioned on the reference tuple being
   // absent). Reads shared state only.
-  void ConditionalWorldSize(const vk::KernelOps& ops, int r, double cond,
-                            AlignedBuf* out) const {
+  URANK_KERNEL void ConditionalWorldSize(const vk::KernelOps& ops, int r,
+                                         double cond, AlignedBuf* out) const {
     const double v = rule_sums[static_cast<size_t>(r)];
     if (v > 0.0) {
       const size_t n = pmf_all.size() - 1;
@@ -280,7 +284,7 @@ void ForEachTupleRankDistribution(
       });
 }
 
-void ForEachTupleRankDistribution(
+URANK_KERNEL void ForEachTupleRankDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
     const std::function<void(int, int, std::span<const double>)>& fn) {
@@ -361,7 +365,7 @@ void ForEachTuplePositionalDistribution(
       });
 }
 
-void ForEachTuplePositionalDistribution(
+URANK_KERNEL void ForEachTuplePositionalDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
     const std::function<void(int, int, std::span<const double>)>& fn) {

@@ -34,6 +34,7 @@ std::vector<double> AttrExpectedScores(const AttrRelation& rel) {
 std::vector<double> TupleExpectedScores(const TupleRelation& rel) {
   std::vector<double> scores(static_cast<size_t>(rel.size()), 0.0);
   for (int i = 0; i < rel.size(); ++i) {
+    URANK_DCHECK_PROB(rel.tuple(i).prob);
     scores[static_cast<size_t>(i)] = rel.tuple(i).prob * rel.tuple(i).score;
   }
   return scores;

@@ -4,6 +4,7 @@
 
 #include "core/internal/vector_kernels.h"
 #include "util/check.h"
+#include "util/kernel_annotations.h"
 
 namespace urank {
 
@@ -15,6 +16,7 @@ ScoreOrderSweep::ScoreOrderSweep(const TupleRelation& rel, TiePolicy ties)
       pb_(PoissonBinomial::FromProbs(
           std::vector<double>(static_cast<size_t>(rel.num_rules()), 0.0))) {}
 
+URANK_KERNEL
 void ScoreOrderSweep::FlushPending() {
   for (int i : pending_) {
     const size_t r = static_cast<size_t>(rel_.rule_of(i));
@@ -28,6 +30,7 @@ void ScoreOrderSweep::FlushPending() {
   pending_.clear();
 }
 
+URANK_KERNEL
 int ScoreOrderSweep::Next() {
   URANK_CHECK_MSG(HasNext(), "Next() past the end of the sweep");
   const int i = stream_.Next();
@@ -45,6 +48,7 @@ int ScoreOrderSweep::Next() {
   return i;
 }
 
+URANK_KERNEL
 double ScoreOrderSweep::TopKProbability(int k) {
   URANK_CHECK_MSG(current_ >= 0, "TopKProbability before Next()");
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
@@ -56,6 +60,7 @@ double ScoreOrderSweep::TopKProbability(int k) {
   return prob;
 }
 
+URANK_KERNEL
 void ScoreOrderSweep::PositionalProbabilities(int max_ranks,
                                               std::vector<double>* out) {
   URANK_CHECK_MSG(current_ >= 0, "PositionalProbabilities before Next()");

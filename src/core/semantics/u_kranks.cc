@@ -9,12 +9,14 @@
 #include "core/rank_distribution_tuple.h"
 #include "core/semantics/score_sweep.h"
 #include "util/check.h"
+#include "util/kernel_annotations.h"
 
 namespace urank {
 namespace {
 
 // Winner per rank from positional probability rows: rows[i][r] =
 // Pr[t_i occupies rank r]. Zero-probability ranks report -1.
+URANK_KERNEL
 std::vector<int> WinnersPerRank(
     const std::vector<std::vector<double>>& rows,
     const std::vector<int>& ids, int k) {
@@ -136,6 +138,7 @@ std::vector<int> TupleUKRanks(const PreparedTupleRelation& prepared, int k,
   }));
 }
 
+URANK_KERNEL
 UKRanksPruneResult TupleUKRanksPruned(const TupleRelation& rel, int k,
                                       TiePolicy ties) {
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");

@@ -64,6 +64,7 @@ UTopKAnswer TupleUTopKIndependentInOrder(const TupleRelation& rel,
   g[0][0] = 1.0;
   for (int i = 1; i <= n; ++i) {
     const double p = rel.tuple(order[static_cast<size_t>(i - 1)]).prob;
+    URANK_DCHECK_PROB(p);
     for (int c = 0; c <= std::min(i, k); ++c) {
       const double skip = g[static_cast<size_t>(i - 1)][static_cast<size_t>(c)] * (1.0 - p);
       const double take =
@@ -206,6 +207,7 @@ UTopKAnswer TupleUTopKWithRulesInOrder(const TupleRelation& rel,
   for (int c = 0; c < n; ++c) {
     const int i = order[static_cast<size_t>(c)];
     const TLTuple& t = rel.tuple(i);
+    URANK_DCHECK_PROB(t.prob);
     const int rho = rel.rule_of(i);
     const size_t ri = static_cast<size_t>(rho);
     // Move t into the prefix, updating ρ's classification and aggregates.

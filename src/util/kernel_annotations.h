@@ -1,0 +1,39 @@
+// Source-level annotations consumed by tools/analyzer (urank-analyzer).
+//
+// URANK_KERNEL marks a function as a hot DP kernel or merge entry point.
+// The marker carries the repo's three kernel contracts, which the
+// analyzer machine-checks over the clang AST (see docs/TOOLING.md):
+//
+//   determinism   nothing reachable from the kernel may iterate an
+//                 unordered container, read wall-clock/rand-family
+//                 entropy, or derive values from object addresses — the
+//                 result must be a pure function of the inputs so
+//                 parallel and SIMD execution stay bit-identical.
+//   kernel-alloc  the kernel's steady state performs no heap allocation:
+//                 no `new`, no std::vector growth or vector temporaries
+//                 inside its loops (scratch comes from the per-worker
+//                 KernelArena, whose buffers grow to a high-water mark
+//                 once and are exempt).
+//   atomics       no relaxed-order atomics (those belong to util/metrics
+//                 counters only) and no mutex held across a ParallelFor.
+//
+// The annotation compiles to a clang `annotate` attribute so it survives
+// into the AST the analyzer sees; under other compilers it vanishes, so
+// annotating a function never changes codegen or warnings in the normal
+// gcc build.
+//
+// Annotate the definition (free function, member function or file-local
+// helper alike):
+//
+//   URANK_KERNEL void ConvolveSweep(double* pmf, size_t n, double p) { ... }
+
+#ifndef URANK_UTIL_KERNEL_ANNOTATIONS_H_
+#define URANK_UTIL_KERNEL_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define URANK_KERNEL [[clang::annotate("urank_kernel")]]
+#else
+#define URANK_KERNEL
+#endif
+
+#endif  // URANK_UTIL_KERNEL_ANNOTATIONS_H_

@@ -137,14 +137,14 @@ struct ForState {
   void Drain(int slot) {
     bool counted = false;
     for (;;) {
-      const int chunk = next.fetch_add(1, std::memory_order_relaxed);
+      const int chunk = next.fetch_add(1, std::memory_order_acq_rel);
       if (chunk >= num_chunks) break;
       if (!counted) {
         // Observed participation, not slots made available: a helper the
         // caller outran never claims a chunk and is not counted. Every
         // increment is sequenced before the chunk's done++ below, so the
         // caller's read after done == num_chunks sees the final count.
-        participants.fetch_add(1, std::memory_order_relaxed);
+        participants.fetch_add(1, std::memory_order_acq_rel);
         counted = true;
       }
       RunChunk(fn, chunk, slot);
@@ -188,7 +188,7 @@ int ParallelFor(int num_chunks, int workers,
   state->cv.wait(lock, [&] { return state->done == state->num_chunks; });
   // Every chunk has run, so every participating slot has registered
   // itself; the caller is always among them.
-  return state->participants.load(std::memory_order_relaxed);
+  return state->participants.load(std::memory_order_acquire);
 }
 
 }  // namespace urank

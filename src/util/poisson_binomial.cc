@@ -4,10 +4,11 @@
 
 #include "core/internal/vector_kernels.h"
 #include "util/check.h"
+#include "util/kernel_annotations.h"
 
 namespace urank {
 
-void PbConvolveTrial(std::vector<double>* pmf, double p) {
+URANK_KERNEL void PbConvolveTrial(std::vector<double>* pmf, double p) {
   URANK_CHECK_MSG(p > 0.0 && p <= 1.0, "trial probability must be in (0,1]");
   URANK_CHECK_MSG(!pmf->empty(), "pmf must be non-empty");
   const size_t n = pmf->size();
@@ -15,8 +16,8 @@ void PbConvolveTrial(std::vector<double>* pmf, double p) {
   vk::Active().convolve_trial(pmf->data(), n, p);
 }
 
-bool PbDeconvolveTrial(const std::vector<double>& src, double p,
-                       std::vector<double>* out) {
+URANK_KERNEL bool PbDeconvolveTrial(const std::vector<double>& src, double p,
+                                    std::vector<double>* out) {
   URANK_CHECK_MSG(p > 0.0 && p <= 1.0, "trial probability must be in (0,1]");
   URANK_CHECK_MSG(src.size() >= 2, "src must hold at least one trial");
   const size_t n = src.size() - 1;  // trial count before removal
@@ -41,7 +42,7 @@ PoissonBinomial PoissonBinomial::FromProbs(const std::vector<double>& probs) {
   return pb;
 }
 
-void PoissonBinomial::AddTrial(double p) {
+URANK_KERNEL void PoissonBinomial::AddTrial(double p) {
   URANK_CHECK_MSG(p >= 0.0 && p <= 1.0, "trial probability must be in [0,1]");
   if (p == 0.0) {
     ++zero_trials_;  // a {1, 0} factor: exact, support unchanged
@@ -52,7 +53,7 @@ void PoissonBinomial::AddTrial(double p) {
   URANK_DCHECK_NORMALIZED(pmf_);
 }
 
-void PoissonBinomial::RemoveTrial(double p) {
+URANK_KERNEL void PoissonBinomial::RemoveTrial(double p) {
   URANK_CHECK_MSG(p >= 0.0 && p <= 1.0, "trial probability must be in [0,1]");
   URANK_CHECK_MSG(num_trials() > 0, "RemoveTrial with no live trials");
   if (p == 0.0) {
@@ -77,7 +78,7 @@ double PoissonBinomial::Pmf(int c) const {
   return pmf_[static_cast<size_t>(c)];
 }
 
-double PoissonBinomial::Cdf(int c) const {
+URANK_KERNEL double PoissonBinomial::Cdf(int c) const {
   if (c < 0) return 0.0;
   const int hi = std::min(c, static_cast<int>(pmf_.size()) - 1);
   const double sum =

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Self-test for tools/urank_lint.py.
+
+Builds throwaway repo trees under a tempdir, runs the linter over them,
+and asserts on the exact (rule, path) findings. Pins two things the
+linter's history makes easy to regress:
+
+  * the rules that remain are still enforced (including on multi-line
+    declarations), and
+  * the kernel-alloc rule is gone -- allocation checking moved to the
+    AST-accurate urank-analyzer (tools/analyzer/), whose corpus covers
+    the multi-line forms the old regex missed.
+
+Run directly or via ctest (registered as `urank_lint_selftest`).
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+LINT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, os.pardir, "tools", "urank_lint.py")
+
+CLEAN_HEADER = """\
+#ifndef URANK_UTIL_THING_H_
+#define URANK_UTIL_THING_H_
+namespace urank {
+double Halve(double x);
+}  // namespace urank
+#endif  // URANK_UTIL_THING_H_
+"""
+
+
+class LintRepo:
+    """A scratch repo tree the linter accepts as a root."""
+
+    def __init__(self, tmpdir):
+        self.root = tmpdir
+        os.makedirs(os.path.join(tmpdir, "src", "util"))
+        os.makedirs(os.path.join(tmpdir, "src", "core"))
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+
+    def register_sources(self):
+        """Lists every .cc under src/ in src/CMakeLists.txt so the
+        build-registration rule stays quiet unless a test wants it."""
+        sources = []
+        src = os.path.join(self.root, "src")
+        for dirpath, _, names in os.walk(src):
+            for name in names:
+                if name.endswith(".cc"):
+                    rel = os.path.relpath(os.path.join(dirpath, name), src)
+                    sources.append(rel.replace(os.sep, "/"))
+        self.write("src/CMakeLists.txt",
+                   "add_library(urank\n" +
+                   "".join(f"  {s}\n" for s in sources) + ")\n")
+
+    def lint(self):
+        proc = subprocess.run(
+            [sys.executable, LINT, "--root", self.root],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        findings = []
+        for line in proc.stdout.splitlines():
+            if ": [" in line:
+                path, rest = line.split(": [", 1)
+                rule = rest.split("]", 1)[0]
+                findings.append((rule, path.rsplit(":", 1)[0]))
+        return proc.returncode, findings
+
+
+class UrankLintTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.repo = LintRepo(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def rules(self, findings):
+        return {rule for rule, _ in findings}
+
+    def test_clean_tree_passes(self):
+        self.repo.write("src/util/thing.h", CLEAN_HEADER)
+        self.repo.register_sources()
+        rc, findings = self.repo.lint()
+        self.assertEqual(rc, 0, findings)
+        self.assertEqual(findings, [])
+
+    def test_token_bans_fire(self):
+        self.repo.write("src/util/bad.cc", """\
+#include <cstdlib>
+#include <iostream>
+float Leak() {
+  std::cout << "hi";
+  return static_cast<float>(rand());
+}
+""")
+        self.repo.register_sources()
+        rc, findings = self.repo.lint()
+        self.assertEqual(rc, 1)
+        self.assertEqual(self.rules(findings),
+                         {"probability-type", "rng-discipline", "no-cout"})
+
+    def test_allow_comment_suppresses(self):
+        self.repo.write("src/util/ok.cc", """\
+// urank-lint: allow(no-cout)
+#include <iostream>
+void Shout() { std::cout << "deliberate"; }
+""")
+        # The comment sits on the line above the finding; the std::cout
+        # on line 3 needs its own suppression to stay silent.
+        self.repo.write("src/util/ok2.cc", """\
+#include <iostream>
+void Shout2() {
+  std::cout << "deliberate";  // urank-lint: allow(no-cout)
+}
+""")
+        self.repo.register_sources()
+        rc, findings = self.repo.lint()
+        self.assertEqual(
+            [f for f in findings if f[0] == "no-cout" and "ok2" in f[1]], [])
+        # ok.cc's comment covers only the include line region, not line 3.
+        self.assertEqual(self.rules(findings), {"no-cout"})
+        self.assertEqual(rc, 1)
+
+    def test_include_guard_mismatch(self):
+        self.repo.write("src/util/guard.h", """\
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+#endif
+""")
+        self.repo.register_sources()
+        rc, findings = self.repo.lint()
+        self.assertEqual(rc, 1)
+        self.assertIn("include-guard", self.rules(findings))
+
+    def test_build_registration(self):
+        self.repo.write("src/util/thing.h", CLEAN_HEADER)
+        self.repo.write("src/util/orphan.cc", "namespace urank {}\n")
+        self.repo.write("src/CMakeLists.txt", "add_library(urank)\n")
+        rc, findings = self.repo.lint()
+        self.assertEqual(rc, 1)
+        self.assertIn("build-registration", self.rules(findings))
+
+    def test_precondition_sees_multiline_definition(self):
+        # The definition's parameter list and brace span several lines;
+        # the rule must still pair the header comment with the body and
+        # notice the missing URANK_CHECK.
+        self.repo.write("src/util/pre.h", """\
+#ifndef URANK_UTIL_PRE_H_
+#define URANK_UTIL_PRE_H_
+namespace urank {
+// Requires 0 <= p <= 1.
+double Scale(double p,
+             double w);
+}  // namespace urank
+#endif  // URANK_UTIL_PRE_H_
+""")
+        self.repo.write("src/util/pre.cc", """\
+#include "util/pre.h"
+namespace urank {
+double
+Scale(double p,
+      double w) {
+  return p * w;
+}
+}  // namespace urank
+""")
+        self.repo.register_sources()
+        rc, findings = self.repo.lint()
+        self.assertEqual(rc, 1)
+        self.assertIn("precondition", self.rules(findings))
+        # Adding the check (even split across lines) silences it.
+        self.repo.write("src/util/pre.cc", """\
+#include "util/pre.h"
+#include "util/check.h"
+namespace urank {
+double
+Scale(double p,
+      double w) {
+  URANK_DCHECK_PROB(
+      p);
+  return p * w;
+}
+}  // namespace urank
+""")
+        rc, findings = self.repo.lint()
+        self.assertNotIn("precondition", self.rules(findings))
+
+    def test_kernel_alloc_rule_removed(self):
+        # Allocation discipline is the urank-analyzer's job now; the old
+        # regex rule (blind to multi-line declarations) must stay deleted.
+        self.repo.write("src/core/quantile_rank.cc", """\
+#include <vector>
+namespace urank {
+void Sweep(int n) {
+  for (int i = 0; i < n; ++i) {
+    std::
+        vector<double>
+            tmp(3, 1.0);
+    (void)tmp;
+  }
+}
+}  // namespace urank
+""")
+        self.repo.register_sources()
+        _, findings = self.repo.lint()
+        self.assertNotIn("kernel-alloc", self.rules(findings))
+        with open(LINT, encoding="utf-8") as fh:
+            self.assertNotIn("def check_kernel_alloc", fh.read())
+
+    def test_kernel_vectorize_still_covers_kernel_files(self):
+        self.repo.write("src/core/quantile_rank.cc", """\
+namespace urank {
+void Sweep(double* a, const double* b, int n) {
+  for (int i = 0; i < n; ++i) {
+    a[i] += 2.0 * b[i];
+  }
+}
+}  // namespace urank
+""")
+        self.repo.register_sources()
+        rc, findings = self.repo.lint()
+        self.assertEqual(rc, 1)
+        self.assertIn("kernel-vectorize", self.rules(findings))
+
+    def test_metric_name_contract(self):
+        self.repo.write("src/util/m.cc", """\
+#include "util/metrics.h"
+namespace urank {
+void Touch() { Registry().counter("bad_name"); }
+}  // namespace urank
+""")
+        self.repo.register_sources()
+        rc, findings = self.repo.lint()
+        self.assertEqual(rc, 1)
+        self.assertIn("metric-name", self.rules(findings))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,72 @@
+// Shared plumbing for the urank-analyzer checks.
+//
+// Each check registers AST matchers against a MatchFinder and reports
+// through a FindingSet, which handles suppression comments
+// (`// urank-analyzer: allow(<check>)` on the finding's line or the line
+// above), system-header filtering, and de-duplication of findings reached
+// through more than one kernel entry point.
+
+#ifndef URANK_TOOLS_ANALYZER_ANALYZER_H_
+#define URANK_TOOLS_ANALYZER_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceLocation.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace urank_analyzer {
+
+struct Finding {
+  std::string check;
+  std::string file;
+  unsigned line = 0;
+  std::string message;
+};
+
+class FindingSet {
+ public:
+  // Records a finding at `loc` unless it sits in a system header, repeats
+  // an already-recorded (file, line, check) triple, or is covered by an
+  // allow-comment.
+  void Add(clang::ASTContext& ctx, clang::SourceLocation loc,
+           llvm::StringRef check, llvm::StringRef message);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+
+ private:
+  std::vector<Finding> findings_;
+  std::vector<std::string> seen_keys_;
+};
+
+// True when `fd` carries [[clang::annotate("urank_kernel")]].
+bool IsKernelFunction(const clang::FunctionDecl* fd);
+
+// True when `loc` sits inside the expansion of a URANK_CHECK*/
+// URANK_DCHECK* macro at any nesting level. Contract assertions may
+// inspect values (and addresses, for alignment checks) without that
+// inspection being data flow into the kernel's result.
+bool InsideCheckMacro(clang::SourceLocation loc,
+                      const clang::SourceManager& sm,
+                      const clang::LangOptions& lang_opts);
+
+// Path fragment that scopes the prob-domain check (default "src/core/").
+extern std::string g_core_path_substr;
+// Path fragment naming the one location allowed relaxed atomics.
+extern std::string g_metrics_path_substr;
+
+void RegisterDeterminismCheck(clang::ast_matchers::MatchFinder* finder,
+                              FindingSet* out);
+void RegisterProbDomainCheck(clang::ast_matchers::MatchFinder* finder,
+                             FindingSet* out);
+void RegisterKernelAllocCheck(clang::ast_matchers::MatchFinder* finder,
+                              FindingSet* out);
+void RegisterAtomicsCheck(clang::ast_matchers::MatchFinder* finder,
+                          FindingSet* out);
+
+}  // namespace urank_analyzer
+
+#endif  // URANK_TOOLS_ANALYZER_ANALYZER_H_

@@ -1,0 +1,134 @@
+// atomics / lock discipline:
+//
+//   * std::memory_order_relaxed may only appear under the metrics path
+//     (default util/metrics) — counters there are intentionally racy;
+//     everywhere else relaxed ordering hides real synchronization bugs
+//     behind x86's strong hardware model.
+//   * A scoped lock (lock_guard / unique_lock / scoped_lock) must not be
+//     held across a ParallelFor / ParallelReduce / RunBatch call in the
+//     same block: the workers would serialize on (or deadlock against)
+//     the caller's mutex.
+
+#include <string>
+
+#include "analyzer.h"
+#include "clang/AST/ParentMapContext.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace urank_analyzer {
+namespace {
+
+using clang::ast_matchers::MatchFinder;
+
+class RelaxedOrderCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit RelaxedOrderCallback(FindingSet* out) : out_(out) {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* dre = result.Nodes.getNodeAs<clang::DeclRefExpr>("relaxed");
+    if (dre == nullptr) return;
+    clang::ASTContext& ctx = *result.Context;
+    const clang::SourceManager& sm = ctx.getSourceManager();
+    const std::string file =
+        sm.getFilename(sm.getExpansionLoc(dre->getLocation())).str();
+    if (file.find(g_metrics_path_substr) != std::string::npos) return;
+    out_->Add(ctx, dre->getLocation(), "atomics",
+              "relaxed-order atomic outside " + g_metrics_path_substr +
+                  " (use acquire/release or stronger, or move the counter "
+                  "into the metrics registry)");
+  }
+
+ private:
+  FindingSet* out_;
+};
+
+// Finds a call to one of the parallel entry points anywhere below a
+// statement.
+class ParallelCallFinder
+    : public clang::RecursiveASTVisitor<ParallelCallFinder> {
+ public:
+  bool VisitCallExpr(clang::CallExpr* e) {
+    const clang::FunctionDecl* callee = e->getDirectCallee();
+    if (callee == nullptr || !callee->getDeclName().isIdentifier()) {
+      return true;
+    }
+    const llvm::StringRef name = callee->getName();
+    if (name == "ParallelFor" || name == "ParallelReduce" ||
+        name == "RunBatch") {
+      call_ = e;
+      return false;
+    }
+    return true;
+  }
+
+  const clang::CallExpr* call() const { return call_; }
+
+ private:
+  const clang::CallExpr* call_ = nullptr;
+};
+
+class LockAcrossParallelCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit LockAcrossParallelCallback(FindingSet* out) : out_(out) {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* ds = result.Nodes.getNodeAs<clang::DeclStmt>("lock");
+    if (ds == nullptr) return;
+    clang::ASTContext& ctx = *result.Context;
+
+    // The lock's scope is the enclosing CompoundStmt; any parallel call
+    // in a later statement of that block runs with the mutex held.
+    const auto parents = ctx.getParents(*ds);
+    if (parents.empty()) return;
+    const auto* block = parents[0].get<clang::CompoundStmt>();
+    if (block == nullptr) return;
+
+    bool after_lock = false;
+    for (const clang::Stmt* stmt : block->body()) {
+      if (stmt == ds) {
+        after_lock = true;
+        continue;
+      }
+      if (!after_lock) continue;
+      ParallelCallFinder finder;
+      finder.TraverseStmt(const_cast<clang::Stmt*>(stmt));
+      if (finder.call() != nullptr) {
+        out_->Add(ctx, finder.call()->getBeginLoc(), "atomics",
+                  "parallel region entered while a scoped lock from this "
+                  "block is held");
+        return;
+      }
+    }
+  }
+
+ private:
+  FindingSet* out_;
+};
+
+}  // namespace
+
+void RegisterAtomicsCheck(MatchFinder* finder, FindingSet* out) {
+  using namespace clang::ast_matchers;  // NOLINT
+  static RelaxedOrderCallback* relaxed_callback = nullptr;
+  relaxed_callback = new RelaxedOrderCallback(out);
+  // memory_order_relaxed is an enumerator in C++14/17 and an inline
+  // constexpr variable aliasing memory_order::relaxed in C++20; match the
+  // reference by name to cover both standard library spellings.
+  finder->addMatcher(
+      declRefExpr(to(namedDecl(hasAnyName("::std::memory_order_relaxed",
+                                          "::std::memory_order::relaxed"))))
+          .bind("relaxed"),
+      relaxed_callback);
+
+  static LockAcrossParallelCallback* lock_callback = nullptr;
+  lock_callback = new LockAcrossParallelCallback(out);
+  finder->addMatcher(
+      declStmt(has(varDecl(hasType(cxxRecordDecl(
+                   hasAnyName("::std::lock_guard", "::std::unique_lock",
+                              "::std::scoped_lock"))))))
+          .bind("lock"),
+      lock_callback);
+}
+
+}  // namespace urank_analyzer

@@ -1,0 +1,183 @@
+// determinism: nothing reachable from a URANK_KERNEL function may iterate
+// an unordered container, draw wall-clock or rand-family entropy, or
+// derive values from object addresses. Lookups into unordered containers
+// (find / count / operator[]) are deterministic and stay allowed; only
+// iteration order is not.
+//
+// Reachability is same-translation-unit: callees with a visible body are
+// visited transitively (lambdas included); external functions are trusted
+// to carry their own annotation in their own TU.
+
+#include <string>
+
+#include "analyzer.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Lex/Lexer.h"
+#include "llvm/ADT/SmallPtrSet.h"
+#include "llvm/ADT/StringSet.h"
+
+namespace urank_analyzer {
+namespace {
+
+using clang::ast_matchers::MatchFinder;
+
+bool IsUnorderedContainer(clang::QualType qt) {
+  qt = qt.getNonReferenceType().getCanonicalType();
+  const clang::CXXRecordDecl* rd = qt->getAsCXXRecordDecl();
+  return rd != nullptr && rd->getName().startswith("unordered_");
+}
+
+const llvm::StringSet<>& EntropyFunctions() {
+  static const llvm::StringSet<> kSet = {
+      "rand",       "srand",         "random",  "srandom",
+      "rand_r",     "drand48",       "lrand48", "mrand48",
+      "time",       "clock",         "gettimeofday",
+      "clock_gettime",
+  };
+  return kSet;
+}
+
+// True for names at global scope or directly inside namespace std.
+bool IsGlobalOrStd(const clang::FunctionDecl* fd) {
+  const clang::DeclContext* dc = fd->getDeclContext();
+  if (dc->isTranslationUnit()) return true;
+  if (const auto* ns = llvm::dyn_cast<clang::NamespaceDecl>(dc)) {
+    return ns->isStdNamespace() ||
+           (ns->isInlineNamespace() &&
+            ns->getDeclContext()->isTranslationUnit());
+  }
+  return false;
+}
+
+class DeterminismVisitor
+    : public clang::RecursiveASTVisitor<DeterminismVisitor> {
+ public:
+  DeterminismVisitor(clang::ASTContext& ctx, FindingSet& out,
+                     std::string root)
+      : ctx_(ctx), out_(out), root_(std::move(root)) {}
+
+  void Run(const clang::FunctionDecl* fd) {
+    visited_.insert(fd);
+    TraverseStmt(fd->getBody());
+  }
+
+  bool VisitCXXForRangeStmt(clang::CXXForRangeStmt* s) {
+    if (s->getRangeInit() != nullptr &&
+        IsUnorderedContainer(s->getRangeInit()->getType())) {
+      Report(s->getBeginLoc(),
+             "iteration over an unordered container (nondeterministic "
+             "order)");
+    }
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* e) {
+    const clang::CXXMethodDecl* md = e->getMethodDecl();
+    if (md == nullptr || !md->getDeclName().isIdentifier()) return true;
+    const llvm::StringRef name = md->getName();
+    // `begin` marks iteration; `end` alone is the find()/end() lookup
+    // idiom and stays allowed.
+    if ((name == "begin" || name == "cbegin") &&
+        IsUnorderedContainer(e->getImplicitObjectArgument()->getType())) {
+      Report(e->getBeginLoc(),
+             "iteration over an unordered container (nondeterministic "
+             "order)");
+    }
+    return true;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* e) {
+    const clang::FunctionDecl* callee = e->getDirectCallee();
+    if (callee == nullptr) return true;
+    if (callee->getDeclName().isIdentifier()) {
+      const llvm::StringRef name = callee->getName();
+      if (EntropyFunctions().count(name) != 0 && IsGlobalOrStd(callee)) {
+        Report(e->getBeginLoc(), ("call to entropy/clock function '" +
+                                  name + "'").str());
+      }
+      if (name == "now") {
+        if (const auto* md = llvm::dyn_cast<clang::CXXMethodDecl>(callee)) {
+          const std::string qual = md->getQualifiedNameAsString();
+          if (qual.find("chrono") != std::string::npos) {
+            Report(e->getBeginLoc(), "wall-clock read ('" + qual + "')");
+          }
+        }
+      }
+    }
+    // Same-TU reachability.
+    const clang::FunctionDecl* def = nullptr;
+    if (callee->hasBody(def) && def != nullptr &&
+        !ctx_.getSourceManager().isInSystemHeader(def->getLocation()) &&
+        visited_.insert(def).second) {
+      TraverseStmt(const_cast<clang::Stmt*>(def->getBody()));
+    }
+    return true;
+  }
+
+  bool VisitCXXConstructExpr(clang::CXXConstructExpr* e) {
+    const clang::CXXRecordDecl* rd =
+        e->getType().getCanonicalType()->getAsCXXRecordDecl();
+    if (rd != nullptr && rd->getName() == "random_device") {
+      Report(e->getBeginLoc(), "std::random_device construction");
+    }
+    return true;
+  }
+
+  bool VisitCXXReinterpretCastExpr(clang::CXXReinterpretCastExpr* e) {
+    if (e->getSubExpr()->getType()->isPointerType() &&
+        e->getType()->isIntegerType()) {
+      Report(e->getBeginLoc(),
+             "pointer-to-integer reinterpret_cast (address-dependent "
+             "value)");
+    }
+    return true;
+  }
+
+ private:
+  void Report(clang::SourceLocation loc, llvm::StringRef message) {
+    // Contract assertions (URANK_CHECK / URANK_DCHECK) may inspect
+    // addresses and values without feeding the kernel's result.
+    if (InsideCheckMacro(loc, ctx_.getSourceManager(), ctx_.getLangOpts())) {
+      return;
+    }
+    out_.Add(ctx_, loc, "determinism",
+             (message + " in code reachable from kernel '" + root_ + "'")
+                 .str());
+  }
+
+  clang::ASTContext& ctx_;
+  FindingSet& out_;
+  std::string root_;
+  llvm::SmallPtrSet<const clang::FunctionDecl*, 16> visited_;
+};
+
+class DeterminismCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit DeterminismCallback(FindingSet* out) : out_(out) {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* fd = result.Nodes.getNodeAs<clang::FunctionDecl>("kernel");
+    if (!IsKernelFunction(fd) || !fd->doesThisDeclarationHaveABody()) return;
+    DeterminismVisitor visitor(*result.Context, *out_,
+                               fd->getNameAsString());
+    visitor.Run(fd);
+  }
+
+ private:
+  FindingSet* out_;
+};
+
+}  // namespace
+
+void RegisterDeterminismCheck(MatchFinder* finder, FindingSet* out) {
+  using namespace clang::ast_matchers;  // NOLINT
+  static DeterminismCallback* callback = nullptr;
+  callback = new DeterminismCallback(out);
+  finder->addMatcher(
+      functionDecl(isDefinition(), hasAttr(clang::attr::Annotate))
+          .bind("kernel"),
+      callback);
+}
+
+}  // namespace urank_analyzer

@@ -1,0 +1,225 @@
+// kernel-alloc: a URANK_KERNEL function's steady state performs no heap
+// allocation. Concretely:
+//
+//   * `new` anywhere in the kernel body;
+//   * std::vector / std::string objects (named or temporary) constructed
+//     inside a loop;
+//   * growth calls (push_back, emplace_back, resize, reserve, insert,
+//     assign, append, clear-then-grow patterns) on vector/string objects
+//     inside a loop;
+//   * one level into same-TU helpers called from inside a loop: `new`
+//     and vector/string constructions anywhere in the helper body.
+//
+// The per-worker arena types (internal::AlignedBuf, internal::KernelArena)
+// grow to a high-water mark once and are exempt, which is exactly the
+// allocation discipline the kernels are built around. Growth calls in
+// helpers are deliberately not flagged: the documented arena pattern has
+// helpers sizing their output through assign/resize on caller-owned
+// storage.
+
+#include <string>
+
+#include "analyzer.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "llvm/ADT/SmallPtrSet.h"
+#include "llvm/ADT/StringSet.h"
+
+namespace urank_analyzer {
+namespace {
+
+using clang::ast_matchers::MatchFinder;
+
+bool RecordNameIs(clang::QualType qt, llvm::StringRef name) {
+  qt = qt.getNonReferenceType();
+  if (qt->isPointerType()) qt = qt->getPointeeType();
+  const clang::CXXRecordDecl* rd =
+      qt.getCanonicalType()->getAsCXXRecordDecl();
+  return rd != nullptr && rd->getName() == name;
+}
+
+bool IsVectorOrString(clang::QualType qt) {
+  qt = qt.getNonReferenceType();
+  if (qt->isPointerType()) qt = qt->getPointeeType();
+  const clang::CXXRecordDecl* rd =
+      qt.getCanonicalType()->getAsCXXRecordDecl();
+  if (rd == nullptr) return false;
+  const llvm::StringRef name = rd->getName();
+  return name == "vector" || name == "basic_string";
+}
+
+bool IsArenaType(clang::QualType qt) {
+  return RecordNameIs(qt, "AlignedBuf") || RecordNameIs(qt, "KernelArena");
+}
+
+const llvm::StringSet<>& GrowthCalls() {
+  static const llvm::StringSet<> kSet = {
+      "push_back", "emplace_back", "resize", "reserve",
+      "insert",    "assign",       "append",
+  };
+  return kSet;
+}
+
+// One-level scan of a helper called from inside a kernel loop.
+class CalleeVisitor : public clang::RecursiveASTVisitor<CalleeVisitor> {
+ public:
+  CalleeVisitor(clang::ASTContext& ctx, FindingSet& out,
+                const std::string& root, const std::string& helper)
+      : ctx_(ctx), out_(out), root_(root), helper_(helper) {}
+
+  bool VisitCXXNewExpr(clang::CXXNewExpr* e) {
+    out_.Add(ctx_, e->getBeginLoc(), "kernel-alloc",
+             "heap allocation (new) in helper '" + helper_ +
+                 "' called from a loop in kernel '" + root_ + "'");
+    return true;
+  }
+
+  bool VisitVarDecl(clang::VarDecl* d) {
+    if (d->isLocalVarDecl() && IsVectorOrString(d->getType()) &&
+        !IsArenaType(d->getType())) {
+      out_.Add(ctx_, d->getLocation(), "kernel-alloc",
+               "vector/string constructed in helper '" + helper_ +
+                   "' called from a loop in kernel '" + root_ + "'");
+    }
+    return true;
+  }
+
+ private:
+  clang::ASTContext& ctx_;
+  FindingSet& out_;
+  const std::string& root_;
+  std::string helper_;
+};
+
+class AllocVisitor : public clang::RecursiveASTVisitor<AllocVisitor> {
+ public:
+  AllocVisitor(clang::ASTContext& ctx, FindingSet& out, std::string root)
+      : ctx_(ctx), out_(out), root_(std::move(root)) {}
+
+  // Loop-depth tracking.
+  bool TraverseForStmt(clang::ForStmt* s) { return TraverseLoop(s); }
+  bool TraverseWhileStmt(clang::WhileStmt* s) { return TraverseLoop(s); }
+  bool TraverseDoStmt(clang::DoStmt* s) { return TraverseLoop(s); }
+  bool TraverseCXXForRangeStmt(clang::CXXForRangeStmt* s) {
+    return TraverseLoop(s);
+  }
+
+  bool VisitCXXNewExpr(clang::CXXNewExpr* e) {
+    out_.Add(ctx_, e->getBeginLoc(), "kernel-alloc",
+             "heap allocation (new) in kernel '" + root_ + "'");
+    return true;
+  }
+
+  bool VisitVarDecl(clang::VarDecl* d) {
+    if (loop_depth_ > 0 && d->isLocalVarDecl() &&
+        IsVectorOrString(d->getType()) && !IsArenaType(d->getType())) {
+      out_.Add(ctx_, d->getLocation(), "kernel-alloc",
+               "vector/string constructed inside a loop in kernel '" +
+                   root_ + "'");
+    }
+    return true;
+  }
+
+  bool VisitCXXTemporaryObjectExpr(clang::CXXTemporaryObjectExpr* e) {
+    if (loop_depth_ > 0 && IsVectorOrString(e->getType()) &&
+        !IsArenaType(e->getType())) {
+      out_.Add(ctx_, e->getBeginLoc(), "kernel-alloc",
+               "vector/string temporary inside a loop in kernel '" +
+                   root_ + "'");
+    }
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(clang::CXXMemberCallExpr* e) {
+    if (loop_depth_ == 0) return true;
+    const clang::CXXMethodDecl* md = e->getMethodDecl();
+    if (md == nullptr || !md->getDeclName().isIdentifier()) return true;
+    const clang::QualType obj_type =
+        e->getImplicitObjectArgument()->getType();
+    if (GrowthCalls().count(md->getName()) != 0 &&
+        IsVectorOrString(obj_type) && !IsArenaType(obj_type)) {
+      out_.Add(ctx_, e->getBeginLoc(), "kernel-alloc",
+               ("vector growth call '" + md->getName() +
+                "' inside a loop in kernel '" + root_ + "'")
+                   .str());
+    }
+    return true;
+  }
+
+  bool VisitCallExpr(clang::CallExpr* e) {
+    if (loop_depth_ == 0) return true;
+    const clang::FunctionDecl* callee = e->getDirectCallee();
+    if (callee == nullptr) return true;
+    // Skip methods on the containers themselves (handled above) and
+    // anything from a system header.
+    const clang::FunctionDecl* def = nullptr;
+    if (!callee->hasBody(def) || def == nullptr) return true;
+    if (ctx_.getSourceManager().isInSystemHeader(def->getLocation())) {
+      return true;
+    }
+    if (llvm::isa<clang::CXXMethodDecl>(def) &&
+        (IsVectorOrString(ctx_.getRecordType(
+             llvm::cast<clang::CXXMethodDecl>(def)->getParent())) ||
+         IsArenaType(ctx_.getRecordType(
+             llvm::cast<clang::CXXMethodDecl>(def)->getParent())))) {
+      return true;
+    }
+    if (!visited_callees_.insert(def).second) return true;
+    CalleeVisitor helper(ctx_, out_, root_, def->getNameAsString());
+    helper.TraverseStmt(const_cast<clang::Stmt*>(def->getBody()));
+    return true;
+  }
+
+ private:
+  template <typename LoopStmt>
+  bool TraverseLoop(LoopStmt* s) {
+    ++loop_depth_;
+    const bool result =
+        clang::RecursiveASTVisitor<AllocVisitor>::TraverseStmt(
+            s->getBody());
+    --loop_depth_;
+    // Visit the non-body children (init/cond/inc) outside the loop scope:
+    // their one-time evaluation cost is the loop's setup, not its steady
+    // state. For range-for the range init is evaluated once too.
+    if (auto* fs = llvm::dyn_cast<clang::ForStmt>(s)) {
+      if (fs->getInit()) TraverseStmt(fs->getInit());
+      if (fs->getInc()) TraverseStmt(fs->getInc());
+    }
+    return result;
+  }
+
+  clang::ASTContext& ctx_;
+  FindingSet& out_;
+  std::string root_;
+  int loop_depth_ = 0;
+  llvm::SmallPtrSet<const clang::FunctionDecl*, 16> visited_callees_;
+};
+
+class KernelAllocCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit KernelAllocCallback(FindingSet* out) : out_(out) {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* fd = result.Nodes.getNodeAs<clang::FunctionDecl>("kernel");
+    if (!IsKernelFunction(fd) || !fd->doesThisDeclarationHaveABody()) return;
+    AllocVisitor visitor(*result.Context, *out_, fd->getNameAsString());
+    visitor.TraverseStmt(const_cast<clang::Stmt*>(fd->getBody()));
+  }
+
+ private:
+  FindingSet* out_;
+};
+
+}  // namespace
+
+void RegisterKernelAllocCheck(MatchFinder* finder, FindingSet* out) {
+  using namespace clang::ast_matchers;  // NOLINT
+  static KernelAllocCallback* callback = nullptr;
+  callback = new KernelAllocCallback(out);
+  finder->addMatcher(
+      functionDecl(isDefinition(), hasAttr(clang::attr::Annotate))
+          .bind("kernel"),
+      callback);
+}
+
+}  // namespace urank_analyzer

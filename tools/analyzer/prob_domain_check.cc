@@ -1,0 +1,102 @@
+// prob-domain: externally visible functions defined under the core path
+// (default src/core/) taking a floating-point parameter whose name marks
+// it as a probability (`p`, `prob`, `phi`, `threshold`, or a `*prob`
+// suffix) must guard it with a URANK_CHECK*/URANK_DCHECK* macro before
+// its first other use. The runtime contract lives in util/check.h; this
+// check makes forgetting it a compile-database error instead of a latent
+// NaN propagated through a DP sweep.
+
+#include <string>
+
+#include "analyzer.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Lex/Lexer.h"
+
+namespace urank_analyzer {
+namespace {
+
+using clang::ast_matchers::MatchFinder;
+
+bool IsProbabilityName(llvm::StringRef name) {
+  return name == "p" || name == "prob" || name == "phi" ||
+         name == "threshold" || name.endswith("prob");
+}
+
+// First DeclRefExpr to `param` in preorder traversal order, which for the
+// guard-at-the-top idiom this check enforces coincides with source order.
+class FirstUseFinder : public clang::RecursiveASTVisitor<FirstUseFinder> {
+ public:
+  explicit FirstUseFinder(const clang::ParmVarDecl* param) : param_(param) {}
+
+  bool VisitDeclRefExpr(clang::DeclRefExpr* dre) {
+    if (dre->getDecl() == param_ && first_use_ == nullptr) {
+      first_use_ = dre;
+      return false;  // stop traversal
+    }
+    return true;
+  }
+
+  const clang::DeclRefExpr* first_use() const { return first_use_; }
+
+ private:
+  const clang::ParmVarDecl* param_;
+  const clang::DeclRefExpr* first_use_ = nullptr;
+};
+
+class ProbDomainCallback : public MatchFinder::MatchCallback {
+ public:
+  explicit ProbDomainCallback(FindingSet* out) : out_(out) {}
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* fd = result.Nodes.getNodeAs<clang::FunctionDecl>("fn");
+    if (fd == nullptr || !fd->doesThisDeclarationHaveABody()) return;
+    // Entry points only: helpers in anonymous namespaces receive values
+    // their callers already validated.
+    if (!fd->isExternallyVisible()) return;
+
+    clang::ASTContext& ctx = *result.Context;
+    const clang::SourceManager& sm = ctx.getSourceManager();
+    const std::string file =
+        sm.getFilename(sm.getExpansionLoc(fd->getLocation())).str();
+    if (file.find(g_core_path_substr) == std::string::npos) return;
+
+    for (const clang::ParmVarDecl* param : fd->parameters()) {
+      if (!param->getType().getNonReferenceType()->isFloatingType()) {
+        continue;
+      }
+      if (!param->getDeclName().isIdentifier() ||
+          !IsProbabilityName(param->getName())) {
+        continue;
+      }
+      FirstUseFinder finder(param);
+      finder.TraverseStmt(fd->getBody());
+      const clang::DeclRefExpr* use = finder.first_use();
+      if (use == nullptr) continue;  // parameter unused: nothing to guard
+      if (InsideCheckMacro(use->getLocation(), sm, ctx.getLangOpts())) {
+        continue;
+      }
+      out_->Add(ctx, use->getLocation(), "prob-domain",
+                "probability parameter '" + param->getNameAsString() +
+                    "' of '" + fd->getNameAsString() +
+                    "' used before a URANK_CHECK/URANK_DCHECK guard");
+    }
+  }
+
+ private:
+  FindingSet* out_;
+};
+
+}  // namespace
+
+void RegisterProbDomainCheck(MatchFinder* finder, FindingSet* out) {
+  using namespace clang::ast_matchers;  // NOLINT
+  static ProbDomainCallback* callback = nullptr;
+  callback = new ProbDomainCallback(out);
+  finder->addMatcher(
+      functionDecl(isDefinition(), unless(isExpansionInSystemHeader()))
+          .bind("fn"),
+      callback);
+}
+
+}  // namespace urank_analyzer

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Driver for urank-analyzer: self-test corpus and zero-findings gate.
+
+Self-test mode (wired into ctest when the analyzer is built):
+
+    run_analyzer.py --analyzer <bin> --selftest tools/analyzer/testdata \\
+                    --repo-root .
+
+Every testdata *.cc is analyzed; the reported (line, check) pairs must
+exactly match the `// expect: <check>` comments in the file.
+
+Gate mode (CI):
+
+    run_analyzer.py --analyzer <bin> --build-dir build \\
+                    [--baseline tools/analyzer/baseline.txt] [file...]
+
+Analyzes the listed files (default: every src/ file in the build's
+compile_commands.json) and fails on any finding not covered by the
+baseline. Baseline lines have the form
+
+    <path>:<check>: <justification>
+
+and a missing justification is itself an error: the baseline exists to
+record accepted debt, not to silence the tool.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+FINDING_RE = re.compile(r"^(.*):(\d+): \[([a-z-]+)\] (.*)$")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
+CHECKS = ("determinism", "prob-domain", "kernel-alloc", "atomics")
+
+
+def run_analyzer(analyzer, files, extra_args):
+    cmd = [analyzer] + list(files) + extra_args
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True)
+    if proc.returncode not in (0, 1):
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(
+            f"analyzer failed (exit {proc.returncode}) on: {' '.join(cmd)}")
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            findings.append((os.path.abspath(m.group(1)), int(m.group(2)),
+                             m.group(3), m.group(4)))
+    return findings
+
+
+def selftest(analyzer, testdata_dir, repo_root):
+    src_include = os.path.join(os.path.abspath(repo_root), "src")
+    compile_args = ["--", "-std=c++20", f"-I{src_include}",
+                    "-Wno-everything"]
+    failures = 0
+    cases = sorted(f for f in os.listdir(testdata_dir) if f.endswith(".cc"))
+    if not cases:
+        print(f"no testdata found in {testdata_dir}")
+        return 1
+    for name in cases:
+        path = os.path.abspath(os.path.join(testdata_dir, name))
+        expected = set()
+        with open(path, encoding="utf-8") as fh:
+            for lineno, text in enumerate(fh, start=1):
+                m = EXPECT_RE.search(text)
+                if m:
+                    expected.add((lineno, m.group(1)))
+        got = {(line, check)
+               for (f, line, check, _) in run_analyzer(
+                   analyzer, [path],
+                   ["--core-path-substr=prob_domain"] + compile_args)
+               if f == path}
+        missing = expected - got
+        unexpected = got - expected
+        if missing or unexpected:
+            failures += 1
+            print(f"FAIL {name}")
+            for line, check in sorted(missing):
+                print(f"  missing finding: line {line} [{check}]")
+            for line, check in sorted(unexpected):
+                print(f"  unexpected finding: line {line} [{check}]")
+        else:
+            kind = "positive" if expected else "negative"
+            print(f"PASS {name} ({kind}, {len(expected)} findings)")
+    total = len(cases)
+    print(f"{total - failures}/{total} testdata files passed")
+    return 1 if failures else 0
+
+
+def load_baseline(path):
+    entries = []
+    if path is None or not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(":", 2)
+            if len(parts) != 3 or parts[1] not in CHECKS or \
+                    not parts[2].strip():
+                raise SystemExit(
+                    f"{path}:{lineno}: baseline entries must be "
+                    f"'<path>:<check>: <justification>' with a non-empty "
+                    f"justification")
+            entries.append((parts[0], parts[1]))
+    return entries
+
+
+def gate(analyzer, build_dir, baseline_path, files):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        raise SystemExit(f"no compile_commands.json under {build_dir}; "
+                         f"configure with CMake first")
+    if not files:
+        with open(db_path, encoding="utf-8") as fh:
+            db = json.load(fh)
+        files = sorted({
+            entry["file"] for entry in db
+            if f"{os.sep}src{os.sep}" in entry["file"]
+        })
+    if not files:
+        print("no files to analyze")
+        return 0
+    findings = run_analyzer(analyzer, files, ["-p", build_dir])
+    baseline = load_baseline(baseline_path)
+    unbaselined = []
+    for f, line, check, message in findings:
+        if any(f.endswith(bp) and check == bc for (bp, bc) in baseline):
+            continue
+        unbaselined.append((f, line, check, message))
+    for f, line, check, message in unbaselined:
+        print(f"{f}:{line}: [{check}] {message}")
+    print(f"{len(findings)} findings, {len(unbaselined)} unbaselined, "
+          f"{len(files)} files analyzed")
+    return 1 if unbaselined else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--analyzer", required=True,
+                        help="path to the urank-analyzer binary")
+    parser.add_argument("--selftest", metavar="TESTDATA_DIR",
+                        help="run the expectation-comment corpus")
+    parser.add_argument("--repo-root", default=".",
+                        help="repo root (for -Isrc in selftest mode)")
+    parser.add_argument("--build-dir",
+                        help="build dir with compile_commands.json")
+    parser.add_argument("--baseline",
+                        help="baseline file of accepted findings")
+    parser.add_argument("files", nargs="*",
+                        help="restrict gate mode to these files")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest(args.analyzer, args.selftest, args.repo_root)
+    if args.build_dir:
+        return gate(args.analyzer, args.build_dir, args.baseline, args.files)
+    parser.error("pass --selftest or --build-dir")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+// Negative corpus for the atomics/lock-discipline check.
+
+#include <atomic>
+#include <mutex>
+
+int ParallelFor(int n, int workers);
+
+namespace {
+
+std::atomic<long long> g_counter{0};
+std::atomic<bool> g_flag{false};
+std::mutex g_mu;
+
+// Acquire/release orderings are the repo's floor outside util/metrics.
+long long BumpAcqRel() {
+  return g_counter.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool ReadAcquire() { return g_flag.load(std::memory_order_acquire); }
+
+void WriteRelease(bool v) { g_flag.store(v, std::memory_order_release); }
+
+// Sequentially consistent defaults are fine too.
+long long BumpDefault() { return g_counter.fetch_add(1); }
+
+// The lock's scope ends before the parallel region starts.
+int LockReleasedBeforeParallelFor(int n) {
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_counter.fetch_add(1, std::memory_order_acq_rel);
+  }
+  return ParallelFor(n, 4);
+}
+
+// A justified relaxed counter is suppressed with the allow-comment.
+long long JustifiedRelaxed() {
+  // Diagnostic-only counter; torn totals are acceptable here.
+  // urank-analyzer: allow(atomics)
+  return g_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+int AnchorAtomicsNeg(int n) {
+  WriteRelease(ReadAcquire());
+  return static_cast<int>(BumpAcqRel() + BumpDefault() +
+                          JustifiedRelaxed()) +
+         LockReleasedBeforeParallelFor(n);
+}

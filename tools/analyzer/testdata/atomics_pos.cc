@@ -1,0 +1,47 @@
+// Positive corpus for the atomics/lock-discipline check.
+
+#include <atomic>
+#include <mutex>
+
+// Stand-ins for util/parallel.h entry points (same names; the check
+// matches by callee name so the corpus stays header-light).
+int ParallelFor(int n, int workers);
+double ParallelReduce(int n, int workers);
+
+namespace {
+
+std::atomic<long long> g_counter{0};
+std::atomic<bool> g_flag{false};
+std::mutex g_mu;
+
+long long BumpRelaxed() {
+  return g_counter.fetch_add(1, std::memory_order_relaxed);  // expect: atomics
+}
+
+bool ReadRelaxed() {
+  return g_flag.load(std::memory_order_relaxed);  // expect: atomics
+}
+
+void WriteRelaxed(bool v) {
+  g_flag.store(v, std::memory_order_relaxed);  // expect: atomics
+}
+
+int LockHeldAcrossParallelFor(int n) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_counter.fetch_add(1, std::memory_order_acq_rel);
+  return ParallelFor(n, 4);  // expect: atomics
+}
+
+double UniqueLockAcrossReduce(int n) {
+  std::unique_lock<std::mutex> lock(g_mu);
+  return ParallelReduce(n, 4);  // expect: atomics
+}
+
+}  // namespace
+
+// Anchor so the anonymous-namespace functions are odr-used.
+int AnchorAtomicsPos(int n) {
+  WriteRelaxed(ReadRelaxed());
+  return static_cast<int>(BumpRelaxed()) + LockHeldAcrossParallelFor(n) +
+         static_cast<int>(UniqueLockAcrossReduce(n));
+}

@@ -1,0 +1,52 @@
+// Negative corpus for the determinism check: analyzing this file must
+// produce no findings.
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/kernel_annotations.h"
+
+// Lookups into unordered containers are deterministic; only iteration
+// order is not.
+URANK_KERNEL double UnorderedLookup(const std::unordered_map<int, double>& m,
+                                    int key) {
+  auto it = m.find(key);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+URANK_KERNEL double UnorderedCount(const std::unordered_map<int, double>& m,
+                                   int key) {
+  return m.count(key) != 0 ? 1.0 : 0.0;
+}
+
+// Ordered containers iterate in key order on every run.
+URANK_KERNEL double SumOrderedMap(const std::map<int, double>& m) {
+  double s = 0.0;
+  for (const auto& kv : m) s += kv.second;
+  return s;
+}
+
+// Sorting with a value-based comparator is deterministic.
+URANK_KERNEL void SortDescending(std::vector<double>* v) {
+  std::sort(v->begin(), v->end(),
+            [](double a, double b) { return a > b; });
+}
+
+// Entropy in a function no kernel reaches is outside this check's scope
+// (the Monte Carlo baselines seed their own Rng explicitly).
+double FreeRunningJitter() {
+  return static_cast<double>(std::rand()) / RAND_MAX;
+}
+
+// An explicitly justified exception is suppressed by the allow-comment.
+URANK_KERNEL double SuppressedIteration(
+    const std::unordered_map<int, double>& m) {
+  double s = 0.0;
+  // Summation is order-insensitive enough for this diagnostic path.
+  // urank-analyzer: allow(determinism)
+  for (const auto& kv : m) s += kv.second;
+  return s;
+}

@@ -1,0 +1,54 @@
+// Positive corpus for the determinism check: every `// expect:` line must
+// be reported when this file is analyzed.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/kernel_annotations.h"
+
+URANK_KERNEL double SumUnorderedMap(
+    const std::unordered_map<int, double>& m) {
+  double s = 0.0;
+  for (const auto& kv : m) s += kv.second;  // expect: determinism
+  return s;
+}
+
+URANK_KERNEL double ExplicitIteratorLoop(const std::unordered_set<int>& s) {
+  double sum = 0.0;
+  for (auto it = s.begin(); it != s.end(); ++it) {  // expect: determinism
+    sum += static_cast<double>(*it);
+  }
+  return sum;
+}
+
+// The entropy call hides one level down; the kernel reaches it.
+double JitterHelper() {
+  return static_cast<double>(std::rand()) / RAND_MAX;  // expect: determinism
+}
+
+URANK_KERNEL double UsesJitterHelper(double x) { return x + JitterHelper(); }
+
+URANK_KERNEL long WallClockStamp() {
+  return std::chrono::steady_clock::now()  // expect: determinism
+      .time_since_epoch()
+      .count();
+}
+
+URANK_KERNEL long CTimeRead() {
+  return static_cast<long>(std::time(nullptr));  // expect: determinism
+}
+
+URANK_KERNEL unsigned SeedFromAddress(const double* x) {
+  return static_cast<unsigned>(
+      reinterpret_cast<std::uintptr_t>(x));  // expect: determinism
+}
+
+URANK_KERNEL unsigned HardwareEntropy() {
+  std::random_device rd;  // expect: determinism
+  return rd();
+}

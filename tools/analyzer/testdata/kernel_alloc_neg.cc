@@ -1,0 +1,74 @@
+// Negative corpus for the kernel-alloc check: the arena discipline the
+// kernels actually use must come through clean.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/internal/kernel_arena.h"
+#include "util/kernel_annotations.h"
+
+using urank::internal::AlignedBuf;
+using urank::internal::KernelArena;
+
+// Setup allocation outside the loops is the steady-state contract.
+URANK_KERNEL std::vector<double> SetupThenSweep(
+    const std::vector<double>& in) {
+  std::vector<double> out(in.size(), 0.0);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = in[i] * 2.0;
+  }
+  return out;
+}
+
+// Arena buffers grow to a high-water mark once and are exempt, even when
+// resized inside the hot loop.
+URANK_KERNEL double ArenaScratch(const std::vector<double>& in,
+                                 KernelArena* arena) {
+  AlignedBuf& buf = arena->Doubles(0);
+  double s = 0.0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    buf.resize(i + 1);
+    buf[i] = in[i];
+    buf.push_back(in[i]);
+    s += buf[i];
+  }
+  return s;
+}
+
+// Writing through a caller-sized span-style output is allocation-free.
+URANK_KERNEL void ScaleInto(const std::vector<double>& in, double scale,
+                            std::vector<double>* out) {
+  for (std::size_t i = 0; i < in.size() && i < out->size(); ++i) {
+    (*out)[i] = in[i] * scale;
+  }
+}
+
+// A helper that only computes on existing storage is fine to call from a
+// loop.
+double SquareHelper(double v) { return v * v; }
+
+URANK_KERNEL double HelperWithoutAllocation(const std::vector<double>& in) {
+  double s = 0.0;
+  for (double v : in) s += SquareHelper(v);
+  return s;
+}
+
+// The documented high-water pattern: the output is assigned once at the
+// top of the kernel, outside any loop.
+URANK_KERNEL void HighWaterAssign(const std::vector<double>& in,
+                                  std::vector<double>* dist) {
+  dist->assign(in.size(), 0.0);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    (*dist)[i] = in[i];
+  }
+}
+
+// Unannotated functions are outside this check's scope; convenience
+// wrappers may materialize result matrices.
+std::vector<std::vector<double>> MaterializeRows(int n) {
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  }
+  return rows;
+}

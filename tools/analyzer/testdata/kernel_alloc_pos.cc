@@ -1,0 +1,82 @@
+// Positive corpus for the kernel-alloc check. Includes the exact shapes
+// the old regex linter rule missed: multi-line declarations, `std ::`
+// spacing, type aliases, and allocations hidden behind helpers.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/kernel_annotations.h"
+
+URANK_KERNEL double* LeakyScratch(std::size_t n) {
+  return new double[n];  // expect: kernel-alloc
+}
+
+URANK_KERNEL double VectorPerIteration(const std::vector<double>& in) {
+  double s = 0.0;
+  for (double v : in) {
+    std::vector<double> tmp(3, v);  // expect: kernel-alloc
+    s += tmp[0];
+  }
+  return s;
+}
+
+// The regex rule required `std::vector` on one line; the AST does not
+// care how the declaration is spelled.
+URANK_KERNEL double MultiLineDeclaration(const std::vector<double>& in) {
+  double s = 0.0;
+  for (double v : in) {
+    std::
+        vector<double>
+            tmp(3, v);  // expect: kernel-alloc
+    s += tmp[0];
+  }
+  return s;
+}
+
+URANK_KERNEL double SpacedQualifier(const std::vector<double>& in) {
+  double s = 0.0;
+  for (double v : in) {
+    std ::vector<double> tmp(3, v);  // expect: kernel-alloc
+    s += tmp[0];
+  }
+  return s;
+}
+
+using Row = std::vector<double>;
+
+URANK_KERNEL double AliasedVector(const std::vector<double>& in) {
+  double s = 0.0;
+  for (double v : in) {
+    Row tmp(3, v);  // expect: kernel-alloc
+    s += tmp[0];
+  }
+  return s;
+}
+
+URANK_KERNEL void GrowthInLoop(std::vector<double>* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    out->push_back(static_cast<double>(i));  // expect: kernel-alloc
+  }
+}
+
+URANK_KERNEL void StringConcatInLoop(const std::vector<double>& in,
+                                     std::string* out) {
+  for (double v : in) {
+    out->append(v > 0.5 ? "H" : "L");  // expect: kernel-alloc
+  }
+}
+
+// Allocation hidden one call down from a kernel loop.
+std::vector<double> MakeRowHelper(double v) {
+  std::vector<double> row(4, v);  // expect: kernel-alloc
+  return row;
+}
+
+URANK_KERNEL double HiddenHelperAllocation(const std::vector<double>& in) {
+  double s = 0.0;
+  for (double v : in) {
+    s += MakeRowHelper(v)[0];
+  }
+  return s;
+}

@@ -1,0 +1,42 @@
+// Negative corpus for the prob-domain check: the guard idioms used across
+// src/core must come through clean.
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace urank {
+
+double GuardedScale(double p, double w) {
+  URANK_DCHECK_PROB(p);
+  return p * w;
+}
+
+double GuardedPhi(double phi) {
+  URANK_CHECK_MSG(phi > 0.0 && phi <= 1.0, "phi must be in (0,1]");
+  return 1.0 - phi;
+}
+
+double GuardedThreshold(double threshold, double value) {
+  URANK_CHECK_MSG(threshold > 0.0 && threshold <= 1.0,
+                  "threshold must be in (0,1]");
+  return value >= threshold ? 1.0 : 0.0;
+}
+
+// Not probability-named: plain magnitudes are out of scope.
+double ScaleByWeight(double weight, double value) { return weight * value; }
+
+// Internal helpers receive values their public callers already validated.
+namespace {
+double HalveUnchecked(double p) { return p * 0.5; }
+}  // namespace
+
+double PublicEntry(double p) {
+  URANK_DCHECK_PROB(p);
+  return HalveUnchecked(p);
+}
+
+// An unused probability parameter (interface conformance) needs no guard.
+double IgnoresProb(double /*prob*/, double value) { return value; }
+
+}  // namespace urank

@@ -1,0 +1,39 @@
+// Positive corpus for the prob-domain check. The self-test runs with
+// --core-path-substr=prob_domain so these files stand in for src/core/.
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace urank {
+
+double ScaleMass(double p, double w) {
+  return p * w;  // expect: prob-domain
+}
+
+double BlendByPhi(double phi, double a, double b) {
+  const double mix = a * phi + b * (1.0 - phi);  // expect: prob-domain
+  return mix;
+}
+
+// Guarding after the first arithmetic use is too late: the product has
+// already absorbed a possible NaN or out-of-range value.
+double LateGuard(double prob) {
+  const double doubled = prob * 2.0;  // expect: prob-domain
+  URANK_CHECK_MSG(prob >= 0.0 && prob <= 1.0, "prob must be in [0,1]");
+  return doubled;
+}
+
+// A plain comparison is not a URANK guard: it silently truncates instead
+// of surfacing the contract violation.
+double ClampedThreshold(double threshold) {
+  if (threshold > 1.0) threshold = 1.0;  // expect: prob-domain
+  return threshold;
+}
+
+// Suffix-named probability parameters are in scope too.
+double MixRuleProb(double rule_prob, double mass) {
+  return rule_prob * mass;  // expect: prob-domain
+}
+
+}  // namespace urank

@@ -1,0 +1,173 @@
+// urank-analyzer: clang-tidy-style checker for the urank kernel contracts.
+//
+// Usage (needs a compilation database or `--` with compile flags):
+//
+//   urank-analyzer [--checks=determinism,prob-domain,kernel-alloc,atomics]
+//                  <file>... -- <compile flags>
+//
+// Findings print one per line as `file:line: [check] message`; the exit
+// code is 1 when any finding is reported, 0 on a clean run, 2 on a
+// tooling/parse error. Baseline subtraction and the self-test corpus
+// live in run_analyzer.py.
+
+#include <algorithm>
+#include <string>
+
+#include "analyzer.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Lex/Lexer.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace urank_analyzer {
+
+std::string g_core_path_substr = "src/core/";
+std::string g_metrics_path_substr = "util/metrics";
+
+bool InsideCheckMacro(clang::SourceLocation loc,
+                      const clang::SourceManager& sm,
+                      const clang::LangOptions& lang_opts) {
+  while (loc.isMacroID()) {
+    const llvm::StringRef name =
+        clang::Lexer::getImmediateMacroName(loc, sm, lang_opts);
+    if (name.startswith("URANK_CHECK") || name.startswith("URANK_DCHECK")) {
+      return true;
+    }
+    loc = sm.getImmediateMacroCallerLoc(loc);
+  }
+  return false;
+}
+
+bool IsKernelFunction(const clang::FunctionDecl* fd) {
+  if (fd == nullptr) return false;
+  for (const auto* attr : fd->specific_attrs<clang::AnnotateAttr>()) {
+    if (attr->getAnnotation() == "urank_kernel") return true;
+  }
+  return false;
+}
+
+void FindingSet::Add(clang::ASTContext& ctx, clang::SourceLocation loc,
+                     llvm::StringRef check, llvm::StringRef message) {
+  const clang::SourceManager& sm = ctx.getSourceManager();
+  const clang::SourceLocation expansion = sm.getExpansionLoc(loc);
+  if (expansion.isInvalid() || sm.isInSystemHeader(expansion)) return;
+
+  Finding f;
+  f.check = check.str();
+  f.file = sm.getFilename(expansion).str();
+  f.line = sm.getExpansionLineNumber(expansion);
+  f.message = message.str();
+  if (f.file.empty() || f.line == 0) return;
+
+  std::string key = f.file + ":" + std::to_string(f.line) + ":" + f.check;
+  if (std::find(seen_keys_.begin(), seen_keys_.end(), key) !=
+      seen_keys_.end()) {
+    return;
+  }
+  seen_keys_.push_back(key);
+
+  // Suppression comment on the finding's line or the line above.
+  const clang::FileID fid = sm.getFileID(expansion);
+  bool invalid = false;
+  llvm::StringRef buf = sm.getBufferData(fid, &invalid);
+  if (!invalid) {
+    const std::string needle = "urank-analyzer: allow(" + f.check + ")";
+    for (unsigned line = f.line > 1 ? f.line - 1 : 1; line <= f.line;
+         ++line) {
+      const clang::SourceLocation start = sm.translateLineCol(fid, line, 1);
+      if (start.isInvalid()) continue;
+      const unsigned offset = sm.getFileOffset(start);
+      const llvm::StringRef text =
+          buf.substr(offset).take_until([](char c) { return c == '\n'; });
+      if (text.contains(needle)) return;
+    }
+  }
+  findings_.push_back(std::move(f));
+}
+
+}  // namespace urank_analyzer
+
+namespace {
+
+llvm::cl::OptionCategory kCategory("urank-analyzer options");
+
+llvm::cl::opt<std::string> kChecks(
+    "checks",
+    llvm::cl::desc("Comma-separated checks to run (default: all four)"),
+    llvm::cl::init("determinism,prob-domain,kernel-alloc,atomics"),
+    llvm::cl::cat(kCategory));
+
+llvm::cl::opt<std::string> kCorePathSubstr(
+    "core-path-substr",
+    llvm::cl::desc("Path fragment scoping the prob-domain check "
+                   "(default: src/core/)"),
+    llvm::cl::init("src/core/"), llvm::cl::cat(kCategory));
+
+llvm::cl::opt<std::string> kMetricsPathSubstr(
+    "metrics-path-substr",
+    llvm::cl::desc("Path fragment allowed to use relaxed atomics "
+                   "(default: util/metrics)"),
+    llvm::cl::init("util/metrics"), llvm::cl::cat(kCategory));
+
+bool CheckEnabled(llvm::StringRef name) {
+  llvm::SmallVector<llvm::StringRef, 4> parts;
+  llvm::StringRef(kChecks.getValue()).split(parts, ',');
+  for (llvm::StringRef part : parts) {
+    if (part.trim() == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto expected_parser =
+      clang::tooling::CommonOptionsParser::create(argc, argv, kCategory);
+  if (!expected_parser) {
+    llvm::errs() << llvm::toString(expected_parser.takeError()) << "\n";
+    return 2;
+  }
+  clang::tooling::CommonOptionsParser& parser = *expected_parser;
+  clang::tooling::ClangTool tool(parser.getCompilations(),
+                                 parser.getSourcePathList());
+
+  urank_analyzer::g_core_path_substr = kCorePathSubstr.getValue();
+  urank_analyzer::g_metrics_path_substr = kMetricsPathSubstr.getValue();
+
+  urank_analyzer::FindingSet findings;
+  clang::ast_matchers::MatchFinder finder;
+  if (CheckEnabled("determinism")) {
+    urank_analyzer::RegisterDeterminismCheck(&finder, &findings);
+  }
+  if (CheckEnabled("prob-domain")) {
+    urank_analyzer::RegisterProbDomainCheck(&finder, &findings);
+  }
+  if (CheckEnabled("kernel-alloc")) {
+    urank_analyzer::RegisterKernelAllocCheck(&finder, &findings);
+  }
+  if (CheckEnabled("atomics")) {
+    urank_analyzer::RegisterAtomicsCheck(&finder, &findings);
+  }
+
+  const int status =
+      tool.run(clang::tooling::newFrontendActionFactory(&finder).get());
+  if (status != 0) return 2;
+
+  std::vector<urank_analyzer::Finding> sorted = findings.findings();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const urank_analyzer::Finding& a,
+               const urank_analyzer::Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+  for (const auto& f : sorted) {
+    llvm::outs() << f.file << ":" << f.line << ": [" << f.check << "] "
+                 << f.message << "\n";
+  }
+  return sorted.empty() ? 0 : 1;
+}

@@ -30,12 +30,6 @@ cannot see:
                    examples/ are flagged. Suppress only where an example
                    deliberately showcases the richer per-semantics result
                    types.
-  kernel-alloc     the hot DP kernel files (KERNEL_FILES below) must not
-                   construct a std::vector inside a for/while body: per-
-                   item allocations dominate sweep cost. Hoist the buffer
-                   out of the loop or draw scratch from the per-worker
-                   KernelArena. Reference bindings, pointers and nested
-                   type names do not allocate and are not flagged.
   kernel-vectorize the hot DP kernel files must not hand-roll elementwise
                    array sweeps or indexed reductions inside for/while
                    bodies: those inner loops belong behind the dispatch
@@ -44,6 +38,10 @@ cannot see:
                    scalar (early-exit scans, permutation gathers, order-
                    sensitive accumulations) carry an allow comment stating
                    why.
+
+The former kernel-alloc rule moved to the AST-accurate urank-analyzer
+(tools/analyzer/, check `kernel-alloc`): the regex version could not see
+multi-line declarations, type aliases or helper-hidden allocations.
 
 A finding can be suppressed for one line with a trailing or preceding
 comment `// urank-lint: allow(<rule>)`; use sparingly and justify inline.
@@ -326,7 +324,7 @@ def check_preconditions(root, findings):
             comment_documents_precondition = False
 
 
-# --- kernel-alloc ----------------------------------------------------------
+# --- kernel files ----------------------------------------------------------
 
 # The per-tuple DP kernels: the files where an allocation inside a loop is
 # an O(N) perf defect rather than a style preference. Extend the list when
@@ -377,46 +375,6 @@ def loop_body_spans(code):
             k += 1
         spans.append((j, k))
     return spans
-
-
-def check_kernel_alloc(root, findings):
-    for rel in KERNEL_FILES:
-        path = os.path.join(root, rel)
-        if not os.path.exists(path):
-            continue
-        with open(path, encoding="utf-8") as f:
-            text = f.read()
-        lines = text.split("\n")
-        code = strip_comments_and_strings(text)
-        spans = loop_body_spans(code)
-        for m in re.finditer(r"\bstd::vector\s*<", code):
-            if not any(a < m.start() < b for a, b in spans):
-                continue
-            # Walk past the template argument list, then classify the use:
-            # `&` (reference binding), `*` (pointer) and `::` (nested type
-            # name) do not allocate.
-            i = m.end() - 1
-            depth = 0
-            while i < len(code):
-                if code[i] == "<":
-                    depth += 1
-                elif code[i] == ">":
-                    depth -= 1
-                    if depth == 0:
-                        break
-                i += 1
-            j = i + 1
-            while j < len(code) and code[j] in " \t\n\r":
-                j += 1
-            if code[j:j + 1] in ("&", "*") or code[j:j + 2] == "::":
-                continue
-            lineno = code[:m.start()].count("\n") + 1
-            if "kernel-alloc" in allowed_rules(lines, lineno):
-                continue
-            findings.append(Finding(
-                rel, lineno, "kernel-alloc",
-                "std::vector constructed inside a kernel loop; hoist the "
-                "buffer out of the loop or use the per-worker KernelArena"))
 
 
 # --- kernel-vectorize ------------------------------------------------------
@@ -526,7 +484,6 @@ def main():
     check_token_bans(root, findings)
     check_engine_api(root, findings)
     check_preconditions(root, findings)
-    check_kernel_alloc(root, findings)
     check_kernel_vectorize(root, findings)
     check_metric_names(root, findings)
     check_build_registration(root, findings)
