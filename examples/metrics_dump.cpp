@@ -23,22 +23,25 @@
 
 namespace {
 
-std::vector<urank::RankingQuery> MakeBatch() {
-  using urank::RankingQuery;
+// Per-request intra-query parallelism: four threads per DP kernel, on top
+// of the four-way batch fan-out below.
+std::vector<urank::QueryRequest> MakeBatch() {
+  using urank::QueryRequest;
   using urank::RankingSemantics;
-  std::vector<RankingQuery> batch;
+  std::vector<QueryRequest> batch;
   const RankingSemantics mix[] = {
       RankingSemantics::kExpectedRank, RankingSemantics::kMedianRank,
       RankingSemantics::kQuantileRank, RankingSemantics::kPTk,
       RankingSemantics::kGlobalTopk,   RankingSemantics::kUKRanks,
   };
   for (RankingSemantics semantics : mix) {
-    RankingQuery q;
-    q.semantics = semantics;
-    q.k = 10;
-    q.phi = 0.75;
-    q.threshold = 0.1;
-    batch.push_back(q);
+    QueryRequest request;
+    request.options.semantics = semantics;
+    request.options.k = 10;
+    request.options.phi = 0.75;
+    request.options.threshold = 0.1;
+    request.parallelism.threads = 4;
+    batch.push_back(request);
   }
   return batch;
 }
@@ -58,10 +61,7 @@ int main(int argc, char** argv) {
   const urank::TupleRelation rel = urank::GenerateTupleRelation(config);
 
   const auto prepared = urank::QueryEngine::Prepare(rel);
-  urank::QueryEngine engine(prepared);
-  urank::ParallelismOptions par;
-  par.threads = 4;
-  engine.set_parallelism(par);
+  const urank::QueryEngine engine(prepared);
 
   const std::vector<urank::QueryResult> results =
       engine.RunBatch(MakeBatch(), 4);

@@ -25,31 +25,6 @@
 
 namespace {
 
-bool ParseSemantics(const std::string& name,
-                    urank::RankingSemantics* semantics) {
-  using urank::RankingSemantics;
-  const struct {
-    const char* name;
-    RankingSemantics value;
-  } table[] = {
-      {"expected-rank", RankingSemantics::kExpectedRank},
-      {"median-rank", RankingSemantics::kMedianRank},
-      {"quantile-rank", RankingSemantics::kQuantileRank},
-      {"u-topk", RankingSemantics::kUTopk},
-      {"u-kranks", RankingSemantics::kUKRanks},
-      {"pt-k", RankingSemantics::kPTk},
-      {"global-topk", RankingSemantics::kGlobalTopk},
-      {"expected-score", RankingSemantics::kExpectedScore},
-  };
-  for (const auto& entry : table) {
-    if (name == entry.name) {
-      *semantics = entry.value;
-      return true;
-    }
-  }
-  return false;
-}
-
 void PrintAnswer(const urank::RankingAnswer& answer) {
   for (size_t pos = 0; pos < answer.ids.size(); ++pos) {
     if (answer.ids[pos] < 0) {
@@ -66,7 +41,8 @@ void PrintAnswer(const urank::RankingAnswer& answer) {
 
 // Prints the result, or the recoverable status for invalid parameters.
 // Returns the process exit code.
-int Report(const urank::QueryResult& result, const urank::RankingQuery& q) {
+int Report(const urank::QueryResult& result,
+           const urank::RankingQueryOptions& q) {
   if (!result.status.ok()) {
     std::fprintf(stderr, "query rejected (%s): %s\n",
                  urank::ToString(result.status.code),
@@ -113,21 +89,22 @@ int Demo() {
   }
 
   // Prepare once, query many: the engine owns the shared sort orders and
-  // statistic cache, and RunBatch fans the queries out over a worker pool.
+  // statistic cache, and RunBatch fans the requests out over a worker pool.
   const urank::QueryEngine engine(loaded);
-  std::vector<urank::RankingQuery> batch;
+  std::vector<urank::QueryRequest> batch;
   for (urank::RankingSemantics semantics :
        {urank::RankingSemantics::kExpectedRank,
         urank::RankingSemantics::kMedianRank,
         urank::RankingSemantics::kGlobalTopk}) {
-    urank::RankingQuery query;
-    query.semantics = semantics;
-    query.k = 3;
-    batch.push_back(query);
+    urank::QueryRequest request;
+    request.options.semantics = semantics;
+    request.options.k = 3;
+    batch.push_back(request);
   }
   const std::vector<urank::QueryResult> results = engine.RunBatch(batch);
   for (size_t i = 0; i < batch.size(); ++i) {
-    std::printf("\ntop-3 under %s:\n", ToString(batch[i].semantics));
+    std::printf("\ntop-3 under %s:\n",
+                ToString(batch[i].options.semantics));
     PrintAnswer(results[i].answer);
   }
   std::remove(path.c_str());
@@ -141,16 +118,18 @@ int main(int argc, char** argv) {
   if (argc < 5) return Usage(argv[0]);
   const std::string model = argv[1];
   const std::string path = argv[2];
-  urank::RankingQuery query;
-  if (!ParseSemantics(argv[3], &query.semantics)) {
+  urank::QueryRequest request;
+  // The library's wire-name parser accepts exactly the names in the usage
+  // string (the same ones urankd speaks).
+  if (!urank::FromString(argv[3], &request.options.semantics)) {
     std::fprintf(stderr, "unknown semantics '%s'\n", argv[3]);
     return 2;
   }
-  query.k = std::atoi(argv[4]);
+  request.options.k = std::atoi(argv[4]);
   if (argc >= 6) {
     const double extra = std::atof(argv[5]);
-    query.phi = extra;
-    query.threshold = extra;
+    request.options.phi = extra;
+    request.options.threshold = extra;
   }
 
   std::string error;
@@ -161,7 +140,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     const urank::QueryEngine engine(std::move(rel));
-    return Report(engine.Run(query), query);
+    return Report(engine.Run(request), request.options);
   }
   if (model == "tuple") {
     urank::TupleRelation rel;
@@ -170,7 +149,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     const urank::QueryEngine engine(std::move(rel));
-    return Report(engine.Run(query), query);
+    return Report(engine.Run(request), request.options);
   }
   return Usage(argv[0]);
 }

@@ -90,12 +90,13 @@ int main() {
   // over the shared prepared state.
   const urank::QueryEngine engine(rel);
   const std::vector<int> ks = {1, 2, 3};
-  std::vector<urank::RankingQuery> batch;
+  std::vector<urank::QueryRequest> batch;
   for (const NamedSemantics& semantics : all) {
     for (int k : ks) {
-      urank::RankingQuery query = semantics.query;
-      query.k = k;
-      batch.push_back(query);
+      urank::QueryRequest request;
+      request.options = semantics.query;
+      request.options.k = k;
+      batch.push_back(request);
     }
   }
   const std::vector<urank::QueryResult> results = engine.RunBatch(batch);

@@ -236,8 +236,50 @@ const char* ToString(QueryStatusCode code) {
       return "invalid-threshold";
     case QueryStatusCode::kWorldCountNotEnumerable:
       return "world-count-not-enumerable";
+    case QueryStatusCode::kInvalidRequest:
+      return "invalid-request";
+    case QueryStatusCode::kUnknownRelation:
+      return "unknown-relation";
+    case QueryStatusCode::kOverloaded:
+      return "overloaded";
+    case QueryStatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "?";
+}
+
+bool FromString(std::string_view name, QueryStatusCode* out) {
+  for (int value = 0; value < kQueryStatusCodeCount; ++value) {
+    const auto code = static_cast<QueryStatusCode>(value);
+    if (name == ToString(code)) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
+int WireValue(QueryStatusCode code) { return static_cast<int>(code); }
+
+bool FromWireValue(int value, QueryStatusCode* out) {
+  // The switch (no default) is what forces a new enumerator to gain a wire
+  // mapping: -Werror=switch rejects this function until the case — and
+  // therefore a conscious wire-value decision — is added.
+  const auto code = static_cast<QueryStatusCode>(value);
+  switch (code) {
+    case QueryStatusCode::kOk:
+    case QueryStatusCode::kInvalidK:
+    case QueryStatusCode::kInvalidPhi:
+    case QueryStatusCode::kInvalidThreshold:
+    case QueryStatusCode::kWorldCountNotEnumerable:
+    case QueryStatusCode::kInvalidRequest:
+    case QueryStatusCode::kUnknownRelation:
+    case QueryStatusCode::kOverloaded:
+    case QueryStatusCode::kDeadlineExceeded:
+      *out = code;
+      return true;
+  }
+  return false;
 }
 
 std::shared_ptr<const PreparedAttrRelation> QueryEngine::Prepare(
@@ -299,7 +341,9 @@ QueryStatus QueryEngine::Validate(const RankingQuery& query) const {
   return QueryStatus::Ok();
 }
 
-QueryResult QueryEngine::Run(const RankingQuery& query) const {
+QueryResult QueryEngine::Run(const QueryRequest& request) const {
+  const RankingQuery& query = request.options;
+  const ParallelismOptions& par = request.parallelism;
   const EngineMetrics& em = EngineMetrics::Get();
   URANK_TRACE_SPAN_ARG("engine.run", "k", query.k);
   metrics::ScopedHistogramTimer timer(em.query_latency);
@@ -325,7 +369,7 @@ QueryResult QueryEngine::Run(const RankingQuery& query) const {
       result.stats.reused_cache =
           query.semantics == RankingSemantics::kExpectedScore ||
           (has_key && attr_->HasCachedStat(KeyFor(query)));
-      result.answer = RunAttr(*attr_, query, par_, &report);
+      result.answer = RunAttr(*attr_, query, par, &report);
       result.stats.dp_cells =
           result.stats.reused_cache ? 0 : AttrDpCells(*attr_, query);
       result.stats.tuples_pruned =
@@ -333,7 +377,7 @@ QueryResult QueryEngine::Run(const RankingQuery& query) const {
     } else {
       result.stats.reused_cache =
           has_key && tuple_->HasCachedStat(KeyFor(query));
-      result.answer = RunTuple(*tuple_, query, par_, &report);
+      result.answer = RunTuple(*tuple_, query, par, &report);
       result.stats.dp_cells =
           result.stats.reused_cache ? 0 : TupleDpCells(*tuple_, query);
       result.stats.tuples_pruned =
@@ -350,21 +394,38 @@ QueryResult QueryEngine::Run(const RankingQuery& query) const {
 }
 
 std::vector<QueryResult> QueryEngine::RunBatch(
-    const std::vector<RankingQuery>& queries, int threads) const {
-  std::vector<QueryResult> results(queries.size());
-  if (queries.empty()) return results;
+    const std::vector<QueryRequest>& requests, int threads) const {
+  std::vector<QueryResult> results(requests.size());
+  if (requests.empty()) return results;
   EngineMetrics::Get().batches.Increment();
   URANK_TRACE_SPAN_ARG("engine.run_batch", "queries",
-                       static_cast<long long>(queries.size()));
-  // One chunk per query on the shared process-wide pool; results land at
+                       static_cast<long long>(requests.size()));
+  // One chunk per request on the shared process-wide pool; results land at
   // disjoint indices, so claim order is irrelevant. ParallelFor's caller
   // participation keeps nesting with intra-query kernels deadlock-free.
-  ParallelFor(static_cast<int>(queries.size()), ResolveThreads(threads),
+  ParallelFor(static_cast<int>(requests.size()), ResolveThreads(threads),
               [&](int i, int /*slot*/) {
                 results[static_cast<size_t>(i)] =
-                    Run(queries[static_cast<size_t>(i)]);
+                    Run(requests[static_cast<size_t>(i)]);
               });
   return results;
+}
+
+QueryResult QueryEngine::Run(const RankingQuery& query) const {
+  QueryRequest request;
+  request.options = query;
+  request.parallelism = par_;
+  return Run(request);
+}
+
+std::vector<QueryResult> QueryEngine::RunBatch(
+    const std::vector<RankingQuery>& queries, int threads) const {
+  std::vector<QueryRequest> requests(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    requests[i].options = queries[i];
+    requests[i].parallelism = par_;
+  }
+  return RunBatch(requests, threads);
 }
 
 }  // namespace urank

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/engine/prepared_relation.h"
@@ -54,16 +55,52 @@ namespace urank {
 // parameter surface (semantics, k, phi, threshold, tie policy).
 using RankingQuery = RankingQueryOptions;
 
+// The status taxonomy is also the wire protocol's error contract
+// (docs/SERVING.md): each code has a stable numeric wire value (the
+// enumerator value below) and a stable identifier-style name (ToString /
+// FromString). New codes append at the end; values and names are never
+// reused or renumbered once shipped.
 enum class QueryStatusCode {
-  kOk,
-  kInvalidK,
-  kInvalidPhi,
-  kInvalidThreshold,
-  kWorldCountNotEnumerable,
+  kOk = 0,
+  kInvalidK = 1,
+  kInvalidPhi = 2,
+  kInvalidThreshold = 3,
+  kWorldCountNotEnumerable = 4,
+  // Serve-layer codes, produced by urankd (src/serve/) rather than by
+  // QueryEngine::Run itself:
+  //   kInvalidRequest   — the request line was not a well-formed protocol
+  //                       message (bad JSON, wrong version, unknown type or
+  //                       semantics name, missing required field).
+  //   kUnknownRelation  — the request names a relation the server has not
+  //                       loaded.
+  //   kOverloaded       — admission control shed the request: the bounded
+  //                       queue was full (or the server is draining).
+  //   kDeadlineExceeded — the request's deadline expired before execution
+  //                       started; it was shed without running.
+  kInvalidRequest = 5,
+  kUnknownRelation = 6,
+  kOverloaded = 7,
+  kDeadlineExceeded = 8,
 };
+
+// Number of QueryStatusCode members. Wire values are dense: every integer
+// in [0, kQueryStatusCodeCount) maps to exactly one code, which is what
+// the protocol round-trip test iterates over.
+inline constexpr int kQueryStatusCodeCount = 9;
 
 // Stable identifier-style name ("ok", "invalid-k", ...).
 const char* ToString(QueryStatusCode code);
+
+// Inverse of ToString. Returns false (leaving `*out` untouched) when
+// `name` is not a known status name.
+bool FromString(std::string_view name, QueryStatusCode* out);
+
+// The stable numeric value `code` travels as on the wire.
+int WireValue(QueryStatusCode code);
+
+// Inverse of WireValue. Returns false (leaving `*out` untouched) when
+// `value` maps to no code.
+bool FromWireValue(int value, QueryStatusCode* out);
 
 struct QueryStatus {
   QueryStatusCode code = QueryStatusCode::kOk;
@@ -117,6 +154,36 @@ struct QueryResult {
   QueryStats stats;
 };
 
+// Serve-layer result-cache policy carried by a request. The engine's own
+// statistic memo (prepared_relation.h) is unaffected: kBypass means the
+// urankd result cache performs neither lookup nor insert for this request.
+enum class CacheMode {
+  kDefault = 0,
+  kBypass = 1,
+};
+
+// The one request surface shared by in-process callers and the wire
+// protocol: src/serve/protocol.h serializes exactly this struct (plus a
+// routing envelope), so a request built in code and a request parsed off a
+// socket flow through the same Run path. Replaces the former
+// (RankingQuery, set_parallelism) split — parallelism is part of the
+// request, not engine state.
+struct QueryRequest {
+  RankingQueryOptions options;
+  // Intra-query parallelism applied to the DP kernels behind statistic-
+  // cache misses. Affects execution schedule and QueryStats only — answers
+  // are bit-identical for any setting.
+  ParallelismOptions parallelism;
+  // End-to-end budget in milliseconds, measured from admission. <= 0 means
+  // no deadline. Enforced at admission/dequeue time by the serving layer
+  // (urankd sheds an expired request with kDeadlineExceeded instead of
+  // starting it); a query that has begun executing is never interrupted,
+  // and the in-process Run never sheds (its queue wait is zero).
+  double deadline_ms = 0.0;
+  // Serve-layer result-cache policy (see CacheMode).
+  CacheMode cache_mode = CacheMode::kDefault;
+};
+
 // Runs ranking queries against one prepared relation (either model).
 // Cheap to copy: holds only shared pointers to immutable prepared state.
 class QueryEngine {
@@ -140,24 +207,36 @@ class QueryEngine {
   // executing anything. Run calls this first.
   QueryStatus Validate(const RankingQuery& query) const;
 
-  // Executes one query. Never aborts on bad query parameters — check
-  // result.status. Safe to call concurrently.
-  QueryResult Run(const RankingQuery& query) const;
+  // Executes one request. Never aborts on bad query parameters — check
+  // result.status. Safe to call concurrently. deadline_ms and cache_mode
+  // are serving-layer concerns (see QueryRequest); the in-process path
+  // carries them through untouched.
+  QueryResult Run(const QueryRequest& request) const;
 
-  // Executes `queries` over the shared prepared state on the process-wide
+  // Executes `requests` over the shared prepared state on the process-wide
   // worker pool with up to `threads` workers (threads <= 0 selects the
   // hardware concurrency). Results are in input order and identical to
-  // running each query alone — memoized statistics are computed once under
-  // single-flight discipline no matter how many queries need them. Intra-
-  // query parallelism (set_parallelism) composes with this: worker threads
+  // running each request alone — memoized statistics are computed once
+  // under single-flight discipline no matter how many requests need them.
+  // Per-request intra-query parallelism composes with this: worker threads
   // running a kernel participate in draining its chunks, so nesting cannot
   // deadlock.
+  std::vector<QueryResult> RunBatch(const std::vector<QueryRequest>& requests,
+                                    int threads = 0) const;
+
+  // DEPRECATED compatibility wrappers: the pre-QueryRequest surface. They
+  // wrap the query in a QueryRequest carrying the engine-level parallelism
+  // set via set_parallelism() and forward to the request overloads. New
+  // code should build a QueryRequest (which makes parallelism, deadline
+  // and cache policy explicit and per-request) instead.
+  QueryResult Run(const RankingQuery& query) const;
   std::vector<QueryResult> RunBatch(const std::vector<RankingQuery>& queries,
                                     int threads = 0) const;
 
-  // Intra-query parallelism applied by Run/RunBatch to the DP kernels
-  // behind cache misses. Defaults to serial. Affects execution schedule
-  // and QueryStats only — answers are bit-identical for any setting.
+  // DEPRECATED side-channel consumed only by the legacy Run/RunBatch
+  // wrappers above: intra-query parallelism for the DP kernels behind
+  // cache misses. The QueryRequest overloads ignore this and use
+  // QueryRequest::parallelism.
   void set_parallelism(const ParallelismOptions& par) { par_ = par; }
   const ParallelismOptions& parallelism() const { return par_; }
 

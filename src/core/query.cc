@@ -43,6 +43,48 @@ const char* ToString(RankingSemantics semantics) {
   return "?";
 }
 
+bool FromString(std::string_view name, RankingSemantics* out) {
+  static constexpr RankingSemantics kAll[] = {
+      RankingSemantics::kExpectedRank,  RankingSemantics::kMedianRank,
+      RankingSemantics::kQuantileRank,  RankingSemantics::kUTopk,
+      RankingSemantics::kUKRanks,       RankingSemantics::kPTk,
+      RankingSemantics::kGlobalTopk,    RankingSemantics::kExpectedScore,
+  };
+  for (RankingSemantics semantics : kAll) {
+    if (name == ToString(semantics)) {
+      *out = semantics;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* ToString(TiePolicy ties) {
+  switch (ties) {
+    case TiePolicy::kStrictGreater:
+      return "strict-greater";
+    case TiePolicy::kBreakByIndex:
+      return "by-index";
+  }
+  return "?";
+}
+
+bool FromString(std::string_view name, TiePolicy* out) {
+  for (TiePolicy ties :
+       {TiePolicy::kStrictGreater, TiePolicy::kBreakByIndex}) {
+    if (name == ToString(ties)) {
+      *out = ties;
+      return true;
+    }
+  }
+  return false;
+}
+
+// The definitions of the deprecated facade itself: suppress the
+// self-referential deprecation diagnostics GCC emits for them.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 RankingAnswer RunRankingQuery(const AttrRelation& rel,
                               const RankingQueryOptions& options) {
   return PrepareAndRun(rel, options);
@@ -52,5 +94,7 @@ RankingAnswer RunRankingQuery(const TupleRelation& rel,
                               const RankingQueryOptions& options) {
   return PrepareAndRun(rel, options);
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace urank

@@ -15,6 +15,7 @@
 #define URANK_CORE_QUERY_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "model/attr_model.h"
@@ -35,8 +36,19 @@ enum class RankingSemantics {
   kExpectedScore,  // rank by E[score]
 };
 
-// Human-readable semantics name ("expected-rank", ...).
+// Human-readable semantics name ("expected-rank", ...). These names are
+// also the wire protocol's "semantics" vocabulary (docs/SERVING.md) and
+// are stable.
 const char* ToString(RankingSemantics semantics);
+
+// Inverse of ToString. Returns false (leaving `*out` untouched) when
+// `name` is not a known semantics name.
+bool FromString(std::string_view name, RankingSemantics* out);
+
+// Stable tie-policy names ("strict-greater" / "by-index"), likewise part
+// of the wire vocabulary.
+const char* ToString(TiePolicy ties);
+bool FromString(std::string_view name, TiePolicy* out);
 
 // Query parameters. `k` is required for every semantics; `phi` only
 // applies to kQuantileRank and `threshold` only to kPTk.
@@ -67,8 +79,21 @@ struct RankingAnswer {
 // an attribute-level relation (and on a tuple-level relation with
 // multi-tuple rules) uses possible-worlds enumeration and therefore
 // requires an enumerable world count.
+//
+// Deprecated: each call re-prepares the relation from scratch and aborts
+// on invalid options. Build a QueryEngine and pass a QueryRequest
+// (core/engine/query_engine.h) instead — preparation is paid once,
+// errors are recoverable statuses, and the same request struct serves the
+// urankd wire protocol. Retained for the facade tests and as the
+// simplest possible entry point.
+[[deprecated(
+    "prepare a QueryEngine and Run a QueryRequest instead "
+    "(core/engine/query_engine.h)")]]
 RankingAnswer RunRankingQuery(const AttrRelation& rel,
                               const RankingQueryOptions& options);
+[[deprecated(
+    "prepare a QueryEngine and Run a QueryRequest instead "
+    "(core/engine/query_engine.h)")]]
 RankingAnswer RunRankingQuery(const TupleRelation& rel,
                               const RankingQueryOptions& options);
 

@@ -1,0 +1,91 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace urank {
+namespace serve {
+
+Client::~Client() { Close(); }
+
+bool Client::Connect(const std::string& host, int port, std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "invalid IPv4 address: " + host;
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    Close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  buffer_.clear();
+  return true;
+}
+
+bool Client::Call(const std::string& line, std::string* response) {
+  if (fd_ < 0) return false;
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  if (!ReadLine(response)) {
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::ReadLine(std::string* line) {
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buffer_, 0, nl);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace serve
+}  // namespace urank

@@ -1,0 +1,46 @@
+// Minimal blocking client for the urankd wire protocol, used by
+// tools/load_gen.cc and the serve tests. One connection, one in-flight
+// request at a time: Call writes a request line and blocks for the
+// response line. (The protocol itself permits pipelining via `id`; this
+// client simply does not need it.)
+
+#ifndef URANK_SERVE_CLIENT_H_
+#define URANK_SERVE_CLIENT_H_
+
+#include <string>
+
+namespace urank {
+namespace serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects to `host`:`port` (numeric IPv4, e.g. "127.0.0.1"). Returns
+  // false with a description in `*error` on failure.
+  bool Connect(const std::string& host, int port, std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+
+  // Sends `line` (newline appended) and reads one response line into
+  // `*response` (terminator stripped). False on any transport failure —
+  // the connection is closed and must be re-Connected.
+  bool Call(const std::string& line, std::string* response);
+
+  void Close();
+
+ private:
+  bool ReadLine(std::string* line);
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace serve
+}  // namespace urank
+
+#endif  // URANK_SERVE_CLIENT_H_

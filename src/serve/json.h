@@ -1,0 +1,110 @@
+// Minimal JSON values for the urankd wire protocol (docs/SERVING.md).
+//
+// The daemon speaks newline-delimited JSON: one request object per line
+// in, one response object per line out. This header provides exactly what
+// that needs — a small tree value, a strict recursive-descent parser and a
+// deterministic compact writer — with no external dependency.
+//
+// Determinism contract (what makes golden-transcript diffing work): the
+// writer emits object members in insertion order, no whitespace, and
+// formats every number via std::to_chars shortest round-trip (integral
+// values within the exactly-representable double range print without an
+// exponent or fraction). The same tree always renders to the same bytes.
+//
+// Robustness: the parser is strict (trailing garbage, unquoted keys,
+// comments and NaN/Infinity literals are errors), rejects nesting deeper
+// than kMaxJsonDepth (a hostile client must not be able to overflow the
+// stack of a serving thread) and never aborts on malformed input — every
+// failure is a false return plus a position-carrying message.
+
+#ifndef URANK_SERVE_JSON_H_
+#define URANK_SERVE_JSON_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace urank {
+namespace serve {
+
+class JsonValue;
+
+// Objects preserve insertion order; lookups are linear (protocol objects
+// carry a dozen members at most).
+using JsonMember = std::pair<std::string, JsonValue>;
+
+// Parse depth limit, applied to arrays and objects combined.
+inline constexpr int kMaxJsonDepth = 64;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  static JsonValue MakeBool(bool value);
+  static JsonValue MakeNumber(double value);
+  static JsonValue MakeString(std::string value);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors: meaningful only for the matching type (they return
+  // the zero value otherwise — protocol code always checks is_*() or uses
+  // the Find helpers below, so no abort is warranted here).
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return items_; }
+  const std::vector<JsonMember>& object_members() const { return members_; }
+
+  // Object lookup: the value under `key`, or nullptr when this is not an
+  // object or the key is absent.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Appends `key: value` to an object. Keys are assumed unique (the writer
+  // does not deduplicate). No-op unless is_object().
+  void Set(std::string key, JsonValue value);
+
+  // Appends an element to an array. No-op unless is_array().
+  void Append(JsonValue value);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<JsonMember> members_;
+};
+
+// Parses exactly one JSON document occupying all of `text` (surrounding
+// whitespace allowed). On failure returns false and describes the first
+// problem (with its byte offset) in `*error` when non-null.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+// Compact deterministic rendering (see the contract above). No trailing
+// newline.
+std::string WriteJson(const JsonValue& value);
+void AppendJson(const JsonValue& value, std::string* out);
+
+// Serialization helpers shared by the protocol code: a complete JSON
+// string token (surrounding quotes included, contents escaped per RFC
+// 8259 with control characters as \u00XX), and the deterministic number
+// rendering used by the writer.
+void AppendJsonEscaped(std::string_view text, std::string* out);
+void AppendJsonNumber(double value, std::string* out);
+
+}  // namespace serve
+}  // namespace urank
+
+#endif  // URANK_SERVE_JSON_H_

@@ -1,0 +1,218 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "core/engine/query_engine.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "util/rng.h"
+
+namespace urank {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Per-connection tallies, merged after the joins.
+struct WorkerResult {
+  long long sent = 0;
+  long long ok = 0;
+  long long errors = 0;
+  long long overloaded = 0;
+  long long deadline_exceeded = 0;
+  long long transport_failures = 0;
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  std::vector<double> client_ms;
+  std::vector<double> serve_ms;
+};
+
+// The kMixed grid: all eight semantics; k alternates between the base and
+// 10x; quantile queries split between the median and phi = 0.9.
+std::string NextRequestLine(const LoadGenOptions& options, Rng* rng,
+                            long long sequence) {
+  QueryRequest query;
+  if (options.workload == Workload::kMixed) {
+    constexpr RankingSemantics kAll[] = {
+        RankingSemantics::kExpectedRank, RankingSemantics::kMedianRank,
+        RankingSemantics::kQuantileRank, RankingSemantics::kUTopk,
+        RankingSemantics::kUKRanks,      RankingSemantics::kPTk,
+        RankingSemantics::kGlobalTopk,   RankingSemantics::kExpectedScore,
+    };
+    query.options.semantics = kAll[rng->UniformInt(0, 7)];
+    query.options.k = rng->Bernoulli(0.5) ? options.k : options.k * 10;
+    query.options.phi = rng->Bernoulli(0.5) ? 0.5 : 0.9;
+    query.options.threshold = 0.1;
+  } else {
+    query.options.semantics = RankingSemantics::kExpectedRank;
+    query.options.k = options.k;
+  }
+  query.deadline_ms = options.deadline_ms;
+  query.cache_mode =
+      options.bypass_cache ? CacheMode::kBypass : CacheMode::kDefault;
+
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("v", JsonValue::MakeNumber(kWireVersion));
+  obj.Set("type", JsonValue::MakeString("query"));
+  obj.Set("id", JsonValue::MakeNumber(static_cast<double>(sequence)));
+  QueryRequestToJson(options.relation, query, &obj);
+  return WriteJson(obj);
+}
+
+void WorkerLoop(const LoadGenOptions& options, int worker_index,
+                Clock::time_point start, Clock::time_point stop_at,
+                WorkerResult* result) {
+  Client client;
+  std::string error;
+  if (!client.Connect(options.host, options.port, &error)) {
+    ++result->transport_failures;
+    return;
+  }
+  Rng rng(options.seed * 1000003ull + static_cast<std::uint64_t>(worker_index));
+
+  // Open-loop schedule: this worker owns every `connections`-th slot of
+  // the aggregate arrival sequence.
+  const double interval_s =
+      options.target_qps > 0.0
+          ? static_cast<double>(options.connections) / options.target_qps
+          : 0.0;
+  long long sequence = 0;
+  for (;;) {
+    if (interval_s > 0.0) {
+      const auto launch_at =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(
+                          (static_cast<double>(sequence) +
+                           static_cast<double>(worker_index) /
+                               options.connections) *
+                          interval_s));
+      if (launch_at >= stop_at) break;
+      std::this_thread::sleep_until(launch_at);
+    } else if (Clock::now() >= stop_at) {
+      break;
+    }
+
+    const std::string line = NextRequestLine(options, &rng, sequence);
+    ++sequence;
+    ++result->sent;
+    const Clock::time_point sent_at = Clock::now();
+    std::string response_line;
+    if (!client.Call(line, &response_line)) {
+      ++result->transport_failures;
+      if (!client.Connect(options.host, options.port, &error)) return;
+      continue;
+    }
+    result->client_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - sent_at)
+            .count());
+
+    ParsedResponse response;
+    if (!ParseResponse(response_line, &response)) {
+      ++result->errors;
+      continue;
+    }
+    if (response.code == QueryStatusCode::kOk) {
+      ++result->ok;
+      result->serve_ms.push_back(response.serve_ms);
+      if (response.has_cache) {
+        if (response.cache == CacheOutcome::kHit) ++result->cache_hits;
+        if (response.cache == CacheOutcome::kMiss) ++result->cache_misses;
+      }
+    } else {
+      ++result->errors;
+      if (response.code == QueryStatusCode::kOverloaded) {
+        ++result->overloaded;
+      } else if (response.code == QueryStatusCode::kDeadlineExceeded) {
+        ++result->deadline_exceeded;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LatencySummary Summarize(std::vector<double> samples_ms) {
+  LatencySummary summary;
+  if (samples_ms.empty()) return summary;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  double sum = 0.0;
+  for (double s : samples_ms) sum += s;
+  const auto at = [&samples_ms](double q) {
+    const std::size_t index = static_cast<std::size_t>(
+        q * static_cast<double>(samples_ms.size() - 1) + 0.5);
+    return samples_ms[std::min(index, samples_ms.size() - 1)];
+  };
+  summary.mean_ms = sum / static_cast<double>(samples_ms.size());
+  summary.p50_ms = at(0.50);
+  summary.p90_ms = at(0.90);
+  summary.p99_ms = at(0.99);
+  summary.max_ms = samples_ms.back();
+  return summary;
+}
+
+bool RunLoadGen(const LoadGenOptions& options, LoadGenReport* report,
+                std::string* error) {
+  *report = LoadGenReport();
+  if (options.connections < 1 || options.port <= 0 ||
+      options.duration_s <= 0.0) {
+    if (error != nullptr) {
+      *error = "load_gen needs connections >= 1, a port and a duration";
+    }
+    return false;
+  }
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point stop_at =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_s));
+
+  std::vector<WorkerResult> results(
+      static_cast<std::size_t>(options.connections));
+  std::vector<std::thread> threads;
+  threads.reserve(results.size());
+  for (int i = 0; i < options.connections; ++i) {
+    threads.emplace_back(WorkerLoop, std::cref(options), i, start, stop_at,
+                         &results[static_cast<std::size_t>(i)]);
+  }
+  for (std::thread& t : threads) t.join();
+  report->duration_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> client_ms;
+  std::vector<double> serve_ms;
+  for (WorkerResult& r : results) {
+    report->sent += r.sent;
+    report->ok += r.ok;
+    report->errors += r.errors;
+    report->overloaded += r.overloaded;
+    report->deadline_exceeded += r.deadline_exceeded;
+    report->transport_failures += r.transport_failures;
+    report->cache_hits += r.cache_hits;
+    report->cache_misses += r.cache_misses;
+    client_ms.insert(client_ms.end(), r.client_ms.begin(), r.client_ms.end());
+    serve_ms.insert(serve_ms.end(), r.serve_ms.begin(), r.serve_ms.end());
+  }
+  if (report->sent == 0 &&
+      report->transport_failures >= options.connections) {
+    if (error != nullptr) {
+      *error = "no connection to " + options.host + ":" +
+               std::to_string(options.port) + " could be established";
+    }
+    return false;
+  }
+  if (report->duration_s > 0.0) {
+    report->achieved_qps =
+        static_cast<double>(report->ok + report->errors) / report->duration_s;
+  }
+  report->client = Summarize(std::move(client_ms));
+  report->serve = Summarize(std::move(serve_ms));
+  return true;
+}
+
+}  // namespace serve
+}  // namespace urank

@@ -1,0 +1,93 @@
+// Load generator for urankd (tools/load_gen.cc, bench/bench_serve.cc).
+//
+// Drives a running daemon over TCP with either of two loops:
+//   * closed loop (target_qps == 0): each connection fires its next
+//     request the moment the previous response arrives — measures the
+//     server's sustainable throughput;
+//   * open loop (target_qps > 0): requests are launched on a fixed
+//     schedule regardless of response times — measures latency under a
+//     controlled arrival rate, and (unlike the closed loop) exposes
+//     queueing collapse when the offered rate exceeds capacity.
+//
+// Workloads:
+//   * kMixed cycles pseudo-randomly (seeded urank::Rng — runs are
+//     reproducible) over all eight ranking semantics and a small k/phi/
+//     threshold grid: the cache-friendly dashboard-refresh shape.
+//   * kRepeat issues one fixed query forever: the pure cache-hit shape
+//     the warm-vs-bypass acceptance comparison uses.
+//
+// The report separates client-observed latency (RTT, what a user feels)
+// from server-side handle latency (the response's stats.serve_ms, what
+// the daemon spent from admission to render). Cache-effect ratios are
+// computed on the server-side numbers so loopback RTT noise cannot
+// dilute them.
+
+#ifndef URANK_SERVE_LOADGEN_H_
+#define URANK_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace urank {
+namespace serve {
+
+enum class Workload { kMixed, kRepeat };
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string relation = "default";
+  Workload workload = Workload::kMixed;
+  // Concurrent connections, each a closed/open loop of its own.
+  int connections = 4;
+  // Wall-clock run length, seconds.
+  double duration_s = 5.0;
+  // Aggregate target arrival rate across all connections; 0 = closed loop.
+  double target_qps = 0.0;
+  // Every request sets cache:"bypass" (for the warm-vs-bypass comparison).
+  bool bypass_cache = false;
+  // Deadline attached to every query; <= 0 = none.
+  double deadline_ms = 0.0;
+  // k used by the kRepeat workload and as the base of the kMixed grid.
+  int k = 10;
+  std::uint64_t seed = 1;
+};
+
+struct LatencySummary {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct LoadGenReport {
+  long long sent = 0;
+  long long ok = 0;
+  long long errors = 0;  // every non-ok status, the two below included
+  long long overloaded = 0;
+  long long deadline_exceeded = 0;
+  long long transport_failures = 0;
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  double duration_s = 0.0;
+  double achieved_qps = 0.0;
+  LatencySummary client;  // request->response RTT
+  LatencySummary serve;   // server-side stats.serve_ms of ok responses
+};
+
+// Runs the workload against a live daemon. Returns false with a
+// description in `*error` when no connection could be established at all
+// (partial connection failures degrade `connections` instead).
+bool RunLoadGen(const LoadGenOptions& options, LoadGenReport* report,
+                std::string* error);
+
+// Percentile helper shared with bench_serve: `samples` need not be
+// sorted; empty input yields a zero summary.
+LatencySummary Summarize(std::vector<double> samples_ms);
+
+}  // namespace serve
+}  // namespace urank
+
+#endif  // URANK_SERVE_LOADGEN_H_

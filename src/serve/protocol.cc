@@ -1,0 +1,366 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <utility>
+
+namespace urank {
+namespace serve {
+
+namespace {
+
+// True when `value` holds a number representable as int without loss.
+bool AsInt(const JsonValue& value, int* out) {
+  if (!value.is_number()) return false;
+  const double d = value.number_value();
+  if (!(d >= -2147483648.0 && d <= 2147483647.0)) return false;
+  const int i = static_cast<int>(d);
+  if (static_cast<double>(i) != d) return false;
+  *out = i;
+  return true;
+}
+
+void AppendMember(const char* key, const std::string& value, JsonValue* obj) {
+  obj->Set(key, JsonValue::MakeString(value));
+}
+
+JsonValue ResponseHead(const JsonValue& id, QueryStatusCode code) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("v", JsonValue::MakeNumber(kWireVersion));
+  obj.Set("id", id);
+  obj.Set("status", JsonValue::MakeString(ToString(code)));
+  obj.Set("code", JsonValue::MakeNumber(WireValue(code)));
+  return obj;
+}
+
+}  // namespace
+
+const char* ToString(WireModel model) {
+  switch (model) {
+    case WireModel::kAttr:
+      return "attr";
+    case WireModel::kTuple:
+      return "tuple";
+  }
+  return "?";
+}
+
+bool FromString(std::string_view name, WireModel* out) {
+  if (name == "attr") {
+    *out = WireModel::kAttr;
+    return true;
+  }
+  if (name == "tuple") {
+    *out = WireModel::kTuple;
+    return true;
+  }
+  return false;
+}
+
+const char* ToString(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kMiss:
+      return "miss";
+    case CacheOutcome::kBypass:
+      return "bypass";
+  }
+  return "?";
+}
+
+void QueryRequestToJson(const std::string& relation, const QueryRequest& query,
+                        JsonValue* object) {
+  object->Set("relation", JsonValue::MakeString(relation));
+  object->Set("semantics",
+              JsonValue::MakeString(ToString(query.options.semantics)));
+  object->Set("k", JsonValue::MakeNumber(query.options.k));
+  if (query.options.semantics == RankingSemantics::kQuantileRank) {
+    object->Set("phi", JsonValue::MakeNumber(query.options.phi));
+  }
+  if (query.options.semantics == RankingSemantics::kPTk) {
+    object->Set("threshold", JsonValue::MakeNumber(query.options.threshold));
+  }
+  if (query.options.ties != TiePolicy::kBreakByIndex) {
+    object->Set("ties", JsonValue::MakeString(ToString(query.options.ties)));
+  }
+  if (query.deadline_ms > 0.0) {
+    object->Set("deadline_ms", JsonValue::MakeNumber(query.deadline_ms));
+  }
+  if (query.cache_mode == CacheMode::kBypass) {
+    object->Set("cache", JsonValue::MakeString("bypass"));
+  }
+  if (query.parallelism.threads != 1) {
+    object->Set("threads", JsonValue::MakeNumber(query.parallelism.threads));
+  }
+}
+
+bool QueryRequestFromJson(const JsonValue& object, std::string* relation,
+                          QueryRequest* query, std::string* error) {
+  const JsonValue* rel = object.Find("relation");
+  if (rel == nullptr || !rel->is_string() || rel->string_value().empty()) {
+    *error = "query requires a non-empty string \"relation\"";
+    return false;
+  }
+  *relation = rel->string_value();
+
+  const JsonValue* semantics = object.Find("semantics");
+  if (semantics == nullptr || !semantics->is_string()) {
+    *error = "query requires a string \"semantics\"";
+    return false;
+  }
+  if (!FromString(semantics->string_value(), &query->options.semantics)) {
+    *error = "unknown semantics \"" + semantics->string_value() + "\"";
+    return false;
+  }
+
+  if (const JsonValue* k = object.Find("k")) {
+    if (!AsInt(*k, &query->options.k)) {
+      *error = "\"k\" must be an integer";
+      return false;
+    }
+  }
+  if (const JsonValue* phi = object.Find("phi")) {
+    if (!phi->is_number()) {
+      *error = "\"phi\" must be a number";
+      return false;
+    }
+    query->options.phi = phi->number_value();
+  }
+  if (const JsonValue* threshold = object.Find("threshold")) {
+    if (!threshold->is_number()) {
+      *error = "\"threshold\" must be a number";
+      return false;
+    }
+    query->options.threshold = threshold->number_value();
+  }
+  if (const JsonValue* ties = object.Find("ties")) {
+    if (!ties->is_string() ||
+        !FromString(ties->string_value(), &query->options.ties)) {
+      *error = "\"ties\" must be \"strict-greater\" or \"by-index\"";
+      return false;
+    }
+  }
+  if (const JsonValue* deadline = object.Find("deadline_ms")) {
+    if (!deadline->is_number() || std::isnan(deadline->number_value())) {
+      *error = "\"deadline_ms\" must be a number";
+      return false;
+    }
+    query->deadline_ms = deadline->number_value();
+  }
+  if (const JsonValue* cache = object.Find("cache")) {
+    if (!cache->is_string()) {
+      *error = "\"cache\" must be \"default\" or \"bypass\"";
+      return false;
+    }
+    if (cache->string_value() == "default") {
+      query->cache_mode = CacheMode::kDefault;
+    } else if (cache->string_value() == "bypass") {
+      query->cache_mode = CacheMode::kBypass;
+    } else {
+      *error = "\"cache\" must be \"default\" or \"bypass\"";
+      return false;
+    }
+  }
+  if (const JsonValue* threads = object.Find("threads")) {
+    if (!AsInt(*threads, &query->parallelism.threads)) {
+      *error = "\"threads\" must be an integer";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseRequest(std::string_view line, WireRequest* out) {
+  *out = WireRequest();
+  JsonValue doc;
+  std::string parse_error;
+  if (!ParseJson(line, &doc, &parse_error)) {
+    out->error = "malformed JSON: " + parse_error;
+    return false;
+  }
+  if (!doc.is_object()) {
+    out->error = "request must be a JSON object";
+    return false;
+  }
+  // Recover the id first so even rejected requests correlate.
+  if (const JsonValue* id = doc.Find("id")) out->id = *id;
+
+  const JsonValue* v = doc.Find("v");
+  int version = 0;
+  if (v == nullptr || !AsInt(*v, &version) || version != kWireVersion) {
+    out->error = "request must carry \"v\":1";
+    return false;
+  }
+  const JsonValue* type = doc.Find("type");
+  if (type == nullptr || !type->is_string()) {
+    out->error = "request requires a string \"type\"";
+    return false;
+  }
+  const std::string& type_name = type->string_value();
+
+  if (type_name == "query") {
+    if (!QueryRequestFromJson(doc, &out->relation, &out->query, &out->error)) {
+      return false;
+    }
+    out->type = WireRequest::Type::kQuery;
+    return true;
+  }
+  if (type_name == "admin/load") {
+    const JsonValue* name = doc.Find("name");
+    if (name == nullptr || !name->is_string() ||
+        name->string_value().empty()) {
+      out->error = "admin/load requires a non-empty string \"name\"";
+      return false;
+    }
+    out->name = name->string_value();
+    const JsonValue* model = doc.Find("model");
+    if (model == nullptr || !model->is_string() ||
+        !FromString(model->string_value(), &out->model)) {
+      out->error = "admin/load requires \"model\":\"attr\"|\"tuple\"";
+      return false;
+    }
+    const JsonValue* path = doc.Find("path");
+    const JsonValue* data = doc.Find("data");
+    if ((path != nullptr) == (data != nullptr)) {
+      out->error = "admin/load requires exactly one of \"path\" / \"data\"";
+      return false;
+    }
+    if (path != nullptr) {
+      if (!path->is_string()) {
+        out->error = "\"path\" must be a string";
+        return false;
+      }
+      out->path = path->string_value();
+    } else {
+      if (!data->is_string()) {
+        out->error = "\"data\" must be a string";
+        return false;
+      }
+      out->inline_data = data->string_value();
+      out->has_inline_data = true;
+    }
+    out->type = WireRequest::Type::kAdminLoad;
+    return true;
+  }
+  if (type_name == "admin/relations") {
+    out->type = WireRequest::Type::kAdminRelations;
+    return true;
+  }
+  if (type_name == "metrics") {
+    out->type = WireRequest::Type::kMetrics;
+    return true;
+  }
+  if (type_name == "ping") {
+    out->type = WireRequest::Type::kPing;
+    return true;
+  }
+  out->error = "unknown request type \"" + type_name + "\"";
+  return false;
+}
+
+std::string RenderQueryResponse(const JsonValue& id,
+                                const std::string& relation,
+                                std::uint64_t epoch, CacheOutcome cache,
+                                const RankingAnswer& answer,
+                                const QueryStats& stats,
+                                const ServeTimings& timings) {
+  JsonValue obj = ResponseHead(id, QueryStatusCode::kOk);
+  AppendMember("relation", relation, &obj);
+  obj.Set("epoch", JsonValue::MakeNumber(static_cast<double>(epoch)));
+  obj.Set("cache", JsonValue::MakeString(ToString(cache)));
+  JsonValue ids = JsonValue::MakeArray();
+  for (int tuple_id : answer.ids) ids.Append(JsonValue::MakeNumber(tuple_id));
+  obj.Set("ids", std::move(ids));
+  JsonValue statistics = JsonValue::MakeArray();
+  for (double s : answer.statistics) {
+    statistics.Append(JsonValue::MakeNumber(s));
+  }
+  obj.Set("statistics", std::move(statistics));
+  // Everything volatile (timings, execution detail) lives under "stats" so
+  // golden-transcript tooling can strip one member.
+  JsonValue stats_obj = JsonValue::MakeObject();
+  stats_obj.Set("serve_ms", JsonValue::MakeNumber(timings.serve_ms));
+  stats_obj.Set("queue_ms", JsonValue::MakeNumber(timings.queue_ms));
+  stats_obj.Set("engine_ms", JsonValue::MakeNumber(stats.wall_ms));
+  stats_obj.Set("reused_cache", JsonValue::MakeBool(stats.reused_cache));
+  stats_obj.Set("dp_cells",
+                JsonValue::MakeNumber(static_cast<double>(stats.dp_cells)));
+  stats_obj.Set("threads_used", JsonValue::MakeNumber(stats.threads_used));
+  stats_obj.Set("simd_target", JsonValue::MakeString(stats.simd_target));
+  obj.Set("stats", std::move(stats_obj));
+  return WriteJson(obj);
+}
+
+std::string RenderLoadResponse(const JsonValue& id, const std::string& name,
+                               std::uint64_t epoch, long long tuples) {
+  JsonValue obj = ResponseHead(id, QueryStatusCode::kOk);
+  AppendMember("name", name, &obj);
+  obj.Set("epoch", JsonValue::MakeNumber(static_cast<double>(epoch)));
+  obj.Set("tuples", JsonValue::MakeNumber(static_cast<double>(tuples)));
+  return WriteJson(obj);
+}
+
+std::string RenderRelationsResponse(const JsonValue& id,
+                                    JsonValue relations_json) {
+  JsonValue obj = ResponseHead(id, QueryStatusCode::kOk);
+  obj.Set("relations", std::move(relations_json));
+  return WriteJson(obj);
+}
+
+std::string RenderMetricsResponse(const JsonValue& id,
+                                  const std::string& body) {
+  JsonValue obj = ResponseHead(id, QueryStatusCode::kOk);
+  AppendMember("content_type", "text/plain; version=0.0.4", &obj);
+  AppendMember("body", body, &obj);
+  return WriteJson(obj);
+}
+
+std::string RenderPingResponse(const JsonValue& id) {
+  return WriteJson(ResponseHead(id, QueryStatusCode::kOk));
+}
+
+std::string RenderErrorResponse(const JsonValue& id, QueryStatusCode code,
+                                const std::string& message) {
+  JsonValue obj = ResponseHead(id, code);
+  AppendMember("error", message, &obj);
+  return WriteJson(obj);
+}
+
+bool ParseResponse(std::string_view line, ParsedResponse* out) {
+  *out = ParsedResponse();
+  std::string parse_error;
+  if (!ParseJson(line, &out->body, &parse_error)) return false;
+  if (!out->body.is_object()) return false;
+  const JsonValue* code = out->body.Find("code");
+  int wire = -1;
+  if (code == nullptr || !AsInt(*code, &wire) ||
+      !FromWireValue(wire, &out->code)) {
+    return false;
+  }
+  if (const JsonValue* cache = out->body.Find("cache")) {
+    if (cache->is_string()) {
+      out->has_cache = true;
+      if (cache->string_value() == "hit") {
+        out->cache = CacheOutcome::kHit;
+      } else if (cache->string_value() == "miss") {
+        out->cache = CacheOutcome::kMiss;
+      } else if (cache->string_value() == "bypass") {
+        out->cache = CacheOutcome::kBypass;
+      } else {
+        out->has_cache = false;
+      }
+    }
+  }
+  if (const JsonValue* stats = out->body.Find("stats")) {
+    if (const JsonValue* serve_ms = stats->Find("serve_ms")) {
+      if (serve_ms->is_number()) out->serve_ms = serve_ms->number_value();
+    }
+  }
+  if (const JsonValue* error = out->body.Find("error")) {
+    if (error->is_string()) out->error = error->string_value();
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace urank

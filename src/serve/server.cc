@@ -1,0 +1,380 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/engine/trace.h"
+#include "io/csv.h"
+#include "util/metrics.h"
+
+namespace urank {
+namespace serve {
+
+namespace {
+
+std::uint64_t MonotonicNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double NsToMs(std::uint64_t ns) { return static_cast<double>(ns) * 1e-6; }
+
+// Serve-layer metrics (catalogue in docs/OBSERVABILITY.md; the _us / _count
+// suffixes follow the repo-wide metric-name contract — docs/SERVING.md
+// documents how they map onto the request_ms / queue_depth names used in
+// the design discussion).
+struct ServeMetrics {
+  metrics::Counter& requests =
+      metrics::Registry::Global().counter("urank_serve_requests_total");
+  metrics::Counter& errors =
+      metrics::Registry::Global().counter("urank_serve_errors_total");
+  metrics::Counter& overloaded =
+      metrics::Registry::Global().counter("urank_serve_overloaded_total");
+  metrics::Counter& deadline_expired = metrics::Registry::Global().counter(
+      "urank_serve_deadline_expired_total");
+  metrics::Gauge& queue_depth =
+      metrics::Registry::Global().gauge("urank_serve_queue_depth_count");
+  metrics::Histogram& queue_wait_us =
+      metrics::Registry::Global().histogram("urank_serve_queue_wait_us");
+  metrics::Histogram& query_us =
+      metrics::Registry::Global().histogram("urank_serve_query_us");
+  metrics::Histogram& admin_us =
+      metrics::Registry::Global().histogram("urank_serve_admin_us");
+  metrics::Histogram& metrics_us =
+      metrics::Registry::Global().histogram("urank_serve_metrics_us");
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options), cache_(options.cache_bytes) {
+  workers_.reserve(static_cast<std::size_t>(
+      options_.workers > 0 ? options_.workers : 0));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Server::~Server() { Drain(); }
+
+bool Server::LoadRelation(const std::string& name, WireModel model,
+                          std::istream& in, std::string* error) {
+  RelationEntry entry;
+  entry.model = model;
+  if (model == WireModel::kAttr) {
+    AttrRelation rel;
+    if (!ReadAttrRelation(in, &rel, error)) return false;
+    entry.tuples = rel.size();
+    entry.engine = std::make_shared<QueryEngine>(std::move(rel));
+  } else {
+    TupleRelation rel;
+    if (!ReadTupleRelation(in, &rel, error)) return false;
+    entry.tuples = rel.size();
+    entry.engine = std::make_shared<QueryEngine>(std::move(rel));
+  }
+  RegisterEntry(name, std::move(entry));
+  return true;
+}
+
+bool Server::LoadRelationFile(const std::string& name, WireModel model,
+                              const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  return LoadRelation(name, model, in, error);
+}
+
+void Server::AddRelation(const std::string& name, TupleRelation rel) {
+  RelationEntry entry;
+  entry.model = WireModel::kTuple;
+  entry.tuples = rel.size();
+  entry.engine = std::make_shared<QueryEngine>(std::move(rel));
+  RegisterEntry(name, std::move(entry));
+}
+
+void Server::AddRelation(const std::string& name, AttrRelation rel) {
+  RelationEntry entry;
+  entry.model = WireModel::kAttr;
+  entry.tuples = rel.size();
+  entry.engine = std::make_shared<QueryEngine>(std::move(rel));
+  RegisterEntry(name, std::move(entry));
+}
+
+void Server::RegisterEntry(const std::string& name, RelationEntry entry) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_.find(name);
+  entry.epoch = it == registry_.end() ? 1 : it->second.epoch + 1;
+  registry_[name] = std::move(entry);
+}
+
+std::vector<RelationInfo> Server::Relations() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<RelationInfo> infos;
+  infos.reserve(registry_.size());
+  for (const auto& [name, entry] : registry_) {
+    infos.push_back({name, entry.model, entry.epoch, entry.tuples});
+  }
+  return infos;
+}
+
+std::future<std::string> Server::Submit(std::string line) {
+  URANK_TRACE_SPAN("serve.admit");
+  Metrics().requests.Increment();
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+
+  Job job;
+  if (!ParseRequest(line, &job.request)) {
+    Metrics().errors.Increment();
+    promise.set_value(RenderErrorResponse(
+        job.request.id, QueryStatusCode::kInvalidRequest, job.request.error));
+    return future;
+  }
+
+  // Observability and liveness answer inline — they must keep working
+  // while the queue is full or the server is draining.
+  if (job.request.type == WireRequest::Type::kMetrics) {
+    promise.set_value(HandleMetrics(job.request));
+    return future;
+  }
+  if (job.request.type == WireRequest::Type::kPing) {
+    promise.set_value(RenderPingResponse(job.request.id));
+    return future;
+  }
+  if (job.request.type == WireRequest::Type::kAdminRelations) {
+    promise.set_value(HandleAdminRelations(job.request));
+    return future;
+  }
+
+  job.admit_ns = MonotonicNs();
+  double deadline_ms = 0.0;
+  if (job.request.type == WireRequest::Type::kQuery) {
+    deadline_ms = job.request.query.deadline_ms > 0.0
+                      ? job.request.query.deadline_ms
+                      : options_.default_deadline_ms;
+  }
+  if (deadline_ms > 0.0) {
+    job.deadline_ns =
+        job.admit_ns + static_cast<std::uint64_t>(deadline_ms * 1e6);
+  }
+  job.promise = std::move(promise);
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_ || queue_.size() >= options_.queue_capacity) {
+      Metrics().overloaded.Increment();
+      Metrics().errors.Increment();
+      job.promise.set_value(RenderErrorResponse(
+          job.request.id, QueryStatusCode::kOverloaded,
+          draining_ ? "server is draining" : "admission queue is full"));
+      return future;
+    }
+    queue_.push_back(std::move(job));
+    Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  return Submit(line).get();
+}
+
+void Server::Drain() {
+  {
+    // Idempotent: a repeated Drain re-flips the (already set) flag and
+    // falls through to the joins/leftovers below, both of which are no-ops
+    // the second time.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Leftover jobs (workers == 0, or admitted in the drain race window):
+  // execute them here so every admitted future resolves.
+  for (;;) {
+    Job job;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.empty()) break;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
+    }
+    Execute(std::move(job));
+  }
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and nothing left
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
+    }
+    Execute(std::move(job));
+  }
+}
+
+void Server::Execute(Job&& job) {
+  const std::uint64_t start_ns = MonotonicNs();
+  const std::uint64_t queue_ns =
+      start_ns > job.admit_ns ? start_ns - job.admit_ns : 0;
+  Metrics().queue_wait_us.Record(static_cast<double>(queue_ns) * 1e-3);
+  URANK_TRACE_SPAN_ARG("serve.run", "queue_us", queue_ns / 1000);
+
+  // Deadline check happens here — after the queue wait, before any work.
+  if (job.deadline_ns != 0 && start_ns >= job.deadline_ns) {
+    Metrics().deadline_expired.Increment();
+    Metrics().errors.Increment();
+    job.promise.set_value(RenderErrorResponse(
+        job.request.id, QueryStatusCode::kDeadlineExceeded,
+        "deadline expired after " + std::to_string(NsToMs(queue_ns)) +
+            " ms in queue"));
+    return;
+  }
+
+  std::string response;
+  switch (job.request.type) {
+    case WireRequest::Type::kQuery:
+      response = ExecuteQuery(job.request, job.admit_ns, start_ns);
+      break;
+    case WireRequest::Type::kAdminLoad:
+      response = ExecuteAdminLoad(job.request);
+      break;
+    default:
+      // Inline-handled types never reach the queue.
+      response = RenderErrorResponse(job.request.id,
+                                     QueryStatusCode::kInvalidRequest,
+                                     "internal: unexpected queued type");
+      Metrics().errors.Increment();
+      break;
+  }
+  URANK_TRACE_SPAN("serve.respond");
+  job.promise.set_value(std::move(response));
+}
+
+std::string Server::ExecuteQuery(const WireRequest& request,
+                                 std::uint64_t admit_ns,
+                                 std::uint64_t start_ns) {
+  metrics::ScopedHistogramTimer timer(Metrics().query_us);
+  std::shared_ptr<const QueryEngine> engine;
+  std::uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = registry_.find(request.relation);
+    if (it != registry_.end()) {
+      engine = it->second.engine;
+      epoch = it->second.epoch;
+    }
+  }
+  if (engine == nullptr) {
+    Metrics().errors.Increment();
+    return RenderErrorResponse(request.id, QueryStatusCode::kUnknownRelation,
+                               "unknown relation \"" + request.relation +
+                                   "\" (load it with admin/load)");
+  }
+
+  ServeTimings timings;
+  timings.queue_ms = NsToMs(start_ns - admit_ns);
+
+  const bool use_cache = request.query.cache_mode == CacheMode::kDefault;
+  const ResultCacheKey key =
+      MakeResultCacheKey(request.relation, epoch, request.query.options);
+  if (use_cache) {
+    if (std::shared_ptr<const RankingAnswer> cached = cache_.Get(key)) {
+      QueryStats stats;
+      stats.reused_cache = true;
+      timings.serve_ms = NsToMs(MonotonicNs() - admit_ns);
+      return RenderQueryResponse(request.id, request.relation, epoch,
+                                 CacheOutcome::kHit, *cached, stats, timings);
+    }
+  }
+
+  // Engine execution: no server lock held — long DP sweeps must not block
+  // admission, other queries or the registry.
+  QueryResult result = engine->Run(request.query);
+  if (!result.status.ok()) {
+    Metrics().errors.Increment();
+    return RenderErrorResponse(request.id, result.status.code,
+                               result.status.message);
+  }
+  auto answer =
+      std::make_shared<const RankingAnswer>(std::move(result.answer));
+  if (use_cache) cache_.Put(key, answer);
+  timings.serve_ms = NsToMs(MonotonicNs() - admit_ns);
+  return RenderQueryResponse(request.id, request.relation, epoch,
+                             use_cache ? CacheOutcome::kMiss
+                                       : CacheOutcome::kBypass,
+                             *answer, result.stats, timings);
+}
+
+std::string Server::ExecuteAdminLoad(const WireRequest& request) {
+  metrics::ScopedHistogramTimer timer(Metrics().admin_us);
+  std::string error;
+  bool loaded = false;
+  if (request.has_inline_data) {
+    std::istringstream in(request.inline_data);
+    loaded = LoadRelation(request.name, request.model, in, &error);
+  } else {
+    loaded = LoadRelationFile(request.name, request.model, request.path,
+                              &error);
+  }
+  if (!loaded) {
+    Metrics().errors.Increment();
+    return RenderErrorResponse(request.id, QueryStatusCode::kInvalidRequest,
+                               "admin/load failed: " + error);
+  }
+  std::uint64_t epoch = 0;
+  long long tuples = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    const RelationEntry& entry = registry_[request.name];
+    epoch = entry.epoch;
+    tuples = entry.tuples;
+  }
+  return RenderLoadResponse(request.id, request.name, epoch, tuples);
+}
+
+std::string Server::HandleAdminRelations(const WireRequest& request) {
+  metrics::ScopedHistogramTimer timer(Metrics().admin_us);
+  JsonValue array = JsonValue::MakeArray();
+  for (const RelationInfo& info : Relations()) {
+    JsonValue obj = JsonValue::MakeObject();
+    obj.Set("name", JsonValue::MakeString(info.name));
+    obj.Set("model", JsonValue::MakeString(ToString(info.model)));
+    obj.Set("epoch",
+            JsonValue::MakeNumber(static_cast<double>(info.epoch)));
+    obj.Set("tuples",
+            JsonValue::MakeNumber(static_cast<double>(info.tuples)));
+    array.Append(std::move(obj));
+  }
+  return RenderRelationsResponse(request.id, std::move(array));
+}
+
+std::string Server::HandleMetrics(const WireRequest& request) {
+  metrics::ScopedHistogramTimer timer(Metrics().metrics_us);
+  return RenderMetricsResponse(request.id,
+                               metrics::Registry::Global().RenderPrometheus());
+}
+
+}  // namespace serve
+}  // namespace urank

@@ -2,6 +2,10 @@
 
 #include <vector>
 
+// This suite is the coverage for the deprecated RunRankingQuery facade
+// itself; using it here is the point.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #include "core/expected_rank_attr.h"
 #include "core/expected_rank_tuple.h"
 #include "core/quantile_rank.h"

@@ -1,0 +1,151 @@
+// Parser/writer tests for the wire-protocol JSON layer (serve/json.h):
+// round-trips, the deterministic number format, escape handling, and the
+// strictness/robustness guarantees (depth cap, trailing garbage, no
+// aborts on malformed input).
+
+#include "serve/json.h"
+
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace urank {
+namespace serve {
+namespace {
+
+JsonValue ParseOk(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, &value, &error)) << text << ": " << error;
+  return value;
+}
+
+std::string ParseError(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(ParseJson(text, &value, &error)) << text;
+  return error;
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(ParseOk("null").is_null());
+  EXPECT_TRUE(ParseOk("true").bool_value());
+  EXPECT_FALSE(ParseOk("false").bool_value());
+  EXPECT_DOUBLE_EQ(ParseOk("42").number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseOk("-0.5").number_value(), -0.5);
+  EXPECT_DOUBLE_EQ(ParseOk("1e-9").number_value(), 1e-9);
+  EXPECT_DOUBLE_EQ(ParseOk("2.5E3").number_value(), 2500.0);
+  EXPECT_EQ(ParseOk("\"hi\"").string_value(), "hi");
+}
+
+TEST(JsonParse, Containers) {
+  const JsonValue array = ParseOk(" [1, \"two\", [3], {\"a\": null}] ");
+  ASSERT_TRUE(array.is_array());
+  ASSERT_EQ(array.array_items().size(), 4u);
+  EXPECT_DOUBLE_EQ(array.array_items()[0].number_value(), 1.0);
+  EXPECT_EQ(array.array_items()[1].string_value(), "two");
+  EXPECT_TRUE(array.array_items()[2].is_array());
+  EXPECT_TRUE(array.array_items()[3].Find("a")->is_null());
+
+  const JsonValue object = ParseOk("{\"k\":10,\"phi\":0.5}");
+  ASSERT_TRUE(object.is_object());
+  EXPECT_DOUBLE_EQ(object.Find("k")->number_value(), 10.0);
+  EXPECT_DOUBLE_EQ(object.Find("phi")->number_value(), 0.5);
+  EXPECT_EQ(object.Find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(ParseOk("\"a\\\"b\\\\c\\/d\"").string_value(), "a\"b\\c/d");
+  EXPECT_EQ(ParseOk("\"\\n\\t\\r\\b\\f\"").string_value(), "\n\t\r\b\f");
+  EXPECT_EQ(ParseOk("\"\\u0041\"").string_value(), "A");
+  // Two-byte and three-byte UTF-8.
+  EXPECT_EQ(ParseOk("\"\\u00e9\"").string_value(), "\xc3\xa9");
+  EXPECT_EQ(ParseOk("\"\\u20ac\"").string_value(), "\xe2\x82\xac");
+  // Surrogate pair -> four-byte UTF-8 (U+1F600).
+  EXPECT_EQ(ParseOk("\"\\ud83d\\ude00\"").string_value(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, MalformedInputsReportErrorsWithoutAborting) {
+  EXPECT_NE(ParseError(""), "");
+  EXPECT_NE(ParseError("{"), "");
+  EXPECT_NE(ParseError("[1,]"), "");
+  EXPECT_NE(ParseError("{\"a\" 1}"), "");
+  EXPECT_NE(ParseError("{a: 1}"), "");
+  EXPECT_NE(ParseError("\"unterminated"), "");
+  EXPECT_NE(ParseError("nul"), "");
+  EXPECT_NE(ParseError("1 2"), "");       // trailing garbage
+  EXPECT_NE(ParseError("NaN"), "");       // not a JSON literal
+  EXPECT_NE(ParseError("Infinity"), "");
+  EXPECT_NE(ParseError("01"), "");        // leading zero
+  EXPECT_NE(ParseError("\"\\ud83d\""), "");  // lone surrogate
+  EXPECT_NE(ParseError("\x01"), "");
+}
+
+TEST(JsonParse, DepthCapRejectsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < kMaxJsonDepth + 1; ++i) deep += "[";
+  for (int i = 0; i < kMaxJsonDepth + 1; ++i) deep += "]";
+  EXPECT_NE(ParseError(deep), "");
+
+  std::string at_limit;
+  for (int i = 0; i < kMaxJsonDepth; ++i) at_limit += "[";
+  for (int i = 0; i < kMaxJsonDepth; ++i) at_limit += "]";
+  ParseOk(at_limit);
+}
+
+TEST(JsonWrite, DeterministicCompactRendering) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("v", JsonValue::MakeNumber(1));
+  obj.Set("name", JsonValue::MakeString("a\"b\n"));
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue::MakeNumber(0.5));
+  arr.Append(JsonValue::MakeBool(true));
+  arr.Append(JsonValue());
+  obj.Set("items", arr);
+  EXPECT_EQ(WriteJson(obj),
+            "{\"v\":1,\"name\":\"a\\\"b\\n\",\"items\":[0.5,true,null]}");
+}
+
+TEST(JsonWrite, NumberFormat) {
+  std::string out;
+  AppendJsonNumber(42.0, &out);
+  EXPECT_EQ(out, "42");  // integral doubles print without ".0"
+  out.clear();
+  AppendJsonNumber(-3.0, &out);
+  EXPECT_EQ(out, "-3");
+  out.clear();
+  AppendJsonNumber(9007199254740992.0, &out);  // 2^53: still integral
+  EXPECT_EQ(out, "9007199254740992");
+  out.clear();
+  AppendJsonNumber(0.1, &out);
+  EXPECT_EQ(out, "0.1");  // shortest round-trip, not 0.10000000000000001
+  // Non-finite values have no JSON representation; the writer emits null
+  // rather than producing an unparseable document.
+  out.clear();
+  AppendJsonNumber(std::numeric_limits<double>::quiet_NaN(), &out);
+  EXPECT_EQ(out, "null");
+  out.clear();
+  AppendJsonNumber(std::numeric_limits<double>::infinity(), &out);
+  EXPECT_EQ(out, "null");
+}
+
+TEST(JsonWrite, ControlCharactersEscaped) {
+  std::string out;
+  AppendJsonEscaped(std::string("\x01\x1f", 2), &out);
+  EXPECT_EQ(out, "\"\\u0001\\u001f\"");
+}
+
+TEST(JsonRoundTrip, ParseOfWriteIsIdentity) {
+  const std::string text =
+      "{\"a\":[1,2.5,\"x\",null,true],\"b\":{\"c\":-0.125}}";
+  const JsonValue value = ParseOk(text);
+  EXPECT_EQ(WriteJson(value), text);
+  // And the rendering is stable under a second round-trip.
+  EXPECT_EQ(WriteJson(ParseOk(WriteJson(value))), text);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace urank

@@ -1,0 +1,256 @@
+// Wire-protocol tests (serve/protocol.h): the QueryStatusCode stability
+// contract (name and numeric wire value round-trip for every member),
+// request parsing across all five types, QueryRequest <-> JSON
+// round-trips, and response rendering/parsing.
+
+#include "serve/protocol.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "serve/json.h"
+
+namespace urank {
+namespace serve {
+namespace {
+
+// The satellite-2 acceptance gate: every status code must round-trip
+// through both its stable name and its stable numeric wire value, and the
+// wire values must be dense in [0, kQueryStatusCodeCount).
+TEST(StatusCodeWire, EveryCodeRoundTripsThroughNameAndValue) {
+  for (int v = 0; v < kQueryStatusCodeCount; ++v) {
+    QueryStatusCode code;
+    ASSERT_TRUE(FromWireValue(v, &code)) << "wire value " << v;
+    EXPECT_EQ(WireValue(code), v);
+
+    const char* name = ToString(code);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "wire value " << v << " has no name";
+
+    QueryStatusCode from_name;
+    ASSERT_TRUE(FromString(name, &from_name)) << name;
+    EXPECT_EQ(from_name, code);
+  }
+}
+
+TEST(StatusCodeWire, RejectsUnknownValuesAndNames) {
+  QueryStatusCode code = QueryStatusCode::kOk;
+  EXPECT_FALSE(FromWireValue(-1, &code));
+  EXPECT_FALSE(FromWireValue(kQueryStatusCodeCount, &code));
+  EXPECT_FALSE(FromString("not-a-status", &code));
+  EXPECT_FALSE(FromString("", &code));
+  EXPECT_EQ(code, QueryStatusCode::kOk);  // untouched on failure
+}
+
+// The serve-layer codes' numeric values are part of the protocol; freeze
+// them explicitly so a renumbering shows up as a test diff, not a silent
+// client break.
+TEST(StatusCodeWire, FrozenAssignments) {
+  EXPECT_EQ(WireValue(QueryStatusCode::kOk), 0);
+  EXPECT_EQ(WireValue(QueryStatusCode::kInvalidRequest), 5);
+  EXPECT_EQ(WireValue(QueryStatusCode::kUnknownRelation), 6);
+  EXPECT_EQ(WireValue(QueryStatusCode::kOverloaded), 7);
+  EXPECT_EQ(WireValue(QueryStatusCode::kDeadlineExceeded), 8);
+  EXPECT_STREQ(ToString(QueryStatusCode::kOverloaded), "overloaded");
+  EXPECT_STREQ(ToString(QueryStatusCode::kDeadlineExceeded),
+               "deadline-exceeded");
+}
+
+TEST(SemanticsWire, AllEightNamesRoundTrip) {
+  const RankingSemantics all[] = {
+      RankingSemantics::kExpectedRank, RankingSemantics::kMedianRank,
+      RankingSemantics::kQuantileRank, RankingSemantics::kUTopk,
+      RankingSemantics::kUKRanks,      RankingSemantics::kPTk,
+      RankingSemantics::kGlobalTopk,   RankingSemantics::kExpectedScore,
+  };
+  for (RankingSemantics semantics : all) {
+    RankingSemantics out;
+    ASSERT_TRUE(FromString(ToString(semantics), &out));
+    EXPECT_EQ(out, semantics);
+  }
+  RankingSemantics out;
+  EXPECT_FALSE(FromString("expected_rank", &out));  // underscores are not
+                                                    // the wire spelling
+}
+
+TEST(TiePolicyWire, NamesRoundTrip) {
+  TiePolicy out;
+  ASSERT_TRUE(FromString(ToString(TiePolicy::kStrictGreater), &out));
+  EXPECT_EQ(out, TiePolicy::kStrictGreater);
+  ASSERT_TRUE(FromString(ToString(TiePolicy::kBreakByIndex), &out));
+  EXPECT_EQ(out, TiePolicy::kBreakByIndex);
+  EXPECT_FALSE(FromString("coin-flip", &out));
+}
+
+TEST(ParseRequest, QueryWithEveryField) {
+  WireRequest request;
+  ASSERT_TRUE(ParseRequest(
+      R"({"v":1,"type":"query","id":7,"relation":"r","semantics":"pt-k",)"
+      R"("k":20,"threshold":0.25,"ties":"strict-greater",)"
+      R"("deadline_ms":50,"cache":"bypass","threads":4})",
+      &request));
+  EXPECT_EQ(request.type, WireRequest::Type::kQuery);
+  EXPECT_EQ(request.relation, "r");
+  EXPECT_EQ(request.query.options.semantics, RankingSemantics::kPTk);
+  EXPECT_EQ(request.query.options.k, 20);
+  EXPECT_DOUBLE_EQ(request.query.options.threshold, 0.25);
+  EXPECT_EQ(request.query.options.ties, TiePolicy::kStrictGreater);
+  EXPECT_DOUBLE_EQ(request.query.deadline_ms, 50.0);
+  EXPECT_EQ(request.query.cache_mode, CacheMode::kBypass);
+  EXPECT_EQ(request.query.parallelism.threads, 4);
+  EXPECT_DOUBLE_EQ(request.id.number_value(), 7.0);
+}
+
+TEST(ParseRequest, QueryDefaults) {
+  WireRequest request;
+  ASSERT_TRUE(ParseRequest(
+      R"({"v":1,"type":"query","relation":"r","semantics":"expected-rank"})",
+      &request));
+  EXPECT_EQ(request.query.options.k, 10);
+  EXPECT_EQ(request.query.options.ties, TiePolicy::kBreakByIndex);
+  EXPECT_DOUBLE_EQ(request.query.deadline_ms, 0.0);
+  EXPECT_EQ(request.query.cache_mode, CacheMode::kDefault);
+  EXPECT_EQ(request.query.parallelism.threads, 1);
+  EXPECT_TRUE(request.id.is_null());
+}
+
+TEST(ParseRequest, RejectionsCarryReasonAndRecoveredId) {
+  struct Case {
+    const char* line;
+    const char* reason_fragment;
+  };
+  const Case cases[] = {
+      {"not json at all", "malformed JSON"},
+      {"[1,2,3]", "must be a JSON object"},
+      {R"({"type":"query","id":3})", "\"v\":1"},
+      {R"({"v":2,"type":"query","id":3})", "\"v\":1"},
+      {R"({"v":1,"id":3})", "\"type\""},
+      {R"({"v":1,"type":"mystery","id":3})", "unknown request type"},
+      {R"({"v":1,"type":"query","id":3,"semantics":"expected-rank"})",
+       "relation"},
+      {R"({"v":1,"type":"query","id":3,"relation":"r"})", "semantics"},
+      {R"({"v":1,"type":"query","id":3,"relation":"r",)"
+       R"("semantics":"sideways-rank"})",
+       "unknown semantics"},
+      {R"({"v":1,"type":"query","id":3,"relation":"r",)"
+       R"("semantics":"expected-rank","k":2.5})",
+       "integer"},
+      {R"({"v":1,"type":"admin/load","id":3,"name":"x","model":"tuple"})",
+       "path"},
+      {R"({"v":1,"type":"admin/load","id":3,"name":"x","model":"tuple",)"
+       R"("path":"a","data":"b"})",
+       "exactly one"},
+      {R"({"v":1,"type":"admin/load","id":3,"name":"x","model":"csv",)"
+       R"("path":"a"})",
+       "model"},
+  };
+  for (const Case& c : cases) {
+    WireRequest request;
+    EXPECT_FALSE(ParseRequest(c.line, &request)) << c.line;
+    EXPECT_EQ(request.type, WireRequest::Type::kInvalid);
+    EXPECT_NE(request.error.find(c.reason_fragment), std::string::npos)
+        << c.line << " -> " << request.error;
+  }
+  // The id is recovered from structurally-valid-but-rejected requests.
+  WireRequest request;
+  EXPECT_FALSE(ParseRequest(R"({"v":2,"type":"query","id":42})", &request));
+  EXPECT_DOUBLE_EQ(request.id.number_value(), 42.0);
+}
+
+TEST(ParseRequest, NonQueryTypes) {
+  WireRequest request;
+  ASSERT_TRUE(ParseRequest(R"({"v":1,"type":"ping","id":"p1"})", &request));
+  EXPECT_EQ(request.type, WireRequest::Type::kPing);
+  EXPECT_EQ(request.id.string_value(), "p1");
+
+  ASSERT_TRUE(ParseRequest(R"({"v":1,"type":"metrics"})", &request));
+  EXPECT_EQ(request.type, WireRequest::Type::kMetrics);
+
+  ASSERT_TRUE(ParseRequest(R"({"v":1,"type":"admin/relations"})", &request));
+  EXPECT_EQ(request.type, WireRequest::Type::kAdminRelations);
+
+  ASSERT_TRUE(ParseRequest(
+      R"({"v":1,"type":"admin/load","name":"n","model":"attr",)"
+      R"("data":"1,5:1.0"})",
+      &request));
+  EXPECT_EQ(request.type, WireRequest::Type::kAdminLoad);
+  EXPECT_EQ(request.name, "n");
+  EXPECT_EQ(request.model, WireModel::kAttr);
+  EXPECT_TRUE(request.has_inline_data);
+  EXPECT_EQ(request.inline_data, "1,5:1.0");
+}
+
+TEST(QueryRequestJson, RoundTripsThroughSerialization) {
+  QueryRequest original;
+  original.options.semantics = RankingSemantics::kQuantileRank;
+  original.options.k = 25;
+  original.options.phi = 0.75;
+  original.options.ties = TiePolicy::kStrictGreater;
+  original.deadline_ms = 12.5;
+  original.cache_mode = CacheMode::kBypass;
+  original.parallelism.threads = 8;
+
+  JsonValue obj = JsonValue::MakeObject();
+  QueryRequestToJson("rel", original, &obj);
+  std::string relation;
+  QueryRequest decoded;
+  std::string error;
+  ASSERT_TRUE(QueryRequestFromJson(obj, &relation, &decoded, &error))
+      << error;
+  EXPECT_EQ(relation, "rel");
+  EXPECT_EQ(decoded.options.semantics, original.options.semantics);
+  EXPECT_EQ(decoded.options.k, original.options.k);
+  EXPECT_DOUBLE_EQ(decoded.options.phi, original.options.phi);
+  EXPECT_EQ(decoded.options.ties, original.options.ties);
+  EXPECT_DOUBLE_EQ(decoded.deadline_ms, original.deadline_ms);
+  EXPECT_EQ(decoded.cache_mode, original.cache_mode);
+  EXPECT_EQ(decoded.parallelism.threads, original.parallelism.threads);
+}
+
+TEST(Responses, QueryResponseRendersAndParses) {
+  RankingAnswer answer;
+  answer.ids = {3, 1, 2};
+  answer.statistics = {0.5, 1.25, 2.0};
+  QueryStats stats;
+  stats.wall_ms = 1.5;
+  ServeTimings timings;
+  timings.serve_ms = 2.0;
+  timings.queue_ms = 0.25;
+  const std::string line =
+      RenderQueryResponse(JsonValue::MakeNumber(9), "rel", 3,
+                          CacheOutcome::kMiss, answer, stats, timings);
+
+  ParsedResponse response;
+  ASSERT_TRUE(ParseResponse(line, &response)) << line;
+  EXPECT_EQ(response.code, QueryStatusCode::kOk);
+  ASSERT_TRUE(response.has_cache);
+  EXPECT_EQ(response.cache, CacheOutcome::kMiss);
+  EXPECT_DOUBLE_EQ(response.serve_ms, 2.0);
+  ASSERT_NE(response.body.Find("ids"), nullptr);
+  EXPECT_EQ(response.body.Find("ids")->array_items().size(), 3u);
+  EXPECT_DOUBLE_EQ(response.body.Find("epoch")->number_value(), 3.0);
+}
+
+TEST(Responses, ErrorResponseCarriesStableStatusAndMessage) {
+  const std::string line = RenderErrorResponse(
+      JsonValue(), QueryStatusCode::kOverloaded, "queue full");
+  ParsedResponse response;
+  ASSERT_TRUE(ParseResponse(line, &response));
+  EXPECT_EQ(response.code, QueryStatusCode::kOverloaded);
+  EXPECT_EQ(response.error, "queue full");
+  EXPECT_EQ(response.body.Find("status")->string_value(), "overloaded");
+  EXPECT_DOUBLE_EQ(response.body.Find("code")->number_value(), 7.0);
+  EXPECT_TRUE(response.body.Find("id")->is_null());
+}
+
+TEST(Responses, MalformedLinesAreRejected) {
+  ParsedResponse response;
+  EXPECT_FALSE(ParseResponse("", &response));
+  EXPECT_FALSE(ParseResponse("[]", &response));
+  EXPECT_FALSE(ParseResponse("{\"v\":1}", &response));          // no code
+  EXPECT_FALSE(ParseResponse("{\"code\":99}", &response));      // bad code
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace urank

@@ -1,0 +1,323 @@
+// End-to-end tests of the urankd server core (serve/server.h) and the
+// TCP transport: request handling against a live engine, result-cache
+// hit/miss/bypass behavior through the wire surface, epoch bumping on
+// reload, deterministic overload shedding and deadline expiry (workers ==
+// 0 keeps every job queued until Drain), graceful-drain semantics, and a
+// loopback TCP round trip.
+
+#include "serve/server.h"
+
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/tuple_gen.h"
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/tcp.h"
+
+namespace urank {
+namespace serve {
+namespace {
+
+TupleRelation SmallRelation() {
+  return TupleRelation::Independent({
+      {1, 100.0, 0.9},
+      {2, 90.0, 0.8},
+      {3, 80.0, 0.5},
+      {4, 70.0, 0.5},
+      {5, 60.0, 0.3},
+  });
+}
+
+ServerOptions InlineOptions() {
+  ServerOptions options;
+  options.workers = 1;
+  return options;
+}
+
+ParsedResponse Call(Server* server, const std::string& line) {
+  ParsedResponse response;
+  const std::string response_line = server->HandleLine(line);
+  EXPECT_TRUE(ParseResponse(response_line, &response)) << response_line;
+  return response;
+}
+
+constexpr char kQueryLine[] =
+    R"({"v":1,"type":"query","id":1,"relation":"rel",)"
+    R"("semantics":"expected-rank","k":3})";
+
+TEST(Server, AnswersMatchADirectEngineRun) {
+  Server server(InlineOptions());
+  server.AddRelation("rel", SmallRelation());
+
+  const ParsedResponse response = Call(&server, kQueryLine);
+  ASSERT_EQ(response.code, QueryStatusCode::kOk);
+
+  QueryEngine engine(SmallRelation());
+  QueryRequest request;
+  request.options.k = 3;
+  const QueryResult direct = engine.Run(request);
+  ASSERT_TRUE(direct.status.ok());
+
+  const JsonValue* ids = response.body.Find("ids");
+  ASSERT_NE(ids, nullptr);
+  ASSERT_EQ(ids->array_items().size(), direct.answer.ids.size());
+  for (std::size_t i = 0; i < direct.answer.ids.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ids->array_items()[i].number_value(),
+                     direct.answer.ids[i]);
+  }
+  const JsonValue* statistics = response.body.Find("statistics");
+  ASSERT_NE(statistics, nullptr);
+  for (std::size_t i = 0; i < direct.answer.statistics.size(); ++i) {
+    EXPECT_DOUBLE_EQ(statistics->array_items()[i].number_value(),
+                     direct.answer.statistics[i]);
+  }
+}
+
+TEST(Server, CacheHitMissBypassThroughTheWireSurface) {
+  Server server(InlineOptions());
+  server.AddRelation("rel", SmallRelation());
+
+  // First run computes, second hits.
+  EXPECT_EQ(Call(&server, kQueryLine).cache, CacheOutcome::kMiss);
+  EXPECT_EQ(Call(&server, kQueryLine).cache, CacheOutcome::kHit);
+
+  // Bypass performs neither lookup (a hot entry exists and is ignored)
+  // nor insert (shown below for a fresh key).
+  const std::string bypass_line =
+      R"({"v":1,"type":"query","id":2,"relation":"rel",)"
+      R"("semantics":"expected-rank","k":3,"cache":"bypass"})";
+  const ResultCacheStats before = server.result_cache().stats();
+  EXPECT_EQ(Call(&server, bypass_line).cache, CacheOutcome::kBypass);
+  const ResultCacheStats after = server.result_cache().stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.insertions, before.insertions);
+
+  // A bypass run of a NEW query must not seed the cache: the following
+  // default-mode run still misses.
+  const std::string fresh_bypass =
+      R"({"v":1,"type":"query","id":3,"relation":"rel",)"
+      R"("semantics":"expected-rank","k":2,"cache":"bypass"})";
+  const std::string fresh_default =
+      R"({"v":1,"type":"query","id":4,"relation":"rel",)"
+      R"("semantics":"expected-rank","k":2})";
+  EXPECT_EQ(Call(&server, fresh_bypass).cache, CacheOutcome::kBypass);
+  EXPECT_EQ(Call(&server, fresh_default).cache, CacheOutcome::kMiss);
+  EXPECT_EQ(Call(&server, fresh_default).cache, CacheOutcome::kHit);
+}
+
+TEST(Server, ReloadBumpsEpochAndInvalidatesCachedResults) {
+  Server server(InlineOptions());
+  server.AddRelation("rel", SmallRelation());
+  ParsedResponse response = Call(&server, kQueryLine);
+  EXPECT_DOUBLE_EQ(response.body.Find("epoch")->number_value(), 1.0);
+  EXPECT_EQ(Call(&server, kQueryLine).cache, CacheOutcome::kHit);
+
+  // Reload under the same name: epoch 2, and the hot entry is unreachable.
+  server.AddRelation("rel", SmallRelation());
+  response = Call(&server, kQueryLine);
+  EXPECT_DOUBLE_EQ(response.body.Find("epoch")->number_value(), 2.0);
+  EXPECT_EQ(response.cache, CacheOutcome::kMiss);
+}
+
+TEST(Server, AdminLoadFromInlineDataAndRelationListing) {
+  Server server(InlineOptions());
+  const ParsedResponse load = Call(
+      &server,
+      R"({"v":1,"type":"admin/load","id":1,"name":"demo","model":"tuple",)"
+      R"("data":"1,10,0.5,-1\n2,9,0.4,-1\n"})");
+  ASSERT_EQ(load.code, QueryStatusCode::kOk);
+  EXPECT_DOUBLE_EQ(load.body.Find("tuples")->number_value(), 2.0);
+  EXPECT_DOUBLE_EQ(load.body.Find("epoch")->number_value(), 1.0);
+
+  const ParsedResponse listing =
+      Call(&server, R"({"v":1,"type":"admin/relations","id":2})");
+  ASSERT_EQ(listing.code, QueryStatusCode::kOk);
+  const JsonValue* relations = listing.body.Find("relations");
+  ASSERT_NE(relations, nullptr);
+  ASSERT_EQ(relations->array_items().size(), 1u);
+  EXPECT_EQ(relations->array_items()[0].Find("name")->string_value(), "demo");
+
+  // Malformed CSV is a recoverable kInvalidRequest, not a crash, and the
+  // registry is untouched.
+  const ParsedResponse bad = Call(
+      &server,
+      R"({"v":1,"type":"admin/load","id":3,"name":"bad","model":"tuple",)"
+      R"("data":"1,10,notaprob,-1\n"})");
+  EXPECT_EQ(bad.code, QueryStatusCode::kInvalidRequest);
+  EXPECT_EQ(Call(&server, R"({"v":1,"type":"admin/relations","id":4})")
+                .body.Find("relations")
+                ->array_items()
+                .size(),
+            1u);
+}
+
+TEST(Server, ErrorTaxonomyFlowsThroughTheWire) {
+  Server server(InlineOptions());
+  server.AddRelation("rel", SmallRelation());
+
+  EXPECT_EQ(Call(&server, "not json").code, QueryStatusCode::kInvalidRequest);
+  EXPECT_EQ(Call(&server,
+                 R"({"v":1,"type":"query","id":1,"relation":"ghost",)"
+                 R"("semantics":"expected-rank","k":3})")
+                .code,
+            QueryStatusCode::kUnknownRelation);
+  // Engine-level validation: k = 0 surfaces the engine's own status code.
+  EXPECT_EQ(Call(&server,
+                 R"({"v":1,"type":"query","id":2,"relation":"rel",)"
+                 R"("semantics":"expected-rank","k":0})")
+                .code,
+            QueryStatusCode::kInvalidK);
+}
+
+TEST(Server, OverloadShedsDeterministicallyWhenQueueIsFull) {
+  ServerOptions options;
+  options.workers = 0;  // nothing executes until Drain
+  options.queue_capacity = 2;
+  Server server(options);
+  server.AddRelation("rel", SmallRelation());
+
+  std::vector<std::future<std::string>> admitted;
+  admitted.push_back(server.Submit(kQueryLine));
+  admitted.push_back(server.Submit(kQueryLine));
+  // Queue is now at capacity: the third query is shed immediately.
+  std::future<std::string> shed = server.Submit(kQueryLine);
+  ParsedResponse response;
+  ASSERT_TRUE(ParseResponse(shed.get(), &response));
+  EXPECT_EQ(response.code, QueryStatusCode::kOverloaded);
+
+  // Observability still answers inline while the queue is full.
+  std::future<std::string> ping =
+      server.Submit(R"({"v":1,"type":"ping","id":9})");
+  ASSERT_TRUE(ParseResponse(ping.get(), &response));
+  EXPECT_EQ(response.code, QueryStatusCode::kOk);
+  std::future<std::string> metrics =
+      server.Submit(R"({"v":1,"type":"metrics","id":10})");
+  ASSERT_TRUE(ParseResponse(metrics.get(), &response));
+  EXPECT_EQ(response.code, QueryStatusCode::kOk);
+  EXPECT_NE(response.body.Find("body")->string_value().find(
+                "urank_serve_requests_total"),
+            std::string::npos);
+
+  // Drain executes what was admitted: both queued queries complete.
+  server.Drain();
+  for (std::future<std::string>& f : admitted) {
+    ASSERT_TRUE(ParseResponse(f.get(), &response));
+    EXPECT_EQ(response.code, QueryStatusCode::kOk);
+  }
+}
+
+TEST(Server, ExpiredDeadlineShedsAtDequeueWithoutRunning) {
+  ServerOptions options;
+  options.workers = 0;
+  Server server(options);
+  server.AddRelation("rel", SmallRelation());
+
+  // 1 nanosecond of budget: guaranteed expired by the time Drain dequeues
+  // it, with no sleeps — the transcript stays deterministic.
+  std::future<std::string> expired = server.Submit(
+      R"({"v":1,"type":"query","id":1,"relation":"rel",)"
+      R"("semantics":"expected-rank","k":3,"deadline_ms":1e-9})");
+  std::future<std::string> unbounded = server.Submit(kQueryLine);
+  server.Drain();
+
+  ParsedResponse response;
+  ASSERT_TRUE(ParseResponse(expired.get(), &response));
+  EXPECT_EQ(response.code, QueryStatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(ParseResponse(unbounded.get(), &response));
+  EXPECT_EQ(response.code, QueryStatusCode::kOk);
+}
+
+TEST(Server, DefaultDeadlineAppliesWhenRequestCarriesNone) {
+  ServerOptions options;
+  options.workers = 0;
+  options.default_deadline_ms = 1e-9;
+  Server server(options);
+  server.AddRelation("rel", SmallRelation());
+
+  std::future<std::string> expired = server.Submit(kQueryLine);
+  server.Drain();
+  ParsedResponse response;
+  ASSERT_TRUE(ParseResponse(expired.get(), &response));
+  EXPECT_EQ(response.code, QueryStatusCode::kDeadlineExceeded);
+}
+
+TEST(Server, DrainIsIdempotentAndPostDrainSubmitsAreShed) {
+  Server server(InlineOptions());
+  server.AddRelation("rel", SmallRelation());
+  EXPECT_EQ(Call(&server, kQueryLine).code, QueryStatusCode::kOk);
+
+  server.Drain();
+  server.Drain();  // must not hang or double-join
+
+  ParsedResponse response;
+  ASSERT_TRUE(ParseResponse(server.Submit(kQueryLine).get(), &response));
+  EXPECT_EQ(response.code, QueryStatusCode::kOverloaded);
+  // Inline-handled types still answer after drain.
+  ASSERT_TRUE(ParseResponse(
+      server.Submit(R"({"v":1,"type":"ping","id":1})").get(), &response));
+  EXPECT_EQ(response.code, QueryStatusCode::kOk);
+}
+
+TEST(Server, ConcurrentSubmissionsAllResolve) {
+  ServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 1024;
+  Server server(options);
+  TupleGenConfig config;
+  config.num_tuples = 500;
+  config.seed = 11;
+  server.AddRelation("rel", GenerateTupleRelation(config));
+
+  std::vector<std::future<std::string>> futures;
+  futures.reserve(64);
+  for (int i = 0; i < 64; ++i) futures.push_back(server.Submit(kQueryLine));
+  int ok = 0;
+  for (std::future<std::string>& f : futures) {
+    ParsedResponse response;
+    ASSERT_TRUE(ParseResponse(f.get(), &response));
+    if (response.code == QueryStatusCode::kOk) ++ok;
+  }
+  EXPECT_EQ(ok, 64);
+}
+
+TEST(TcpTransport, LoopbackRoundTripAndShutdown) {
+  Server server(InlineOptions());
+  server.AddRelation("rel", SmallRelation());
+  TcpServer transport(&server);
+  std::string error;
+  ASSERT_TRUE(transport.Start(0, &error)) << error;
+  ASSERT_GT(transport.port(), 0);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", transport.port(), &error)) << error;
+  std::string response_line;
+  ASSERT_TRUE(client.Call(R"({"v":1,"type":"ping","id":1})", &response_line));
+  ParsedResponse response;
+  ASSERT_TRUE(ParseResponse(response_line, &response));
+  EXPECT_EQ(response.code, QueryStatusCode::kOk);
+
+  ASSERT_TRUE(client.Call(kQueryLine, &response_line));
+  ASSERT_TRUE(ParseResponse(response_line, &response));
+  EXPECT_EQ(response.code, QueryStatusCode::kOk);
+  EXPECT_EQ(response.body.Find("relation")->string_value(), "rel");
+
+  // Two clients on one server: the second sees the first's cache entry.
+  Client second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", transport.port(), &error)) << error;
+  ASSERT_TRUE(second.Call(kQueryLine, &response_line));
+  ASSERT_TRUE(ParseResponse(response_line, &response));
+  EXPECT_EQ(response.cache, CacheOutcome::kHit);
+
+  transport.Shutdown();
+  transport.Shutdown();  // idempotent
+  // After shutdown the connection is gone.
+  EXPECT_FALSE(client.Call(kQueryLine, &response_line));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace urank

@@ -55,9 +55,9 @@ import sys
 import tempfile
 import time
 
-BENCH_ID = "BENCH_5"
-TITLE = ("Observability layer: metrics registry, trace spans and the CI "
-         "perf-regression gate")
+BENCH_ID = "BENCH_6"
+TITLE = ("urankd serving layer: admission control, deadlines and the "
+         "epoch-keyed result cache under load")
 
 # A matched series must not be slower than baseline by more than this.
 REGRESSION_TOLERANCE = 0.10
@@ -82,6 +82,8 @@ class Bench:
 
 
 REGISTRY = [
+    Bench("serve", "bench_serve", "json_harness",
+          smoke=True, smoke_args=["--smoke"]),
     Bench("parallel_kernels", "bench_parallel_kernels", "json_harness",
           smoke=True, smoke_args=["--smoke"]),
     Bench("engine_batch", "bench_engine_batch", "json_harness",

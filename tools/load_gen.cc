@@ -1,0 +1,125 @@
+// load_gen: workload driver for a running urankd (docs/SERVING.md).
+//
+// Closed loop (the default) or open loop (--qps=N), mixed-semantics or
+// repeated-query workloads, any number of connections — the loops
+// themselves live in src/serve/loadgen.h so bench/bench_serve.cc can run
+// them in-process.
+//
+// Usage:
+//   load_gen --port=N [--host=IP] [--relation=NAME]
+//            [--connections=N] [--duration-s=X] [--qps=X]
+//            [--workload=mixed|repeat] [--bypass-cache]
+//            [--deadline-ms=X] [--k=N] [--seed=N] [--json]
+//
+// Exit status: 0 when the run completed and at least one request got an
+// ok response; 1 otherwise (so a CI step fails when the daemon is
+// unreachable or sheds everything).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/loadgen.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port=N [--host=IP] [--relation=NAME] [--connections=N] "
+      "[--duration-s=X] [--qps=X] [--workload=mixed|repeat] "
+      "[--bypass-cache] [--deadline-ms=X] [--k=N] [--seed=N] [--json]\n",
+      argv0);
+  return 2;
+}
+
+void PrintSummary(const char* label, const urank::serve::LatencySummary& s) {
+  std::printf("%s: mean %.3f ms, p50 %.3f, p90 %.3f, p99 %.3f, max %.3f\n",
+              label, s.mean_ms, s.p50_ms, s.p90_ms, s.p99_ms, s.max_ms);
+}
+
+void PrintJsonSummary(const char* key, const urank::serve::LatencySummary& s,
+                      const char* trailer) {
+  std::printf(
+      "  \"%s\": {\"mean_ms\": %.4f, \"p50_ms\": %.4f, \"p90_ms\": %.4f, "
+      "\"p99_ms\": %.4f, \"max_ms\": %.4f}%s\n",
+      key, s.mean_ms, s.p50_ms, s.p90_ms, s.p99_ms, s.max_ms, trailer);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  urank::serve::LoadGenOptions options;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      options.port = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--host=", 0) == 0) {
+      options.host = arg.substr(7);
+    } else if (arg.rfind("--relation=", 0) == 0) {
+      options.relation = arg.substr(11);
+    } else if (arg.rfind("--connections=", 0) == 0) {
+      options.connections = std::atoi(arg.c_str() + 14);
+    } else if (arg.rfind("--duration-s=", 0) == 0) {
+      options.duration_s = std::atof(arg.c_str() + 13);
+    } else if (arg.rfind("--qps=", 0) == 0) {
+      options.target_qps = std::atof(arg.c_str() + 6);
+    } else if (arg == "--workload=mixed") {
+      options.workload = urank::serve::Workload::kMixed;
+    } else if (arg == "--workload=repeat") {
+      options.workload = urank::serve::Workload::kRepeat;
+    } else if (arg == "--bypass-cache") {
+      options.bypass_cache = true;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      options.deadline_ms = std::atof(arg.c_str() + 14);
+    } else if (arg.rfind("--k=", 0) == 0) {
+      options.k = std::atoi(arg.c_str() + 4);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.port <= 0) return Usage(argv[0]);
+
+  urank::serve::LoadGenReport report;
+  std::string error;
+  if (!urank::serve::RunLoadGen(options, &report, &error)) {
+    std::fprintf(stderr, "load_gen: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"sent\": %lld, \"ok\": %lld, \"errors\": %lld,\n",
+                report.sent, report.ok, report.errors);
+    std::printf(
+        "  \"overloaded\": %lld, \"deadline_exceeded\": %lld, "
+        "\"transport_failures\": %lld,\n",
+        report.overloaded, report.deadline_exceeded,
+        report.transport_failures);
+    std::printf("  \"cache_hits\": %lld, \"cache_misses\": %lld,\n",
+                report.cache_hits, report.cache_misses);
+    std::printf("  \"duration_s\": %.3f, \"qps\": %.1f,\n", report.duration_s,
+                report.achieved_qps);
+    PrintJsonSummary("client", report.client, ",");
+    PrintJsonSummary("serve", report.serve, "");
+    std::printf("}\n");
+  } else {
+    std::printf("load_gen: %lld sent, %lld ok, %lld errors "
+                "(%lld overloaded, %lld deadline-exceeded, "
+                "%lld transport failures) in %.2f s -> %.1f qps\n",
+                report.sent, report.ok, report.errors, report.overloaded,
+                report.deadline_exceeded, report.transport_failures,
+                report.duration_s, report.achieved_qps);
+    std::printf("cache: %lld hits, %lld misses\n", report.cache_hits,
+                report.cache_misses);
+    PrintSummary("client latency", report.client);
+    PrintSummary("server handle latency", report.serve);
+  }
+  return report.ok > 0 ? 0 : 1;
+}

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Golden-transcript smoke test for urankd --stdin (ctest: serve_smoke).
+
+Feeds tests/serve/testdata/smoke_requests.ndjson through `urankd --stdin`
+and diffs the responses against smoke_expected.ndjson after normalizing
+away the volatile parts:
+
+  * the per-response "stats" object (wall-clock timings, SIMD target),
+  * floating-point durations embedded in error messages (the
+    deadline-exceeded text reports how long the request sat in queue).
+
+Everything else — status names, wire codes, answer ids and statistics,
+cache hit/miss/bypass outcomes, epochs, error taxonomy — must match the
+golden transcript byte-for-byte after canonical JSON re-rendering.
+
+A second pass sends a metrics request and asserts the scrape contains the
+serving-layer metric families by substring (counter values are volatile,
+so no golden there).
+
+Regenerate the golden after an intentional protocol change with:
+    python3 tools/serve_smoke.py --urankd build/tools/urankd \
+        --testdata tests/serve/testdata --regen
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+# Volatile float spans inside error strings (e.g. "deadline expired after
+# 0.003358 ms in queue"). Integer offsets in parse errors are stable and
+# deliberately left alone.
+_FLOAT_RE = re.compile(r"\d+\.\d+")
+
+# Metric families the scrape must expose (names per docs/OBSERVABILITY.md
+# conventions; values are volatile and not checked).
+METRIC_SUBSTRINGS = [
+    "urank_serve_requests_total",
+    "urank_serve_errors_total",
+    "urank_serve_overloaded_total",
+    "urank_serve_deadline_expired_total",
+    "urank_serve_cache_hits_total",
+    "urank_serve_cache_misses_total",
+    "urank_serve_cache_bytes",
+]
+
+
+def normalize(line):
+    """Canonicalizes one response line for comparison."""
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise ValueError("response is not a JSON object: %r" % line)
+    obj.pop("stats", None)
+    if isinstance(obj.get("error"), str):
+        obj["error"] = _FLOAT_RE.sub("<t>", obj["error"])
+    return json.dumps(obj, sort_keys=True)
+
+
+def run_stdin(urankd, requests_text):
+    proc = subprocess.run(
+        [urankd, "--stdin", "--workers=1"],
+        input=requests_text,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit("urankd --stdin exited with %d" % proc.returncode)
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def check_transcript(urankd, testdata, regen):
+    requests_path = testdata / "smoke_requests.ndjson"
+    expected_path = testdata / "smoke_expected.ndjson"
+    requests_text = requests_path.read_text()
+    got = run_stdin(urankd, requests_text)
+
+    request_count = sum(1 for l in requests_text.splitlines() if l.strip())
+    if len(got) != request_count:
+        raise SystemExit(
+            "expected one response per request: %d requests, %d responses"
+            % (request_count, len(got))
+        )
+
+    if regen:
+        expected_path.write_text("".join(line + "\n" for line in got))
+        print("serve_smoke: regenerated %s (%d lines)" % (expected_path, len(got)))
+        return
+
+    expected = [
+        line
+        for line in expected_path.read_text().splitlines()
+        if line.strip()
+    ]
+    if len(got) != len(expected):
+        raise SystemExit(
+            "transcript length mismatch: got %d responses, golden has %d"
+            % (len(got), len(expected))
+        )
+
+    failures = 0
+    for i, (g, e) in enumerate(zip(got, expected), start=1):
+        ng, ne = normalize(g), normalize(e)
+        if ng != ne:
+            failures += 1
+            sys.stderr.write(
+                "line %d mismatch\n  got:    %s\n  golden: %s\n" % (i, ng, ne)
+            )
+    if failures:
+        raise SystemExit("serve_smoke: %d transcript line(s) diverged" % failures)
+    print("serve_smoke: transcript OK (%d lines)" % len(got))
+
+
+def check_metrics(urankd):
+    # The load gives the serving counters something to count before the
+    # scrape: one loaded relation, one miss, one hit.
+    lines = [
+        '{"v":1,"type":"admin/load","id":1,"name":"m","model":"tuple",'
+        '"data":"1,10,0.5,-1\\n2,9,0.4,-1\\n"}',
+        '{"v":1,"type":"query","id":2,"relation":"m",'
+        '"semantics":"expected-rank","k":2}',
+        '{"v":1,"type":"query","id":3,"relation":"m",'
+        '"semantics":"expected-rank","k":2}',
+        '{"v":1,"type":"metrics","id":4}',
+    ]
+    got = run_stdin(urankd, "".join(l + "\n" for l in lines))
+    scrape = json.loads(got[-1])
+    if scrape.get("code") != 0:
+        raise SystemExit("metrics request failed: %s" % got[-1])
+    body = scrape.get("body", "")
+    missing = [s for s in METRIC_SUBSTRINGS if s not in body]
+    if missing:
+        raise SystemExit("metrics scrape missing families: %s" % ", ".join(missing))
+    print("serve_smoke: metrics scrape OK (%d families)" % len(METRIC_SUBSTRINGS))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--urankd", required=True, help="path to the urankd binary")
+    parser.add_argument(
+        "--testdata", required=True, help="directory with smoke_*.ndjson"
+    )
+    parser.add_argument(
+        "--regen",
+        action="store_true",
+        help="rewrite smoke_expected.ndjson from the current binary's output",
+    )
+    args = parser.parse_args()
+
+    testdata = pathlib.Path(args.testdata)
+    check_transcript(args.urankd, testdata, args.regen)
+    if not args.regen:
+        check_metrics(args.urankd)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+// urankd: the ranking-query serving daemon (docs/SERVING.md).
+//
+// Speaks the versioned newline-delimited JSON protocol of
+// src/serve/protocol.h over loopback TCP, or over stdin/stdout with
+// --stdin (one request line in, one response line out — the mode the
+// serve-smoke CI job and golden-transcript tests drive).
+//
+// Usage:
+//   urankd [--port=N] [--stdin]
+//          [--load=NAME=MODEL:PATH]...   (MODEL is attr|tuple; repeatable)
+//          [--workers=N] [--queue=N] [--cache-bytes=N]
+//          [--default-deadline-ms=X]
+//
+// --port=0 (the default) binds an ephemeral port, printed on startup as
+//   urankd: listening on 127.0.0.1:PORT
+// so harnesses can scrape it. SIGTERM/SIGINT trigger a graceful drain:
+// the transport stops accepting, every admitted request completes, then
+// the process exits 0.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+#include "serve/tcp.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+struct LoadSpec {
+  std::string name;
+  urank::serve::WireModel model = urank::serve::WireModel::kTuple;
+  std::string path;
+};
+
+// Parses NAME=MODEL:PATH. PATH may contain ':' — only the first ':' after
+// the '=' separates the model.
+bool ParseLoadSpec(const std::string& arg, LoadSpec* out) {
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  const std::size_t colon = arg.find(':', eq + 1);
+  if (colon == std::string::npos || colon + 1 >= arg.size()) return false;
+  out->name = arg.substr(0, eq);
+  out->path = arg.substr(colon + 1);
+  return urank::serve::FromString(arg.substr(eq + 1, colon - eq - 1),
+                                  &out->model);
+}
+
+bool ParseIntFlag(const std::string& arg, const char* prefix, long long* out) {
+  const std::size_t len = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = std::atoll(arg.c_str() + len);
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port=N] [--stdin] [--load=NAME=MODEL:PATH]... "
+               "[--workers=N] [--queue=N] [--cache-bytes=N] "
+               "[--default-deadline-ms=X]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  bool use_stdin = false;
+  std::vector<LoadSpec> loads;
+  urank::serve::ServerOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long value = 0;
+    if (arg == "--stdin") {
+      use_stdin = true;
+    } else if (ParseIntFlag(arg, "--port=", &value)) {
+      port = static_cast<int>(value);
+    } else if (ParseIntFlag(arg, "--workers=", &value)) {
+      options.workers = static_cast<int>(value);
+    } else if (ParseIntFlag(arg, "--queue=", &value)) {
+      options.queue_capacity = static_cast<std::size_t>(value);
+    } else if (ParseIntFlag(arg, "--cache-bytes=", &value)) {
+      options.cache_bytes = static_cast<std::uint64_t>(value);
+    } else if (arg.rfind("--default-deadline-ms=", 0) == 0) {
+      options.default_deadline_ms = std::atof(arg.c_str() + 22);
+    } else if (arg.rfind("--load=", 0) == 0) {
+      LoadSpec spec;
+      if (!ParseLoadSpec(arg.substr(7), &spec)) {
+        std::fprintf(stderr, "urankd: bad --load spec: %s\n", arg.c_str());
+        return Usage(argv[0]);
+      }
+      loads.push_back(spec);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.workers < 1) {
+    std::fprintf(stderr, "urankd: --workers must be >= 1\n");
+    return 2;
+  }
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  urank::serve::Server server(options);
+  for (const LoadSpec& spec : loads) {
+    std::string error;
+    if (!server.LoadRelationFile(spec.name, spec.model, spec.path, &error)) {
+      std::fprintf(stderr, "urankd: cannot load %s from %s: %s\n",
+                   spec.name.c_str(), spec.path.c_str(), error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "urankd: loaded %s (%s) from %s\n",
+                 spec.name.c_str(), urank::serve::ToString(spec.model),
+                 spec.path.c_str());
+  }
+
+  if (use_stdin) {
+    // Line-at-a-time over stdio; responses flushed immediately so a
+    // driving process can interleave requests and replies.
+    std::string line;
+    while (g_stop == 0 && std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      const std::string response = server.HandleLine(line);
+      std::fwrite(response.data(), 1, response.size(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+    }
+    server.Drain();
+    return 0;
+  }
+
+  urank::serve::TcpServer transport(&server);
+  std::string error;
+  if (!transport.Start(port, &error)) {
+    std::fprintf(stderr, "urankd: cannot listen on 127.0.0.1:%d: %s\n", port,
+                 error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "urankd: listening on 127.0.0.1:%d\n",
+               transport.port());
+  std::fflush(stderr);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "urankd: draining\n");
+  // Transport first (no new work), then the server (finish what was
+  // admitted).
+  transport.Shutdown();
+  server.Drain();
+  std::fprintf(stderr, "urankd: drained, exiting\n");
+  return 0;
+}
