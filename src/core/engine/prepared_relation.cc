@@ -60,6 +60,7 @@ PreparedAttrRelation::PreparedAttrRelation(AttrRelation rel)
     if (ea != eb) return ea > eb;
     return a < b;
   });
+  shard_plan_ = internal::BuildAttrShardPlan(rel_, /*first_touch=*/true);
 }
 
 int PreparedAttrRelation::PositionOfId(int id) const {
@@ -126,6 +127,15 @@ PreparedTupleRelation::PreparedTupleRelation(TupleRelation rel)
         prefix_prob_[static_cast<size_t>(j)] +
         rel_.tuple(rank_order_[static_cast<size_t>(j)]).prob;
   }
+  shard_plan_ =
+      internal::BuildTupleShardPlan(rel_, rank_order_, /*first_touch=*/true);
+}
+
+std::shared_ptr<const TupleSweepEntryTable>
+PreparedTupleRelation::SweepEntries(TiePolicy ties) const {
+  return sweep_entries_.GetOrCompute(static_cast<int>(ties), [&] {
+    return BuildTupleSweepEntryTable(rel_, rank_order_, ties);
+  });
 }
 
 int PreparedTupleRelation::PositionOfId(int id) const {

@@ -35,8 +35,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/internal/shard_plan.h"
 #include "core/internal/sorted_pdf.h"
 #include "core/internal/value_universe.h"
+#include "core/rank_distribution_tuple.h"
 #include "model/attr_model.h"
 #include "model/tuple_model.h"
 #include "model/types.h"
@@ -158,6 +160,12 @@ class PreparedAttrRelation {
     return sorted_pdfs_;
   }
 
+  // Score-range shard plan for the shard-parallel A-ERank sweep: contiguous
+  // tuple ranges (balanced by pdf-entry count) with per-entry tie-mass
+  // snapshots, first-touched on each shard's home node at preparation time.
+  // The grid is a pure function of the relation — never of the topology.
+  const internal::AttrShardPlan& shard_plan() const { return shard_plan_; }
+
   // Position of the tuple with external id `id`, or -1 if absent. O(1)
   // expected; ids may be arbitrary ints (sparse, negative, huge).
   int PositionOfId(int id) const;
@@ -199,6 +207,7 @@ class PreparedAttrRelation {
   std::vector<int> escore_order_;
   internal::ValueUniverse universe_;
   std::vector<internal::SortedPdf> sorted_pdfs_;
+  internal::AttrShardPlan shard_plan_;
   std::unordered_map<int, int> position_of_id_;
   engine_internal::MemoTable<StatKey, std::vector<double>> stats_;
   // Keyed by the tie policy.
@@ -236,6 +245,19 @@ class PreparedTupleRelation {
   // expected; ids may be arbitrary ints (sparse, negative, huge).
   int PositionOfId(int id) const;
 
+  // Score-range shard plan for the shard-parallel T-ERank sweep:
+  // contiguous run-aligned slices of the rank order with their exact
+  // serial entry state, first-touched on each shard's home node at
+  // preparation time. The grid is a pure function of the relation.
+  const internal::TupleShardPlan& shard_plan() const { return shard_plan_; }
+
+  // Memoized chunk-entry table for the deterministic tuple sweep grid
+  // (BuildTupleSweepEntryTable over this relation's rank order), one per
+  // tie policy: parallel DP sweeps start each chunk from the precomputed
+  // per-rule prefix state instead of replaying it.
+  std::shared_ptr<const TupleSweepEntryTable> SweepEntries(
+      TiePolicy ties) const;
+
   // Memoized per-tuple statistic vector (see PreparedAttrRelation).
   std::shared_ptr<const std::vector<double>> CachedStat(
       const StatKey& key,
@@ -252,8 +274,11 @@ class PreparedTupleRelation {
   std::vector<int> ids_;
   std::vector<int> rank_order_;
   std::vector<double> prefix_prob_;
+  internal::TupleShardPlan shard_plan_;
   std::unordered_map<int, int> position_of_id_;
   engine_internal::MemoTable<StatKey, std::vector<double>> stats_;
+  // Keyed by the tie policy.
+  engine_internal::MemoTable<int, TupleSweepEntryTable> sweep_entries_;
 };
 
 }  // namespace urank

@@ -153,7 +153,7 @@ RankingAnswer RunAttr(const PreparedAttrRelation& p, const RankingQuery& q,
                       const ParallelismOptions& par, KernelReport* report) {
   switch (q.semantics) {
     case RankingSemantics::kExpectedRank:
-      return FromRanked(AttrExpectedRankTopK(p, q.k, q.ties));
+      return FromRanked(AttrExpectedRankTopK(p, q.k, q.ties, par, report));
     case RankingSemantics::kMedianRank:
       AttrQuantileRanks(p, 0.5, q.ties, par, report);
       return FromRanked(AttrQuantileRankTopK(p, q.k, 0.5, q.ties));
@@ -190,7 +190,7 @@ RankingAnswer RunTuple(const PreparedTupleRelation& p, const RankingQuery& q,
                        const ParallelismOptions& par, KernelReport* report) {
   switch (q.semantics) {
     case RankingSemantics::kExpectedRank:
-      return FromRanked(TupleExpectedRankTopK(p, q.k, q.ties));
+      return FromRanked(TupleExpectedRankTopK(p, q.k, q.ties, par, report));
     case RankingSemantics::kMedianRank:
       TupleQuantileRanks(p, 0.5, q.ties, par, report);
       return FromRanked(TupleQuantileRankTopK(p, q.k, 0.5, q.ties));
@@ -343,7 +343,13 @@ QueryStatus QueryEngine::Validate(const RankingQuery& query) const {
 
 QueryResult QueryEngine::Run(const QueryRequest& request) const {
   const RankingQuery& query = request.options;
-  const ParallelismOptions& par = request.parallelism;
+  // Apply the runtime's placement constraints up front: resolve threads
+  // and clamp a kNodeLocal request to one node's core count. Pure
+  // scheduling — the answer is bit-identical either way; the clamp is
+  // surfaced in QueryStats::threads_clamped.
+  bool threads_clamped = false;
+  const ParallelismOptions par =
+      EffectiveParallelism(request.parallelism, &threads_clamped);
   const EngineMetrics& em = EngineMetrics::Get();
   URANK_TRACE_SPAN_ARG("engine.run", "k", query.k);
   metrics::ScopedHistogramTimer timer(em.query_latency);
@@ -387,6 +393,8 @@ QueryResult QueryEngine::Run(const QueryRequest& request) const {
   em.dp_cells.Increment(result.stats.dp_cells);
   em.arena_bytes.SetMax(static_cast<double>(report.arena_bytes));
   result.stats.threads_used = report.threads_used;
+  result.stats.nodes_used = report.nodes_used;
+  result.stats.threads_clamped = threads_clamped;
   result.stats.arena_bytes = report.arena_bytes;
   result.stats.simd_target = ToString(ActiveSimdTarget());
   result.stats.wall_ms = timer.ElapsedUs() * 1e-3;

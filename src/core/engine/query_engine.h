@@ -137,6 +137,12 @@ struct QueryStats {
   // thread included): 1 for serial execution, a cache hit, or a semantics
   // with no parallel kernel.
   int threads_used = 1;
+  // Distinct NUMA-node worker groups those slots came from: 1 for serial
+  // execution, a cache hit, or a single-node machine.
+  int nodes_used = 1;
+  // True when EffectiveParallelism reduced the request's resolved thread
+  // count — currently only the kNodeLocal clamp to one node's core count.
+  bool threads_clamped = false;
   // High-water scratch bytes the parallel kernels' per-worker arenas held;
   // 0 when no arena-backed kernel ran (cache hit, serial-only semantics).
   std::uint64_t arena_bytes = 0;

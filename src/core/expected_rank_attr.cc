@@ -5,6 +5,7 @@
 
 #include "core/access.h"
 #include "core/engine/prepared_relation.h"
+#include "core/internal/shard_plan.h"
 #include "core/internal/sorted_pdf.h"
 #include "core/internal/value_universe.h"
 #include "core/rank_distribution_attr.h"
@@ -78,6 +79,70 @@ std::vector<double> ExpectedRanksWithUniverse(
   return ranks;
 }
 
+// Shard-local A-ERank pass over tuples [shard.begin, shard.end). The
+// running equal-mass map of the serial kernel is replaced by the plan's
+// per-entry snapshots of that exact map (taken before each tuple's own
+// masses are added), so the arithmetic below reproduces the serial reads
+// bit for bit: a snapshot of 0.0 corresponds to a serial map miss (no
+// add) or an exact-zero hit (r += prob * 0.0, a no-op — r is never -0.0
+// because every term is a product/difference that cannot produce -0.0
+// from these non-negative masses).
+URANK_KERNEL
+void ExpectedRanksAttrShardSweep(const AttrRelation& rel,
+                                 const internal::ValueUniverse& universe,
+                                 const internal::AttrShard& shard,
+                                 TiePolicy ties, std::vector<double>* ranks) {
+  for (int i = shard.begin; i < shard.end; ++i) {
+    const AttrTuple& t = rel.tuple(i);
+    const std::size_t off =
+        shard.tie_offset[static_cast<size_t>(i - shard.begin)];
+    double r = 0.0;
+    std::size_t l = 0;
+    for (const ScoreValue& sv : t.pdf) {
+      // Sorted-universe binary searches per pdf entry — data-dependent
+      // lookups, not a contiguous sweep a vector kernel could express.
+      // urank-lint: allow(kernel-vectorize)
+      r += sv.prob * (universe.QGreater(sv.value) - t.PrGreater(sv.value));
+      if (ties == TiePolicy::kBreakByIndex) {
+        const double mass = shard.tie_mass[off + l];
+        if (mass != 0.0) r += sv.prob * mass;
+      }
+      ++l;
+    }
+    (*ranks)[static_cast<size_t>(i)] = r;
+  }
+}
+
+// Shard-parallel A-ERank over the prepared plan; writes are disjoint
+// across shards (each tuple position lives in exactly one shard).
+std::vector<double> ExpectedRanksSharded(const AttrRelation& rel,
+                                         const internal::ValueUniverse& universe,
+                                         const internal::AttrShardPlan& plan,
+                                         TiePolicy ties,
+                                         const ParallelismOptions& par,
+                                         KernelReport* report) {
+  const int n = rel.size();
+  std::vector<double> ranks(static_cast<size_t>(n), 0.0);
+  const int num_chunks = static_cast<int>(plan.shards.size());
+  const int workers = PlannedWorkers(par, static_cast<long long>(n));
+  const ForRunInfo info = ParallelForPlaced(
+      num_chunks, workers, par.placement, [&](int chunk, int /*slot*/) {
+        ExpectedRanksAttrShardSweep(
+            rel, universe, plan.shards[static_cast<size_t>(chunk)], ties,
+            &ranks);
+      });
+  if (report != nullptr) {
+    KernelReport kr;
+    kr.threads_used = info.participants;
+    kr.nodes_used = info.nodes_used;
+    report->Merge(kr);
+  }
+  URANK_DCHECK_MSG(internal::AllFiniteInRange(ranks, 0.0,
+                                              static_cast<double>(n - 1)),
+                   "expected rank outside [0, N-1]");
+  return ranks;
+}
+
 }  // namespace
 
 std::vector<double> AttrExpectedRanks(const AttrRelation& rel,
@@ -111,6 +176,25 @@ std::vector<RankedTuple> AttrExpectedRankTopK(
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
   return TopKByStatistic(prepared.ids(), AttrExpectedRanks(prepared, ties),
                          k);
+}
+
+std::vector<double> AttrExpectedRanks(const PreparedAttrRelation& prepared,
+                                      TiePolicy ties,
+                                      const ParallelismOptions& par,
+                                      KernelReport* report) {
+  const StatKey key{StatKey::Kind::kExpectedRank, 0, 0.0, ties};
+  return *prepared.CachedStat(key, [&] {
+    return ExpectedRanksSharded(prepared.relation(), prepared.universe(),
+                                prepared.shard_plan(), ties, par, report);
+  });
+}
+
+std::vector<RankedTuple> AttrExpectedRankTopK(
+    const PreparedAttrRelation& prepared, int k, TiePolicy ties,
+    const ParallelismOptions& par, KernelReport* report) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return TopKByStatistic(prepared.ids(),
+                         AttrExpectedRanks(prepared, ties, par, report), k);
 }
 
 AttrPruneResult AttrExpectedRankTopKPrune(const AttrRelation& rel, int k,

@@ -21,6 +21,7 @@
 #include "core/ranking.h"
 #include "model/attr_model.h"
 #include "model/types.h"
+#include "util/parallel.h"
 
 namespace urank {
 
@@ -55,6 +56,20 @@ std::vector<double> AttrExpectedRanks(
 std::vector<RankedTuple> AttrExpectedRankTopK(
     const PreparedAttrRelation& prepared, int k,
     TiePolicy ties = TiePolicy::kStrictGreater);
+
+// Parallel prepared overloads: sweep the prepared relation's shard plan
+// (contiguous tuple ranges with precomputed per-entry tie masses) under
+// `par`, so shards run concurrently with no cross-shard state. Results
+// are bit-identical to the serial forms for every thread count, placement
+// policy, and topology; `report` receives threads/nodes used when the
+// value was actually computed (a cache hit leaves it untouched).
+std::vector<double> AttrExpectedRanks(const PreparedAttrRelation& prepared,
+                                      TiePolicy ties,
+                                      const ParallelismOptions& par,
+                                      KernelReport* report = nullptr);
+std::vector<RankedTuple> AttrExpectedRankTopK(
+    const PreparedAttrRelation& prepared, int k, TiePolicy ties,
+    const ParallelismOptions& par, KernelReport* report = nullptr);
 
 // Result of the pruned computation: the (approximate) top-k plus the
 // number of tuples retrieved from the sorted stream before the pruning

@@ -7,6 +7,7 @@
 #include "core/access.h"
 #include "core/engine/prepared_relation.h"
 #include "core/internal/kernel_arena.h"
+#include "core/internal/shard_plan.h"
 #include "core/internal/vector_kernels.h"
 #include "util/check.h"
 #include "util/kernel_annotations.h"
@@ -127,7 +128,82 @@ std::vector<double> ExpectedRanksInOrder(const TupleRelation& rel,
   return ranks;
 }
 
+// Shard-local T-ERank pass: sweeps one shard exactly as the serial kernel
+// would sweep positions [shard.begin, shard.end) — the entry state in the
+// plan is the serial state at shard.begin bit for bit, and every read
+// below reproduces the serial kernel's reads (prefix_above from the global
+// prefix values, rule_above continued by the same additions in the same
+// order). Writes to `ranks` are disjoint across shards.
+URANK_KERNEL
+void ExpectedRanksShardSweep(const TupleRelation& rel,
+                             const internal::TupleShard& shard, TiePolicy ties,
+                             double ew, std::vector<double>* ranks) {
+  std::vector<double> rule_above = shard.entry_rule_mass;
+  const size_t len = shard.order.size();
+  size_t pos = 0;
+  while (pos < len) {
+    size_t end = pos + 1;
+    if (ties == TiePolicy::kStrictGreater) {
+      // Shard boundaries are run-aligned, so a run never extends past
+      // `len` (or backward past 0): run detection matches the global sweep.
+      while (end < len && rel.tuple(shard.order[end]).score ==
+                              rel.tuple(shard.order[pos]).score) {
+        ++end;
+      }
+    }
+    const double prefix_above =
+        pos == 0 ? shard.entry_prefix : shard.pref[pos - 1];
+    for (size_t idx = pos; idx < end; ++idx) {
+      const int i = shard.order[idx];
+      const TLTuple& ti = rel.tuple(i);
+      const int r = rel.rule_of(i);
+      const double same_other = rel.rule_prob_sum(r) - ti.prob;
+      // Scatter through the rank-order permutation with a data-dependent
+      // rule-id gather; the contiguous mass lives in the plan's prefix
+      // values, computed by the prefix-sum kernel at plan-build time.
+      // urank-lint: allow(kernel-vectorize)
+      (*ranks)[static_cast<size_t>(i)] = ExpectedRankFromMasses(
+          ti.prob, prefix_above, rule_above[static_cast<size_t>(r)],
+          same_other, ew);
+    }
+    for (size_t idx = pos; idx < end; ++idx) {
+      const int i = shard.order[idx];
+      // Scatter keyed by rule id — data-dependent indices, not a
+      // contiguous sweep a vector kernel could express.
+      // urank-lint: allow(kernel-vectorize)
+      rule_above[static_cast<size_t>(rel.rule_of(i))] += rel.tuple(i).prob;
+    }
+    pos = end;
+  }
+}
+
 }  // namespace
+
+std::vector<double> TupleExpectedRanksSharded(
+    const TupleRelation& rel, const internal::TupleShardPlan& plan,
+    TiePolicy ties, const ParallelismOptions& par, KernelReport* report) {
+  const int n = rel.size();
+  const double ew = rel.ExpectedWorldSize();
+  std::vector<double> ranks(static_cast<size_t>(n), 0.0);
+  const int num_chunks = static_cast<int>(plan.shards.size());
+  const int workers = PlannedWorkers(par, static_cast<long long>(n));
+  const ForRunInfo info = ParallelForPlaced(
+      num_chunks, workers, par.placement, [&](int chunk, int /*slot*/) {
+        ExpectedRanksShardSweep(rel, plan.shards[static_cast<size_t>(chunk)],
+                                ties, ew, &ranks);
+      });
+  if (report != nullptr) {
+    KernelReport kr;
+    kr.threads_used = info.participants;
+    kr.nodes_used = info.nodes_used;
+    report->Merge(kr);
+  }
+  URANK_DCHECK_MSG(
+      internal::AllFiniteInRange(ranks, 0.0, static_cast<double>(n),
+                                 1e-9 * static_cast<double>(n > 0 ? n : 1)),
+      "expected rank outside [0, N]");
+  return ranks;
+}
 
 std::vector<double> TupleExpectedRanks(const TupleRelation& rel,
                                        TiePolicy ties) {
@@ -168,6 +244,25 @@ std::vector<RankedTuple> TupleExpectedRankTopK(
   URANK_CHECK_MSG(k >= 1, "k must be >= 1");
   return TopKByStatistic(prepared.ids(), TupleExpectedRanks(prepared, ties),
                          k);
+}
+
+std::vector<double> TupleExpectedRanks(const PreparedTupleRelation& prepared,
+                                       TiePolicy ties,
+                                       const ParallelismOptions& par,
+                                       KernelReport* report) {
+  const StatKey key{StatKey::Kind::kExpectedRank, 0, 0.0, ties};
+  return *prepared.CachedStat(key, [&] {
+    return TupleExpectedRanksSharded(prepared.relation(),
+                                     prepared.shard_plan(), ties, par, report);
+  });
+}
+
+std::vector<RankedTuple> TupleExpectedRankTopK(
+    const PreparedTupleRelation& prepared, int k, TiePolicy ties,
+    const ParallelismOptions& par, KernelReport* report) {
+  URANK_CHECK_MSG(k >= 1, "k must be >= 1");
+  return TopKByStatistic(prepared.ids(),
+                         TupleExpectedRanks(prepared, ties, par, report), k);
 }
 
 TuplePruneResult TupleExpectedRankTopKPrune(const TupleRelation& rel, int k,

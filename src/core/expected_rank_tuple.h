@@ -26,10 +26,15 @@
 #include "core/ranking.h"
 #include "model/tuple_model.h"
 #include "model/types.h"
+#include "util/parallel.h"
 
 namespace urank {
 
 class PreparedTupleRelation;  // core/engine/prepared_relation.h
+
+namespace internal {
+struct TupleShardPlan;  // core/internal/shard_plan.h
+}  // namespace internal
 
 // O(N²) reference evaluation of the closed form, computing the mass sums
 // pair by pair.
@@ -58,6 +63,28 @@ std::vector<double> TupleExpectedRanks(
 std::vector<RankedTuple> TupleExpectedRankTopK(
     const PreparedTupleRelation& prepared, int k,
     TiePolicy ties = TiePolicy::kStrictGreater);
+
+// Shard-parallel T-ERank over a prebuilt shard plan: each shard is swept
+// locally from its precomputed entry state (prefix mass, per-rule masses),
+// so shards run concurrently with no cross-shard reads. Bit-identical to
+// the serial forms above for every thread count, placement policy, and
+// shard count — the plan encodes the exact serial entry state.
+std::vector<double> TupleExpectedRanksSharded(
+    const TupleRelation& rel, const internal::TupleShardPlan& plan,
+    TiePolicy ties, const ParallelismOptions& par,
+    KernelReport* report = nullptr);
+
+// Parallel prepared overloads: sweep the prepared relation's shard plan
+// under `par` and memoize the (parallelism-independent) rank vector in the
+// prepared cache. `report` receives threads/nodes used when the value was
+// actually computed (a cache hit leaves it untouched).
+std::vector<double> TupleExpectedRanks(const PreparedTupleRelation& prepared,
+                                       TiePolicy ties,
+                                       const ParallelismOptions& par,
+                                       KernelReport* report = nullptr);
+std::vector<RankedTuple> TupleExpectedRankTopK(
+    const PreparedTupleRelation& prepared, int k, TiePolicy ties,
+    const ParallelismOptions& par, KernelReport* report = nullptr);
 
 // Result of the pruned computation. `topk` is the exact top-k (the eq. (9)
 // bound is sound, so pruning never changes the answer); `accessed` is the

@@ -1,0 +1,253 @@
+#include "core/internal/shard_plan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/internal/kernel_arena.h"
+#include "core/internal/vector_kernels.h"
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/topology.h"
+
+namespace urank {
+namespace internal {
+
+namespace {
+
+// Shard-grid defaults: one shard per ~8k sweep positions, capped. Wider
+// than the DP chunk grain so shard state (order + prefix copies) stays a
+// small multiple of the relation, with enough shards for any realistic
+// node count.
+constexpr long long kShardGrain = 8192;
+constexpr int kDefaultMaxShards = 32;
+
+// One bulk-copy job and the planning node whose worker group should
+// execute it (so the copied pages are first-touched node-local).
+using HomedFill = std::pair<int, std::function<void()>>;
+
+// Runs every fill exactly once. Helpers are submitted to each home
+// group; the caller participates too (claiming its home's fills first,
+// then any remaining), so completion never depends on pool capacity —
+// the same no-nested-deadlock protocol ParallelFor uses. Which thread
+// copies is a locality decision only; the copied values are identical.
+struct FillState {
+  explicit FillState(std::vector<HomedFill> f)
+      : fills(std::move(f)),
+        claimed(std::make_unique<std::atomic<int>[]>(fills.size())) {
+    for (size_t i = 0; i < fills.size(); ++i) {
+      claimed[i].store(0, std::memory_order_release);
+    }
+  }
+
+  void Drain(int home) {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t i = 0; i < fills.size(); ++i) {
+        if (pass == 0 && fills[i].first != home) continue;
+        int expected = 0;
+        if (!claimed[i].compare_exchange_strong(expected, 1,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+          continue;
+        }
+        fills[i].second();
+        std::lock_guard<std::mutex> lock(mu);
+        if (++done == fills.size()) cv.notify_all();
+      }
+    }
+  }
+
+  std::vector<HomedFill> fills;
+  std::unique_ptr<std::atomic<int>[]> claimed;
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;  // guarded by mu
+};
+
+void RunHomedFills(std::vector<HomedFill> fills, bool first_touch) {
+  if (fills.empty()) return;
+  if (!first_touch) {
+    for (HomedFill& fill : fills) fill.second();
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Global();
+  auto state = std::make_shared<FillState>(std::move(fills));
+  if (pool.num_groups() > 1) {
+    std::vector<char> submitted(static_cast<size_t>(pool.num_groups()), 0);
+    for (const HomedFill& fill : state->fills) {
+      const int group = fill.first % pool.num_groups();
+      if (submitted[static_cast<size_t>(group)] != 0) continue;
+      submitted[static_cast<size_t>(group)] = 1;
+      pool.SubmitToGroup(group, [state, group] { state->Drain(group); });
+    }
+  }
+  state->Drain(-1);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock,
+                 [&] { return state->done == state->fills.size(); });
+}
+
+}  // namespace
+
+TupleShardPlan BuildTupleShardPlan(const TupleRelation& rel,
+                                   const std::vector<int>& order,
+                                   bool first_touch, int max_shards) {
+  const long long n = static_cast<long long>(order.size());
+  const int num_rules = rel.num_rules();
+  TupleShardPlan plan;
+  plan.num_rules = num_rules;
+  if (max_shards <= 0) max_shards = kDefaultMaxShards;
+  const int target = DeterministicChunkCount(n, kShardGrain, max_shards);
+  std::vector<long long> bounds = ChunkBoundaries(n, target);
+  // Align interior boundaries forward to equal-score run starts so a run
+  // never straddles shards; monotone by construction.
+  for (int c = 1; c < target; ++c) {
+    long long b = std::max(bounds[static_cast<size_t>(c)],
+                           bounds[static_cast<size_t>(c) - 1]);
+    while (b > 0 && b < n &&
+           rel.tuple(order[static_cast<size_t>(b)]).score ==
+               rel.tuple(order[static_cast<size_t>(b) - 1]).score) {
+      ++b;
+    }
+    bounds[static_cast<size_t>(c)] = b;
+  }
+
+  // Global inclusive prefix sums of existence probability in rank order,
+  // through the same vector kernel the unchunked T-ERank sweep used —
+  // sliced values are therefore bit-identical to what that sweep read.
+  AlignedBuf pref;
+  pref.resize(static_cast<size_t>(n));
+  for (long long idx = 0; idx < n; ++idx) {
+    pref[static_cast<size_t>(idx)] =
+        rel.tuple(order[static_cast<size_t>(idx)]).prob;
+  }
+  if (n > 0) vk::Active().prefix_sum(pref.data(), static_cast<size_t>(n));
+
+  const int nodes = std::max(1, GlobalTopology().num_nodes());
+  plan.shards.resize(static_cast<size_t>(target));
+  std::vector<HomedFill> fills;
+  fills.reserve(static_cast<size_t>(target));
+  // Per-rule "above" masses entering each shard: plain sequential addition
+  // in rank order — exactly the accumulation the serial sweep performs, so
+  // each snapshot matches the serial state at that position bit for bit.
+  std::vector<double> running(static_cast<size_t>(num_rules), 0.0);
+  long long cursor = 0;
+  for (int s = 0; s < target; ++s) {
+    TupleShard& shard = plan.shards[static_cast<size_t>(s)];
+    shard.begin = bounds[static_cast<size_t>(s)];
+    shard.end = bounds[static_cast<size_t>(s) + 1];
+    shard.home_node = s % nodes;
+    shard.entry_prefix =
+        shard.begin == 0 ? 0.0 : pref[static_cast<size_t>(shard.begin) - 1];
+    while (cursor < shard.begin) {
+      const int i = order[static_cast<size_t>(cursor)];
+      running[static_cast<size_t>(rel.rule_of(i))] += rel.tuple(i).prob;
+      ++cursor;
+    }
+    shard.entry_rule_mass = running;
+    fills.emplace_back(shard.home_node, [&rel, &order, &pref, &shard] {
+      const size_t len = static_cast<size_t>(shard.end - shard.begin);
+      shard.order.resize(len);
+      shard.pref.resize(len);
+      for (size_t j = 0; j < len; ++j) {
+        const size_t global = static_cast<size_t>(shard.begin) + j;
+        shard.order[j] = order[global];
+        shard.pref[j] = pref[global];
+      }
+    });
+  }
+  RunHomedFills(std::move(fills), first_touch);
+  return plan;
+}
+
+AttrShardPlan BuildAttrShardPlan(const AttrRelation& rel, bool first_touch,
+                                 int max_shards) {
+  const int n = rel.size();
+  AttrShardPlan plan;
+  // Cumulative pdf-entry counts: the per-tuple cost profile the boundaries
+  // balance. A pure function of the relation.
+  std::vector<long long> cum(static_cast<size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    cum[static_cast<size_t>(i) + 1] =
+        cum[static_cast<size_t>(i)] +
+        static_cast<long long>(rel.tuple(i).pdf.size());
+  }
+  const long long total = cum[static_cast<size_t>(n)];
+  if (max_shards <= 0) max_shards = kDefaultMaxShards;
+  int target = DeterministicChunkCount(total, kShardGrain, max_shards);
+  target = std::min(target, std::max(n, 1));
+  std::vector<int> bounds(static_cast<size_t>(target) + 1, n);
+  bounds[0] = 0;
+  {
+    int idx = 0;
+    for (int c = 1; c < target; ++c) {
+      const long long threshold =
+          total * static_cast<long long>(c) / static_cast<long long>(target);
+      while (idx < n && cum[static_cast<size_t>(idx)] < threshold) ++idx;
+      bounds[static_cast<size_t>(c)] = idx;
+    }
+  }
+
+  // The running equal-mass-before table of the serial A-ERank sweep,
+  // snapshotted per pdf entry: for each tuple the reads happen before its
+  // own masses are added, replicating the serial read/update sequence
+  // exactly (only find/insert — never iterated, so no order dependence).
+  std::vector<std::size_t> offsets(static_cast<size_t>(n), 0);
+  std::vector<double> tie_global;
+  tie_global.reserve(static_cast<size_t>(total));
+  std::unordered_map<double, double> equal_mass_before;
+  for (int i = 0; i < n; ++i) {
+    const AttrTuple& t = rel.tuple(i);
+    offsets[static_cast<size_t>(i)] = tie_global.size();
+    for (const ScoreValue& sv : t.pdf) {
+      const auto it = equal_mass_before.find(sv.value);
+      tie_global.push_back(it == equal_mass_before.end() ? 0.0 : it->second);
+    }
+    for (const ScoreValue& sv : t.pdf) {
+      equal_mass_before[sv.value] += sv.prob;
+    }
+  }
+
+  const int nodes = std::max(1, GlobalTopology().num_nodes());
+  plan.shards.resize(static_cast<size_t>(target));
+  std::vector<HomedFill> fills;
+  fills.reserve(static_cast<size_t>(target));
+  for (int s = 0; s < target; ++s) {
+    AttrShard& shard = plan.shards[static_cast<size_t>(s)];
+    shard.begin = bounds[static_cast<size_t>(s)];
+    shard.end = bounds[static_cast<size_t>(s) + 1];
+    shard.home_node = s % nodes;
+    fills.emplace_back(
+        shard.home_node, [&rel, &offsets, &tie_global, &shard] {
+          const size_t count =
+              static_cast<size_t>(shard.end - shard.begin);
+          shard.tie_offset.resize(count);
+          const size_t base =
+              shard.begin < static_cast<int>(offsets.size())
+                  ? offsets[static_cast<size_t>(shard.begin)]
+                  : tie_global.size();
+          size_t entries = 0;
+          for (size_t j = 0; j < count; ++j) {
+            const size_t global =
+                offsets[static_cast<size_t>(shard.begin) + j];
+            shard.tie_offset[j] = global - base;
+            entries += rel.tuple(shard.begin + static_cast<int>(j))
+                           .pdf.size();
+          }
+          shard.tie_mass.resize(entries);
+          for (size_t j = 0; j < entries; ++j) {
+            shard.tie_mass[j] = tie_global[base + j];
+          }
+        });
+  }
+  RunHomedFills(std::move(fills), first_touch);
+  return plan;
+}
+
+}  // namespace internal
+}  // namespace urank

@@ -1,0 +1,95 @@
+// Internal helper: score-range shard plans for the prepared relations.
+// Not part of the public API.
+//
+// A shard is a contiguous slice of the (score desc, index asc) sweep order
+// together with everything a worker needs to process it without touching
+// state owned by other shards: a copy of its order slice, the global
+// inclusive prefix-probability values over that slice, and the exact
+// entry state (prefix mass, per-rule masses, tie masses) the unchunked
+// sweep would carry into the slice. The entry state is computed by the
+// same sequential arithmetic the unchunked kernels perform, so a
+// shard-local pass produces bit-identical results to the serial sweep —
+// sharding is a layout and scheduling decision, never a numerical one.
+//
+// Shard boundaries are a pure function of the relation (size and score-run
+// structure): they are aligned forward to equal-score run starts, so a run
+// never straddles shards and the kStrictGreater run detection inside one
+// shard matches the global one. The planning-topology node count decides
+// only each shard's *home node* (where its copies are first-touched when
+// `first_touch` is requested and the pool spans several nodes) — never the
+// boundaries and never the values.
+
+#ifndef URANK_CORE_INTERNAL_SHARD_PLAN_H_
+#define URANK_CORE_INTERNAL_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+
+namespace urank {
+namespace internal {
+
+// One slice of the tuple-level sweep order (see file comment).
+struct TupleShard {
+  long long begin = 0;  // positions into the rank order, [begin, end)
+  long long end = 0;
+  int home_node = 0;  // planning-topology node owning the copies
+  // Global inclusive prefix probability entering the shard: the mass of
+  // every tuple ranked before position `begin` (0 for the first shard).
+  double entry_prefix = 0.0;
+  std::vector<int> order;    // rank_order[begin..end), node-local copy
+  std::vector<double> pref;  // global inclusive prefix sums, same slice
+  // Per-rule probability mass accumulated over positions [0, begin) by
+  // plain sequential addition in rank order — the exclusion-rule "above"
+  // state the T-ERank sweep holds entering this shard. Size num_rules.
+  std::vector<double> entry_rule_mass;
+};
+
+struct TupleShardPlan {
+  int num_rules = 0;
+  std::vector<TupleShard> shards;
+};
+
+// Builds the shard plan for `rel` swept in `order` (score desc, index
+// asc). The shard grid is a pure function of (rel, order); `max_shards`
+// caps it (0 = the deterministic default). With `first_touch`, the bulk
+// per-shard copies are filled by worker threads of each shard's home-node
+// group so the pages land node-local; the copied values are identical
+// either way.
+TupleShardPlan BuildTupleShardPlan(const TupleRelation& rel,
+                                   const std::vector<int>& order,
+                                   bool first_touch, int max_shards = 0);
+
+// One slice of the attribute-level relation, by tuple position.
+struct AttrShard {
+  int begin = 0;  // tuple positions [begin, end)
+  int end = 0;
+  int home_node = 0;
+  // Flattened per-pdf-entry tie masses for kBreakByIndex: for tuple i in
+  // [begin, end) and its l-th pdf entry (in stored order),
+  // tie_mass[tie_offset[i - begin] + l] is the probability mass of earlier
+  // tuples (j < i) taking exactly that value — the running equal-mass map
+  // of the serial A-ERank sweep, snapshotted at tuple i before its own
+  // masses are added. The values are independent of the tie policy; the
+  // kStrictGreater pass simply never reads them.
+  std::vector<std::size_t> tie_offset;  // size end - begin
+  std::vector<double> tie_mass;
+};
+
+struct AttrShardPlan {
+  std::vector<AttrShard> shards;
+};
+
+// Builds the attribute-level shard plan: contiguous tuple ranges balanced
+// by pdf-entry count (a pure function of the relation), with the tie-mass
+// table precomputed by the exact sequential accumulation the serial sweep
+// performs. `first_touch` as above.
+AttrShardPlan BuildAttrShardPlan(const AttrRelation& rel, bool first_touch,
+                                 int max_shards = 0);
+
+}  // namespace internal
+}  // namespace urank
+
+#endif  // URANK_CORE_INTERNAL_SHARD_PLAN_H_

@@ -156,13 +156,16 @@ std::vector<int> TupleQuantileRanks(const PreparedTupleRelation& prepared,
   const auto stat = prepared.CachedStat(key, [&] {
     std::vector<double> ranks(static_cast<size_t>(prepared.size()), 0.0);
     // Chunk callbacks write disjoint positions, so concurrent chunks need
-    // no further coordination.
+    // no further coordination. The memoized entry table lets each chunk
+    // start from its precomputed prefix state.
+    const auto entries = prepared.SweepEntries(ties);
     ForEachTupleRankDistribution(
         prepared.relation(), prepared.rank_order(), ties, par, report,
         [&](int /*chunk*/, int i, std::span<const double> dist) {
           ranks[static_cast<size_t>(i)] =
               static_cast<double>(QuantileFromPmf(dist, phi));
-        });
+        },
+        entries.get());
     return ranks;
   });
   return std::vector<int>(stat->begin(), stat->end());

@@ -84,16 +84,18 @@ URANK_KERNEL std::vector<std::vector<double>> AttrRankDistributions(
   const int workers = PlannedWorkers(par, n);
   std::vector<internal::KernelArena> arenas(static_cast<size_t>(workers));
   // One chunk per tuple: per-tuple DP cost dwarfs the chunk-claim atomic,
-  // and output rows are disjoint, so any claim order yields identical
-  // results.
-  const int used = ParallelFor(n, workers, [&](int i, int slot) {
-    internal::KernelArena& arena = arenas[static_cast<size_t>(slot)];
-    AttrRankDistributionInto(rel, pdfs, i, ties, &arena.Doubles(0),
-                             &dists[static_cast<size_t>(i)]);
-  });
+  // and output rows are disjoint, so any claim order — and any placement —
+  // yields identical results.
+  const ForRunInfo used = ParallelForPlaced(
+      n, workers, par.placement, [&](int i, int slot) {
+        internal::KernelArena& arena = arenas[static_cast<size_t>(slot)];
+        AttrRankDistributionInto(rel, pdfs, i, ties, &arena.Doubles(0),
+                                 &dists[static_cast<size_t>(i)]);
+      });
   if (report != nullptr) {
     KernelReport local;
-    local.threads_used = used;
+    local.threads_used = used.participants;
+    local.nodes_used = used.nodes_used;
     for (const internal::KernelArena& arena : arenas) {
       local.arena_bytes += arena.bytes();
     }

@@ -170,16 +170,24 @@ struct ChunkSweep {
 // per_tuple(i, appear) with the appear-branch pmf (the tuple's own rule
 // conditioned out). Equal-score runs flush only after every member was
 // visited, matching the kStrictGreater semantics of the unchunked sweep.
+// `entry_mass`, when non-null, is the precomputed per-rule prefix state at
+// `begin` (num_rules doubles, the exact ReplayPrefix values) and replaces
+// the O(begin) replay.
 URANK_KERNEL void SweepAppearChunk(
     const TupleRelation& rel, const std::vector<int>& order, TiePolicy ties,
-    size_t begin, size_t end, internal::KernelArena* arena,
+    size_t begin, size_t end, const double* entry_mass,
+    internal::KernelArena* arena,
     const std::function<void(int, const AlignedBuf&)>& per_tuple) {
   const vk::KernelOps& ops = vk::Active();
   AlignedBuf& cur = arena->Doubles(0);
   AlignedBuf& pmf = arena->Doubles(1);
   AlignedBuf& scratch = arena->Doubles(2);
   AlignedBuf& appear = arena->Doubles(3);
-  ReplayPrefix(rel, order, begin, &cur);
+  if (entry_mass != nullptr) {
+    cur.assign(entry_mass, static_cast<size_t>(rel.num_rules()));
+  } else {
+    ReplayPrefix(rel, order, begin, &cur);
+  }
   ChunkSweep sweep{rel, ops, cur, pmf, scratch};
   sweep.Rebuild(&pmf, -1);
 
@@ -247,10 +255,11 @@ struct AbsentContext {
   }
 };
 
-KernelReport CollectReport(int threads_used,
+KernelReport CollectReport(const ForRunInfo& info,
                            const std::vector<internal::KernelArena>& arenas) {
   KernelReport report;
-  report.threads_used = threads_used;
+  report.threads_used = info.participants;
+  report.nodes_used = info.nodes_used;
   report.arena_bytes = 0;
   for (const internal::KernelArena& arena : arenas) {
     report.arena_bytes += arena.bytes();
@@ -258,7 +267,44 @@ KernelReport CollectReport(int threads_used,
   return report;
 }
 
+// Entry-mass row for `chunk`, or null when no table was supplied.
+const double* EntryRow(const TupleSweepEntryTable* entries, int chunk) {
+  if (entries == nullptr || entries->num_rules == 0) return nullptr;
+  return entries->entry_mass.data() +
+         static_cast<size_t>(chunk) * static_cast<size_t>(entries->num_rules);
+}
+
 }  // namespace
+
+TupleSweepEntryTable BuildTupleSweepEntryTable(
+    const TupleRelation& rel, const std::vector<int>& rank_order,
+    TiePolicy ties) {
+  TupleSweepEntryTable table;
+  table.starts = PlanChunkStarts(rel, rank_order, ties);
+  table.num_rules = rel.num_rules();
+  const size_t chunks = table.starts.size() - 1;
+  const size_t m = static_cast<size_t>(table.num_rules);
+  table.entry_mass.assign(chunks * m, 0.0);
+  // One sequential pass with the exact ReplayPrefix recurrence (min-clamped
+  // additions in rank order), snapshotted at every chunk start: snapshot c
+  // holds precisely the values ReplayPrefix(rel, order, starts[c]) would
+  // compute, because it is the same operations in the same order.
+  std::vector<double> cur(m, 0.0);
+  size_t next = 0;
+  for (size_t idx = 0; idx <= rank_order.size(); ++idx) {
+    while (next < chunks && table.starts[next] == idx) {
+      std::copy(cur.begin(), cur.end(),
+                table.entry_mass.begin() + static_cast<long>(next * m));
+      ++next;
+    }
+    if (idx == rank_order.size()) break;
+    const int i = rank_order[idx];
+    const size_t r = static_cast<size_t>(rel.rule_of(i));
+    // urank-lint: allow(kernel-vectorize) — scatter keyed by rule index.
+    cur[r] = std::min(cur[r] + rel.tuple(i).prob, 1.0);
+  }
+  return table;
+}
 
 int TupleSweepChunkCount(const TupleRelation& rel) {
   return DeterministicChunkCount(static_cast<long long>(rel.size()));
@@ -287,15 +333,22 @@ void ForEachTupleRankDistribution(
 URANK_KERNEL void ForEachTupleRankDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
-    const std::function<void(int, int, std::span<const double>)>& fn) {
+    const std::function<void(int, int, std::span<const double>)>& fn,
+    const TupleSweepEntryTable* entries) {
   const int n = rel.size();
-  const std::vector<size_t> starts = PlanChunkStarts(rel, rank_order, ties);
+  // The grid is identical either way (the table stores PlanChunkStarts's
+  // output); reusing the table's copy just skips recomputing it.
+  const std::vector<size_t> starts = entries != nullptr
+                                         ? entries->starts
+                                         : PlanChunkStarts(rel, rank_order,
+                                                           ties);
   const int chunks = static_cast<int>(starts.size()) - 1;
   const AbsentContext absent(rel);
   const int workers = PlannedWorkers(par, n);
   std::vector<internal::KernelArena> arenas(static_cast<size_t>(workers));
 
-  const int used = ParallelFor(chunks, workers, [&](int chunk, int slot) {
+  const ForRunInfo used = ParallelForPlaced(
+      chunks, workers, par.placement, [&](int chunk, int slot) {
     internal::KernelArena& arena = arenas[static_cast<size_t>(slot)];
     const vk::KernelOps& ops = vk::Active();
     // Acquire the highest slot first: a later Doubles() call with a larger
@@ -306,8 +359,8 @@ URANK_KERNEL void ForEachTupleRankDistribution(
     size_t dirty = 0;  // high-water mark of the nonzero prefix of dist
     SweepAppearChunk(
         rel, rank_order, ties, starts[static_cast<size_t>(chunk)],
-        starts[static_cast<size_t>(chunk) + 1], &arena,
-        [&](int i, const AlignedBuf& appear) {
+        starts[static_cast<size_t>(chunk) + 1], EntryRow(entries, chunk),
+        &arena, [&](int i, const AlignedBuf& appear) {
           const TLTuple& t = rel.tuple(i);
           const size_t na = appear.size();
           // Only [na, dirty) keeps stale mass: the appear-branch scale
@@ -368,21 +421,26 @@ void ForEachTuplePositionalDistribution(
 URANK_KERNEL void ForEachTuplePositionalDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
-    const std::function<void(int, int, std::span<const double>)>& fn) {
+    const std::function<void(int, int, std::span<const double>)>& fn,
+    const TupleSweepEntryTable* entries) {
   const int n = rel.size();
-  const std::vector<size_t> starts = PlanChunkStarts(rel, rank_order, ties);
+  const std::vector<size_t> starts = entries != nullptr
+                                         ? entries->starts
+                                         : PlanChunkStarts(rel, rank_order,
+                                                           ties);
   const int chunks = static_cast<int>(starts.size()) - 1;
   const int workers = PlannedWorkers(par, n);
   std::vector<internal::KernelArena> arenas(static_cast<size_t>(workers));
 
-  const int used = ParallelFor(chunks, workers, [&](int chunk, int slot) {
+  const ForRunInfo used = ParallelForPlaced(
+      chunks, workers, par.placement, [&](int chunk, int slot) {
     internal::KernelArena& arena = arenas[static_cast<size_t>(slot)];
     const vk::KernelOps& ops = vk::Active();
     AlignedBuf& row = arena.Doubles(4);
     SweepAppearChunk(
         rel, rank_order, ties, starts[static_cast<size_t>(chunk)],
-        starts[static_cast<size_t>(chunk) + 1], &arena,
-        [&](int i, const AlignedBuf& appear) {
+        starts[static_cast<size_t>(chunk) + 1], EntryRow(entries, chunk),
+        &arena, [&](int i, const AlignedBuf& appear) {
           const double p = rel.tuple(i).prob;
           row.resize(appear.size());
           ops.scale(row.data(), appear.data(), p, appear.size());

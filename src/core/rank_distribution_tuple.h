@@ -60,6 +60,24 @@ void ForEachTupleRankDistribution(
     TiePolicy ties,
     const std::function<void(int, std::span<const double>)>& fn);
 
+// Precomputed chunk-entry state for the deterministic sweep grid: the
+// chunk start positions plus, for each chunk, a snapshot of the per-rule
+// prefix masses the sweep carries entering it — the exact arithmetic the
+// per-chunk replay performs, taken once. Handing a prebuilt table to the
+// parallel forms below (PreparedTupleRelation::SweepEntries memoizes one
+// per tie policy) skips the O(chunk start) replay every chunk otherwise
+// pays, without changing a single bit of the results: the snapshot *is*
+// the replayed state. A pure function of (rel, rank_order, ties).
+struct TupleSweepEntryTable {
+  std::vector<std::size_t> starts;  // chunk grid, size chunks + 1
+  std::vector<double> entry_mass;   // chunks x num_rules, row-major
+  int num_rules = 0;
+};
+
+TupleSweepEntryTable BuildTupleSweepEntryTable(
+    const TupleRelation& rel, const std::vector<int>& rank_order,
+    TiePolicy ties);
+
 // Parallel chunked form: invokes `fn(chunk, index, dist)` once per tuple,
 // possibly concurrently for tuples of *distinct* chunks (never for the
 // same chunk), with chunk in [0, TupleSweepChunkCount(rel)). The per-chunk
@@ -67,11 +85,15 @@ void ForEachTupleRankDistribution(
 // safe to run concurrently for distinct chunks; accumulations that are not
 // per-tuple-disjoint should keep per-chunk partials and fold them in chunk
 // order (see ParallelReduce). Results are bit-identical for any `par`.
-// `report`, when non-null, is Merge()d with the threads/arena-bytes used.
+// `report`, when non-null, is Merge()d with the threads/nodes/arena-bytes
+// used. `entries`, when non-null, must be the table built for the same
+// (rel, rank_order, ties) — chunks then start from the precomputed entry
+// state instead of replaying their prefix.
 void ForEachTupleRankDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
-    const std::function<void(int, int, std::span<const double>)>& fn);
+    const std::function<void(int, int, std::span<const double>)>& fn,
+    const TupleSweepEntryTable* entries = nullptr);
 
 // Streaming positional probabilities: invokes `fn(index, row)` once per
 // tuple where row[c] = Pr[t_i present and ranked c-th among appearing
@@ -90,11 +112,13 @@ void ForEachTuplePositionalDistribution(
     const std::function<void(int, std::span<const double>)>& fn);
 
 // Parallel chunked positional form; same contract as the parallel
-// ForEachTupleRankDistribution above.
+// ForEachTupleRankDistribution above (including the optional prebuilt
+// entry table).
 void ForEachTuplePositionalDistribution(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties, const ParallelismOptions& par, KernelReport* report,
-    const std::function<void(int, int, std::span<const double>)>& fn);
+    const std::function<void(int, int, std::span<const double>)>& fn,
+    const TupleSweepEntryTable* entries = nullptr);
 
 // Number of chunks the deterministic sweep grid partitions `rel` into — a
 // pure function of the relation size. Callback chunk indices are always in

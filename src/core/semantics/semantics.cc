@@ -95,6 +95,7 @@ std::vector<double> TupleTopKProbabilities(
     // no further coordination.
     std::vector<double> probs(static_cast<size_t>(prepared.size()), 0.0);
     const vk::KernelOps& ops = vk::Active();
+    const auto entries = prepared.SweepEntries(ties);
     ForEachTuplePositionalDistribution(
         prepared.relation(), prepared.rank_order(), ties, par, report,
         [&](int /*chunk*/, int i, std::span<const double> row) {
@@ -102,7 +103,8 @@ std::vector<double> TupleTopKProbabilities(
           const double cdf = ops.sum(row.data(), hi);
           URANK_DCHECK_PROB(cdf);
           probs[static_cast<size_t>(i)] = std::min(cdf, 1.0);
-        });
+        },
+        entries.get());
     return probs;
   });
 }

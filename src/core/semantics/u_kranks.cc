@@ -109,6 +109,7 @@ std::vector<int> TupleUKRanks(const PreparedTupleRelation& prepared, int k,
         Partial{std::vector<int>(static_cast<size_t>(k), -1),
                 std::vector<double>(static_cast<size_t>(k), 0.0)});
     const vk::KernelOps& ops = vk::Active();
+    const auto entries = prepared.SweepEntries(ties);
     ForEachTuplePositionalDistribution(
         prepared.relation(), prepared.rank_order(), ties, par, report,
         [&](int chunk, int i, std::span<const double> row) {
@@ -119,7 +120,8 @@ std::vector<int> TupleUKRanks(const PreparedTupleRelation& prepared, int k,
           const size_t hi = std::min(static_cast<size_t>(k), row.size());
           ops.argmax_merge(row.data(), id, part.best.data(),
                            part.winners.data(), hi);
-        });
+        },
+        entries.get());
     std::vector<int> winners(static_cast<size_t>(k), -1);
     std::vector<double> best(static_cast<size_t>(k), 0.0);
     for (const Partial& part : partials) {

@@ -92,6 +92,10 @@ void QueryRequestToJson(const std::string& relation, const QueryRequest& query,
   if (query.parallelism.threads != 1) {
     object->Set("threads", JsonValue::MakeNumber(query.parallelism.threads));
   }
+  if (query.parallelism.placement != PlacementPolicy::kFlat) {
+    object->Set("placement",
+                JsonValue::MakeString(ToString(query.parallelism.placement)));
+  }
 }
 
 bool QueryRequestFromJson(const JsonValue& object, std::string* relation,
@@ -164,6 +168,14 @@ bool QueryRequestFromJson(const JsonValue& object, std::string* relation,
   if (const JsonValue* threads = object.Find("threads")) {
     if (!AsInt(*threads, &query->parallelism.threads)) {
       *error = "\"threads\" must be an integer";
+      return false;
+    }
+  }
+  if (const JsonValue* placement = object.Find("placement")) {
+    if (!placement->is_string() ||
+        !PlacementFromString(placement->string_value(),
+                             &query->parallelism.placement)) {
+      *error = "\"placement\" must be \"flat\", \"node_local\" or \"spread\"";
       return false;
     }
   }
@@ -286,6 +298,8 @@ std::string RenderQueryResponse(const JsonValue& id,
   stats_obj.Set("dp_cells",
                 JsonValue::MakeNumber(static_cast<double>(stats.dp_cells)));
   stats_obj.Set("threads_used", JsonValue::MakeNumber(stats.threads_used));
+  stats_obj.Set("nodes_used", JsonValue::MakeNumber(stats.nodes_used));
+  stats_obj.Set("threads_clamped", JsonValue::MakeBool(stats.threads_clamped));
   stats_obj.Set("simd_target", JsonValue::MakeString(stats.simd_target));
   obj.Set("stats", std::move(stats_obj));
   return WriteJson(obj);

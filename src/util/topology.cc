@@ -1,0 +1,325 @@
+#include "util/topology.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace urank {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Parses a non-negative int out of `s` (entire string). Returns false on
+// empty input, trailing junk, or overflow.
+bool ParseInt(std::string_view s, int* out) {
+  if (s.empty()) return false;
+  long long value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > 1 << 24) return false;  // no machine has 16M cpus
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+CoreSet::CoreSet(std::vector<int> cpus) : cpus_(std::move(cpus)) {
+  std::sort(cpus_.begin(), cpus_.end());
+  cpus_.erase(std::unique(cpus_.begin(), cpus_.end()), cpus_.end());
+}
+
+bool CoreSet::Parse(std::string_view cpulist, CoreSet* out) {
+  std::vector<int> cpus;
+  std::string_view rest = Trim(cpulist);
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    std::string_view item = Trim(rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (item.empty()) return false;
+    const size_t dash = item.find('-');
+    int lo = 0;
+    int hi = 0;
+    if (dash == std::string_view::npos) {
+      if (!ParseInt(item, &lo)) return false;
+      hi = lo;
+    } else {
+      if (!ParseInt(Trim(item.substr(0, dash)), &lo)) return false;
+      if (!ParseInt(Trim(item.substr(dash + 1)), &hi)) return false;
+      if (hi < lo) return false;
+    }
+    if (hi - lo >= 4096) return false;  // refuse absurd ranges
+    for (int cpu = lo; cpu <= hi; ++cpu) cpus.push_back(cpu);
+  }
+  *out = CoreSet(std::move(cpus));
+  return true;
+}
+
+bool CoreSet::Contains(int cpu) const {
+  return std::binary_search(cpus_.begin(), cpus_.end(), cpu);
+}
+
+CoreSet CoreSet::Intersect(const CoreSet& other) const {
+  std::vector<int> cpus;
+  std::set_intersection(cpus_.begin(), cpus_.end(), other.cpus_.begin(),
+                        other.cpus_.end(), std::back_inserter(cpus));
+  return CoreSet(std::move(cpus));
+}
+
+std::string CoreSet::ToCpulist() const {
+  std::ostringstream out;
+  size_t i = 0;
+  bool first = true;
+  while (i < cpus_.size()) {
+    size_t j = i;
+    while (j + 1 < cpus_.size() && cpus_[j + 1] == cpus_[j] + 1) ++j;
+    if (!first) out << ',';
+    first = false;
+    if (j == i) {
+      out << cpus_[i];
+    } else {
+      out << cpus_[i] << '-' << cpus_[j];
+    }
+    i = j + 1;
+  }
+  return out.str();
+}
+
+Topology::Topology(std::vector<NumaNode> nodes, bool synthetic)
+    : nodes_(std::move(nodes)), synthetic_(synthetic) {
+  URANK_CHECK_MSG(!nodes_.empty(), "topology must have at least one node");
+  for (const NumaNode& node : nodes_) {
+    URANK_CHECK_MSG(!node.cores.empty(), "topology node must have cores");
+  }
+}
+
+Topology Topology::SingleNode(int cores) {
+  cores = std::max(cores, 1);
+  std::vector<int> cpus(static_cast<size_t>(cores));
+  for (int i = 0; i < cores; ++i) cpus[static_cast<size_t>(i)] = i;
+  return Topology({NumaNode{0, CoreSet(std::move(cpus))}}, /*synthetic=*/true);
+}
+
+bool Topology::Parse(std::string_view spec, Topology* out,
+                     std::string* error) {
+  std::vector<NumaNode> nodes;
+  std::string_view rest = Trim(spec);
+  if (rest.empty()) {
+    if (error) *error = "empty topology spec";
+    return false;
+  }
+  int id = 0;
+  while (true) {
+    const size_t semi = rest.find(';');
+    const std::string_view item = Trim(rest.substr(0, semi));
+    CoreSet cores;
+    if (!CoreSet::Parse(item, &cores) || cores.empty()) {
+      if (error) {
+        *error = "bad cpulist for node " + std::to_string(id) + ": \"" +
+                 std::string(item) + "\"";
+      }
+      return false;
+    }
+    nodes.push_back(NumaNode{id, std::move(cores)});
+    ++id;
+    if (semi == std::string_view::npos) break;
+    rest = rest.substr(semi + 1);
+  }
+  *out = Topology(std::move(nodes), /*synthetic=*/true);
+  return true;
+}
+
+Topology Topology::FromSysfs(const std::string& sysfs_node_root,
+                             int fallback_cores) {
+  const Topology fallback = SingleNode(fallback_cores);
+  std::ifstream online(sysfs_node_root + "/online");
+  if (!online.is_open()) return fallback;
+  std::string online_list;
+  std::getline(online, online_list);
+  CoreSet node_ids;
+  if (!CoreSet::Parse(online_list, &node_ids) || node_ids.empty()) {
+    return fallback;
+  }
+  std::vector<NumaNode> nodes;
+  for (int id : node_ids.cpus()) {
+    std::ifstream cpulist(sysfs_node_root + "/node" + std::to_string(id) +
+                          "/cpulist");
+    if (!cpulist.is_open()) continue;
+    std::string list;
+    std::getline(cpulist, list);
+    CoreSet cores;
+    if (!CoreSet::Parse(list, &cores) || cores.empty()) continue;
+    nodes.push_back(NumaNode{id, std::move(cores)});
+  }
+  if (nodes.empty()) return fallback;
+  return Topology(std::move(nodes), /*synthetic=*/false);
+}
+
+Topology Topology::Detect() {
+  if (const char* spec = std::getenv("URANK_TOPOLOGY");
+      spec != nullptr && spec[0] != '\0') {
+    Topology parsed = SingleNode(1);
+    std::string error;
+    if (Parse(spec, &parsed, &error)) return parsed;
+    // A malformed override falls through to real detection: scheduling
+    // still works, only the synthetic shape is lost.
+  }
+  const int allowed = AllowedCoreCount();
+  Topology sysfs = FromSysfs("/sys/devices/system/node", allowed);
+  if (sysfs.synthetic()) return sysfs;  // fallback path already sized right
+  // Restrict each node to cpus the process may actually run on; drop nodes
+  // the cpuset excludes entirely (common under container pinning).
+  const CoreSet allowed_cores = AllowedCores();
+  if (allowed_cores.empty()) return sysfs;
+  std::vector<NumaNode> nodes;
+  for (const NumaNode& node : sysfs.nodes()) {
+    CoreSet cores = node.cores.Intersect(allowed_cores);
+    if (!cores.empty()) nodes.push_back(NumaNode{node.id, std::move(cores)});
+  }
+  if (nodes.empty()) return SingleNode(allowed);
+  return Topology(std::move(nodes), /*synthetic=*/false);
+}
+
+int Topology::total_cores() const {
+  int total = 0;
+  for (const NumaNode& node : nodes_) total += node.cores.size();
+  return total;
+}
+
+int Topology::max_node_cores() const {
+  int widest = 1;
+  for (const NumaNode& node : nodes_) {
+    widest = std::max(widest, node.cores.size());
+  }
+  return widest;
+}
+
+int Topology::NodeOfCpu(int cpu) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].cores.Contains(cpu)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Topology::ToSpec() const {
+  std::string spec;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) spec += ';';
+    spec += nodes_[i].cores.ToCpulist();
+  }
+  return spec;
+}
+
+namespace {
+
+// The planning topology. Writers (SetGlobalTopologyForTest) retire the
+// old value into g_retired instead of freeing it so readers holding a
+// reference stay valid for the process lifetime (and the memory stays
+// reachable, keeping leak checkers quiet); acquire/release pairs the
+// pointer publication with the pointee's construction.
+std::atomic<const Topology*> g_topology{nullptr};
+
+std::mutex& RetiredMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<const Topology*>& RetiredTopologies() {
+  static auto* retired = new std::vector<const Topology*>();
+  return *retired;
+}
+
+}  // namespace
+
+const Topology& GlobalTopology() {
+  const Topology* cached = g_topology.load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+  auto* fresh = new Topology(Topology::Detect());
+  const Topology* expected = nullptr;
+  if (!g_topology.compare_exchange_strong(expected, fresh,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+    delete fresh;
+    return *expected;
+  }
+  return *fresh;
+}
+
+void SetGlobalTopologyForTest(Topology topology) {
+  auto* fresh = new Topology(std::move(topology));
+  const Topology* old =
+      g_topology.exchange(fresh, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    std::lock_guard<std::mutex> lock(RetiredMutex());
+    RetiredTopologies().push_back(old);
+  }
+}
+
+int AllowedCoreCount() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int count = CPU_COUNT(&mask);
+    if (count > 0) return count;
+  }
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+CoreSet AllowedCores() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    std::vector<int> cpus;
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &mask)) cpus.push_back(cpu);
+    }
+    return CoreSet(std::move(cpus));
+  }
+#endif
+  return CoreSet{};
+}
+
+bool PinCurrentThreadToCores(const CoreSet& cores) {
+#if defined(__linux__)
+  if (cores.empty()) return false;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  for (int cpu : cores.cpus()) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &mask);
+  }
+  return sched_setaffinity(0, sizeof(mask), &mask) == 0;
+#else
+  (void)cores;
+  return false;
+#endif
+}
+
+}  // namespace urank

@@ -1,0 +1,136 @@
+// Machine topology discovery: NUMA nodes and their core lists, read from
+// sysfs (/sys/devices/system/node) and intersected with the process
+// affinity mask, with a graceful single-node fallback when either is
+// unavailable. The execution runtime (util/parallel.h) builds per-node
+// worker groups from this; the planning layer (shard homes, thread
+// clamping, placement) consults the process-wide topology, which tests
+// can replace with a synthetic one.
+//
+// Topology NEVER affects results — only scheduling and memory placement.
+// The determinism contract (docs/PERFORMANCE.md) requires that chunk and
+// shard grids stay pure functions of the data; node count, core sets and
+// placement policy only decide which thread touches which chunk first.
+//
+// Override for tests and operators: the URANK_TOPOLOGY environment
+// variable holds per-node cpulists separated by ';' in sysfs cpulist
+// syntax, e.g. "0-3;4-7" = two nodes with four cores each. A synthetic
+// topology is used for planning only; threads are never pinned to cores
+// the process does not own.
+
+#ifndef URANK_UTIL_TOPOLOGY_H_
+#define URANK_UTIL_TOPOLOGY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace urank {
+
+// An ordered set of cpu ids (sorted, unique). Mirrors the sysfs cpulist
+// syntax ("0-3,8,10-11") for parsing and formatting.
+class CoreSet {
+ public:
+  CoreSet() = default;
+  explicit CoreSet(std::vector<int> cpus);
+
+  // Parses a sysfs cpulist ("0-3,8"). Returns false (and leaves *out
+  // untouched) on malformed input; an empty/whitespace list parses to an
+  // empty set.
+  static bool Parse(std::string_view cpulist, CoreSet* out);
+
+  const std::vector<int>& cpus() const { return cpus_; }
+  int size() const { return static_cast<int>(cpus_.size()); }
+  bool empty() const { return cpus_.empty(); }
+  bool Contains(int cpu) const;
+
+  // Set intersection; keeps this set's order (ascending).
+  CoreSet Intersect(const CoreSet& other) const;
+
+  // Formats back to cpulist syntax ("0-3,8"); empty set formats to "".
+  std::string ToCpulist() const;
+
+  bool operator==(const CoreSet& other) const { return cpus_ == other.cpus_; }
+
+ private:
+  std::vector<int> cpus_;  // sorted, unique
+};
+
+struct NumaNode {
+  int id = 0;
+  CoreSet cores;
+};
+
+// A machine (or synthetic) topology: one or more NUMA nodes, each with a
+// non-empty core set. Always valid: num_nodes() >= 1, total_cores() >= 1.
+class Topology {
+ public:
+  // Single node 0 with `cores` anonymous cores (ids 0..cores-1). The
+  // fallback shape; also what non-Linux builds always see.
+  static Topology SingleNode(int cores);
+
+  // Parses a URANK_TOPOLOGY spec: per-node cpulists separated by ';'
+  // ("0-3;4-7"). Returns false and fills *error on malformed input or if
+  // any node would be empty.
+  static bool Parse(std::string_view spec, Topology* out, std::string* error);
+
+  // Reads node directories under `sysfs_node_root` (normally
+  // /sys/devices/system/node): the `online` node list, then each
+  // node<N>/cpulist. Returns SingleNode(fallback_cores) if the directory
+  // or files are missing/malformed or every node comes back empty.
+  static Topology FromSysfs(const std::string& sysfs_node_root,
+                            int fallback_cores);
+
+  // Full detection precedence: URANK_TOPOLOGY env override (synthetic),
+  // else sysfs intersected with the process affinity mask, else a single
+  // node sized to the allowed core count.
+  static Topology Detect();
+
+  const std::vector<NumaNode>& nodes() const { return nodes_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int total_cores() const;
+  // Core count of the widest node (the kNodeLocal thread clamp).
+  int max_node_cores() const;
+  // Index into nodes() of the node owning `cpu`, or -1 if no node does.
+  int NodeOfCpu(int cpu) const;
+  // True when this topology was synthesized (env override / fallback)
+  // rather than read from the machine: pinning is skipped for these.
+  bool synthetic() const { return synthetic_; }
+
+  // Round-trips to URANK_TOPOLOGY syntax, for logs and tests.
+  std::string ToSpec() const;
+
+ private:
+  Topology(std::vector<NumaNode> nodes, bool synthetic);
+
+  std::vector<NumaNode> nodes_;
+  bool synthetic_ = true;
+};
+
+// The process-wide topology used for planning (shard homes, thread
+// resolution, placement). Detected once on first use and cached.
+const Topology& GlobalTopology();
+
+// Replaces the planning topology (tests sweep synthetic shapes through
+// this). The previous value is retired, not freed, so concurrent readers
+// stay valid for the process lifetime. Execution-side worker groups are
+// built once from the topology current at first pool use and are NOT
+// rebuilt.
+void SetGlobalTopologyForTest(Topology topology);
+
+// Number of cpus the process may run on: sched_getaffinity on Linux,
+// hardware_concurrency elsewhere; always >= 1. This is what
+// ResolveThreads(<= 0) expands to — NOT hardware_concurrency, which
+// overcounts inside container cpusets.
+int AllowedCoreCount();
+
+// The affinity mask as a CoreSet (empty when unavailable, e.g. non-Linux).
+CoreSet AllowedCores();
+
+// Pins the calling thread to `cores`. Returns true on success; failure
+// (non-Linux, empty set, cores outside the mask) is harmless — the thread
+// simply stays unpinned, results are unaffected.
+bool PinCurrentThreadToCores(const CoreSet& cores);
+
+}  // namespace urank
+
+#endif  // URANK_UTIL_TOPOLOGY_H_

@@ -10,10 +10,14 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "core/engine/query_engine.h"
+#include "core/expected_rank_attr.h"
+#include "core/expected_rank_tuple.h"
+#include "core/internal/shard_plan.h"
 #include "core/quantile_rank.h"
 #include "core/rank_distribution_attr.h"
 #include "core/rank_distribution_tuple.h"
@@ -23,6 +27,7 @@
 #include "gen/tuple_gen.h"
 #include "model/tuple_model.h"
 #include "util/parallel.h"
+#include "util/topology.h"
 
 namespace urank {
 namespace {
@@ -33,6 +38,38 @@ ParallelismOptions Par(int threads) {
   par.min_parallel_items = 1;  // parallelize even the test-sized inputs
   return par;
 }
+
+ParallelismOptions Par(int threads, PlacementPolicy placement) {
+  ParallelismOptions par = Par(threads);
+  par.placement = placement;
+  return par;
+}
+
+constexpr PlacementPolicy kAllPlacements[] = {PlacementPolicy::kFlat,
+                                              PlacementPolicy::kNodeLocal,
+                                              PlacementPolicy::kSpread};
+
+// Synthetic planning topologies the sharded kernels are swept under: the
+// machine's own shape plus a two-node and an asymmetric four-node box.
+// Shard homes and placement schedules change with the shape; values must
+// not. The pool itself is built once from the machine topology — these
+// affect planning (home nodes, clamps, spread ranges) only, which is
+// exactly the layer that must never leak into results.
+constexpr const char* kSyntheticTopologies[] = {"0-3;4-7",
+                                                "0-1;2-3;4-5;6-11"};
+
+// Swaps the planning topology for the test body and restores a detected
+// topology on destruction so later tests see the machine again.
+class ScopedPlanningTopology {
+ public:
+  explicit ScopedPlanningTopology(const char* spec) {
+    Topology topo = Topology::SingleNode(1);
+    std::string error;
+    EXPECT_TRUE(Topology::Parse(spec, &topo, &error)) << error;
+    SetGlobalTopologyForTest(topo);
+  }
+  ~ScopedPlanningTopology() { SetGlobalTopologyForTest(Topology::Detect()); }
+};
 
 // A relation built to stress the chunked sweep: large enough for several
 // chunks, long runs of tied scores that straddle naive chunk boundaries,
@@ -174,6 +211,84 @@ TEST_P(TupleKernelDeterminismTest, PreparedSemanticsBitIdentical) {
   }
 }
 
+// The tentpole sweep: the sharded T-ERank must be bit-identical to the
+// serial facade for every (synthetic topology × placement policy × thread
+// count × shard count). The shard plan is rebuilt under each topology —
+// home nodes move around — and EXPECT_EQ on the double vectors asserts
+// that none of it reaches the values.
+TEST_P(TupleKernelDeterminismTest, ShardedExpectedRanksBitIdentical) {
+  const TiePolicy ties = GetParam();
+  const std::vector<double> baseline = TupleExpectedRanks(rel_, ties);
+  const auto prepared = QueryEngine::Prepare(rel_);
+
+  for (const char* spec : kSyntheticTopologies) {
+    ScopedPlanningTopology topo(spec);
+    for (int max_shards : {0, 1, 4, 16}) {
+      const internal::TupleShardPlan plan = internal::BuildTupleShardPlan(
+          rel_, prepared->rank_order(), /*first_touch=*/false, max_shards);
+      ASSERT_GE(static_cast<int>(plan.shards.size()), 1);
+      for (PlacementPolicy placement : kAllPlacements) {
+        for (int threads : {1, 2, 8}) {
+          KernelReport report;
+          EXPECT_EQ(TupleExpectedRanksSharded(rel_, plan, ties,
+                                              Par(threads, placement),
+                                              &report),
+                    baseline)
+              << "topology=" << spec << " placement=" << ToString(placement)
+              << " threads=" << threads << " max_shards=" << max_shards;
+          EXPECT_GE(report.threads_used, 1);
+          EXPECT_GE(report.nodes_used, 1);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(TupleKernelDeterminismTest, PreparedShardPlanMatchesSerialFacade) {
+  const TiePolicy ties = GetParam();
+  const std::vector<double> baseline = TupleExpectedRanks(rel_, ties);
+  // Fresh prepared state per placement: a shared object would serve later
+  // runs from the memo cache and make the comparison vacuous.
+  for (PlacementPolicy placement : kAllPlacements) {
+    const auto prepared = QueryEngine::Prepare(rel_);
+    KernelReport report;
+    EXPECT_EQ(TupleExpectedRanks(*prepared, ties, Par(8, placement), &report),
+              baseline)
+        << ToString(placement);
+    // The top-k selection over the same statistic must agree with the
+    // serial selection, ids and values both.
+    const std::vector<RankedTuple> topk =
+        TupleExpectedRankTopK(*prepared, 25, ties, Par(8, placement));
+    const std::vector<RankedTuple> serial_topk =
+        TupleExpectedRankTopK(rel_, 25, ties);
+    ASSERT_EQ(topk.size(), serial_topk.size());
+    for (size_t i = 0; i < topk.size(); ++i) {
+      EXPECT_EQ(topk[i].id, serial_topk[i].id) << ToString(placement);
+      EXPECT_EQ(topk[i].statistic, serial_topk[i].statistic)
+          << ToString(placement);
+    }
+  }
+}
+
+TEST_P(TupleKernelDeterminismTest,
+       QuantileRanksBitIdenticalAcrossPlacementsAndTopologies) {
+  const TiePolicy ties = GetParam();
+  const auto serial = QueryEngine::Prepare(rel_);
+  const std::vector<int> baseline = TupleQuantileRanks(*serial, 0.5, ties);
+
+  for (const char* spec : kSyntheticTopologies) {
+    ScopedPlanningTopology topo(spec);
+    for (PlacementPolicy placement : kAllPlacements) {
+      const auto prepared = QueryEngine::Prepare(rel_);
+      KernelReport report;
+      EXPECT_EQ(TupleQuantileRanks(*prepared, 0.5, ties, Par(8, placement),
+                                   &report),
+                baseline)
+          << "topology=" << spec << " placement=" << ToString(placement);
+    }
+  }
+}
+
 TEST(GeneratedTupleRelationDeterminismTest, QuantileRanksBitIdentical) {
   // Realistic generator output: continuous scores (every run is a
   // singleton) and ~0.8N mostly-small exclusion rules, i.e. the wide-
@@ -222,6 +337,32 @@ TEST_P(AttrKernelDeterminismTest, RankDistributionsBitIdentical) {
     EXPECT_EQ(AttrRankDistributions(rel, pdfs, ties, Par(threads), &report),
               baseline)
         << "threads=" << threads;
+  }
+}
+
+TEST_P(AttrKernelDeterminismTest, ShardedExpectedRanksBitIdentical) {
+  const TiePolicy ties = GetParam();
+  const AttrRelation rel = MakeRelation();
+  const std::vector<double> baseline = AttrExpectedRanks(rel, ties);
+
+  for (const char* spec : kSyntheticTopologies) {
+    ScopedPlanningTopology topo(spec);
+    for (PlacementPolicy placement : kAllPlacements) {
+      for (int threads : {1, 2, 8}) {
+        const auto prepared = QueryEngine::Prepare(rel);
+        KernelReport report;
+        EXPECT_EQ(
+            AttrExpectedRanks(*prepared, ties, Par(threads, placement),
+                              &report),
+            baseline)
+            << "topology=" << spec << " placement=" << ToString(placement)
+            << " threads=" << threads;
+        EXPECT_EQ(
+            AttrExpectedRankTopK(*prepared, 15, ties, Par(threads, placement)),
+            AttrExpectedRankTopK(rel, 15, ties))
+            << "topology=" << spec << " placement=" << ToString(placement);
+      }
+    }
   }
 }
 
@@ -316,6 +457,54 @@ TEST(EngineDeterminismTest, AttrAnswersBitIdenticalAcrossThreadCounts) {
                        ToString(queries[i].semantics));
     }
   }
+}
+
+TEST(EngineDeterminismTest, AnswersBitIdenticalAcrossPlacementPolicies) {
+  const TupleRelation rel = MakeClusteredTupleRelation(33000, 64, 200);
+  const std::vector<RankingQuery> queries = EngineQueryMix();
+
+  QueryEngine baseline(rel);
+  std::vector<QueryResult> base;
+  for (const RankingQuery& q : queries) base.push_back(baseline.Run(q));
+
+  ScopedPlanningTopology topo("0-3;4-7");
+  for (PlacementPolicy placement : kAllPlacements) {
+    const QueryEngine engine(rel);  // fresh prepared state per placement
+    for (size_t i = 0; i < queries.size(); ++i) {
+      QueryRequest request;
+      request.options = queries[i];
+      request.parallelism = Par(8, placement);
+      ExpectSameResult(engine.Run(request), base[i],
+                       ToString(queries[i].semantics));
+    }
+  }
+}
+
+TEST(EngineDeterminismTest, NodeLocalPlacementClampsAndReportsThreads) {
+  ScopedPlanningTopology topo("0-3;4-7");  // widest node: 4 cores
+  const TupleRelation rel = MakeClusteredTupleRelation(33000, 64, 200);
+  const QueryEngine engine(rel);
+
+  QueryRequest request;
+  request.options.semantics = RankingSemantics::kExpectedRank;
+  request.options.k = 10;
+  request.parallelism = Par(8, PlacementPolicy::kNodeLocal);
+
+  const QueryResult got = engine.Run(request);
+  ASSERT_TRUE(got.status.ok());
+  EXPECT_TRUE(got.stats.threads_clamped);
+  EXPECT_LE(got.stats.threads_used, 4);
+  EXPECT_GE(got.stats.nodes_used, 1);
+
+  // The same query under kFlat is not clamped — and returns the same
+  // answer from a fresh engine.
+  QueryRequest flat = request;
+  flat.parallelism = Par(8, PlacementPolicy::kFlat);
+  const QueryResult flat_got = QueryEngine(rel).Run(flat);
+  ASSERT_TRUE(flat_got.status.ok());
+  EXPECT_FALSE(flat_got.stats.threads_clamped);
+  EXPECT_EQ(flat_got.answer.ids, got.answer.ids);
+  EXPECT_EQ(flat_got.answer.statistics, got.answer.statistics);
 }
 
 TEST(EngineDeterminismTest, RunBatchComposesWithIntraQueryParallelism) {

@@ -1,0 +1,322 @@
+// Topology discovery: cpulist parsing, URANK_TOPOLOGY spec parsing, sysfs
+// fixture directories, and the detection precedence. Topology never
+// affects results (that contract lives in parallel_determinism_test);
+// this file pins down the discovery layer itself.
+
+#include "util/topology.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace urank {
+namespace {
+
+TEST(CoreSetParseTest, AcceptsSysfsCpulistSyntax) {
+  CoreSet set;
+  ASSERT_TRUE(CoreSet::Parse("0-3,8,10-11", &set));
+  EXPECT_EQ(set.cpus(), (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(set.size(), 7);
+  EXPECT_TRUE(set.Contains(8));
+  EXPECT_FALSE(set.Contains(4));
+}
+
+TEST(CoreSetParseTest, SingleCpuAndWhitespace) {
+  CoreSet set;
+  ASSERT_TRUE(CoreSet::Parse("  5  ", &set));
+  EXPECT_EQ(set.cpus(), (std::vector<int>{5}));
+  ASSERT_TRUE(CoreSet::Parse(" 0 - 2 , 4 ", &set));
+  EXPECT_EQ(set.cpus(), (std::vector<int>{0, 1, 2, 4}));
+}
+
+TEST(CoreSetParseTest, EmptyListParsesToEmptySet) {
+  CoreSet set;
+  ASSERT_TRUE(CoreSet::Parse("", &set));
+  EXPECT_TRUE(set.empty());
+  ASSERT_TRUE(CoreSet::Parse("   ", &set));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(CoreSetParseTest, RejectsMalformedInputWithoutTouchingOut) {
+  CoreSet set({42});
+  EXPECT_FALSE(CoreSet::Parse("a-b", &set));
+  EXPECT_FALSE(CoreSet::Parse("3-1", &set));  // descending range
+  EXPECT_FALSE(CoreSet::Parse("1,,2", &set));
+  EXPECT_FALSE(CoreSet::Parse("1-", &set));
+  EXPECT_FALSE(CoreSet::Parse("-3", &set));
+  EXPECT_FALSE(CoreSet::Parse("0-99999", &set));  // absurd range refused
+  EXPECT_EQ(set.cpus(), (std::vector<int>{42}));  // untouched on failure
+}
+
+TEST(CoreSetTest, ConstructorSortsAndDeduplicates) {
+  const CoreSet set({3, 1, 3, 0});
+  EXPECT_EQ(set.cpus(), (std::vector<int>{0, 1, 3}));
+}
+
+TEST(CoreSetTest, ToCpulistRoundTripsThroughParse) {
+  for (const char* list : {"0-3,8,10-11", "5", "0,2,4", "0-15", ""}) {
+    CoreSet set;
+    ASSERT_TRUE(CoreSet::Parse(list, &set)) << list;
+    EXPECT_EQ(set.ToCpulist(), list);
+    CoreSet again;
+    ASSERT_TRUE(CoreSet::Parse(set.ToCpulist(), &again)) << list;
+    EXPECT_EQ(again, set);
+  }
+}
+
+TEST(CoreSetTest, IntersectKeepsCommonCpus) {
+  CoreSet a;
+  CoreSet b;
+  ASSERT_TRUE(CoreSet::Parse("0-7", &a));
+  ASSERT_TRUE(CoreSet::Parse("4-11", &b));
+  EXPECT_EQ(a.Intersect(b).ToCpulist(), "4-7");
+  CoreSet none;
+  EXPECT_TRUE(a.Intersect(none).empty());
+}
+
+TEST(TopologyParseTest, TwoNodeSpec) {
+  Topology topo = Topology::SingleNode(1);
+  std::string error;
+  ASSERT_TRUE(Topology::Parse("0-3;4-7", &topo, &error)) << error;
+  ASSERT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.nodes()[0].id, 0);
+  EXPECT_EQ(topo.nodes()[0].cores.ToCpulist(), "0-3");
+  EXPECT_EQ(topo.nodes()[1].id, 1);
+  EXPECT_EQ(topo.nodes()[1].cores.ToCpulist(), "4-7");
+  EXPECT_EQ(topo.total_cores(), 8);
+  EXPECT_EQ(topo.max_node_cores(), 4);
+  EXPECT_TRUE(topo.synthetic());
+}
+
+TEST(TopologyParseTest, RejectsEmptyOrMalformedSpecs) {
+  Topology topo = Topology::SingleNode(1);
+  std::string error;
+  EXPECT_FALSE(Topology::Parse("", &topo, &error));
+  EXPECT_EQ(error, "empty topology spec");
+  EXPECT_FALSE(Topology::Parse("0-3;;4-7", &topo, &error));
+  EXPECT_NE(error.find("node 1"), std::string::npos) << error;
+  EXPECT_FALSE(Topology::Parse("0-3;x", &topo, &error));
+  EXPECT_FALSE(Topology::Parse("0-3;", &topo, &error));  // trailing empty node
+}
+
+TEST(TopologyParseTest, ToSpecRoundTrips) {
+  for (const char* spec : {"0-3;4-7", "0-1;2-3;4-5;6-7", "0,2;1,3", "0-15"}) {
+    Topology topo = Topology::SingleNode(1);
+    std::string error;
+    ASSERT_TRUE(Topology::Parse(spec, &topo, &error)) << error;
+    EXPECT_EQ(topo.ToSpec(), spec);
+    Topology again = Topology::SingleNode(1);
+    ASSERT_TRUE(Topology::Parse(topo.ToSpec(), &again, &error)) << error;
+    EXPECT_EQ(again.ToSpec(), topo.ToSpec());
+  }
+}
+
+TEST(TopologyTest, SingleNodeShape) {
+  const Topology topo = Topology::SingleNode(4);
+  ASSERT_EQ(topo.num_nodes(), 1);
+  EXPECT_EQ(topo.nodes()[0].cores.ToCpulist(), "0-3");
+  EXPECT_EQ(topo.max_node_cores(), 4);
+  EXPECT_TRUE(topo.synthetic());
+  // Never fewer than one core, even for nonsense requests.
+  EXPECT_EQ(Topology::SingleNode(0).total_cores(), 1);
+  EXPECT_EQ(Topology::SingleNode(-5).total_cores(), 1);
+}
+
+TEST(TopologyTest, NodeOfCpuMapsCoresToNodeIndices) {
+  Topology topo = Topology::SingleNode(1);
+  std::string error;
+  ASSERT_TRUE(Topology::Parse("0-3;8-11", &topo, &error)) << error;
+  EXPECT_EQ(topo.NodeOfCpu(0), 0);
+  EXPECT_EQ(topo.NodeOfCpu(3), 0);
+  EXPECT_EQ(topo.NodeOfCpu(8), 1);
+  EXPECT_EQ(topo.NodeOfCpu(11), 1);
+  EXPECT_EQ(topo.NodeOfCpu(5), -1);  // gap between the nodes
+  EXPECT_EQ(topo.NodeOfCpu(12), -1);
+}
+
+// A sysfs fixture directory shaped like /sys/devices/system/node: an
+// `online` node list plus node<N>/cpulist files. Built fresh per test.
+class SysfsFixture {
+ public:
+  explicit SysfsFixture(const std::string& name)
+      : root_(std::filesystem::temp_directory_path() /
+              ("urank_topology_test_" + name)) {
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  ~SysfsFixture() { std::filesystem::remove_all(root_); }
+
+  void WriteOnline(const std::string& list) { WriteFile("online", list); }
+
+  void WriteNode(int id, const std::string& cpulist) {
+    const std::string dir = "node" + std::to_string(id);
+    std::filesystem::create_directories(root_ / dir);
+    WriteFile(dir + "/cpulist", cpulist);
+  }
+
+  std::string path() const { return root_.string(); }
+
+ private:
+  void WriteFile(const std::string& rel, const std::string& contents) {
+    std::ofstream out(root_ / rel);
+    out << contents << "\n";
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST(TopologyFromSysfsTest, ReadsTwoNodeFixture) {
+  SysfsFixture fx("two_node");
+  fx.WriteOnline("0-1");
+  fx.WriteNode(0, "0-3");
+  fx.WriteNode(1, "4-7");
+  const Topology topo = Topology::FromSysfs(fx.path(), 1);
+  ASSERT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.ToSpec(), "0-3;4-7");
+  EXPECT_FALSE(topo.synthetic());
+  EXPECT_EQ(topo.nodes()[0].id, 0);
+  EXPECT_EQ(topo.nodes()[1].id, 1);
+}
+
+TEST(TopologyFromSysfsTest, SparseNodeIdsKeepSysfsNumbers) {
+  // Real machines expose non-contiguous node ids (e.g. 0 and 2 with
+  // memory-only node 1 offline). The id field keeps the sysfs number;
+  // NodeOfCpu returns the dense index into nodes().
+  SysfsFixture fx("sparse");
+  fx.WriteOnline("0,2");
+  fx.WriteNode(0, "0-1");
+  fx.WriteNode(2, "2-3");
+  const Topology topo = Topology::FromSysfs(fx.path(), 1);
+  ASSERT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.nodes()[1].id, 2);
+  EXPECT_EQ(topo.NodeOfCpu(3), 1);
+}
+
+TEST(TopologyFromSysfsTest, MissingDirectoryFallsBackToSingleNode) {
+  const Topology topo = Topology::FromSysfs("/nonexistent/sysfs/root", 6);
+  ASSERT_EQ(topo.num_nodes(), 1);
+  EXPECT_EQ(topo.total_cores(), 6);
+  EXPECT_TRUE(topo.synthetic());
+}
+
+TEST(TopologyFromSysfsTest, MalformedOnlineListFallsBack) {
+  SysfsFixture fx("bad_online");
+  fx.WriteOnline("garbage");
+  fx.WriteNode(0, "0-3");
+  const Topology topo = Topology::FromSysfs(fx.path(), 2);
+  EXPECT_EQ(topo.num_nodes(), 1);
+  EXPECT_EQ(topo.total_cores(), 2);
+  EXPECT_TRUE(topo.synthetic());
+}
+
+TEST(TopologyFromSysfsTest, NodesWithMissingOrEmptyCpulistAreSkipped) {
+  SysfsFixture fx("partial");
+  fx.WriteOnline("0-2");
+  fx.WriteNode(0, "0-3");
+  // node1 directory absent entirely; node2 has an empty cpulist (a
+  // memory-only NUMA node, as CXL expanders expose).
+  fx.WriteNode(2, "");
+  const Topology topo = Topology::FromSysfs(fx.path(), 1);
+  ASSERT_EQ(topo.num_nodes(), 1);
+  EXPECT_EQ(topo.ToSpec(), "0-3");
+  EXPECT_FALSE(topo.synthetic());
+}
+
+TEST(TopologyFromSysfsTest, AllNodesEmptyFallsBack) {
+  SysfsFixture fx("all_empty");
+  fx.WriteOnline("0");
+  fx.WriteNode(0, "");
+  const Topology topo = Topology::FromSysfs(fx.path(), 3);
+  EXPECT_TRUE(topo.synthetic());
+  EXPECT_EQ(topo.total_cores(), 3);
+}
+
+// RAII guard for the URANK_TOPOLOGY environment variable.
+class ScopedTopologyEnv {
+ public:
+  explicit ScopedTopologyEnv(const char* value) {
+    const char* old = std::getenv("URANK_TOPOLOGY");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      ::unsetenv("URANK_TOPOLOGY");
+    } else {
+      ::setenv("URANK_TOPOLOGY", value, /*overwrite=*/1);
+    }
+  }
+  ~ScopedTopologyEnv() {
+    if (had_old_) {
+      ::setenv("URANK_TOPOLOGY", old_.c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv("URANK_TOPOLOGY");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(TopologyDetectTest, EnvOverrideWinsAndIsSynthetic) {
+  ScopedTopologyEnv env("0-3;4-7");
+  const Topology topo = Topology::Detect();
+  ASSERT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.ToSpec(), "0-3;4-7");
+  EXPECT_TRUE(topo.synthetic());
+}
+
+TEST(TopologyDetectTest, MalformedOverrideFallsThroughToRealDetection) {
+  ScopedTopologyEnv env("not;a;topology");
+  const Topology topo = Topology::Detect();
+  // Real detection always yields a valid topology covering the allowed
+  // cores; the malformed spec must not leak into it.
+  EXPECT_GE(topo.num_nodes(), 1);
+  EXPECT_GE(topo.total_cores(), 1);
+  EXPECT_NE(topo.ToSpec(), "not;a;topology");
+}
+
+TEST(TopologyDetectTest, NoOverrideDetectsAtLeastTheAllowedCores) {
+  ScopedTopologyEnv env(nullptr);
+  const Topology topo = Topology::Detect();
+  EXPECT_GE(topo.num_nodes(), 1);
+  EXPECT_EQ(topo.total_cores(), AllowedCoreCount());
+}
+
+TEST(GlobalTopologyTest, SetForTestReplacesThePlanningTopology) {
+  Topology synthetic = Topology::SingleNode(1);
+  std::string error;
+  ASSERT_TRUE(Topology::Parse("0-1;2-3", &synthetic, &error)) << error;
+  SetGlobalTopologyForTest(synthetic);
+  EXPECT_EQ(GlobalTopology().ToSpec(), "0-1;2-3");
+  EXPECT_EQ(GlobalTopology().num_nodes(), 2);
+  // Restore a detected topology so later tests in this binary see the
+  // machine's shape again.
+  SetGlobalTopologyForTest(Topology::Detect());
+  EXPECT_GE(GlobalTopology().num_nodes(), 1);
+}
+
+TEST(AllowedCoresTest, MaskMatchesAllowedCoreCountWhenAvailable) {
+  const CoreSet cores = AllowedCores();
+  if (!cores.empty()) {
+    EXPECT_EQ(cores.size(), AllowedCoreCount());
+  }
+  EXPECT_GE(AllowedCoreCount(), 1);
+}
+
+TEST(PinTest, PinningToAllowedCoresSucceedsOrFailsHarmlessly) {
+  const CoreSet allowed = AllowedCores();
+  if (allowed.empty()) {
+    EXPECT_FALSE(PinCurrentThreadToCores(allowed));
+    return;
+  }
+  // Pinning to the full allowed mask is a no-op affinity-wise and must
+  // succeed on Linux; pinning to an empty set must fail without harm.
+  EXPECT_TRUE(PinCurrentThreadToCores(allowed));
+  EXPECT_FALSE(PinCurrentThreadToCores(CoreSet{}));
+}
+
+}  // namespace
+}  // namespace urank

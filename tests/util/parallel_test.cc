@@ -8,9 +8,23 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "util/topology.h"
 
 namespace urank {
 namespace {
+
+// Swaps the planning topology for a synthetic one and restores a detected
+// topology on destruction, so later tests see the machine's shape again.
+class ScopedPlanningTopology {
+ public:
+  explicit ScopedPlanningTopology(const char* spec) {
+    Topology topo = Topology::SingleNode(1);
+    std::string error;
+    EXPECT_TRUE(Topology::Parse(spec, &topo, &error)) << error;
+    SetGlobalTopologyForTest(topo);
+  }
+  ~ScopedPlanningTopology() { SetGlobalTopologyForTest(Topology::Detect()); }
+};
 
 TEST(ResolveThreadsTest, PositiveRequestsPassThrough) {
   EXPECT_EQ(ResolveThreads(1), 1);
@@ -195,18 +209,190 @@ TEST(ThreadPoolDeathTest, RejectsNegativeWorkerCap) {
   EXPECT_DEATH(ThreadPool(-1), "max_workers");
 }
 
+TEST(PlacementPolicyTest, StringRoundTrip) {
+  for (PlacementPolicy placement :
+       {PlacementPolicy::kFlat, PlacementPolicy::kNodeLocal,
+        PlacementPolicy::kSpread}) {
+    PlacementPolicy parsed = PlacementPolicy::kFlat;
+    ASSERT_TRUE(PlacementFromString(ToString(placement), &parsed))
+        << ToString(placement);
+    EXPECT_EQ(parsed, placement);
+  }
+}
+
+TEST(PlacementPolicyTest, RejectsUnknownNamesWithoutTouchingOut) {
+  PlacementPolicy parsed = PlacementPolicy::kSpread;
+  EXPECT_FALSE(PlacementFromString("numa", &parsed));
+  EXPECT_FALSE(PlacementFromString("", &parsed));
+  EXPECT_FALSE(PlacementFromString("Flat", &parsed));  // case-sensitive
+  EXPECT_EQ(parsed, PlacementPolicy::kSpread);
+}
+
+TEST(EffectiveParallelismTest, FlatAndSpreadOnlyResolveThreads) {
+  ScopedPlanningTopology topo("0-3;4-7");
+  for (PlacementPolicy placement :
+       {PlacementPolicy::kFlat, PlacementPolicy::kSpread}) {
+    ParallelismOptions par;
+    par.threads = 8;
+    par.placement = placement;
+    bool clamped = true;
+    const ParallelismOptions eff = EffectiveParallelism(par, &clamped);
+    EXPECT_EQ(eff.threads, 8) << ToString(placement);
+    EXPECT_EQ(eff.placement, placement);
+    EXPECT_FALSE(clamped);
+  }
+}
+
+TEST(EffectiveParallelismTest, NodeLocalClampsToWidestNode) {
+  ScopedPlanningTopology topo("0-3;4-9");  // widest node has 6 cores
+  ParallelismOptions par;
+  par.threads = 16;
+  par.placement = PlacementPolicy::kNodeLocal;
+  bool clamped = false;
+  const ParallelismOptions eff = EffectiveParallelism(par, &clamped);
+  EXPECT_EQ(eff.threads, 6);
+  EXPECT_EQ(eff.placement, PlacementPolicy::kNodeLocal);
+  EXPECT_TRUE(clamped);
+
+  // A request already within the widest node passes through unclamped.
+  par.threads = 4;
+  const ParallelismOptions small = EffectiveParallelism(par, &clamped);
+  EXPECT_EQ(small.threads, 4);
+  EXPECT_FALSE(clamped);
+}
+
+TEST(EffectiveParallelismTest, AutoThreadsResolveBeforeClamping) {
+  ScopedPlanningTopology topo("0-1;2-3");
+  ParallelismOptions par;
+  par.threads = 0;  // "every allowed core" = the planning topology's total
+  par.placement = PlacementPolicy::kNodeLocal;
+  bool clamped = false;
+  const ParallelismOptions eff = EffectiveParallelism(par, &clamped);
+  EXPECT_EQ(eff.threads, 2);  // 4 total cores clamped to the 2-core node
+  EXPECT_TRUE(clamped);
+}
+
+TEST(ParallelForPlacedTest, EveryChunkRunsExactlyOnceUnderEveryPolicy) {
+  constexpr int kChunks = 64;
+  for (PlacementPolicy placement :
+       {PlacementPolicy::kFlat, PlacementPolicy::kNodeLocal,
+        PlacementPolicy::kSpread}) {
+    std::vector<std::atomic<int>> counts(kChunks);
+    for (auto& c : counts) c.store(0);
+    const ForRunInfo info =
+        ParallelForPlaced(kChunks, 8, placement, [&](int chunk, int slot) {
+          EXPECT_GE(slot, 0);
+          EXPECT_LT(slot, 8);
+          counts[static_cast<size_t>(chunk)].fetch_add(1);
+        });
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1) << ToString(placement);
+    EXPECT_GE(info.participants, 1);
+    EXPECT_LE(info.participants, 8);
+    EXPECT_GE(info.nodes_used, 1);
+    EXPECT_GE(info.remote_chunks, 0);
+  }
+}
+
+TEST(ParallelForPlacedTest, SerialCallerVisitsChunksInOrderOnSlotZero) {
+  for (PlacementPolicy placement :
+       {PlacementPolicy::kFlat, PlacementPolicy::kNodeLocal,
+        PlacementPolicy::kSpread}) {
+    std::vector<int> order;
+    const ForRunInfo info =
+        ParallelForPlaced(5, 1, placement, [&](int chunk, int slot) {
+          EXPECT_EQ(slot, 0);
+          order.push_back(chunk);
+        });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4})) << ToString(placement);
+    EXPECT_EQ(info.participants, 1);
+    EXPECT_EQ(info.nodes_used, 1);
+    EXPECT_EQ(info.remote_chunks, 0);
+  }
+}
+
+TEST(ParallelForPlacedTest, ZeroChunksRunsNothing) {
+  bool ran = false;
+  const ForRunInfo info = ParallelForPlaced(
+      0, 8, PlacementPolicy::kSpread, [&](int, int) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(info.participants, 1);
+}
+
+TEST(ParallelForPlacedTest, SyntheticMultiNodePlanningIsHarmless) {
+  // A synthetic multi-node planning topology must not change execution
+  // correctness even though the execution pool (built at first use from
+  // the machine) has a different group count.
+  ScopedPlanningTopology topo("0-1;2-3;4-5");
+  for (PlacementPolicy placement :
+       {PlacementPolicy::kFlat, PlacementPolicy::kNodeLocal,
+        PlacementPolicy::kSpread}) {
+    std::vector<std::atomic<int>> counts(24);
+    for (auto& c : counts) c.store(0);
+    ParallelForPlaced(24, 6, placement, [&](int chunk, int) {
+      counts[static_cast<size_t>(chunk)].fetch_add(1);
+    });
+    for (const auto& c : counts) EXPECT_EQ(c.load(), 1) << ToString(placement);
+  }
+}
+
+TEST(ParallelForPlacedDeathTest, RejectsNegativeChunkCount) {
+  EXPECT_DEATH(
+      ParallelForPlaced(-1, 2, PlacementPolicy::kFlat, [](int, int) {}),
+      "num_chunks");
+}
+
+TEST(ThreadPoolTest, SubmitToGroupRunsOnEveryGroup) {
+  ThreadPool pool(2);
+  ASSERT_GE(pool.num_groups(), 1);
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  const int total = 4 * pool.num_groups();
+  for (int g = 0; g < total; ++g) {
+    pool.SubmitToGroup(g, [&] {
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == total) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(60),
+                          [&] { return done == total; }));
+}
+
+TEST(ThreadPoolTest, CurrentGroupIsMinusOneOffPoolAndValidOnWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.CurrentGroup(), -1);  // the main thread is not a worker
+  std::mutex mu;
+  std::condition_variable cv;
+  int seen = -2;
+  pool.Submit([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    seen = pool.CurrentGroup();
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(60),
+                          [&] { return seen != -2; }));
+  EXPECT_GE(seen, 0);
+  EXPECT_LT(seen, pool.num_groups());
+}
+
 TEST(KernelReportTest, MergeTakesMaxThreadsAndSumsArenaBytes) {
   KernelReport a;
   a.threads_used = 4;
+  a.nodes_used = 1;
   a.arena_bytes = 100;
   KernelReport b;
   b.threads_used = 2;
+  b.nodes_used = 2;
   b.arena_bytes = 50;
   a.Merge(b);
   EXPECT_EQ(a.threads_used, 4);
+  EXPECT_EQ(a.nodes_used, 2);
   EXPECT_EQ(a.arena_bytes, 150u);
   b.Merge(a);
   EXPECT_EQ(b.threads_used, 4);
+  EXPECT_EQ(b.nodes_used, 2);
   EXPECT_EQ(b.arena_bytes, 200u);
 }
 

@@ -5,9 +5,9 @@
 //     everywhere else relaxed ordering hides real synchronization bugs
 //     behind x86's strong hardware model.
 //   * A scoped lock (lock_guard / unique_lock / scoped_lock) must not be
-//     held across a ParallelFor / ParallelReduce / RunBatch call in the
-//     same block: the workers would serialize on (or deadlock against)
-//     the caller's mutex.
+//     held across a ParallelFor / ParallelForPlaced / ParallelReduce /
+//     RunBatch call in the same block: the workers would serialize on
+//     (or deadlock against) the caller's mutex.
 
 #include <string>
 
@@ -54,8 +54,8 @@ class ParallelCallFinder
       return true;
     }
     const llvm::StringRef name = callee->getName();
-    if (name == "ParallelFor" || name == "ParallelReduce" ||
-        name == "RunBatch") {
+    if (name == "ParallelFor" || name == "ParallelForPlaced" ||
+        name == "ParallelReduce" || name == "RunBatch") {
       call_ = e;
       return false;
     }

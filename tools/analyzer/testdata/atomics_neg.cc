@@ -4,6 +4,7 @@
 #include <mutex>
 
 int ParallelFor(int n, int workers);
+int ParallelForPlaced(int n, int workers, int placement);
 
 namespace {
 
@@ -32,6 +33,15 @@ int LockReleasedBeforeParallelFor(int n) {
   return ParallelFor(n, 4);
 }
 
+// Same for the placed variant.
+int LockReleasedBeforePlacedFor(int n) {
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_counter.fetch_add(1, std::memory_order_acq_rel);
+  }
+  return ParallelForPlaced(n, 4, 2);
+}
+
 // A justified relaxed counter is suppressed with the allow-comment.
 long long JustifiedRelaxed() {
   // Diagnostic-only counter; torn totals are acceptable here.
@@ -45,5 +55,5 @@ int AnchorAtomicsNeg(int n) {
   WriteRelease(ReadAcquire());
   return static_cast<int>(BumpAcqRel() + BumpDefault() +
                           JustifiedRelaxed()) +
-         LockReleasedBeforeParallelFor(n);
+         LockReleasedBeforeParallelFor(n) + LockReleasedBeforePlacedFor(n);
 }

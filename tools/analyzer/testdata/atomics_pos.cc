@@ -6,6 +6,7 @@
 // Stand-ins for util/parallel.h entry points (same names; the check
 // matches by callee name so the corpus stays header-light).
 int ParallelFor(int n, int workers);
+int ParallelForPlaced(int n, int workers, int placement);
 double ParallelReduce(int n, int workers);
 
 namespace {
@@ -37,11 +38,17 @@ double UniqueLockAcrossReduce(int n) {
   return ParallelReduce(n, 4);  // expect: atomics
 }
 
+int LockHeldAcrossPlacedFor(int n) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return ParallelForPlaced(n, 4, 2);  // expect: atomics
+}
+
 }  // namespace
 
 // Anchor so the anonymous-namespace functions are odr-used.
 int AnchorAtomicsPos(int n) {
   WriteRelaxed(ReadRelaxed());
   return static_cast<int>(BumpRelaxed()) + LockHeldAcrossParallelFor(n) +
-         static_cast<int>(UniqueLockAcrossReduce(n));
+         static_cast<int>(UniqueLockAcrossReduce(n)) +
+         LockHeldAcrossPlacedFor(n);
 }

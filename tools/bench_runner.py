@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Runs the bench/ suite and merges the results into BENCH_5.json.
+"""Runs the bench/ suite and merges the results into BENCH_7.json.
 
 The perf trajectory lives in BENCH_<PR>.json files at the repo root: one
 machine-readable snapshot per performance-focused PR, so later PRs can
@@ -8,8 +8,8 @@ from an existing build tree and writes one merged JSON document.
 
 Usage:
     python3 tools/bench_runner.py [--build-dir build] [--smoke]
-                                  [--out BENCH_5.json] [--only a,b,...]
-                                  [--compare BENCH_4.json] [--repeat N]
+                                  [--out BENCH_7.json] [--only a,b,...]
+                                  [--compare BENCH_6.json] [--repeat N]
                                   [--metrics-out metrics.json]
 
 Modes:
@@ -55,9 +55,9 @@ import sys
 import tempfile
 import time
 
-BENCH_ID = "BENCH_6"
-TITLE = ("urankd serving layer: admission control, deadlines and the "
-         "epoch-keyed result cache under load")
+BENCH_ID = "BENCH_7"
+TITLE = ("NUMA-aware shard-parallel execution: topology-pinned worker "
+         "groups, placement policies and score-range sharding")
 
 # A matched series must not be slower than baseline by more than this.
 REGRESSION_TOLERANCE = 0.10
@@ -85,6 +85,8 @@ REGISTRY = [
     Bench("serve", "bench_serve", "json_harness",
           smoke=True, smoke_args=["--smoke"]),
     Bench("parallel_kernels", "bench_parallel_kernels", "json_harness",
+          smoke=True, smoke_args=["--smoke"]),
+    Bench("numa_scaling", "bench_numa_scaling", "json_harness",
           smoke=True, smoke_args=["--smoke"]),
     Bench("engine_batch", "bench_engine_batch", "json_harness",
           smoke=True, smoke_args=["--smoke"]),
