@@ -1,0 +1,234 @@
+#include "core/engine/prepared_builder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+#include "core/internal/value_universe.h"
+#include "core/internal/vector_kernels.h"
+#include "util/check.h"
+
+namespace urank {
+namespace {
+
+// K-way merge of per-block runs under `better` — a strict total order over
+// global indices (both orders below tie-break on the unique index, so no
+// two elements compare equal). The merged sequence is therefore the unique
+// sorted sequence: identical to std::sort over the concatenation, which is
+// what makes blocked preparation bit-identical to the eager path.
+template <typename Better>
+std::vector<int> MergeRuns(const std::vector<std::vector<int>>& runs,
+                           size_t total, const Better& better) {
+  struct Cursor {
+    size_t run = 0;
+    size_t pos = 0;
+  };
+  auto worse = [&](const Cursor& a, const Cursor& b) {
+    return better(runs[b.run][b.pos], runs[a.run][a.pos]);
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(worse)> heads(
+      worse);
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) heads.push(Cursor{r, 0});
+  }
+  std::vector<int> merged;
+  merged.reserve(total);
+  while (!heads.empty()) {
+    Cursor c = heads.top();
+    heads.pop();
+    merged.push_back(runs[c.run][c.pos]);
+    if (++c.pos < runs[c.run].size()) heads.push(c);
+  }
+  return merged;
+}
+
+}  // namespace
+
+void PreparedTupleRelationBuilder::AddBlock(
+    std::vector<TLTuple> tuples, const std::vector<int>& rule_keys) {
+  URANK_CHECK_MSG(!sealed_, "AddBlock called on a sealed builder");
+  URANK_CHECK_MSG(rule_keys.empty() || rule_keys.size() == tuples.size(),
+                  "rule_keys must be empty or name one rule per tuple");
+  const int base = static_cast<int>(count_);
+  std::vector<int> run(tuples.size());
+  std::iota(run.begin(), run.end(), base);
+  std::sort(run.begin(), run.end(), [&](int a, int b) {
+    const double sa = tuples[static_cast<size_t>(a - base)].score;
+    const double sb = tuples[static_cast<size_t>(b - base)].score;
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  count_ += static_cast<long long>(tuples.size());
+  blocks_.push_back(std::move(tuples));
+  block_rule_keys_.push_back(rule_keys);
+  runs_.push_back(std::move(run));
+}
+
+std::shared_ptr<const PreparedTupleRelation>
+PreparedTupleRelationBuilder::Seal() {
+  URANK_CHECK_MSG(!sealed_, "Seal called twice");
+  sealed_ = true;
+  const size_t n = static_cast<size_t>(count_);
+
+  // Explicit rules, numbered by first appearance of their key in input
+  // order with members in input order — the convention an eager caller
+  // building a rules vector in one pass uses. Singletons (negative keys)
+  // are supplied by the TupleRelation constructor, exactly as for an
+  // eager caller who omits them.
+  std::vector<std::vector<int>> rules;
+  {
+    std::unordered_map<int, size_t> rule_of_key;
+    size_t i = 0;
+    for (size_t b = 0; b < blocks_.size(); ++b) {
+      const std::vector<int>& keys = block_rule_keys_[b];
+      for (size_t j = 0; j < blocks_[b].size(); ++j, ++i) {
+        if (keys.empty()) continue;
+        const int key = keys[j];
+        if (key < 0) continue;
+        const auto [it, inserted] = rule_of_key.try_emplace(key, rules.size());
+        if (inserted) rules.emplace_back();
+        rules[it->second].push_back(static_cast<int>(i));
+      }
+    }
+    block_rule_keys_ = {};
+  }
+
+  // Consolidate the staged blocks into the final tuple vector exactly
+  // once, freeing each block as it moves: peak = final vector + one
+  // block, never two full copies of the relation.
+  std::vector<TLTuple> tuples;
+  tuples.reserve(n);
+  for (std::vector<TLTuple>& block : blocks_) {
+    tuples.insert(tuples.end(), std::make_move_iterator(block.begin()),
+                  std::make_move_iterator(block.end()));
+    std::vector<TLTuple>().swap(block);
+  }
+  blocks_ = {};
+
+  TuplePreparedSeed seed;
+  seed.rank_order = MergeRuns(runs_, n, [&](int a, int b) {
+    const double sa = tuples[static_cast<size_t>(a)].score;
+    const double sb = tuples[static_cast<size_t>(b)].score;
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  runs_.clear();
+  runs_.shrink_to_fit();
+  // One plain sequential pass over the merged order: the exact
+  // left-to-right additions the eager constructor performs. Stitching
+  // per-block partial sums by offset would reassociate these additions
+  // and break bit identity — the merge is the only "external" step.
+  seed.rank_probs.resize(n);
+  seed.prefix_prob.assign(n + 1, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    const double p = tuples[static_cast<size_t>(seed.rank_order[j])].prob;
+    seed.rank_probs[j] = p;
+    seed.prefix_prob[j + 1] = seed.prefix_prob[j] + p;
+  }
+
+  TupleRelation rel(std::move(tuples), std::move(rules));
+  return std::make_shared<const PreparedTupleRelation>(std::move(rel),
+                                                       std::move(seed));
+}
+
+void PreparedAttrRelationBuilder::AddBlock(std::vector<AttrTuple> tuples) {
+  URANK_CHECK_MSG(!sealed_, "AddBlock called on a sealed builder");
+  const int base = static_cast<int>(tuples_.size());
+  std::vector<int> run(tuples.size());
+  std::iota(run.begin(), run.end(), base);
+
+  size_t entries = 0;
+  for (const AttrTuple& t : tuples) entries += t.pdf.size();
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(entries);
+
+  tuples_.reserve(tuples_.size() + tuples.size());
+  expected_scores_.reserve(expected_scores_.size() + tuples.size());
+  sorted_pdfs_.reserve(sorted_pdfs_.size() + tuples.size());
+  std::vector<ScoreValue> scratch;
+  for (AttrTuple& t : tuples) {
+    expected_scores_.push_back(t.ExpectedScore());
+    sorted_pdfs_.emplace_back();
+    sorted_pdfs_.back().Build(t, &scratch);
+    for (const ScoreValue& sv : t.pdf) pairs.emplace_back(sv.value, sv.prob);
+    tuples_.push_back(std::move(t));
+  }
+
+  std::sort(run.begin(), run.end(), [&](int a, int b) {
+    const double ea = expected_scores_[static_cast<size_t>(a)];
+    const double eb = expected_scores_[static_cast<size_t>(b)];
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+  std::sort(pairs.begin(), pairs.end());
+  escore_runs_.push_back(std::move(run));
+  value_runs_.push_back(std::move(pairs));
+}
+
+std::shared_ptr<const PreparedAttrRelation>
+PreparedAttrRelationBuilder::Seal() {
+  URANK_CHECK_MSG(!sealed_, "Seal called twice");
+  sealed_ = true;
+  const size_t n = tuples_.size();
+
+  AttrPreparedSeed seed;
+  seed.escore_order = MergeRuns(escore_runs_, n, [&](int a, int b) {
+    const double ea = expected_scores_[static_cast<size_t>(a)];
+    const double eb = expected_scores_[static_cast<size_t>(b)];
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+  escore_runs_.clear();
+  escore_runs_.shrink_to_fit();
+
+  // Merge the per-block sorted (value, mass) runs and collapse duplicates
+  // on the fly — the same ascending (value, mass) sequence, and therefore
+  // the same accumulation order per distinct value, as BuildValueUniverse
+  // sorting all pairs at once. Pairs with equal value merge smallest mass
+  // first in both paths, so the mass sums are bit-identical.
+  {
+    internal::ValueUniverse& u = seed.universe;
+    struct Cursor {
+      size_t run = 0;
+      size_t pos = 0;
+    };
+    auto worse = [&](const Cursor& a, const Cursor& b) {
+      return value_runs_[b.run][b.pos] < value_runs_[a.run][a.pos];
+    };
+    std::priority_queue<Cursor, std::vector<Cursor>, decltype(worse)> heads(
+        worse);
+    for (size_t r = 0; r < value_runs_.size(); ++r) {
+      if (!value_runs_[r].empty()) heads.push(Cursor{r, 0});
+    }
+    while (!heads.empty()) {
+      Cursor c = heads.top();
+      heads.pop();
+      const auto& [v, p] = value_runs_[c.run][c.pos];
+      if (!u.values.empty() && u.values.back() == v) {
+        u.mass.back() += p;
+      } else {
+        u.values.push_back(v);
+        u.mass.push_back(p);
+      }
+      if (++c.pos < value_runs_[c.run].size()) heads.push(c);
+    }
+    u.suffix.resize(u.values.size() + 1);
+    vk::Active().suffix_sum(u.mass.data(), u.suffix.data(),
+                            u.values.size());
+  }
+  value_runs_.clear();
+  value_runs_.shrink_to_fit();
+
+  seed.expected_scores = std::move(expected_scores_);
+  seed.sorted_pdfs = std::move(sorted_pdfs_);
+  expected_scores_ = {};
+  sorted_pdfs_ = {};
+
+  AttrRelation rel(std::move(tuples_));
+  tuples_ = {};
+  return std::make_shared<const PreparedAttrRelation>(std::move(rel),
+                                                      std::move(seed));
+}
+
+}  // namespace urank

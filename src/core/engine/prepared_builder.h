@@ -1,0 +1,118 @@
+// Blocked / streaming preparation: build a PreparedRelation from
+// score-sorted blocks instead of one monolithic sort-and-scan.
+//
+// The eager PreparedRelation constructors materialize the whole relation,
+// sort N positions in one call, and scan the result — three O(N) peaks
+// that all coexist for an N=1M relation. The builders below accept the
+// relation in blocks (any sizes, any order): each AddBlock sorts only its
+// block into a run and folds the block into the running per-block
+// summaries; Seal() performs an external-style k-way merge of the runs
+// and hands the stitched state to the PreparedRelation seed constructor.
+//
+// Identity guarantee: a sealed relation is *bit-identical* to eagerly
+// preparing the concatenation of the blocks —
+//   * the merged rank/escore order equals the eager std::sort output
+//     because the comparator (score desc, index asc) is a total order
+//     (indices are unique), so the sorted sequence is unique;
+//   * prefix probability sums are computed by one plain sequential pass
+//     over the merged order at seal time — the same left-to-right
+//     additions the eager constructor performs (NOT per-block partial
+//     sums stitched by offset, which would reassociate the floating-point
+//     additions and break bit identity);
+//   * the value universe merges per-block sorted (value, mass) runs and
+//     then collapses duplicates with the exact accumulation
+//     BuildValueUniverse performs on its globally sorted array;
+//   * shard plans come from the same Build*ShardPlan planners (pure
+//     functions of relation + order) — block boundaries never leak into
+//     shard boundaries, which the PR 3/8 determinism contract requires to
+//     be functions of the data only.
+//
+// The builders are single-threaded state machines: AddBlock/Seal must not
+// race. The sealed PreparedRelation has the usual thread-safety.
+
+#ifndef URANK_CORE_ENGINE_PREPARED_BUILDER_H_
+#define URANK_CORE_ENGINE_PREPARED_BUILDER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/engine/prepared_relation.h"
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+
+namespace urank {
+
+// Streaming preparation of a tuple-level relation.
+//
+// Exclusion rules may span blocks: `rule_keys[i]` is an arbitrary
+// caller-chosen key naming the exclusion rule of `tuples[i]`; tuples with
+// the same non-negative key (within or across blocks) form one rule, and
+// a negative key means "independent" (singleton rule, supplied by the
+// TupleRelation constructor). Rules are numbered by first appearance in
+// input order — the same convention an eager caller building an explicit
+// rules vector in input order uses. An empty rule_keys vector marks the
+// whole block independent.
+class PreparedTupleRelationBuilder {
+ public:
+  PreparedTupleRelationBuilder() = default;
+  PreparedTupleRelationBuilder(const PreparedTupleRelationBuilder&) = delete;
+  PreparedTupleRelationBuilder& operator=(const PreparedTupleRelationBuilder&) =
+      delete;
+
+  // Appends one block. The block need not be sorted; it is sorted into a
+  // (score desc, global index asc) run immediately, so the seal-time merge
+  // touches each position O(log #blocks) times instead of re-sorting N.
+  void AddBlock(std::vector<TLTuple> tuples,
+                const std::vector<int>& rule_keys = {});
+
+  // Number of tuples added so far.
+  long long size() const { return count_; }
+
+  // Merges the runs, assembles the relation (aborts on a malformed model,
+  // like the TupleRelation constructor) and returns the prepared state.
+  // The builder is consumed: further AddBlock/Seal calls abort.
+  std::shared_ptr<const PreparedTupleRelation> Seal();
+
+ private:
+  bool sealed_ = false;
+  long long count_ = 0;
+  // Blocks stay staged exactly as handed in (moved, never re-appended to
+  // a growing copy) and consolidate once at Seal, each block freed as it
+  // moves — the builder's peak holds ~one relation plus one block rather
+  // than the caller's vector and a second reallocating copy.
+  std::vector<std::vector<TLTuple>> blocks_;
+  std::vector<std::vector<int>> block_rule_keys_;  // empty => all singleton
+  std::vector<std::vector<int>> runs_;  // per-block sorted global indices
+};
+
+// Streaming preparation of an attribute-level relation. Blocks carry the
+// tuples only; pdf summaries (sorted pdfs, expected scores, per-block
+// value runs for the q(v) universe) are folded in per block.
+class PreparedAttrRelationBuilder {
+ public:
+  PreparedAttrRelationBuilder() = default;
+  PreparedAttrRelationBuilder(const PreparedAttrRelationBuilder&) = delete;
+  PreparedAttrRelationBuilder& operator=(const PreparedAttrRelationBuilder&) =
+      delete;
+
+  void AddBlock(std::vector<AttrTuple> tuples);
+
+  long long size() const { return static_cast<long long>(tuples_.size()); }
+
+  std::shared_ptr<const PreparedAttrRelation> Seal();
+
+ private:
+  bool sealed_ = false;
+  std::vector<AttrTuple> tuples_;
+  std::vector<double> expected_scores_;  // aligned with tuples_
+  std::vector<internal::SortedPdf> sorted_pdfs_;
+  std::vector<std::vector<int>> escore_runs_;  // per-block sorted indices
+  // Per-block (value, mass) pairs sorted ascending — the block's slice of
+  // the global value universe before collapsing.
+  std::vector<std::vector<std::pair<double, double>>> value_runs_;
+};
+
+}  // namespace urank
+
+#endif  // URANK_CORE_ENGINE_PREPARED_BUILDER_H_

@@ -5,6 +5,7 @@
 
 #include "core/engine/trace.h"
 #include "core/rank_distribution_attr.h"
+#include "util/check.h"
 #include "util/metrics.h"
 
 namespace urank {
@@ -60,6 +61,28 @@ PreparedAttrRelation::PreparedAttrRelation(AttrRelation rel)
     if (ea != eb) return ea > eb;
     return a < b;
   });
+  shard_plan_ = internal::BuildAttrShardPlan(rel_, /*first_touch=*/true);
+}
+
+PreparedAttrRelation::PreparedAttrRelation(AttrRelation rel,
+                                           AttrPreparedSeed seed)
+    : rel_(std::move(rel)),
+      expected_scores_(std::move(seed.expected_scores)),
+      escore_order_(std::move(seed.escore_order)),
+      universe_(std::move(seed.universe)),
+      sorted_pdfs_(std::move(seed.sorted_pdfs)) {
+  const int n = rel_.size();
+  URANK_CHECK_MSG(
+      expected_scores_.size() == static_cast<size_t>(n) &&
+          escore_order_.size() == static_cast<size_t>(n) &&
+          sorted_pdfs_.size() == static_cast<size_t>(n),
+      "attr preparation seed does not match the relation size");
+  ids_.resize(static_cast<size_t>(n));
+  position_of_id_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ids_[static_cast<size_t>(i)] = rel_.tuple(i).id;
+    position_of_id_[rel_.tuple(i).id] = i;
+  }
   shard_plan_ = internal::BuildAttrShardPlan(rel_, /*first_touch=*/true);
 }
 
@@ -129,6 +152,30 @@ PreparedTupleRelation::PreparedTupleRelation(TupleRelation rel)
   }
   shard_plan_ =
       internal::BuildTupleShardPlan(rel_, rank_order_, /*first_touch=*/true);
+}
+
+PreparedTupleRelation::PreparedTupleRelation(TupleRelation rel,
+                                             TuplePreparedSeed seed)
+    : rel_(std::move(rel)),
+      rank_order_(std::move(seed.rank_order)),
+      prefix_prob_(std::move(seed.prefix_prob)) {
+  const int n = rel_.size();
+  URANK_CHECK_MSG(
+      rank_order_.size() == static_cast<size_t>(n) &&
+          prefix_prob_.size() == static_cast<size_t>(n) + 1 &&
+          seed.rank_probs.size() == static_cast<size_t>(n),
+      "tuple preparation seed does not match the relation size");
+  ids_.resize(static_cast<size_t>(n));
+  position_of_id_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ids_[static_cast<size_t>(i)] = rel_.tuple(i).id;
+    position_of_id_[rel_.tuple(i).id] = i;
+  }
+  // Same planner call as the eager constructor — the grid and every copied
+  // value are pure functions of (rel, order); the pre-gathered probs only
+  // skip the gather pass.
+  shard_plan_ = internal::BuildTupleShardPlan(
+      rel_, rank_order_, &seed.rank_probs, /*first_touch=*/true);
 }
 
 std::shared_ptr<const TupleSweepEntryTable>

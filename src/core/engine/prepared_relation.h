@@ -126,6 +126,27 @@ class MemoTable {
 
 }  // namespace engine_internal
 
+// Precomputed preparation state handed over by the blocked builders
+// (core/engine/prepared_builder.h): the exact objects the eager
+// constructors below would compute from scratch, assembled incrementally
+// from score-sorted blocks instead. The seed constructors adopt them
+// without recomputing; every field must hold the same values (bit for
+// bit) the eager path would produce — the builders guarantee this by
+// running the same arithmetic in the same order, merely reorganized into
+// per-block runs merged at seal time.
+struct AttrPreparedSeed {
+  std::vector<double> expected_scores;          // E[X_i] by position
+  std::vector<int> escore_order;                // (E desc, index asc)
+  internal::ValueUniverse universe;             // q(v) suffix masses
+  std::vector<internal::SortedPdf> sorted_pdfs;  // per-tuple sorted pdfs
+};
+
+struct TuplePreparedSeed {
+  std::vector<int> rank_order;      // (score desc, index asc)
+  std::vector<double> prefix_prob;  // size N+1, plain sequential sums
+  std::vector<double> rank_probs;   // prob by sweep position, size N
+};
+
 // Shared state for an attribute-level relation. Owns a copy of the
 // relation; eagerly builds the expected-score order, the sorted value
 // universe (A-ERank's q(v) suffix masses), and the id -> position index.
@@ -133,6 +154,9 @@ class MemoTable {
 class PreparedAttrRelation {
  public:
   explicit PreparedAttrRelation(AttrRelation rel);
+
+  // Adopts preparation state assembled by PreparedAttrRelationBuilder.
+  PreparedAttrRelation(AttrRelation rel, AttrPreparedSeed seed);
 
   PreparedAttrRelation(const PreparedAttrRelation&) = delete;
   PreparedAttrRelation& operator=(const PreparedAttrRelation&) = delete;
@@ -222,6 +246,9 @@ class PreparedAttrRelation {
 class PreparedTupleRelation {
  public:
   explicit PreparedTupleRelation(TupleRelation rel);
+
+  // Adopts preparation state assembled by PreparedTupleRelationBuilder.
+  PreparedTupleRelation(TupleRelation rel, TuplePreparedSeed seed);
 
   PreparedTupleRelation(const PreparedTupleRelation&) = delete;
   PreparedTupleRelation& operator=(const PreparedTupleRelation&) = delete;

@@ -149,17 +149,30 @@ long long TupleDpCells(const PreparedTupleRelation& p,
 // one-shot entry points for any ParallelismOptions. Semantics without a
 // parallel kernel (linear scans, world enumeration) run serially and
 // leave `report` untouched.
+// `prune` is set only for kMedianRank/kQuantileRank cache misses with
+// QueryRequest::prune: the pruned top-k kernels return the identical
+// answer while scanning a prefix of the expected-score order, and record
+// how far they got into `stats`.
 RankingAnswer RunAttr(const PreparedAttrRelation& p, const RankingQuery& q,
-                      const ParallelismOptions& par, KernelReport* report) {
+                      const ParallelismOptions& par, KernelReport* report,
+                      bool prune, QueryStats* stats) {
   switch (q.semantics) {
     case RankingSemantics::kExpectedRank:
       return FromRanked(AttrExpectedRankTopK(p, q.k, q.ties, par, report));
     case RankingSemantics::kMedianRank:
-      AttrQuantileRanks(p, 0.5, q.ties, par, report);
-      return FromRanked(AttrQuantileRankTopK(p, q.k, 0.5, q.ties));
-    case RankingSemantics::kQuantileRank:
-      AttrQuantileRanks(p, q.phi, q.ties, par, report);
-      return FromRanked(AttrQuantileRankTopK(p, q.k, q.phi, q.ties));
+    case RankingSemantics::kQuantileRank: {
+      const double phi =
+          q.semantics == RankingSemantics::kMedianRank ? 0.5 : q.phi;
+      if (prune) {
+        PrunedTopKResult pruned =
+            AttrQuantileRankTopKPrune(p, q.k, phi, q.ties, par, report);
+        stats->tuples_scanned = pruned.tuples_scanned;
+        stats->prune_stop_position = pruned.prune_stop_position;
+        return FromRanked(std::move(pruned.topk));
+      }
+      AttrQuantileRanks(p, phi, q.ties, par, report);
+      return FromRanked(AttrQuantileRankTopK(p, q.k, phi, q.ties));
+    }
     case RankingSemantics::kUTopk:
       return FromUTopK(AttrUTopK(p, q.k));
     case RankingSemantics::kUKRanks: {
@@ -187,16 +200,25 @@ RankingAnswer RunAttr(const PreparedAttrRelation& p, const RankingQuery& q,
 }
 
 RankingAnswer RunTuple(const PreparedTupleRelation& p, const RankingQuery& q,
-                       const ParallelismOptions& par, KernelReport* report) {
+                       const ParallelismOptions& par, KernelReport* report,
+                       bool prune, QueryStats* stats) {
   switch (q.semantics) {
     case RankingSemantics::kExpectedRank:
       return FromRanked(TupleExpectedRankTopK(p, q.k, q.ties, par, report));
     case RankingSemantics::kMedianRank:
-      TupleQuantileRanks(p, 0.5, q.ties, par, report);
-      return FromRanked(TupleQuantileRankTopK(p, q.k, 0.5, q.ties));
-    case RankingSemantics::kQuantileRank:
-      TupleQuantileRanks(p, q.phi, q.ties, par, report);
-      return FromRanked(TupleQuantileRankTopK(p, q.k, q.phi, q.ties));
+    case RankingSemantics::kQuantileRank: {
+      const double phi =
+          q.semantics == RankingSemantics::kMedianRank ? 0.5 : q.phi;
+      if (prune) {
+        PrunedTopKResult pruned =
+            TupleQuantileRankTopKPrune(p, q.k, phi, q.ties);
+        stats->tuples_scanned = pruned.tuples_scanned;
+        stats->prune_stop_position = pruned.prune_stop_position;
+        return FromRanked(std::move(pruned.topk));
+      }
+      TupleQuantileRanks(p, phi, q.ties, par, report);
+      return FromRanked(TupleQuantileRankTopK(p, q.k, phi, q.ties));
+    }
     case RankingSemantics::kUTopk:
       return FromUTopK(TupleUTopK(p, q.k));
     case RankingSemantics::kUKRanks: {
@@ -363,6 +385,14 @@ QueryResult QueryEngine::Run(const QueryRequest& request) const {
   }
 
   const bool has_key = query.semantics != RankingSemantics::kUTopk;
+  // Pruned execution applies to the quantile family only, and only on a
+  // statistic-cache miss: a warmed memo makes the unpruned selection a
+  // cheap cache hit, and a pruned run never populates the memo (it
+  // evaluates a scanned prefix, not the full vector).
+  const bool want_prune =
+      request.prune &&
+      (query.semantics == RankingSemantics::kMedianRank ||
+       query.semantics == RankingSemantics::kQuantileRank);
   KernelReport report;  // stays {1, 0} unless a parallel kernel ran
   {
     // Per-semantics kernel span; ToString returns a static literal, which
@@ -375,17 +405,30 @@ QueryResult QueryEngine::Run(const QueryRequest& request) const {
       result.stats.reused_cache =
           query.semantics == RankingSemantics::kExpectedScore ||
           (has_key && attr_->HasCachedStat(KeyFor(query)));
-      result.answer = RunAttr(*attr_, query, par, &report);
+      const bool prune = want_prune && !result.stats.reused_cache;
+      result.answer =
+          RunAttr(*attr_, query, par, &report, prune, &result.stats);
+      // A pruned run touches one O(n) rank DP per scanned tuple instead of
+      // the full n-by-n matrix.
       result.stats.dp_cells =
-          result.stats.reused_cache ? 0 : AttrDpCells(*attr_, query);
+          result.stats.reused_cache
+              ? 0
+              : (prune ? result.stats.tuples_scanned * attr_->size()
+                       : AttrDpCells(*attr_, query));
       result.stats.tuples_pruned =
           result.stats.reused_cache ? attr_->size() : 0;
     } else {
       result.stats.reused_cache =
           has_key && tuple_->HasCachedStat(KeyFor(query));
-      result.answer = RunTuple(*tuple_, query, par, &report);
+      const bool prune = want_prune && !result.stats.reused_cache;
+      result.answer =
+          RunTuple(*tuple_, query, par, &report, prune, &result.stats);
+      const long long m = tuple_->relation().num_rules();
       result.stats.dp_cells =
-          result.stats.reused_cache ? 0 : TupleDpCells(*tuple_, query);
+          result.stats.reused_cache
+              ? 0
+              : (prune ? 2 * result.stats.tuples_scanned * (m + 1)
+                       : TupleDpCells(*tuple_, query));
       result.stats.tuples_pruned =
           result.stats.reused_cache ? tuple_->size() : 0;
     }

@@ -151,6 +151,14 @@ struct QueryStats {
   // storage; never null. See docs/PERFORMANCE.md for the determinism
   // contract per target.
   const char* simd_target = "scalar";
+  // Tuples whose rank statistic the pruned quantile/median kernels
+  // actually evaluated before the stopping bound fired; 0 when no pruned
+  // kernel ran (prune not requested, other semantics, or a cache hit).
+  long long tuples_scanned = 0;
+  // Expected-score-order position at which the pruned sweep stopped: the
+  // relation size when the bound never fired, -1 when no pruned kernel
+  // ran. tuples_scanned <= prune_stop_position always.
+  long long prune_stop_position = -1;
 };
 
 struct QueryResult {
@@ -188,6 +196,17 @@ struct QueryRequest {
   double deadline_ms = 0.0;
   // Serve-layer result-cache policy (see CacheMode).
   CacheMode cache_mode = CacheMode::kDefault;
+  // Opt-in early-stopping for kMedianRank / kQuantileRank: run the pruned
+  // top-k kernels (core/quantile_rank.h), which sweep tuples in
+  // expected-score order and stop once the remaining suffix provably
+  // cannot enter the top-k. Answers are bit-identical to the unpruned
+  // kernels; only QueryStats (tuples_scanned, prune_stop_position,
+  // dp_cells) and the execution schedule change. A pruned run computes a
+  // top-k selection, not the full statistic vector, so it never populates
+  // the statistic memo — and when the memo already holds the vector, the
+  // cached (cheaper) path is served instead. Ignored for every other
+  // semantics.
+  bool prune = false;
 };
 
 // Runs ranking queries against one prepared relation (either model).

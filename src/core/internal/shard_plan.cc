@@ -97,6 +97,14 @@ void RunHomedFills(std::vector<HomedFill> fills, bool first_touch) {
 TupleShardPlan BuildTupleShardPlan(const TupleRelation& rel,
                                    const std::vector<int>& order,
                                    bool first_touch, int max_shards) {
+  return BuildTupleShardPlan(rel, order, /*rank_probs=*/nullptr, first_touch,
+                             max_shards);
+}
+
+TupleShardPlan BuildTupleShardPlan(const TupleRelation& rel,
+                                   const std::vector<int>& order,
+                                   const std::vector<double>* rank_probs,
+                                   bool first_touch, int max_shards) {
   const long long n = static_cast<long long>(order.size());
   const int num_rules = rel.num_rules();
   TupleShardPlan plan;
@@ -122,9 +130,15 @@ TupleShardPlan BuildTupleShardPlan(const TupleRelation& rel,
   // sliced values are therefore bit-identical to what that sweep read.
   AlignedBuf pref;
   pref.resize(static_cast<size_t>(n));
-  for (long long idx = 0; idx < n; ++idx) {
-    pref[static_cast<size_t>(idx)] =
-        rel.tuple(order[static_cast<size_t>(idx)]).prob;
+  if (rank_probs != nullptr) {
+    URANK_CHECK_MSG(rank_probs->size() == static_cast<size_t>(n),
+                    "rank_probs must have one entry per sweep position");
+    pref.assign(rank_probs->data(), static_cast<size_t>(n));
+  } else {
+    for (long long idx = 0; idx < n; ++idx) {
+      pref[static_cast<size_t>(idx)] =
+          rel.tuple(order[static_cast<size_t>(idx)]).prob;
+    }
   }
   if (n > 0) vk::Active().prefix_sum(pref.data(), static_cast<size_t>(n));
 

@@ -62,6 +62,17 @@ TupleShardPlan BuildTupleShardPlan(const TupleRelation& rel,
                                    const std::vector<int>& order,
                                    bool first_touch, int max_shards = 0);
 
+// As above, with the existence probabilities already gathered in rank
+// order (`rank_probs[idx] == rel.tuple(order[idx]).prob`, size n) — e.g.
+// by PreparedTupleRelationBuilder's block merge. Skips the O(N) gather
+// pass only; the prefix-sum kernel, the shard grid and every copied value
+// are identical to the plain overload, so the plan stays a pure function
+// of (rel, order) regardless of how the relation was prepared.
+TupleShardPlan BuildTupleShardPlan(const TupleRelation& rel,
+                                   const std::vector<int>& order,
+                                   const std::vector<double>* rank_probs,
+                                   bool first_touch, int max_shards = 0);
+
 // One slice of the attribute-level relation, by tuple position.
 struct AttrShard {
   int begin = 0;  // tuple positions [begin, end)

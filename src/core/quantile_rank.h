@@ -107,6 +107,65 @@ std::vector<RankedTuple> TupleQuantileRankTopK(
     const PreparedTupleRelation& prepared, int k, double phi,
     TiePolicy ties = TiePolicy::kBreakByIndex);
 
+// ---------------------------------------------------------------------------
+// Pruned top-k by φ-quantile rank — the paper's A-ERank-Prune bounding
+// discipline (Section 6) applied to the quantile DPs. Both kernels scan
+// tuples in the prepared stream order, maintain the k best (quantile, id)
+// pairs seen so far, and stop as soon as a sound lower bound proves every
+// unscanned tuple's φ-quantile exceeds the current k-th best strictly —
+// so the answer is *identical* (bit-for-bit, including the reported
+// statistic and the (statistic asc, id asc) tie-break) to the unpruned
+// TopK forms above, for every thread count, topology and placement.
+//
+// Tuple-level bound: after the sweep flushes positions [0, j) of the rank
+// order, the count Y of flushed tuples that appear is Poisson-binomial
+// over the per-rule prefix masses — the sweep's own state. Every
+// unscanned tuple u (lower score) has rank(u) stochastically >= Y - 1 in
+// both branches of Definition 7 (appearing: each flushed rule except
+// rule(u)'s contributes independently; absent: rank = |W| >= Y). Hence
+// Q_phi(rank(u)) >= Q_phi(Y) - 1, and when CDF_Y(kth + 1) < phi the
+// quantile of every unscanned tuple is > kth. Cost per run boundary is
+// O(kth), on state the sweep already carries.
+//
+// Attribute-level bound: with all support values >= 0 and e_last the
+// expected score of the last scanned tuple (the stream descends by E[X]),
+// Markov gives Pr[X_u > v] <= e_last / v for any unscanned u and v > 0;
+// conditioned on X_u <= v, rank(u) dominates Y(v) = the Poisson binomial
+// of Pr[X_j > v] over scanned tuples j. So Pr[rank(u) <= r] <=
+// e_last / v + CDF_{Y(v)}(r); when that bound at r = kth stays below phi
+// for any rung of a fixed geometric value ladder, no unscanned tuple can
+// reach the top-k. The Y(v) pmfs are maintained incrementally, truncated
+// at k + 64 with a lumped tail (exact below the truncation point, which
+// is all the CDF test reads). Relations with negative support values get
+// an empty ladder: the kernel degrades to a full scan, still exact.
+// ---------------------------------------------------------------------------
+
+struct PrunedTopKResult {
+  std::vector<RankedTuple> topk;  // identical to the unpruned TopK answer
+  long long tuples_scanned = 0;   // rank distributions actually computed
+  // Stream position (into escore_order / rank_order) where the scan
+  // stopped; N when the bound never fired and the scan ran out.
+  long long prune_stop_position = 0;
+};
+
+// Requires k >= 1 and phi in (0, 1]. The attribute-level form computes
+// each block's exact rank distributions with `par` worker slots (the
+// bound bookkeeping and heap stay serial in stream order, so results are
+// bit-identical regardless) and Merge()s kernel usage into `report` when
+// non-null. The tuple-level form is a serial sweep of the same
+// deterministic chunk grid as the unpruned kernel.
+// Definitions (with the URANK_CHECKs) live in quantile_rank_prune.cc,
+// not this header's sibling — hence the suppression:
+// urank-lint: allow(precondition)
+PrunedTopKResult AttrQuantileRankTopKPrune(
+    const PreparedAttrRelation& prepared, int k, double phi,
+    TiePolicy ties = TiePolicy::kBreakByIndex,
+    const ParallelismOptions& par = ParallelismOptions{},
+    KernelReport* report = nullptr);
+PrunedTopKResult TupleQuantileRankTopKPrune(
+    const PreparedTupleRelation& prepared, int k, double phi,
+    TiePolicy ties = TiePolicy::kBreakByIndex);
+
 }  // namespace urank
 
 #endif  // URANK_CORE_QUANTILE_RANK_H_

@@ -4,256 +4,23 @@
 #include <numeric>
 
 #include "core/internal/kernel_arena.h"
+#include "core/internal/tuple_sweep.h"
 #include "core/internal/vector_kernels.h"
 #include "util/check.h"
 #include "util/kernel_annotations.h"
-#include "util/poisson_binomial.h"
 
 namespace urank {
 namespace {
 
-constexpr double kProbEps = 1e-12;
+// The sweep primitives (rank order, chunk grid, prefix replay, incremental
+// Poisson-binomial chunk sweep, absent-branch world-size state) live in
+// core/internal/tuple_sweep.* so the pruned quantile kernels run the
+// bit-identical machinery. This TU keeps only the per-tuple mixtures and
+// the parallel dispatch.
+
+constexpr double kProbEps = internal::kTupleSweepProbEps;
 
 using internal::AlignedBuf;
-
-// PbConvolveTrial / PbDeconvolveTrial on arena-backed aligned buffers,
-// dispatched through the active vector-kernel table. Preconditions are the
-// kernel invariants (p in (0,1], non-empty pmf) already enforced upstream.
-URANK_KERNEL void BufConvolveTrial(const vk::KernelOps& ops, AlignedBuf* pmf,
-                                   double p) {
-  const size_t n = pmf->size();
-  pmf->resize(n + 1);
-  ops.convolve_trial(pmf->data(), n, p);
-}
-
-URANK_KERNEL bool BufDeconvolveTrial(const vk::KernelOps& ops,
-                                     const AlignedBuf& src, double p,
-                                     AlignedBuf* out) {
-  const size_t n = src.size() - 1;
-  out->resize(n);
-  return ops.deconvolve_trial(src.data(), n, p, out->data());
-}
-
-// Index order sorted by (score desc, index asc): the sweep order in which
-// "already processed" means "ranked above" (exactly, under kBreakByIndex;
-// up to the current equal-score run, under kStrictGreater).
-std::vector<int> RankOrder(const TupleRelation& rel) {
-  std::vector<int> order(static_cast<size_t>(rel.size()));
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    const double sa = rel.tuple(a).score;
-    const double sb = rel.tuple(b).score;
-    if (sa != sb) return sa > sb;
-    return a < b;
-  });
-  return order;
-}
-
-// Deterministic sweep grid: chunk start positions into `order`, aligned to
-// equal-score run starts (a run must never straddle chunks — its members
-// share one "ranked above" prefix), work-balanced by a per-position cost
-// of 1 + (distinct rules touched so far), which tracks the Poisson-
-// binomial support the sweep carries at that position. A pure function of
-// the relation and tie policy — the thread count never enters, so every
-// execution schedule solves the identical per-chunk subproblems.
-std::vector<size_t> PlanChunkStarts(const TupleRelation& rel,
-                                    const std::vector<int>& order,
-                                    TiePolicy ties) {
-  const size_t n = order.size();
-  const int chunks = DeterministicChunkCount(static_cast<long long>(n));
-  std::vector<size_t> starts(static_cast<size_t>(chunks) + 1, n);
-  starts[0] = 0;
-  if (chunks == 1) return starts;
-
-  std::vector<unsigned char> touched(static_cast<size_t>(rel.num_rules()),
-                                     0);
-  std::vector<long long> cum(n + 1, 0);
-  long long support = 0;
-  for (size_t idx = 0; idx < n; ++idx) {
-    // Integer chunk-cost recurrence for the deterministic chunk grid;
-    // not a probability-array sweep.
-    // urank-lint: allow(kernel-vectorize)
-    cum[idx + 1] = cum[idx] + 1 + support;
-    const size_t r = static_cast<size_t>(rel.rule_of(order[idx]));
-    // urank-lint: allow(kernel-vectorize) — first-touch flag per rule.
-    if (touched[r] == 0) {
-      touched[r] = 1;
-      ++support;
-    }
-  }
-  const long long total = cum[n];
-  int next = 1;
-  for (size_t idx = 1; idx < n && next < chunks; ++idx) {
-    const bool run_start =
-        ties == TiePolicy::kBreakByIndex ||
-        rel.tuple(order[idx]).score != rel.tuple(order[idx - 1]).score;
-    if (!run_start) continue;
-    while (next < chunks &&
-           cum[idx] >= total * static_cast<long long>(next) / chunks) {
-      starts[static_cast<size_t>(next)] = idx;
-      ++next;
-    }
-  }
-  return starts;
-}
-
-// Replays the rule prefix masses the sweep would carry entering position
-// `begin` — exactly the update the chunk flush applies, so chunk-entry
-// state is bit-identical to what an unchunked sweep would hold there.
-URANK_KERNEL void ReplayPrefix(const TupleRelation& rel,
-                               const std::vector<int>& order, size_t begin,
-                               AlignedBuf* cur) {
-  cur->assign(static_cast<size_t>(rel.num_rules()), 0.0);
-  for (size_t idx = 0; idx < begin; ++idx) {
-    const int i = order[idx];
-    const size_t r = static_cast<size_t>(rel.rule_of(i));
-    // urank-lint: allow(kernel-vectorize) — scatter keyed by rule index.
-    (*cur)[r] = std::min((*cur)[r] + rel.tuple(i).prob, 1.0);
-  }
-}
-
-// Chunk-local sweep state: per-rule prefix masses plus the flat Poisson
-// binomial over their nonzero entries. All updates go through arena-backed
-// aligned buffers — the per-tuple loop performs no heap allocation once
-// the buffers reach their high-water size — and all pmf arithmetic goes
-// through one vector-kernel table captured at sweep entry.
-struct ChunkSweep {
-  const TupleRelation& rel;
-  const vk::KernelOps& ops;
-  AlignedBuf& cur;      // per-rule mass ranked above the cursor
-  AlignedBuf& pmf;      // Poisson binomial over nonzero cur[]
-  AlignedBuf& scratch;  // deconvolution ping-pong target
-
-  // Rebuilds a pmf from cur in canonical rule-index order, skipping
-  // `skip_rule` (-1 for none). Depends only on the mass values, so the
-  // deconvolution fallback stays deterministic under any schedule.
-  URANK_KERNEL void Rebuild(AlignedBuf* out, int skip_rule) const {
-    out->assign(1, 1.0);
-    const int m = rel.num_rules();
-    for (int r = 0; r < m; ++r) {
-      if (r == skip_rule) continue;
-      const double v = cur[static_cast<size_t>(r)];
-      if (v > 0.0) BufConvolveTrial(ops, out, v);
-    }
-  }
-
-  // The sweep pmf with rule r's current mass conditioned out; returns a
-  // pointer to `pmf` itself when the rule carries no mass yet (no copy).
-  URANK_KERNEL const AlignedBuf* WithoutRule(int r, AlignedBuf* out) const {
-    const double v = cur[static_cast<size_t>(r)];
-    if (v <= 0.0) return &pmf;
-    if (!BufDeconvolveTrial(ops, pmf, v, out)) Rebuild(out, r);
-    return out;
-  }
-
-  // Moves the tuple at position i into the "ranked above" prefix.
-  URANK_KERNEL void Flush(int i) {
-    const size_t r = static_cast<size_t>(rel.rule_of(i));
-    const double old_mass = cur[r];
-    if (old_mass > 0.0) {
-      if (BufDeconvolveTrial(ops, pmf, old_mass, &scratch)) {
-        pmf.swap(scratch);
-      } else {
-        Rebuild(&scratch, static_cast<int>(r));
-        pmf.swap(scratch);
-      }
-    }
-    // Rule mass stays a probability: Validate() bounds each rule's sum
-    // by 1 + tolerance, and the sweep only ever adds member masses.
-    URANK_DCHECK_PROB(old_mass + rel.tuple(i).prob);
-    cur[r] = std::min(old_mass + rel.tuple(i).prob, 1.0);
-    if (cur[r] > 0.0) BufConvolveTrial(ops, &pmf, cur[r]);
-  }
-};
-
-// Sweeps chunk positions [begin, end) of `order`, invoking
-// per_tuple(i, appear) with the appear-branch pmf (the tuple's own rule
-// conditioned out). Equal-score runs flush only after every member was
-// visited, matching the kStrictGreater semantics of the unchunked sweep.
-// `entry_mass`, when non-null, is the precomputed per-rule prefix state at
-// `begin` (num_rules doubles, the exact ReplayPrefix values) and replaces
-// the O(begin) replay.
-URANK_KERNEL void SweepAppearChunk(
-    const TupleRelation& rel, const std::vector<int>& order, TiePolicy ties,
-    size_t begin, size_t end, const double* entry_mass,
-    internal::KernelArena* arena,
-    const std::function<void(int, const AlignedBuf&)>& per_tuple) {
-  const vk::KernelOps& ops = vk::Active();
-  AlignedBuf& cur = arena->Doubles(0);
-  AlignedBuf& pmf = arena->Doubles(1);
-  AlignedBuf& scratch = arena->Doubles(2);
-  AlignedBuf& appear = arena->Doubles(3);
-  if (entry_mass != nullptr) {
-    cur.assign(entry_mass, static_cast<size_t>(rel.num_rules()));
-  } else {
-    ReplayPrefix(rel, order, begin, &cur);
-  }
-  ChunkSweep sweep{rel, ops, cur, pmf, scratch};
-  sweep.Rebuild(&pmf, -1);
-
-  size_t pos = begin;
-  while (pos < end) {
-    size_t run_end = pos + 1;
-    if (ties == TiePolicy::kStrictGreater) {
-      while (run_end < end &&
-             rel.tuple(order[run_end]).score ==
-                 rel.tuple(order[pos]).score) {
-        ++run_end;
-      }
-    }
-    for (size_t idx = pos; idx < run_end; ++idx) {
-      const int i = order[idx];
-      per_tuple(i, *sweep.WithoutRule(rel.rule_of(i), &appear));
-    }
-    for (size_t idx = pos; idx < run_end; ++idx) sweep.Flush(order[idx]);
-    pos = run_end;
-  }
-}
-
-// Shared absent-branch state: the pristine world-size Poisson binomial
-// over final rule masses. Built once, sequentially, in rule-index order;
-// chunk workers only ever *read* pmf_all (deconvolving into their own
-// arena buffers), so concurrent access needs no synchronization and the
-// result cannot depend on tuple visit order — unlike the old serial
-// mutate-and-undo pattern, whose float state carried its update history.
-struct AbsentContext {
-  std::vector<double> rule_sums;  // min(rule mass, 1) per rule
-  std::vector<double> pmf_all;    // Poisson binomial over nonzero sums
-
-  explicit AbsentContext(const TupleRelation& rel) {
-    const int m = rel.num_rules();
-    rule_sums.resize(static_cast<size_t>(m));
-    pmf_all.assign(1, 1.0);
-    for (int r = 0; r < m; ++r) {
-      const double v = std::min(rel.rule_prob_sum(r), 1.0);
-      rule_sums[static_cast<size_t>(r)] = v;
-      if (v > 0.0) PbConvolveTrial(&pmf_all, v);
-    }
-  }
-
-  // Writes into `out` the world-size pmf with rule r's unconditional mass
-  // replaced by `cond` (its mass conditioned on the reference tuple being
-  // absent). Reads shared state only.
-  URANK_KERNEL void ConditionalWorldSize(const vk::KernelOps& ops, int r,
-                                         double cond, AlignedBuf* out) const {
-    const double v = rule_sums[static_cast<size_t>(r)];
-    if (v > 0.0) {
-      const size_t n = pmf_all.size() - 1;
-      out->resize(n);
-      if (!ops.deconvolve_trial(pmf_all.data(), n, v, out->data())) {
-        // Deterministic fallback: rebuild the reduced product directly.
-        out->assign(1, 1.0);
-        for (size_t r2 = 0; r2 < rule_sums.size(); ++r2) {
-          if (static_cast<int>(r2) == r) continue;
-          if (rule_sums[r2] > 0.0) BufConvolveTrial(ops, out, rule_sums[r2]);
-        }
-      }
-    } else {
-      out->assign(pmf_all.data(), pmf_all.size());
-    }
-    if (cond > 0.0) BufConvolveTrial(ops, out, cond);
-  }
-};
 
 KernelReport CollectReport(const ForRunInfo& info,
                            const std::vector<internal::KernelArena>& arenas) {
@@ -267,28 +34,22 @@ KernelReport CollectReport(const ForRunInfo& info,
   return report;
 }
 
-// Entry-mass row for `chunk`, or null when no table was supplied.
-const double* EntryRow(const TupleSweepEntryTable* entries, int chunk) {
-  if (entries == nullptr || entries->num_rules == 0) return nullptr;
-  return entries->entry_mass.data() +
-         static_cast<size_t>(chunk) * static_cast<size_t>(entries->num_rules);
-}
-
 }  // namespace
 
 TupleSweepEntryTable BuildTupleSweepEntryTable(
     const TupleRelation& rel, const std::vector<int>& rank_order,
     TiePolicy ties) {
   TupleSweepEntryTable table;
-  table.starts = PlanChunkStarts(rel, rank_order, ties);
+  table.starts = internal::PlanTupleChunkStarts(rel, rank_order, ties);
   table.num_rules = rel.num_rules();
   const size_t chunks = table.starts.size() - 1;
   const size_t m = static_cast<size_t>(table.num_rules);
   table.entry_mass.assign(chunks * m, 0.0);
-  // One sequential pass with the exact ReplayPrefix recurrence (min-clamped
-  // additions in rank order), snapshotted at every chunk start: snapshot c
-  // holds precisely the values ReplayPrefix(rel, order, starts[c]) would
-  // compute, because it is the same operations in the same order.
+  // One sequential pass with the exact ReplayTuplePrefix recurrence
+  // (min-clamped additions in rank order), snapshotted at every chunk
+  // start: snapshot c holds precisely the values
+  // ReplayTuplePrefix(rel, order, starts[c]) would compute, because it is
+  // the same operations in the same order.
   std::vector<double> cur(m, 0.0);
   size_t next = 0;
   for (size_t idx = 0; idx <= rank_order.size(); ++idx) {
@@ -313,7 +74,7 @@ int TupleSweepChunkCount(const TupleRelation& rel) {
 void ForEachTupleRankDistribution(
     const TupleRelation& rel, TiePolicy ties,
     const std::function<void(int, std::span<const double>)>& fn) {
-  ForEachTupleRankDistribution(rel, RankOrder(rel), ties, fn);
+  ForEachTupleRankDistribution(rel, internal::TupleRankOrder(rel), ties, fn);
 }
 
 void ForEachTupleRankDistribution(
@@ -336,14 +97,15 @@ URANK_KERNEL void ForEachTupleRankDistribution(
     const std::function<void(int, int, std::span<const double>)>& fn,
     const TupleSweepEntryTable* entries) {
   const int n = rel.size();
-  // The grid is identical either way (the table stores PlanChunkStarts's
-  // output); reusing the table's copy just skips recomputing it.
-  const std::vector<size_t> starts = entries != nullptr
-                                         ? entries->starts
-                                         : PlanChunkStarts(rel, rank_order,
-                                                           ties);
+  // The grid is identical either way (the table stores
+  // PlanTupleChunkStarts's output); reusing the table's copy just skips
+  // recomputing it.
+  const std::vector<size_t> starts =
+      entries != nullptr ? entries->starts
+                         : internal::PlanTupleChunkStarts(rel, rank_order,
+                                                          ties);
   const int chunks = static_cast<int>(starts.size()) - 1;
-  const AbsentContext absent(rel);
+  const internal::AbsentContext absent(rel);
   const int workers = PlannedWorkers(par, n);
   std::vector<internal::KernelArena> arenas(static_cast<size_t>(workers));
 
@@ -357,10 +119,11 @@ URANK_KERNEL void ForEachTupleRankDistribution(
     AlignedBuf& dist = arena.Doubles(4);
     dist.assign(static_cast<size_t>(n) + 1, 0.0);
     size_t dirty = 0;  // high-water mark of the nonzero prefix of dist
-    SweepAppearChunk(
+    internal::SweepAppearChunk(
         rel, rank_order, ties, starts[static_cast<size_t>(chunk)],
-        starts[static_cast<size_t>(chunk) + 1], EntryRow(entries, chunk),
-        &arena, [&](int i, const AlignedBuf& appear) {
+        starts[static_cast<size_t>(chunk) + 1],
+        internal::TupleSweepEntryRow(entries, chunk), &arena,
+        [&](int i, const AlignedBuf& appear) {
           const TLTuple& t = rel.tuple(i);
           const size_t na = appear.size();
           // Only [na, dirty) keeps stale mass: the appear-branch scale
@@ -404,7 +167,8 @@ std::vector<std::vector<double>> TupleRankDistributions(
 void ForEachTuplePositionalDistribution(
     const TupleRelation& rel, TiePolicy ties,
     const std::function<void(int, std::span<const double>)>& fn) {
-  ForEachTuplePositionalDistribution(rel, RankOrder(rel), ties, fn);
+  ForEachTuplePositionalDistribution(rel, internal::TupleRankOrder(rel), ties,
+                                     fn);
 }
 
 void ForEachTuplePositionalDistribution(
@@ -424,10 +188,10 @@ URANK_KERNEL void ForEachTuplePositionalDistribution(
     const std::function<void(int, int, std::span<const double>)>& fn,
     const TupleSweepEntryTable* entries) {
   const int n = rel.size();
-  const std::vector<size_t> starts = entries != nullptr
-                                         ? entries->starts
-                                         : PlanChunkStarts(rel, rank_order,
-                                                           ties);
+  const std::vector<size_t> starts =
+      entries != nullptr ? entries->starts
+                         : internal::PlanTupleChunkStarts(rel, rank_order,
+                                                          ties);
   const int chunks = static_cast<int>(starts.size()) - 1;
   const int workers = PlannedWorkers(par, n);
   std::vector<internal::KernelArena> arenas(static_cast<size_t>(workers));
@@ -437,10 +201,11 @@ URANK_KERNEL void ForEachTuplePositionalDistribution(
     internal::KernelArena& arena = arenas[static_cast<size_t>(slot)];
     const vk::KernelOps& ops = vk::Active();
     AlignedBuf& row = arena.Doubles(4);
-    SweepAppearChunk(
+    internal::SweepAppearChunk(
         rel, rank_order, ties, starts[static_cast<size_t>(chunk)],
-        starts[static_cast<size_t>(chunk) + 1], EntryRow(entries, chunk),
-        &arena, [&](int i, const AlignedBuf& appear) {
+        starts[static_cast<size_t>(chunk) + 1],
+        internal::TupleSweepEntryRow(entries, chunk), &arena,
+        [&](int i, const AlignedBuf& appear) {
           const double p = rel.tuple(i).prob;
           row.resize(appear.size());
           ops.scale(row.data(), appear.data(), p, appear.size());

@@ -96,6 +96,9 @@ void QueryRequestToJson(const std::string& relation, const QueryRequest& query,
     object->Set("placement",
                 JsonValue::MakeString(ToString(query.parallelism.placement)));
   }
+  if (query.prune) {
+    object->Set("prune", JsonValue::MakeBool(true));
+  }
 }
 
 bool QueryRequestFromJson(const JsonValue& object, std::string* relation,
@@ -178,6 +181,13 @@ bool QueryRequestFromJson(const JsonValue& object, std::string* relation,
       *error = "\"placement\" must be \"flat\", \"node_local\" or \"spread\"";
       return false;
     }
+  }
+  if (const JsonValue* prune = object.Find("prune")) {
+    if (!prune->is_bool()) {
+      *error = "\"prune\" must be a boolean";
+      return false;
+    }
+    query->prune = prune->bool_value();
   }
   return true;
 }
@@ -301,6 +311,11 @@ std::string RenderQueryResponse(const JsonValue& id,
   stats_obj.Set("nodes_used", JsonValue::MakeNumber(stats.nodes_used));
   stats_obj.Set("threads_clamped", JsonValue::MakeBool(stats.threads_clamped));
   stats_obj.Set("simd_target", JsonValue::MakeString(stats.simd_target));
+  stats_obj.Set("tuples_scanned",
+                JsonValue::MakeNumber(static_cast<double>(stats.tuples_scanned)));
+  stats_obj.Set("prune_stop_position",
+                JsonValue::MakeNumber(
+                    static_cast<double>(stats.prune_stop_position)));
   obj.Set("stats", std::move(stats_obj));
   return WriteJson(obj);
 }

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "common/scenario_gen.h"
+#include "core/engine/prepared_builder.h"
 #include "core/engine/query_engine.h"
 #include "core/expected_rank_attr.h"
 #include "core/expected_rank_tuple.h"
@@ -551,6 +553,158 @@ TEST(EngineDeterminismTest, StatsReportParallelExecutionThenCacheHit) {
   EXPECT_EQ(warm.stats.arena_bytes, 0u);
   EXPECT_EQ(warm.answer.ids, cold.answer.ids);
   EXPECT_EQ(warm.answer.statistics, cold.answer.statistics);
+}
+
+// --- Pruned quantile/median kernels -----------------------------------------
+//
+// The pruned top-k kernels must return the same bytes AND stop at the same
+// stream position for every thread count, placement policy, planning
+// topology and shard cap — the PR 3/8 contract extended to early
+// termination: where the scan stops is a pure function of the data.
+
+TEST(PrunedKernelDeterminismTest,
+     TuplePruneBitIdenticalAcrossTopologiesAndPlacements) {
+  const TupleRelation rel = MakeClusteredTupleRelation(33000, 64, 200);
+  const auto baseline_prepared = QueryEngine::Prepare(rel);
+  const std::vector<RankedTuple> unpruned =
+      TupleQuantileRankTopK(*baseline_prepared, 10, 0.5,
+                            TiePolicy::kBreakByIndex);
+  const PrunedTopKResult base = TupleQuantileRankTopKPrune(
+      *baseline_prepared, 10, 0.5, TiePolicy::kBreakByIndex);
+  ASSERT_EQ(base.topk.size(), unpruned.size());
+  for (size_t i = 0; i < unpruned.size(); ++i) {
+    EXPECT_EQ(base.topk[i].id, unpruned[i].id);
+    EXPECT_EQ(base.topk[i].statistic, unpruned[i].statistic);
+  }
+
+  std::vector<int> want_ids;
+  std::vector<double> want_stats;
+  for (const RankedTuple& rt : unpruned) {
+    want_ids.push_back(rt.id);
+    want_stats.push_back(rt.statistic);
+  }
+
+  for (const char* spec : kSyntheticTopologies) {
+    ScopedPlanningTopology topo(spec);
+    for (PlacementPolicy placement : kAllPlacements) {
+      for (int threads : {1, 2, 8}) {
+        const QueryEngine engine(rel);  // fresh prepared per topology
+        QueryRequest request;
+        request.options.semantics = RankingSemantics::kQuantileRank;
+        request.options.k = 10;
+        request.options.phi = 0.5;
+        request.parallelism = Par(threads, placement);
+        request.prune = true;
+        const QueryResult got = engine.Run(request);
+        ASSERT_TRUE(got.status.ok());
+        EXPECT_EQ(got.answer.ids, want_ids)
+            << spec << " threads=" << threads;
+        EXPECT_EQ(got.answer.statistics, want_stats)
+            << spec << " threads=" << threads;
+        EXPECT_EQ(got.stats.prune_stop_position, base.prune_stop_position)
+            << spec << " threads=" << threads;
+        EXPECT_EQ(got.stats.tuples_scanned, base.tuples_scanned)
+            << spec << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(PrunedKernelDeterminismTest,
+     AttrPruneBitIdenticalAcrossTopologiesAndPlacements) {
+  const AttrRelation rel =
+      testgen::ClusteredScoreAttrRelation(700, 9, 4, 33);
+  const auto baseline_prepared = QueryEngine::Prepare(rel);
+  const std::vector<RankedTuple> unpruned = AttrQuantileRankTopK(
+      *baseline_prepared, 10, 0.5, TiePolicy::kBreakByIndex);
+  const PrunedTopKResult base = AttrQuantileRankTopKPrune(
+      *baseline_prepared, 10, 0.5, TiePolicy::kBreakByIndex);
+  ASSERT_EQ(base.topk.size(), unpruned.size());
+
+  for (const char* spec : kSyntheticTopologies) {
+    ScopedPlanningTopology topo(spec);
+    const auto prepared = QueryEngine::Prepare(rel);
+    for (PlacementPolicy placement : kAllPlacements) {
+      for (int threads : {1, 2, 8}) {
+        KernelReport report;
+        const PrunedTopKResult got = AttrQuantileRankTopKPrune(
+            *prepared, 10, 0.5, TiePolicy::kBreakByIndex,
+            Par(threads, placement), &report);
+        EXPECT_EQ(got.prune_stop_position, base.prune_stop_position)
+            << spec << " threads=" << threads;
+        EXPECT_EQ(got.tuples_scanned, base.tuples_scanned)
+            << spec << " threads=" << threads;
+        ASSERT_EQ(got.topk.size(), unpruned.size());
+        for (size_t i = 0; i < unpruned.size(); ++i) {
+          EXPECT_EQ(got.topk[i].id, unpruned[i].id)
+              << spec << " threads=" << threads << " pos " << i;
+          EXPECT_EQ(got.topk[i].statistic, unpruned[i].statistic)
+              << spec << " threads=" << threads << " pos " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(PrunedKernelDeterminismTest, PruneOnBlockedPreparationMatchesEager) {
+  // Composition with the streaming builder: pruning over blocked-built
+  // prepared state stops at the same position with the same answer as
+  // over the eager state, for any block size.
+  const TupleRelation rel = MakeClusteredTupleRelation(25000, 48, 150);
+  const auto eager = QueryEngine::Prepare(rel);
+  const PrunedTopKResult base =
+      TupleQuantileRankTopKPrune(*eager, 10, 0.5, TiePolicy::kBreakByIndex);
+  for (int block : {1024, 5000, 30000}) {
+    PreparedTupleRelationBuilder builder;
+    const testgen::TupleBlocks blocks = testgen::SplitIntoBlocks(rel, block);
+    for (size_t b = 0; b < blocks.tuples.size(); ++b) {
+      builder.AddBlock(blocks.tuples[b], blocks.rule_keys[b]);
+    }
+    const auto blocked = builder.Seal();
+    const PrunedTopKResult got = TupleQuantileRankTopKPrune(
+        *blocked, 10, 0.5, TiePolicy::kBreakByIndex);
+    EXPECT_EQ(got.prune_stop_position, base.prune_stop_position)
+        << "block=" << block;
+    EXPECT_EQ(got.tuples_scanned, base.tuples_scanned) << "block=" << block;
+    ASSERT_EQ(got.topk.size(), base.topk.size()) << "block=" << block;
+    for (size_t i = 0; i < base.topk.size(); ++i) {
+      EXPECT_EQ(got.topk[i].id, base.topk[i].id) << "block=" << block;
+      EXPECT_EQ(got.topk[i].statistic, base.topk[i].statistic)
+          << "block=" << block;
+    }
+  }
+}
+
+TEST(SeededShardPlanTest, RankProbOverloadMatchesGatherAcrossCaps) {
+  // The pre-gathered-probs overload the builder uses must emit the same
+  // plan as the gathering form for every shard cap.
+  const TupleRelation rel = MakeClusteredTupleRelation(33000, 64, 200);
+  const auto prepared = QueryEngine::Prepare(rel);
+  const std::vector<int>& order = prepared->rank_order();
+  std::vector<double> rank_probs(order.size());
+  for (size_t j = 0; j < order.size(); ++j) {
+    rank_probs[j] = rel.tuple(order[j]).prob;
+  }
+  for (int max_shards : {0, 1, 4, 16}) {
+    const internal::TupleShardPlan a = internal::BuildTupleShardPlan(
+        rel, order, /*first_touch=*/false, max_shards);
+    const internal::TupleShardPlan b = internal::BuildTupleShardPlan(
+        rel, order, &rank_probs, /*first_touch=*/false, max_shards);
+    EXPECT_EQ(a.num_rules, b.num_rules);
+    ASSERT_EQ(a.shards.size(), b.shards.size()) << "cap=" << max_shards;
+    for (size_t s = 0; s < a.shards.size(); ++s) {
+      EXPECT_EQ(a.shards[s].begin, b.shards[s].begin) << "cap=" << max_shards;
+      EXPECT_EQ(a.shards[s].end, b.shards[s].end) << "cap=" << max_shards;
+      EXPECT_EQ(a.shards[s].home_node, b.shards[s].home_node)
+          << "cap=" << max_shards;
+      EXPECT_EQ(a.shards[s].entry_prefix, b.shards[s].entry_prefix)
+          << "cap=" << max_shards;
+      EXPECT_EQ(a.shards[s].entry_rule_mass, b.shards[s].entry_rule_mass)
+          << "cap=" << max_shards;
+      EXPECT_EQ(a.shards[s].order, b.shards[s].order) << "cap=" << max_shards;
+      EXPECT_EQ(a.shards[s].pref, b.shards[s].pref) << "cap=" << max_shards;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,118 @@
+// Negative corpus for the block-stitch and prune-sweep shapes: the
+// disciplines the streaming builder and pruned kernels actually use must
+// come through clean. Analyzing this file must produce no findings.
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/internal/kernel_arena.h"
+#include "util/kernel_annotations.h"
+
+using urank::internal::AlignedBuf;
+using urank::internal::KernelArena;
+
+// Cursor-based k-way run merge: all state is sized once before the merge
+// loop, and heads advance by index without per-round scratch.
+URANK_KERNEL double CursorKWayMerge(
+    const std::vector<std::vector<double>>& runs) {
+  std::vector<std::size_t> cursor(runs.size(), 0);
+  double last = 0.0;
+  for (;;) {
+    int best = -1;
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      if (cursor[r] >= runs[r].size()) continue;
+      if (best < 0 || runs[r][cursor[r]] >
+                          runs[static_cast<std::size_t>(best)]
+                              [cursor[static_cast<std::size_t>(best)]]) {
+        best = static_cast<int>(r);
+      }
+    }
+    if (best < 0) break;
+    last = runs[static_cast<std::size_t>(best)]
+               [cursor[static_cast<std::size_t>(best)]++];
+  }
+  return last;
+}
+
+// The pruned top-k discipline: the k-best heap is pre-sized before the
+// sweep and maintained with push_heap / pop_heap over the fixed storage.
+URANK_KERNEL double FixedKBestSweep(const std::vector<double>& stats,
+                                    std::size_t k) {
+  std::vector<double> heap(std::min(k, stats.size()), 0.0);
+  std::size_t filled = 0;
+  for (double v : stats) {
+    if (filled < heap.size()) {
+      heap[filled++] = v;
+      std::push_heap(heap.begin(),
+                     heap.begin() + static_cast<std::ptrdiff_t>(filled),
+                     std::greater<double>());
+    } else if (!heap.empty() && v > heap.front()) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<double>());
+      heap.back() = v;
+      std::push_heap(heap.begin(), heap.end(), std::greater<double>());
+    }
+  }
+  return heap.empty() ? 0.0 : heap.front();
+}
+
+// Truncated convolution over raw pointers with an explicit length: the
+// rank-distribution update writes in place, no temporaries.
+URANK_KERNEL void TruncatedConvolveStep(double* pmf, std::size_t len,
+                                        double p) {
+  for (std::size_t i = len; i-- > 1;) {
+    pmf[i] = pmf[i] * (1.0 - p) + pmf[i - 1] * p;
+  }
+  if (len > 0) pmf[0] *= 1.0 - p;
+}
+
+// Arena-backed per-block scratch: the buffer grows to a high-water mark
+// across blocks and is exempt even when resized inside the loop.
+URANK_KERNEL double ArenaBlockStitch(
+    const std::vector<std::vector<double>>& blocks, KernelArena* arena) {
+  AlignedBuf& scratch = arena->Doubles(0);
+  double carry = 0.0;
+  for (const std::vector<double>& block : blocks) {
+    scratch.resize(block.size());
+    double acc = carry;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      acc += block[i];
+      scratch[i] = acc;
+    }
+    if (block.size() > 0) carry = scratch[block.size() - 1];
+  }
+  return carry;
+}
+
+// The sequential prefix stitch at seal time: output assigned once at the
+// top, then written index-by-index across all blocks.
+URANK_KERNEL void SealPrefixStitch(const std::vector<double>& masses,
+                                   std::vector<double>* prefix) {
+  prefix->assign(masses.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < masses.size(); ++i) {
+    acc += masses[i];
+    (*prefix)[i] = acc;
+  }
+}
+
+// Rule bookkeeping on an ordered map iterates in key order every run.
+URANK_KERNEL double FoldRuleMassesOrdered(
+    const std::map<int, double>& rule_mass) {
+  double total = 0.0;
+  for (const auto& kv : rule_mass) {
+    total += kv.second;
+  }
+  return total;
+}
+
+// Unannotated convenience wrappers may materialize per-block rows; the
+// check scopes to kernels and their same-TU callees.
+std::vector<std::vector<double>> MaterializeBlocks(int blocks, int width) {
+  std::vector<std::vector<double>> out;
+  for (int b = 0; b < blocks; ++b) {
+    out.push_back(std::vector<double>(static_cast<std::size_t>(width), 0.0));
+  }
+  return out;
+}

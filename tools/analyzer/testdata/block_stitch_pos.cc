@@ -1,0 +1,101 @@
+// Positive corpus for the block-stitch and prune-sweep code shapes added
+// with the streaming preparation work: per-round scratch in k-way merges,
+// candidate sets grown tuple-by-tuple, allocations hidden in stitch
+// helpers, and stitches whose result depends on unordered iteration or
+// entropy. Every `// expect:` line must be reported.
+
+#include <cstddef>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/kernel_annotations.h"
+
+// A block stitch that materializes a fresh prefix buffer for every block
+// instead of reusing one high-water scratch across the seal pass.
+URANK_KERNEL double StitchPrefixPerBlock(
+    const std::vector<std::vector<double>>& blocks) {
+  double carry = 0.0;
+  for (const std::vector<double>& block : blocks) {
+    std::vector<double> prefix(block.size(), 0.0);  // expect: kernel-alloc
+    double acc = carry;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      acc += block[i];
+      prefix[i] = acc;
+    }
+    if (!prefix.empty()) carry = prefix.back();
+  }
+  return carry;
+}
+
+// Per-round merge scratch acquired with raw new[] inside the round loop.
+URANK_KERNEL double RoundScratchMerge(const std::vector<double>& a,
+                                      const std::vector<double>& b,
+                                      int rounds) {
+  double s = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    double* tmp = new double[a.size() + b.size()];  // expect: kernel-alloc
+    std::size_t w = 0;
+    for (double v : a) tmp[w++] = v;
+    for (double v : b) tmp[w++] = v;
+    s += tmp[0];
+    delete[] tmp;
+  }
+  return s;
+}
+
+// The candidate set of a prune sweep grown one survivor at a time; the
+// real kernels pre-size the k-best heap before scanning.
+URANK_KERNEL void CollectSurvivors(const std::vector<double>& scores,
+                                   double cut, std::vector<double>* heap) {
+  for (double s : scores) {
+    if (s > cut) {
+      heap->push_back(s);  // expect: kernel-alloc
+    }
+  }
+}
+
+// Allocation hidden inside a stitch helper the kernel loop calls.
+std::vector<double> StitchPairHelper(double lo, double hi) {
+  std::vector<double> pair(2, lo);  // expect: kernel-alloc
+  pair[1] = hi;
+  return pair;
+}
+
+URANK_KERNEL double HiddenStitchAllocation(const std::vector<double>& in) {
+  double s = 0.0;
+  for (std::size_t i = 1; i < in.size(); ++i) {
+    s += StitchPairHelper(in[i - 1], in[i])[1];
+  }
+  return s;
+}
+
+// Folding per-rule prefix masses in hash order: the stitched sums
+// reassociate differently from run to run.
+URANK_KERNEL double FoldRuleMasses(
+    const std::unordered_map<int, double>& rule_mass) {
+  double total = 0.0;
+  for (const auto& kv : rule_mass) {  // expect: determinism
+    total += kv.second;
+  }
+  return total;
+}
+
+// Counting the rules still open at a block boundary by iterating the
+// unordered key set.
+URANK_KERNEL int CountOpenRules(const std::unordered_set<int>& open) {
+  int n = 0;
+  for (auto it = open.begin(); it != open.end(); ++it) {  // expect: determinism
+    if (*it >= 0) ++n;
+  }
+  return n;
+}
+
+// A "randomized" stop probe: perturbing the bound with entropy makes the
+// prune decision — and therefore the scan length — nondeterministic.
+URANK_KERNEL bool JitteredStopProbe(double bound, double phi) {
+  const double jitter =
+      static_cast<double>(std::rand()) / RAND_MAX;  // expect: determinism
+  return bound + jitter * 1e-12 >= phi;
+}

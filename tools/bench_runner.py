@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Runs the bench/ suite and merges the results into BENCH_7.json.
+"""Runs the bench/ suite and merges the results into BENCH_8.json.
 
 The perf trajectory lives in BENCH_<PR>.json files at the repo root: one
 machine-readable snapshot per performance-focused PR, so later PRs can
@@ -8,9 +8,10 @@ from an existing build tree and writes one merged JSON document.
 
 Usage:
     python3 tools/bench_runner.py [--build-dir build] [--smoke]
-                                  [--out BENCH_7.json] [--only a,b,...]
-                                  [--compare BENCH_6.json] [--repeat N]
+                                  [--out BENCH_8.json] [--only a,b,...]
+                                  [--compare BENCH_7.json] [--repeat N]
                                   [--metrics-out metrics.json]
+                                  [--max-seconds S]
 
 Modes:
     --smoke   run only the benchmarks marked smoke-safe, with their
@@ -29,6 +30,14 @@ by far more than the 10% tolerance.
 --metrics-out extracts the metrics-registry snapshots that json_harness
 binaries embed under a "metrics" key (see docs/OBSERVABILITY.md) into one
 standalone file, which CI uploads as a workflow artifact.
+
+--max-seconds caps each benchmark binary's wall time. A binary that
+exceeds its budget is killed and recorded as skipped (with
+"timed_out": true), every skipped series is summarized at the end of the
+run, and timeouts never fail the run: the budget exists so one
+pathological series (say, the N=1M full suite on a one-core worker)
+cannot eat the whole CI job — a silent hang is worse than a hole in the
+snapshot. Repeats of a timed-out binary are not attempted.
 
 --compare diffs the freshly-written snapshot against a baseline
 BENCH_<PR>.json: series are matched by (kernel, n, threads, simd_target)
@@ -55,9 +64,9 @@ import sys
 import tempfile
 import time
 
-BENCH_ID = "BENCH_7"
-TITLE = ("NUMA-aware shard-parallel execution: topology-pinned worker "
-         "groups, placement policies and score-range sharding")
+BENCH_ID = "BENCH_8"
+TITLE = ("Million-tuple scalability: pruned quantile/median-rank kernels "
+         "and blocked streaming preparation")
 
 # A matched series must not be slower than baseline by more than this.
 REGRESSION_TOLERANCE = 0.10
@@ -92,6 +101,8 @@ REGISTRY = [
           smoke=True, smoke_args=["--smoke"]),
     Bench("metrics_overhead", "bench_metrics_overhead", "json_harness",
           smoke=True, smoke_args=["--smoke"]),
+    Bench("million_scale", "bench_million_scale", "json_harness",
+          smoke=True, smoke_args=["--smoke"]),
     Bench("attr_prune", "bench_attr_prune", "harness"),
     Bench("tuple_prune", "bench_tuple_prune", "harness"),
     Bench("tuple_rules", "bench_tuple_rules", "harness"),
@@ -106,13 +117,13 @@ REGISTRY = [
 ]
 
 
-def run_one(bench, build_dir, smoke, repeat=1):
+def run_one(bench, build_dir, smoke, repeat=1, max_seconds=0.0):
     """Runs `bench` `repeat` times and keeps the best (minimum) time per
     series. Non-timing fields (metrics snapshot, exit codes, tails) come
     from the first failing run if any, else the first run."""
     merged = None
     for _ in range(max(1, repeat)):
-        result = run_once(bench, build_dir, smoke)
+        result = run_once(bench, build_dir, smoke, max_seconds)
         if merged is None:
             merged = result
         else:
@@ -141,7 +152,7 @@ def merge_best_rows(current, candidate):
     return [best[k] for k in order]
 
 
-def run_once(bench, build_dir, smoke):
+def run_once(bench, build_dir, smoke, max_seconds=0.0):
     binary = os.path.join(build_dir, "bench", bench.binary)
     if not os.path.exists(binary):
         return {"skipped": f"binary not found: {binary}"}
@@ -162,7 +173,17 @@ def run_once(bench, build_dir, smoke):
 
     print(f"[bench_runner] {bench.name}: {' '.join(args)}", flush=True)
     start = time.monotonic()
-    proc = subprocess.run(args, capture_output=True, text=True)
+    try:
+        proc = subprocess.run(args, capture_output=True, text=True,
+                              timeout=max_seconds if max_seconds > 0
+                              else None)
+    except subprocess.TimeoutExpired:
+        if json_path is not None:
+            os.unlink(json_path)
+        return {"skipped": f"timed out after {max_seconds:g}s budget "
+                           f"(--max-seconds)",
+                "timed_out": True,
+                "wall_ms": round((time.monotonic() - start) * 1000.0, 1)}
     result["wall_ms"] = round((time.monotonic() - start) * 1000.0, 1)
     result["exit_code"] = proc.returncode
     if proc.returncode != 0:
@@ -294,6 +315,10 @@ def main():
     parser.add_argument("--metrics-out", default="",
                         help="write the metrics-registry snapshots embedded "
                              "in harness JSON to this file")
+    parser.add_argument("--max-seconds", type=float, default=0.0,
+                        help="per-binary wall-time budget; a binary over "
+                             "budget is killed and recorded as skipped "
+                             "(never a failure). 0 disables the budget")
     args = parser.parse_args()
 
     if args.list:
@@ -321,9 +346,12 @@ def main():
         "hardware_threads": os.cpu_count() or 1,
         "results": {},
     }
+    if args.max_seconds > 0:
+        doc["max_seconds"] = args.max_seconds
     failures = 0
     for bench in selected:
-        result = run_one(bench, args.build_dir, args.smoke, args.repeat)
+        result = run_one(bench, args.build_dir, args.smoke, args.repeat,
+                         args.max_seconds)
         doc["results"][bench.name] = result
         if result.get("exit_code", 0) != 0:
             failures += 1
@@ -335,6 +363,14 @@ def main():
         f.write("\n")
     print(f"[bench_runner] wrote {args.out} "
           f"({len(doc['results'])} benchmarks, {failures} failures)")
+
+    skipped = [(name, result["skipped"])
+               for name, result in doc["results"].items()
+               if "skipped" in result]
+    if skipped:
+        print(f"[bench_runner] {len(skipped)} series skipped:")
+        for name, reason in skipped:
+            print(f"  {name}: {reason}")
 
     if args.metrics_out:
         snapshots = {name: result["metrics"]
