@@ -1,0 +1,246 @@
+// Experiment M2: incremental-ingestion throughput on a mutable store.
+//
+// Seeds a MutableTupleRelation at N (1M in full mode) and drives a
+// single-writer mutation stream — 60% inserts, 20% deletes, 20% updates,
+// publishing a fresh epoch every kPublishEvery ops — against a sweep of
+// delta_merge_threshold values. Two series per threshold:
+//
+//   mutate_publish_t<T>      wall time of the whole mutation stream,
+//                            publishes included (writes/sec derives
+//                            from it and is printed alongside);
+//   read_under_mutation_t<T> wall time of one expected-rank top-10
+//                            query per published epoch, run through a
+//                            store-backed QueryEngine so every read
+//                            resolves the newest snapshot.
+//
+// The threshold series shows the maintenance trade-off: a tiny threshold
+// consolidates the delta into the base run on almost every publish
+// (write-heavy, reads always see a fully merged base), a large one defers
+// consolidation (cheap publishes, slightly costlier merges at read
+// prepare). CI gates regressions on both series via tools/bench_runner.py
+// --compare against BENCH_9.json.
+//
+// Flags:
+//   --smoke        shrink N (~50k) and the mutation budget for CI runs
+//   --json=PATH    machine-readable results for tools/bench_runner.py
+
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine/mutable_relation.h"
+#include "core/engine/query_engine.h"
+#include "gen/tuple_gen.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/simd.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace urank {
+namespace {
+
+constexpr int kPublishEvery = 64;  // mutations per published epoch
+
+struct ThresholdResult {
+  std::size_t threshold = 0;
+  int mutations = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t delta_merges = 0;
+  std::uint64_t compactions = 0;
+  double write_ms = 0.0;  // mutation stream incl. publishes
+  double read_ms = 0.0;   // one query per published epoch, summed
+  double writes_per_sec = 0.0;
+  double read_mean_ms = 0.0;
+};
+
+// One deterministic mutation stream against a store seeded from `rel`.
+// The same seed drives every threshold arm, so the logical contents (and
+// thus the work per publish) are identical across the sweep.
+ThresholdResult RunThreshold(const TupleRelation& rel, std::size_t threshold,
+                             int mutations) {
+  MutableRelationOptions options;
+  options.delta_merge_threshold = threshold;
+  auto store = std::make_shared<MutableTupleRelation>(rel, options);
+  QueryEngine engine(store);
+
+  QueryRequest request;
+  request.options.semantics = RankingSemantics::kExpectedRank;
+  request.options.k = 10;
+
+  std::vector<int> live(static_cast<std::size_t>(rel.size()));
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    live[i] = rel.tuple(static_cast<int>(i)).id;
+  }
+  int next_id = rel.size();
+
+  Rng rng(97);
+  ThresholdResult result;
+  result.threshold = threshold;
+  result.mutations = mutations;
+  const std::uint64_t merges_before = store->delta_merges();
+  const std::uint64_t compactions_before = store->compactions();
+
+  for (int i = 0; i < mutations; ++i) {
+    const int roll = static_cast<int>(rng.UniformInt(0, 9));
+    std::string error;
+    bool ok = false;
+    if (roll < 6 || live.empty()) {
+      TLTuple t;
+      t.id = next_id++;
+      t.score = rng.Uniform(0.0, 1000.0);
+      t.prob = rng.Uniform(0.05, 1.0);
+      Timer timer;
+      ok = store->Insert(t, -1, &error);
+      result.write_ms += timer.ElapsedMs();
+      if (ok) live.push_back(t.id);
+    } else {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      if (roll < 8) {
+        Timer timer;
+        ok = store->Delete(live[pick], &error);
+        result.write_ms += timer.ElapsedMs();
+        if (ok) {
+          live[pick] = live.back();
+          live.pop_back();
+        }
+      } else {
+        TLTuple t;
+        t.id = live[pick];
+        t.score = rng.Uniform(0.0, 1000.0);
+        t.prob = rng.Uniform(0.05, 1.0);
+        Timer timer;
+        ok = store->Update(t, -1, &error);
+        result.write_ms += timer.ElapsedMs();
+      }
+    }
+    if (!ok) {
+      std::fprintf(stderr, "mutation %d failed: %s\n", i, error.c_str());
+      continue;
+    }
+    if ((i + 1) % kPublishEvery == 0) {
+      Timer timer;
+      store->Publish();
+      result.write_ms += timer.ElapsedMs();
+      ++result.publishes;
+      // One read per epoch through the store-backed engine: resolves the
+      // snapshot that was just published.
+      Timer read_timer;
+      const QueryResult qr = engine.Run(request);
+      result.read_ms += read_timer.ElapsedMs();
+      if (!qr.status.ok() || qr.answer.ids.empty()) {
+        std::fprintf(stderr, "read under mutation failed: %s\n",
+                     qr.status.message.c_str());
+      }
+    }
+  }
+  {
+    Timer timer;
+    store->Publish();
+    result.write_ms += timer.ElapsedMs();
+    ++result.publishes;
+  }
+
+  result.delta_merges = store->delta_merges() - merges_before;
+  result.compactions = store->compactions() - compactions_before;
+  result.writes_per_sec =
+      result.write_ms > 0.0 ? mutations / (result.write_ms / 1000.0) : 0.0;
+  result.read_mean_ms =
+      result.publishes > 1 ? result.read_ms / (result.publishes - 1) : 0.0;
+  return result;
+}
+
+void WriteJson(const std::string& path, bool smoke, int n,
+               const std::vector<ThresholdResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"harness\": \"bench_mutation_throughput\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"hardware_threads\": %d,\n", ResolveThreads(0));
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ThresholdResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"mutate_publish_t%zu\", \"n\": %d, "
+                 "\"threads\": 1, \"simd_target\": \"%s\", "
+                 "\"wall_ms\": %.3f, \"writes_per_sec\": %.1f},\n",
+                 r.threshold, n, ToString(ActiveSimdTarget()), r.write_ms,
+                 r.writes_per_sec);
+    std::fprintf(f,
+                 "    {\"kernel\": \"read_under_mutation_t%zu\", \"n\": %d, "
+                 "\"threads\": 1, \"simd_target\": \"%s\", "
+                 "\"wall_ms\": %.3f, \"read_mean_ms\": %.4f}%s\n",
+                 r.threshold, n, ToString(ActiveSimdTarget()), r.read_ms,
+                 r.read_mean_ms, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"metrics\": %s\n",
+               metrics::Registry::Global().RenderJsonSnapshot().c_str());
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int RunHarness(bool smoke, const std::string& json_path) {
+  const int n = smoke ? 50000 : 1000000;
+  const int mutations = smoke ? 2048 : 16384;
+  const std::vector<std::size_t> thresholds =
+      smoke ? std::vector<std::size_t>{64, 4096}
+            : std::vector<std::size_t>{64, 1024, 16384};
+
+  TupleGenConfig config;
+  config.num_tuples = n;
+  config.seed = 41;
+  const TupleRelation rel = GenerateTupleRelation(config);
+
+  std::vector<ThresholdResult> results;
+  for (std::size_t threshold : thresholds) {
+    results.push_back(RunThreshold(rel, threshold, mutations));
+  }
+
+  Table table("M2: mutation throughput vs read latency (N = " +
+                  FormatInt(n) + ", " + FormatInt(mutations) +
+                  " mutations, publish every " + FormatInt(kPublishEvery) +
+                  ")",
+              {"delta threshold", "writes/sec", "publishes", "delta merges",
+               "compactions", "mean read ms"});
+  for (const ThresholdResult& r : results) {
+    table.AddRow({FormatInt(static_cast<long long>(r.threshold)),
+                  FormatDouble(r.writes_per_sec, 0),
+                  FormatInt(static_cast<long long>(r.publishes)),
+                  FormatInt(static_cast<long long>(r.delta_merges)),
+                  FormatInt(static_cast<long long>(r.compactions)),
+                  FormatDouble(r.read_mean_ms, 4)});
+  }
+  table.Print();
+  std::printf("\n");
+
+  if (!json_path.empty()) WriteJson(json_path, smoke, n, results);
+  return 0;
+}
+
+}  // namespace
+}  // namespace urank
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return urank::RunHarness(smoke, json_path);
+}

@@ -1,0 +1,791 @@
+#include "core/engine/mutable_relation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "core/internal/vector_kernels.h"
+#include "util/check.h"
+#include "util/metrics.h"
+
+namespace urank {
+namespace {
+
+// Writer-side metrics (docs/OBSERVABILITY.md). The epoch gauge is a
+// process-wide high-water mark across all stores.
+struct MutationMetrics {
+  metrics::Counter& mutations;
+  metrics::Counter& publishes;
+  metrics::Counter& delta_merges;
+  metrics::Counter& compactions;
+  metrics::Gauge& epoch;
+
+  static const MutationMetrics& Get() {
+    metrics::Registry& r = metrics::Registry::Global();
+    static const MutationMetrics m{
+        r.counter("urank_engine_mutations_total"),
+        r.counter("urank_engine_epoch_publish_total"),
+        r.counter("urank_engine_delta_merge_total"),
+        r.counter("urank_engine_compaction_total"),
+        r.gauge("urank_engine_epoch_count")};
+    return m;
+  }
+};
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+// Mirrors the model validators' round-off allowance (the same constant
+// kProbSumTolerance both model .cc files define), so a mutation the store
+// accepts can never be rejected by the TupleRelation constructor at
+// publish time.
+constexpr double kTolerance = internal::kContractTolerance;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MutableTupleRelation
+
+MutableTupleRelation::MutableTupleRelation(MutableRelationOptions options)
+    : options_(options) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  PublishLocked();
+}
+
+MutableTupleRelation::MutableTupleRelation(const TupleRelation& rel,
+                                           MutableRelationOptions options)
+    : options_(options) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  entries_.reserve(static_cast<std::size_t>(rel.size()));
+  for (int i = 0; i < rel.size(); ++i) {
+    // Keying by the rule index preserves the relation's rule structure
+    // (implicit singletons included — every tuple has a rule index).
+    const std::size_t idx = entries_.size();
+    const long long key = rel.rule_of(i);
+    entries_.push_back(Entry{rel.tuple(i), key, true});
+    live_by_id_[rel.tuple(i).id] = idx;
+    rule_members_[key].push_back(idx);
+  }
+  live_count_ = entries_.size();
+  PublishLocked();
+}
+
+double MutableTupleRelation::LiveRuleMass(long long rule_key) const {
+  const auto it = rule_members_.find(rule_key);
+  if (it == rule_members_.end()) return 0.0;
+  // Left-to-right over live members in arrival order: the exact additions
+  // TupleRelation::Validate performs over the published rule vector.
+  double mass = 0.0;
+  for (std::size_t idx : it->second) {
+    if (entries_[idx].alive) mass += entries_[idx].tuple.prob;
+  }
+  return mass;
+}
+
+bool MutableTupleRelation::InsertLocked(const TLTuple& tuple,
+                                        long long rule_key,
+                                        std::string* error) {
+  if (live_by_id_.count(tuple.id) > 0) {
+    SetError(error, "duplicate tuple id " + std::to_string(tuple.id));
+    return false;
+  }
+  if (!(tuple.prob > 0.0) || tuple.prob > 1.0 + kTolerance) {
+    SetError(error, "tuple " + std::to_string(tuple.id) +
+                        " has a probability outside (0,1]");
+    return false;
+  }
+  if (!std::isfinite(tuple.score)) {
+    SetError(error, "tuple " + std::to_string(tuple.id) +
+                        " has a non-finite score");
+    return false;
+  }
+  if (rule_key >= 0) {
+    const double mass = LiveRuleMass(rule_key) + tuple.prob;
+    if (mass > 1.0 + kTolerance) {
+      SetError(error, "rule " + std::to_string(rule_key) +
+                          " probabilities would sum to " +
+                          std::to_string(mass) + " > 1");
+      return false;
+    }
+  }
+  const std::size_t idx = entries_.size();
+  entries_.push_back(Entry{tuple, rule_key, true});
+  live_by_id_[tuple.id] = idx;
+  if (rule_key >= 0) rule_members_[rule_key].push_back(idx);
+  ++live_count_;
+  dirty_ = true;
+  return true;
+}
+
+bool MutableTupleRelation::DeleteLocked(int id, std::string* error) {
+  const auto it = live_by_id_.find(id);
+  if (it == live_by_id_.end()) {
+    SetError(error, "no live tuple with id " + std::to_string(id));
+    return false;
+  }
+  entries_[it->second].alive = false;
+  live_by_id_.erase(it);
+  --live_count_;
+  dirty_ = true;
+  return true;
+}
+
+bool MutableTupleRelation::Insert(const TLTuple& tuple, long long rule_key,
+                                  std::string* error) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!InsertLocked(tuple, rule_key, error)) return false;
+  MutationMetrics::Get().mutations.Increment();
+  return true;
+}
+
+bool MutableTupleRelation::Delete(int id, std::string* error) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!DeleteLocked(id, error)) return false;
+  MutationMetrics::Get().mutations.Increment();
+  return true;
+}
+
+bool MutableTupleRelation::Update(const TLTuple& tuple, long long rule_key,
+                                  std::string* error) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const auto it = live_by_id_.find(tuple.id);
+  if (it == live_by_id_.end()) {
+    SetError(error, "no live tuple with id " + std::to_string(tuple.id));
+    return false;
+  }
+  // Tombstone the old version first so the rule-mass gate sees the rule
+  // without it, then re-insert at the tail; restore on failure.
+  const std::size_t old_idx = it->second;
+  entries_[old_idx].alive = false;
+  live_by_id_.erase(it);
+  --live_count_;
+  if (!InsertLocked(tuple, rule_key, error)) {
+    entries_[old_idx].alive = true;
+    live_by_id_[tuple.id] = old_idx;
+    ++live_count_;
+    return false;
+  }
+  dirty_ = true;
+  MutationMetrics::Get().mutations.Increment();
+  return true;
+}
+
+bool MutableTupleRelation::Apply(const std::vector<TupleMutation>& ops,
+                                 std::string* error) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  // Undo journal: entries appended by the batch are truncated; entries
+  // that were alive before the batch and died during it are revived.
+  const std::size_t old_size = entries_.size();
+  const std::size_t old_live = live_count_;
+  const bool old_dirty = dirty_;
+  std::vector<std::size_t> killed;  // indices < old_size flipped dead
+
+  auto kill_tracked = [&](int id, std::string* err) {
+    const auto it = live_by_id_.find(id);
+    if (it == live_by_id_.end()) {
+      SetError(err, "no live tuple with id " + std::to_string(id));
+      return false;
+    }
+    if (it->second < old_size) killed.push_back(it->second);
+    entries_[it->second].alive = false;
+    live_by_id_.erase(it);
+    --live_count_;
+    return true;
+  };
+
+  std::string op_error;
+  bool ok = true;
+  std::size_t failed_at = 0;
+  for (std::size_t i = 0; i < ops.size() && ok; ++i) {
+    const TupleMutation& op = ops[i];
+    failed_at = i;
+    switch (op.op) {
+      case TupleMutation::Op::kInsert:
+        ok = InsertLocked(op.tuple, op.rule_key, &op_error);
+        break;
+      case TupleMutation::Op::kDelete:
+        ok = kill_tracked(op.id, &op_error);
+        break;
+      case TupleMutation::Op::kUpdate:
+        ok = kill_tracked(op.tuple.id, &op_error) &&
+             InsertLocked(op.tuple, op.rule_key, &op_error);
+        break;
+    }
+  }
+  if (ok) {
+    if (!ops.empty()) dirty_ = true;
+    MutationMetrics::Get().mutations.Increment(
+        static_cast<long long>(ops.size()));
+    return true;
+  }
+
+  // Roll back: drop batch-appended entries and their bookkeeping, then
+  // revive the pre-batch entries the batch tombstoned.
+  for (std::size_t idx = old_size; idx < entries_.size(); ++idx) {
+    live_by_id_.erase(entries_[idx].tuple.id);
+    if (entries_[idx].rule_key >= 0) {
+      std::vector<std::size_t>& members = rule_members_[entries_[idx].rule_key];
+      while (!members.empty() && members.back() >= old_size) {
+        members.pop_back();
+      }
+    }
+  }
+  entries_.resize(old_size);
+  for (std::size_t idx : killed) {
+    entries_[idx].alive = true;
+    live_by_id_[entries_[idx].tuple.id] = idx;
+  }
+  live_count_ = old_live;
+  dirty_ = old_dirty;
+  SetError(error, "op " + std::to_string(failed_at) + ": " + op_error);
+  return false;
+}
+
+void MutableTupleRelation::CompactLocked() {
+  // Arrival-order-preserving removal of tombstones. Only called right
+  // after a consolidation, so base_run_ holds live entries only and the
+  // delta is empty.
+  std::vector<std::size_t> remap(entries_.size(),
+                                 static_cast<std::size_t>(-1));
+  std::vector<Entry> live;
+  live.reserve(live_count_);
+  for (std::size_t idx = 0; idx < entries_.size(); ++idx) {
+    if (!entries_[idx].alive) continue;
+    remap[idx] = live.size();
+    live.push_back(std::move(entries_[idx]));
+  }
+  entries_ = std::move(live);
+  for (std::size_t& idx : base_run_) idx = remap[idx];
+  for (auto& [id, idx] : live_by_id_) idx = remap[idx];
+  for (auto it = rule_members_.begin(); it != rule_members_.end();) {
+    std::vector<std::size_t> kept;
+    for (std::size_t idx : it->second) {
+      if (remap[idx] != static_cast<std::size_t>(-1)) {
+        kept.push_back(remap[idx]);
+      }
+    }
+    if (kept.empty()) {
+      it = rule_members_.erase(it);
+    } else {
+      it->second = std::move(kept);
+      ++it;
+    }
+  }
+  delta_start_ = entries_.size();
+  ++compactions_;
+  MutationMetrics::Get().compactions.Increment();
+}
+
+void MutableTupleRelation::PublishLocked() {
+  // (score desc, entry index asc): a strict total order (indices unique),
+  // so merged runs equal the eager std::sort output over the live set.
+  auto better = [this](std::size_t a, std::size_t b) {
+    const double sa = entries_[a].tuple.score;
+    const double sb = entries_[b].tuple.score;
+    if (sa != sb) return sa > sb;
+    return a < b;
+  };
+
+  std::vector<std::size_t> delta_run;
+  delta_run.reserve(entries_.size() - delta_start_);
+  for (std::size_t idx = delta_start_; idx < entries_.size(); ++idx) {
+    if (entries_[idx].alive) delta_run.push_back(idx);
+  }
+  std::sort(delta_run.begin(), delta_run.end(), better);
+
+  // 2-way merge, filtering entries tombstoned since consolidation.
+  std::vector<std::size_t> merged;
+  merged.reserve(live_count_);
+  std::size_t bi = 0;
+  std::size_t di = 0;
+  while (bi < base_run_.size() && !entries_[base_run_[bi]].alive) ++bi;
+  while (bi < base_run_.size() || di < delta_run.size()) {
+    if (di == delta_run.size() ||
+        (bi < base_run_.size() && better(base_run_[bi], delta_run[di]))) {
+      merged.push_back(base_run_[bi]);
+      ++bi;
+      while (bi < base_run_.size() && !entries_[base_run_[bi]].alive) ++bi;
+    } else {
+      merged.push_back(delta_run[di]);
+      ++di;
+    }
+  }
+
+  const bool consolidate =
+      delta_run.size() >= options_.delta_merge_threshold;
+  if (consolidate) {
+    base_run_ = merged;
+    delta_start_ = entries_.size();
+    ++delta_merges_;
+    MutationMetrics::Get().delta_merges.Increment();
+    const std::size_t dead = entries_.size() - live_count_;
+    if (dead > live_count_ && dead >= options_.compact_min_dead) {
+      CompactLocked();
+      // merged indexes pre-compaction entries; relabeling below uses the
+      // pre-compaction arrival order, so rebuild merged from the (already
+      // relabeled) base run instead.
+      merged.assign(base_run_.begin(), base_run_.end());
+    }
+  }
+
+  // Canonical logical contents: live entries in arrival order; rules
+  // grouped by key, numbered by first live appearance, members in
+  // arrival order (the prepared_builder convention).
+  std::vector<std::size_t> pos_of_entry(entries_.size(),
+                                        static_cast<std::size_t>(-1));
+  std::vector<TLTuple> tuples;
+  std::vector<std::vector<int>> rules;
+  tuples.reserve(live_count_);
+  {
+    std::unordered_map<long long, std::size_t> rule_of_key;
+    for (std::size_t idx = 0; idx < entries_.size(); ++idx) {
+      const Entry& e = entries_[idx];
+      if (!e.alive) continue;
+      pos_of_entry[idx] = tuples.size();
+      tuples.push_back(e.tuple);
+      if (e.rule_key >= 0) {
+        const auto [it, inserted] =
+            rule_of_key.try_emplace(e.rule_key, rules.size());
+        if (inserted) rules.emplace_back();
+        rules[it->second].push_back(static_cast<int>(pos_of_entry[idx]));
+      }
+    }
+  }
+
+  TuplePreparedSeed seed;
+  seed.rank_order.reserve(merged.size());
+  for (std::size_t idx : merged) {
+    seed.rank_order.push_back(static_cast<int>(pos_of_entry[idx]));
+  }
+  // One plain sequential pass — the exact left-to-right additions the
+  // eager constructor performs over its sorted order.
+  const std::size_t n = tuples.size();
+  seed.rank_probs.resize(n);
+  seed.prefix_prob.assign(n + 1, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double p =
+        tuples[static_cast<std::size_t>(seed.rank_order[j])].prob;
+    seed.rank_probs[j] = p;
+    seed.prefix_prob[j + 1] = seed.prefix_prob[j] + p;
+  }
+
+  TupleRelation rel(std::move(tuples), std::move(rules));
+  auto prepared = std::make_shared<const PreparedTupleRelation>(
+      std::move(rel), std::move(seed));
+
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    ++epoch_;
+    snapshot_ = std::move(prepared);
+    MutationMetrics::Get().epoch.SetMax(static_cast<double>(epoch_));
+  }
+  dirty_ = false;
+  MutationMetrics::Get().publishes.Increment();
+}
+
+TupleEpochSnapshot MutableTupleRelation::Publish() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (dirty_) PublishLocked();
+  return Snapshot();
+}
+
+TupleEpochSnapshot MutableTupleRelation::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return {epoch_, snapshot_};
+}
+
+std::uint64_t MutableTupleRelation::epoch() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return epoch_;
+}
+
+void MutableTupleRelation::EnsureEpochAtLeast(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (epoch_ < epoch) {
+    epoch_ = epoch;
+    MutationMetrics::Get().epoch.SetMax(static_cast<double>(epoch_));
+  }
+}
+
+long long MutableTupleRelation::live_size() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return static_cast<long long>(live_count_);
+}
+
+bool MutableTupleRelation::dirty() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return dirty_;
+}
+
+std::uint64_t MutableTupleRelation::delta_merges() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return delta_merges_;
+}
+
+std::uint64_t MutableTupleRelation::compactions() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return compactions_;
+}
+
+// ---------------------------------------------------------------------------
+// MutableAttrRelation
+
+MutableAttrRelation::MutableAttrRelation(MutableRelationOptions options)
+    : options_(options) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  PublishLocked();
+}
+
+MutableAttrRelation::MutableAttrRelation(const AttrRelation& rel,
+                                         MutableRelationOptions options)
+    : options_(options) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::string error;
+  for (int i = 0; i < rel.size(); ++i) {
+    const bool ok = InsertLocked(rel.tuple(i), &error);
+    URANK_CHECK_MSG(ok, error.c_str());
+  }
+  PublishLocked();
+}
+
+bool MutableAttrRelation::InsertLocked(const AttrTuple& tuple,
+                                       std::string* error) {
+  if (live_by_id_.count(tuple.id) > 0) {
+    SetError(error, "duplicate tuple id " + std::to_string(tuple.id));
+    return false;
+  }
+  // Per-tuple contract (pdf shape, probability mass): exactly the model
+  // validator's rules, run on a one-element relation.
+  std::string model_error;
+  if (!AttrRelation::Validate({tuple}, &model_error)) {
+    SetError(error, std::move(model_error));
+    return false;
+  }
+  Entry entry;
+  entry.expected_score = tuple.ExpectedScore();
+  std::vector<ScoreValue> scratch;
+  entry.sorted_pdf.Build(tuple, &scratch);
+  entry.tuple = tuple;
+  const std::size_t idx = entries_.size();
+  entries_.push_back(std::move(entry));
+  live_by_id_[tuple.id] = idx;
+  ++live_count_;
+  dirty_ = true;
+  return true;
+}
+
+bool MutableAttrRelation::DeleteLocked(int id, std::string* error) {
+  const auto it = live_by_id_.find(id);
+  if (it == live_by_id_.end()) {
+    SetError(error, "no live tuple with id " + std::to_string(id));
+    return false;
+  }
+  entries_[it->second].alive = false;
+  live_by_id_.erase(it);
+  --live_count_;
+  dirty_ = true;
+  return true;
+}
+
+bool MutableAttrRelation::Insert(const AttrTuple& tuple, std::string* error) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!InsertLocked(tuple, error)) return false;
+  MutationMetrics::Get().mutations.Increment();
+  return true;
+}
+
+bool MutableAttrRelation::Delete(int id, std::string* error) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (!DeleteLocked(id, error)) return false;
+  MutationMetrics::Get().mutations.Increment();
+  return true;
+}
+
+bool MutableAttrRelation::Update(const AttrTuple& tuple, std::string* error) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const auto it = live_by_id_.find(tuple.id);
+  if (it == live_by_id_.end()) {
+    SetError(error, "no live tuple with id " + std::to_string(tuple.id));
+    return false;
+  }
+  const std::size_t old_idx = it->second;
+  entries_[old_idx].alive = false;
+  live_by_id_.erase(it);
+  --live_count_;
+  if (!InsertLocked(tuple, error)) {
+    entries_[old_idx].alive = true;
+    live_by_id_[tuple.id] = old_idx;
+    ++live_count_;
+    return false;
+  }
+  MutationMetrics::Get().mutations.Increment();
+  return true;
+}
+
+bool MutableAttrRelation::Apply(const std::vector<AttrMutation>& ops,
+                                std::string* error) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const std::size_t old_size = entries_.size();
+  const std::size_t old_live = live_count_;
+  const bool old_dirty = dirty_;
+  std::vector<std::size_t> killed;
+
+  auto kill_tracked = [&](int id, std::string* err) {
+    const auto it = live_by_id_.find(id);
+    if (it == live_by_id_.end()) {
+      SetError(err, "no live tuple with id " + std::to_string(id));
+      return false;
+    }
+    if (it->second < old_size) killed.push_back(it->second);
+    entries_[it->second].alive = false;
+    live_by_id_.erase(it);
+    --live_count_;
+    return true;
+  };
+
+  std::string op_error;
+  bool ok = true;
+  std::size_t failed_at = 0;
+  for (std::size_t i = 0; i < ops.size() && ok; ++i) {
+    const AttrMutation& op = ops[i];
+    failed_at = i;
+    switch (op.op) {
+      case AttrMutation::Op::kInsert:
+        ok = InsertLocked(op.tuple, &op_error);
+        break;
+      case AttrMutation::Op::kDelete:
+        ok = kill_tracked(op.id, &op_error);
+        break;
+      case AttrMutation::Op::kUpdate:
+        ok = kill_tracked(op.tuple.id, &op_error) &&
+             InsertLocked(op.tuple, &op_error);
+        break;
+    }
+  }
+  if (ok) {
+    if (!ops.empty()) dirty_ = true;
+    MutationMetrics::Get().mutations.Increment(
+        static_cast<long long>(ops.size()));
+    return true;
+  }
+
+  for (std::size_t idx = old_size; idx < entries_.size(); ++idx) {
+    live_by_id_.erase(entries_[idx].tuple.id);
+  }
+  entries_.resize(old_size);
+  for (std::size_t idx : killed) {
+    entries_[idx].alive = true;
+    live_by_id_[entries_[idx].tuple.id] = idx;
+  }
+  live_count_ = old_live;
+  dirty_ = old_dirty;
+  SetError(error, "op " + std::to_string(failed_at) + ": " + op_error);
+  return false;
+}
+
+void MutableAttrRelation::CompactLocked() {
+  std::vector<std::size_t> remap(entries_.size(),
+                                 static_cast<std::size_t>(-1));
+  std::vector<Entry> live;
+  live.reserve(live_count_);
+  for (std::size_t idx = 0; idx < entries_.size(); ++idx) {
+    if (!entries_[idx].alive) continue;
+    remap[idx] = live.size();
+    live.push_back(std::move(entries_[idx]));
+  }
+  entries_ = std::move(live);
+  for (std::size_t& idx : base_escore_run_) idx = remap[idx];
+  for (ValueItem& item : base_value_run_) item.owner = remap[item.owner];
+  for (auto& [id, idx] : live_by_id_) idx = remap[idx];
+  delta_start_ = entries_.size();
+  ++compactions_;
+  MutationMetrics::Get().compactions.Increment();
+}
+
+void MutableAttrRelation::PublishLocked() {
+  auto better = [this](std::size_t a, std::size_t b) {
+    const double ea = entries_[a].expected_score;
+    const double eb = entries_[b].expected_score;
+    if (ea != eb) return ea > eb;
+    return a < b;
+  };
+
+  std::vector<std::size_t> delta_run;
+  std::vector<ValueItem> delta_values;
+  for (std::size_t idx = delta_start_; idx < entries_.size(); ++idx) {
+    if (!entries_[idx].alive) continue;
+    delta_run.push_back(idx);
+    for (const ScoreValue& sv : entries_[idx].tuple.pdf) {
+      delta_values.push_back(ValueItem{sv.value, sv.prob, idx});
+    }
+  }
+  std::sort(delta_run.begin(), delta_run.end(), better);
+  std::sort(delta_values.begin(), delta_values.end());
+
+  std::vector<std::size_t> merged;
+  merged.reserve(live_count_);
+  {
+    std::size_t bi = 0;
+    std::size_t di = 0;
+    while (bi < base_escore_run_.size() &&
+           !entries_[base_escore_run_[bi]].alive) {
+      ++bi;
+    }
+    while (bi < base_escore_run_.size() || di < delta_run.size()) {
+      if (di == delta_run.size() ||
+          (bi < base_escore_run_.size() &&
+           better(base_escore_run_[bi], delta_run[di]))) {
+        merged.push_back(base_escore_run_[bi]);
+        ++bi;
+        while (bi < base_escore_run_.size() &&
+               !entries_[base_escore_run_[bi]].alive) {
+          ++bi;
+        }
+      } else {
+        merged.push_back(delta_run[di]);
+        ++di;
+      }
+    }
+  }
+
+  // Merge the sorted (value, mass, owner) runs, filtering tombstoned
+  // owners. The projected (value, mass) sequence is exactly the
+  // BuildValueUniverse std::sort output over the live entries' pairs:
+  // equal-value masses appear ascending, and equal (value, mass) items
+  // contribute identical additions in any order.
+  std::vector<ValueItem> merged_values;
+  merged_values.reserve(base_value_run_.size() + delta_values.size());
+  {
+    std::size_t bi = 0;
+    std::size_t di = 0;
+    while (bi < base_value_run_.size() &&
+           !entries_[base_value_run_[bi].owner].alive) {
+      ++bi;
+    }
+    while (bi < base_value_run_.size() || di < delta_values.size()) {
+      if (di == delta_values.size() ||
+          (bi < base_value_run_.size() &&
+           base_value_run_[bi] < delta_values[di])) {
+        merged_values.push_back(base_value_run_[bi]);
+        ++bi;
+        while (bi < base_value_run_.size() &&
+               !entries_[base_value_run_[bi].owner].alive) {
+          ++bi;
+        }
+      } else {
+        merged_values.push_back(delta_values[di]);
+        ++di;
+      }
+    }
+  }
+
+  const bool consolidate =
+      delta_run.size() >= options_.delta_merge_threshold;
+  if (consolidate) {
+    base_escore_run_ = merged;
+    base_value_run_ = merged_values;
+    delta_start_ = entries_.size();
+    ++delta_merges_;
+    MutationMetrics::Get().delta_merges.Increment();
+    const std::size_t dead = entries_.size() - live_count_;
+    if (dead > live_count_ && dead >= options_.compact_min_dead) {
+      CompactLocked();
+      merged.assign(base_escore_run_.begin(), base_escore_run_.end());
+      merged_values.assign(base_value_run_.begin(), base_value_run_.end());
+    }
+  }
+
+  std::vector<std::size_t> pos_of_entry(entries_.size(),
+                                        static_cast<std::size_t>(-1));
+  std::vector<AttrTuple> tuples;
+  AttrPreparedSeed seed;
+  tuples.reserve(live_count_);
+  seed.expected_scores.reserve(live_count_);
+  seed.sorted_pdfs.reserve(live_count_);
+  for (std::size_t idx = 0; idx < entries_.size(); ++idx) {
+    const Entry& e = entries_[idx];
+    if (!e.alive) continue;
+    pos_of_entry[idx] = tuples.size();
+    tuples.push_back(e.tuple);
+    seed.expected_scores.push_back(e.expected_score);
+    seed.sorted_pdfs.push_back(e.sorted_pdf);
+  }
+  seed.escore_order.reserve(merged.size());
+  for (std::size_t idx : merged) {
+    seed.escore_order.push_back(static_cast<int>(pos_of_entry[idx]));
+  }
+  // Collapse the merged ascending (value, mass) sequence — the exact
+  // accumulation BuildValueUniverse performs on its sorted array.
+  internal::ValueUniverse& u = seed.universe;
+  for (const ValueItem& item : merged_values) {
+    if (!u.values.empty() && u.values.back() == item.value) {
+      u.mass.back() += item.prob;
+    } else {
+      u.values.push_back(item.value);
+      u.mass.push_back(item.prob);
+    }
+  }
+  u.suffix.resize(u.values.size() + 1);
+  vk::Active().suffix_sum(u.mass.data(), u.suffix.data(), u.values.size());
+
+  AttrRelation rel(std::move(tuples));
+  auto prepared = std::make_shared<const PreparedAttrRelation>(
+      std::move(rel), std::move(seed));
+
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    ++epoch_;
+    snapshot_ = std::move(prepared);
+    MutationMetrics::Get().epoch.SetMax(static_cast<double>(epoch_));
+  }
+  dirty_ = false;
+  MutationMetrics::Get().publishes.Increment();
+}
+
+AttrEpochSnapshot MutableAttrRelation::Publish() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (dirty_) PublishLocked();
+  return Snapshot();
+}
+
+AttrEpochSnapshot MutableAttrRelation::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return {epoch_, snapshot_};
+}
+
+std::uint64_t MutableAttrRelation::epoch() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return epoch_;
+}
+
+void MutableAttrRelation::EnsureEpochAtLeast(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (epoch_ < epoch) {
+    epoch_ = epoch;
+    MutationMetrics::Get().epoch.SetMax(static_cast<double>(epoch_));
+  }
+}
+
+long long MutableAttrRelation::live_size() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return static_cast<long long>(live_count_);
+}
+
+bool MutableAttrRelation::dirty() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return dirty_;
+}
+
+std::uint64_t MutableAttrRelation::delta_merges() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return delta_merges_;
+}
+
+std::uint64_t MutableAttrRelation::compactions() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return compactions_;
+}
+
+}  // namespace urank

@@ -1,0 +1,299 @@
+// Mutable relations: incremental ingestion over the prepared-state query
+// surface, with copy-on-write epoch snapshots.
+//
+// A Mutable*Relation owns the *logical contents* of one uncertain relation
+// — tuples in arrival order, each tagged alive/dead, tuple-level entries
+// additionally tagged with the caller-chosen exclusion-rule key — plus the
+// incremental preparation state needed to publish a PreparedRelation
+// without re-running the O(N log N) from-scratch prepare:
+//
+//   * a *base* sorted run over the already-consolidated prefix of the
+//     entry log (rank order for tuple-level; expected-score order and the
+//     sorted (value, mass) slice of the q(v) universe for attribute-level),
+//   * a *delta* of entries appended since the last consolidation, sorted
+//     at publish time (reusing the same run/merge discipline as
+//     core/engine/prepared_builder.h), and
+//   * tombstones: Delete marks an entry dead; dead entries are filtered
+//     out of the merged order at publish time and physically compacted
+//     once they outnumber the live ones.
+//
+// Publish() merges base + delta (a 2-way merge of sorted runs), rebuilds
+// the derived vectors with one sequential pass, hands them to the
+// Prepared*Relation seed constructors, and atomically swaps the new
+// snapshot in under a fresh epoch number. Readers call Snapshot() and keep
+// a shared_ptr<const Prepared*Relation>: in-flight queries keep reading
+// the epoch they resolved, unaffected by concurrent writers (copy-on-
+// write — published prepared state is never modified).
+//
+// Bit-identity contract (the property tests/core/epoch_identity_test.cc
+// enforces): every published epoch is bit-identical — EXPECT_EQ on every
+// double of every semantics' answer, for any thread count × topology ×
+// placement — to eagerly preparing the same logical contents, defined as:
+//
+//   * live entries in arrival order (an Update re-inserts at the tail:
+//     it is a Delete plus an Insert, and its tie-break index moves);
+//   * exclusion rules grouped by key, numbered by first live appearance
+//     in arrival order, members in arrival order — exactly the
+//     PreparedTupleRelationBuilder convention, and exactly what an eager
+//     caller building a rules vector in one pass over the live entries
+//     would construct. Negative keys mean independent (singleton rules
+//     supplied by the TupleRelation constructor).
+//
+// The mechanics are the prepared_builder ones: the merge of sorted runs
+// under a (key desc, index asc) total order equals the eager std::sort
+// output because indices are unique; prefix probability sums are one
+// plain left-to-right pass over the merged order (never stitched partial
+// sums); the value universe collapses the merged ascending (value, mass)
+// sequence with the exact accumulation BuildValueUniverse performs.
+// Tombstone filtering and arrival-order compaction are both monotone in
+// the entry index, so they preserve those orders.
+//
+// x-relations: rule keys are first-class and fully general — a rule may
+// gain and lose members across any number of epochs, and an Update may
+// move a tuple between rules (cross-x-relation rule edit). Mutations are
+// gated by the same model contract TupleRelation::Validate enforces
+// (per-rule live probability mass <= 1 + tolerance, summed in arrival
+// order so the comparison is bit-for-bit the one Validate performs), so
+// a Publish can never abort in the model constructor.
+//
+// Thread-safety: any number of reader threads may call Snapshot()/epoch()
+// concurrently with one another and with writers. Mutators and Publish
+// are serialized on an internal writer mutex — concurrent writers are
+// safe but see arrival order chosen by lock order. Batch Apply is
+// all-or-nothing: on the first failing op the whole batch is rolled back
+// and the logical contents are untouched.
+
+#ifndef URANK_CORE_ENGINE_MUTABLE_RELATION_H_
+#define URANK_CORE_ENGINE_MUTABLE_RELATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/engine/prepared_relation.h"
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
+
+namespace urank {
+
+// Maintenance knobs. Defaults suit serving workloads; the epoch-identity
+// suite sweeps delta_merge_threshold down to 1 (consolidate every
+// publish) to cover every merge schedule.
+struct MutableRelationOptions {
+  // Pending delta entries (live, since the last consolidation) at or above
+  // which Publish folds the delta into the base run instead of re-merging
+  // it on every publish.
+  std::size_t delta_merge_threshold = 1024;
+  // Dead entries are physically compacted out of the log when they
+  // outnumber the live entries AND exceed this floor (avoids churning
+  // tiny relations).
+  std::size_t compact_min_dead = 64;
+};
+
+// One published epoch: the immutable prepared state plus its number.
+// Epoch numbers are per-store, monotonically increasing, starting at 1
+// for the snapshot published by the constructor.
+template <typename Prepared>
+struct EpochSnapshot {
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const Prepared> prepared;
+};
+
+using TupleEpochSnapshot = EpochSnapshot<PreparedTupleRelation>;
+using AttrEpochSnapshot = EpochSnapshot<PreparedAttrRelation>;
+
+// One mutation against a tuple-level store, for batch Apply.
+struct TupleMutation {
+  enum class Op { kInsert, kDelete, kUpdate };
+  Op op = Op::kInsert;
+  // kInsert/kUpdate payload (tuple.id names the target for kUpdate).
+  TLTuple tuple;
+  long long rule_key = -1;
+  // kDelete target.
+  int id = 0;
+};
+
+// One mutation against an attribute-level store.
+struct AttrMutation {
+  enum class Op { kInsert, kDelete, kUpdate };
+  Op op = Op::kInsert;
+  AttrTuple tuple;  // kInsert/kUpdate payload
+  int id = 0;       // kDelete target
+};
+
+// Tuple-level mutable store (x-relation model).
+class MutableTupleRelation {
+ public:
+  // Starts empty; publishes epoch 1 (an empty relation) immediately, so
+  // Snapshot() never returns a null prepared pointer.
+  explicit MutableTupleRelation(MutableRelationOptions options = {});
+
+  // Seeds the logical contents from an existing relation: tuples in index
+  // order, each keyed by its rule index (so rules are preserved, with
+  // members canonicalized into arrival order), then publishes epoch 1.
+  explicit MutableTupleRelation(const TupleRelation& rel,
+                                MutableRelationOptions options = {});
+
+  MutableTupleRelation(const MutableTupleRelation&) = delete;
+  MutableTupleRelation& operator=(const MutableTupleRelation&) = delete;
+
+  // Mutators. Return false (logical contents untouched) with a
+  // description in *error (when non-null) on a contract violation:
+  // duplicate live id, probability outside (0,1], non-finite score,
+  // unknown delete/update target, or a rule whose live mass would exceed
+  // 1 + tolerance. Mutations become visible to readers only at Publish.
+  bool Insert(const TLTuple& tuple, long long rule_key, std::string* error);
+  bool Delete(int id, std::string* error);
+  // Delete + re-insert at the tail (the tuple's tie-break index moves to
+  // the end of the arrival order); may change the rule key.
+  bool Update(const TLTuple& tuple, long long rule_key, std::string* error);
+
+  // All-or-nothing batch: applies ops in order; on the first failure the
+  // whole batch is rolled back and false is returned with the failing
+  // op's index and reason in *error.
+  bool Apply(const std::vector<TupleMutation>& ops, std::string* error);
+
+  // Builds and atomically publishes a new epoch reflecting every mutation
+  // so far. Idempotent: with no pending mutations the current snapshot is
+  // returned unchanged (no epoch bump).
+  TupleEpochSnapshot Publish();
+
+  // The latest published snapshot. Never null.
+  TupleEpochSnapshot Snapshot() const;
+
+  std::uint64_t epoch() const;
+
+  // Bumps the epoch number (keeping the current prepared state) so the
+  // next/current epoch is >= `epoch`. Used by the serving registry when a
+  // reload replaces a store: cached results keyed by the old store's
+  // epochs must not alias the new store's.
+  void EnsureEpochAtLeast(std::uint64_t epoch);
+
+  // Live tuples / mutations not yet published.
+  long long live_size() const;
+  bool dirty() const;
+
+  // Maintenance counters (lifetime totals, for tests and gauges).
+  std::uint64_t delta_merges() const;
+  std::uint64_t compactions() const;
+
+ private:
+  struct Entry {
+    TLTuple tuple;
+    long long rule_key = -1;
+    bool alive = true;
+  };
+
+  bool InsertLocked(const TLTuple& tuple, long long rule_key,
+                    std::string* error);
+  bool DeleteLocked(int id, std::string* error);
+  double LiveRuleMass(long long rule_key) const;
+  void CompactLocked();
+  void PublishLocked();
+
+  const MutableRelationOptions options_;
+
+  mutable std::mutex writer_mu_;
+  std::vector<Entry> entries_;  // arrival order; tombstoned, never reordered
+  std::unordered_map<int, std::size_t> live_by_id_;
+  // rule key (>= 0) -> entry indices in arrival order (dead ones retained
+  // until compaction; LiveRuleMass skips them).
+  std::unordered_map<long long, std::vector<std::size_t>> rule_members_;
+  std::size_t live_count_ = 0;
+  // entries_[0, delta_start_) are covered by base_run_.
+  std::size_t delta_start_ = 0;
+  // Entry indices sorted (score desc, index asc); only entries alive at
+  // consolidation time — later tombstones are filtered at publish.
+  std::vector<std::size_t> base_run_;
+  bool dirty_ = true;
+  std::uint64_t delta_merges_ = 0;
+  std::uint64_t compactions_ = 0;
+
+  mutable std::mutex snapshot_mu_;
+  std::uint64_t epoch_ = 0;
+  std::shared_ptr<const PreparedTupleRelation> snapshot_;
+};
+
+// Attribute-level mutable store.
+class MutableAttrRelation {
+ public:
+  explicit MutableAttrRelation(MutableRelationOptions options = {});
+  explicit MutableAttrRelation(const AttrRelation& rel,
+                               MutableRelationOptions options = {});
+
+  MutableAttrRelation(const MutableAttrRelation&) = delete;
+  MutableAttrRelation& operator=(const MutableAttrRelation&) = delete;
+
+  // Mutators; same visibility and failure contract as the tuple-level
+  // store, gated by AttrRelation::Validate's per-tuple rules (non-empty
+  // pdf, probabilities in (0,1] summing to 1, finite distinct values).
+  bool Insert(const AttrTuple& tuple, std::string* error);
+  bool Delete(int id, std::string* error);
+  bool Update(const AttrTuple& tuple, std::string* error);
+  bool Apply(const std::vector<AttrMutation>& ops, std::string* error);
+
+  AttrEpochSnapshot Publish();
+  AttrEpochSnapshot Snapshot() const;
+  std::uint64_t epoch() const;
+  void EnsureEpochAtLeast(std::uint64_t epoch);
+
+  long long live_size() const;
+  bool dirty() const;
+  std::uint64_t delta_merges() const;
+  std::uint64_t compactions() const;
+
+ private:
+  struct Entry {
+    AttrTuple tuple;
+    double expected_score = 0.0;
+    internal::SortedPdf sorted_pdf;  // deterministic function of the pdf
+    bool alive = true;
+  };
+  // One support point of the q(v) universe with its owning entry, so
+  // tombstoned mass can be filtered out of the base value run.
+  struct ValueItem {
+    double value = 0.0;
+    double prob = 0.0;
+    std::size_t owner = 0;
+
+    friend bool operator<(const ValueItem& a, const ValueItem& b) {
+      if (a.value != b.value) return a.value < b.value;
+      if (a.prob != b.prob) return a.prob < b.prob;
+      return a.owner < b.owner;
+    }
+  };
+
+  bool InsertLocked(const AttrTuple& tuple, std::string* error);
+  bool DeleteLocked(int id, std::string* error);
+  void CompactLocked();
+  void PublishLocked();
+
+  const MutableRelationOptions options_;
+
+  mutable std::mutex writer_mu_;
+  std::vector<Entry> entries_;
+  std::unordered_map<int, std::size_t> live_by_id_;
+  std::size_t live_count_ = 0;
+  std::size_t delta_start_ = 0;
+  // Entry indices sorted (expected score desc, index asc).
+  std::vector<std::size_t> base_escore_run_;
+  // (value, mass, owner) ascending — the consolidated prefix's slice of
+  // the q(v) universe before collapsing.
+  std::vector<ValueItem> base_value_run_;
+  bool dirty_ = true;
+  std::uint64_t delta_merges_ = 0;
+  std::uint64_t compactions_ = 0;
+
+  mutable std::mutex snapshot_mu_;
+  std::uint64_t epoch_ = 0;
+  std::shared_ptr<const PreparedAttrRelation> snapshot_;
+};
+
+}  // namespace urank
+
+#endif  // URANK_CORE_ENGINE_MUTABLE_RELATION_H_

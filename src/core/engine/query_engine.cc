@@ -266,6 +266,8 @@ const char* ToString(QueryStatusCode code) {
       return "overloaded";
     case QueryStatusCode::kDeadlineExceeded:
       return "deadline-exceeded";
+    case QueryStatusCode::kEpochNotAvailable:
+      return "epoch-not-available";
   }
   return "?";
 }
@@ -298,6 +300,7 @@ bool FromWireValue(int value, QueryStatusCode* out) {
     case QueryStatusCode::kUnknownRelation:
     case QueryStatusCode::kOverloaded:
     case QueryStatusCode::kDeadlineExceeded:
+    case QueryStatusCode::kEpochNotAvailable:
       *out = code;
       return true;
   }
@@ -329,12 +332,45 @@ QueryEngine::QueryEngine(
   URANK_CHECK_MSG(tuple_ != nullptr, "prepared relation must not be null");
 }
 
+QueryEngine::QueryEngine(std::shared_ptr<MutableAttrRelation> store)
+    : mutable_attr_(std::move(store)) {
+  URANK_CHECK_MSG(mutable_attr_ != nullptr, "mutable store must not be null");
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<MutableTupleRelation> store)
+    : mutable_tuple_(std::move(store)) {
+  URANK_CHECK_MSG(mutable_tuple_ != nullptr,
+                  "mutable store must not be null");
+}
+
 QueryEngine::QueryEngine(AttrRelation rel) : attr_(Prepare(std::move(rel))) {}
 
 QueryEngine::QueryEngine(TupleRelation rel)
     : tuple_(Prepare(std::move(rel))) {}
 
+ResolvedRelation QueryEngine::Resolve() const {
+  ResolvedRelation resolved;
+  if (mutable_attr_ != nullptr) {
+    AttrEpochSnapshot snapshot = mutable_attr_->Snapshot();
+    resolved.attr = std::move(snapshot.prepared);
+    resolved.epoch = snapshot.epoch;
+  } else if (mutable_tuple_ != nullptr) {
+    TupleEpochSnapshot snapshot = mutable_tuple_->Snapshot();
+    resolved.tuple = std::move(snapshot.prepared);
+    resolved.epoch = snapshot.epoch;
+  } else {
+    resolved.attr = attr_;
+    resolved.tuple = tuple_;
+  }
+  return resolved;
+}
+
 QueryStatus QueryEngine::Validate(const RankingQuery& query) const {
+  return ValidateResolved(query, Resolve());
+}
+
+QueryStatus QueryEngine::ValidateResolved(
+    const RankingQuery& query, const ResolvedRelation& resolved) const {
   if (query.k < 1) {
     std::ostringstream msg;
     msg << "k must be >= 1 (got " << query.k << ")";
@@ -352,18 +388,24 @@ QueryStatus QueryEngine::Validate(const RankingQuery& query) const {
     msg << "threshold must be in (0,1] (got " << query.threshold << ")";
     return {QueryStatusCode::kInvalidThreshold, msg.str()};
   }
-  if (query.semantics == RankingSemantics::kUTopk && attr_ != nullptr &&
-      attr_->NumWorlds() > kMaxEnumerableWorlds) {
+  if (query.semantics == RankingSemantics::kUTopk &&
+      resolved.attr != nullptr &&
+      resolved.attr->NumWorlds() > kMaxEnumerableWorlds) {
     std::ostringstream msg;
     msg << "U-Topk on this attribute-level relation requires enumerating "
-        << attr_->NumWorlds() << " worlds (limit " << kMaxEnumerableWorlds
-        << ")";
+        << resolved.attr->NumWorlds() << " worlds (limit "
+        << kMaxEnumerableWorlds << ")";
     return {QueryStatusCode::kWorldCountNotEnumerable, msg.str()};
   }
   return QueryStatus::Ok();
 }
 
 QueryResult QueryEngine::Run(const QueryRequest& request) const {
+  return RunResolved(request, Resolve());
+}
+
+QueryResult QueryEngine::RunResolved(const QueryRequest& request,
+                                     const ResolvedRelation& resolved) const {
   const RankingQuery& query = request.options;
   // Apply the runtime's placement constraints up front: resolve threads
   // and clamp a kNodeLocal request to one node's core count. Pure
@@ -377,9 +419,31 @@ QueryResult QueryEngine::Run(const QueryRequest& request) const {
   metrics::ScopedHistogramTimer timer(em.query_latency);
   em.queries.Increment();
   QueryResult result;
-  result.status = Validate(query);
+  result.stats.epoch = resolved.epoch;
+  if (request.min_epoch > resolved.epoch) {
+    std::ostringstream msg;
+    msg << "epoch " << request.min_epoch
+        << " not yet published (latest is " << resolved.epoch << ")";
+    result.status = {QueryStatusCode::kEpochNotAvailable, msg.str()};
+    em.errors.Increment();
+    result.stats.wall_ms = timer.ElapsedUs() * 1e-3;
+    return result;
+  }
+  result.status = ValidateResolved(query, resolved);
   if (!result.status.ok()) {
     em.errors.Increment();
+    result.stats.wall_ms = timer.ElapsedUs() * 1e-3;
+    return result;
+  }
+
+  // An empty relation answers every semantics with an empty top-k: there
+  // is nothing to rank, and the DP kernels' debug contracts (which the
+  // one-shot entry points keep — see the death tests) assume at least one
+  // tuple.
+  const int relation_size =
+      resolved.attr != nullptr ? resolved.attr->size() : resolved.tuple->size();
+  if (relation_size == 0) {
+    result.stats.simd_target = ToString(ActiveSimdTarget());
     result.stats.wall_ms = timer.ElapsedUs() * 1e-3;
     return result;
   }
@@ -398,39 +462,41 @@ QueryResult QueryEngine::Run(const QueryRequest& request) const {
     // Per-semantics kernel span; ToString returns a static literal, which
     // is what the recorder's no-copy contract requires.
     URANK_TRACE_SPAN_ARG(ToString(query.semantics), "k", query.k);
-    if (attr_ != nullptr) {
+    if (resolved.attr != nullptr) {
+      const PreparedAttrRelation& attr = *resolved.attr;
       // Attribute-level expected scores are built eagerly at preparation,
       // so that semantics is always a cache hit; everything else consults
       // the memo table it is backed by.
       result.stats.reused_cache =
           query.semantics == RankingSemantics::kExpectedScore ||
-          (has_key && attr_->HasCachedStat(KeyFor(query)));
+          (has_key && attr.HasCachedStat(KeyFor(query)));
       const bool prune = want_prune && !result.stats.reused_cache;
       result.answer =
-          RunAttr(*attr_, query, par, &report, prune, &result.stats);
+          RunAttr(attr, query, par, &report, prune, &result.stats);
       // A pruned run touches one O(n) rank DP per scanned tuple instead of
       // the full n-by-n matrix.
       result.stats.dp_cells =
           result.stats.reused_cache
               ? 0
-              : (prune ? result.stats.tuples_scanned * attr_->size()
-                       : AttrDpCells(*attr_, query));
+              : (prune ? result.stats.tuples_scanned * attr.size()
+                       : AttrDpCells(attr, query));
       result.stats.tuples_pruned =
-          result.stats.reused_cache ? attr_->size() : 0;
+          result.stats.reused_cache ? attr.size() : 0;
     } else {
+      const PreparedTupleRelation& tuple = *resolved.tuple;
       result.stats.reused_cache =
-          has_key && tuple_->HasCachedStat(KeyFor(query));
+          has_key && tuple.HasCachedStat(KeyFor(query));
       const bool prune = want_prune && !result.stats.reused_cache;
       result.answer =
-          RunTuple(*tuple_, query, par, &report, prune, &result.stats);
-      const long long m = tuple_->relation().num_rules();
+          RunTuple(tuple, query, par, &report, prune, &result.stats);
+      const long long m = tuple.relation().num_rules();
       result.stats.dp_cells =
           result.stats.reused_cache
               ? 0
               : (prune ? 2 * result.stats.tuples_scanned * (m + 1)
-                       : TupleDpCells(*tuple_, query));
+                       : TupleDpCells(tuple, query));
       result.stats.tuples_pruned =
-          result.stats.reused_cache ? tuple_->size() : 0;
+          result.stats.reused_cache ? tuple.size() : 0;
     }
   }
   em.dp_cells.Increment(result.stats.dp_cells);
@@ -451,13 +517,16 @@ std::vector<QueryResult> QueryEngine::RunBatch(
   EngineMetrics::Get().batches.Increment();
   URANK_TRACE_SPAN_ARG("engine.run_batch", "queries",
                        static_cast<long long>(requests.size()));
+  // One snapshot for the whole batch: every request answers from the same
+  // epoch even while writers publish concurrently.
+  const ResolvedRelation resolved = Resolve();
   // One chunk per request on the shared process-wide pool; results land at
   // disjoint indices, so claim order is irrelevant. ParallelFor's caller
   // participation keeps nesting with intra-query kernels deadlock-free.
   ParallelFor(static_cast<int>(requests.size()), ResolveThreads(threads),
               [&](int i, int /*slot*/) {
                 results[static_cast<size_t>(i)] =
-                    Run(requests[static_cast<size_t>(i)]);
+                    RunResolved(requests[static_cast<size_t>(i)], resolved);
               });
   return results;
 }

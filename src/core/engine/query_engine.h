@@ -43,6 +43,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/engine/mutable_relation.h"
 #include "core/engine/prepared_relation.h"
 #include "core/query.h"
 #include "model/attr_model.h"
@@ -81,12 +82,17 @@ enum class QueryStatusCode {
   kUnknownRelation = 6,
   kOverloaded = 7,
   kDeadlineExceeded = 8,
+  //   kEpochNotAvailable — the request demanded min_epoch newer than the
+  //                        latest published epoch of the relation it ran
+  //                        against (read-your-writes gating for mutable
+  //                        relations; see QueryRequest::min_epoch).
+  kEpochNotAvailable = 9,
 };
 
 // Number of QueryStatusCode members. Wire values are dense: every integer
 // in [0, kQueryStatusCodeCount) maps to exactly one code, which is what
 // the protocol round-trip test iterates over.
-inline constexpr int kQueryStatusCodeCount = 9;
+inline constexpr int kQueryStatusCodeCount = 10;
 
 // Stable identifier-style name ("ok", "invalid-k", ...).
 const char* ToString(QueryStatusCode code);
@@ -159,6 +165,11 @@ struct QueryStats {
   // relation size when the bound never fired, -1 when no pruned kernel
   // ran. tuples_scanned <= prune_stop_position always.
   long long prune_stop_position = -1;
+  // The epoch of the snapshot this query actually ran against: 0 for an
+  // engine over static prepared state, the store's published epoch number
+  // for a mutable-backed engine. A whole RunBatch reports one epoch — the
+  // snapshot is resolved once per batch.
+  std::uint64_t epoch = 0;
 };
 
 struct QueryResult {
@@ -207,6 +218,22 @@ struct QueryRequest {
   // cached (cheaper) path is served instead. Ignored for every other
   // semantics.
   bool prune = false;
+  // Minimum epoch this query may run against (read-your-writes gating for
+  // mutable-backed engines): when the engine's latest published epoch is
+  // older, Run fails with kEpochNotAvailable instead of answering from a
+  // stale snapshot. 0 (the default) accepts any epoch; engines over
+  // static prepared state report epoch 0, so any positive min_epoch fails
+  // there.
+  std::uint64_t min_epoch = 0;
+};
+
+// The snapshot one Run (or one whole RunBatch) executes against,
+// resolved exactly once at entry: a consistent epoch even while writers
+// publish concurrently. Exactly one of attr/tuple is non-null.
+struct ResolvedRelation {
+  std::shared_ptr<const PreparedAttrRelation> attr;
+  std::shared_ptr<const PreparedTupleRelation> tuple;
+  std::uint64_t epoch = 0;
 };
 
 // Runs ranking queries against one prepared relation (either model).
@@ -223,6 +250,14 @@ class QueryEngine {
   // Wraps already-prepared state (shareable across engines and threads).
   explicit QueryEngine(std::shared_ptr<const PreparedAttrRelation> prepared);
   explicit QueryEngine(std::shared_ptr<const PreparedTupleRelation> prepared);
+
+  // Wraps a mutable store: every Run resolves the store's latest
+  // published snapshot at entry (and a RunBatch resolves it once for the
+  // whole batch), so a query always executes against one consistent
+  // epoch while writers mutate and publish concurrently. QueryStats
+  // reports the epoch served.
+  explicit QueryEngine(std::shared_ptr<MutableAttrRelation> store);
+  explicit QueryEngine(std::shared_ptr<MutableTupleRelation> store);
 
   // Convenience: prepare-and-wrap in one step.
   explicit QueryEngine(AttrRelation rel);
@@ -265,7 +300,12 @@ class QueryEngine {
   void set_parallelism(const ParallelismOptions& par) { par_ = par; }
   const ParallelismOptions& parallelism() const { return par_; }
 
-  // The prepared state this engine wraps; exactly one is non-null.
+  // The snapshot a Run entered now would execute against: the static
+  // prepared state, or the mutable store's latest published epoch.
+  ResolvedRelation Resolve() const;
+
+  // The static prepared state this engine wraps; both null for a
+  // mutable-backed engine (use Resolve()).
   const std::shared_ptr<const PreparedAttrRelation>& attr() const {
     return attr_;
   }
@@ -273,9 +313,24 @@ class QueryEngine {
     return tuple_;
   }
 
+  // The mutable store this engine wraps; both null for a static engine.
+  const std::shared_ptr<MutableAttrRelation>& mutable_attr() const {
+    return mutable_attr_;
+  }
+  const std::shared_ptr<MutableTupleRelation>& mutable_tuple() const {
+    return mutable_tuple_;
+  }
+
  private:
+  QueryStatus ValidateResolved(const RankingQuery& query,
+                               const ResolvedRelation& resolved) const;
+  QueryResult RunResolved(const QueryRequest& request,
+                          const ResolvedRelation& resolved) const;
+
   std::shared_ptr<const PreparedAttrRelation> attr_;
   std::shared_ptr<const PreparedTupleRelation> tuple_;
+  std::shared_ptr<MutableAttrRelation> mutable_attr_;
+  std::shared_ptr<MutableTupleRelation> mutable_tuple_;
   ParallelismOptions par_;
 };
 

@@ -1,6 +1,7 @@
 #include "serve/protocol.h"
 
 #include <cmath>
+#include <cstddef>
 #include <utility>
 
 namespace urank {
@@ -99,6 +100,10 @@ void QueryRequestToJson(const std::string& relation, const QueryRequest& query,
   if (query.prune) {
     object->Set("prune", JsonValue::MakeBool(true));
   }
+  if (query.min_epoch > 0) {
+    object->Set("min_epoch",
+                JsonValue::MakeNumber(static_cast<double>(query.min_epoch)));
+  }
 }
 
 bool QueryRequestFromJson(const JsonValue& object, std::string* relation,
@@ -189,8 +194,114 @@ bool QueryRequestFromJson(const JsonValue& object, std::string* relation,
     }
     query->prune = prune->bool_value();
   }
+  if (const JsonValue* min_epoch = object.Find("min_epoch")) {
+    if (!min_epoch->is_number() || min_epoch->number_value() < 0.0 ||
+        min_epoch->number_value() !=
+            std::floor(min_epoch->number_value())) {
+      *error = "\"min_epoch\" must be a non-negative integer";
+      return false;
+    }
+    query->min_epoch =
+        static_cast<std::uint64_t>(min_epoch->number_value());
+  }
   return true;
 }
+
+namespace {
+
+// Parses one mutate op object (see the header grammar).
+bool MutationFromJson(const JsonValue& object, WireMutation* out,
+                      std::string* error) {
+  if (!object.is_object()) {
+    *error = "each op must be an object";
+    return false;
+  }
+  const JsonValue* op = object.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    *error = "op requires a string \"op\"";
+    return false;
+  }
+  const std::string& op_name = op->string_value();
+  if (op_name == "insert") {
+    out->op = WireMutation::Op::kInsert;
+  } else if (op_name == "delete") {
+    out->op = WireMutation::Op::kDelete;
+  } else if (op_name == "update") {
+    out->op = WireMutation::Op::kUpdate;
+  } else {
+    *error = "unknown op \"" + op_name + "\"";
+    return false;
+  }
+
+  if (out->op == WireMutation::Op::kDelete) {
+    const JsonValue* id = object.Find("id");
+    if (id == nullptr || !AsInt(*id, &out->id)) {
+      *error = "delete requires an integer \"id\"";
+      return false;
+    }
+    return true;
+  }
+
+  const JsonValue* tuple = object.Find("tuple");
+  if (tuple == nullptr || !tuple->is_object()) {
+    *error = "\"" + op_name + "\" requires an object \"tuple\"";
+    return false;
+  }
+  const JsonValue* id = tuple->Find("id");
+  int tuple_id = 0;
+  if (id == nullptr || !AsInt(*id, &tuple_id)) {
+    *error = "\"tuple\" requires an integer \"id\"";
+    return false;
+  }
+
+  const JsonValue* pdf = tuple->Find("pdf");
+  const JsonValue* score = tuple->Find("score");
+  const JsonValue* prob = tuple->Find("prob");
+  if (pdf != nullptr) {
+    if (score != nullptr || prob != nullptr) {
+      *error = "\"tuple\" carries either \"score\"/\"prob\" or \"pdf\"";
+      return false;
+    }
+    if (!pdf->is_array()) {
+      *error = "\"pdf\" must be an array";
+      return false;
+    }
+    out->attr_tuple.id = tuple_id;
+    for (const JsonValue& entry : pdf->array_items()) {
+      const JsonValue* value =
+          entry.is_object() ? entry.Find("value") : nullptr;
+      const JsonValue* p = entry.is_object() ? entry.Find("prob") : nullptr;
+      if (value == nullptr || !value->is_number() || p == nullptr ||
+          !p->is_number()) {
+        *error = "each pdf entry must carry numbers \"value\" and \"prob\"";
+        return false;
+      }
+      out->attr_tuple.pdf.push_back(
+          ScoreValue{value->number_value(), p->number_value()});
+    }
+    out->has_pdf = true;
+    return true;
+  }
+
+  if (score == nullptr || !score->is_number() || prob == nullptr ||
+      !prob->is_number()) {
+    *error = "\"tuple\" requires numbers \"score\" and \"prob\" (or a "
+             "\"pdf\" array)";
+    return false;
+  }
+  out->tuple = TLTuple{tuple_id, score->number_value(), prob->number_value()};
+  if (const JsonValue* rule = object.Find("rule")) {
+    int rule_key = 0;
+    if (!AsInt(*rule, &rule_key)) {
+      *error = "\"rule\" must be an integer";
+      return false;
+    }
+    out->rule_key = rule_key;
+  }
+  return true;
+}
+
+}  // namespace
 
 bool ParseRequest(std::string_view line, WireRequest* out) {
   *out = WireRequest();
@@ -225,6 +336,32 @@ bool ParseRequest(std::string_view line, WireRequest* out) {
       return false;
     }
     out->type = WireRequest::Type::kQuery;
+    return true;
+  }
+  if (type_name == "mutate") {
+    const JsonValue* relation = doc.Find("relation");
+    if (relation == nullptr || !relation->is_string() ||
+        relation->string_value().empty()) {
+      out->error = "mutate requires a non-empty string \"relation\"";
+      return false;
+    }
+    out->relation = relation->string_value();
+    const JsonValue* ops = doc.Find("ops");
+    if (ops == nullptr || !ops->is_array() || ops->array_items().empty()) {
+      out->error = "mutate requires a non-empty array \"ops\"";
+      return false;
+    }
+    out->mutations.reserve(ops->array_items().size());
+    for (std::size_t i = 0; i < ops->array_items().size(); ++i) {
+      WireMutation mutation;
+      std::string op_error;
+      if (!MutationFromJson(ops->array_items()[i], &mutation, &op_error)) {
+        out->error = "ops[" + std::to_string(i) + "]: " + op_error;
+        return false;
+      }
+      out->mutations.push_back(std::move(mutation));
+    }
+    out->type = WireRequest::Type::kMutate;
     return true;
   }
   if (type_name == "admin/load") {
@@ -325,6 +462,18 @@ std::string RenderLoadResponse(const JsonValue& id, const std::string& name,
   JsonValue obj = ResponseHead(id, QueryStatusCode::kOk);
   AppendMember("name", name, &obj);
   obj.Set("epoch", JsonValue::MakeNumber(static_cast<double>(epoch)));
+  obj.Set("tuples", JsonValue::MakeNumber(static_cast<double>(tuples)));
+  return WriteJson(obj);
+}
+
+std::string RenderMutateResponse(const JsonValue& id,
+                                 const std::string& relation,
+                                 std::uint64_t epoch, long long applied,
+                                 long long tuples) {
+  JsonValue obj = ResponseHead(id, QueryStatusCode::kOk);
+  AppendMember("relation", relation, &obj);
+  obj.Set("epoch", JsonValue::MakeNumber(static_cast<double>(epoch)));
+  obj.Set("applied", JsonValue::MakeNumber(static_cast<double>(applied)));
   obj.Set("tuples", JsonValue::MakeNumber(static_cast<double>(tuples)));
   return WriteJson(obj);
 }

@@ -9,16 +9,32 @@
 // indistinguishable by the time they reach QueryEngine::Run.
 //
 // Request envelope (members beyond the envelope depend on `type`):
-//   {"v":1, "type":"query"|"admin/load"|"admin/relations"|"metrics"|"ping",
-//    "id":<number|string>, ...}
+//   {"v":1, "type":"query"|"mutate"|"admin/load"|"admin/relations"|
+//    "metrics"|"ping", "id":<number|string>, ...}
 //
 // query:          {"relation":NAME, "semantics":NAME, "k":K,
 //                  ["phi":P], ["threshold":T], ["ties":NAME],
 //                  ["deadline_ms":D], ["cache":"default"|"bypass"],
-//                  ["threads":T]}
+//                  ["threads":T], ["min_epoch":E]}
 //   -> {"v":1,"id":ID,"status":"ok","code":0,"relation":NAME,
 //       "epoch":E,"cache":"hit"|"miss"|"bypass","ids":[...],
 //       "statistics":[...],"stats":{...}}
+//   "epoch" is the epoch the answer was computed against; "min_epoch"
+//   demands at least that epoch (kEpochNotAvailable otherwise) — the
+//   read-your-writes handshake after a mutate.
+//
+// mutate:         {"relation":NAME, "ops":[OP, ...]} with
+//   OP = {"op":"insert"|"update",
+//         "tuple":{"id":N,"score":S,"prob":P} | {"id":N,"pdf":[
+//                  {"value":V,"prob":P}, ...]}, ["rule":K]}
+//      | {"op":"delete", "id":N}
+//   The tuple payload shape must match the relation's model ("score"/
+//   "prob" for tuple-level, "pdf" for attribute-level); "rule" is the
+//   tuple-level exclusion-rule key (>= 0 groups mutually exclusive
+//   tuples, -1/absent means independent). Ops apply atomically —
+//   all-or-nothing — and one epoch is published per request.
+//   -> {"v":1,"id":ID,"status":"ok","code":0,"relation":NAME,"epoch":E,
+//       "applied":COUNT,"tuples":N}
 //
 // admin/load:     {"name":NAME, "model":"attr"|"tuple",
 //                  "path":CSV_PATH | "data":CSV_TEXT}
@@ -52,7 +68,12 @@
 #include <string>
 #include <string_view>
 
+#include <vector>
+
+#include "core/engine/mutable_relation.h"
 #include "core/engine/query_engine.h"
+#include "model/attr_model.h"
+#include "model/tuple_model.h"
 #include "serve/json.h"
 
 namespace urank {
@@ -68,10 +89,28 @@ enum class WireModel { kAttr, kTuple };
 const char* ToString(WireModel model);
 bool FromString(std::string_view name, WireModel* out);
 
+// One parsed mutate op. The payload is model-agnostic at parse time (the
+// parser does not know the relation's model): a tuple-level payload fills
+// `tuple`/`rule_key`, an attribute-level payload fills `attr_tuple`; the
+// server rejects a shape mismatch at execution.
+struct WireMutation {
+  enum class Op { kInsert, kDelete, kUpdate };
+  Op op = Op::kInsert;
+  // kDelete target.
+  int id = 0;
+  // kInsert/kUpdate, tuple-level payload ("score"/"prob").
+  TLTuple tuple;
+  long long rule_key = -1;
+  // kInsert/kUpdate, attribute-level payload ("pdf").
+  AttrTuple attr_tuple;
+  bool has_pdf = false;
+};
+
 struct WireRequest {
   enum class Type {
     kInvalid,  // parse failed; `error` holds the reason
     kQuery,
+    kMutate,
     kAdminLoad,
     kAdminRelations,
     kMetrics,
@@ -84,9 +123,12 @@ struct WireRequest {
   // kInvalid only: what was wrong with the line.
   std::string error;
 
-  // kQuery.
+  // kQuery / kMutate.
   std::string relation;
   QueryRequest query;
+
+  // kMutate.
+  std::vector<WireMutation> mutations;
 
   // kAdminLoad: exactly one of `path` / `inline_data` is non-empty.
   std::string name;
@@ -138,6 +180,11 @@ std::string RenderQueryResponse(const JsonValue& id,
 
 std::string RenderLoadResponse(const JsonValue& id, const std::string& name,
                                std::uint64_t epoch, long long tuples);
+
+std::string RenderMutateResponse(const JsonValue& id,
+                                 const std::string& relation,
+                                 std::uint64_t epoch, long long applied,
+                                 long long tuples);
 
 // `relations_json` must be an array built by the caller (registry order).
 std::string RenderRelationsResponse(const JsonValue& id,

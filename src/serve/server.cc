@@ -44,6 +44,10 @@ struct ServeMetrics {
       metrics::Registry::Global().histogram("urank_serve_query_us");
   metrics::Histogram& admin_us =
       metrics::Registry::Global().histogram("urank_serve_admin_us");
+  metrics::Histogram& mutate_us =
+      metrics::Registry::Global().histogram("urank_serve_mutate_us");
+  metrics::Counter& mutate_ops =
+      metrics::Registry::Global().counter("urank_serve_mutate_ops_total");
   metrics::Histogram& metrics_us =
       metrics::Registry::Global().histogram("urank_serve_metrics_us");
 };
@@ -68,20 +72,15 @@ Server::~Server() { Drain(); }
 
 bool Server::LoadRelation(const std::string& name, WireModel model,
                           std::istream& in, std::string* error) {
-  RelationEntry entry;
-  entry.model = model;
   if (model == WireModel::kAttr) {
     AttrRelation rel;
     if (!ReadAttrRelation(in, &rel, error)) return false;
-    entry.tuples = rel.size();
-    entry.engine = std::make_shared<QueryEngine>(std::move(rel));
+    AddRelation(name, std::move(rel));
   } else {
     TupleRelation rel;
     if (!ReadTupleRelation(in, &rel, error)) return false;
-    entry.tuples = rel.size();
-    entry.engine = std::make_shared<QueryEngine>(std::move(rel));
+    AddRelation(name, std::move(rel));
   }
-  RegisterEntry(name, std::move(entry));
   return true;
 }
 
@@ -98,23 +97,49 @@ bool Server::LoadRelationFile(const std::string& name, WireModel model,
 void Server::AddRelation(const std::string& name, TupleRelation rel) {
   RelationEntry entry;
   entry.model = WireModel::kTuple;
-  entry.tuples = rel.size();
-  entry.engine = std::make_shared<QueryEngine>(std::move(rel));
+  // Store construction publishes epoch 1 (the full prepare) — done
+  // outside the registry lock so loads never stall queries.
+  entry.tuple_store = std::make_shared<MutableTupleRelation>(rel);
+  entry.engine = std::make_shared<QueryEngine>(entry.tuple_store);
   RegisterEntry(name, std::move(entry));
 }
 
 void Server::AddRelation(const std::string& name, AttrRelation rel) {
   RelationEntry entry;
   entry.model = WireModel::kAttr;
-  entry.tuples = rel.size();
-  entry.engine = std::make_shared<QueryEngine>(std::move(rel));
+  entry.attr_store = std::make_shared<MutableAttrRelation>(rel);
+  entry.engine = std::make_shared<QueryEngine>(entry.attr_store);
   RegisterEntry(name, std::move(entry));
+}
+
+std::shared_ptr<MutableTupleRelation> Server::MutableTupleStore(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto it = registry_.find(name);
+  return it == registry_.end() ? nullptr : it->second.tuple_store;
+}
+
+std::shared_ptr<MutableAttrRelation> Server::MutableAttrStore(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto it = registry_.find(name);
+  return it == registry_.end() ? nullptr : it->second.attr_store;
 }
 
 void Server::RegisterEntry(const std::string& name, RelationEntry entry) {
   std::lock_guard<std::mutex> lock(registry_mu_);
-  auto it = registry_.find(name);
-  entry.epoch = it == registry_.end() ? 1 : it->second.epoch + 1;
+  const auto it = registry_.find(name);
+  if (it != registry_.end()) {
+    // Continue the epoch sequence past the replaced store's, so cached
+    // results keyed under the old store's epochs can never alias answers
+    // from the new contents.
+    const std::uint64_t floor = it->second.epoch() + 1;
+    if (entry.tuple_store != nullptr) {
+      entry.tuple_store->EnsureEpochAtLeast(floor);
+    } else {
+      entry.attr_store->EnsureEpochAtLeast(floor);
+    }
+  }
   registry_[name] = std::move(entry);
 }
 
@@ -123,7 +148,7 @@ std::vector<RelationInfo> Server::Relations() const {
   std::vector<RelationInfo> infos;
   infos.reserve(registry_.size());
   for (const auto& [name, entry] : registry_) {
-    infos.push_back({name, entry.model, entry.epoch, entry.tuples});
+    infos.push_back({name, entry.model, entry.epoch(), entry.tuples()});
   }
   return infos;
 }
@@ -157,6 +182,8 @@ std::future<std::string> Server::Submit(std::string line) {
     return future;
   }
 
+  // query, mutate and admin/load go through the bounded queue; mutate and
+  // admin/load carry no deadline — once admitted, a write always runs.
   job.admit_ns = MonotonicNs();
   double deadline_ms = 0.0;
   if (job.request.type == WireRequest::Type::kQuery) {
@@ -257,6 +284,9 @@ void Server::Execute(Job&& job) {
     case WireRequest::Type::kQuery:
       response = ExecuteQuery(job.request, job.admit_ns, start_ns);
       break;
+    case WireRequest::Type::kMutate:
+      response = ExecuteMutate(job.request);
+      break;
     case WireRequest::Type::kAdminLoad:
       response = ExecuteAdminLoad(job.request);
       break;
@@ -283,7 +313,7 @@ std::string Server::ExecuteQuery(const WireRequest& request,
     auto it = registry_.find(request.relation);
     if (it != registry_.end()) {
       engine = it->second.engine;
-      epoch = it->second.epoch;
+      epoch = it->second.epoch();
     }
   }
   if (engine == nullptr) {
@@ -299,7 +329,10 @@ std::string Server::ExecuteQuery(const WireRequest& request,
   const bool use_cache = request.query.cache_mode == CacheMode::kDefault;
   const ResultCacheKey key =
       MakeResultCacheKey(request.relation, epoch, request.query.options);
-  if (use_cache) {
+  // A cached answer at `epoch` only satisfies a read-your-writes demand
+  // for min_epoch <= epoch; otherwise fall through to the engine, whose
+  // min_epoch gate answers kEpochNotAvailable (or a newer snapshot).
+  if (use_cache && request.query.min_epoch <= epoch) {
     if (std::shared_ptr<const RankingAnswer> cached = cache_.Get(key)) {
       QueryStats stats;
       stats.reused_cache = true;
@@ -317,11 +350,22 @@ std::string Server::ExecuteQuery(const WireRequest& request,
     return RenderErrorResponse(request.id, result.status.code,
                                result.status.message);
   }
+  // The engine resolves its own snapshot, which may be newer than the
+  // epoch looked up above (a mutate published in between). Key the cache
+  // entry — and report — under the epoch the answer was actually computed
+  // against.
+  const std::uint64_t run_epoch = result.stats.epoch;
   auto answer =
       std::make_shared<const RankingAnswer>(std::move(result.answer));
-  if (use_cache) cache_.Put(key, answer);
+  if (use_cache) {
+    cache_.Put(run_epoch == epoch
+                   ? key
+                   : MakeResultCacheKey(request.relation, run_epoch,
+                                        request.query.options),
+               answer);
+  }
   timings.serve_ms = NsToMs(MonotonicNs() - admit_ns);
-  return RenderQueryResponse(request.id, request.relation, epoch,
+  return RenderQueryResponse(request.id, request.relation, run_epoch,
                              use_cache ? CacheOutcome::kMiss
                                        : CacheOutcome::kBypass,
                              *answer, result.stats, timings);
@@ -348,10 +392,123 @@ std::string Server::ExecuteAdminLoad(const WireRequest& request) {
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     const RelationEntry& entry = registry_[request.name];
-    epoch = entry.epoch;
-    tuples = entry.tuples;
+    epoch = entry.epoch();
+    tuples = entry.tuples();
   }
   return RenderLoadResponse(request.id, request.name, epoch, tuples);
+}
+
+std::string Server::ExecuteMutate(const WireRequest& request) {
+  metrics::ScopedHistogramTimer timer(Metrics().mutate_us);
+  std::shared_ptr<MutableTupleRelation> tuple_store;
+  std::shared_ptr<MutableAttrRelation> attr_store;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    const auto it = registry_.find(request.relation);
+    if (it != registry_.end()) {
+      tuple_store = it->second.tuple_store;
+      attr_store = it->second.attr_store;
+    }
+  }
+  if (tuple_store == nullptr && attr_store == nullptr) {
+    Metrics().errors.Increment();
+    return RenderErrorResponse(request.id, QueryStatusCode::kUnknownRelation,
+                               "unknown relation \"" + request.relation +
+                                   "\" (load it with admin/load)");
+  }
+
+  // Translate the model-agnostic wire ops into the store's mutation type,
+  // rejecting payload shapes that do not match the relation's model.
+  std::string error;
+  bool ok = false;
+  std::uint64_t epoch = 0;
+  long long tuples = 0;
+  if (tuple_store != nullptr) {
+    std::vector<TupleMutation> ops;
+    ops.reserve(request.mutations.size());
+    for (std::size_t i = 0; i < request.mutations.size(); ++i) {
+      const WireMutation& wm = request.mutations[i];
+      TupleMutation op;
+      switch (wm.op) {
+        case WireMutation::Op::kInsert:
+          op.op = TupleMutation::Op::kInsert;
+          break;
+        case WireMutation::Op::kDelete:
+          op.op = TupleMutation::Op::kDelete;
+          break;
+        case WireMutation::Op::kUpdate:
+          op.op = TupleMutation::Op::kUpdate;
+          break;
+      }
+      if (wm.op == WireMutation::Op::kDelete) {
+        op.id = wm.id;
+      } else {
+        if (wm.has_pdf) {
+          Metrics().errors.Increment();
+          return RenderErrorResponse(
+              request.id, QueryStatusCode::kInvalidRequest,
+              "ops[" + std::to_string(i) + "]: relation \"" +
+                  request.relation +
+                  "\" is tuple-level; op carries a \"pdf\" payload");
+        }
+        op.tuple = wm.tuple;
+        op.rule_key = wm.rule_key;
+      }
+      ops.push_back(std::move(op));
+    }
+    ok = tuple_store->Apply(ops, &error);
+    if (ok) {
+      epoch = tuple_store->Publish().epoch;
+      tuples = tuple_store->live_size();
+    }
+  } else {
+    std::vector<AttrMutation> ops;
+    ops.reserve(request.mutations.size());
+    for (std::size_t i = 0; i < request.mutations.size(); ++i) {
+      const WireMutation& wm = request.mutations[i];
+      AttrMutation op;
+      switch (wm.op) {
+        case WireMutation::Op::kInsert:
+          op.op = AttrMutation::Op::kInsert;
+          break;
+        case WireMutation::Op::kDelete:
+          op.op = AttrMutation::Op::kDelete;
+          break;
+        case WireMutation::Op::kUpdate:
+          op.op = AttrMutation::Op::kUpdate;
+          break;
+      }
+      if (wm.op == WireMutation::Op::kDelete) {
+        op.id = wm.id;
+      } else {
+        if (!wm.has_pdf) {
+          Metrics().errors.Increment();
+          return RenderErrorResponse(
+              request.id, QueryStatusCode::kInvalidRequest,
+              "ops[" + std::to_string(i) + "]: relation \"" +
+                  request.relation +
+                  "\" is attribute-level; op needs a \"pdf\" payload");
+        }
+        op.tuple = wm.attr_tuple;
+      }
+      ops.push_back(std::move(op));
+    }
+    ok = attr_store->Apply(ops, &error);
+    if (ok) {
+      epoch = attr_store->Publish().epoch;
+      tuples = attr_store->live_size();
+    }
+  }
+  if (!ok) {
+    Metrics().errors.Increment();
+    return RenderErrorResponse(request.id, QueryStatusCode::kInvalidRequest,
+                               "mutate failed: " + error);
+  }
+  Metrics().mutate_ops.Increment(
+      static_cast<long long>(request.mutations.size()));
+  return RenderMutateResponse(request.id, request.relation, epoch,
+                              static_cast<long long>(request.mutations.size()),
+                              tuples);
 }
 
 std::string Server::HandleAdminRelations(const WireRequest& request) {

@@ -2,10 +2,12 @@
 // rendering, independent of transport.
 //
 // One Server owns
-//   * a registry of named relations, each a prepared QueryEngine plus a
-//     monotonically increasing epoch (bumped on every admin/load of the
-//     same name, which is what invalidates cached results for the old
-//     snapshot),
+//   * a registry of named relations, each a mutable store (incremental
+//     ingestion via the `mutate` request) wrapped by a QueryEngine. The
+//     store's monotonically increasing epoch — bumped by every published
+//     mutation batch, and continued past the old store's on an
+//     admin/load replacement — is what keys (and thereby invalidates)
+//     cached results for old snapshots,
 //   * a bounded admission queue drained by a small worker pool, and
 //   * an epoch-keyed result cache (serve/result_cache.h) consulted above
 //     the engine's statistic memo.
@@ -103,6 +105,14 @@ class Server {
   void AddRelation(const std::string& name, TupleRelation rel);
   void AddRelation(const std::string& name, AttrRelation rel);
 
+  // The mutable store behind a registered relation (nullptr when `name`
+  // is unknown or backed by the other model). In-process writers may
+  // mutate/publish through it directly; the wire path is `mutate`.
+  std::shared_ptr<MutableTupleRelation> MutableTupleStore(
+      const std::string& name) const;
+  std::shared_ptr<MutableAttrRelation> MutableAttrStore(
+      const std::string& name) const;
+
   std::vector<RelationInfo> Relations() const;
 
   // Admits one request line. The future resolves to the complete response
@@ -123,11 +133,25 @@ class Server {
   ResultCache& result_cache() { return cache_; }
 
  private:
+  // Every registered relation is backed by a mutable store (exactly one
+  // of the two pointers is set, matching `model`); the engine wraps that
+  // store, so queries always resolve its latest published epoch. A
+  // replacement load installs a fresh store whose epoch continues past
+  // the old one's (EnsureEpochAtLeast), keeping result-cache keys unique.
   struct RelationEntry {
     std::shared_ptr<const QueryEngine> engine;
     WireModel model = WireModel::kTuple;
-    std::uint64_t epoch = 0;
-    long long tuples = 0;
+    std::shared_ptr<MutableTupleRelation> tuple_store;
+    std::shared_ptr<MutableAttrRelation> attr_store;
+
+    std::uint64_t epoch() const {
+      return tuple_store != nullptr ? tuple_store->epoch()
+                                    : attr_store->epoch();
+    }
+    long long tuples() const {
+      return tuple_store != nullptr ? tuple_store->live_size()
+                                    : attr_store->live_size();
+    }
   };
 
   struct Job {
@@ -145,6 +169,7 @@ class Server {
   void Execute(Job&& job);
   std::string ExecuteQuery(const WireRequest& request, std::uint64_t admit_ns,
                            std::uint64_t start_ns);
+  std::string ExecuteMutate(const WireRequest& request);
   std::string ExecuteAdminLoad(const WireRequest& request);
   std::string HandleAdminRelations(const WireRequest& request);
   std::string HandleMetrics(const WireRequest& request);

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Runs the bench/ suite and merges the results into BENCH_8.json.
+"""Runs the bench/ suite and merges the results into BENCH_9.json.
 
 The perf trajectory lives in BENCH_<PR>.json files at the repo root: one
 machine-readable snapshot per performance-focused PR, so later PRs can
@@ -8,7 +8,7 @@ from an existing build tree and writes one merged JSON document.
 
 Usage:
     python3 tools/bench_runner.py [--build-dir build] [--smoke]
-                                  [--out BENCH_8.json] [--only a,b,...]
+                                  [--out BENCH_9.json] [--only a,b,...]
                                   [--compare BENCH_7.json] [--repeat N]
                                   [--metrics-out metrics.json]
                                   [--max-seconds S]
@@ -37,7 +37,9 @@ exceeds its budget is killed and recorded as skipped (with
 run, and timeouts never fail the run: the budget exists so one
 pathological series (say, the N=1M full suite on a one-core worker)
 cannot eat the whole CI job — a silent hang is worse than a hole in the
-snapshot. Repeats of a timed-out binary are not attempted.
+snapshot. Repeats of a timed-out binary are not attempted. --skipped-out writes
+that skipped-series summary to a JSON file, which the CI bench-regression
+job uploads as a workflow artifact.
 
 --compare diffs the freshly-written snapshot against a baseline
 BENCH_<PR>.json: series are matched by (kernel, n, threads, simd_target)
@@ -64,9 +66,9 @@ import sys
 import tempfile
 import time
 
-BENCH_ID = "BENCH_8"
-TITLE = ("Million-tuple scalability: pruned quantile/median-rank kernels "
-         "and blocked streaming preparation")
+BENCH_ID = "BENCH_9"
+TITLE = ("Mutable relations: incremental ingestion throughput and "
+         "read latency under copy-on-write epoch publishes")
 
 # A matched series must not be slower than baseline by more than this.
 REGRESSION_TOLERANCE = 0.10
@@ -102,6 +104,8 @@ REGISTRY = [
     Bench("metrics_overhead", "bench_metrics_overhead", "json_harness",
           smoke=True, smoke_args=["--smoke"]),
     Bench("million_scale", "bench_million_scale", "json_harness",
+          smoke=True, smoke_args=["--smoke"]),
+    Bench("mutation_throughput", "bench_mutation_throughput", "json_harness",
           smoke=True, smoke_args=["--smoke"]),
     Bench("attr_prune", "bench_attr_prune", "harness"),
     Bench("tuple_prune", "bench_tuple_prune", "harness"),
@@ -319,6 +323,10 @@ def main():
                         help="per-binary wall-time budget; a binary over "
                              "budget is killed and recorded as skipped "
                              "(never a failure). 0 disables the budget")
+    parser.add_argument("--skipped-out", default="",
+                        help="write the skipped-series report (name, "
+                             "reason, timed_out flag) to this JSON file "
+                             "so CI can upload it as an artifact")
     args = parser.parse_args()
 
     if args.list:
@@ -371,6 +379,23 @@ def main():
         print(f"[bench_runner] {len(skipped)} series skipped:")
         for name, reason in skipped:
             print(f"  {name}: {reason}")
+    if args.skipped_out:
+        report = {
+            "bench_id": BENCH_ID,
+            "mode": doc["mode"],
+            "skipped": [{"name": name,
+                         "reason": reason,
+                         "timed_out": bool(
+                             doc["results"][name].get("timed_out"))}
+                        for name, reason in skipped],
+        }
+        if args.max_seconds > 0:
+            report["max_seconds"] = args.max_seconds
+        with open(args.skipped_out, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"[bench_runner] wrote {args.skipped_out} "
+              f"({len(skipped)} skipped series)")
 
     if args.metrics_out:
         snapshots = {name: result["metrics"]
